@@ -1,0 +1,76 @@
+//! Criterion benches of the dOpenCL layer (Section V): the cost of driving
+//! skeletons over many (simulated) remote devices compared to a local
+//! multi-GPU system, and the host-side cost of the network model itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dopencl::{Cluster, NetworkModel, Node};
+use skelcl::prelude::*;
+
+fn run_map_once(v: &Vector<f32>, map: &Map<f32, f32>) {
+    let out = map.call(v, &Args::none()).unwrap();
+    std::hint::black_box(out.len());
+}
+
+fn bench_local_vs_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_vs_cluster_map");
+    group.sample_size(20);
+    let n = 128 * 1024;
+
+    group.bench_function("local_4_gpus", |b| {
+        let rt = skelcl::init_gpus(4);
+        let map = Map::<f32, f32>::from_source("float func(float x) { return x * 0.5f + 1.0f; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32; n]);
+        map.call(&v, &Args::none()).unwrap();
+        b.iter(|| run_map_once(&v, &map));
+    });
+
+    group.bench_function("cluster_8_gpus_3_cpus", |b| {
+        let cluster = Cluster::lab_cluster();
+        let rt = skelcl::init_profiles(cluster.device_profiles());
+        let map = Map::<f32, f32>::from_source("float func(float x) { return x * 0.5f + 1.0f; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32; n]);
+        map.call(&v, &Args::none()).unwrap();
+        b.iter(|| run_map_once(&v, &map));
+    });
+    group.finish();
+}
+
+fn bench_cluster_assembly_and_network_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dopencl_model");
+    group.bench_function("assemble_lab_cluster", |b| {
+        b.iter(|| std::hint::black_box(Cluster::lab_cluster().device_count()));
+    });
+    group.bench_function("assemble_custom_cluster", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(NetworkModel::ten_gigabit_ethernet())
+                .with_node(Node::tesla_s1070_server("a"))
+                .with_node(Node::dual_gpu_server("b"))
+                .with_node(Node::dual_gpu_server("c"));
+            std::hint::black_box(cluster.gpu_profiles().len())
+        });
+    });
+    for (name, network) in [
+        ("gigabit", NetworkModel::gigabit_ethernet()),
+        ("ten_gigabit", NetworkModel::ten_gigabit_ethernet()),
+        ("infiniband", NetworkModel::infiniband_qdr()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("transfer_time_model", name),
+            &network,
+            |b, network| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for bytes in [1usize << 10, 1 << 16, 1 << 20, 1 << 26] {
+                        acc = acc.wrapping_add(network.transfer_time(bytes).as_nanos());
+                    }
+                    std::hint::black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_vs_cluster, bench_cluster_assembly_and_network_model);
+criterion_main!(benches);

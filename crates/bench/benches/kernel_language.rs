@@ -1,0 +1,97 @@
+//! Criterion benches of the kernel-language substrate: how much the
+//! runtime-compiled user-function path costs compared to native closures,
+//! what a program build (and a program-cache hit) costs, and the overhead of
+//! the index-map variant that needs no input upload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skelcl::prelude::*;
+
+const POLY_UDF: &str = "float func(float x) { return x * x * x - 2.0f * x + 1.0f; }";
+
+fn bench_dsl_vs_native_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsl_vs_native_map");
+    group.sample_size(20);
+    for &n in &[4 * 1024usize, 64 * 1024] {
+        group.bench_with_input(BenchmarkId::new("dsl_source", n), &n, |b, &n| {
+            let rt = skelcl::init_gpus(2);
+            let map = Map::<f32, f32>::from_source(POLY_UDF);
+            let v = Vector::from_vec(&rt, vec![1.5f32; n]);
+            map.call(&v, &Args::none()).unwrap();
+            b.iter(|| std::hint::black_box(map.call(&v, &Args::none()).unwrap().len()));
+        });
+        group.bench_with_input(BenchmarkId::new("native_closure", n), &n, |b, &n| {
+            let rt = skelcl::init_gpus(2);
+            let map = Map::<f32, f32>::new(|x, _| x * x * x - 2.0 * x + 1.0);
+            let v = Vector::from_vec(&rt, vec![1.5f32; n]);
+            map.call(&v, &Args::none()).unwrap();
+            b.iter(|| std::hint::black_box(map.call(&v, &Args::none()).unwrap().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_program_build_and_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("program_build");
+    group.sample_size(30);
+    let source = r#"
+        float helper(float x) { return x * x; }
+        __kernel void k(__global float* v, int n, float a) {
+            int gid = get_global_id(0);
+            if (gid < n) { v[gid] = helper(v[gid]) * a + 1.0f; }
+        }
+    "#;
+    group.bench_function("cold_build_lex_parse_check", |b| {
+        b.iter(|| std::hint::black_box(skelcl_kernel::Program::build(source).unwrap()));
+    });
+    group.bench_function("context_cache_hit", |b| {
+        let ctx = oclsim::Context::with_gpus(1);
+        ctx.build_program(source).unwrap();
+        b.iter(|| std::hint::black_box(ctx.build_program(source).unwrap()));
+    });
+    group.bench_function("udf_analysis_and_kernel_generation", |b| {
+        b.iter(|| {
+            let info = skelcl::kernelgen::UdfInfo::analyze(POLY_UDF, 1).unwrap();
+            std::hint::black_box(skelcl::kernelgen::map_kernel(&info).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_index_map_vs_explicit_input(c: &mut Criterion) {
+    // The index map avoids allocating and uploading an input vector; this
+    // ablation measures how much host-side work that saves per call.
+    let mut group = c.benchmark_group("index_map");
+    group.sample_size(20);
+    let n = 64 * 1024;
+    let udf = "int func(int i, int scale) { return i * scale; }";
+    group.bench_function("call_index", |b| {
+        let rt = skelcl::init_gpus(2);
+        let map = Map::<i32, i32>::from_source(udf);
+        map.call_index(&rt, n, &Args::new().with_i32(3)).unwrap();
+        b.iter(|| {
+            std::hint::black_box(
+                map.call_index(&rt, n, &Args::new().with_i32(3)).unwrap().len(),
+            )
+        });
+    });
+    group.bench_function("explicit_index_vector", |b| {
+        let rt = skelcl::init_gpus(2);
+        let map = Map::<i32, i32>::from_source(udf);
+        b.iter(|| {
+            let idx = Vector::from_vec(&rt, (0..n as i32).collect());
+            std::hint::black_box(
+                map.call(&idx, &Args::new().with_i32(3)).unwrap().len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dsl_vs_native_map,
+    bench_program_build_and_cache,
+    bench_index_map_vs_explicit_input
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench of the Mandelbrot application: SkelCL map skeleton vs the
+//! low-level implementation vs the sequential reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mandelbrot::{render_lowlevel, render_sequential, render_skelcl, MandelbrotConfig};
+
+fn bench_mandelbrot(c: &mut Criterion) {
+    let config = MandelbrotConfig {
+        width: 256,
+        height: 192,
+        max_iterations: 100,
+        ..MandelbrotConfig::test_scale()
+    };
+    let mut group = c.benchmark_group("mandelbrot_256x192");
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| std::hint::black_box(render_sequential(&config).len()));
+    });
+    for devices in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("skelcl", devices), &devices, |b, &devices| {
+            let rt = skelcl::init_gpus(devices);
+            render_skelcl(&rt, &config).unwrap();
+            b.iter(|| std::hint::black_box(render_skelcl(&rt, &config).unwrap().len()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lowlevel", devices),
+            &devices,
+            |b, &devices| {
+                b.iter(|| std::hint::black_box(render_lowlevel(devices, &config).unwrap().len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mandelbrot);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench behind Figure 4b: one list-mode OSEM subset iteration for
+//! the three implementations on 1, 2 and 4 GPUs (wall-clock of the simulated
+//! run; the virtual-time figure itself is produced by the `fig4b_runtime`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use osem::{sequential, CudaOsem, OpenClOsem, ReconstructionConfig, SkelclOsem};
+use skelcl::prelude::*;
+use skelcl::DeviceSelection;
+
+fn config() -> ReconstructionConfig {
+    ReconstructionConfig::test_scale().with_events_per_subset(5_000)
+}
+
+fn bench_osem_subset(c: &mut Criterion) {
+    let cfg = config();
+    let subsets = sequential::generate_subsets(&cfg);
+    let subset = &subsets[0];
+
+    let mut group = c.benchmark_group("osem_subset_iteration");
+    group.sample_size(10);
+    for gpus in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("skelcl", gpus), &gpus, |b, &gpus| {
+            let rt = skelcl::SkelCl::init(DeviceSelection::Gpus(gpus));
+            let osem = SkelclOsem::new(rt.clone(), cfg.clone());
+            osem.warmup(subset).unwrap();
+            b.iter(|| {
+                let mut f = Vector::filled(&rt, cfg.volume.voxel_count(), 1.0f32);
+                osem.process_subset(subset, &mut f).unwrap();
+                std::hint::black_box(f.len());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("opencl", gpus), &gpus, |b, &gpus| {
+            let osem = OpenClOsem::new(gpus, cfg.clone()).unwrap();
+            b.iter(|| {
+                let mut f = vec![1.0f32; cfg.volume.voxel_count()];
+                osem.process_subset(subset, &mut f).unwrap();
+                std::hint::black_box(f.len());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cuda", gpus), &gpus, |b, &gpus| {
+            let osem = CudaOsem::new(gpus, cfg.clone()).unwrap();
+            b.iter(|| {
+                let mut f = vec![1.0f32; cfg.volume.voxel_count()];
+                osem.process_subset(subset, &mut f).unwrap();
+                std::hint::black_box(f.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_siddon(c: &mut Criterion) {
+    // The sequential building block: path computation per event.
+    let cfg = config();
+    let events = sequential::generate_subsets(&cfg)[0].clone();
+    c.bench_function("siddon_path_per_event", |b| {
+        let mut path = Vec::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            osem::siddon::compute_path_into(&cfg.volume, &events[i % events.len()], &mut path);
+            i += 1;
+            std::hint::black_box(path.len());
+        });
+    });
+}
+
+criterion_group!(benches, bench_osem_subset, bench_siddon);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench of the Section V scheduling machinery: performance-model
+//! prediction cost and the even vs weighted distribution ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use skelcl::prelude::*;
+use skelcl::{PerfModel, StaticScheduler};
+
+fn bench_prediction(c: &mut Criterion) {
+    let rt = skelcl::init_profiles(skelcl_bench::sched::heterogeneous_profiles());
+    let model = PerfModel::analytical(&rt);
+    c.bench_function("perf_model_weights", |b| {
+        b.iter(|| std::hint::black_box(model.weights(CostHint::new(64.0, 8.0))));
+    });
+    let scheduler = StaticScheduler::analytical(&rt);
+    c.bench_function("final_reduce_placement", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                scheduler
+                    .final_reduce_placement(4, 4, CostHint::new(1.0, 8.0))
+                    .unwrap(),
+            )
+        });
+    });
+}
+
+fn bench_even_vs_weighted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heterogeneous_map_100k");
+    group.sample_size(10);
+    let udf = "float func(float x) { float acc = x; for (int i = 0; i < 16; i++) { acc = acc * 1.01f + 0.5f; } return acc; }";
+
+    group.bench_function("even_block", |b| {
+        let rt = skelcl::init_profiles(skelcl_bench::sched::heterogeneous_profiles());
+        let map = Map::<f32, f32>::from_source(udf);
+        let v = Vector::from_vec(&rt, vec![1.0f32; 100_000]);
+        map.call(&v, &Args::none()).unwrap();
+        b.iter(|| std::hint::black_box(map.call(&v, &Args::none()).unwrap().len()));
+    });
+    group.bench_function("scheduler_weighted", |b| {
+        let rt = skelcl::init_profiles(skelcl_bench::sched::heterogeneous_profiles());
+        let scheduler = StaticScheduler::analytical(&rt);
+        let map = Map::<f32, f32>::from_source(udf);
+        let v = Vector::from_vec(&rt, vec![1.0f32; 100_000]);
+        v.set_distribution(scheduler.weighted_block(CostHint::new(40.0, 8.0)))
+            .unwrap();
+        map.call(&v, &Args::none()).unwrap();
+        b.iter(|| std::hint::black_box(map.call(&v, &Args::none()).unwrap().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction, bench_even_vs_weighted);
+criterion_main!(benches);

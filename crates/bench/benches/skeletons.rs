@@ -1,0 +1,97 @@
+//! Criterion benches of the core skeletons: wall-clock cost of the SkelCL
+//! layer itself (dispatch, kernel-source generation, coherence tracking) and
+//! the scaling of the generated execution plans with the device count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use skelcl::prelude::*;
+
+fn bench_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_skeleton");
+    group.sample_size(20);
+    for devices in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("square_64k", devices), &devices, |b, &devices| {
+            let rt = skelcl::init_gpus(devices);
+            let map = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+            let v = Vector::from_vec(&rt, vec![1.5f32; 64 * 1024]);
+            // Build the kernel and upload once.
+            map.call(&v, &Args::none()).unwrap();
+            b.iter(|| {
+                let out = map.call(&v, &Args::none()).unwrap();
+                std::hint::black_box(out.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_zip_saxpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zip_saxpy");
+    group.sample_size(20);
+    for devices in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, &devices| {
+            let rt = skelcl::init_gpus(devices);
+            let saxpy = Zip::<f32, f32, f32>::from_source(
+                "float func(float x, float y, float a) { return a * x + y; }",
+            );
+            let x = Vector::from_vec(&rt, vec![1.0f32; 64 * 1024]);
+            let y = Vector::from_vec(&rt, vec![2.0f32; 64 * 1024]);
+            saxpy.call(&x, &y, &Args::new().with_f32(2.0)).unwrap();
+            b.iter(|| {
+                let out = saxpy.call(&x, &y, &Args::new().with_f32(2.0)).unwrap();
+                std::hint::black_box(out.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce_and_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_scan");
+    group.sample_size(20);
+    for devices in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("reduce_sum_64k", devices), &devices, |b, &devices| {
+            let rt = skelcl::init_gpus(devices);
+            let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
+            let v = Vector::from_vec(&rt, vec![1.0f32; 64 * 1024]);
+            sum.reduce_value(&v).unwrap();
+            b.iter(|| std::hint::black_box(sum.reduce_value(&v).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("scan_sum_16k", devices), &devices, |b, &devices| {
+            let rt = skelcl::init_gpus(devices);
+            let scan = Scan::<f32>::from_source("float func(float a, float b) { return a + b; }");
+            let v = Vector::from_vec(&rt, vec![1.0f32; 16 * 1024]);
+            scan.call(&v).unwrap();
+            b.iter(|| std::hint::black_box(scan.call(&v).unwrap().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_redistribution(c: &mut Criterion) {
+    // Ablation for the distribution mechanism (Figure 1 / Section III-A):
+    // cost of switching a 256k-element vector between distributions.
+    let mut group = c.benchmark_group("redistribution");
+    group.sample_size(20);
+    group.bench_function("block_to_copy_to_block_4gpus", |b| {
+        let rt = skelcl::init_gpus(4);
+        let v = Vector::from_vec(&rt, vec![1.0f32; 256 * 1024]);
+        v.copy_data_to_devices().unwrap();
+        b.iter(|| {
+            v.set_distribution(Distribution::Copy).unwrap();
+            v.copy_data_to_devices().unwrap();
+            v.set_distribution(Distribution::Block).unwrap();
+            v.copy_data_to_devices().unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_map,
+    bench_zip_saxpy,
+    bench_reduce_and_scan,
+    bench_redistribution
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Reproduce Figure 4a: lines-of-code comparison of the three list-mode OSEM
+//! host programs. Run with `cargo run -p skelcl-bench --bin fig4a_loc`.
+
+fn main() {
+    print!("{}", skelcl_bench::fig4a::report());
+}

@@ -1,0 +1,36 @@
+//! Reproduce Figure 4b: average runtime of one list-mode OSEM subset
+//! iteration on 1, 2 and 4 GPUs for SkelCL, OpenCL and CUDA.
+//!
+//! Run with `cargo run --release -p skelcl-bench --bin fig4b_runtime`.
+//! Pass `--quick` for a smaller workload (used in CI-style runs).
+
+use osem::ReconstructionConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The paper's workload processes ~10^6 events per subset against a
+    // 150×150×280 volume, so step 1 (per-event path tracing) dominates the
+    // image transfers. The default below keeps that compute-to-transfer
+    // balance on the scaled-down volume; `--quick` trades some of it for a
+    // faster run.
+    let config = if quick {
+        ReconstructionConfig::benchmark_scale().with_events_per_subset(50_000)
+    } else {
+        ReconstructionConfig::benchmark_scale().with_events_per_subset(200_000)
+    };
+    println!(
+        "workload: {}x{}x{} voxels, {} events per subset{}",
+        config.volume.nx,
+        config.volume.ny,
+        config.volume.nz,
+        config.events_per_subset,
+        if quick { " (quick mode)" } else { "" }
+    );
+    let rows = skelcl_bench::fig4b::measure(&config, &[1, 2, 4]);
+    print!("{}", skelcl_bench::fig4b::report(&rows));
+    println!();
+    println!("paper (Tesla S1070, 150x150x280 voxels, ~10^6 events/subset):");
+    println!("  CUDA is ~20% faster than OpenCL at every GPU count;");
+    println!("  SkelCL introduces <5% overhead over OpenCL;");
+    println!("  runtime decreases with the number of GPUs (sub-linearly).");
+}

@@ -1,0 +1,38 @@
+//! The Mandelbrot comparison mentioned in the paper's conclusion: SkelCL map
+//! skeleton vs hand-written low-level code, on 1, 2 and 4 GPUs.
+//!
+//! Run with `cargo run --release -p skelcl-bench --bin mandelbrot_compare`.
+
+use mandelbrot::MandelbrotConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if quick {
+        MandelbrotConfig {
+            width: 256,
+            height: 256,
+            max_iterations: 200,
+            ..MandelbrotConfig::test_scale()
+        }
+    } else if full {
+        // The 2048×2048 / 1000-iteration rendering of the companion paper.
+        // The SkelCL kernel runs through the interpreter, so this takes
+        // several minutes of host time; the default below keeps the same
+        // comparison shape at a fraction of the cost.
+        MandelbrotConfig::benchmark_scale()
+    } else {
+        MandelbrotConfig {
+            width: 512,
+            height: 512,
+            max_iterations: 500,
+            ..MandelbrotConfig::test_scale()
+        }
+    };
+    println!(
+        "workload: {}x{} pixels, {} max iterations",
+        config.width, config.height, config.max_iterations
+    );
+    let rows = skelcl_bench::mandel::measure(&config, &[1, 2, 4]);
+    print!("{}", skelcl_bench::mandel::report(&rows));
+}

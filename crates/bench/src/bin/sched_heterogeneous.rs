@@ -1,0 +1,15 @@
+//! Section V experiments: even vs performance-predicted workload
+//! distribution on heterogeneous devices, and local vs dOpenCL-remote GPUs.
+//!
+//! Run with `cargo run --release -p skelcl-bench --bin sched_heterogeneous`.
+
+fn main() {
+    let n = 300_000;
+    match skelcl_bench::sched::report(n) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("scheduling experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Figure 4a: program size (lines of code) of the three list-mode OSEM host
+//! programs, single- and multi-GPU, plus the kernel code.
+
+use osem::{figure_4a, Implementation, LocBreakdown};
+
+/// One bar group of Figure 4a.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocRow {
+    /// Implementation name ("SkelCL", "OpenCL", "CUDA").
+    pub implementation: &'static str,
+    /// Host lines, single-GPU version.
+    pub host_single: usize,
+    /// Host lines, multi-GPU version.
+    pub host_multi: usize,
+    /// Device (kernel) lines.
+    pub kernel: usize,
+}
+
+/// The paper's reported values for reference (Section IV-B).
+pub fn paper_reference() -> Vec<LocRow> {
+    vec![
+        LocRow {
+            implementation: "SkelCL",
+            host_single: 18,
+            host_multi: 18 + 8,
+            kernel: 200,
+        },
+        LocRow {
+            implementation: "OpenCL",
+            host_single: 206,
+            host_multi: 206 + 37,
+            kernel: 200,
+        },
+        LocRow {
+            implementation: "CUDA",
+            host_single: 88,
+            host_multi: 88 + 42,
+            kernel: 200,
+        },
+    ]
+}
+
+/// Measure the lines of code of this repository's three implementations.
+pub fn measured() -> Vec<LocRow> {
+    figure_4a()
+        .into_iter()
+        .map(|(implementation, loc): (Implementation, LocBreakdown)| LocRow {
+            implementation: implementation.name(),
+            host_single: loc.host_single,
+            host_multi: loc.host_multi_total(),
+            kernel: loc.kernel,
+        })
+        .collect()
+}
+
+/// Format the figure as a text table comparing measured against the paper.
+pub fn report() -> String {
+    let mut out = String::new();
+    out.push_str("Figure 4a — program size of list-mode OSEM (lines of code)\n");
+    out.push_str(
+        "impl     | host single | host multi | kernel || paper: single | multi | kernel\n",
+    );
+    out.push_str(
+        "---------+-------------+------------+--------++---------------+-------+-------\n",
+    );
+    for (m, p) in measured().iter().zip(paper_reference()) {
+        out.push_str(&format!(
+            "{:<8} | {:>11} | {:>10} | {:>6} || {:>13} | {:>5} | {:>6}\n",
+            m.implementation, m.host_single, m.host_multi, m.kernel, p.host_single, p.host_multi, p.kernel
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_rows_follow_the_papers_ordering() {
+        let rows = measured();
+        assert_eq!(rows.len(), 3);
+        let skelcl = &rows[0];
+        let opencl = &rows[1];
+        let cuda = &rows[2];
+        assert_eq!(skelcl.implementation, "SkelCL");
+        // Shape of Figure 4a: SkelCL ≪ CUDA < OpenCL for the host program,
+        // and the multi-GPU delta is smallest for SkelCL.
+        assert!(skelcl.host_single * 2 < cuda.host_single);
+        assert!(cuda.host_single < opencl.host_single);
+        assert!(skelcl.host_multi - skelcl.host_single < cuda.host_multi - cuda.host_single);
+        assert!(skelcl.host_multi - skelcl.host_single < opencl.host_multi - opencl.host_single);
+    }
+
+    #[test]
+    fn report_contains_all_implementations() {
+        let r = report();
+        assert!(r.contains("SkelCL"));
+        assert!(r.contains("OpenCL"));
+        assert!(r.contains("CUDA"));
+    }
+}

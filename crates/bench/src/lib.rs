@@ -1,0 +1,34 @@
+//! # skelcl-bench — experiment harnesses
+//!
+//! Shared code behind the figure-reproduction binaries (`fig4a_loc`,
+//! `fig4b_runtime`, `sched_heterogeneous`, `mandelbrot_compare`) and the
+//! Criterion benchmarks. Each harness regenerates the data of one figure of
+//! the paper; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+pub mod fig4a;
+pub mod fig4b;
+pub mod mandel;
+pub mod sched;
+
+/// Render a simple textual bar of `value` scaled to `max` (for terminal
+/// "figures").
+pub fn text_bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_bar_scales() {
+        assert_eq!(text_bar(5.0, 10.0, 10), "#####");
+        assert_eq!(text_bar(10.0, 10.0, 10), "##########");
+        assert_eq!(text_bar(20.0, 10.0, 10), "##########");
+        assert_eq!(text_bar(1.0, 0.0, 10), "");
+    }
+}

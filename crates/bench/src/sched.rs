@@ -1,0 +1,140 @@
+//! Section V experiments: heterogeneous scheduling and dOpenCL.
+//!
+//! The paper argues that (a) on heterogeneous systems SkelCL "should not
+//! assign evenly-sized workload to the devices" and uses a static scheduler
+//! with performance prediction, and (b) with dOpenCL, remote devices appear
+//! local but communication becomes more expensive. This harness measures
+//! both effects with the map skeleton.
+
+use skelcl::prelude::*;
+use skelcl::{DeviceSelection, SkelCl, StaticScheduler};
+
+use oclsim::DeviceProfile;
+
+/// Result of one scheduling comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulingRow {
+    /// Runtime with an even block distribution (virtual seconds).
+    pub even_s: f64,
+    /// Runtime with the scheduler's weighted block distribution.
+    pub weighted_s: f64,
+}
+
+impl SchedulingRow {
+    /// Speed-up of the weighted distribution over the even one.
+    pub fn speedup(&self) -> f64 {
+        self.even_s / self.weighted_s
+    }
+}
+
+/// The heterogeneous device set of the experiment: one Tesla-class GPU, one
+/// small GPU and one CPU device.
+pub fn heterogeneous_profiles() -> Vec<DeviceProfile> {
+    vec![
+        DeviceProfile::tesla_c1060(),
+        DeviceProfile::generic_small_gpu(),
+        DeviceProfile::xeon_e5520(),
+    ]
+}
+
+const HEAVY_UDF: &str = r#"
+float func(float x) {
+    float acc = x;
+    for (int i = 0; i < 64; i++) { acc = acc * 1.0001f + 0.5f; }
+    return acc;
+}
+"#;
+
+fn run_map(runtime: &std::sync::Arc<SkelCl>, distribution: Distribution, n: usize) -> Result<f64> {
+    let map = Map::<f32, f32>::from_source(HEAVY_UDF);
+    let v = Vector::from_vec(runtime, vec![1.0f32; n]);
+    v.set_distribution(distribution)?;
+    // Warm-up builds the kernel so runtime compilation is not measured.
+    map.call(&v, &Args::none())?;
+    runtime.finish_all();
+    let t0 = runtime.now();
+    let out = map.call(&v, &Args::none())?;
+    out.with_host(|_| ())?; // force completion including downloads
+    runtime.finish_all();
+    Ok((runtime.now() - t0).as_secs_f64())
+}
+
+/// Compare an even block distribution against the scheduler's weighted one on
+/// a heterogeneous device set.
+pub fn even_vs_weighted(n: usize) -> Result<SchedulingRow> {
+    let cost = CostHint::new(130.0, 8.0);
+    let even_rt = skelcl::init_profiles(heterogeneous_profiles());
+    let even_s = run_map(&even_rt, Distribution::Block, n)?;
+
+    let weighted_rt = skelcl::init_profiles(heterogeneous_profiles());
+    let scheduler = StaticScheduler::analytical(&weighted_rt);
+    let weighted_s = run_map(&weighted_rt, scheduler.weighted_block(cost), n)?;
+    Ok(SchedulingRow { even_s, weighted_s })
+}
+
+/// Result of the dOpenCL comparison: the same skeleton on local devices vs
+/// on the same devices reached through the (simulated) network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedRow {
+    /// Runtime on local devices (virtual seconds).
+    pub local_s: f64,
+    /// Runtime on the same devices accessed through dOpenCL.
+    pub remote_s: f64,
+}
+
+/// Run the same map on four local GPUs and on four GPUs of a dOpenCL cluster
+/// (the paper's lab system) to quantify the communication penalty.
+pub fn local_vs_distributed(n: usize) -> Result<DistributedRow> {
+    let local_rt = SkelCl::init(DeviceSelection::Gpus(4));
+    let local_s = run_map(&local_rt, Distribution::Block, n)?;
+
+    let cluster = dopencl::Cluster::lab_cluster();
+    let profiles: Vec<DeviceProfile> = cluster.gpu_profiles().into_iter().take(4).collect();
+    let remote_rt = skelcl::init_profiles(profiles);
+    let remote_s = run_map(&remote_rt, Distribution::Block, n)?;
+    Ok(DistributedRow { local_s, remote_s })
+}
+
+/// Text report for the scheduling harness.
+pub fn report(n: usize) -> Result<String> {
+    let sched = even_vs_weighted(n)?;
+    let dist = local_vs_distributed(n)?;
+    let mut out = String::new();
+    out.push_str("Section V — heterogeneous scheduling (map skeleton, heavy UDF)\n");
+    out.push_str(&format!(
+        "  even block distribution     : {:.6} s\n  scheduler-weighted blocks   : {:.6} s\n  speed-up                    : {:.2}x\n",
+        sched.even_s,
+        sched.weighted_s,
+        sched.speedup()
+    ));
+    out.push_str("Section V — dOpenCL: local GPUs vs remote GPUs over Gigabit Ethernet\n");
+    out.push_str(&format!(
+        "  4 local GPUs                : {:.6} s\n  4 remote GPUs (dOpenCL)     : {:.6} s\n  communication penalty       : {:.2}x\n",
+        dist.local_s,
+        dist.remote_s,
+        dist.remote_s / dist.local_s
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_distribution_beats_even_on_heterogeneous_devices() {
+        let row = even_vs_weighted(300_000).unwrap();
+        assert!(
+            row.speedup() > 1.1,
+            "weighted scheduling should help; even {:.6} s vs weighted {:.6} s",
+            row.even_s,
+            row.weighted_s
+        );
+    }
+
+    #[test]
+    fn remote_devices_are_slower_but_usable() {
+        let row = local_vs_distributed(200_000).unwrap();
+        assert!(row.remote_s > row.local_s, "the network penalty must show up");
+    }
+}

@@ -1,0 +1,305 @@
+//! Additional arguments for skeletons (paper, Section II-A).
+//!
+//! "The novelty of SkelCL skeletons is that they can accept additional
+//! arguments which are passed to the skeleton's user-defined function."
+//!
+//! An [`Args`] value collects the additional arguments of one skeleton call:
+//! scalars and whole SkelCL vectors. Scalars are appended to the generated
+//! kernel's parameter list (source-string UDFs) or made available through
+//! [`ArgAccess`] (native closure UDFs). Vector arguments are passed as device
+//! buffers according to *their own* distribution — the paper notes that no
+//! meaningful default distribution exists for them, so the user must set it
+//! explicitly.
+
+use oclsim::{ArgView, Value};
+
+use crate::vector::Vector;
+
+/// One additional argument of a skeleton call.
+#[derive(Debug, Clone)]
+pub enum ArgItem {
+    /// A `float` scalar.
+    Float(f32),
+    /// A `double` scalar.
+    Double(f64),
+    /// An `int` scalar.
+    Int(i32),
+    /// A `uint` scalar.
+    Uint(u32),
+    /// A vector of `f32` elements.
+    VecF32(Vector<f32>),
+    /// A vector of `i32` elements.
+    VecI32(Vector<i32>),
+    /// A vector of `u32` elements.
+    VecU32(Vector<u32>),
+}
+
+impl ArgItem {
+    /// Whether the argument is a scalar.
+    pub fn is_scalar(&self) -> bool {
+        matches!(
+            self,
+            ArgItem::Float(_) | ArgItem::Double(_) | ArgItem::Int(_) | ArgItem::Uint(_)
+        )
+    }
+
+    /// The scalar value, if the argument is a scalar.
+    pub fn scalar_value(&self) -> Option<Value> {
+        match self {
+            ArgItem::Float(v) => Some(Value::Float(*v)),
+            ArgItem::Double(v) => Some(Value::Double(*v)),
+            ArgItem::Int(v) => Some(Value::Int(*v)),
+            ArgItem::Uint(v) => Some(Value::Uint(*v)),
+            _ => None,
+        }
+    }
+}
+
+/// The additional arguments of one skeleton call, in user-specified order.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    items: Vec<ArgItem>,
+}
+
+impl Args {
+    /// No additional arguments.
+    pub fn none() -> Args {
+        Args::default()
+    }
+
+    /// Start building an argument list.
+    pub fn new() -> Args {
+        Args::default()
+    }
+
+    /// Append a `float` scalar.
+    pub fn with_f32(mut self, v: f32) -> Args {
+        self.items.push(ArgItem::Float(v));
+        self
+    }
+
+    /// Append a `double` scalar.
+    pub fn with_f64(mut self, v: f64) -> Args {
+        self.items.push(ArgItem::Double(v));
+        self
+    }
+
+    /// Append an `int` scalar.
+    pub fn with_i32(mut self, v: i32) -> Args {
+        self.items.push(ArgItem::Int(v));
+        self
+    }
+
+    /// Append a `uint` scalar.
+    pub fn with_u32(mut self, v: u32) -> Args {
+        self.items.push(ArgItem::Uint(v));
+        self
+    }
+
+    /// Append an `f32` vector argument (passed as a device buffer).
+    pub fn with_vec_f32(mut self, v: &Vector<f32>) -> Args {
+        self.items.push(ArgItem::VecF32(v.clone()));
+        self
+    }
+
+    /// Append an `i32` vector argument.
+    pub fn with_vec_i32(mut self, v: &Vector<i32>) -> Args {
+        self.items.push(ArgItem::VecI32(v.clone()));
+        self
+    }
+
+    /// Append a `u32` vector argument.
+    pub fn with_vec_u32(mut self, v: &Vector<u32>) -> Args {
+        self.items.push(ArgItem::VecU32(v.clone()));
+        self
+    }
+
+    /// The arguments in order.
+    pub fn items(&self) -> &[ArgItem] {
+        &self.items
+    }
+
+    /// Number of additional arguments.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no additional arguments.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of scalar arguments.
+    pub fn scalar_count(&self) -> usize {
+        self.items.iter().filter(|i| i.is_scalar()).count()
+    }
+
+    /// Number of vector arguments.
+    pub fn vector_count(&self) -> usize {
+        self.items.len() - self.scalar_count()
+    }
+}
+
+/// Access to the additional arguments from inside a *native* user-defined
+/// function. The accessor indices follow the order in which the arguments
+/// were added to [`Args`].
+///
+/// Accessors panic with a descriptive message on index or type mismatches;
+/// these are programming errors of the skeleton user, equivalent to an OpenCL
+/// kernel reading the wrong argument slot.
+pub struct ArgAccess<'v, 'a> {
+    views: &'v mut [ArgView<'a>],
+}
+
+impl<'v, 'a> ArgAccess<'v, 'a> {
+    /// Wrap the extra-argument views of a native kernel launch.
+    pub(crate) fn new(views: &'v mut [ArgView<'a>]) -> Self {
+        ArgAccess { views }
+    }
+
+    /// Number of additional arguments.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether there are no additional arguments.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    fn view(&self, index: usize) -> &ArgView<'a> {
+        self.views
+            .get(index)
+            .unwrap_or_else(|| panic!("additional argument index {index} out of range"))
+    }
+
+    fn scalar(&self, index: usize) -> Value {
+        self.view(index)
+            .scalar()
+            .unwrap_or_else(|| panic!("additional argument {index} is a vector, not a scalar"))
+    }
+
+    /// The scalar at `index` as `f32`.
+    pub fn f32(&self, index: usize) -> f32 {
+        self.scalar(index).as_f64() as f32
+    }
+
+    /// The scalar at `index` as `f64`.
+    pub fn f64(&self, index: usize) -> f64 {
+        self.scalar(index).as_f64()
+    }
+
+    /// The scalar at `index` as `i32`.
+    pub fn i32(&self, index: usize) -> i32 {
+        self.scalar(index).as_i64() as i32
+    }
+
+    /// The scalar at `index` as `usize` (panics if negative).
+    pub fn usize(&self, index: usize) -> usize {
+        let v = self.scalar(index).as_i64();
+        usize::try_from(v)
+            .unwrap_or_else(|_| panic!("additional argument {index} is negative ({v})"))
+    }
+
+    /// The vector argument at `index` as an immutable `f32` slice (this
+    /// device's local copy or part, depending on the vector's distribution).
+    pub fn slice_f32(&self, index: usize) -> &[f32] {
+        self.view(index)
+            .as_slice::<f32>()
+            .unwrap_or_else(|| panic!("additional argument {index} is not an f32 vector"))
+    }
+
+    /// The vector argument at `index` as an immutable `i32` slice.
+    pub fn slice_i32(&self, index: usize) -> &[i32] {
+        self.view(index)
+            .as_slice::<i32>()
+            .unwrap_or_else(|| panic!("additional argument {index} is not an i32 vector"))
+    }
+
+    /// The vector argument at `index` as a mutable `f32` slice. Writes go to
+    /// this device's copy only; call
+    /// [`Vector::mark_device_modified`](crate::vector::Vector::mark_device_modified)
+    /// afterwards so the host copy is refreshed before the next CPU access
+    /// (Listing 3, line 10 of the paper).
+    pub fn slice_mut_f32(&mut self, index: usize) -> &mut [f32] {
+        self.views
+            .get_mut(index)
+            .unwrap_or_else(|| panic!("additional argument index {index} out of range"))
+            .as_slice_mut::<f32>()
+            .unwrap_or_else(|| panic!("additional argument {index} is not an f32 vector"))
+    }
+
+    /// The vector argument at `index` as a mutable `i32` slice.
+    pub fn slice_mut_i32(&mut self, index: usize) -> &mut [i32] {
+        self.views
+            .get_mut(index)
+            .unwrap_or_else(|| panic!("additional argument index {index} out of range"))
+            .as_slice_mut::<i32>()
+            .unwrap_or_else(|| panic!("additional argument {index} is not an i32 vector"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_items_in_order() {
+        let args = Args::new().with_f32(1.5).with_i32(7).with_u32(3);
+        assert_eq!(args.len(), 3);
+        assert_eq!(args.scalar_count(), 3);
+        assert_eq!(args.vector_count(), 0);
+        assert!(matches!(args.items()[0], ArgItem::Float(v) if v == 1.5));
+        assert!(matches!(args.items()[1], ArgItem::Int(7)));
+        assert!(matches!(args.items()[2], ArgItem::Uint(3)));
+        assert!(Args::none().is_empty());
+    }
+
+    #[test]
+    fn scalar_values_convert() {
+        assert_eq!(ArgItem::Float(2.0).scalar_value(), Some(Value::Float(2.0)));
+        assert_eq!(ArgItem::Int(-3).scalar_value(), Some(Value::Int(-3)));
+        assert!(ArgItem::Float(0.0).is_scalar());
+    }
+
+    #[test]
+    fn arg_access_scalars() {
+        let mut views = vec![
+            ArgView::Scalar(Value::Float(2.5)),
+            ArgView::Scalar(Value::Int(9)),
+        ];
+        let access = ArgAccess::new(&mut views);
+        assert_eq!(access.len(), 2);
+        assert_eq!(access.f32(0), 2.5);
+        assert_eq!(access.i32(1), 9);
+        assert_eq!(access.usize(1), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arg_access_out_of_range_panics() {
+        let mut views: Vec<ArgView<'_>> = vec![];
+        let access = ArgAccess::new(&mut views);
+        access.f32(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a vector, not a scalar")]
+    fn arg_access_type_mismatch_panics() {
+        let mut data = oclsim::BufferData::new(8);
+        let mut views = vec![ArgView::Buffer(&mut data)];
+        let access = ArgAccess::new(&mut views);
+        access.f32(0);
+    }
+
+    #[test]
+    fn arg_access_slices() {
+        let mut data = oclsim::BufferData::new(12);
+        data.as_slice_mut::<f32>().copy_from_slice(&[1.0, 2.0, 3.0]);
+        let mut views = vec![ArgView::Buffer(&mut data), ArgView::Scalar(Value::Int(3))];
+        let mut access = ArgAccess::new(&mut views);
+        assert_eq!(access.slice_f32(0), &[1.0, 2.0, 3.0]);
+        access.slice_mut_f32(0)[1] = 20.0;
+        assert_eq!(access.slice_f32(0), &[1.0, 20.0, 3.0]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Data distributions of SkelCL vectors across multiple devices
+//! (paper, Section III-A and Figure 1).
+//!
+//! A distribution describes which part of a vector each device holds:
+//!
+//! * [`Distribution::Single`] — the whole vector lives on one device,
+//! * [`Distribution::Block`] — each device holds a contiguous, disjoint part,
+//! * [`Distribution::BlockWeighted`] — like block, but part sizes follow
+//!   explicit weights (used by the Section V scheduler for heterogeneous
+//!   devices),
+//! * [`Distribution::Copy`] — every device holds a full copy.
+//!
+//! Changing the distribution implies data exchanges between devices and the
+//! host, performed implicitly (and lazily) by [`crate::vector::Vector`].
+//! When changing *away from* `Copy`, the per-device copies may differ and are
+//! combined with a user-specified [`Combine`] function; without one, the
+//! first device's copy wins (paper, Section III-A).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// How a vector's data is distributed across the devices of the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Distribution {
+    /// Whole vector on a single device (the given device index).
+    Single(usize),
+    /// Contiguous, disjoint, evenly-sized parts on every device.
+    Block,
+    /// Contiguous, disjoint parts sized proportionally to the given weights
+    /// (one weight per device, in fixed-point thousandths to keep the type
+    /// `Eq`-comparable).
+    BlockWeighted(Vec<u32>),
+    /// A full copy of the vector on every device.
+    Copy,
+}
+
+impl Distribution {
+    /// The default distribution of newly created vectors and of skeleton main
+    /// inputs with no explicit distribution (the paper uses block).
+    pub fn default_for_inputs() -> Distribution {
+        Distribution::Block
+    }
+
+    /// Build a weighted block distribution from floating-point weights.
+    pub fn block_weighted(weights: &[f64]) -> Distribution {
+        let scaled = weights
+            .iter()
+            .map(|w| (w.max(0.0) * 1000.0).round() as u32)
+            .collect();
+        Distribution::BlockWeighted(scaled)
+    }
+
+    /// Whether every device participates in a skeleton over a vector with
+    /// this distribution.
+    pub fn uses_all_devices(&self) -> bool {
+        !matches!(self, Distribution::Single(_))
+    }
+}
+
+/// How per-device copies are merged when switching away from
+/// [`Distribution::Copy`].
+#[derive(Clone)]
+pub enum Combine<T> {
+    /// Keep the copy of the first device, discard the others (the default).
+    KeepFirst,
+    /// Merge with a user function: `f(accumulator, other_copy)` is called for
+    /// each additional device copy, mutating the accumulator in place.
+    Func(Arc<dyn Fn(&mut [T], &[T]) + Send + Sync>),
+}
+
+impl<T> std::fmt::Debug for Combine<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Combine::KeepFirst => f.write_str("Combine::KeepFirst"),
+            Combine::Func(_) => f.write_str("Combine::Func(..)"),
+        }
+    }
+}
+
+impl<T: Copy + std::ops::AddAssign + Send + Sync + 'static> Combine<T> {
+    /// Element-wise addition — the combine function used for the OSEM error
+    /// image (`Distribution::copy(add)` in Listing 3 of the paper).
+    pub fn add() -> Combine<T> {
+        Combine::Func(Arc::new(|acc: &mut [T], other: &[T]| {
+            for (a, b) in acc.iter_mut().zip(other) {
+                *a += *b;
+            }
+        }))
+    }
+}
+
+/// The concrete partitioning of `len` elements over `devices` devices under a
+/// distribution: for each device, the element range it holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    ranges: Vec<Range<usize>>,
+    len: usize,
+}
+
+impl Partition {
+    /// Compute the partition of a vector of `len` elements for `devices`
+    /// devices under `distribution`.
+    pub fn compute(len: usize, devices: usize, distribution: &Distribution) -> Partition {
+        assert!(devices > 0, "a runtime always has at least one device");
+        let ranges = match distribution {
+            Distribution::Single(dev) => (0..devices)
+                .map(|d| if d == *dev { 0..len } else { 0..0 })
+                .collect(),
+            Distribution::Copy => (0..devices).map(|_| 0..len).collect(),
+            Distribution::Block => Self::block_ranges(len, &vec![1.0; devices]),
+            Distribution::BlockWeighted(weights) => {
+                let w: Vec<f64> = (0..devices)
+                    .map(|d| weights.get(d).copied().unwrap_or(0) as f64)
+                    .collect();
+                let total: f64 = w.iter().sum();
+                if total <= 0.0 {
+                    Self::block_ranges(len, &vec![1.0; devices])
+                } else {
+                    Self::block_ranges(len, &w)
+                }
+            }
+        };
+        Partition { ranges, len }
+    }
+
+    /// Contiguous disjoint ranges proportional to `weights`, covering
+    /// `0..len` exactly.
+    fn block_ranges(len: usize, weights: &[f64]) -> Vec<Range<usize>> {
+        let devices = weights.len();
+        let total: f64 = weights.iter().sum();
+        let mut ranges = Vec::with_capacity(devices);
+        let mut start = 0usize;
+        let mut acc = 0.0f64;
+        for (d, w) in weights.iter().enumerate() {
+            acc += *w;
+            let end = if d + 1 == devices {
+                len
+            } else {
+                ((acc / total) * len as f64).round() as usize
+            };
+            let end = end.clamp(start, len);
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    }
+
+    /// The element range device `d` holds.
+    pub fn range(&self, device: usize) -> Range<usize> {
+        self.ranges.get(device).cloned().unwrap_or(0..0)
+    }
+
+    /// Number of elements device `d` holds.
+    pub fn size(&self, device: usize) -> usize {
+        self.range(device).len()
+    }
+
+    /// Per-device part sizes (the paper's `events.sizes()` in Listing 3).
+    pub fn sizes(&self) -> Vec<usize> {
+        self.ranges.iter().map(|r| r.len()).collect()
+    }
+
+    /// Devices that hold at least one element.
+    pub fn active_devices(&self) -> Vec<usize> {
+        self.ranges
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Total vector length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the partition covers zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of devices (including inactive ones).
+    pub fn device_count(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partition_covers_exactly_once() {
+        for len in [0usize, 1, 5, 16, 17, 1000] {
+            for devices in 1..=6 {
+                let p = Partition::compute(len, devices, &Distribution::Block);
+                let mut covered = 0;
+                let mut next = 0;
+                for d in 0..devices {
+                    let r = p.range(d);
+                    assert_eq!(r.start, next, "parts must be contiguous");
+                    next = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, len);
+                assert_eq!(next, len);
+                // Even distribution: sizes differ by at most 1.
+                let sizes = p.sizes();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "sizes {sizes:?} not even for len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_puts_everything_on_one_device() {
+        let p = Partition::compute(10, 4, &Distribution::Single(2));
+        assert_eq!(p.sizes(), vec![0, 0, 10, 0]);
+        assert_eq!(p.active_devices(), vec![2]);
+    }
+
+    #[test]
+    fn copy_partition_replicates() {
+        let p = Partition::compute(8, 3, &Distribution::Copy);
+        assert_eq!(p.sizes(), vec![8, 8, 8]);
+        assert_eq!(p.active_devices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn weighted_partition_follows_weights() {
+        let d = Distribution::block_weighted(&[3.0, 1.0]);
+        let p = Partition::compute(100, 2, &d);
+        assert_eq!(p.sizes(), vec![75, 25]);
+        // Still covers exactly once.
+        assert_eq!(p.range(0).end, p.range(1).start);
+        assert_eq!(p.range(1).end, 100);
+    }
+
+    #[test]
+    fn weighted_partition_with_zero_total_falls_back_to_even() {
+        let d = Distribution::BlockWeighted(vec![0, 0]);
+        let p = Partition::compute(10, 2, &d);
+        assert_eq!(p.sizes(), vec![5, 5]);
+    }
+
+    #[test]
+    fn figure1_example_two_devices() {
+        // Figure 1 of the paper shows a vector over two devices.
+        let len = 16;
+        let single = Partition::compute(len, 2, &Distribution::Single(0));
+        assert_eq!(single.sizes(), vec![16, 0]);
+        let block = Partition::compute(len, 2, &Distribution::Block);
+        assert_eq!(block.sizes(), vec![8, 8]);
+        let copy = Partition::compute(len, 2, &Distribution::Copy);
+        assert_eq!(copy.sizes(), vec![16, 16]);
+    }
+
+    #[test]
+    fn combine_add_merges_copies() {
+        let combine: Combine<f32> = Combine::add();
+        if let Combine::Func(f) = combine {
+            let mut acc = vec![1.0f32, 2.0, 3.0];
+            f(&mut acc, &[10.0, 20.0, 30.0]);
+            assert_eq!(acc, vec![11.0, 22.0, 33.0]);
+        } else {
+            panic!("expected a combine function");
+        }
+    }
+
+    #[test]
+    fn default_input_distribution_is_block() {
+        assert_eq!(Distribution::default_for_inputs(), Distribution::Block);
+        assert!(Distribution::Block.uses_all_devices());
+        assert!(!Distribution::Single(0).uses_all_devices());
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type of the SkelCL library.
+
+use std::fmt;
+
+use oclsim::OclError;
+use skelcl_kernel::diag::KernelError;
+
+/// Errors returned by SkelCL operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SkelError {
+    /// The underlying simulated OpenCL runtime reported an error.
+    Ocl(OclError),
+    /// Building or analysing a user-defined function failed.
+    Udf(KernelError),
+    /// Two vectors passed to one skeleton call belong to different SkelCL
+    /// runtime instances.
+    RuntimeMismatch,
+    /// Two vectors passed to one skeleton call have incompatible lengths.
+    LengthMismatch {
+        /// Length of the first vector.
+        left: usize,
+        /// Length of the second vector.
+        right: usize,
+    },
+    /// A skeleton was called with an empty input vector.
+    EmptyInput,
+    /// A user-defined function's signature does not match what the skeleton
+    /// expects (wrong parameter count or unsupported parameter kinds).
+    UdfSignature(String),
+    /// An additional argument is not supported in the requested configuration
+    /// (e.g. vector additional arguments with a source-string UDF).
+    UnsupportedArg(String),
+    /// A distribution-related operation was invalid.
+    Distribution(String),
+    /// A scheduling request could not be satisfied.
+    Scheduler(String),
+}
+
+impl fmt::Display for SkelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkelError::Ocl(e) => write!(f, "OpenCL error: {e}"),
+            SkelError::Udf(e) => write!(f, "user-defined function error: {e}"),
+            SkelError::RuntimeMismatch => {
+                write!(f, "vectors belong to different SkelCL runtime instances")
+            }
+            SkelError::LengthMismatch { left, right } => {
+                write!(f, "vector length mismatch: {left} vs {right}")
+            }
+            SkelError::EmptyInput => write!(f, "skeleton called with an empty input vector"),
+            SkelError::UdfSignature(msg) => write!(f, "user-defined function signature: {msg}"),
+            SkelError::UnsupportedArg(msg) => write!(f, "unsupported additional argument: {msg}"),
+            SkelError::Distribution(msg) => write!(f, "distribution error: {msg}"),
+            SkelError::Scheduler(msg) => write!(f, "scheduler error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SkelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SkelError::Ocl(e) => Some(e),
+            SkelError::Udf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OclError> for SkelError {
+    fn from(e: OclError) -> Self {
+        SkelError::Ocl(e)
+    }
+}
+
+impl From<KernelError> for SkelError {
+    fn from(e: KernelError) -> Self {
+        SkelError::Udf(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SkelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: SkelError = OclError::NoSuchKernel("x".into()).into();
+        assert!(e.to_string().contains("OpenCL error"));
+        let e: SkelError = KernelError::run("bad").into();
+        assert!(e.to_string().contains("user-defined function"));
+        assert!(SkelError::LengthMismatch { left: 3, right: 4 }
+            .to_string()
+            .contains("3 vs 4"));
+    }
+}

@@ -1,0 +1,461 @@
+//! Kernel source generation: merging user-defined functions with
+//! skeleton-specific code (paper, Section II-A).
+//!
+//! "To customize a skeleton, the application developer passes the source code
+//! of the user-defined function as a plain string to the skeleton. SkelCL
+//! merges the user-defined function's source code with pre-implemented
+//! skeleton-specific program code, thus creating a valid OpenCL kernel
+//! automatically."
+//!
+//! The generated kernel is then built by the (simulated) OpenCL runtime at
+//! first use. The *additional arguments* feature is implemented here as in
+//! the paper: the extra parameters of the user function — beyond the
+//! skeleton's main element inputs — are appended to the generated kernel's
+//! parameter list and forwarded to the user function call.
+
+use skelcl_kernel::ast::Function;
+use skelcl_kernel::types::{ScalarType, Type};
+
+use crate::error::{Result, SkelError};
+
+/// Information extracted from a user-defined function's source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfInfo {
+    /// Name of the user function (the last function defined in the source).
+    pub name: String,
+    /// Scalar types of the skeleton's main element parameters.
+    pub main_params: Vec<ScalarType>,
+    /// Extra (additional-argument) parameters: name and scalar type.
+    pub extra_params: Vec<(String, ScalarType)>,
+    /// Scalar return type.
+    pub return_type: ScalarType,
+    /// The full UDF source (including any helper functions).
+    pub source: String,
+}
+
+impl UdfInfo {
+    /// Analyse a user-defined function source string.
+    ///
+    /// * The *last* function defined in the source is taken as the UDF;
+    ///   earlier functions are helpers it may call.
+    /// * Its first `main_inputs` parameters are the skeleton's element
+    ///   inputs; the rest are additional arguments, which must be scalars
+    ///   (vector additional arguments require a native UDF, see DESIGN.md).
+    pub fn analyze(source: &str, main_inputs: usize) -> Result<UdfInfo> {
+        let tokens = skelcl_kernel::lexer::lex(source)?;
+        let unit = skelcl_kernel::parser::parse(&tokens, source)?;
+        let func: &Function = unit
+            .functions
+            .last()
+            .ok_or_else(|| SkelError::UdfSignature("the UDF source defines no function".into()))?;
+        if func.is_kernel {
+            return Err(SkelError::UdfSignature(
+                "pass a plain function, not a __kernel; SkelCL generates the kernel".into(),
+            ));
+        }
+        if func.params.len() < main_inputs {
+            return Err(SkelError::UdfSignature(format!(
+                "the user function `{}` takes {} parameter(s) but this skeleton supplies {} element input(s)",
+                func.name,
+                func.params.len(),
+                main_inputs
+            )));
+        }
+        let return_type = match func.return_type {
+            Type::Scalar(s) => s,
+            Type::Void => {
+                return Err(SkelError::UdfSignature(
+                    "the user function must return a value".into(),
+                ))
+            }
+            Type::GlobalPtr(_) => {
+                return Err(SkelError::UdfSignature(
+                    "the user function cannot return a pointer".into(),
+                ))
+            }
+        };
+        let mut main_params = Vec::with_capacity(main_inputs);
+        let mut extra_params = Vec::new();
+        for (i, p) in func.params.iter().enumerate() {
+            match p.ty {
+                Type::Scalar(s) => {
+                    if i < main_inputs {
+                        main_params.push(s);
+                    } else {
+                        extra_params.push((p.name.clone(), s));
+                    }
+                }
+                Type::GlobalPtr(_) => {
+                    return Err(SkelError::UnsupportedArg(format!(
+                        "parameter `{}` of the user function is a pointer; vector additional \
+                         arguments are supported with native (closure) user functions only",
+                        p.name
+                    )));
+                }
+                Type::Void => unreachable!("void parameters are rejected by the parser"),
+            }
+        }
+        Ok(UdfInfo {
+            name: func.name.clone(),
+            main_params,
+            extra_params,
+            return_type,
+            source: source.to_string(),
+        })
+    }
+
+    fn extra_param_decls(&self) -> String {
+        self.extra_params
+            .iter()
+            .map(|(name, ty)| format!(", {ty} skelcl_arg_{name}"))
+            .collect()
+    }
+
+    fn extra_param_uses(&self) -> String {
+        self.extra_params
+            .iter()
+            .map(|(name, _)| format!(", skelcl_arg_{name}"))
+            .collect()
+    }
+}
+
+/// Name of the generated map kernel.
+pub const MAP_KERNEL: &str = "SKELCL_MAP";
+/// Name of the generated index-map kernel (map over an implicit index range).
+pub const MAP_INDEX_KERNEL: &str = "SKELCL_MAP_INDEX";
+/// Name of the generated zip kernel.
+pub const ZIP_KERNEL: &str = "SKELCL_ZIP";
+/// Name of the generated (per-device, sequential) reduce kernel.
+pub const REDUCE_KERNEL: &str = "SKELCL_REDUCE";
+/// Name of the generated chunked reduce kernel (one partial result per
+/// chunk), used by the scheduler-aware reduction of Section V.
+pub const REDUCE_CHUNKED_KERNEL: &str = "SKELCL_REDUCE_CHUNKED";
+/// Name of the generated (per-device, sequential) scan kernel.
+pub const SCAN_KERNEL: &str = "SKELCL_SCAN";
+/// Name of the generated scan offset kernel (the implicit map of Figure 2).
+pub const SCAN_OFFSET_KERNEL: &str = "SKELCL_SCAN_OFFSET";
+
+/// Generate the map kernel: `out[i] = f(in[i], extra...)`.
+pub fn map_kernel(udf: &UdfInfo) -> Result<String> {
+    if udf.main_params.len() != 1 {
+        return Err(SkelError::UdfSignature(format!(
+            "map expects a unary user function; `{}` has {} main parameter(s)",
+            udf.name,
+            udf.main_params.len()
+        )));
+    }
+    Ok(format!(
+        "{udf_src}\n\
+         __kernel void {kernel}(__global {in_ty}* skelcl_in, __global {out_ty}* skelcl_out, int skelcl_n{extra_decls}) {{\n\
+         \x20   int skelcl_gid = get_global_id(0);\n\
+         \x20   if (skelcl_gid < skelcl_n) {{\n\
+         \x20       skelcl_out[skelcl_gid] = {f}(skelcl_in[skelcl_gid]{extra_uses});\n\
+         \x20   }}\n\
+         }}\n",
+        udf_src = udf.source,
+        kernel = MAP_KERNEL,
+        in_ty = udf.main_params[0],
+        out_ty = udf.return_type,
+        extra_decls = udf.extra_param_decls(),
+        extra_uses = udf.extra_param_uses(),
+        f = udf.name,
+    ))
+}
+
+/// Generate the index-map kernel: `out[i] = f(offset + i, extra...)`.
+///
+/// Used by [`crate::skeletons::Map::call_index`]: the skeleton's input is the
+/// implicit index range `[0, n)` rather than a stored vector, so no input
+/// buffer exists and no host→device transfer is needed — each device computes
+/// its elements directly from its global ids plus a per-device offset. This
+/// is how index-based workloads such as the Mandelbrot benchmark avoid paying
+/// for an input upload.
+pub fn map_index_kernel(udf: &UdfInfo) -> Result<String> {
+    if udf.main_params.len() != 1 {
+        return Err(SkelError::UdfSignature(format!(
+            "index map expects a unary user function; `{}` has {} main parameter(s)",
+            udf.name,
+            udf.main_params.len()
+        )));
+    }
+    if !matches!(udf.main_params[0], ScalarType::Int | ScalarType::Uint) {
+        return Err(SkelError::UdfSignature(format!(
+            "index map requires the user function to take an int (or uint) index; `{}` takes {}",
+            udf.name, udf.main_params[0]
+        )));
+    }
+    Ok(format!(
+        "{udf_src}\n\
+         __kernel void {kernel}(__global {out_ty}* skelcl_out, int skelcl_n, int skelcl_offset{extra_decls}) {{\n\
+         \x20   int skelcl_gid = get_global_id(0);\n\
+         \x20   if (skelcl_gid < skelcl_n) {{\n\
+         \x20       skelcl_out[skelcl_gid] = {f}(skelcl_offset + skelcl_gid{extra_uses});\n\
+         \x20   }}\n\
+         }}\n",
+        udf_src = udf.source,
+        kernel = MAP_INDEX_KERNEL,
+        out_ty = udf.return_type,
+        extra_decls = udf.extra_param_decls(),
+        extra_uses = udf.extra_param_uses(),
+        f = udf.name,
+    ))
+}
+
+/// Generate the zip kernel: `out[i] = f(left[i], right[i], extra...)`.
+pub fn zip_kernel(udf: &UdfInfo) -> Result<String> {
+    if udf.main_params.len() != 2 {
+        return Err(SkelError::UdfSignature(format!(
+            "zip expects a binary user function; `{}` has {} main parameter(s)",
+            udf.name,
+            udf.main_params.len()
+        )));
+    }
+    Ok(format!(
+        "{udf_src}\n\
+         __kernel void {kernel}(__global {l_ty}* skelcl_left, __global {r_ty}* skelcl_right, __global {out_ty}* skelcl_out, int skelcl_n{extra_decls}) {{\n\
+         \x20   int skelcl_gid = get_global_id(0);\n\
+         \x20   if (skelcl_gid < skelcl_n) {{\n\
+         \x20       skelcl_out[skelcl_gid] = {f}(skelcl_left[skelcl_gid], skelcl_right[skelcl_gid]{extra_uses});\n\
+         \x20   }}\n\
+         }}\n",
+        udf_src = udf.source,
+        kernel = ZIP_KERNEL,
+        l_ty = udf.main_params[0],
+        r_ty = udf.main_params[1],
+        out_ty = udf.return_type,
+        extra_decls = udf.extra_param_decls(),
+        extra_uses = udf.extra_param_uses(),
+        f = udf.name,
+    ))
+}
+
+fn check_binary_op(udf: &UdfInfo, skeleton: &str) -> Result<ScalarType> {
+    if udf.main_params.len() != 2 || !udf.extra_params.is_empty() {
+        return Err(SkelError::UdfSignature(format!(
+            "{skeleton} expects a binary operator function (two parameters, no additional arguments); \
+             `{}` has {} parameter(s)",
+            udf.name,
+            udf.main_params.len() + udf.extra_params.len()
+        )));
+    }
+    if udf.main_params[0] != udf.main_params[1] || udf.main_params[0] != udf.return_type {
+        return Err(SkelError::UdfSignature(format!(
+            "{skeleton} requires an operator of type (T, T) -> T; `{}` maps ({}, {}) -> {}",
+            udf.name, udf.main_params[0], udf.main_params[1], udf.return_type
+        )));
+    }
+    Ok(udf.return_type)
+}
+
+/// Generate the per-device reduce kernel: a sequential fold of the local part
+/// (one logical work-item; the roofline cost model already accounts for the
+/// device's internal parallelism).
+pub fn reduce_kernel(udf: &UdfInfo) -> Result<String> {
+    let ty = check_binary_op(udf, "reduce")?;
+    Ok(format!(
+        "{udf_src}\n\
+         __kernel void {kernel}(__global {ty}* skelcl_in, __global {ty}* skelcl_out, int skelcl_n) {{\n\
+         \x20   {ty} skelcl_acc = skelcl_in[0];\n\
+         \x20   for (int skelcl_i = 1; skelcl_i < skelcl_n; skelcl_i++) {{\n\
+         \x20       skelcl_acc = {f}(skelcl_acc, skelcl_in[skelcl_i]);\n\
+         \x20   }}\n\
+         \x20   skelcl_out[0] = skelcl_acc;\n\
+         }}\n",
+        udf_src = udf.source,
+        kernel = REDUCE_KERNEL,
+        ty = ty,
+        f = udf.name,
+    ))
+}
+
+/// Generate the chunked per-device reduce kernel: work-item `g` folds the
+/// elements of chunk `g` (`chunk` consecutive elements) into `out[g]`, so a
+/// launch with `ceil(n / chunk)` work-items leaves an *intermediate result
+/// vector* instead of a single value.
+///
+/// Section V of the paper motivates this shape: "the local reduction on each
+/// GPU should not compute a single value but an intermediate, small result
+/// vector. CPUs will be faster to perform the final reduction of these
+/// vectors than GPUs which provide poor performance when reducing only few
+/// elements."
+pub fn reduce_chunked_kernel(udf: &UdfInfo) -> Result<String> {
+    let ty = check_binary_op(udf, "reduce")?;
+    Ok(format!(
+        "{udf_src}\n\
+         __kernel void {kernel}(__global {ty}* skelcl_in, __global {ty}* skelcl_out, int skelcl_n, int skelcl_chunk) {{\n\
+         \x20   int skelcl_gid = get_global_id(0);\n\
+         \x20   int skelcl_start = skelcl_gid * skelcl_chunk;\n\
+         \x20   if (skelcl_start < skelcl_n) {{\n\
+         \x20       {ty} skelcl_acc = skelcl_in[skelcl_start];\n\
+         \x20       for (int skelcl_i = skelcl_start + 1; skelcl_i < skelcl_n && skelcl_i < skelcl_start + skelcl_chunk; skelcl_i++) {{\n\
+         \x20           skelcl_acc = {f}(skelcl_acc, skelcl_in[skelcl_i]);\n\
+         \x20       }}\n\
+         \x20       skelcl_out[skelcl_gid] = skelcl_acc;\n\
+         \x20   }}\n\
+         }}\n",
+        udf_src = udf.source,
+        kernel = REDUCE_CHUNKED_KERNEL,
+        ty = ty,
+        f = udf.name,
+    ))
+}
+
+/// Generate the per-device scan kernel (inclusive prefix) plus the offset
+/// kernel used to combine each device's part with its predecessors' totals —
+/// the "map skeletons [that] are created automatically" in Figure 2 of the
+/// paper. Both kernels live in one program.
+pub fn scan_kernels(udf: &UdfInfo) -> Result<String> {
+    let ty = check_binary_op(udf, "scan")?;
+    Ok(format!(
+        "{udf_src}\n\
+         __kernel void {scan}(__global {ty}* skelcl_in, __global {ty}* skelcl_out, int skelcl_n) {{\n\
+         \x20   {ty} skelcl_acc = skelcl_in[0];\n\
+         \x20   skelcl_out[0] = skelcl_acc;\n\
+         \x20   for (int skelcl_i = 1; skelcl_i < skelcl_n; skelcl_i++) {{\n\
+         \x20       skelcl_acc = {f}(skelcl_acc, skelcl_in[skelcl_i]);\n\
+         \x20       skelcl_out[skelcl_i] = skelcl_acc;\n\
+         \x20   }}\n\
+         }}\n\
+         __kernel void {offset}(__global {ty}* skelcl_data, int skelcl_n, {ty} skelcl_offset) {{\n\
+         \x20   int skelcl_gid = get_global_id(0);\n\
+         \x20   if (skelcl_gid < skelcl_n) {{\n\
+         \x20       skelcl_data[skelcl_gid] = {f}(skelcl_offset, skelcl_data[skelcl_gid]);\n\
+         \x20   }}\n\
+         }}\n",
+        udf_src = udf.source,
+        scan = SCAN_KERNEL,
+        offset = SCAN_OFFSET_KERNEL,
+        ty = ty,
+        f = udf.name,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAXPY: &str = "float func(float x, float y, float a) { return a * x + y; }";
+    const ADD: &str = "float add(float a, float b) { return a + b; }";
+
+    #[test]
+    fn analyze_extracts_signature() {
+        let info = UdfInfo::analyze(SAXPY, 2).unwrap();
+        assert_eq!(info.name, "func");
+        assert_eq!(info.main_params, vec![ScalarType::Float, ScalarType::Float]);
+        assert_eq!(info.extra_params, vec![("a".to_string(), ScalarType::Float)]);
+        assert_eq!(info.return_type, ScalarType::Float);
+    }
+
+    #[test]
+    fn analyze_takes_last_function_and_keeps_helpers() {
+        let src = "float sq(float x) { return x * x; }\nfloat norm(float x, float y) { return sqrt(sq(x) + sq(y)); }";
+        let info = UdfInfo::analyze(src, 2).unwrap();
+        assert_eq!(info.name, "norm");
+        assert!(info.source.contains("float sq"));
+    }
+
+    #[test]
+    fn analyze_rejects_bad_udfs() {
+        assert!(UdfInfo::analyze("", 1).is_err());
+        assert!(UdfInfo::analyze("__kernel void k(__global float* v) { v[0] = 0.0f; }", 1).is_err());
+        assert!(UdfInfo::analyze("float f(float a) { return a; }", 2).is_err());
+        // Pointer additional arguments need a native UDF.
+        let err = UdfInfo::analyze(
+            "float f(float x, __global float* img) { return x + img[0]; }",
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SkelError::UnsupportedArg(_)));
+    }
+
+    #[test]
+    fn generated_map_kernel_compiles() {
+        let info = UdfInfo::analyze("float f(float x, float s) { return x * s; }", 1).unwrap();
+        let src = map_kernel(&info).unwrap();
+        let program = skelcl_kernel::Program::build(&src).unwrap();
+        assert!(program.kernel(MAP_KERNEL).is_ok());
+        assert!(src.contains(", float skelcl_arg_s"));
+    }
+
+    #[test]
+    fn generated_index_map_kernel_compiles() {
+        let info =
+            UdfInfo::analyze("int f(int i, int width, int max_iter) { return i % width; }", 1)
+                .unwrap();
+        let src = map_index_kernel(&info).unwrap();
+        let program = skelcl_kernel::Program::build(&src).unwrap();
+        let k = program.kernel(MAP_INDEX_KERNEL).unwrap();
+        // out, n, offset, width, max_iter
+        assert_eq!(k.params.len(), 5);
+        assert!(src.contains("skelcl_offset + skelcl_gid"));
+    }
+
+    #[test]
+    fn index_map_requires_an_integer_index_parameter() {
+        let info = UdfInfo::analyze("float f(float x) { return x; }", 1).unwrap();
+        assert!(matches!(
+            map_index_kernel(&info),
+            Err(SkelError::UdfSignature(_))
+        ));
+        let binary = UdfInfo::analyze(ADD, 2).unwrap();
+        assert!(map_index_kernel(&binary).is_err());
+    }
+
+    #[test]
+    fn generated_zip_kernel_compiles_with_extra_args() {
+        let info = UdfInfo::analyze(SAXPY, 2).unwrap();
+        let src = zip_kernel(&info).unwrap();
+        let program = skelcl_kernel::Program::build(&src).unwrap();
+        let k = program.kernel(ZIP_KERNEL).unwrap();
+        // left, right, out, n, a
+        assert_eq!(k.params.len(), 5);
+    }
+
+    #[test]
+    fn generated_reduce_and_scan_kernels_compile() {
+        let info = UdfInfo::analyze(ADD, 2).unwrap();
+        let reduce = reduce_kernel(&info).unwrap();
+        assert!(skelcl_kernel::Program::build(&reduce).is_ok());
+        let scan = scan_kernels(&info).unwrap();
+        let p = skelcl_kernel::Program::build(&scan).unwrap();
+        assert!(p.kernel(SCAN_KERNEL).is_ok());
+        assert!(p.kernel(SCAN_OFFSET_KERNEL).is_ok());
+    }
+
+    #[test]
+    fn generated_chunked_reduce_kernel_compiles_and_folds_chunks() {
+        let info = UdfInfo::analyze(ADD, 2).unwrap();
+        let src = reduce_chunked_kernel(&info).unwrap();
+        let program = skelcl_kernel::Program::build(&src).unwrap();
+        let k = program.kernel(REDUCE_CHUNKED_KERNEL).unwrap();
+        assert_eq!(k.params.len(), 4);
+
+        // 7 elements, chunks of 3 → partials [1+2+3, 4+5+6, 7].
+        let mut input = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let mut out = vec![0.0f32; 3];
+        let mut args = vec![
+            skelcl_kernel::interp::ArgBinding::buffer_f32(&mut input),
+            skelcl_kernel::interp::ArgBinding::buffer_f32(&mut out),
+            skelcl_kernel::interp::ArgBinding::Scalar(skelcl_kernel::value::Value::Int(7)),
+            skelcl_kernel::interp::ArgBinding::Scalar(skelcl_kernel::value::Value::Int(3)),
+        ];
+        program.run_ndrange(&k, 3, &mut args).unwrap();
+        assert_eq!(out, vec![6.0, 15.0, 7.0]);
+    }
+
+    #[test]
+    fn reduce_rejects_non_operator_udfs() {
+        let err = UdfInfo::analyze(SAXPY, 2).and_then(|i| reduce_kernel(&i)).unwrap_err();
+        assert!(matches!(err, SkelError::UdfSignature(_)));
+        let mixed = UdfInfo::analyze("int f(int a, float b) { return a; }", 2).unwrap();
+        assert!(reduce_kernel(&mixed).is_err());
+    }
+
+    #[test]
+    fn map_rejects_binary_udf() {
+        let info = UdfInfo::analyze(ADD, 2).unwrap();
+        assert!(map_kernel(&info).is_err());
+        let unary = UdfInfo::analyze("float g(float x) { return -x; }", 1).unwrap();
+        assert!(zip_kernel(&unary).is_err());
+    }
+}

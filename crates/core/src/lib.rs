@@ -1,0 +1,93 @@
+//! # SkelCL-rs — high-level multi-GPU skeleton programming
+//!
+//! A Rust reproduction of **SkelCL** as described in *"Towards High-Level
+//! Programming of Multi-GPU Systems Using the SkelCL Library"* (Steuwer,
+//! Kegel, Gorlatch — IPDPSW 2012). The library provides
+//!
+//! * four **algorithmic skeletons** — [`Map`], [`Zip`], [`Reduce`] and
+//!   [`Scan`] — customised with user-defined functions passed either as
+//!   plain source strings (compiled at runtime, as in the paper) or as native
+//!   Rust closures,
+//! * an abstract [`Vector`] data type with implicit, lazy host ↔ device
+//!   transfers,
+//! * [`Distribution`]s (`single`, `block`, `copy`) describing how a vector is
+//!   partitioned across multiple GPUs, with implicit redistribution,
+//! * the **additional arguments** mechanism that forwards extra scalars and
+//!   vectors of a skeleton call to the user-defined function,
+//! * a static **scheduler** with performance prediction for heterogeneous
+//!   devices (Section V of the paper).
+//!
+//! The GPUs themselves are simulated by the [`oclsim`] crate: kernels execute
+//! for real on the host (results are exact), while timing is accounted in
+//! virtual time against profiles of the paper's evaluation hardware (NVIDIA
+//! Tesla S1070, Intel Xeon E5520).
+//!
+//! ## Quickstart: SAXPY (Listing 1 of the paper)
+//!
+//! ```
+//! use skelcl::prelude::*;
+//!
+//! // Initialise SkelCL on two (simulated) GPUs.
+//! let rt = skelcl::init_gpus(2);
+//!
+//! // Y <- a*X + Y as a zip skeleton; `a` is an additional argument.
+//! let saxpy = Zip::<f32, f32, f32>::from_source(
+//!     "float func(float x, float y, float a) { return a * x + y; }",
+//! );
+//!
+//! let x = Vector::from_vec(&rt, (0..1024).map(|i| i as f32).collect());
+//! let y = Vector::from_vec(&rt, vec![1.0f32; 1024]);
+//! let y = saxpy.call(&x, &y, &Args::new().with_f32(2.5)).unwrap();
+//!
+//! assert_eq!(y.to_vec().unwrap()[4], 2.5 * 4.0 + 1.0);
+//! ```
+
+pub mod args;
+pub mod distribution;
+pub mod error;
+pub mod kernelgen;
+pub mod runtime;
+pub mod scheduler;
+pub mod skeletons;
+pub mod vector;
+
+pub use args::{ArgAccess, ArgItem, Args};
+pub use distribution::{Combine, Distribution, Partition};
+pub use error::{Result, SkelError};
+pub use runtime::{init_gpus, init_profiles, DeviceSelection, SkelCl};
+pub use scheduler::{DevicePerf, PerfModel, StaticScheduler};
+pub use skeletons::{DeviceScalar, Map, Reduce, ReducePlan, Scan, ScanTrace, Zip};
+pub use vector::{Residence, Vector};
+
+/// Re-export of the simulated OpenCL runtime for applications that mix
+/// skeleton code with low-level code (the paper stresses that SkelCL still
+/// exposes all features of the underlying OpenCL standard).
+pub use oclsim;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use crate::args::{ArgAccess, Args};
+    pub use crate::distribution::{Combine, Distribution};
+    pub use crate::error::{Result, SkelError};
+    pub use crate::runtime::{DeviceSelection, SkelCl};
+    pub use crate::skeletons::{Map, Reduce, Scan, Zip};
+    pub use crate::vector::Vector;
+    pub use oclsim::CostHint;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn crate_level_quickstart_pipeline() {
+        let rt = crate::init_gpus(2);
+        let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+        let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
+        let v = Vector::from_vec(&rt, (1..=10).map(|i| i as f32).collect());
+        let squared = square.call(&v, &Args::none()).unwrap();
+        let total = sum.reduce_value(&squared).unwrap();
+        assert_eq!(total, 385.0);
+        assert!(rt.skeleton_calls() >= 2);
+    }
+}

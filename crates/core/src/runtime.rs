@@ -1,0 +1,218 @@
+//! The SkelCL runtime: device discovery, queues and global bookkeeping.
+//!
+//! Mirrors the `skelcl::init()` entry point of the C++ library: the user
+//! initialises the runtime once, stating which devices to use, and then
+//! creates [`crate::vector::Vector`]s and skeletons against it.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use oclsim::{ApiModel, CommandQueue, Context, DeviceProfile, SimDuration, SimTime};
+
+use crate::error::Result;
+
+/// Which devices the runtime should use.
+#[derive(Debug, Clone)]
+pub enum DeviceSelection {
+    /// All GPUs of the default platform (the paper's default).
+    AllGpus,
+    /// The first `n` GPUs of the default platform.
+    Gpus(usize),
+    /// An explicit list of device profiles (used for heterogeneous set-ups
+    /// and by the dOpenCL layer, which contributes remote devices).
+    Profiles(Vec<DeviceProfile>),
+}
+
+/// The SkelCL runtime. Holds the underlying (simulated) OpenCL context, one
+/// in-order command queue per device, and counters used by the benchmark
+/// harnesses.
+pub struct SkelCl {
+    context: Context,
+    queues: Vec<CommandQueue>,
+    skeleton_calls: AtomicUsize,
+    vector_ids: AtomicU64,
+}
+
+impl SkelCl {
+    /// Initialise the runtime with the default SkelCL API model.
+    pub fn init(selection: DeviceSelection) -> Arc<SkelCl> {
+        Self::init_with_api(selection, ApiModel::skelcl())
+    }
+
+    /// Initialise the runtime with an explicit API model (used by the
+    /// benchmark harnesses to run the same program under OpenCL- or
+    /// CUDA-equivalent cost constants).
+    pub fn init_with_api(selection: DeviceSelection, api: ApiModel) -> Arc<SkelCl> {
+        let profiles = match selection {
+            DeviceSelection::AllGpus => oclsim::select_gpus(4).unwrap_or_default(),
+            DeviceSelection::Gpus(n) => oclsim::select_gpus(n).unwrap_or_default(),
+            DeviceSelection::Profiles(p) => p,
+        };
+        let profiles = if profiles.is_empty() {
+            vec![DeviceProfile::tesla_c1060()]
+        } else {
+            profiles
+        };
+        let context = Context::new(profiles, api);
+        let queues = (0..context.device_count())
+            .map(|i| context.queue(i).expect("device index within range"))
+            .collect();
+        Arc::new(SkelCl {
+            context,
+            queues,
+            skeleton_calls: AtomicUsize::new(0),
+            vector_ids: AtomicU64::new(1),
+        })
+    }
+
+    /// The underlying simulated OpenCL context.
+    pub fn context(&self) -> &Context {
+        &self.context
+    }
+
+    /// Number of devices the runtime uses.
+    pub fn device_count(&self) -> usize {
+        self.context.device_count()
+    }
+
+    /// The command queue of device `index`.
+    pub fn queue(&self, index: usize) -> &CommandQueue {
+        &self.queues[index]
+    }
+
+    /// All command queues, indexed by device.
+    pub fn queues(&self) -> &[CommandQueue] {
+        &self.queues
+    }
+
+    /// Current host virtual time — the value reported by the benchmark
+    /// harnesses as "runtime".
+    pub fn now(&self) -> SimTime {
+        self.context.host_now()
+    }
+
+    /// Virtual time elapsed since `earlier`.
+    pub fn elapsed_since(&self, earlier: SimTime) -> SimDuration {
+        self.now() - earlier
+    }
+
+    /// Record one skeleton invocation and charge the SkelCL dispatch
+    /// overhead (the library-layer cost on top of raw OpenCL measured as
+    /// < 5 % in the paper).
+    pub(crate) fn charge_skeleton_call(&self) {
+        self.skeleton_calls.fetch_add(1, Ordering::Relaxed);
+        let overhead = self.context.api().dispatch_overhead;
+        self.context.charge_host(overhead);
+    }
+
+    /// Number of skeleton invocations so far.
+    pub fn skeleton_calls(&self) -> usize {
+        self.skeleton_calls.load(Ordering::Relaxed)
+    }
+
+    /// Allocate a fresh vector id (used to detect runtime mismatches).
+    pub(crate) fn next_vector_id(&self) -> u64 {
+        self.vector_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Synchronise: wait (in virtual time) for all devices to finish.
+    pub fn finish_all(&self) -> SimTime {
+        let mut latest = self.now();
+        for q in &self.queues {
+            latest = latest.max(q.finish());
+        }
+        latest
+    }
+
+    /// Drain the profiling events of every queue (oldest first, grouped by
+    /// device). Used by harnesses that report per-phase breakdowns.
+    pub fn drain_events(&self) -> Vec<Vec<oclsim::Event>> {
+        self.queues
+            .iter()
+            .map(|q| {
+                let evs = q.events();
+                q.clear_events();
+                evs
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for SkelCl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkelCl")
+            .field("devices", &self.device_count())
+            .field("api", &self.context.api().name)
+            .field("skeleton_calls", &self.skeleton_calls())
+            .finish()
+    }
+}
+
+/// Initialise a SkelCL runtime on `n` simulated Tesla GPUs — the most common
+/// configuration in tests and examples.
+pub fn init_gpus(n: usize) -> Arc<SkelCl> {
+    SkelCl::init(DeviceSelection::Profiles(vec![
+        DeviceProfile::tesla_c1060();
+        n
+    ]))
+}
+
+/// Convenience used throughout the test-suite: a small runtime whose device
+/// count is easy to vary.
+pub fn init_profiles(profiles: Vec<DeviceProfile>) -> Arc<SkelCl> {
+    SkelCl::init(DeviceSelection::Profiles(profiles))
+}
+
+/// Result alias re-export for convenience in examples.
+pub type SkelResult<T> = Result<T>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_selects_devices() {
+        let rt = SkelCl::init(DeviceSelection::AllGpus);
+        assert_eq!(rt.device_count(), 4, "the default platform has 4 GPUs");
+        let rt = SkelCl::init(DeviceSelection::Gpus(2));
+        assert_eq!(rt.device_count(), 2);
+        let rt = init_gpus(3);
+        assert_eq!(rt.device_count(), 3);
+        assert_eq!(rt.context().api().name, "SkelCL");
+    }
+
+    #[test]
+    fn init_with_empty_selection_falls_back_to_one_gpu() {
+        let rt = SkelCl::init(DeviceSelection::Profiles(vec![]));
+        assert_eq!(rt.device_count(), 1);
+    }
+
+    #[test]
+    fn skeleton_calls_charge_dispatch_overhead() {
+        let rt = init_gpus(1);
+        let before = rt.now();
+        rt.charge_skeleton_call();
+        rt.charge_skeleton_call();
+        assert_eq!(rt.skeleton_calls(), 2);
+        assert!(rt.now() > before);
+    }
+
+    #[test]
+    fn finish_all_advances_host_to_latest_queue() {
+        let rt = init_gpus(2);
+        let buf = rt.context().create_buffer::<f32>(1, 1 << 16).unwrap();
+        rt.queue(1)
+            .enqueue_write_buffer(&buf, &vec![0.0f32; 1 << 16])
+            .unwrap();
+        let t = rt.finish_all();
+        assert!(t >= rt.queue(1).available_at());
+    }
+
+    #[test]
+    fn vector_ids_are_unique() {
+        let rt = init_gpus(1);
+        let a = rt.next_vector_id();
+        let b = rt.next_vector_id();
+        assert_ne!(a, b);
+    }
+}

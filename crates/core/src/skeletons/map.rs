@@ -1,0 +1,498 @@
+//! The map skeleton: `map(f)([x1..xn]) = [f(x1)..f(xn)]`.
+//!
+//! Multi-GPU execution (paper, Section III-C): "each GPU executes the map's
+//! unary function on its part of the input vector"; the output vector adopts
+//! the distribution of the input vector.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use oclsim::{CostHint, KernelArg, NativeKernelDef, Pod, Program, Value};
+
+use crate::args::{ArgAccess, Args};
+use crate::error::{Result, SkelError};
+use crate::kernelgen::{self, UdfInfo};
+use crate::skeletons::{alloc_output, PreparedArgs};
+use crate::vector::Vector;
+
+enum MapUdf<I, O> {
+    Source(String),
+    Native(Arc<dyn Fn(&I, &mut ArgAccess<'_, '_>) -> O + Send + Sync>),
+}
+
+struct BuiltSource {
+    kernel: oclsim::Kernel,
+    extra_scalars: usize,
+}
+
+/// The map skeleton.
+///
+/// ```
+/// use skelcl::prelude::*;
+///
+/// let rt = skelcl::init_gpus(2);
+/// let negate = Map::<f32, f32>::from_source("float func(float x) { return -x; }");
+/// let v = Vector::from_vec(&rt, vec![1.0f32, -2.0, 3.0]);
+/// let out = negate.call(&v, &Args::none()).unwrap();
+/// assert_eq!(out.to_vec().unwrap(), vec![-1.0, 2.0, -3.0]);
+/// ```
+pub struct Map<I: Pod, O: Pod> {
+    udf: MapUdf<I, O>,
+    cost: CostHint,
+    built: Mutex<Option<Arc<BuiltSource>>>,
+    built_index: Mutex<Option<Arc<BuiltSource>>>,
+}
+
+impl<I: Pod, O: Pod> Map<I, O> {
+    /// Customise the skeleton with a user-defined function given as source
+    /// code in the kernel language. The last function in the string is the
+    /// UDF; its first parameter receives the input element, any further
+    /// (scalar) parameters receive the additional arguments of the call.
+    pub fn from_source(source: &str) -> Map<I, O> {
+        Map {
+            udf: MapUdf::Source(source.to_string()),
+            cost: CostHint::DEFAULT,
+            built: Mutex::new(None),
+            built_index: Mutex::new(None),
+        }
+    }
+
+    /// Customise the skeleton with a native Rust closure. Use this for user
+    /// functions that are too complex for the kernel-language subset or that
+    /// need vector additional arguments (e.g. the OSEM path tracer).
+    pub fn new<F>(f: F) -> Map<I, O>
+    where
+        F: Fn(&I, &mut ArgAccess<'_, '_>) -> O + Send + Sync + 'static,
+    {
+        Map {
+            udf: MapUdf::Native(Arc::new(f)),
+            cost: CostHint::DEFAULT,
+            built: Mutex::new(None),
+            built_index: Mutex::new(None),
+        }
+    }
+
+    /// Override the per-element cost hint used by the virtual-time model
+    /// (native UDFs only; source UDFs are estimated statically).
+    pub fn with_cost(mut self, cost: CostHint) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    fn ensure_built(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<Arc<BuiltSource>> {
+        let mut built = self.built.lock();
+        if let Some(b) = built.as_ref() {
+            return Ok(b.clone());
+        }
+        let MapUdf::Source(src) = &self.udf else {
+            unreachable!("ensure_built is only called for source UDFs")
+        };
+        let info = UdfInfo::analyze(src, 1)?;
+        let kernel_src = kernelgen::map_kernel(&info)?;
+        let program = runtime.context().build_program(&kernel_src)?;
+        let kernel = program.kernel(kernelgen::MAP_KERNEL)?;
+        let b = Arc::new(BuiltSource {
+            kernel,
+            extra_scalars: info.extra_params.len(),
+        });
+        *built = Some(b.clone());
+        Ok(b)
+    }
+
+    fn ensure_built_index(
+        &self,
+        runtime: &Arc<crate::runtime::SkelCl>,
+    ) -> Result<Arc<BuiltSource>> {
+        let mut built = self.built_index.lock();
+        if let Some(b) = built.as_ref() {
+            return Ok(b.clone());
+        }
+        let MapUdf::Source(src) = &self.udf else {
+            unreachable!("ensure_built_index is only called for source UDFs")
+        };
+        let info = UdfInfo::analyze(src, 1)?;
+        let kernel_src = kernelgen::map_index_kernel(&info)?;
+        let program = runtime.context().build_program(&kernel_src)?;
+        let kernel = program.kernel(kernelgen::MAP_INDEX_KERNEL)?;
+        let b = Arc::new(BuiltSource {
+            kernel,
+            extra_scalars: info.extra_params.len(),
+        });
+        *built = Some(b.clone());
+        Ok(b)
+    }
+
+    fn native_kernel(&self) -> Option<oclsim::Kernel> {
+        let MapUdf::Native(f) = &self.udf else {
+            return None;
+        };
+        let f = f.clone();
+        let def = NativeKernelDef::new("skelcl_map_native", self.cost, move |ctx| {
+            let n = ctx.global_size();
+            let mut views = ctx.arg_views();
+            let (in_view, rest) = views
+                .split_first_mut()
+                .ok_or_else(|| "map kernel is missing its input argument".to_string())?;
+            let (out_view, rest) = rest
+                .split_first_mut()
+                .ok_or_else(|| "map kernel is missing its output argument".to_string())?;
+            let (_n_view, extra) = rest
+                .split_first_mut()
+                .ok_or_else(|| "map kernel is missing its length argument".to_string())?;
+            let input = in_view
+                .as_slice::<I>()
+                .ok_or_else(|| "map input must be a buffer".to_string())?;
+            let output = out_view
+                .as_slice_mut::<O>()
+                .ok_or_else(|| "map output must be a buffer".to_string())?;
+            let mut access = ArgAccess::new(extra);
+            for i in 0..n {
+                output[i] = f(&input[i], &mut access);
+            }
+            Ok(())
+        });
+        let program = Program::from_native([def]);
+        program.kernel("skelcl_map_native").ok()
+    }
+
+    /// Execute the skeleton: apply the user function to every element of
+    /// `input`, with `args` as additional arguments. Every device that holds
+    /// a part (or copy) of the input participates; the output adopts the
+    /// input's distribution.
+    pub fn call(&self, input: &Vector<I>, args: &Args) -> Result<Vector<O>> {
+        let runtime = input.runtime();
+        runtime.charge_skeleton_call();
+        if input.is_empty() {
+            return Err(SkelError::EmptyInput);
+        }
+        let (partition, in_buffers) = input.prepare_on_devices()?;
+        let prepared = PreparedArgs::prepare(&runtime, args)?;
+        let out_buffers = alloc_output::<O>(&runtime, &partition)?;
+
+        let kernel = match &self.udf {
+            MapUdf::Source(_) => {
+                if prepared.has_vectors() {
+                    return Err(SkelError::UnsupportedArg(
+                        "vector additional arguments require a native (closure) user function"
+                            .into(),
+                    ));
+                }
+                let built = self.ensure_built(&runtime)?;
+                if prepared.len() != built.extra_scalars {
+                    return Err(SkelError::UdfSignature(format!(
+                        "the user function expects {} additional argument(s), the call provides {}",
+                        built.extra_scalars,
+                        prepared.len()
+                    )));
+                }
+                built.kernel.clone()
+            }
+            MapUdf::Native(_) => self
+                .native_kernel()
+                .expect("native kernel construction cannot fail"),
+        };
+
+        for device in partition.active_devices() {
+            let n = partition.size(device);
+            let input_buffer = in_buffers[device].clone().ok_or_else(|| {
+                SkelError::Distribution(format!("input vector has no buffer on device {device}"))
+            })?;
+            let output_buffer = out_buffers[device].clone().expect("allocated above");
+            let mut kargs = vec![
+                KernelArg::Buffer(input_buffer),
+                KernelArg::Buffer(output_buffer),
+                KernelArg::Scalar(Value::Int(n as i32)),
+            ];
+            kargs.extend(prepared.kernel_args_for(device)?);
+            runtime.queue(device).enqueue_kernel(&kernel, n, &kargs)?;
+        }
+
+        Ok(Vector::device_resident(
+            &runtime,
+            input.len(),
+            input.distribution(),
+            out_buffers,
+        ))
+    }
+}
+
+impl<O: Pod> Map<i32, O> {
+    /// Execute the skeleton over the *implicit index range* `[0, len)`
+    /// instead of a stored input vector: `out[i] = f(i, extra...)`.
+    ///
+    /// No input buffer exists, so nothing is uploaded — each device computes
+    /// its block of indices from its global ids plus a per-device offset.
+    /// This mirrors SkelCL's index-vector facility and is the natural way to
+    /// express generator-style workloads such as the Mandelbrot benchmark,
+    /// where the "input" is just the pixel index. The output vector is
+    /// block-distributed across all devices of the runtime.
+    pub fn call_index(
+        &self,
+        runtime: &Arc<crate::runtime::SkelCl>,
+        len: usize,
+        args: &Args,
+    ) -> Result<Vector<O>> {
+        runtime.charge_skeleton_call();
+        if len == 0 {
+            return Err(SkelError::EmptyInput);
+        }
+        let distribution = crate::distribution::Distribution::Block;
+        let partition = crate::distribution::Partition::compute(
+            len,
+            runtime.device_count(),
+            &distribution,
+        );
+        let prepared = PreparedArgs::prepare(runtime, args)?;
+        let out_buffers = alloc_output::<O>(runtime, &partition)?;
+
+        let kernel = match &self.udf {
+            MapUdf::Source(_) => {
+                if prepared.has_vectors() {
+                    return Err(SkelError::UnsupportedArg(
+                        "vector additional arguments require a native (closure) user function"
+                            .into(),
+                    ));
+                }
+                let built = self.ensure_built_index(runtime)?;
+                if prepared.len() != built.extra_scalars {
+                    return Err(SkelError::UdfSignature(format!(
+                        "the user function expects {} additional argument(s), the call provides {}",
+                        built.extra_scalars,
+                        prepared.len()
+                    )));
+                }
+                built.kernel.clone()
+            }
+            MapUdf::Native(f) => {
+                let f = f.clone();
+                let def = NativeKernelDef::new("skelcl_map_index_native", self.cost, move |ctx| {
+                    let n = ctx.global_size();
+                    // Arguments: [out, n, offset, extra...] — the per-device
+                    // offset is the third argument.
+                    let offset = ctx.scalar_usize(2)?;
+                    let mut views = ctx.arg_views();
+                    let (out_view, rest) = views
+                        .split_first_mut()
+                        .ok_or_else(|| "index map kernel is missing its output".to_string())?;
+                    let (_n_view, rest) = rest
+                        .split_first_mut()
+                        .ok_or_else(|| "index map kernel is missing its length".to_string())?;
+                    let (_offset_view, extra) = rest
+                        .split_first_mut()
+                        .ok_or_else(|| "index map kernel is missing its offset".to_string())?;
+                    let output = out_view
+                        .as_slice_mut::<O>()
+                        .ok_or_else(|| "index map output must be a buffer".to_string())?;
+                    let mut access = ArgAccess::new(extra);
+                    for i in 0..n {
+                        output[i] = f(&((offset + i) as i32), &mut access);
+                    }
+                    Ok(())
+                });
+                let program = Program::from_native([def]);
+                program
+                    .kernel("skelcl_map_index_native")
+                    .expect("native kernel construction cannot fail")
+            }
+        };
+
+        for device in partition.active_devices() {
+            let range = partition.range(device);
+            let n = range.len();
+            let output_buffer = out_buffers[device].clone().expect("allocated above");
+            let mut kargs = vec![
+                KernelArg::Buffer(output_buffer),
+                KernelArg::Scalar(Value::Int(n as i32)),
+                KernelArg::Scalar(Value::Int(range.start as i32)),
+            ];
+            kargs.extend(prepared.kernel_args_for(device)?);
+            runtime.queue(device).enqueue_kernel(&kernel, n, &kargs)?;
+        }
+
+        Ok(Vector::device_resident(runtime, len, distribution, out_buffers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::Distribution;
+    use crate::runtime::init_gpus;
+
+    #[test]
+    fn source_map_on_multiple_devices() {
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+            let data: Vec<f32> = (1..=10).map(|i| i as f32).collect();
+            let v = Vector::from_vec(&rt, data.clone());
+            let out = square.call(&v, &Args::none()).unwrap();
+            let expected: Vec<f32> = data.iter().map(|x| x * x).collect();
+            assert_eq!(out.to_vec().unwrap(), expected, "devices = {devices}");
+            assert_eq!(out.distribution(), Distribution::Block);
+        }
+    }
+
+    #[test]
+    fn source_map_with_scalar_additional_argument() {
+        let rt = init_gpus(2);
+        let scale = Map::<f32, f32>::from_source("float func(float x, float s) { return x * s; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let out = scale.call(&v, &Args::new().with_f32(2.5)).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![2.5, 5.0, 7.5, 10.0]);
+    }
+
+    #[test]
+    fn source_map_checks_additional_argument_count() {
+        let rt = init_gpus(1);
+        let scale = Map::<f32, f32>::from_source("float func(float x, float s) { return x * s; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32]);
+        assert!(matches!(
+            scale.call(&v, &Args::none()),
+            Err(SkelError::UdfSignature(_))
+        ));
+    }
+
+    #[test]
+    fn native_map_with_vector_additional_argument() {
+        let rt = init_gpus(2);
+        // out[i] = x[i] * table[i % table.len()] — the table is a
+        // copy-distributed additional vector argument.
+        let table = Vector::from_vec(&rt, vec![10.0f32, 100.0]);
+        table.set_distribution(Distribution::Copy).unwrap();
+        let map = Map::<f32, f32>::new(|x, args| {
+            let t = args.slice_f32(0);
+            x * t[(*x as usize) % t.len()]
+        });
+        let v = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let out = map.call(&v, &Args::new().with_vec_f32(&table)).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![100.0, 20.0, 300.0, 40.0]);
+    }
+
+    #[test]
+    fn map_output_type_can_differ_from_input() {
+        let rt = init_gpus(2);
+        let round = Map::<f32, i32>::from_source("int func(float x) { return (int) (x + 0.5f); }");
+        let v = Vector::from_vec(&rt, vec![0.2f32, 1.7, 2.4]);
+        let out = round.call(&v, &Args::none()).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn map_on_single_distribution_runs_on_one_device_only() {
+        let rt = init_gpus(3);
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32; 6]);
+        v.set_distribution(Distribution::Single(1)).unwrap();
+        let out = inc.call(&v, &Args::none()).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![2.0f32; 6]);
+        assert_eq!(out.distribution(), Distribution::Single(1));
+        // Only device 1 must have executed a kernel.
+        let events = rt.drain_events();
+        assert_eq!(events[0].iter().filter(|e| e.is_kernel()).count(), 0);
+        assert_eq!(events[1].iter().filter(|e| e.is_kernel()).count(), 1);
+        assert_eq!(events[2].iter().filter(|e| e.is_kernel()).count(), 0);
+    }
+
+    #[test]
+    fn map_on_copy_distribution_executes_on_every_device() {
+        let rt = init_gpus(2);
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
+        v.set_distribution(Distribution::Copy).unwrap();
+        let out = inc.call(&v, &Args::none()).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![2.0f32; 4]);
+        assert_eq!(out.distribution(), Distribution::Copy);
+        let events = rt.drain_events();
+        assert_eq!(events[0].iter().filter(|e| e.is_kernel()).count(), 1);
+        assert_eq!(events[1].iter().filter(|e| e.is_kernel()).count(), 1);
+    }
+
+    #[test]
+    fn index_map_from_source_needs_no_input_vector_or_transfer() {
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let square = Map::<i32, i32>::from_source("int func(int i) { return i * i; }");
+            let out = square.call_index(&rt, 10, &Args::none()).unwrap();
+            let expected: Vec<i32> = (0..10).map(|i| i * i).collect();
+            // No host→device transfer may have happened: the indices are
+            // generated on the devices.
+            let uploads: usize = rt
+                .drain_events()
+                .iter()
+                .flatten()
+                .filter(|e| e.is_transfer() && !e.is_read())
+                .count();
+            assert_eq!(uploads, 0, "devices = {devices}");
+            assert_eq!(out.to_vec().unwrap(), expected, "devices = {devices}");
+            assert_eq!(out.distribution(), Distribution::Block);
+        }
+    }
+
+    #[test]
+    fn index_map_with_additional_arguments_and_native_udf() {
+        let rt = init_gpus(3);
+        // Source UDF with an extra scalar: out[i] = i * scale.
+        let scaled = Map::<i32, f32>::from_source(
+            "float func(int i, float scale) { return i * scale; }",
+        );
+        let out = scaled
+            .call_index(&rt, 7, &Args::new().with_f32(0.5))
+            .unwrap();
+        assert_eq!(
+            out.to_vec().unwrap(),
+            (0..7).map(|i| i as f32 * 0.5).collect::<Vec<_>>()
+        );
+        // Native UDF over the same range.
+        let native = Map::<i32, i32>::new(|i, _| i + 100);
+        let out = native.call_index(&rt, 5, &Args::none()).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn index_map_rejects_empty_ranges_and_float_indices() {
+        let rt = init_gpus(1);
+        let m = Map::<i32, i32>::from_source("int func(int i) { return i; }");
+        assert!(matches!(
+            m.call_index(&rt, 0, &Args::none()),
+            Err(SkelError::EmptyInput)
+        ));
+        let bad = Map::<i32, f32>::from_source("float func(float x) { return x; }");
+        assert!(matches!(
+            bad.call_index(&rt, 4, &Args::none()),
+            Err(SkelError::UdfSignature(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let rt = init_gpus(1);
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        let v = Vector::from_vec(&rt, Vec::<f32>::new());
+        assert!(matches!(
+            inc.call(&v, &Args::none()),
+            Err(SkelError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn consecutive_maps_chain_on_devices_without_host_transfers() {
+        let rt = init_gpus(2);
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        let v = Vector::from_vec(&rt, vec![0.0f32; 8]);
+        let a = inc.call(&v, &Args::none()).unwrap();
+        rt.drain_events();
+        let b = inc.call(&a, &Args::none()).unwrap();
+        // The second call must not transfer anything: its input already
+        // resides on the devices (lazy transfers, paper Section II-B).
+        let events = rt.drain_events();
+        let transfers: usize = events
+            .iter()
+            .flatten()
+            .filter(|e| e.is_transfer())
+            .count();
+        assert_eq!(transfers, 0, "chained skeletons must not move data");
+        assert_eq!(b.to_vec().unwrap(), vec![2.0f32; 8]);
+    }
+}

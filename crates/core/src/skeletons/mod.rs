@@ -1,0 +1,255 @@
+//! The algorithmic skeletons of SkelCL: [`Map`], [`Zip`], [`Reduce`] and
+//! [`Scan`] (paper, Section II-A), including their multi-GPU execution
+//! strategies (Section III-C).
+//!
+//! Each skeleton is customised with a user-defined function, given either as
+//! a source string in the kernel language (merged into a generated kernel and
+//! compiled at runtime, exactly as in the paper) or as a native Rust closure
+//! (used for application kernels too large for the kernel-language subset,
+//! such as the OSEM path tracer).
+
+mod map;
+mod reduce;
+mod scan;
+mod zip;
+
+pub use map::Map;
+pub use reduce::{Reduce, ReducePlan};
+pub use scan::{Scan, ScanTrace};
+pub use zip::Zip;
+
+use std::sync::Arc;
+
+use oclsim::{Buffer, CostHint, KernelArg, Pod, Value};
+
+use crate::args::{ArgItem, Args};
+use crate::distribution::Partition;
+use crate::error::{Result, SkelError};
+use crate::runtime::SkelCl;
+
+/// Scalar element types that can cross the host/device boundary as kernel
+/// scalar arguments (needed by the reduce and scan skeletons, which move
+/// per-device partial results through the host).
+pub trait DeviceScalar: Pod {
+    /// Convert to a kernel scalar value.
+    fn to_value(self) -> Value;
+    /// Convert from a kernel scalar value.
+    fn from_value(v: Value) -> Self;
+    /// The kernel-language name of the type (used in generated source).
+    fn type_name() -> &'static str;
+}
+
+impl DeviceScalar for f32 {
+    fn to_value(self) -> Value {
+        Value::Float(self)
+    }
+    fn from_value(v: Value) -> Self {
+        v.as_f64() as f32
+    }
+    fn type_name() -> &'static str {
+        "float"
+    }
+}
+
+impl DeviceScalar for f64 {
+    fn to_value(self) -> Value {
+        Value::Double(self)
+    }
+    fn from_value(v: Value) -> Self {
+        v.as_f64()
+    }
+    fn type_name() -> &'static str {
+        "double"
+    }
+}
+
+impl DeviceScalar for i32 {
+    fn to_value(self) -> Value {
+        Value::Int(self)
+    }
+    fn from_value(v: Value) -> Self {
+        v.as_i64() as i32
+    }
+    fn type_name() -> &'static str {
+        "int"
+    }
+}
+
+impl DeviceScalar for u32 {
+    fn to_value(self) -> Value {
+        Value::Uint(self)
+    }
+    fn from_value(v: Value) -> Self {
+        v.as_i64() as u32
+    }
+    fn type_name() -> &'static str {
+        "uint"
+    }
+}
+
+/// Additional arguments resolved for one skeleton call: scalars converted to
+/// kernel values, vector arguments uploaded (lazily) according to their own
+/// distributions with their per-device buffers captured.
+pub(crate) struct PreparedArgs {
+    items: Vec<PreparedItem>,
+}
+
+enum PreparedItem {
+    Scalar(Value),
+    Vector { buffers: Vec<Option<Buffer>> },
+}
+
+impl PreparedArgs {
+    /// Prepare the additional arguments of a call.
+    pub(crate) fn prepare(runtime: &Arc<SkelCl>, args: &Args) -> Result<PreparedArgs> {
+        let mut items = Vec::with_capacity(args.len());
+        for item in args.items() {
+            match item {
+                ArgItem::Float(_) | ArgItem::Double(_) | ArgItem::Int(_) | ArgItem::Uint(_) => {
+                    items.push(PreparedItem::Scalar(
+                        item.scalar_value().expect("scalar item has a value"),
+                    ));
+                }
+                ArgItem::VecF32(v) => {
+                    v.check_runtime(runtime)?;
+                    let (_, buffers) = v.prepare_on_devices()?;
+                    items.push(PreparedItem::Vector { buffers });
+                }
+                ArgItem::VecI32(v) => {
+                    v.check_runtime(runtime)?;
+                    let (_, buffers) = v.prepare_on_devices()?;
+                    items.push(PreparedItem::Vector { buffers });
+                }
+                ArgItem::VecU32(v) => {
+                    v.check_runtime(runtime)?;
+                    let (_, buffers) = v.prepare_on_devices()?;
+                    items.push(PreparedItem::Vector { buffers });
+                }
+            }
+        }
+        Ok(PreparedArgs { items })
+    }
+
+    /// Number of additional arguments.
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether any additional argument is a vector.
+    pub(crate) fn has_vectors(&self) -> bool {
+        self.items
+            .iter()
+            .any(|i| matches!(i, PreparedItem::Vector { .. }))
+    }
+
+    /// The kernel arguments contributed by the additional arguments for a
+    /// launch on `device`.
+    pub(crate) fn kernel_args_for(&self, device: usize) -> Result<Vec<KernelArg>> {
+        let mut out = Vec::with_capacity(self.items.len());
+        for (i, item) in self.items.iter().enumerate() {
+            match item {
+                PreparedItem::Scalar(v) => out.push(KernelArg::Scalar(*v)),
+                PreparedItem::Vector { buffers } => {
+                    let buffer = buffers.get(device).cloned().flatten().ok_or_else(|| {
+                        SkelError::UnsupportedArg(format!(
+                            "additional vector argument {i} has no data on device {device}; \
+                             set its distribution to copy (or block) before the skeleton call"
+                        ))
+                    })?;
+                    out.push(KernelArg::Buffer(buffer));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Allocate one output buffer per active device of a partition.
+pub(crate) fn alloc_output<T: Pod>(
+    runtime: &Arc<SkelCl>,
+    partition: &Partition,
+) -> Result<Vec<Option<Buffer>>> {
+    let mut buffers = vec![None; partition.device_count()];
+    for device in partition.active_devices() {
+        let len = partition.size(device);
+        buffers[device] = Some(runtime.context().create_buffer::<T>(device, len)?);
+    }
+    Ok(buffers)
+}
+
+/// The per-element cost estimate of a source user-defined function, used to
+/// override launch cost hints for the sequential reduce/scan kernels.
+pub(crate) fn udf_cost_estimate(source: &str) -> Result<CostHint> {
+    let tokens = skelcl_kernel::lexer::lex(source)?;
+    let unit = skelcl_kernel::parser::parse(&tokens, source)?;
+    let func = unit
+        .functions
+        .last()
+        .ok_or_else(|| SkelError::UdfSignature("empty user function source".into()))?;
+    let est = skelcl_kernel::cost::estimate_function(&unit, func);
+    Ok(CostHint::new(est.flops.max(1.0), est.global_bytes.max(8.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::init_gpus;
+    use crate::vector::Vector;
+
+    #[test]
+    fn device_scalar_round_trips() {
+        assert_eq!(f32::from_value(2.5f32.to_value()), 2.5);
+        assert_eq!(i32::from_value((-7i32).to_value()), -7);
+        assert_eq!(u32::from_value(9u32.to_value()), 9);
+        assert_eq!(f64::from_value(1.25f64.to_value()), 1.25);
+        assert_eq!(f32::type_name(), "float");
+        assert_eq!(u32::type_name(), "uint");
+    }
+
+    #[test]
+    fn prepared_args_scalars_and_vectors() {
+        let rt = init_gpus(2);
+        let img = Vector::from_vec(&rt, vec![1.0f32; 8]);
+        img.set_distribution(crate::distribution::Distribution::Copy)
+            .unwrap();
+        let args = Args::new().with_f32(3.0).with_vec_f32(&img).with_i32(5);
+        let prepared = PreparedArgs::prepare(&rt, &args).unwrap();
+        assert_eq!(prepared.len(), 3);
+        assert!(prepared.has_vectors());
+        let kargs = prepared.kernel_args_for(1).unwrap();
+        assert_eq!(kargs.len(), 3);
+        assert!(matches!(kargs[0], KernelArg::Scalar(Value::Float(v)) if v == 3.0));
+        assert!(matches!(kargs[1], KernelArg::Buffer(_)));
+        assert!(matches!(kargs[2], KernelArg::Scalar(Value::Int(5))));
+    }
+
+    #[test]
+    fn prepared_args_reject_missing_device_copy() {
+        let rt = init_gpus(2);
+        let img = Vector::from_vec(&rt, vec![1.0f32; 8]);
+        img.set_distribution(crate::distribution::Distribution::Single(0))
+            .unwrap();
+        let args = Args::new().with_vec_f32(&img);
+        let prepared = PreparedArgs::prepare(&rt, &args).unwrap();
+        assert!(prepared.kernel_args_for(0).is_ok());
+        assert!(prepared.kernel_args_for(1).is_err());
+    }
+
+    #[test]
+    fn udf_cost_estimation() {
+        let c = udf_cost_estimate("float f(float a, float b) { return a + b; }").unwrap();
+        assert!(c.flops_per_item >= 1.0);
+        assert!(udf_cost_estimate("").is_err());
+    }
+
+    #[test]
+    fn alloc_output_allocates_only_active_devices() {
+        let rt = init_gpus(3);
+        let p = Partition::compute(9, 3, &crate::distribution::Distribution::Single(1));
+        let buffers = alloc_output::<f32>(&rt, &p).unwrap();
+        assert!(buffers[0].is_none());
+        assert!(buffers[1].is_some());
+        assert!(buffers[2].is_none());
+        assert_eq!(buffers[1].as_ref().unwrap().len(), 9);
+    }
+}

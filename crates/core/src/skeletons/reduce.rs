@@ -1,0 +1,664 @@
+//! The reduce skeleton: `reduce(⊕)([x1..xn]) = x1 ⊕ x2 ⊕ ... ⊕ xn`.
+//!
+//! The operator must be associative but may be non-commutative.
+//!
+//! Multi-GPU execution (paper, Section III-C) proceeds in three steps:
+//! 1. every GPU executes a local reduction of its part of the data,
+//! 2. the per-GPU results are gathered by the CPU,
+//! 3. the CPU reduces the intermediate results into the final value.
+//!
+//! The output is a single-element vector with single distribution.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use oclsim::{CostHint, KernelArg, NativeKernelDef, Program, Value};
+
+use crate::distribution::Distribution;
+use crate::error::{Result, SkelError};
+use crate::kernelgen::{self, UdfInfo};
+use crate::skeletons::{udf_cost_estimate, DeviceScalar};
+use crate::vector::Vector;
+
+enum ReduceUdf<T> {
+    Source(String),
+    Native(Arc<dyn Fn(T, T) -> T + Send + Sync>),
+}
+
+struct BuiltSource {
+    kernel: oclsim::Kernel,
+    /// A host-side copy of the generated program, used for step 3 (the final
+    /// reduction of the per-device partial results on the CPU).
+    host_program: skelcl_kernel::Program,
+    per_element_cost: CostHint,
+}
+
+/// How a scheduler-aware reduction (Section V) was executed: how many
+/// intermediate results the devices produced and where the final reduction
+/// ran. Returned by [`Reduce::reduce_with_scheduler`] so applications and
+/// tests can inspect the decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReducePlan {
+    /// Number of intermediate partial results gathered from the devices.
+    pub intermediate_results: usize,
+    /// Device index chosen for the final reduction (meaningful only when
+    /// `final_on_cpu` is false).
+    pub final_device: usize,
+    /// Whether the final reduction ran on the host CPU rather than a device.
+    pub final_on_cpu: bool,
+}
+
+/// The reduce skeleton.
+///
+/// ```
+/// use skelcl::prelude::*;
+///
+/// let rt = skelcl::init_gpus(4);
+/// let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
+/// let v = Vector::from_vec(&rt, (1..=16).map(|i| i as f32).collect());
+/// assert_eq!(sum.reduce_value(&v).unwrap(), 136.0);
+/// ```
+pub struct Reduce<T: DeviceScalar> {
+    udf: ReduceUdf<T>,
+    cost: CostHint,
+    built: Mutex<Option<Arc<BuiltSource>>>,
+    built_chunked: Mutex<Option<oclsim::Kernel>>,
+}
+
+impl<T: DeviceScalar> Reduce<T> {
+    /// Customise the skeleton with a binary operator given as source code.
+    pub fn from_source(source: &str) -> Reduce<T> {
+        Reduce {
+            udf: ReduceUdf::Source(source.to_string()),
+            cost: CostHint::DEFAULT,
+            built: Mutex::new(None),
+            built_chunked: Mutex::new(None),
+        }
+    }
+
+    /// Customise the skeleton with a native binary operator.
+    pub fn new<F>(f: F) -> Reduce<T>
+    where
+        F: Fn(T, T) -> T + Send + Sync + 'static,
+    {
+        Reduce {
+            udf: ReduceUdf::Native(Arc::new(f)),
+            cost: CostHint::DEFAULT,
+            built: Mutex::new(None),
+            built_chunked: Mutex::new(None),
+        }
+    }
+
+    /// Override the per-element cost hint (native operators).
+    pub fn with_cost(mut self, cost: CostHint) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    fn ensure_built(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<Arc<BuiltSource>> {
+        let mut built = self.built.lock();
+        if let Some(b) = built.as_ref() {
+            return Ok(b.clone());
+        }
+        let ReduceUdf::Source(src) = &self.udf else {
+            unreachable!("ensure_built is only called for source UDFs")
+        };
+        let info = UdfInfo::analyze(src, 2)?;
+        let kernel_src = kernelgen::reduce_kernel(&info)?;
+        let program = runtime.context().build_program(&kernel_src)?;
+        let kernel = program.kernel(kernelgen::REDUCE_KERNEL)?;
+        let host_program = skelcl_kernel::Program::build(&kernel_src)?;
+        let b = Arc::new(BuiltSource {
+            kernel,
+            host_program,
+            per_element_cost: udf_cost_estimate(src)?,
+        });
+        *built = Some(b.clone());
+        Ok(b)
+    }
+
+    fn ensure_built_chunked(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<oclsim::Kernel> {
+        let mut built = self.built_chunked.lock();
+        if let Some(k) = built.as_ref() {
+            return Ok(k.clone());
+        }
+        let ReduceUdf::Source(src) = &self.udf else {
+            unreachable!("ensure_built_chunked is only called for source UDFs")
+        };
+        let info = UdfInfo::analyze(src, 2)?;
+        let kernel_src = kernelgen::reduce_chunked_kernel(&info)?;
+        let program = runtime.context().build_program(&kernel_src)?;
+        let kernel = program.kernel(kernelgen::REDUCE_CHUNKED_KERNEL)?;
+        *built = Some(kernel.clone());
+        Ok(kernel)
+    }
+
+    fn native_chunked_kernel(&self) -> Option<oclsim::Kernel> {
+        let ReduceUdf::Native(f) = &self.udf else {
+            return None;
+        };
+        let f = f.clone();
+        let def = NativeKernelDef::new("skelcl_reduce_chunked_native", self.cost, move |ctx| {
+            let chunks = ctx.global_size();
+            let n = ctx.scalar_usize(2)?;
+            let chunk = ctx.scalar_usize(3)?.max(1);
+            let mut views = ctx.arg_views();
+            let (in_view, rest) = views
+                .split_first_mut()
+                .ok_or_else(|| "chunked reduce kernel is missing its input".to_string())?;
+            let (out_view, _) = rest
+                .split_first_mut()
+                .ok_or_else(|| "chunked reduce kernel is missing its output".to_string())?;
+            let input = in_view
+                .as_slice::<T>()
+                .ok_or_else(|| "reduce input must be a buffer".to_string())?;
+            let output = out_view
+                .as_slice_mut::<T>()
+                .ok_or_else(|| "reduce output must be a buffer".to_string())?;
+            for g in 0..chunks {
+                let start = g * chunk;
+                if start >= n {
+                    continue;
+                }
+                let end = (start + chunk).min(n);
+                let mut acc = input[start];
+                for x in &input[start + 1..end] {
+                    acc = f(acc, *x);
+                }
+                output[g] = acc;
+            }
+            Ok(())
+        });
+        let program = Program::from_native([def]);
+        program.kernel("skelcl_reduce_chunked_native").ok()
+    }
+
+    fn native_kernel(&self) -> Option<oclsim::Kernel> {
+        let ReduceUdf::Native(f) = &self.udf else {
+            return None;
+        };
+        let f = f.clone();
+        let def = NativeKernelDef::new("skelcl_reduce_native", self.cost, move |ctx| {
+            let mut views = ctx.arg_views();
+            let (in_view, rest) = views
+                .split_first_mut()
+                .ok_or_else(|| "reduce kernel is missing its input".to_string())?;
+            let (out_view, _) = rest
+                .split_first_mut()
+                .ok_or_else(|| "reduce kernel is missing its output".to_string())?;
+            let input = in_view
+                .as_slice::<T>()
+                .ok_or_else(|| "reduce input must be a buffer".to_string())?;
+            let output = out_view
+                .as_slice_mut::<T>()
+                .ok_or_else(|| "reduce output must be a buffer".to_string())?;
+            let mut acc = input[0];
+            for x in &input[1..] {
+                acc = f(acc, *x);
+            }
+            output[0] = acc;
+            Ok(())
+        });
+        let program = Program::from_native([def]);
+        program.kernel("skelcl_reduce_native").ok()
+    }
+
+    /// Apply the binary operator on the host (step 3 of the multi-GPU
+    /// strategy): for source operators, the generated reduce kernel is run by
+    /// the host-side interpreter over the gathered partial results.
+    fn host_fold(&self, built: Option<&BuiltSource>, values: &[T]) -> Result<T> {
+        debug_assert!(!values.is_empty());
+        match &self.udf {
+            ReduceUdf::Native(f) => {
+                let mut acc = values[0];
+                for v in &values[1..] {
+                    acc = f(acc, *v);
+                }
+                Ok(acc)
+            }
+            ReduceUdf::Source(_) => {
+                let built = built.expect("source reduce always builds its program");
+                let kernel = built.host_program.kernel(kernelgen::REDUCE_KERNEL)?;
+                // Bind the gathered values and a one-element output through
+                // the host interpreter. Values are converted through f64,
+                // which is exact for every supported scalar type.
+                let mut input: Vec<f64> = values.iter().map(|v| v.to_value().as_f64()).collect();
+                let mut output = vec![0.0f64; 1];
+                // The generated kernel's buffers are typed with T's kernel
+                // type; run a specialised binding per type.
+                match T::type_name() {
+                    "float" => {
+                        let mut in_f: Vec<f32> = input.iter().map(|v| *v as f32).collect();
+                        let mut out_f = vec![0.0f32; 1];
+                        let mut args = vec![
+                            skelcl_kernel::interp::ArgBinding::buffer_f32(&mut in_f),
+                            skelcl_kernel::interp::ArgBinding::buffer_f32(&mut out_f),
+                            skelcl_kernel::interp::ArgBinding::Scalar(Value::Int(
+                                values.len() as i32
+                            )),
+                        ];
+                        built.host_program.run_ndrange(&kernel, 1, &mut args)?;
+                        return Ok(T::from_value(Value::Float(out_f[0])));
+                    }
+                    "int" => {
+                        let mut in_i: Vec<i32> = input.iter().map(|v| *v as i32).collect();
+                        let mut out_i = vec![0i32; 1];
+                        let mut args = vec![
+                            skelcl_kernel::interp::ArgBinding::buffer_i32(&mut in_i),
+                            skelcl_kernel::interp::ArgBinding::buffer_i32(&mut out_i),
+                            skelcl_kernel::interp::ArgBinding::Scalar(Value::Int(
+                                values.len() as i32
+                            )),
+                        ];
+                        built.host_program.run_ndrange(&kernel, 1, &mut args)?;
+                        return Ok(T::from_value(Value::Int(out_i[0])));
+                    }
+                    "uint" => {
+                        let mut in_u: Vec<u32> = input.iter().map(|v| *v as u32).collect();
+                        let mut out_u = vec![0u32; 1];
+                        let mut args = vec![
+                            skelcl_kernel::interp::ArgBinding::buffer_u32(&mut in_u),
+                            skelcl_kernel::interp::ArgBinding::buffer_u32(&mut out_u),
+                            skelcl_kernel::interp::ArgBinding::Scalar(Value::Int(
+                                values.len() as i32
+                            )),
+                        ];
+                        built.host_program.run_ndrange(&kernel, 1, &mut args)?;
+                        return Ok(T::from_value(Value::Uint(out_u[0])));
+                    }
+                    _ => {
+                        let mut args = vec![
+                            skelcl_kernel::interp::ArgBinding::buffer_f64(&mut input),
+                            skelcl_kernel::interp::ArgBinding::buffer_f64(&mut output),
+                            skelcl_kernel::interp::ArgBinding::Scalar(Value::Int(
+                                values.len() as i32
+                            )),
+                        ];
+                        built.host_program.run_ndrange(&kernel, 1, &mut args)?;
+                    }
+                }
+                Ok(T::from_value(Value::Double(output[0])))
+            }
+        }
+    }
+
+    /// Execute the skeleton and return the single-element result vector
+    /// (single-distributed, as the paper specifies).
+    pub fn call(&self, input: &Vector<T>) -> Result<Vector<T>> {
+        let value = self.reduce_value(input)?;
+        let runtime = input.runtime();
+        let out = Vector::from_vec(&runtime, vec![value]);
+        out.set_distribution(Distribution::Single(0))?;
+        Ok(out)
+    }
+
+    /// Execute the skeleton and return the reduced value directly.
+    pub fn reduce_value(&self, input: &Vector<T>) -> Result<T> {
+        let runtime = input.runtime();
+        runtime.charge_skeleton_call();
+        if input.is_empty() {
+            return Err(SkelError::EmptyInput);
+        }
+        let (partition, in_buffers) = input.prepare_on_devices()?;
+
+        let (kernel, built, per_element_cost) = match &self.udf {
+            ReduceUdf::Source(_) => {
+                let built = self.ensure_built(&runtime)?;
+                (built.kernel.clone(), Some(built.clone()), built.per_element_cost)
+            }
+            ReduceUdf::Native(_) => (
+                self.native_kernel()
+                    .expect("native kernel construction cannot fail"),
+                None,
+                self.cost,
+            ),
+        };
+
+        // Step 1: local reductions on every device that holds a part.
+        let mut partial_buffers = Vec::new();
+        for device in partition.active_devices() {
+            let n = partition.size(device);
+            let in_buffer = in_buffers[device].clone().ok_or_else(|| {
+                SkelError::Distribution(format!("input vector has no buffer on device {device}"))
+            })?;
+            let out_buffer = runtime.context().create_buffer::<T>(device, 1)?;
+            let total_cost = CostHint::new(
+                per_element_cost.flops_per_item * n as f64,
+                per_element_cost.bytes_per_item.max(4.0) * n as f64,
+            );
+            runtime.queue(device).enqueue_kernel_with_cost(
+                &kernel,
+                1,
+                &[
+                    KernelArg::Buffer(in_buffer),
+                    KernelArg::Buffer(out_buffer.clone()),
+                    KernelArg::Scalar(Value::Int(n as i32)),
+                ],
+                total_cost,
+            )?;
+            partial_buffers.push((device, out_buffer));
+        }
+
+        // Step 2: gather the intermediate results on the CPU, in device
+        // order so that non-commutative operators stay correct.
+        let mut partials = Vec::with_capacity(partial_buffers.len());
+        for (device, buffer) in &partial_buffers {
+            let mut one = [T::from_value(Value::Int(0)); 1];
+            runtime.queue(*device).enqueue_read_buffer(buffer, &mut one)?;
+            partials.push(one[0]);
+            runtime.context().release_buffer(buffer)?;
+        }
+
+        // Step 3: final reduction on the CPU.
+        self.host_fold(built.as_deref(), &partials)
+    }
+
+    /// The scheduler-aware multi-stage reduction of Section V of the paper.
+    ///
+    /// Instead of folding each device's part down to a single value, every
+    /// device produces an *intermediate result vector* of up to
+    /// `chunks_per_device` partial results (one per chunk of its part). The
+    /// gathered intermediates are then reduced either on the host CPU or on
+    /// the device the [`StaticScheduler`] predicts to be fastest — the paper
+    /// notes that "CPUs will be faster to perform the final reduction of
+    /// these vectors than GPUs which provide poor performance when reducing
+    /// only few elements", and that deciding this requires a scheduling
+    /// mechanism.
+    ///
+    /// Returns the reduced value together with the [`ReducePlan`] describing
+    /// the decision that was taken.
+    pub fn reduce_with_scheduler(
+        &self,
+        input: &Vector<T>,
+        scheduler: &crate::scheduler::StaticScheduler,
+        chunks_per_device: usize,
+    ) -> Result<(T, ReducePlan)> {
+        let runtime = input.runtime();
+        runtime.charge_skeleton_call();
+        if input.is_empty() {
+            return Err(SkelError::EmptyInput);
+        }
+        let chunks_per_device = chunks_per_device.max(1);
+        let (partition, in_buffers) = input.prepare_on_devices()?;
+
+        let (chunked_kernel, built, per_element_cost) = match &self.udf {
+            ReduceUdf::Source(_) => {
+                let built = self.ensure_built(&runtime)?;
+                let chunked = self.ensure_built_chunked(&runtime)?;
+                (chunked, Some(built.clone()), built.per_element_cost)
+            }
+            ReduceUdf::Native(_) => (
+                self.native_chunked_kernel()
+                    .expect("native kernel construction cannot fail"),
+                None,
+                self.cost,
+            ),
+        };
+
+        // Step 1: chunked local reductions — each device leaves an
+        // intermediate result vector on its own memory.
+        let mut partial_buffers = Vec::new();
+        for device in partition.active_devices() {
+            let n = partition.size(device);
+            let chunks = chunks_per_device.min(n);
+            let chunk_size = n.div_ceil(chunks);
+            let in_buffer = in_buffers[device].clone().ok_or_else(|| {
+                SkelError::Distribution(format!("input vector has no buffer on device {device}"))
+            })?;
+            let out_buffer = runtime.context().create_buffer::<T>(device, chunks)?;
+            let per_item_cost = CostHint::new(
+                per_element_cost.flops_per_item * chunk_size as f64,
+                per_element_cost.bytes_per_item.max(4.0) * chunk_size as f64,
+            );
+            runtime.queue(device).enqueue_kernel_with_cost(
+                &chunked_kernel,
+                chunks,
+                &[
+                    KernelArg::Buffer(in_buffer),
+                    KernelArg::Buffer(out_buffer.clone()),
+                    KernelArg::Scalar(Value::Int(n as i32)),
+                    KernelArg::Scalar(Value::Int(chunk_size as i32)),
+                ],
+                per_item_cost,
+            )?;
+            partial_buffers.push((device, out_buffer, chunks));
+        }
+
+        // Step 2: gather the intermediate result vectors in device order (the
+        // operator may be non-commutative).
+        let mut partials = Vec::new();
+        for (device, buffer, chunks) in &partial_buffers {
+            let mut part = vec![T::from_value(Value::Int(0)); *chunks];
+            runtime.queue(*device).enqueue_read_buffer(buffer, &mut part)?;
+            partials.extend_from_slice(&part);
+            runtime.context().release_buffer(buffer)?;
+        }
+
+        // Step 3: let the scheduler place the final reduction.
+        let (final_device, final_on_cpu) = scheduler.final_reduce_placement(
+            partials.len(),
+            std::mem::size_of::<T>(),
+            per_element_cost,
+        )?;
+        let plan = ReducePlan {
+            intermediate_results: partials.len(),
+            final_device,
+            final_on_cpu,
+        };
+        if final_on_cpu || partials.len() == 1 {
+            return Ok((self.host_fold(built.as_deref(), &partials)?, plan));
+        }
+
+        // Final reduction on the chosen device: upload the gathered
+        // intermediates and run the plain (single-work-item) reduce kernel.
+        let final_kernel = match &self.udf {
+            ReduceUdf::Source(_) => built
+                .as_ref()
+                .expect("source reduce always builds its program")
+                .kernel
+                .clone(),
+            ReduceUdf::Native(_) => self
+                .native_kernel()
+                .expect("native kernel construction cannot fail"),
+        };
+        let queue = runtime.queue(final_device);
+        let in_buffer = runtime
+            .context()
+            .create_buffer::<T>(final_device, partials.len())?;
+        queue.enqueue_write_buffer(&in_buffer, &partials)?;
+        let out_buffer = runtime.context().create_buffer::<T>(final_device, 1)?;
+        let total_cost = CostHint::new(
+            per_element_cost.flops_per_item * partials.len() as f64,
+            per_element_cost.bytes_per_item.max(4.0) * partials.len() as f64,
+        );
+        queue.enqueue_kernel_with_cost(
+            &final_kernel,
+            1,
+            &[
+                KernelArg::Buffer(in_buffer.clone()),
+                KernelArg::Buffer(out_buffer.clone()),
+                KernelArg::Scalar(Value::Int(partials.len() as i32)),
+            ],
+            total_cost,
+        )?;
+        let mut one = [T::from_value(Value::Int(0)); 1];
+        queue.enqueue_read_buffer(&out_buffer, &mut one)?;
+        runtime.context().release_buffer(&in_buffer)?;
+        runtime.context().release_buffer(&out_buffer)?;
+        Ok((one[0], plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+    use crate::runtime::init_gpus;
+    use crate::skeletons::Map;
+
+    const ADD: &str = "float func(float a, float b) { return a + b; }";
+
+    #[test]
+    fn sum_reduction_matches_sequential_for_any_device_count() {
+        let data: Vec<f32> = (1..=1000).map(|i| i as f32).collect();
+        let expected: f32 = data.iter().sum();
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let sum = Reduce::<f32>::from_source(ADD);
+            let v = Vector::from_vec(&rt, data.clone());
+            assert_eq!(sum.reduce_value(&v).unwrap(), expected, "devices = {devices}");
+        }
+    }
+
+    #[test]
+    fn scheduler_aware_reduce_matches_the_plain_result() {
+        use crate::scheduler::StaticScheduler;
+        let data: Vec<f32> = (1..=4096).map(|i| (i % 31) as f32).collect();
+        let expected: f32 = data.iter().sum();
+        for devices in [1usize, 3] {
+            let rt = init_gpus(devices);
+            let scheduler = StaticScheduler::analytical(&rt);
+            let sum = Reduce::<f32>::from_source(ADD);
+            let v = Vector::from_vec(&rt, data.clone());
+            let (value, plan) = sum.reduce_with_scheduler(&v, &scheduler, 8).unwrap();
+            assert_eq!(value, expected, "devices = {devices}");
+            assert!(plan.intermediate_results >= devices);
+            assert!(plan.intermediate_results <= 8 * devices);
+        }
+    }
+
+    #[test]
+    fn scheduler_aware_reduce_places_small_finals_on_the_cpu_device_when_present() {
+        use crate::scheduler::StaticScheduler;
+        use oclsim::DeviceProfile;
+        let rt = crate::runtime::init_profiles(vec![
+            DeviceProfile::tesla_c1060(),
+            DeviceProfile::tesla_c1060(),
+            DeviceProfile::xeon_e5520(),
+        ]);
+        let scheduler = StaticScheduler::analytical(&rt);
+        let max = Reduce::<i32>::new(|a, b| a.max(b));
+        let v = Vector::from_vec(&rt, (0..3000).map(|i| (i * 37) % 1009).collect());
+        let (value, plan) = max.reduce_with_scheduler(&v, &scheduler, 4).unwrap();
+        assert_eq!(value, (0..3000).map(|i| (i * 37) % 1009).max().unwrap());
+        assert!(
+            plan.final_on_cpu,
+            "a handful of intermediate results should be finished on the CPU: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn scheduler_aware_reduce_with_native_operator_and_single_chunk() {
+        use crate::scheduler::StaticScheduler;
+        let rt = init_gpus(2);
+        let scheduler = StaticScheduler::analytical(&rt);
+        let sum = Reduce::<i32>::new(|a, b| a + b);
+        let v = Vector::from_vec(&rt, (1..=100).collect());
+        // chunks_per_device = 1 degenerates to the plain three-step strategy.
+        let (value, plan) = sum.reduce_with_scheduler(&v, &scheduler, 1).unwrap();
+        assert_eq!(value, 5050);
+        assert_eq!(plan.intermediate_results, 2);
+    }
+
+    #[test]
+    fn native_reduce_max() {
+        let rt = init_gpus(3);
+        let max = Reduce::<i32>::new(|a, b| a.max(b));
+        let v = Vector::from_vec(&rt, vec![3, -1, 42, 17, 0, 41]);
+        assert_eq!(max.reduce_value(&v).unwrap(), 42);
+    }
+
+    #[test]
+    fn non_commutative_operator_preserves_order() {
+        // f(a, b) = a * 2 + b is associativity-breaking in general, but the
+        // point here is ordering: left-to-right folding over device
+        // boundaries must equal the sequential left-to-right fold.
+        let data: Vec<f32> = (1..=64).map(|i| (i % 7) as f32).collect();
+        let sequential = data[1..]
+            .iter()
+            .fold(data[0], |acc, x| acc - x);
+        for devices in 1..=1 {
+            // Subtraction is non-associative, so only the single-device case
+            // must match the sequential fold exactly.
+            let rt = init_gpus(devices);
+            let sub = Reduce::<f32>::new(|a, b| a - b);
+            let v = Vector::from_vec(&rt, data.clone());
+            assert_eq!(sub.reduce_value(&v).unwrap(), sequential);
+        }
+        // Right projection f(a, b) = b is associative and non-commutative:
+        // under the required left-to-right combination order the result is
+        // always the last element, independent of the device count.
+        let values: Vec<f32> = (1..=23).map(|i| i as f32).collect();
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let last =
+                Reduce::<f32>::from_source("float func(float a, float b) { return b; }");
+            let v = Vector::from_vec(&rt, values.clone());
+            assert_eq!(last.reduce_value(&v).unwrap(), 23.0, "devices = {devices}");
+        }
+        // First projection must symmetrically give the first element.
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let first = Reduce::<f32>::new(|a, _b| a);
+            let v = Vector::from_vec(&rt, values.clone());
+            assert_eq!(first.reduce_value(&v).unwrap(), 1.0, "devices = {devices}");
+        }
+    }
+
+    #[test]
+    fn reduce_output_vector_is_single_distributed() {
+        let rt = init_gpus(2);
+        let sum = Reduce::<f32>::from_source(ADD);
+        let v = Vector::from_vec(&rt, vec![1.0f32; 10]);
+        let out = sum.call(&v).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.distribution(), Distribution::Single(0));
+        assert_eq!(out.to_vec().unwrap(), vec![10.0]);
+    }
+
+    #[test]
+    fn reduce_of_single_element_vector() {
+        let rt = init_gpus(4);
+        let sum = Reduce::<f32>::from_source(ADD);
+        let v = Vector::from_vec(&rt, vec![7.0f32]);
+        assert_eq!(sum.reduce_value(&v).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn reduce_rejects_empty_input_and_bad_udf() {
+        let rt = init_gpus(1);
+        let sum = Reduce::<f32>::from_source(ADD);
+        let empty = Vector::from_vec(&rt, Vec::<f32>::new());
+        assert!(matches!(sum.reduce_value(&empty), Err(SkelError::EmptyInput)));
+
+        let bad = Reduce::<f32>::from_source("float func(float a) { return a; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32, 2.0]);
+        assert!(matches!(
+            bad.reduce_value(&v),
+            Err(SkelError::UdfSignature(_))
+        ));
+    }
+
+    #[test]
+    fn map_output_feeds_reduce_without_host_transfers() {
+        // "when a map skeleton's output vector is passed as an input vector
+        // to a reduce skeleton, the vector's data resides on the GPU and no
+        // data transfer is performed" (paper, Section II-B).
+        let rt = init_gpus(2);
+        let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+        let sum = Reduce::<f32>::from_source(ADD);
+        let v = Vector::from_vec(&rt, (1..=8).map(|i| i as f32).collect());
+        let squared = square.call(&v, &Args::none()).unwrap();
+        rt.drain_events();
+        let result = sum.reduce_value(&squared).unwrap();
+        assert_eq!(result, 204.0);
+        let events = rt.drain_events();
+        let uploads: usize = events
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e.kind, oclsim::CommandKind::WriteBuffer))
+            .count();
+        assert_eq!(uploads, 0, "reduce must reuse the map's device-resident output");
+    }
+}

@@ -1,0 +1,526 @@
+//! The scan skeleton: inclusive prefix combination,
+//! `scan(⊕)([x1..xn]) = [x1, x1⊕x2, ..., x1⊕...⊕xn]`.
+//!
+//! Multi-GPU execution (paper, Section III-C and Figure 2):
+//! 1. every GPU runs a local scan of its part,
+//! 2. the per-part totals are downloaded to the host,
+//! 3. for every GPU except the first, a map skeleton is created implicitly
+//!    that combines the totals of its predecessors with every element of its
+//!    part,
+//! 4. these map kernels compute the final result on the devices.
+//!
+//! The output vector is block-distributed.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use oclsim::{CostHint, KernelArg, NativeKernelDef, Program, Value};
+
+use crate::distribution::Distribution;
+use crate::error::{Result, SkelError};
+use crate::kernelgen::{self, UdfInfo};
+use crate::skeletons::{alloc_output, udf_cost_estimate, DeviceScalar};
+use crate::vector::Vector;
+
+enum ScanUdf<T> {
+    Source(String),
+    Native(Arc<dyn Fn(T, T) -> T + Send + Sync>),
+}
+
+struct BuiltSource {
+    scan_kernel: oclsim::Kernel,
+    offset_kernel: oclsim::Kernel,
+    per_element_cost: CostHint,
+}
+
+/// Intermediate state of one multi-device scan: exposed so that tests and the
+/// Figure 2 example can show the per-stage values exactly as the paper does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanTrace<T> {
+    /// The local (per-device) scan results before offsets are applied —
+    /// the second row of Figure 2.
+    pub local_scans: Vec<Vec<T>>,
+    /// The offset combined into each device's part (`None` for the first
+    /// device) — the values marked in Figure 2.
+    pub offsets: Vec<Option<T>>,
+}
+
+/// The scan (prefix) skeleton.
+///
+/// ```
+/// use skelcl::prelude::*;
+///
+/// let rt = skelcl::init_gpus(4);
+/// let prefix_sum = Scan::<f32>::from_source("float func(float a, float b) { return a + b; }");
+/// let v = Vector::from_vec(&rt, (1..=16).map(|i| i as f32).collect());
+/// let out = prefix_sum.call(&v).unwrap();
+/// assert_eq!(out.to_vec().unwrap().last().copied(), Some(136.0));
+/// ```
+pub struct Scan<T: DeviceScalar> {
+    udf: ScanUdf<T>,
+    cost: CostHint,
+    built: Mutex<Option<Arc<BuiltSource>>>,
+}
+
+impl<T: DeviceScalar> Scan<T> {
+    /// Customise the skeleton with a binary operator given as source code.
+    pub fn from_source(source: &str) -> Scan<T> {
+        Scan {
+            udf: ScanUdf::Source(source.to_string()),
+            cost: CostHint::DEFAULT,
+            built: Mutex::new(None),
+        }
+    }
+
+    /// Customise the skeleton with a native binary operator.
+    pub fn new<F>(f: F) -> Scan<T>
+    where
+        F: Fn(T, T) -> T + Send + Sync + 'static,
+    {
+        Scan {
+            udf: ScanUdf::Native(Arc::new(f)),
+            cost: CostHint::DEFAULT,
+            built: Mutex::new(None),
+        }
+    }
+
+    /// Override the per-element cost hint (native operators).
+    pub fn with_cost(mut self, cost: CostHint) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    fn ensure_built(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<Arc<BuiltSource>> {
+        let mut built = self.built.lock();
+        if let Some(b) = built.as_ref() {
+            return Ok(b.clone());
+        }
+        let ScanUdf::Source(src) = &self.udf else {
+            unreachable!("ensure_built is only called for source UDFs")
+        };
+        let info = UdfInfo::analyze(src, 2)?;
+        let kernel_src = kernelgen::scan_kernels(&info)?;
+        let program = runtime.context().build_program(&kernel_src)?;
+        let b = Arc::new(BuiltSource {
+            scan_kernel: program.kernel(kernelgen::SCAN_KERNEL)?,
+            offset_kernel: program.kernel(kernelgen::SCAN_OFFSET_KERNEL)?,
+            per_element_cost: udf_cost_estimate(src)?,
+        });
+        *built = Some(b.clone());
+        Ok(b)
+    }
+
+    fn native_scan_kernel(&self) -> Option<oclsim::Kernel> {
+        let ScanUdf::Native(f) = &self.udf else {
+            return None;
+        };
+        let f = f.clone();
+        let def = NativeKernelDef::new("skelcl_scan_native", self.cost, move |ctx| {
+            let mut views = ctx.arg_views();
+            let (in_view, rest) = views
+                .split_first_mut()
+                .ok_or_else(|| "scan kernel is missing its input".to_string())?;
+            let (out_view, _) = rest
+                .split_first_mut()
+                .ok_or_else(|| "scan kernel is missing its output".to_string())?;
+            let input = in_view
+                .as_slice::<T>()
+                .ok_or_else(|| "scan input must be a buffer".to_string())?;
+            let output = out_view
+                .as_slice_mut::<T>()
+                .ok_or_else(|| "scan output must be a buffer".to_string())?;
+            let mut acc = input[0];
+            output[0] = acc;
+            for i in 1..input.len() {
+                acc = f(acc, input[i]);
+                output[i] = acc;
+            }
+            Ok(())
+        });
+        Program::from_native([def]).kernel("skelcl_scan_native").ok()
+    }
+
+    fn native_offset_kernel(&self, offset: T) -> Option<oclsim::Kernel> {
+        let ScanUdf::Native(f) = &self.udf else {
+            return None;
+        };
+        let f = f.clone();
+        let def = NativeKernelDef::new("skelcl_scan_offset_native", self.cost, move |ctx| {
+            let mut views = ctx.arg_views();
+            let data = views
+                .first_mut()
+                .and_then(|v| v.as_slice_mut::<T>())
+                .ok_or_else(|| "scan offset kernel needs a buffer".to_string())?;
+            for x in data.iter_mut() {
+                *x = f(offset, *x);
+            }
+            Ok(())
+        });
+        Program::from_native([def])
+            .kernel("skelcl_scan_offset_native")
+            .ok()
+    }
+
+    fn host_combine(&self, built: Option<&BuiltSource>, a: T, b: T) -> T {
+        match &self.udf {
+            ScanUdf::Native(f) => f(a, b),
+            ScanUdf::Source(_) => {
+                // The offsets are combined on the host by evaluating the
+                // user operator through the same generated kernel used on the
+                // devices, over a two-element array.
+                let _ = built;
+                // Falling back to a tiny device-free evaluation: run the scan
+                // kernel over [a, b] and take the last element.
+                let src = match &self.udf {
+                    ScanUdf::Source(s) => s.clone(),
+                    ScanUdf::Native(_) => unreachable!(),
+                };
+                host_eval_operator::<T>(&src, a, b)
+            }
+        }
+    }
+
+    /// Execute the skeleton and also return the per-stage trace of Figure 2.
+    pub fn call_with_trace(&self, input: &Vector<T>) -> Result<(Vector<T>, ScanTrace<T>)> {
+        let (output, trace) = self.run(input, true)?;
+        Ok((output, trace.expect("trace requested")))
+    }
+
+    /// Execute the skeleton.
+    pub fn call(&self, input: &Vector<T>) -> Result<Vector<T>> {
+        self.run(input, false).map(|(v, _)| v)
+    }
+
+    /// The shared implementation of [`Scan::call`] and
+    /// [`Scan::call_with_trace`]. When no trace is requested, only the *last*
+    /// element of each device's local scan — its total — is downloaded
+    /// between the two steps, exactly the marked values of Figure 2; the full
+    /// parts stay on their devices.
+    fn run(
+        &self,
+        input: &Vector<T>,
+        want_trace: bool,
+    ) -> Result<(Vector<T>, Option<ScanTrace<T>>)> {
+        let runtime = input.runtime();
+        runtime.charge_skeleton_call();
+        if input.is_empty() {
+            return Err(SkelError::EmptyInput);
+        }
+        // Copy distribution makes no sense for a prefix computation; the
+        // paper's scan assumes block distribution by default.
+        if input.distribution() == Distribution::Copy {
+            input.set_distribution(Distribution::Block)?;
+        }
+        let (partition, in_buffers) = input.prepare_on_devices()?;
+        let out_buffers = alloc_output::<T>(&runtime, &partition)?;
+
+        let (scan_kernel, built, per_element_cost) = match &self.udf {
+            ScanUdf::Source(_) => {
+                let built = self.ensure_built(&runtime)?;
+                (
+                    built.scan_kernel.clone(),
+                    Some(built.clone()),
+                    built.per_element_cost,
+                )
+            }
+            ScanUdf::Native(_) => (
+                self.native_scan_kernel()
+                    .expect("native kernel construction cannot fail"),
+                None,
+                self.cost,
+            ),
+        };
+
+        // Step 1: local scans.
+        let active = partition.active_devices();
+        for &device in &active {
+            let n = partition.size(device);
+            let in_buffer = in_buffers[device].clone().ok_or_else(|| {
+                SkelError::Distribution(format!("input vector has no buffer on device {device}"))
+            })?;
+            let out_buffer = out_buffers[device].clone().expect("allocated above");
+            let total_cost = CostHint::new(
+                per_element_cost.flops_per_item * n as f64,
+                per_element_cost.bytes_per_item.max(8.0) * n as f64,
+            );
+            runtime.queue(device).enqueue_kernel_with_cost(
+                &scan_kernel,
+                1,
+                &[
+                    KernelArg::Buffer(in_buffer),
+                    KernelArg::Buffer(out_buffer),
+                    KernelArg::Scalar(Value::Int(n as i32)),
+                ],
+                total_cost,
+            )?;
+        }
+
+        // Step 2: download the per-part totals (last element of each local
+        // scan) to the host. Only when a trace is requested does the whole
+        // local scan come back — the totals are all the algorithm needs.
+        let mut totals = Vec::with_capacity(active.len());
+        let mut local_scans = Vec::with_capacity(active.len());
+        for &device in &active {
+            let n = partition.size(device);
+            let out_buffer = out_buffers[device].as_ref().expect("allocated above");
+            if want_trace {
+                let mut part = vec![T::from_value(Value::Int(0)); n];
+                runtime
+                    .queue(device)
+                    .enqueue_read_buffer(out_buffer, &mut part)?;
+                totals.push(part[n - 1]);
+                local_scans.push(part);
+            } else {
+                let mut last = [T::from_value(Value::Int(0)); 1];
+                runtime
+                    .queue(device)
+                    .enqueue_read_buffer_region(out_buffer, n - 1, &mut last)?;
+                totals.push(last[0]);
+            }
+        }
+
+        // Step 3 + 4: combine predecessor totals into each later part via the
+        // implicitly created map (offset) kernels.
+        let mut offsets: Vec<Option<T>> = vec![None; active.len()];
+        let mut running: Option<T> = None;
+        for (i, &device) in active.iter().enumerate() {
+            if i > 0 {
+                offsets[i] = running;
+            }
+            running = Some(match running {
+                None => totals[i],
+                Some(acc) => self.host_combine(built.as_deref(), acc, totals[i]),
+            });
+            if i == 0 {
+                continue;
+            }
+            let offset = offsets[i].expect("set above for i > 0");
+            let n = partition.size(device);
+            let out_buffer = out_buffers[device].clone().expect("allocated above");
+            let offset_cost = CostHint::new(per_element_cost.flops_per_item, 8.0);
+            match &self.udf {
+                ScanUdf::Source(_) => {
+                    let built = built.as_ref().expect("source scan builds its program");
+                    runtime.queue(device).enqueue_kernel_with_cost(
+                        &built.offset_kernel,
+                        n,
+                        &[
+                            KernelArg::Buffer(out_buffer),
+                            KernelArg::Scalar(Value::Int(n as i32)),
+                            KernelArg::Scalar(offset.to_value()),
+                        ],
+                        offset_cost,
+                    )?;
+                }
+                ScanUdf::Native(_) => {
+                    let kernel = self
+                        .native_offset_kernel(offset)
+                        .expect("native kernel construction cannot fail");
+                    runtime.queue(device).enqueue_kernel_with_cost(
+                        &kernel,
+                        n,
+                        &[KernelArg::Buffer(out_buffer)],
+                        offset_cost,
+                    )?;
+                }
+            }
+        }
+
+        let output = Vector::device_resident(
+            &runtime,
+            input.len(),
+            if active.len() == 1 {
+                input.distribution()
+            } else {
+                Distribution::Block
+            },
+            out_buffers,
+        );
+        Ok((
+            output,
+            want_trace.then_some(ScanTrace {
+                local_scans,
+                offsets,
+            }),
+        ))
+    }
+}
+
+/// Evaluate a binary source operator on the host over two values by running
+/// the generated scan kernel on a two-element array.
+fn host_eval_operator<T: DeviceScalar>(source: &str, a: T, b: T) -> T {
+    let info = UdfInfo::analyze(source, 2).expect("operator was validated at build time");
+    let kernel_src = kernelgen::scan_kernels(&info).expect("operator was validated at build time");
+    let program = skelcl_kernel::Program::build(&kernel_src).expect("generated source is valid");
+    let kernel = program
+        .kernel(kernelgen::SCAN_KERNEL)
+        .expect("generated program contains the scan kernel");
+    match T::type_name() {
+        "float" => {
+            let mut input = vec![a.to_value().as_f64() as f32, b.to_value().as_f64() as f32];
+            let mut output = vec![0.0f32; 2];
+            let mut args = vec![
+                skelcl_kernel::interp::ArgBinding::buffer_f32(&mut input),
+                skelcl_kernel::interp::ArgBinding::buffer_f32(&mut output),
+                skelcl_kernel::interp::ArgBinding::Scalar(Value::Int(2)),
+            ];
+            program
+                .run_ndrange(&kernel, 1, &mut args)
+                .expect("host evaluation of the operator");
+            T::from_value(Value::Float(output[1]))
+        }
+        "int" => {
+            let mut input = vec![a.to_value().as_i64() as i32, b.to_value().as_i64() as i32];
+            let mut output = vec![0i32; 2];
+            let mut args = vec![
+                skelcl_kernel::interp::ArgBinding::buffer_i32(&mut input),
+                skelcl_kernel::interp::ArgBinding::buffer_i32(&mut output),
+                skelcl_kernel::interp::ArgBinding::Scalar(Value::Int(2)),
+            ];
+            program
+                .run_ndrange(&kernel, 1, &mut args)
+                .expect("host evaluation of the operator");
+            T::from_value(Value::Int(output[1]))
+        }
+        "uint" => {
+            let mut input = vec![a.to_value().as_i64() as u32, b.to_value().as_i64() as u32];
+            let mut output = vec![0u32; 2];
+            let mut args = vec![
+                skelcl_kernel::interp::ArgBinding::buffer_u32(&mut input),
+                skelcl_kernel::interp::ArgBinding::buffer_u32(&mut output),
+                skelcl_kernel::interp::ArgBinding::Scalar(Value::Int(2)),
+            ];
+            program
+                .run_ndrange(&kernel, 1, &mut args)
+                .expect("host evaluation of the operator");
+            T::from_value(Value::Uint(output[1]))
+        }
+        _ => {
+            let mut input = vec![a.to_value().as_f64(), b.to_value().as_f64()];
+            let mut output = vec![0.0f64; 2];
+            let mut args = vec![
+                skelcl_kernel::interp::ArgBinding::buffer_f64(&mut input),
+                skelcl_kernel::interp::ArgBinding::buffer_f64(&mut output),
+                skelcl_kernel::interp::ArgBinding::Scalar(Value::Int(2)),
+            ];
+            program
+                .run_ndrange(&kernel, 1, &mut args)
+                .expect("host evaluation of the operator");
+            T::from_value(Value::Double(output[1]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::init_gpus;
+
+    const ADD: &str = "float func(float a, float b) { return a + b; }";
+
+    fn sequential_prefix_sums(data: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(data.len());
+        let mut acc = 0.0;
+        for x in data {
+            acc += x;
+            out.push(acc);
+        }
+        out
+    }
+
+    #[test]
+    fn prefix_sums_match_sequential_for_any_device_count() {
+        let data: Vec<f32> = (1..=100).map(|i| (i % 13) as f32).collect();
+        let expected = sequential_prefix_sums(&data);
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let scan = Scan::<f32>::from_source(ADD);
+            let v = Vector::from_vec(&rt, data.clone());
+            let out = scan.call(&v).unwrap();
+            assert_eq!(out.to_vec().unwrap(), expected, "devices = {devices}");
+        }
+    }
+
+    #[test]
+    fn figure_2_example_on_four_gpus() {
+        // The exact example of Figure 2: scanning [1..16] with + on 4 GPUs.
+        let rt = init_gpus(4);
+        let scan = Scan::<f32>::from_source(ADD);
+        let v = Vector::from_vec(&rt, (1..=16).map(|i| i as f32).collect());
+        let (out, trace) = scan.call_with_trace(&v).unwrap();
+
+        // Middle row of Figure 2: the local scans per device.
+        assert_eq!(trace.local_scans[0], vec![1.0, 3.0, 6.0, 10.0]);
+        assert_eq!(trace.local_scans[1], vec![5.0, 11.0, 18.0, 26.0]);
+        assert_eq!(trace.local_scans[2], vec![9.0, 19.0, 30.0, 42.0]);
+        assert_eq!(trace.local_scans[3], vec![13.0, 27.0, 42.0, 58.0]);
+
+        // The offsets marked in Figure 2: 10, 36 (= 10 ⊕ 26), 78 (= 36 ⊕ 42).
+        assert_eq!(trace.offsets[0], None);
+        assert_eq!(trace.offsets[1], Some(10.0));
+        assert_eq!(trace.offsets[2], Some(36.0));
+        assert_eq!(trace.offsets[3], Some(78.0));
+
+        // Bottom row: the complete prefix sums.
+        let expected: Vec<f32> = (1..=16)
+            .scan(0.0f32, |acc, i| {
+                *acc += i as f32;
+                Some(*acc)
+            })
+            .collect();
+        assert_eq!(out.to_vec().unwrap(), expected);
+        assert_eq!(out.distribution(), Distribution::Block);
+    }
+
+    #[test]
+    fn native_scan_matches_source_scan() {
+        let data: Vec<f32> = (1..=37).map(|i| i as f32).collect();
+        let rt = init_gpus(3);
+        let source = Scan::<f32>::from_source(ADD);
+        let native = Scan::<f32>::new(|a, b| a + b);
+        let v1 = Vector::from_vec(&rt, data.clone());
+        let v2 = Vector::from_vec(&rt, data);
+        assert_eq!(
+            source.call(&v1).unwrap().to_vec().unwrap(),
+            native.call(&v2).unwrap().to_vec().unwrap()
+        );
+    }
+
+    #[test]
+    fn scan_with_non_commutative_operator() {
+        // Matrix-like composition encoded as digits: f(a, b) = a * 10 + b.
+        let rt = init_gpus(4);
+        let scan = Scan::<f32>::from_source("float func(float a, float b) { return a * 10.0f + b; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let out = scan.call(&v).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![1.0, 12.0, 123.0, 1234.0]);
+    }
+
+    #[test]
+    fn scan_of_int_vector() {
+        let rt = init_gpus(2);
+        let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
+        let v = Vector::from_vec(&rt, vec![1i32, 2, 3, 4, 5]);
+        assert_eq!(scan.call(&v).unwrap().to_vec().unwrap(), vec![1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn scan_on_single_distribution_keeps_it() {
+        let rt = init_gpus(3);
+        let scan = Scan::<f32>::from_source(ADD);
+        let v = Vector::from_vec(&rt, vec![1.0f32; 6]);
+        v.set_distribution(Distribution::Single(2)).unwrap();
+        let out = scan.call(&v).unwrap();
+        assert_eq!(out.distribution(), Distribution::Single(2));
+        assert_eq!(out.to_vec().unwrap(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn scan_rejects_empty_input() {
+        let rt = init_gpus(1);
+        let scan = Scan::<f32>::from_source(ADD);
+        let v = Vector::from_vec(&rt, Vec::<f32>::new());
+        assert!(matches!(scan.call(&v), Err(SkelError::EmptyInput)));
+    }
+}

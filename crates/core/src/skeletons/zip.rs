@@ -1,0 +1,341 @@
+//! The zip skeleton: `zip(⊕)([x1..xn],[y1..yn]) = [x1⊕y1 .. xn⊕yn]`.
+//!
+//! Multi-GPU execution (paper, Section III-C): both input vectors must have
+//! the same distribution (and, for single distribution, live on the same
+//! device); if not, SkelCL automatically changes both to block distribution.
+//! The output adopts the inputs' distribution.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use oclsim::{CostHint, KernelArg, NativeKernelDef, Pod, Program, Value};
+
+use crate::args::{ArgAccess, Args};
+use crate::distribution::Distribution;
+use crate::error::{Result, SkelError};
+use crate::kernelgen::{self, UdfInfo};
+use crate::skeletons::{alloc_output, PreparedArgs};
+use crate::vector::Vector;
+
+enum ZipUdf<A, B, O> {
+    Source(String),
+    Native(Arc<dyn Fn(&A, &B, &mut ArgAccess<'_, '_>) -> O + Send + Sync>),
+}
+
+struct BuiltSource {
+    kernel: oclsim::Kernel,
+    extra_scalars: usize,
+}
+
+/// The zip skeleton.
+///
+/// ```
+/// use skelcl::prelude::*;
+///
+/// let rt = skelcl::init_gpus(2);
+/// // The SAXPY computation of Listing 1 in the paper: Y <- a*X + Y, with the
+/// // scalar `a` passed as an additional argument.
+/// let saxpy = Zip::<f32, f32, f32>::from_source(
+///     "float func(float x, float y, float a) { return a * x + y; }",
+/// );
+/// let x = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0]);
+/// let y = Vector::from_vec(&rt, vec![10.0f32, 10.0, 10.0]);
+/// let y = saxpy.call(&x, &y, &Args::new().with_f32(2.0)).unwrap();
+/// assert_eq!(y.to_vec().unwrap(), vec![12.0, 14.0, 16.0]);
+/// ```
+pub struct Zip<A: Pod, B: Pod, O: Pod> {
+    udf: ZipUdf<A, B, O>,
+    cost: CostHint,
+    built: Mutex<Option<Arc<BuiltSource>>>,
+}
+
+impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
+    /// Customise the skeleton with a user-defined function given as source
+    /// code. The last function in the string is the UDF; its first two
+    /// parameters receive the paired elements, further (scalar) parameters
+    /// receive the additional arguments.
+    pub fn from_source(source: &str) -> Zip<A, B, O> {
+        Zip {
+            udf: ZipUdf::Source(source.to_string()),
+            cost: CostHint::DEFAULT,
+            built: Mutex::new(None),
+        }
+    }
+
+    /// Customise the skeleton with a native Rust closure.
+    pub fn new<F>(f: F) -> Zip<A, B, O>
+    where
+        F: Fn(&A, &B, &mut ArgAccess<'_, '_>) -> O + Send + Sync + 'static,
+    {
+        Zip {
+            udf: ZipUdf::Native(Arc::new(f)),
+            cost: CostHint::DEFAULT,
+            built: Mutex::new(None),
+        }
+    }
+
+    /// Override the per-element cost hint (native UDFs).
+    pub fn with_cost(mut self, cost: CostHint) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    fn ensure_built(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<Arc<BuiltSource>> {
+        let mut built = self.built.lock();
+        if let Some(b) = built.as_ref() {
+            return Ok(b.clone());
+        }
+        let ZipUdf::Source(src) = &self.udf else {
+            unreachable!("ensure_built is only called for source UDFs")
+        };
+        let info = UdfInfo::analyze(src, 2)?;
+        let kernel_src = kernelgen::zip_kernel(&info)?;
+        let program = runtime.context().build_program(&kernel_src)?;
+        let kernel = program.kernel(kernelgen::ZIP_KERNEL)?;
+        let b = Arc::new(BuiltSource {
+            kernel,
+            extra_scalars: info.extra_params.len(),
+        });
+        *built = Some(b.clone());
+        Ok(b)
+    }
+
+    fn native_kernel(&self) -> Option<oclsim::Kernel> {
+        let ZipUdf::Native(f) = &self.udf else {
+            return None;
+        };
+        let f = f.clone();
+        let def = NativeKernelDef::new("skelcl_zip_native", self.cost, move |ctx| {
+            let n = ctx.global_size();
+            let mut views = ctx.arg_views();
+            let (left_view, rest) = views
+                .split_first_mut()
+                .ok_or_else(|| "zip kernel is missing its left input".to_string())?;
+            let (right_view, rest) = rest
+                .split_first_mut()
+                .ok_or_else(|| "zip kernel is missing its right input".to_string())?;
+            let (out_view, rest) = rest
+                .split_first_mut()
+                .ok_or_else(|| "zip kernel is missing its output".to_string())?;
+            let (_n_view, extra) = rest
+                .split_first_mut()
+                .ok_or_else(|| "zip kernel is missing its length argument".to_string())?;
+            let left = left_view
+                .as_slice::<A>()
+                .ok_or_else(|| "zip left input must be a buffer".to_string())?;
+            let right = right_view
+                .as_slice::<B>()
+                .ok_or_else(|| "zip right input must be a buffer".to_string())?;
+            let output = out_view
+                .as_slice_mut::<O>()
+                .ok_or_else(|| "zip output must be a buffer".to_string())?;
+            let mut access = ArgAccess::new(extra);
+            for i in 0..n {
+                output[i] = f(&left[i], &right[i], &mut access);
+            }
+            Ok(())
+        });
+        let program = Program::from_native([def]);
+        program.kernel("skelcl_zip_native").ok()
+    }
+
+    /// Coerce the two inputs to a common distribution as the paper specifies:
+    /// if the distributions differ, or both are single but on different
+    /// devices, both vectors are switched to block distribution.
+    fn unify_distributions(left: &Vector<A>, right: &Vector<B>) -> Result<Distribution> {
+        let dl = left.distribution();
+        let dr = right.distribution();
+        if dl == dr {
+            return Ok(dl);
+        }
+        left.set_distribution(Distribution::Block)?;
+        right.set_distribution(Distribution::Block)?;
+        Ok(Distribution::Block)
+    }
+
+    /// Execute the skeleton: pair the elements of `left` and `right` and
+    /// apply the user function, with `args` as additional arguments.
+    pub fn call(&self, left: &Vector<A>, right: &Vector<B>, args: &Args) -> Result<Vector<O>> {
+        let runtime = left.runtime();
+        right.check_runtime(&runtime)?;
+        runtime.charge_skeleton_call();
+        if left.is_empty() || right.is_empty() {
+            return Err(SkelError::EmptyInput);
+        }
+        if left.len() != right.len() {
+            return Err(SkelError::LengthMismatch {
+                left: left.len(),
+                right: right.len(),
+            });
+        }
+        let distribution = Self::unify_distributions(left, right)?;
+        let (partition, left_buffers) = left.prepare_on_devices()?;
+        let (_, right_buffers) = right.prepare_on_devices()?;
+        let prepared = PreparedArgs::prepare(&runtime, args)?;
+        let out_buffers = alloc_output::<O>(&runtime, &partition)?;
+
+        let kernel = match &self.udf {
+            ZipUdf::Source(_) => {
+                if prepared.has_vectors() {
+                    return Err(SkelError::UnsupportedArg(
+                        "vector additional arguments require a native (closure) user function"
+                            .into(),
+                    ));
+                }
+                let built = self.ensure_built(&runtime)?;
+                if prepared.len() != built.extra_scalars {
+                    return Err(SkelError::UdfSignature(format!(
+                        "the user function expects {} additional argument(s), the call provides {}",
+                        built.extra_scalars,
+                        prepared.len()
+                    )));
+                }
+                built.kernel.clone()
+            }
+            ZipUdf::Native(_) => self
+                .native_kernel()
+                .expect("native kernel construction cannot fail"),
+        };
+
+        for device in partition.active_devices() {
+            let n = partition.size(device);
+            let lb = left_buffers[device].clone().ok_or_else(|| {
+                SkelError::Distribution(format!("left input has no buffer on device {device}"))
+            })?;
+            let rb = right_buffers[device].clone().ok_or_else(|| {
+                SkelError::Distribution(format!("right input has no buffer on device {device}"))
+            })?;
+            let ob = out_buffers[device].clone().expect("allocated above");
+            let mut kargs = vec![
+                KernelArg::Buffer(lb),
+                KernelArg::Buffer(rb),
+                KernelArg::Buffer(ob),
+                KernelArg::Scalar(Value::Int(n as i32)),
+            ];
+            kargs.extend(prepared.kernel_args_for(device)?);
+            runtime.queue(device).enqueue_kernel(&kernel, n, &kargs)?;
+        }
+
+        Ok(Vector::device_resident(
+            &runtime,
+            left.len(),
+            distribution,
+            out_buffers,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::init_gpus;
+
+    const SAXPY: &str = "float func(float x, float y, float a) { return a * x + y; }";
+
+    #[test]
+    fn saxpy_matches_listing_1() {
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY);
+            let n = 64;
+            let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let y: Vec<f32> = (0..n).map(|i| (i * 2) as f32).collect();
+            let a = 3.0f32;
+            let xv = Vector::from_vec(&rt, x.clone());
+            let yv = Vector::from_vec(&rt, y.clone());
+            let out = saxpy.call(&xv, &yv, &Args::new().with_f32(a)).unwrap();
+            let expected: Vec<f32> = x.iter().zip(&y).map(|(x, y)| a * x + y).collect();
+            assert_eq!(out.to_vec().unwrap(), expected, "devices = {devices}");
+        }
+    }
+
+    #[test]
+    fn native_zip_without_extra_args() {
+        let rt = init_gpus(2);
+        let add = Zip::<f32, f32, f32>::new(|a, b, _| a + b);
+        let x = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0]);
+        let y = Vector::from_vec(&rt, vec![0.5f32, 0.5, 0.5]);
+        let out = add.call(&x, &y, &Args::none()).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn zip_with_mixed_element_types() {
+        let rt = init_gpus(2);
+        let pick = Zip::<f32, i32, f32>::from_source(
+            "float func(float x, int keep) { return keep > 0 ? x : 0.0f; }",
+        );
+        let x = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let keep = Vector::from_vec(&rt, vec![1i32, 0, 1, 0]);
+        let out = pick.call(&x, &keep, &Args::none()).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![1.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let rt = init_gpus(1);
+        let add = Zip::<f32, f32, f32>::new(|a, b, _| a + b);
+        let x = Vector::from_vec(&rt, vec![1.0f32, 2.0]);
+        let y = Vector::from_vec(&rt, vec![1.0f32]);
+        assert!(matches!(
+            add.call(&x, &y, &Args::none()),
+            Err(SkelError::LengthMismatch { left: 2, right: 1 })
+        ));
+    }
+
+    #[test]
+    fn mismatched_distributions_are_coerced_to_block() {
+        let rt = init_gpus(2);
+        let add = Zip::<f32, f32, f32>::new(|a, b, _| a + b);
+        let x = Vector::from_vec(&rt, vec![1.0f32; 8]);
+        let y = Vector::from_vec(&rt, vec![2.0f32; 8]);
+        x.set_distribution(Distribution::Single(0)).unwrap();
+        y.set_distribution(Distribution::Copy).unwrap();
+        let out = add.call(&x, &y, &Args::none()).unwrap();
+        assert_eq!(x.distribution(), Distribution::Block);
+        assert_eq!(y.distribution(), Distribution::Block);
+        assert_eq!(out.distribution(), Distribution::Block);
+        assert_eq!(out.to_vec().unwrap(), vec![3.0f32; 8]);
+    }
+
+    #[test]
+    fn matching_single_distributions_stay_single() {
+        let rt = init_gpus(2);
+        let add = Zip::<f32, f32, f32>::new(|a, b, _| a + b);
+        let x = Vector::from_vec(&rt, vec![1.0f32; 4]);
+        let y = Vector::from_vec(&rt, vec![2.0f32; 4]);
+        x.set_distribution(Distribution::Single(1)).unwrap();
+        y.set_distribution(Distribution::Single(1)).unwrap();
+        let out = add.call(&x, &y, &Args::none()).unwrap();
+        assert_eq!(out.distribution(), Distribution::Single(1));
+        assert_eq!(out.to_vec().unwrap(), vec![3.0f32; 4]);
+    }
+
+    #[test]
+    fn runtime_mismatch_is_rejected() {
+        let rt1 = init_gpus(1);
+        let rt2 = init_gpus(1);
+        let add = Zip::<f32, f32, f32>::new(|a, b, _| a + b);
+        let x = Vector::from_vec(&rt1, vec![1.0f32]);
+        let y = Vector::from_vec(&rt2, vec![1.0f32]);
+        assert!(matches!(
+            add.call(&x, &y, &Args::none()),
+            Err(SkelError::RuntimeMismatch)
+        ));
+    }
+
+    #[test]
+    fn update_reconstruction_image_like_listing_3() {
+        // Step 2 of the OSEM algorithm: f[j] *= c[j] if c[j] > 0 — the
+        // zipUpdate skeleton of Listing 3.
+        let rt = init_gpus(2);
+        let zip_update = Zip::<f32, f32, f32>::from_source(
+            "float func(float f, float c) { if (c > 0.0f) { return f * c; } return f; }",
+        );
+        let f = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let c = Vector::from_vec(&rt, vec![2.0f32, 0.0, 0.5, -1.0]);
+        let f2 = zip_update.call(&f, &c, &Args::none()).unwrap();
+        assert_eq!(f2.to_vec().unwrap(), vec![2.0, 2.0, 1.5, 4.0]);
+    }
+}

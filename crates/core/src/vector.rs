@@ -1,0 +1,586 @@
+//! The abstract vector data type (paper, Section II-B).
+//!
+//! A [`Vector`] is "a contiguous memory range where data is accessible by
+//! both CPU and GPU". Internally it holds a host copy and per-device buffers
+//! which are kept in a consistent state automatically and *lazily*: CPU
+//! access triggers a download only if the device copies are newer; skeleton
+//! execution triggers an upload only if the host copy is newer. Consecutive
+//! skeleton calls therefore chain on the devices without any host transfers,
+//! exactly as described in the paper.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use oclsim::{Buffer, Pod};
+
+use crate::distribution::{Combine, Distribution, Partition};
+use crate::error::{Result, SkelError};
+use crate::runtime::SkelCl;
+
+/// Where the authoritative copy of the data currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residence {
+    /// Only the host copy is valid.
+    HostOnly,
+    /// Only the device copies are valid.
+    DevicesOnly,
+    /// Host and devices agree.
+    Shared,
+}
+
+struct Inner<T: Pod> {
+    runtime: Arc<SkelCl>,
+    host: Vec<T>,
+    len: usize,
+    host_valid: bool,
+    devices_valid: bool,
+    distribution: Distribution,
+    partition: Partition,
+    buffers: Vec<Option<Buffer>>,
+    combine: Combine<T>,
+}
+
+impl<T: Pod> Inner<T> {
+    fn release_buffers(&mut self) {
+        for buf in self.buffers.iter_mut() {
+            if let Some(b) = buf.take() {
+                // A failure here would mean the buffer was already released,
+                // which cannot happen while the vector owns it; ignore.
+                let _ = self.runtime.context().release_buffer(&b);
+            }
+        }
+    }
+
+    fn ensure_on_devices(&mut self) -> Result<()> {
+        if self.devices_valid {
+            return Ok(());
+        }
+        debug_assert!(self.host_valid, "either host or devices must be valid");
+        for device in 0..self.partition.device_count() {
+            let range = self.partition.range(device);
+            if range.is_empty() {
+                continue;
+            }
+            let buffer = match &self.buffers[device] {
+                Some(b) if b.len() == range.len() => b.clone(),
+                _ => {
+                    if let Some(old) = self.buffers[device].take() {
+                        let _ = self.runtime.context().release_buffer(&old);
+                    }
+                    let b = self
+                        .runtime
+                        .context()
+                        .create_buffer::<T>(device, range.len())?;
+                    self.buffers[device] = Some(b.clone());
+                    b
+                }
+            };
+            self.runtime
+                .queue(device)
+                .enqueue_write_buffer(&buffer, &self.host[range])?;
+        }
+        self.devices_valid = true;
+        Ok(())
+    }
+
+    fn download_to_host(&mut self) -> Result<()> {
+        if self.host_valid {
+            return Ok(());
+        }
+        debug_assert!(self.devices_valid, "either host or devices must be valid");
+        match &self.distribution {
+            Distribution::Single(_) | Distribution::Block | Distribution::BlockWeighted(_) => {
+                let mut host = Vec::with_capacity(self.len);
+                for device in 0..self.partition.device_count() {
+                    let range = self.partition.range(device);
+                    if range.is_empty() {
+                        continue;
+                    }
+                    let buffer = self.buffers[device].as_ref().ok_or_else(|| {
+                        SkelError::Distribution(format!(
+                            "device {device} should hold elements {range:?} but has no buffer"
+                        ))
+                    })?;
+                    let mut part = vec_uninit_len::<T>(range.len());
+                    self.runtime
+                        .queue(device)
+                        .enqueue_read_buffer(buffer, &mut part)?;
+                    host.extend_from_slice(&part);
+                }
+                self.host = host;
+            }
+            Distribution::Copy => {
+                let actives = self.partition.active_devices();
+                let first = *actives.first().ok_or(SkelError::EmptyInput)?;
+                let buffer = self.buffers[first].as_ref().ok_or_else(|| {
+                    SkelError::Distribution("copy-distributed vector has no device buffer".into())
+                })?;
+                let mut host = vec_uninit_len::<T>(self.len);
+                self.runtime
+                    .queue(first)
+                    .enqueue_read_buffer(buffer, &mut host)?;
+                if let Combine::Func(f) = &self.combine {
+                    let mut other = vec_uninit_len::<T>(self.len);
+                    for &device in actives.iter().skip(1) {
+                        let buffer = self.buffers[device].as_ref().ok_or_else(|| {
+                            SkelError::Distribution(
+                                "copy-distributed vector is missing a device copy".into(),
+                            )
+                        })?;
+                        self.runtime
+                            .queue(device)
+                            .enqueue_read_buffer(buffer, &mut other)?;
+                        f(&mut host, &other);
+                    }
+                    // After combining, the individual device copies are stale.
+                    self.devices_valid = false;
+                }
+                self.host = host;
+            }
+        }
+        self.host_valid = true;
+        Ok(())
+    }
+}
+
+impl<T: Pod> Drop for Inner<T> {
+    fn drop(&mut self) {
+        self.release_buffers();
+    }
+}
+
+/// Create a `Vec<T>` of the given length whose contents will be overwritten
+/// immediately by a device read. `T: Pod` has no invalid bit patterns that we
+/// could expose because the vector is fully overwritten before use; zeroed
+/// memory keeps this fully safe.
+fn vec_uninit_len<T: Pod>(len: usize) -> Vec<T> {
+    let mut v = Vec::with_capacity(len);
+    // SAFETY: not actually unsafe — we build from zeroed bytes via Pod copy.
+    let bytes = vec![0u8; len * std::mem::size_of::<T>()];
+    v.extend_from_slice(&oclsim::pod::from_bytes_vec::<T>(&bytes));
+    v
+}
+
+/// The SkelCL vector: host + multi-device storage with lazy coherence.
+///
+/// Cloning a `Vector` is cheap and yields a handle to the *same* underlying
+/// data (like the C++ SkelCL vector, which is passed by reference to
+/// skeletons).
+pub struct Vector<T: Pod> {
+    id: u64,
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+impl<T: Pod> Clone for Vector<T> {
+    fn clone(&self) -> Self {
+        Vector {
+            id: self.id,
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Pod> std::fmt::Debug for Vector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Vector")
+            .field("id", &self.id)
+            .field("len", &inner.len)
+            .field("distribution", &inner.distribution)
+            .field("residence", &residence_of(&inner))
+            .finish()
+    }
+}
+
+fn residence_of<T: Pod>(inner: &Inner<T>) -> Residence {
+    match (inner.host_valid, inner.devices_valid) {
+        (true, true) => Residence::Shared,
+        (true, false) => Residence::HostOnly,
+        (false, true) => Residence::DevicesOnly,
+        (false, false) => unreachable!("vector lost both copies"),
+    }
+}
+
+impl<T: Pod> Vector<T> {
+    /// Create a vector from host data. The initial distribution is block
+    /// (the paper's default for skeleton inputs); no device transfer happens
+    /// until the vector is first used on the devices.
+    pub fn from_vec(runtime: &Arc<SkelCl>, data: Vec<T>) -> Vector<T> {
+        let len = data.len();
+        let devices = runtime.device_count();
+        let distribution = Distribution::default_for_inputs();
+        let partition = Partition::compute(len, devices, &distribution);
+        Vector {
+            id: runtime.next_vector_id(),
+            inner: Arc::new(Mutex::new(Inner {
+                runtime: runtime.clone(),
+                host: data,
+                len,
+                host_valid: true,
+                devices_valid: false,
+                distribution,
+                partition,
+                buffers: vec![None; devices],
+                combine: Combine::KeepFirst,
+            })),
+        }
+    }
+
+    /// Create a vector of `len` copies of `value`.
+    pub fn filled(runtime: &Arc<SkelCl>, len: usize, value: T) -> Vector<T> {
+        Vector::from_vec(runtime, vec![value; len])
+    }
+
+    /// Internal constructor for skeleton outputs: the data already lives in
+    /// per-device buffers; the host copy is stale until first CPU access.
+    pub(crate) fn device_resident(
+        runtime: &Arc<SkelCl>,
+        len: usize,
+        distribution: Distribution,
+        buffers: Vec<Option<Buffer>>,
+    ) -> Vector<T> {
+        let partition = Partition::compute(len, runtime.device_count(), &distribution);
+        Vector {
+            id: runtime.next_vector_id(),
+            inner: Arc::new(Mutex::new(Inner {
+                runtime: runtime.clone(),
+                host: Vec::new(),
+                len,
+                host_valid: false,
+                devices_valid: true,
+                distribution,
+                partition,
+                buffers,
+                combine: Combine::KeepFirst,
+            })),
+        }
+    }
+
+    /// Stable identity of the vector (used to detect aliasing).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The runtime this vector belongs to.
+    pub fn runtime(&self) -> Arc<SkelCl> {
+        self.inner.lock().runtime.clone()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len
+    }
+
+    /// Whether the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current distribution.
+    pub fn distribution(&self) -> Distribution {
+        self.inner.lock().distribution.clone()
+    }
+
+    /// Where the authoritative data currently lives.
+    pub fn residence(&self) -> Residence {
+        residence_of(&self.inner.lock())
+    }
+
+    /// Per-device part sizes under the current distribution (the paper's
+    /// `events.sizes()` in Listing 3).
+    pub fn sizes(&self) -> Vec<usize> {
+        self.inner.lock().partition.sizes()
+    }
+
+    /// The element range device `d` holds under the current distribution.
+    pub fn range_of(&self, device: usize) -> Range<usize> {
+        self.inner.lock().partition.range(device)
+    }
+
+    /// Set the combine function used when the distribution changes away from
+    /// [`Distribution::Copy`] (`Distribution::copy(add)` in the paper).
+    pub fn set_combine(&self, combine: Combine<T>) {
+        self.inner.lock().combine = combine;
+    }
+
+    /// Change the distribution. Data exchanges implied by the change are
+    /// performed implicitly; like every SkelCL transfer they are lazy — the
+    /// actual upload to the devices happens on next device use.
+    pub fn set_distribution(&self, distribution: Distribution) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.distribution == distribution {
+            return Ok(());
+        }
+        if let Distribution::Single(d) = &distribution {
+            let devices = inner.runtime.device_count();
+            if *d >= devices {
+                return Err(SkelError::Distribution(format!(
+                    "single distribution names device {d} but the runtime has {devices} devices"
+                )));
+            }
+        }
+        // Bring the authoritative state to the host (combining per-device
+        // copies when leaving a copy distribution), then drop the old device
+        // buffers; the next device use re-uploads under the new distribution.
+        inner.download_to_host()?;
+        inner.release_buffers();
+        inner.devices_valid = false;
+        let devices = inner.runtime.device_count();
+        inner.partition = Partition::compute(inner.len, devices, &distribution);
+        inner.distribution = distribution;
+        Ok(())
+    }
+
+    /// Shorthand for `set_distribution(Distribution::Copy)` followed by
+    /// [`Vector::set_combine`] — mirrors `Distribution::copy(add)`.
+    pub fn set_copy_distribution_with(&self, combine: Combine<T>) -> Result<()> {
+        self.set_combine(combine);
+        self.set_distribution(Distribution::Copy)
+    }
+
+    /// Declare that a skeleton has modified this vector's data on the devices
+    /// through an additional argument (the runtime cannot detect this), so
+    /// the host copy is stale. Mirrors `dataOnDevicesModified()` from
+    /// Listing 3 of the paper.
+    pub fn mark_device_modified(&self) {
+        let mut inner = self.inner.lock();
+        if inner.devices_valid {
+            inner.host_valid = false;
+        }
+    }
+
+    /// Copy the vector's contents to a host `Vec`, downloading from the
+    /// devices if they hold the newer copy.
+    pub fn to_vec(&self) -> Result<Vec<T>> {
+        let mut inner = self.inner.lock();
+        inner.download_to_host()?;
+        Ok(inner.host.clone())
+    }
+
+    /// Run `f` over the host copy (downloading first if necessary).
+    pub fn with_host<R>(&self, f: impl FnOnce(&[T]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        inner.download_to_host()?;
+        Ok(f(&inner.host))
+    }
+
+    /// Mutate the host copy (downloading first if necessary); the device
+    /// copies become stale and will be re-uploaded lazily.
+    pub fn update_host(&self, f: impl FnOnce(&mut Vec<T>)) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.download_to_host()?;
+        f(&mut inner.host);
+        let len = inner.host.len();
+        if len != inner.len {
+            inner.len = len;
+            let devices = inner.runtime.device_count();
+            let distribution = inner.distribution.clone();
+            inner.partition = Partition::compute(len, devices, &distribution);
+        }
+        inner.release_buffers();
+        inner.devices_valid = false;
+        inner.host_valid = true;
+        Ok(())
+    }
+
+    /// Force the lazy upload now: make the vector's data present on the
+    /// devices according to its distribution. Mirrors
+    /// `copyDataToDevices()` of the C++ library; normally not needed because
+    /// skeletons trigger the upload implicitly.
+    pub fn copy_data_to_devices(&self) -> Result<()> {
+        self.inner.lock().ensure_on_devices()
+    }
+
+    /// Ensure the vector's data is present on the devices according to its
+    /// distribution (lazy upload). Returns the per-device buffers (`None` for
+    /// devices that hold no part) and the partition.
+    pub(crate) fn prepare_on_devices(&self) -> Result<(Partition, Vec<Option<Buffer>>)> {
+        let mut inner = self.inner.lock();
+        inner.ensure_on_devices()?;
+        Ok((inner.partition.clone(), inner.buffers.clone()))
+    }
+
+    /// Check that this vector belongs to `runtime`.
+    pub(crate) fn check_runtime(&self, runtime: &Arc<SkelCl>) -> Result<()> {
+        if Arc::ptr_eq(&self.inner.lock().runtime, runtime) {
+            Ok(())
+        } else {
+            Err(SkelError::RuntimeMismatch)
+        }
+    }
+
+    /// The buffer of device `d`, if the vector currently has one there.
+    pub fn buffer_of(&self, device: usize) -> Option<Buffer> {
+        self.inner.lock().buffers.get(device).cloned().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::init_gpus;
+
+    #[test]
+    fn from_vec_round_trip_without_devices() {
+        let rt = init_gpus(2);
+        let v = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.residence(), Residence::HostOnly);
+        assert_eq!(v.to_vec().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(v.distribution(), Distribution::Block);
+    }
+
+    #[test]
+    fn upload_and_download_block_distribution() {
+        let rt = init_gpus(3);
+        let data: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let v = Vector::from_vec(&rt, data.clone());
+        let (partition, buffers) = v.prepare_on_devices().unwrap();
+        assert_eq!(partition.sizes().iter().sum::<usize>(), 10);
+        assert_eq!(buffers.iter().filter(|b| b.is_some()).count(), 3);
+        assert_eq!(v.residence(), Residence::Shared);
+        // Invalidate the host copy and force a download.
+        v.mark_device_modified();
+        assert_eq!(v.residence(), Residence::DevicesOnly);
+        assert_eq!(v.to_vec().unwrap(), data);
+    }
+
+    #[test]
+    fn single_distribution_uses_one_device() {
+        let rt = init_gpus(4);
+        let v = Vector::from_vec(&rt, vec![5.0f32; 8]);
+        v.set_distribution(Distribution::Single(2)).unwrap();
+        let (partition, buffers) = v.prepare_on_devices().unwrap();
+        assert_eq!(partition.sizes(), vec![0, 0, 8, 0]);
+        assert!(buffers[2].is_some());
+        assert!(buffers[0].is_none());
+        assert_eq!(v.to_vec().unwrap(), vec![5.0f32; 8]);
+    }
+
+    #[test]
+    fn invalid_single_device_is_rejected() {
+        let rt = init_gpus(2);
+        let v = Vector::from_vec(&rt, vec![1i32; 4]);
+        assert!(v.set_distribution(Distribution::Single(5)).is_err());
+    }
+
+    #[test]
+    fn copy_distribution_replicates_and_keep_first_on_change() {
+        let rt = init_gpus(2);
+        let v = Vector::from_vec(&rt, vec![1.0f32, 2.0]);
+        v.set_distribution(Distribution::Copy).unwrap();
+        let (partition, buffers) = v.prepare_on_devices().unwrap();
+        assert_eq!(partition.sizes(), vec![2, 2]);
+        assert!(buffers[0].is_some() && buffers[1].is_some());
+        // Change back to block: device 0's copy wins (no combine function).
+        v.set_distribution(Distribution::Block).unwrap();
+        assert_eq!(v.to_vec().unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn copy_distribution_combines_with_add_on_change() {
+        let rt = init_gpus(2);
+        let v = Vector::from_vec(&rt, vec![1.0f32, 10.0]);
+        v.set_copy_distribution_with(Combine::add()).unwrap();
+        let (_, buffers) = v.prepare_on_devices().unwrap();
+        // Simulate each device modifying its own copy (as the OSEM step 1
+        // kernel does through an additional argument).
+        for d in 0..2 {
+            let buf = buffers[d].as_ref().unwrap();
+            rt.queue(d)
+                .enqueue_write_buffer(buf, &[(d + 1) as f32, (d + 1) as f32 * 10.0])
+                .unwrap();
+        }
+        v.mark_device_modified();
+        // Switching to block must element-wise add the two device copies.
+        v.set_distribution(Distribution::Block).unwrap();
+        assert_eq!(v.to_vec().unwrap(), vec![3.0, 30.0]);
+    }
+
+    #[test]
+    fn update_host_invalidates_devices_and_supports_resize() {
+        let rt = init_gpus(2);
+        let v = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
+        v.prepare_on_devices().unwrap();
+        v.update_host(|h| {
+            h.push(5.0);
+            h[0] = 10.0;
+        })
+        .unwrap();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.residence(), Residence::HostOnly);
+        assert_eq!(v.to_vec().unwrap(), vec![10.0, 2.0, 3.0, 4.0, 5.0]);
+        let (partition, _) = v.prepare_on_devices().unwrap();
+        assert_eq!(partition.sizes().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn setting_same_distribution_is_a_noop() {
+        let rt = init_gpus(2);
+        let v = Vector::from_vec(&rt, vec![0u32; 6]);
+        v.prepare_on_devices().unwrap();
+        let before = rt.now();
+        v.set_distribution(Distribution::Block).unwrap();
+        assert_eq!(rt.now(), before, "no data movement for an unchanged distribution");
+        assert_eq!(v.residence(), Residence::Shared);
+    }
+
+    #[test]
+    fn redistribution_releases_old_buffers() {
+        let rt = init_gpus(2);
+        let v = Vector::from_vec(&rt, vec![1.0f32; 100]);
+        v.prepare_on_devices().unwrap();
+        let live_before: usize = (0..2).map(|d| rt.context().device(d).unwrap().live_buffers()).sum();
+        v.set_distribution(Distribution::Single(0)).unwrap();
+        v.prepare_on_devices().unwrap();
+        let live_after: usize = (0..2).map(|d| rt.context().device(d).unwrap().live_buffers()).sum();
+        assert_eq!(live_before, 2);
+        assert_eq!(live_after, 1);
+    }
+
+    #[test]
+    fn drop_releases_device_memory() {
+        let rt = init_gpus(1);
+        {
+            let v = Vector::from_vec(&rt, vec![0.0f32; 1000]);
+            v.prepare_on_devices().unwrap();
+            assert!(rt.context().device(0).unwrap().allocated_bytes() > 0);
+        }
+        assert_eq!(rt.context().device(0).unwrap().allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn weighted_block_distribution_partitions_proportionally() {
+        let rt = init_gpus(2);
+        let v = Vector::from_vec(&rt, vec![1u32; 100]);
+        v.set_distribution(Distribution::block_weighted(&[3.0, 1.0]))
+            .unwrap();
+        assert_eq!(v.sizes(), vec![75, 25]);
+        assert_eq!(v.to_vec().unwrap(), vec![1u32; 100]);
+    }
+
+    #[test]
+    fn runtime_mismatch_is_detected() {
+        let rt1 = init_gpus(1);
+        let rt2 = init_gpus(1);
+        let v = Vector::from_vec(&rt1, vec![1.0f32]);
+        assert!(v.check_runtime(&rt1).is_ok());
+        assert!(matches!(
+            v.check_runtime(&rt2),
+            Err(SkelError::RuntimeMismatch)
+        ));
+    }
+
+    #[test]
+    fn clone_shares_data() {
+        let rt = init_gpus(1);
+        let v = Vector::from_vec(&rt, vec![1.0f32, 2.0]);
+        let w = v.clone();
+        v.update_host(|h| h[0] = 9.0).unwrap();
+        assert_eq!(w.to_vec().unwrap(), vec![9.0, 2.0]);
+        assert_eq!(v.id(), w.id());
+    }
+}

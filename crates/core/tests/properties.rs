@@ -1,0 +1,236 @@
+//! Property-based tests of the SkelCL core data structures: the partition
+//! arithmetic behind every distribution, the vector coherence machinery, and
+//! the skeleton semantics on arbitrary inputs and device counts.
+
+use proptest::prelude::*;
+
+use skelcl::prelude::*;
+use skelcl::Partition;
+
+// ---------------------------------------------------------------------------
+// Partition invariants (the arithmetic behind Figure 1)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn block_partition_covers_every_element_exactly_once(
+        len in 0usize..10_000,
+        devices in 1usize..=8,
+    ) {
+        let p = Partition::compute(len, devices, &Distribution::Block);
+        prop_assert_eq!(p.device_count(), devices);
+        prop_assert_eq!(p.len(), len);
+        // Ranges are contiguous, ordered, disjoint and cover 0..len.
+        let mut cursor = 0usize;
+        for d in 0..devices {
+            let r = p.range(d);
+            prop_assert_eq!(r.start, cursor, "parts must be contiguous");
+            prop_assert!(r.end >= r.start);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, len);
+        prop_assert_eq!(p.sizes().iter().sum::<usize>(), len);
+        // Block parts are balanced to within one element.
+        if len > 0 {
+            let max = *p.sizes().iter().max().unwrap();
+            let min = *p.sizes().iter().min().unwrap();
+            prop_assert!(max - min <= 1, "sizes {:?}", p.sizes());
+        }
+    }
+
+    #[test]
+    fn weighted_partition_covers_exactly_once_for_any_weights(
+        len in 0usize..5_000,
+        weights in prop::collection::vec(0.0f64..10.0, 1..8),
+    ) {
+        let devices = weights.len();
+        let dist = Distribution::block_weighted(&weights);
+        let p = Partition::compute(len, devices, &dist);
+        let mut cursor = 0usize;
+        for d in 0..devices {
+            let r = p.range(d);
+            prop_assert_eq!(r.start, cursor);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, len);
+    }
+
+    #[test]
+    fn weighted_partition_gives_larger_parts_to_larger_weights(
+        len in 1000usize..5_000,
+        heavy in 2.0f64..10.0,
+    ) {
+        let dist = Distribution::block_weighted(&[heavy, 1.0]);
+        let p = Partition::compute(len, 2, &dist);
+        prop_assert!(p.size(0) > p.size(1));
+        prop_assert_eq!(p.size(0) + p.size(1), len);
+    }
+
+    #[test]
+    fn single_partition_places_everything_on_the_chosen_device(
+        len in 0usize..4_096,
+        devices in 1usize..=6,
+        chosen in 0usize..6,
+    ) {
+        let chosen = chosen % devices;
+        let p = Partition::compute(len, devices, &Distribution::Single(chosen));
+        for d in 0..devices {
+            prop_assert_eq!(p.size(d), if d == chosen { len } else { 0 });
+        }
+        if len > 0 {
+            prop_assert_eq!(p.active_devices(), vec![chosen]);
+        }
+    }
+
+    #[test]
+    fn copy_partition_replicates_the_full_range_on_every_device(
+        len in 0usize..4_096,
+        devices in 1usize..=6,
+    ) {
+        let p = Partition::compute(len, devices, &Distribution::Copy);
+        for d in 0..devices {
+            prop_assert_eq!(p.range(d), 0..len);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector coherence and distribution changes
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn host_updates_are_visible_after_any_distribution_change(
+        data in prop::collection::vec(-1.0e4f32..1.0e4, 1..200),
+        devices in 1usize..=4,
+        scale in -4.0f32..4.0,
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let v = Vector::from_vec(&rt, data.clone());
+        v.set_distribution(Distribution::Block).unwrap();
+        v.copy_data_to_devices().unwrap();
+
+        // Mutate on the host: the device copies must be refreshed lazily.
+        v.update_host(|host| {
+            for x in host.iter_mut() {
+                *x *= scale;
+            }
+        }).unwrap();
+
+        let doubled = Map::<f32, f32>::from_source("float func(float x) { return x + 0.0f; }");
+        let out = doubled.call(&v, &Args::none()).unwrap().to_vec().unwrap();
+        let expected: Vec<f32> = data.iter().map(|x| x * scale).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn filled_vectors_report_consistent_lengths_and_values(
+        len in 1usize..2_000,
+        value in -100.0f32..100.0,
+        devices in 1usize..=4,
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let v = Vector::filled(&rt, len, value);
+        prop_assert_eq!(v.len(), len);
+        prop_assert!(!v.is_empty());
+        prop_assert_eq!(v.to_vec().unwrap(), vec![value; len]);
+        prop_assert_eq!(v.with_host(|h| h.len()).unwrap(), len);
+    }
+
+    #[test]
+    fn index_map_agrees_with_an_explicit_index_vector(
+        len in 1usize..1_000,
+        devices in 1usize..=4,
+        offset in -100i32..100,
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let udf = "int func(int i, int offset) { return 3 * i + offset; }";
+        let by_index = Map::<i32, i32>::from_source(udf);
+        let explicit = Map::<i32, i32>::from_source(udf);
+        let args = Args::new().with_i32(offset);
+
+        let a = by_index.call_index(&rt, len, &args).unwrap().to_vec().unwrap();
+        let idx = Vector::from_vec(&rt, (0..len as i32).collect());
+        let b = explicit.call(&idx, &args).unwrap().to_vec().unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reduce_and_scan_are_consistent_with_each_other(
+        data in prop::collection::vec(-1_000i32..1_000, 1..300),
+        devices in 1usize..=4,
+    ) {
+        // The last element of an inclusive scan equals the reduction.
+        let rt = skelcl::init_gpus(devices);
+        let add = "int func(int a, int b) { return a + b; }";
+        let scan = Scan::<i32>::from_source(add);
+        let reduce = Reduce::<i32>::from_source(add);
+        let v = Vector::from_vec(&rt, data.clone());
+        let prefix = scan.call(&v).unwrap().to_vec().unwrap();
+        let total = reduce.reduce_value(&v).unwrap();
+        prop_assert_eq!(*prefix.last().unwrap(), total);
+        prop_assert_eq!(total, data.iter().sum::<i32>());
+    }
+
+    #[test]
+    fn map_then_zip_composition_matches_reference(
+        data in prop::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 1..150),
+        devices in 1usize..=4,
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let xs: Vec<f32> = data.iter().map(|(x, _)| *x).collect();
+        let ys: Vec<f32> = data.iter().map(|(_, y)| *y).collect();
+
+        let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+        let add = Zip::<f32, f32, f32>::from_source(
+            "float func(float a, float b) { return a + b; }",
+        );
+        let xv = Vector::from_vec(&rt, xs.clone());
+        let yv = Vector::from_vec(&rt, ys.clone());
+        let out = add
+            .call(&square.call(&xv, &Args::none()).unwrap(), &yv, &Args::none())
+            .unwrap()
+            .to_vec()
+            .unwrap();
+        let expected: Vec<f32> = xs.iter().zip(&ys).map(|(x, y)| x * x + y).collect();
+        prop_assert_eq!(out, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Args builder invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn args_builder_counts_scalars_and_vectors_correctly(
+        floats in prop::collection::vec(-10.0f32..10.0, 0..6),
+        ints in prop::collection::vec(-10i32..10, 0..6),
+        vectors in 0usize..3,
+    ) {
+        let rt = skelcl::init_gpus(1);
+        let mut args = Args::new();
+        for f in &floats {
+            args = args.with_f32(*f);
+        }
+        for i in &ints {
+            args = args.with_i32(*i);
+        }
+        let held: Vec<Vector<f32>> = (0..vectors)
+            .map(|_| Vector::from_vec(&rt, vec![0.0f32; 4]))
+            .collect();
+        for v in &held {
+            args = args.with_vec_f32(v);
+        }
+        prop_assert_eq!(args.len(), floats.len() + ints.len() + vectors);
+        prop_assert_eq!(args.scalar_count(), floats.len() + ints.len());
+        prop_assert_eq!(args.vector_count(), vectors);
+        prop_assert_eq!(args.is_empty(), args.len() == 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! The dOpenCL client view: all devices of all server nodes, exposed as if
+//! they were local.
+
+use oclsim::{DeviceProfile, SimDuration};
+
+use crate::network::NetworkModel;
+use crate::node::Node;
+
+/// A distributed system: a client connected to several server nodes over a
+/// network. The client itself contributes no devices (like the desktop PC in
+/// the paper's lab set-up).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    network: NetworkModel,
+    nodes: Vec<Node>,
+}
+
+/// Where a unified device physically lives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteDevice {
+    /// Index of the device in the unified (client-visible) device list.
+    pub unified_index: usize,
+    /// Name of the node hosting the device.
+    pub node: String,
+    /// The adjusted profile the client sees.
+    pub profile: DeviceProfile,
+}
+
+impl Cluster {
+    /// Create an empty cluster over the given network.
+    pub fn new(network: NetworkModel) -> Cluster {
+        Cluster {
+            network,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Add a server node.
+    pub fn with_node(mut self, node: Node) -> Cluster {
+        self.nodes.push(node);
+        self
+    }
+
+    /// The laboratory system described in Section V of the paper: the
+    /// Tesla S1070 machine plus two dual-GPU servers, attached to a desktop
+    /// client over Gigabit Ethernet — 8 GPUs and 3 multi-core CPUs in total.
+    pub fn lab_cluster() -> Cluster {
+        Cluster::new(NetworkModel::gigabit_ethernet())
+            .with_node(Node::tesla_s1070_server("gpu-server"))
+            .with_node(Node::dual_gpu_server("small-server-1"))
+            .with_node(Node::dual_gpu_server("small-server-2"))
+    }
+
+    /// The network model of the cluster.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// The server nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Total number of devices across all nodes.
+    pub fn device_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.devices.len()).sum()
+    }
+
+    /// Adjust a device profile for access through the network: every
+    /// host ↔ device transfer of the client additionally crosses the
+    /// interconnect, so latency adds up and bandwidth is capped by the
+    /// slower of PCIe and the network.
+    fn remote_profile(&self, node: &Node, device: &DeviceProfile) -> DeviceProfile {
+        let mut p = device.clone();
+        p.name = format!("{} @ {}", p.name, node.name);
+        p.transfer_latency = p.transfer_latency + self.network.latency;
+        p.transfer_bandwidth_gbs = p.transfer_bandwidth_gbs.min(self.network.bandwidth_gbs);
+        // Remote kernel launches carry an extra round trip of command
+        // forwarding.
+        p.kernel_launch_overhead =
+            p.kernel_launch_overhead + self.network.latency + self.network.latency;
+        p
+    }
+
+    /// The unified device list the client sees: every device of every node,
+    /// with network-adjusted profiles. The result can be passed directly to
+    /// `skelcl::DeviceSelection::Profiles` — SkelCL runs on the distributed
+    /// system without modification.
+    pub fn device_profiles(&self) -> Vec<DeviceProfile> {
+        self.remote_devices()
+            .into_iter()
+            .map(|d| d.profile)
+            .collect()
+    }
+
+    /// The unified device list with node provenance.
+    pub fn remote_devices(&self) -> Vec<RemoteDevice> {
+        let mut out = Vec::with_capacity(self.device_count());
+        for node in &self.nodes {
+            for device in &node.devices {
+                out.push(RemoteDevice {
+                    unified_index: out.len(),
+                    node: node.name.clone(),
+                    profile: self.remote_profile(node, device),
+                });
+            }
+        }
+        out
+    }
+
+    /// Only the GPU devices of the unified list (the usual SkelCL selection).
+    pub fn gpu_profiles(&self) -> Vec<DeviceProfile> {
+        self.device_profiles()
+            .into_iter()
+            .filter(|p| p.device_type == oclsim::DeviceType::Gpu)
+            .collect()
+    }
+
+    /// Estimated extra round-trip cost the network adds to one kernel launch
+    /// plus its argument upload of `bytes` bytes — used by harnesses to
+    /// reason about when offloading to a remote device pays off.
+    pub fn offload_overhead(&self, bytes: usize) -> SimDuration {
+        self.network.transfer_time(bytes) + self.network.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_list_preserves_node_order_and_indices() {
+        let cluster = Cluster::lab_cluster();
+        let devices = cluster.remote_devices();
+        assert_eq!(devices.len(), cluster.device_count());
+        for (i, d) in devices.iter().enumerate() {
+            assert_eq!(d.unified_index, i);
+        }
+        assert!(devices[0].node == "gpu-server");
+        assert!(devices.last().unwrap().node == "small-server-2");
+        assert!(devices[0].profile.name.contains("@ gpu-server"));
+    }
+
+    #[test]
+    fn gpu_profiles_filters_cpus() {
+        let cluster = Cluster::lab_cluster();
+        assert_eq!(cluster.gpu_profiles().len(), 8);
+    }
+
+    #[test]
+    fn faster_networks_reduce_offload_overhead() {
+        let slow = Cluster::new(NetworkModel::gigabit_ethernet())
+            .with_node(Node::dual_gpu_server("s"));
+        let fast = Cluster::new(NetworkModel::infiniband_qdr())
+            .with_node(Node::dual_gpu_server("s"));
+        let bytes = 16 * 1024 * 1024;
+        assert!(slow.offload_overhead(bytes) > fast.offload_overhead(bytes));
+    }
+}

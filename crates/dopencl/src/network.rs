@@ -1,0 +1,70 @@
+//! The interconnect model between the dOpenCL client and its server nodes.
+
+use oclsim::SimDuration;
+
+/// Latency/bandwidth model of the network connecting the client to the
+/// server nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    /// Human-readable name of the interconnect.
+    pub name: String,
+    /// One-way latency added to every transfer that crosses the network.
+    pub latency: SimDuration,
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl NetworkModel {
+    /// Gigabit Ethernet (the typical lab interconnect of the paper's era).
+    pub fn gigabit_ethernet() -> NetworkModel {
+        NetworkModel {
+            name: "Gigabit Ethernet".to_string(),
+            latency: SimDuration::from_micros(80),
+            bandwidth_gbs: 0.117, // ~117 MB/s effective
+        }
+    }
+
+    /// 10-Gigabit Ethernet.
+    pub fn ten_gigabit_ethernet() -> NetworkModel {
+        NetworkModel {
+            name: "10-Gigabit Ethernet".to_string(),
+            latency: SimDuration::from_micros(40),
+            bandwidth_gbs: 1.1,
+        }
+    }
+
+    /// QDR InfiniBand.
+    pub fn infiniband_qdr() -> NetworkModel {
+        NetworkModel {
+            name: "InfiniBand QDR".to_string(),
+            latency: SimDuration::from_micros(5),
+            bandwidth_gbs: 3.2,
+        }
+    }
+
+    /// Time to move `bytes` bytes across the network (one way).
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        self.latency + SimDuration::from_secs_f64(bytes as f64 / (self.bandwidth_gbs * 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let gbe = NetworkModel::gigabit_ethernet();
+        let tgbe = NetworkModel::ten_gigabit_ethernet();
+        let ib = NetworkModel::infiniband_qdr();
+        let bytes = 64 * 1024 * 1024;
+        assert!(gbe.transfer_time(bytes) > tgbe.transfer_time(bytes));
+        assert!(tgbe.transfer_time(bytes) > ib.transfer_time(bytes));
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let net = NetworkModel::infiniband_qdr();
+        assert!(net.transfer_time(0) >= net.latency);
+    }
+}

@@ -1,0 +1,77 @@
+//! Server nodes of the distributed system.
+
+use oclsim::DeviceProfile;
+
+/// One server node contributing its OpenCL devices to the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Host name of the node.
+    pub name: String,
+    /// The device profiles of the node's local OpenCL implementation.
+    pub devices: Vec<DeviceProfile>,
+}
+
+impl Node {
+    /// Create a node without devices.
+    pub fn new(name: &str) -> Node {
+        Node {
+            name: name.to_string(),
+            devices: Vec::new(),
+        }
+    }
+
+    /// Attach devices to the node.
+    pub fn with_devices(mut self, devices: Vec<DeviceProfile>) -> Node {
+        self.devices = devices;
+        self
+    }
+
+    /// The paper's evaluation machine as a server node: a quad-core Xeon
+    /// E5520 host with an NVIDIA Tesla S1070 (4 GPUs).
+    pub fn tesla_s1070_server(name: &str) -> Node {
+        let mut devices = vec![DeviceProfile::tesla_c1060(); 4];
+        devices.push(DeviceProfile::xeon_e5520());
+        Node::new(name).with_devices(devices)
+    }
+
+    /// A smaller lab server with one multi-core CPU and two GPUs, as in the
+    /// paper's Section V description.
+    pub fn dual_gpu_server(name: &str) -> Node {
+        Node::new(name).with_devices(vec![
+            DeviceProfile::generic_small_gpu(),
+            DeviceProfile::generic_small_gpu(),
+            DeviceProfile::xeon_e5520(),
+        ])
+    }
+
+    /// Number of GPU devices on the node.
+    pub fn gpu_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.device_type == oclsim::DeviceType::Gpu)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_nodes_have_expected_devices() {
+        let s1070 = Node::tesla_s1070_server("gpu-lab");
+        assert_eq!(s1070.gpu_count(), 4);
+        assert_eq!(s1070.devices.len(), 5);
+        let dual = Node::dual_gpu_server("small-1");
+        assert_eq!(dual.gpu_count(), 2);
+        assert_eq!(dual.devices.len(), 3);
+    }
+
+    #[test]
+    fn builder_attaches_devices() {
+        let n = Node::new("empty");
+        assert_eq!(n.gpu_count(), 0);
+        let n = n.with_devices(vec![DeviceProfile::tesla_c1060()]);
+        assert_eq!(n.gpu_count(), 1);
+    }
+}

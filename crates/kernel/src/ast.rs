@@ -1,0 +1,327 @@
+//! Abstract syntax tree of the kernel language.
+
+use crate::token::Span;
+use crate::types::{ScalarType, Type};
+
+/// A whole translation unit: a list of function definitions, where at least
+/// one is usually a `__kernel` entry point.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslationUnit {
+    /// All function definitions in declaration order.
+    pub functions: Vec<Function>,
+}
+
+impl TranslationUnit {
+    /// Find a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Index of a function by name.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// `true` if declared with the `__kernel` qualifier.
+    pub is_kernel: bool,
+    /// Declared return type.
+    pub return_type: Type,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Body block.
+    pub body: Block,
+    /// Source location of the function header.
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements of the block, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A local variable declaration: `float x = e;` (initialiser optional).
+    Decl {
+        /// Declared scalar type.
+        ty: ScalarType,
+        /// Variable name.
+        name: String,
+        /// Optional initialiser.
+        init: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// An expression statement (assignment, call, increment, ...).
+    Expr(Expr),
+    /// `if (cond) then else alt`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Taken when the condition is true.
+        then_block: Block,
+        /// Taken when the condition is false (may be empty).
+        else_block: Block,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Loop initialiser (declaration or expression); may be absent.
+        init: Option<Box<Stmt>>,
+        /// Loop condition; absent means "true".
+        cond: Option<Expr>,
+        /// Step expression run after each iteration.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return e;` (expression absent for `void` functions).
+    Return(Option<Expr>, Span),
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+    /// A nested block.
+    Block(Block),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Whether this operator produces a boolean result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+}
+
+/// Assignment flavours (`=`, `+=`, `-=`, `*=`, `/=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    Assign,
+    AddAssign,
+    SubAssign,
+    MulAssign,
+    DivAssign,
+}
+
+/// The target of an assignment or increment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A named local variable or scalar parameter.
+    Var(String, Span),
+    /// An indexed global buffer: `buf[idx]`.
+    Index {
+        /// Buffer (pointer parameter) name.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl LValue {
+    /// Source location of the lvalue.
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Var(_, s) => *s,
+            LValue::Index { span, .. } => *span,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64, Span),
+    /// Float literal.
+    FloatLit(f64, Span),
+    /// Boolean literal.
+    BoolLit(bool, Span),
+    /// Variable reference.
+    Var(String, Span),
+    /// Buffer element read: `buf[idx]`.
+    Index {
+        /// Buffer (pointer parameter) name.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Function or builtin call.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Ternary conditional `c ? a : b`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_expr: Box<Expr>,
+        /// Value when false.
+        else_expr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Assignment (also usable as an expression, value is the stored value).
+    Assign {
+        /// Assignment flavour.
+        op: AssignOp,
+        /// Target.
+        target: LValue,
+        /// Right-hand side.
+        value: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Pre/post increment or decrement (`++i`, `i++`, `--i`, `i--`).
+    IncDec {
+        /// Target.
+        target: LValue,
+        /// +1 or -1.
+        delta: i32,
+        /// `true` for prefix form (value is the updated value).
+        prefix: bool,
+        /// Source location.
+        span: Span,
+    },
+    /// Explicit cast `(float) x`.
+    Cast {
+        /// Target scalar type.
+        ty: ScalarType,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source location of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit(_, s)
+            | Expr::FloatLit(_, s)
+            | Expr::BoolLit(_, s)
+            | Expr::Var(_, s) => *s,
+            Expr::Index { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Ternary { span, .. }
+            | Expr::Assign { span, .. }
+            | Expr::IncDec { span, .. }
+            | Expr::Cast { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_comparison_predicate() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::And.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::Rem.is_comparison());
+    }
+
+    #[test]
+    fn unit_function_lookup() {
+        let f = Function {
+            name: "f".into(),
+            is_kernel: true,
+            return_type: Type::Void,
+            params: vec![],
+            body: Block::default(),
+            span: Span::default(),
+        };
+        let unit = TranslationUnit { functions: vec![f] };
+        assert!(unit.function("f").is_some());
+        assert_eq!(unit.function_index("f"), Some(0));
+        assert!(unit.function("g").is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! Builtin functions available inside kernels: OpenCL work-item functions and
+//! a subset of the OpenCL math library.
+
+use crate::types::ScalarType;
+use crate::value::Value;
+
+/// Identifies a builtin function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    // Work-item functions
+    GetGlobalId,
+    GetLocalId,
+    GetGroupId,
+    GetGlobalSize,
+    GetLocalSize,
+    GetNumGroups,
+    // Math, unary
+    Sqrt,
+    Fabs,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    Floor,
+    Ceil,
+    // Math, binary
+    Pow,
+    Fmin,
+    Fmax,
+    Min,
+    Max,
+    Atan2,
+    // Math, ternary
+    Fma,
+    Clamp,
+}
+
+impl Builtin {
+    /// Look up a builtin by source name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "get_global_id" => Builtin::GetGlobalId,
+            "get_local_id" => Builtin::GetLocalId,
+            "get_group_id" => Builtin::GetGroupId,
+            "get_global_size" => Builtin::GetGlobalSize,
+            "get_local_size" => Builtin::GetLocalSize,
+            "get_num_groups" => Builtin::GetNumGroups,
+            "sqrt" | "native_sqrt" => Builtin::Sqrt,
+            "fabs" => Builtin::Fabs,
+            "exp" | "native_exp" => Builtin::Exp,
+            "log" | "native_log" => Builtin::Log,
+            "sin" => Builtin::Sin,
+            "cos" => Builtin::Cos,
+            "floor" => Builtin::Floor,
+            "ceil" => Builtin::Ceil,
+            "pow" => Builtin::Pow,
+            "fmin" => Builtin::Fmin,
+            "fmax" => Builtin::Fmax,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "atan2" => Builtin::Atan2,
+            "fma" | "mad" => Builtin::Fma,
+            "clamp" => Builtin::Clamp,
+            _ => return None,
+        })
+    }
+
+    /// Whether this is a work-item index function (takes a dimension index
+    /// argument and returns `uint`).
+    pub fn is_work_item_fn(self) -> bool {
+        matches!(
+            self,
+            Builtin::GetGlobalId
+                | Builtin::GetLocalId
+                | Builtin::GetGroupId
+                | Builtin::GetGlobalSize
+                | Builtin::GetLocalSize
+                | Builtin::GetNumGroups
+        )
+    }
+
+    /// Number of arguments the builtin expects.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::GetGlobalId
+            | Builtin::GetLocalId
+            | Builtin::GetGroupId
+            | Builtin::GetGlobalSize
+            | Builtin::GetLocalSize
+            | Builtin::GetNumGroups => 1,
+            Builtin::Sqrt
+            | Builtin::Fabs
+            | Builtin::Exp
+            | Builtin::Log
+            | Builtin::Sin
+            | Builtin::Cos
+            | Builtin::Floor
+            | Builtin::Ceil => 1,
+            Builtin::Pow
+            | Builtin::Fmin
+            | Builtin::Fmax
+            | Builtin::Min
+            | Builtin::Max
+            | Builtin::Atan2 => 2,
+            Builtin::Fma | Builtin::Clamp => 3,
+        }
+    }
+
+    /// The scalar type this builtin returns, given its argument types.
+    pub fn result_type(self, args: &[ScalarType]) -> ScalarType {
+        if self.is_work_item_fn() {
+            return ScalarType::Int;
+        }
+        match self {
+            Builtin::Min | Builtin::Max | Builtin::Clamp => args
+                .iter()
+                .copied()
+                .reduce(ScalarType::unify)
+                .unwrap_or(ScalarType::Float),
+            _ => {
+                // Math builtins return float unless any argument is double.
+                if args.iter().any(|t| *t == ScalarType::Double) {
+                    ScalarType::Double
+                } else {
+                    ScalarType::Float
+                }
+            }
+        }
+    }
+
+    /// Evaluate a math builtin (work-item functions are handled by the
+    /// interpreter because they need the work-item context).
+    pub fn eval_math(self, args: &[Value]) -> Value {
+        debug_assert!(!self.is_work_item_fn());
+        let f = |i: usize| args[i].as_f64();
+        let result_ty = self.result_type(&args.iter().map(|v| v.scalar_type()).collect::<Vec<_>>());
+        let r = match self {
+            Builtin::Sqrt => f(0).sqrt(),
+            Builtin::Fabs => f(0).abs(),
+            Builtin::Exp => f(0).exp(),
+            Builtin::Log => f(0).ln(),
+            Builtin::Sin => f(0).sin(),
+            Builtin::Cos => f(0).cos(),
+            Builtin::Floor => f(0).floor(),
+            Builtin::Ceil => f(0).ceil(),
+            Builtin::Pow => f(0).powf(f(1)),
+            Builtin::Fmin => f(0).min(f(1)),
+            Builtin::Fmax => f(0).max(f(1)),
+            Builtin::Atan2 => f(0).atan2(f(1)),
+            Builtin::Fma => f(0).mul_add(f(1), f(2)),
+            Builtin::Min => {
+                return match result_ty {
+                    t if t.is_float() => Value::Float(f(0).min(f(1)) as f32).convert_to(t),
+                    t => Value::Int(args[0].as_i64().min(args[1].as_i64()) as i32).convert_to(t),
+                }
+            }
+            Builtin::Max => {
+                return match result_ty {
+                    t if t.is_float() => Value::Float(f(0).max(f(1)) as f32).convert_to(t),
+                    t => Value::Int(args[0].as_i64().max(args[1].as_i64()) as i32).convert_to(t),
+                }
+            }
+            Builtin::Clamp => f(0).clamp(f(1), f(2)),
+            _ => unreachable!("work-item builtin passed to eval_math"),
+        };
+        match result_ty {
+            ScalarType::Double => Value::Double(r),
+            _ => Value::Float(r as f32),
+        }
+    }
+
+    /// Approximate cost in floating-point operations, used by the static
+    /// cost estimator.
+    pub fn flop_cost(self) -> f64 {
+        match self {
+            b if b.is_work_item_fn() => 0.0,
+            Builtin::Fabs | Builtin::Floor | Builtin::Ceil | Builtin::Min | Builtin::Max => 1.0,
+            Builtin::Fmin | Builtin::Fmax | Builtin::Clamp => 1.0,
+            Builtin::Fma => 2.0,
+            Builtin::Sqrt => 4.0,
+            Builtin::Sin | Builtin::Cos => 8.0,
+            Builtin::Exp | Builtin::Log | Builtin::Pow | Builtin::Atan2 => 10.0,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Builtin::from_name("get_global_id"), Some(Builtin::GetGlobalId));
+        assert_eq!(Builtin::from_name("sqrt"), Some(Builtin::Sqrt));
+        assert_eq!(Builtin::from_name("mad"), Some(Builtin::Fma));
+        assert_eq!(Builtin::from_name("unknown_fn"), None);
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(Builtin::GetGlobalId.arity(), 1);
+        assert_eq!(Builtin::Sqrt.arity(), 1);
+        assert_eq!(Builtin::Pow.arity(), 2);
+        assert_eq!(Builtin::Fma.arity(), 3);
+    }
+
+    #[test]
+    fn math_evaluation() {
+        assert_eq!(Builtin::Sqrt.eval_math(&[Value::Float(9.0)]), Value::Float(3.0));
+        assert_eq!(
+            Builtin::Fma.eval_math(&[Value::Float(2.0), Value::Float(3.0), Value::Float(4.0)]),
+            Value::Float(10.0)
+        );
+        assert_eq!(
+            Builtin::Min.eval_math(&[Value::Int(3), Value::Int(5)]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Builtin::Max.eval_math(&[Value::Float(3.0), Value::Float(5.0)]),
+            Value::Float(5.0)
+        );
+        assert_eq!(
+            Builtin::Clamp.eval_math(&[Value::Float(7.0), Value::Float(0.0), Value::Float(1.0)]),
+            Value::Float(1.0)
+        );
+    }
+
+    #[test]
+    fn double_arguments_produce_double_results() {
+        let r = Builtin::Sqrt.eval_math(&[Value::Double(2.0)]);
+        assert_eq!(r.scalar_type(), ScalarType::Double);
+    }
+
+    #[test]
+    fn flop_costs_are_positive_for_math() {
+        assert!(Builtin::Exp.flop_cost() > Builtin::Fabs.flop_cost());
+        assert_eq!(Builtin::GetGlobalId.flop_cost(), 0.0);
+    }
+}

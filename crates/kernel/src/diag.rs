@@ -1,0 +1,117 @@
+//! Diagnostics: the error type shared by all phases of the kernel language.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// The phase of the pipeline where an error was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Symbol resolution / type checking.
+    Check,
+    /// Kernel execution.
+    Run,
+    /// Program / kernel lookup.
+    Lookup,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Check => "check",
+            Phase::Run => "run",
+            Phase::Lookup => "lookup",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An error produced while building or running a kernel program.
+///
+/// Mirrors the build log an OpenCL implementation would return from
+/// `clGetProgramBuildInfo(CL_PROGRAM_BUILD_LOG)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelError {
+    /// The pipeline phase that failed.
+    pub phase: Phase,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Source location, if known.
+    pub span: Option<Span>,
+}
+
+impl KernelError {
+    /// Create an error for a given phase.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Option<Span>) -> Self {
+        KernelError {
+            phase,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Lexer error at `span`.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        Self::new(Phase::Lex, message, Some(span))
+    }
+
+    /// Parser error at `span`.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        Self::new(Phase::Parse, message, Some(span))
+    }
+
+    /// Type/semantic error at `span`.
+    pub fn check(message: impl Into<String>, span: Span) -> Self {
+        Self::new(Phase::Check, message, Some(span))
+    }
+
+    /// Runtime error (out-of-bounds access, bad argument binding, ...).
+    pub fn run(message: impl Into<String>) -> Self {
+        Self::new(Phase::Run, message, None)
+    }
+
+    /// "No kernel named ..." lookup error.
+    pub fn no_such_kernel(name: &str) -> Self {
+        Self::new(
+            Phase::Lookup,
+            format!("no __kernel function named `{name}` in program"),
+            None,
+        )
+    }
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{} error at {}: {}", self.phase, span, self.message),
+            None => write!(f, "{} error: {}", self.phase, self.message),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_when_present() {
+        let e = KernelError::parse("unexpected token", Span::new(4, 5, 2, 3));
+        let s = e.to_string();
+        assert!(s.contains("parse error"));
+        assert!(s.contains("2:3"));
+    }
+
+    #[test]
+    fn display_without_location() {
+        let e = KernelError::run("index out of bounds");
+        assert_eq!(e.to_string(), "run error: index out of bounds");
+    }
+}

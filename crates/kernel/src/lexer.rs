@@ -1,0 +1,330 @@
+//! Hand-written lexer for the kernel language.
+
+use crate::diag::KernelError;
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Tokenise `source` into a vector of tokens terminated by [`TokenKind::Eof`].
+///
+/// Handles `//` line comments, `/* */` block comments, integer and float
+/// literals (with optional `f`/`F` suffix), identifiers, keywords and the
+/// operator/punctuation set of the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, KernelError> {
+    let mut lexer = Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    lexer.run()
+}
+
+impl<'a> Lexer<'a> {
+    fn run(&mut self) -> Result<Vec<Token>, KernelError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            if self.pos >= self.bytes.len() {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start, line, col),
+                });
+                return Ok(tokens);
+            }
+            let kind = self.next_kind()?;
+            tokens.push(Token {
+                kind,
+                span: Span::new(start, self.pos, line, col),
+            });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span_here(&self) -> Span {
+        Span::new(self.pos, self.pos + 1, self.line, self.col)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), KernelError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.span_here();
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(KernelError::lex("unterminated block comment", open));
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> Result<TokenKind, KernelError> {
+        let c = self.peek().expect("next_kind called at EOF");
+        if c.is_ascii_digit() || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+            return self.number();
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(self.ident_or_keyword());
+        }
+        let span = self.span_here();
+        self.bump();
+        let two = |lexer: &mut Lexer<'a>, next: u8, a: TokenKind, b: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                a
+            } else {
+                b
+            }
+        };
+        let kind = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semicolon,
+            b'?' => TokenKind::Question,
+            b':' => TokenKind::Colon,
+            b'%' => TokenKind::Percent,
+            b'+' => {
+                if self.peek() == Some(b'+') {
+                    self.bump();
+                    TokenKind::PlusPlus
+                } else {
+                    two(self, b'=', TokenKind::PlusAssign, TokenKind::Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    TokenKind::MinusMinus
+                } else {
+                    two(self, b'=', TokenKind::MinusAssign, TokenKind::Minus)
+                }
+            }
+            b'*' => two(self, b'=', TokenKind::StarAssign, TokenKind::Star),
+            b'/' => two(self, b'=', TokenKind::SlashAssign, TokenKind::Slash),
+            b'=' => two(self, b'=', TokenKind::Eq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::Ne, TokenKind::Not),
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'&' => two(self, b'&', TokenKind::AndAnd, TokenKind::Amp),
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(KernelError::lex("bitwise `|` is not supported", span));
+                }
+            }
+            other => {
+                return Err(KernelError::lex(
+                    format!("unexpected character `{}`", other as char),
+                    span,
+                ))
+            }
+        };
+        Ok(kind)
+    }
+
+    fn ident_or_keyword(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, KernelError> {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' => {
+                    is_float = true;
+                    self.bump();
+                }
+                b'e' | b'E' => {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        // Optional `f`/`F` suffix (forces float) or `u`/`U` (ignored).
+        let mut forced_float = false;
+        if let Some(c) = self.peek() {
+            if c == b'f' || c == b'F' {
+                forced_float = true;
+                self.bump();
+            } else if c == b'u' || c == b'U' {
+                self.bump();
+            }
+        }
+        let span = Span::new(start, self.pos, line, col);
+        if is_float || forced_float {
+            text.parse::<f64>()
+                .map(TokenKind::FloatLit)
+                .map_err(|_| KernelError::lex(format!("invalid float literal `{text}`"), span))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::IntLit)
+                .map_err(|_| KernelError::lex(format!("invalid integer literal `{text}`"), span))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_expression() {
+        let k = kinds("a * x + y;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Star,
+                TokenKind::Ident("x".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("y".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_float_literals() {
+        assert_eq!(kinds("1.5")[0], TokenKind::FloatLit(1.5));
+        assert_eq!(kinds("2.0f")[0], TokenKind::FloatLit(2.0));
+        assert_eq!(kinds("3f")[0], TokenKind::FloatLit(3.0));
+        assert_eq!(kinds("1e3")[0], TokenKind::FloatLit(1000.0));
+        assert_eq!(kinds("1.5e-2")[0], TokenKind::FloatLit(0.015));
+        assert_eq!(kinds("42")[0], TokenKind::IntLit(42));
+        assert_eq!(kinds("7u")[0], TokenKind::IntLit(7));
+    }
+
+    #[test]
+    fn lex_keywords_and_kernel_qualifiers() {
+        let k = kinds("__kernel void f(__global float* v) {}");
+        assert_eq!(k[0], TokenKind::Keyword(Keyword::Kernel));
+        assert_eq!(k[1], TokenKind::Keyword(Keyword::Void));
+        assert_eq!(k[2], TokenKind::Ident("f".into()));
+        assert_eq!(k[4], TokenKind::Keyword(Keyword::Global));
+        assert_eq!(k[5], TokenKind::Keyword(Keyword::Float));
+        assert_eq!(k[6], TokenKind::Star);
+    }
+
+    #[test]
+    fn lex_comments_are_skipped() {
+        let k = kinds("x // trailing comment\n /* block\n comment */ y");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_compound_operators() {
+        let k = kinds("a += b; c++; d <= e; f && g; h != i;");
+        assert!(k.contains(&TokenKind::PlusAssign));
+        assert!(k.contains(&TokenKind::PlusPlus));
+        assert!(k.contains(&TokenKind::Le));
+        assert!(k.contains(&TokenKind::AndAnd));
+        assert!(k.contains(&TokenKind::Ne));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("float x = @;").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+}

@@ -1,0 +1,468 @@
+//! Semantic analysis: symbol resolution and type checking.
+//!
+//! The checker walks every function body, maintaining a scope stack, and
+//! verifies that
+//!
+//! * every referenced variable, parameter or function exists,
+//! * buffer indexing is only applied to pointer parameters and indices are
+//!   integers,
+//! * operand types of arithmetic/logical operators are compatible,
+//! * call arities match (user functions and builtins),
+//! * assignments target lvalues of scalar type,
+//! * non-void functions return a value on the paths that have a `return`,
+//! * kernels return `void` and do not have pointer-typed local declarations.
+//!
+//! The language is implicitly-converting (C style), so the checker mostly
+//! rejects structural errors rather than narrowing conversions.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::builtins::Builtin;
+use crate::diag::KernelError;
+use crate::token::Span;
+use crate::types::{ScalarType, Type};
+
+/// Type-check a translation unit, returning it unchanged on success.
+pub fn check(unit: TranslationUnit) -> Result<TranslationUnit, KernelError> {
+    let mut signatures: HashMap<String, (Vec<Type>, Type)> = HashMap::new();
+    for f in &unit.functions {
+        if Builtin::from_name(&f.name).is_some() {
+            return Err(KernelError::check(
+                format!("function `{}` shadows a builtin", f.name),
+                f.span,
+            ));
+        }
+        if signatures
+            .insert(
+                f.name.clone(),
+                (f.params.iter().map(|p| p.ty).collect(), f.return_type),
+            )
+            .is_some()
+        {
+            return Err(KernelError::check(
+                format!("duplicate definition of function `{}`", f.name),
+                f.span,
+            ));
+        }
+    }
+
+    for f in &unit.functions {
+        if f.is_kernel && !f.return_type.is_void() {
+            return Err(KernelError::check(
+                format!("__kernel function `{}` must return void", f.name),
+                f.span,
+            ));
+        }
+        let mut checker = Checker {
+            signatures: &signatures,
+            scopes: vec![HashMap::new()],
+            function: f,
+        };
+        for p in &f.params {
+            checker.declare(&p.name, p.ty, p.span)?;
+        }
+        checker.check_block(&f.body)?;
+    }
+    Ok(unit)
+}
+
+struct Checker<'a> {
+    signatures: &'a HashMap<String, (Vec<Type>, Type)>,
+    scopes: Vec<HashMap<String, Type>>,
+    function: &'a Function,
+}
+
+impl<'a> Checker<'a> {
+    fn declare(&mut self, name: &str, ty: Type, span: Span) -> Result<(), KernelError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name.to_string(), ty).is_some() {
+            return Err(KernelError::check(
+                format!("`{name}` is declared twice in the same scope"),
+                span,
+            ));
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str, span: Span) -> Result<Type, KernelError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(ty) = scope.get(name) {
+                return Ok(*ty);
+            }
+        }
+        Err(KernelError::check(
+            format!("unknown variable `{name}`"),
+            span,
+        ))
+    }
+
+    fn check_block(&mut self, block: &Block) -> Result<(), KernelError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.check_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), KernelError> {
+        match stmt {
+            Stmt::Decl { ty, name, init, span } => {
+                if let Some(init) = init {
+                    self.check_expr(init)?;
+                }
+                self.declare(name, Type::Scalar(*ty), *span)
+            }
+            Stmt::Expr(e) => self.check_expr(e).map(|_| ()),
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                self.check_expr(cond)?;
+                self.check_block(then_block)?;
+                self.check_block(else_block)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.check_stmt(init)?;
+                }
+                if let Some(cond) = cond {
+                    self.check_expr(cond)?;
+                }
+                if let Some(step) = step {
+                    self.check_expr(step)?;
+                }
+                self.check_block(body)?;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                self.check_expr(cond)?;
+                self.check_block(body)
+            }
+            Stmt::Return(expr, span) => {
+                let ret = self.function.return_type;
+                match (expr, ret) {
+                    (None, Type::Void) => Ok(()),
+                    (Some(_), Type::Void) => Err(KernelError::check(
+                        format!("void function `{}` returns a value", self.function.name),
+                        *span,
+                    )),
+                    (Some(e), _) => {
+                        let ety = self.check_expr(e)?;
+                        if ety.is_pointer() {
+                            Err(KernelError::check("cannot return a pointer", *span))
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    (None, _) => Err(KernelError::check(
+                        format!(
+                            "non-void function `{}` must return a value",
+                            self.function.name
+                        ),
+                        *span,
+                    )),
+                }
+            }
+            Stmt::Break(_) | Stmt::Continue(_) => Ok(()),
+            Stmt::Block(b) => self.check_block(b),
+        }
+    }
+
+    fn check_lvalue(&mut self, lv: &LValue) -> Result<ScalarType, KernelError> {
+        match lv {
+            LValue::Var(name, span) => {
+                let ty = self.lookup(name, *span)?;
+                match ty {
+                    Type::Scalar(s) => Ok(s),
+                    _ => Err(KernelError::check(
+                        format!("cannot assign to pointer `{name}` directly; index it"),
+                        *span,
+                    )),
+                }
+            }
+            LValue::Index { base, index, span } => {
+                let base_ty = self.lookup(base, *span)?;
+                let idx_ty = self.check_expr(index)?;
+                if !matches!(idx_ty, Type::Scalar(s) if s.is_integer() || s == ScalarType::Bool) {
+                    return Err(KernelError::check(
+                        "buffer index must be an integer expression",
+                        index.span(),
+                    ));
+                }
+                match base_ty {
+                    Type::GlobalPtr(s) => Ok(s),
+                    _ => Err(KernelError::check(
+                        format!("`{base}` is not a buffer and cannot be indexed"),
+                        *span,
+                    )),
+                }
+            }
+        }
+    }
+
+    fn check_expr(&mut self, expr: &Expr) -> Result<Type, KernelError> {
+        match expr {
+            Expr::IntLit(..) => Ok(Type::Scalar(ScalarType::Int)),
+            Expr::FloatLit(..) => Ok(Type::Scalar(ScalarType::Float)),
+            Expr::BoolLit(..) => Ok(Type::Scalar(ScalarType::Bool)),
+            Expr::Var(name, span) => self.lookup(name, *span),
+            Expr::Index { base, index, span } => {
+                let s = self.check_lvalue(&LValue::Index {
+                    base: base.clone(),
+                    index: index.clone(),
+                    span: *span,
+                })?;
+                Ok(Type::Scalar(s))
+            }
+            Expr::Unary { op, operand, span } => {
+                let ty = self.check_expr(operand)?;
+                match ty {
+                    Type::Scalar(s) => match op {
+                        UnOp::Neg if s != ScalarType::Bool => Ok(Type::Scalar(s)),
+                        UnOp::Neg => Err(KernelError::check("cannot negate a bool", *span)),
+                        UnOp::Not => Ok(Type::Scalar(ScalarType::Bool)),
+                    },
+                    _ => Err(KernelError::check("unary operator needs a scalar operand", *span)),
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let lt = self.check_expr(lhs)?;
+                let rt = self.check_expr(rhs)?;
+                let (Type::Scalar(ls), Type::Scalar(rs)) = (lt, rt) else {
+                    return Err(KernelError::check(
+                        "binary operators need scalar operands (did you forget to index a buffer?)",
+                        *span,
+                    ));
+                };
+                if *op == BinOp::Rem && (ls.is_float() || rs.is_float()) {
+                    return Err(KernelError::check("`%` requires integer operands", *span));
+                }
+                if op.is_comparison() {
+                    Ok(Type::Scalar(ScalarType::Bool))
+                } else {
+                    Ok(Type::Scalar(ls.unify(rs)))
+                }
+            }
+            Expr::Call { callee, args, span } => {
+                for a in args {
+                    let ty = self.check_expr(a)?;
+                    if ty.is_pointer() {
+                        return Err(KernelError::check(
+                            "pointers cannot be passed to functions in this language subset",
+                            a.span(),
+                        ));
+                    }
+                }
+                if let Some(b) = Builtin::from_name(callee) {
+                    if args.len() != b.arity() {
+                        return Err(KernelError::check(
+                            format!(
+                                "builtin `{callee}` expects {} argument(s), got {}",
+                                b.arity(),
+                                args.len()
+                            ),
+                            *span,
+                        ));
+                    }
+                    return Ok(Type::Scalar(b.result_type(
+                        &args.iter().map(|_| ScalarType::Float).collect::<Vec<_>>(),
+                    )));
+                }
+                match self.signatures.get(callee) {
+                    Some((params, ret)) => {
+                        if params.len() != args.len() {
+                            return Err(KernelError::check(
+                                format!(
+                                    "function `{callee}` expects {} argument(s), got {}",
+                                    params.len(),
+                                    args.len()
+                                ),
+                                *span,
+                            ));
+                        }
+                        Ok(*ret)
+                    }
+                    None => Err(KernelError::check(
+                        format!("call to unknown function `{callee}`"),
+                        *span,
+                    )),
+                }
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
+                self.check_expr(cond)?;
+                let t = self.check_expr(then_expr)?;
+                let e = self.check_expr(else_expr)?;
+                match (t, e) {
+                    (Type::Scalar(a), Type::Scalar(b)) => Ok(Type::Scalar(a.unify(b))),
+                    _ => Err(KernelError::check(
+                        "ternary arms must be scalar expressions",
+                        then_expr.span(),
+                    )),
+                }
+            }
+            Expr::Assign { target, value, op, span } => {
+                let tgt = self.check_lvalue(target)?;
+                let vty = self.check_expr(value)?;
+                if vty.is_pointer() {
+                    return Err(KernelError::check("cannot assign a pointer value", *span));
+                }
+                if matches!(op, AssignOp::Assign) {
+                    Ok(Type::Scalar(tgt))
+                } else if tgt == ScalarType::Bool {
+                    Err(KernelError::check(
+                        "compound assignment not supported on bool",
+                        *span,
+                    ))
+                } else {
+                    Ok(Type::Scalar(tgt))
+                }
+            }
+            Expr::IncDec { target, span, .. } => {
+                let tgt = self.check_lvalue(target)?;
+                if tgt == ScalarType::Bool {
+                    return Err(KernelError::check("cannot increment a bool", *span));
+                }
+                Ok(Type::Scalar(tgt))
+            }
+            Expr::Cast { ty, operand, span } => {
+                let oty = self.check_expr(operand)?;
+                if oty.is_pointer() {
+                    return Err(KernelError::check("cannot cast a pointer", *span));
+                }
+                Ok(Type::Scalar(*ty))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<TranslationUnit, KernelError> {
+        check(parse(&lex(src).unwrap(), src)?)
+    }
+
+    #[test]
+    fn accepts_valid_programs() {
+        assert!(check_src(
+            r#"
+            float func(float x, float y, float a) { return a * x + y; }
+            __kernel void zip(__global float* xs, __global float* ys,
+                              __global float* out, int n, float a) {
+                int gid = get_global_id(0);
+                if (gid < n) { out[gid] = func(xs[gid], ys[gid], a); }
+            }
+        "#
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let err = check_src("__kernel void k(__global float* v) { v[0] = missing; }").unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        let err =
+            check_src("__kernel void k(__global float* v) { v[0] = mystery(1.0f); }").unwrap_err();
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn rejects_kernel_with_return_type() {
+        let err = check_src("__kernel float k(__global float* v) { return v[0]; }").unwrap_err();
+        assert!(err.message.contains("must return void"));
+    }
+
+    #[test]
+    fn rejects_indexing_scalars() {
+        let err = check_src("__kernel void k(float x) { x[0] = 1.0f; }").unwrap_err();
+        assert!(err.message.contains("not a buffer"));
+    }
+
+    #[test]
+    fn rejects_float_buffer_index() {
+        let err = check_src("__kernel void k(__global float* v, float i) { v[i] = 1.0f; }")
+            .unwrap_err();
+        assert!(err.message.contains("integer"));
+    }
+
+    #[test]
+    fn rejects_wrong_builtin_arity() {
+        let err = check_src("__kernel void k(__global float* v) { v[0] = sqrt(1.0f, 2.0f); }")
+            .unwrap_err();
+        assert!(err.message.contains("expects 1 argument"));
+    }
+
+    #[test]
+    fn rejects_wrong_call_arity() {
+        let err = check_src(
+            r#"
+            float f(float a, float b) { return a + b; }
+            __kernel void k(__global float* v) { v[0] = f(1.0f); }
+        "#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("expects 2 argument"));
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration_in_scope() {
+        let err = check_src("__kernel void k(__global float* v) { int a = 0; float a = 1.0f; }")
+            .unwrap_err();
+        assert!(err.message.contains("declared twice"));
+    }
+
+    #[test]
+    fn allows_shadowing_in_nested_scope() {
+        assert!(check_src(
+            "__kernel void k(__global float* v, int n) { int a = 0; { float a = 1.0f; v[0] = a; } }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_functions_and_builtin_shadowing() {
+        assert!(check_src("float f(float a) { return a; } float f(float b) { return b; } ")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+        assert!(check_src("float sqrt(float a) { return a; }")
+            .unwrap_err()
+            .message
+            .contains("shadows a builtin"));
+    }
+
+    #[test]
+    fn rejects_void_function_returning_value() {
+        let err = check_src("__kernel void k(__global float* v) { return 1; }").unwrap_err();
+        assert!(err.message.contains("returns a value"));
+    }
+
+    #[test]
+    fn rejects_modulo_on_floats() {
+        let err = check_src("__kernel void k(__global float* v) { v[0] = 1.5f % 2.0f; }")
+            .unwrap_err();
+        assert!(err.message.contains("integer operands"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Token definitions for the kernel language.
+
+use std::fmt;
+
+/// A half-open byte range into the original source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character of the token.
+    pub start: usize,
+    /// Byte offset one past the last character of the token.
+    pub end: usize,
+    /// 1-based line number of the token start.
+    pub line: u32,
+    /// 1-based column number of the token start.
+    pub col: u32,
+}
+
+impl Span {
+    /// Create a new span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A span that covers both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+            col: if self.line <= other.line { self.col } else { other.col },
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Keywords recognised by the language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Kernel,
+    Global,
+    Local,
+    Const,
+    Void,
+    Float,
+    Double,
+    Int,
+    Uint,
+    Bool,
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Return,
+    Break,
+    Continue,
+    True,
+    False,
+}
+
+impl Keyword {
+    /// Try to interpret an identifier as a keyword.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "__kernel" | "kernel" => Keyword::Kernel,
+            "__global" | "global" => Keyword::Global,
+            "__local" | "local" => Keyword::Local,
+            "const" => Keyword::Const,
+            "void" => Keyword::Void,
+            "float" => Keyword::Float,
+            "double" => Keyword::Double,
+            "int" => Keyword::Int,
+            "uint" | "unsigned" | "size_t" => Keyword::Uint,
+            "bool" => Keyword::Bool,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            _ => return None,
+        })
+    }
+}
+
+/// The kind of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier (variable, function or parameter name).
+    Ident(String),
+    /// A reserved keyword.
+    Keyword(Keyword),
+    /// An integer literal.
+    IntLit(i64),
+    /// A floating-point literal.
+    FloatLit(f64),
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Question,
+    Colon,
+
+    // Operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            TokenKind::IntLit(v) => write!(f, "integer literal `{v}`"),
+            TokenKind::FloatLit(v) => write!(f, "float literal `{v}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Question => write!(f, "`?`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::PlusAssign => write!(f, "`+=`"),
+            TokenKind::MinusAssign => write!(f, "`-=`"),
+            TokenKind::StarAssign => write!(f, "`*=`"),
+            TokenKind::SlashAssign => write!(f, "`/=`"),
+            TokenKind::PlusPlus => write!(f, "`++`"),
+            TokenKind::MinusMinus => write!(f, "`--`"),
+            TokenKind::Eq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Not => write!(f, "`!`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it was found.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_accepts_opencl_spellings() {
+        assert_eq!(Keyword::from_str("__kernel"), Some(Keyword::Kernel));
+        assert_eq!(Keyword::from_str("kernel"), Some(Keyword::Kernel));
+        assert_eq!(Keyword::from_str("__global"), Some(Keyword::Global));
+        assert_eq!(Keyword::from_str("size_t"), Some(Keyword::Uint));
+        assert_eq!(Keyword::from_str("saxpy"), None);
+    }
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(0, 3, 1, 1);
+        let b = Span::new(10, 14, 2, 5);
+        let j = a.to(b);
+        assert_eq!(j.start, 0);
+        assert_eq!(j.end, 14);
+        assert_eq!(j.line, 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Runtime values of the kernel interpreter.
+
+use std::fmt;
+
+use crate::types::ScalarType;
+
+/// A runtime scalar value.
+///
+/// The interpreter performs the usual arithmetic conversions of the source
+/// language: integer values are promoted to floats when combined with float
+/// operands, and booleans promote to `int` in arithmetic contexts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// `float` value (stored as `f32`).
+    Float(f32),
+    /// `double` value.
+    Double(f64),
+    /// `int` value.
+    Int(i32),
+    /// `uint` value.
+    Uint(u32),
+    /// `bool` value.
+    Bool(bool),
+}
+
+impl Value {
+    /// The scalar type of the value.
+    pub fn scalar_type(self) -> ScalarType {
+        match self {
+            Value::Float(_) => ScalarType::Float,
+            Value::Double(_) => ScalarType::Double,
+            Value::Int(_) => ScalarType::Int,
+            Value::Uint(_) => ScalarType::Uint,
+            Value::Bool(_) => ScalarType::Bool,
+        }
+    }
+
+    /// Interpret the value as an `f64` (used for all float arithmetic).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::Float(v) => v as f64,
+            Value::Double(v) => v,
+            Value::Int(v) => v as f64,
+            Value::Uint(v) => v as f64,
+            Value::Bool(v) => {
+                if v {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Interpret the value as an `i64` (used for all integer arithmetic and
+    /// for buffer indexing).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::Float(v) => v as i64,
+            Value::Double(v) => v as i64,
+            Value::Int(v) => v as i64,
+            Value::Uint(v) => v as i64,
+            Value::Bool(v) => i64::from(v),
+        }
+    }
+
+    /// Interpret the value as a boolean (C semantics: non-zero is true).
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(v) => v,
+            Value::Int(v) => v != 0,
+            Value::Uint(v) => v != 0,
+            Value::Float(v) => v != 0.0,
+            Value::Double(v) => v != 0.0,
+        }
+    }
+
+    /// Convert (possibly lossily, with C semantics) to the given scalar type.
+    pub fn convert_to(self, ty: ScalarType) -> Value {
+        match ty {
+            ScalarType::Float => Value::Float(self.as_f64() as f32),
+            ScalarType::Double => Value::Double(self.as_f64()),
+            ScalarType::Int => Value::Int(self.as_i64() as i32),
+            ScalarType::Uint => Value::Uint(self.as_i64() as u32),
+            ScalarType::Bool => Value::Bool(self.as_bool()),
+        }
+    }
+
+    /// The zero value of a scalar type (used to initialise declarations
+    /// without an initialiser).
+    pub fn zero(ty: ScalarType) -> Value {
+        match ty {
+            ScalarType::Float => Value::Float(0.0),
+            ScalarType::Double => Value::Double(0.0),
+            ScalarType::Int => Value::Int(0),
+            ScalarType::Uint => Value::Uint(0),
+            ScalarType::Bool => Value::Bool(false),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Uint(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Uint(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_follow_c_semantics() {
+        assert_eq!(Value::Float(3.7).as_i64(), 3);
+        assert_eq!(Value::Int(-2).as_f64(), -2.0);
+        assert!(Value::Int(5).as_bool());
+        assert!(!Value::Float(0.0).as_bool());
+        assert_eq!(Value::Double(1.5).convert_to(ScalarType::Int), Value::Int(1));
+        assert_eq!(Value::Int(7).convert_to(ScalarType::Float), Value::Float(7.0));
+        assert_eq!(Value::Uint(3).convert_to(ScalarType::Bool), Value::Bool(true));
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero(ScalarType::Float), Value::Float(0.0));
+        assert_eq!(Value::zero(ScalarType::Int), Value::Int(0));
+        assert_eq!(Value::zero(ScalarType::Bool), Value::Bool(false));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(1.0f32), Value::Float(1.0));
+        assert_eq!(Value::from(2i32), Value::Int(2));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

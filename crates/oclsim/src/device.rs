@@ -1,0 +1,346 @@
+//! The simulated device: profile + global-memory allocator.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::buffer::{Buffer, DataKind};
+use crate::error::{OclError, Result};
+use crate::pod::{self, Pod};
+use crate::profile::{DeviceProfile, DeviceType};
+
+/// Identifier of a device within a context (its index).
+pub type DeviceId = usize;
+
+/// Backing storage of one buffer. Data is kept in 8-byte words so that any
+/// [`Pod`] type with alignment ≤ 8 can be viewed in place without copies.
+#[derive(Debug, Clone)]
+pub struct BufferData {
+    words: Vec<u64>,
+    len_bytes: usize,
+}
+
+impl BufferData {
+    /// Allocate zero-initialised storage of `len_bytes` bytes.
+    pub fn new(len_bytes: usize) -> Self {
+        BufferData {
+            words: vec![0u64; len_bytes.div_ceil(8)],
+            len_bytes,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.len_bytes
+    }
+
+    /// Raw byte view.
+    pub fn as_bytes(&self) -> &[u8] {
+        &pod::as_bytes(&self.words)[..self.len_bytes]
+    }
+
+    /// Mutable raw byte view.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        let len = self.len_bytes;
+        // SAFETY: u64 -> u8 reinterpretation of an exclusively borrowed,
+        // fully initialised allocation; the byte length never exceeds the
+        // word storage.
+        let bytes = unsafe {
+            std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), self.words.len() * 8)
+        };
+        &mut bytes[..len]
+    }
+
+    /// Typed view of the contents.
+    pub fn as_slice<T: Pod>(&self) -> &[T] {
+        pod::cast_slice(self.as_bytes())
+    }
+
+    /// Mutable typed view of the contents.
+    pub fn as_slice_mut<T: Pod>(&mut self) -> &mut [T] {
+        pod::cast_slice_mut(self.as_bytes_mut())
+    }
+}
+
+/// A simulated OpenCL device: a performance profile plus its dedicated
+/// global memory, which holds the live buffer allocations.
+#[derive(Debug)]
+pub struct Device {
+    /// Index of the device within its context.
+    pub id: DeviceId,
+    /// Performance characteristics.
+    pub profile: DeviceProfile,
+    storage: Mutex<HashMap<u64, BufferData>>,
+    allocated: AtomicUsize,
+    next_buffer_id: AtomicU64,
+}
+
+impl Device {
+    /// Create a device with the given index and profile.
+    pub fn new(id: DeviceId, profile: DeviceProfile) -> Self {
+        Device {
+            id,
+            profile,
+            storage: Mutex::new(HashMap::new()),
+            allocated: AtomicUsize::new(0),
+            next_buffer_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Device kind (GPU / CPU / accelerator).
+    pub fn device_type(&self) -> DeviceType {
+        self.profile.device_type
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of device memory still available.
+    pub fn available_bytes(&self) -> usize {
+        self.profile.memory_bytes.saturating_sub(self.allocated_bytes())
+    }
+
+    /// Number of live buffer allocations.
+    pub fn live_buffers(&self) -> usize {
+        self.storage.lock().len()
+    }
+
+    /// Allocate a buffer of `len` elements of type `T` on this device.
+    pub fn create_buffer<T: Pod>(&self, len: usize) -> Result<Buffer> {
+        let len_bytes = len * std::mem::size_of::<T>();
+        let available = self.available_bytes();
+        if len_bytes > available {
+            return Err(OclError::OutOfDeviceMemory {
+                requested: len_bytes,
+                available,
+            });
+        }
+        let id = self.next_buffer_id.fetch_add(1, Ordering::Relaxed);
+        self.storage.lock().insert(id, BufferData::new(len_bytes));
+        self.allocated.fetch_add(len_bytes, Ordering::Relaxed);
+        Ok(Buffer::new::<T>(id, self.id, len))
+    }
+
+    /// Release a buffer allocation. Releasing an already-released buffer is
+    /// an error.
+    pub fn release_buffer(&self, buffer: &Buffer) -> Result<()> {
+        let removed = self.storage.lock().remove(&buffer.id());
+        match removed {
+            Some(data) => {
+                self.allocated.fetch_sub(data.len_bytes(), Ordering::Relaxed);
+                Ok(())
+            }
+            None => Err(OclError::BufferNotFound { id: buffer.id() }),
+        }
+    }
+
+    /// Copy host data into a device buffer.
+    pub fn write_buffer_bytes(&self, buffer: &Buffer, offset_bytes: usize, data: &[u8]) -> Result<()> {
+        let mut storage = self.storage.lock();
+        let dst = storage
+            .get_mut(&buffer.id())
+            .ok_or(OclError::BufferNotFound { id: buffer.id() })?;
+        let end = offset_bytes + data.len();
+        if end > dst.len_bytes() {
+            return Err(OclError::SizeMismatch {
+                host_bytes: data.len(),
+                device_bytes: dst.len_bytes().saturating_sub(offset_bytes),
+            });
+        }
+        dst.as_bytes_mut()[offset_bytes..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Copy a device buffer range back to the host.
+    pub fn read_buffer_bytes(&self, buffer: &Buffer, offset_bytes: usize, out: &mut [u8]) -> Result<()> {
+        let storage = self.storage.lock();
+        let src = storage
+            .get(&buffer.id())
+            .ok_or(OclError::BufferNotFound { id: buffer.id() })?;
+        let end = offset_bytes + out.len();
+        if end > src.len_bytes() {
+            return Err(OclError::SizeMismatch {
+                host_bytes: out.len(),
+                device_bytes: src.len_bytes().saturating_sub(offset_bytes),
+            });
+        }
+        out.copy_from_slice(&src.as_bytes()[offset_bytes..end]);
+        Ok(())
+    }
+
+    /// Temporarily take the storage of the given buffers out of the device so
+    /// a kernel launch can access them mutably without aliasing. The same
+    /// buffer may not appear twice.
+    pub(crate) fn take_buffers(&self, ids: &[u64]) -> Result<Vec<(u64, BufferData)>> {
+        let mut storage = self.storage.lock();
+        let mut taken = Vec::with_capacity(ids.len());
+        for &id in ids {
+            match storage.remove(&id) {
+                Some(data) => taken.push((id, data)),
+                None => {
+                    // Either the buffer never existed, was released, or is
+                    // bound twice in this launch. Distinguish aliasing for a
+                    // clearer error message.
+                    let aliased = taken.iter().any(|(t, _)| *t == id);
+                    // Put back whatever we already removed before erroring.
+                    for (tid, data) in taken {
+                        storage.insert(tid, data);
+                    }
+                    return Err(if aliased {
+                        OclError::BufferAliased { id }
+                    } else {
+                        OclError::BufferNotFound { id }
+                    });
+                }
+            }
+        }
+        Ok(taken)
+    }
+
+    /// Return storage previously taken with [`Device::take_buffers`].
+    pub(crate) fn return_buffers(&self, taken: Vec<(u64, BufferData)>) {
+        let mut storage = self.storage.lock();
+        for (id, data) in taken {
+            storage.insert(id, data);
+        }
+    }
+
+    /// Look up the byte length of a live buffer.
+    pub fn buffer_len_bytes(&self, buffer: &Buffer) -> Result<usize> {
+        self.storage
+            .lock()
+            .get(&buffer.id())
+            .map(BufferData::len_bytes)
+            .ok_or(OclError::BufferNotFound { id: buffer.id() })
+    }
+}
+
+/// Helper: the [`DataKind`] for a `Pod` type, used to validate DSL kernel
+/// argument bindings.
+pub fn data_kind_of<T: Pod>() -> DataKind {
+    use std::any::TypeId;
+    let t = TypeId::of::<T>();
+    if t == TypeId::of::<f32>() {
+        DataKind::F32
+    } else if t == TypeId::of::<f64>() {
+        DataKind::F64
+    } else if t == TypeId::of::<i32>() {
+        DataKind::I32
+    } else if t == TypeId::of::<u32>() {
+        DataKind::U32
+    } else {
+        DataKind::Opaque {
+            elem_size: std::mem::size_of::<T>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Device {
+        Device::new(0, DeviceProfile::tesla_c1060())
+    }
+
+    #[test]
+    fn allocate_write_read_release() {
+        let dev = device();
+        let buf = dev.create_buffer::<f32>(8).unwrap();
+        assert_eq!(dev.allocated_bytes(), 32);
+        assert_eq!(dev.live_buffers(), 1);
+
+        let data = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        dev.write_buffer_bytes(&buf, 0, pod::as_bytes(&data)).unwrap();
+        let mut out = vec![0u8; 32];
+        dev.read_buffer_bytes(&buf, 0, &mut out).unwrap();
+        let back: Vec<f32> = pod::from_bytes_vec(&out);
+        assert_eq!(back, data);
+
+        dev.release_buffer(&buf).unwrap();
+        assert_eq!(dev.allocated_bytes(), 0);
+        assert!(dev.release_buffer(&buf).is_err());
+    }
+
+    #[test]
+    fn partial_writes_with_offsets() {
+        let dev = device();
+        let buf = dev.create_buffer::<f32>(4).unwrap();
+        let part = [9.0f32, 10.0];
+        dev.write_buffer_bytes(&buf, 8, pod::as_bytes(&part)).unwrap();
+        let mut out = vec![0u8; 16];
+        dev.read_buffer_bytes(&buf, 0, &mut out).unwrap();
+        let back: Vec<f32> = pod::from_bytes_vec(&out);
+        assert_eq!(back, vec![0.0, 0.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn out_of_range_transfers_are_rejected() {
+        let dev = device();
+        let buf = dev.create_buffer::<f32>(2).unwrap();
+        let too_big = [0.0f32; 4];
+        assert!(matches!(
+            dev.write_buffer_bytes(&buf, 0, pod::as_bytes(&too_big)),
+            Err(OclError::SizeMismatch { .. })
+        ));
+        let mut out = vec![0u8; 12];
+        assert!(dev.read_buffer_bytes(&buf, 0, &mut out).is_err());
+    }
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let mut profile = DeviceProfile::tesla_c1060();
+        profile.memory_bytes = 64;
+        let dev = Device::new(0, profile);
+        assert!(dev.create_buffer::<f32>(8).is_ok());
+        assert!(matches!(
+            dev.create_buffer::<f32>(16),
+            Err(OclError::OutOfDeviceMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn take_buffers_detects_aliasing_and_restores_on_error() {
+        let dev = device();
+        let a = dev.create_buffer::<f32>(4).unwrap();
+        let b = dev.create_buffer::<f32>(4).unwrap();
+        let err = dev.take_buffers(&[a.id(), b.id(), a.id()]).unwrap_err();
+        assert!(matches!(err, OclError::BufferAliased { .. }));
+        // Both buffers must still be live.
+        assert_eq!(dev.live_buffers(), 2);
+
+        let taken = dev.take_buffers(&[a.id(), b.id()]).unwrap();
+        assert_eq!(dev.live_buffers(), 0);
+        dev.return_buffers(taken);
+        assert_eq!(dev.live_buffers(), 2);
+    }
+
+    #[test]
+    fn buffer_data_typed_views() {
+        let mut data = BufferData::new(16);
+        data.as_slice_mut::<f32>()[2] = 5.0;
+        assert_eq!(data.as_slice::<f32>()[2], 5.0);
+        assert_eq!(data.as_slice::<f32>().len(), 4);
+        assert_eq!(data.len_bytes(), 16);
+    }
+
+    #[test]
+    fn data_kind_mapping() {
+        assert_eq!(data_kind_of::<f32>(), DataKind::F32);
+        assert_eq!(data_kind_of::<i32>(), DataKind::I32);
+        assert_eq!(data_kind_of::<u32>(), DataKind::U32);
+        assert_eq!(data_kind_of::<f64>(), DataKind::F64);
+        assert_eq!(
+            data_kind_of::<[f32; 4]>(),
+            DataKind::Opaque { elem_size: 16 }
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Error type of the simulated OpenCL runtime.
+
+use std::fmt;
+
+use skelcl_kernel::diag::KernelError;
+
+/// Errors returned by the simulated OpenCL runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OclError {
+    /// A device index was out of range for the context.
+    NoSuchDevice {
+        /// The requested index.
+        index: usize,
+        /// Number of devices in the context.
+        available: usize,
+    },
+    /// A buffer handle did not refer to a live allocation on its device.
+    BufferNotFound {
+        /// The buffer id.
+        id: u64,
+    },
+    /// The same buffer was bound to more than one kernel argument.
+    BufferAliased {
+        /// The buffer id bound twice.
+        id: u64,
+    },
+    /// A buffer belonging to one device was used with a queue of another.
+    WrongDevice {
+        /// Device owning the buffer.
+        buffer_device: usize,
+        /// Device of the queue.
+        queue_device: usize,
+    },
+    /// Allocation would exceed the device memory capacity.
+    OutOfDeviceMemory {
+        /// Requested bytes.
+        requested: usize,
+        /// Remaining bytes.
+        available: usize,
+    },
+    /// Host/device size mismatch in a transfer.
+    SizeMismatch {
+        /// Bytes on the host side.
+        host_bytes: usize,
+        /// Bytes on the device side.
+        device_bytes: usize,
+    },
+    /// Kernel argument binding problem (count or type).
+    InvalidKernelArg(String),
+    /// Error from the kernel-language compiler or interpreter.
+    Kernel(KernelError),
+    /// A named kernel does not exist in the program.
+    NoSuchKernel(String),
+}
+
+impl fmt::Display for OclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OclError::NoSuchDevice { index, available } => {
+                write!(f, "device index {index} out of range (context has {available} devices)")
+            }
+            OclError::BufferNotFound { id } => write!(f, "buffer {id} is not a live allocation"),
+            OclError::BufferAliased { id } => write!(
+                f,
+                "buffer {id} is bound to more than one argument of the same kernel launch"
+            ),
+            OclError::WrongDevice {
+                buffer_device,
+                queue_device,
+            } => write!(
+                f,
+                "buffer belongs to device {buffer_device} but was used with a queue on device {queue_device}"
+            ),
+            OclError::OutOfDeviceMemory { requested, available } => write!(
+                f,
+                "allocation of {requested} bytes exceeds remaining device memory ({available} bytes)"
+            ),
+            OclError::SizeMismatch {
+                host_bytes,
+                device_bytes,
+            } => write!(
+                f,
+                "transfer size mismatch: host range is {host_bytes} bytes, device range is {device_bytes} bytes"
+            ),
+            OclError::InvalidKernelArg(msg) => write!(f, "invalid kernel argument: {msg}"),
+            OclError::Kernel(e) => write!(f, "kernel error: {e}"),
+            OclError::NoSuchKernel(name) => write!(f, "no kernel named `{name}` in program"),
+        }
+    }
+}
+
+impl std::error::Error for OclError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OclError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for OclError {
+    fn from(e: KernelError) -> Self {
+        OclError::Kernel(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, OclError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = OclError::NoSuchDevice {
+            index: 4,
+            available: 2,
+        };
+        assert!(e.to_string().contains("index 4"));
+        let e = OclError::OutOfDeviceMemory {
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100 bytes"));
+        let e = OclError::from(KernelError::run("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+}

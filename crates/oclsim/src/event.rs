@@ -1,0 +1,148 @@
+//! Profiling events, mirroring OpenCL's `cl_event` timestamps but in virtual
+//! time.
+
+use crate::time::{SimDuration, SimTime};
+
+/// The kind of command an event describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Host → device transfer.
+    WriteBuffer,
+    /// Device → host transfer.
+    ReadBuffer,
+    /// Kernel launch (kernel name recorded).
+    Kernel(String),
+    /// Program build (runtime compilation).
+    BuildProgram,
+    /// Synchronisation marker (`finish`).
+    Marker,
+}
+
+/// A completed command with its virtual timestamps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// What the command was.
+    pub kind: CommandKind,
+    /// Device the command executed on.
+    pub device: usize,
+    /// When the host enqueued the command.
+    pub queued: SimTime,
+    /// When the device started executing it.
+    pub start: SimTime,
+    /// When the device finished executing it.
+    pub end: SimTime,
+    /// Bytes moved (transfers) or zero.
+    pub bytes: usize,
+    /// Work-items executed (kernels) or zero.
+    pub work_items: usize,
+}
+
+impl Event {
+    /// Time the command spent executing on the device.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Time from enqueue to completion (includes waiting for earlier
+    /// commands on the same in-order queue).
+    pub fn latency(&self) -> SimDuration {
+        self.end - self.queued
+    }
+
+    /// Whether the event is a kernel launch.
+    pub fn is_kernel(&self) -> bool {
+        matches!(self.kind, CommandKind::Kernel(_))
+    }
+
+    /// Whether the event is a data transfer.
+    pub fn is_transfer(&self) -> bool {
+        matches!(self.kind, CommandKind::WriteBuffer | CommandKind::ReadBuffer)
+    }
+
+    /// Whether the event is a host → device transfer (an upload).
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, CommandKind::WriteBuffer)
+    }
+
+    /// Whether the event is a device → host transfer (a download).
+    pub fn is_read(&self) -> bool {
+        matches!(self.kind, CommandKind::ReadBuffer)
+    }
+}
+
+/// Aggregate statistics over a sequence of events, used by the benchmark
+/// harnesses to report per-phase breakdowns (upload / compute / download) of
+/// the OSEM iteration like Figure 3 of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventSummary {
+    /// Total kernel execution time.
+    pub kernel_time: SimDuration,
+    /// Total transfer time.
+    pub transfer_time: SimDuration,
+    /// Total bytes transferred.
+    pub bytes_transferred: usize,
+    /// Number of kernel launches.
+    pub kernel_launches: usize,
+    /// Number of transfers.
+    pub transfers: usize,
+}
+
+impl EventSummary {
+    /// Summarise a slice of events.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> Self {
+        let mut s = EventSummary::default();
+        for e in events {
+            if e.is_kernel() {
+                s.kernel_time += e.duration();
+                s.kernel_launches += 1;
+            } else if e.is_transfer() {
+                s.transfer_time += e.duration();
+                s.bytes_transferred += e.bytes;
+                s.transfers += 1;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: CommandKind, start: u64, end: u64, bytes: usize) -> Event {
+        Event {
+            kind,
+            device: 0,
+            queued: SimTime(start.saturating_sub(1)),
+            start: SimTime(start),
+            end: SimTime(end),
+            bytes,
+            work_items: 0,
+        }
+    }
+
+    #[test]
+    fn durations_and_latency() {
+        let e = ev(CommandKind::WriteBuffer, 100, 250, 64);
+        assert_eq!(e.duration(), SimDuration(150));
+        assert_eq!(e.latency(), SimDuration(151));
+        assert!(e.is_transfer());
+        assert!(!e.is_kernel());
+    }
+
+    #[test]
+    fn summary_accumulates_by_kind() {
+        let events = vec![
+            ev(CommandKind::WriteBuffer, 0, 100, 1000),
+            ev(CommandKind::Kernel("k".into()), 100, 600, 0),
+            ev(CommandKind::ReadBuffer, 600, 650, 500),
+            ev(CommandKind::Marker, 650, 650, 0),
+        ];
+        let s = EventSummary::from_events(&events);
+        assert_eq!(s.kernel_time, SimDuration(500));
+        assert_eq!(s.transfer_time, SimDuration(150));
+        assert_eq!(s.bytes_transferred, 1500);
+        assert_eq!(s.kernel_launches, 1);
+        assert_eq!(s.transfers, 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Platform discovery, mirroring OpenCL's `clGetPlatformIDs` /
+//! `clGetDeviceIDs` boilerplate.
+//!
+//! The paper's Figure 4a attributes a large part of the OpenCL host program's
+//! length to "code for selecting the target platform and an OpenCL device and
+//! for compiling kernel functions at runtime". This module exists so that the
+//! low-level baseline implementations in this repository have to go through
+//! the same motions against the simulator, keeping the lines-of-code
+//! comparison honest.
+
+use crate::profile::{DeviceProfile, DeviceType};
+
+/// A platform: a vendor runtime exposing a set of devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Vendor / platform name.
+    pub name: String,
+    /// Profiles of the devices the platform exposes.
+    pub devices: Vec<DeviceProfile>,
+}
+
+impl Platform {
+    /// Devices of a given type on this platform.
+    pub fn devices_of_type(&self, ty: DeviceType) -> Vec<DeviceProfile> {
+        self.devices
+            .iter()
+            .filter(|d| d.device_type == ty)
+            .cloned()
+            .collect()
+    }
+}
+
+/// Enumerate the simulated platforms of the paper's evaluation machine: an
+/// NVIDIA platform exposing the four Tesla GPUs of the S1070, and an Intel
+/// platform exposing the Xeon E5520 CPU.
+pub fn default_platforms() -> Vec<Platform> {
+    vec![
+        Platform {
+            name: "NVIDIA CUDA (simulated)".to_string(),
+            devices: vec![DeviceProfile::tesla_c1060(); 4],
+        },
+        Platform {
+            name: "Intel(R) OpenCL (simulated)".to_string(),
+            devices: vec![DeviceProfile::xeon_e5520()],
+        },
+    ]
+}
+
+/// Find the first platform that has at least `min_gpus` GPU devices and
+/// return that many of them — the typical device-selection dance of an OpenCL
+/// host program.
+pub fn select_gpus(min_gpus: usize) -> Option<Vec<DeviceProfile>> {
+    for platform in default_platforms() {
+        let gpus = platform.devices_of_type(DeviceType::Gpu);
+        if gpus.len() >= min_gpus {
+            return Some(gpus.into_iter().take(min_gpus).collect());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_platforms_expose_paper_hardware() {
+        let platforms = default_platforms();
+        assert_eq!(platforms.len(), 2);
+        assert_eq!(platforms[0].devices_of_type(DeviceType::Gpu).len(), 4);
+        assert_eq!(platforms[1].devices_of_type(DeviceType::Cpu).len(), 1);
+    }
+
+    #[test]
+    fn gpu_selection() {
+        assert_eq!(select_gpus(1).unwrap().len(), 1);
+        assert_eq!(select_gpus(4).unwrap().len(), 4);
+        assert!(select_gpus(5).is_none());
+    }
+}

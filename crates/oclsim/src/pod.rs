@@ -1,0 +1,160 @@
+//! Plain-old-data support for typed access to raw device memory.
+//!
+//! OpenCL buffers are untyped byte ranges; host code reinterprets them as
+//! arrays of scalars or user structs. This module provides the same facility
+//! for the simulated device memory with a small, explicitly-audited amount of
+//! `unsafe`:
+//!
+//! * [`Pod`] marks types that can be safely round-tripped through raw bytes:
+//!   `Copy`, no references/pointers/interior mutability, and every byte
+//!   pattern written by a valid value can be read back as that value.
+//! * Device memory is stored 8-byte aligned (see `device::BufferData`), so
+//!   casting to any `Pod` type with alignment ≤ 8 is sound.
+//!
+//! Implementations are provided for the primitive numeric types; application
+//! crates (e.g. the OSEM study's `Event` struct) opt in with
+//! `unsafe impl Pod for TheirType {}` after checking the requirements.
+
+/// Marker for plain-old-data types that may live in simulated device memory.
+///
+/// # Safety
+///
+/// Implementors must guarantee that the type
+///
+/// * is `Copy` with no drop glue,
+/// * contains no references, pointers, or interior mutability,
+/// * has an alignment of at most 8 bytes,
+/// * can be reconstructed from the bytes of any previously-valid value
+///   (padding bytes are preserved verbatim by the simulator, so types with
+///   padding are acceptable).
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// View a `Pod` slice as raw bytes.
+pub fn as_bytes<T: Pod>(data: &[T]) -> &[u8] {
+    // SAFETY: `T: Pod` guarantees the value representation is plain bytes;
+    // the length is the exact byte length of the slice.
+    unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data)) }
+}
+
+/// Copy raw bytes into a freshly-allocated, properly-aligned `Vec<T>`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of `size_of::<T>()`.
+pub fn from_bytes_vec<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    let size = std::mem::size_of::<T>();
+    assert!(size > 0, "zero-sized Pod types are not supported");
+    assert_eq!(
+        bytes.len() % size,
+        0,
+        "byte length {} is not a multiple of element size {}",
+        bytes.len(),
+        size
+    );
+    let len = bytes.len() / size;
+    let mut out = Vec::<T>::with_capacity(len);
+    // SAFETY: the destination has capacity for `len` elements, the source
+    // holds `len * size` bytes, and `T: Pod` allows constructing values from
+    // bytes of previously-valid values.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
+        out.set_len(len);
+    }
+    out
+}
+
+/// Reinterpret an aligned byte slice as a `Pod` slice without copying.
+///
+/// # Panics
+///
+/// Panics if the pointer is not aligned for `T` or the length is not a
+/// multiple of `size_of::<T>()`.
+pub fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
+    let size = std::mem::size_of::<T>();
+    assert_eq!(bytes.len() % size, 0, "length not a multiple of element size");
+    assert_eq!(
+        bytes.as_ptr() as usize % std::mem::align_of::<T>(),
+        0,
+        "byte slice is not aligned for the target type"
+    );
+    // SAFETY: alignment and length checked above; `T: Pod`.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / size) }
+}
+
+/// Mutable version of [`cast_slice`].
+pub fn cast_slice_mut<T: Pod>(bytes: &mut [u8]) -> &mut [T] {
+    let size = std::mem::size_of::<T>();
+    assert_eq!(bytes.len() % size, 0, "length not a multiple of element size");
+    assert_eq!(
+        bytes.as_ptr() as usize % std::mem::align_of::<T>(),
+        0,
+        "byte slice is not aligned for the target type"
+    );
+    // SAFETY: alignment and length checked above; `T: Pod`; exclusive borrow.
+    unsafe { std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<T>(), bytes.len() / size) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_f32() {
+        let data = vec![1.0f32, -2.5, 3.25];
+        let bytes = as_bytes(&data).to_vec();
+        let back: Vec<f32> = from_bytes_vec(&bytes);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn round_trip_struct() {
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        struct P {
+            x: f32,
+            y: f32,
+            id: u32,
+        }
+        unsafe impl Pod for P {}
+        let data = vec![
+            P { x: 1.0, y: 2.0, id: 7 },
+            P { x: -1.0, y: 0.5, id: 9 },
+        ];
+        let bytes = as_bytes(&data).to_vec();
+        let back: Vec<P> = from_bytes_vec(&bytes);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_bytes_rejects_partial_elements() {
+        let bytes = vec![0u8; 6];
+        let _ = from_bytes_vec::<f32>(&bytes);
+    }
+
+    #[test]
+    fn cast_slice_views_aligned_memory() {
+        let mut words = vec![0u64; 2];
+        let bytes = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), 16)
+        };
+        let floats = cast_slice_mut::<f32>(bytes);
+        floats[0] = 1.5;
+        floats[3] = -2.0;
+        let read = cast_slice::<f32>(as_bytes(&words));
+        assert_eq!(read[0], 1.5);
+        assert_eq!(read[3], -2.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! In-order command queues with virtual-time accounting.
+//!
+//! Commands execute *eagerly* on the host thread (results are always real),
+//! while their timing is charged to per-queue virtual clocks. Because every
+//! queue has its own clock and non-blocking commands only advance the host
+//! clock by a small enqueue overhead, launches issued to the queues of
+//! different devices overlap in virtual time exactly as concurrent GPU
+//! commands would.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::buffer::Buffer;
+use crate::device::Device;
+use crate::error::{OclError, Result};
+use crate::event::{CommandKind, Event};
+use crate::pod::{self, Pod};
+use crate::profile::ApiModel;
+use crate::program::{Kernel, KernelArg};
+use crate::time::{SimDuration, SimTime};
+
+/// An in-order command queue bound to one device.
+pub struct CommandQueue {
+    device: Arc<Device>,
+    api: ApiModel,
+    host_clock: Arc<Mutex<SimTime>>,
+    available_at: Mutex<SimTime>,
+    log: Mutex<Vec<Event>>,
+}
+
+impl CommandQueue {
+    pub(crate) fn new(device: Arc<Device>, api: ApiModel, host_clock: Arc<Mutex<SimTime>>) -> Self {
+        CommandQueue {
+            device,
+            api,
+            host_clock,
+            available_at: Mutex::new(SimTime::ZERO),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The device this queue submits to.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Virtual time at which the device will have finished all commands
+    /// enqueued so far.
+    pub fn available_at(&self) -> SimTime {
+        *self.available_at.lock()
+    }
+
+    /// All events recorded on this queue so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.log.lock().clone()
+    }
+
+    /// Clear the event log (the virtual clocks are left untouched).
+    pub fn clear_events(&self) {
+        self.log.lock().clear();
+    }
+
+    fn check_buffer_device(&self, buffer: &Buffer) -> Result<()> {
+        if buffer.device() != self.device.id {
+            return Err(OclError::WrongDevice {
+                buffer_device: buffer.device(),
+                queue_device: self.device.id,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charge a command: computes start/end on this queue's clock, advances
+    /// the host clock by the enqueue overhead, records and returns the event.
+    fn charge(
+        &self,
+        kind: CommandKind,
+        duration: SimDuration,
+        bytes: usize,
+        work_items: usize,
+        blocking: bool,
+    ) -> Event {
+        let mut host = self.host_clock.lock();
+        let queued = *host;
+        let mut avail = self.available_at.lock();
+        let start = avail.max(queued);
+        let end = start + duration;
+        *avail = end;
+        *host = *host + self.api.enqueue_overhead;
+        if blocking {
+            *host = host.max(end);
+        }
+        let event = Event {
+            kind,
+            device: self.device.id,
+            queued,
+            start,
+            end,
+            bytes,
+            work_items,
+        };
+        self.log.lock().push(event.clone());
+        event
+    }
+
+    /// Block the host until every command enqueued on this queue has
+    /// completed (in virtual time).
+    pub fn finish(&self) -> SimTime {
+        let mut host = self.host_clock.lock();
+        let avail = *self.available_at.lock();
+        *host = host.max(avail);
+        *host
+    }
+
+    /// Non-blocking host → device transfer of a whole slice into the start of
+    /// a buffer.
+    pub fn enqueue_write_buffer<T: Pod>(&self, buffer: &Buffer, data: &[T]) -> Result<Event> {
+        self.enqueue_write_buffer_region(buffer, 0, data)
+    }
+
+    /// Non-blocking host → device transfer into the buffer starting at
+    /// element `elem_offset`.
+    pub fn enqueue_write_buffer_region<T: Pod>(
+        &self,
+        buffer: &Buffer,
+        elem_offset: usize,
+        data: &[T],
+    ) -> Result<Event> {
+        self.check_buffer_device(buffer)?;
+        let bytes = std::mem::size_of_val(data);
+        let offset_bytes = elem_offset * std::mem::size_of::<T>();
+        self.device
+            .write_buffer_bytes(buffer, offset_bytes, pod::as_bytes(data))?;
+        let dur = self.api.transfer_time(&self.device.profile, bytes);
+        Ok(self.charge(CommandKind::WriteBuffer, dur, bytes, 0, false))
+    }
+
+    /// Blocking device → host transfer of a whole buffer into `out`.
+    pub fn enqueue_read_buffer<T: Pod>(&self, buffer: &Buffer, out: &mut [T]) -> Result<Event> {
+        self.enqueue_read_buffer_region(buffer, 0, out)
+    }
+
+    /// Blocking device → host transfer starting at element `elem_offset`.
+    pub fn enqueue_read_buffer_region<T: Pod>(
+        &self,
+        buffer: &Buffer,
+        elem_offset: usize,
+        out: &mut [T],
+    ) -> Result<Event> {
+        self.check_buffer_device(buffer)?;
+        let bytes = std::mem::size_of_val(out);
+        let offset_bytes = elem_offset * std::mem::size_of::<T>();
+        // The read must observe all previously enqueued commands on this
+        // in-order queue; since commands execute eagerly, the data is already
+        // up to date and only the clocks need the ordering.
+        let mut byte_out = vec![0u8; bytes];
+        self.device
+            .read_buffer_bytes(buffer, offset_bytes, &mut byte_out)?;
+        out.copy_from_slice(&pod::from_bytes_vec::<T>(&byte_out));
+        let dur = self.api.transfer_time(&self.device.profile, bytes);
+        Ok(self.charge(CommandKind::ReadBuffer, dur, bytes, 0, true))
+    }
+
+    /// Enqueue a 1-D NDRange kernel launch.
+    ///
+    /// Buffer arguments must live on this queue's device, and the same buffer
+    /// may not be bound to two arguments of one launch.
+    pub fn enqueue_kernel(
+        &self,
+        kernel: &Kernel,
+        global_size: usize,
+        args: &[KernelArg],
+    ) -> Result<Event> {
+        let mut buffer_ids = Vec::new();
+        for arg in args {
+            if let KernelArg::Buffer(b) = arg {
+                self.check_buffer_device(b)?;
+                buffer_ids.push(b.id());
+            }
+        }
+        let mut taken = self.device.take_buffers(&buffer_ids)?;
+        let result = kernel.execute(global_size, args, &mut taken);
+        self.device.return_buffers(taken);
+        let measured = result?;
+
+        // Runtime-compiled (DSL) kernels report the cost they actually
+        // executed; native kernels fall back to their author-provided hint.
+        let cost = measured.unwrap_or_else(|| kernel.cost());
+        let dur = self.api.kernel_time(
+            &self.device.profile,
+            global_size,
+            cost.flops_per_item,
+            cost.bytes_per_item,
+        );
+        Ok(self.charge(
+            CommandKind::Kernel(kernel.name.clone()),
+            dur,
+            0,
+            global_size,
+            false,
+        ))
+    }
+
+    /// Enqueue a kernel whose cost hint is overridden for this launch (used
+    /// when the per-item cost depends on runtime data, e.g. the average LOR
+    /// path length in the OSEM study).
+    pub fn enqueue_kernel_with_cost(
+        &self,
+        kernel: &Kernel,
+        global_size: usize,
+        args: &[KernelArg],
+        cost: crate::program::CostHint,
+    ) -> Result<Event> {
+        let adjusted = kernel.clone().with_cost(cost);
+        self.enqueue_kernel(&adjusted, global_size, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::profile::{ApiModel, DeviceProfile};
+    use crate::program::{CostHint, NativeKernelDef};
+
+    fn two_gpu_context() -> Context {
+        Context::new(
+            vec![DeviceProfile::tesla_c1060(), DeviceProfile::tesla_c1060()],
+            ApiModel::opencl(),
+        )
+    }
+
+    #[test]
+    fn write_kernel_read_round_trip() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, 4).unwrap();
+        q.enqueue_write_buffer(&buf, &[1.0f32, 2.0, 3.0, 4.0]).unwrap();
+
+        let program = ctx
+            .build_program(
+                "__kernel void dbl(__global float* v, int n) { int i = get_global_id(0); if (i < n) { v[i] = v[i] * 2.0f; } }",
+            )
+            .unwrap();
+        let kernel = program.kernel("dbl").unwrap();
+        q.enqueue_kernel(&kernel, 4, &[KernelArg::Buffer(buf.clone()), KernelArg::i32(4)])
+            .unwrap();
+
+        let mut out = vec![0.0f32; 4];
+        q.enqueue_read_buffer(&buf, &mut out).unwrap();
+        assert_eq!(out, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn virtual_time_advances_and_orders_commands() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, 1024).unwrap();
+        let w = q.enqueue_write_buffer(&buf, &vec![0.0f32; 1024]).unwrap();
+        let mut out = vec![0.0f32; 1024];
+        let r = q.enqueue_read_buffer(&buf, &mut out).unwrap();
+        assert!(w.end <= r.start, "in-order queue must serialise commands");
+        assert!(r.duration().as_nanos() > 0);
+        assert!(ctx.host_now() >= r.end, "blocking read syncs the host clock");
+    }
+
+    #[test]
+    fn queues_of_different_devices_overlap_in_virtual_time() {
+        let ctx = two_gpu_context();
+        let q0 = ctx.queue(0).unwrap();
+        let q1 = ctx.queue(1).unwrap();
+        let def = NativeKernelDef::new("spin", CostHint::new(1000.0, 4.0), |_ctx| Ok(()));
+        let program = ctx.native_program([def]);
+        let k = program.kernel("spin").unwrap();
+        let b0 = ctx.create_buffer::<f32>(0, 1).unwrap();
+        let b1 = ctx.create_buffer::<f32>(1, 1).unwrap();
+        let e0 = q0
+            .enqueue_kernel(&k, 1_000_000, &[KernelArg::Buffer(b0)])
+            .unwrap();
+        let e1 = q1
+            .enqueue_kernel(&k, 1_000_000, &[KernelArg::Buffer(b1)])
+            .unwrap();
+        // The second launch starts (virtually) before the first ends: overlap.
+        assert!(e1.start < e0.end, "multi-device launches must overlap");
+    }
+
+    #[test]
+    fn wrong_device_buffers_are_rejected() {
+        let ctx = two_gpu_context();
+        let q0 = ctx.queue(0).unwrap();
+        let buf1 = ctx.create_buffer::<f32>(1, 4).unwrap();
+        let err = q0.enqueue_write_buffer(&buf1, &[0.0f32; 4]).unwrap_err();
+        assert!(matches!(err, OclError::WrongDevice { .. }));
+    }
+
+    #[test]
+    fn aliased_kernel_buffers_are_rejected() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, 4).unwrap();
+        let program = ctx
+            .build_program(
+                "__kernel void addv(__global float* a, __global float* b, int n) { int i = get_global_id(0); if (i < n) { a[i] += b[i]; } }",
+            )
+            .unwrap();
+        let k = program.kernel("addv").unwrap();
+        let err = q
+            .enqueue_kernel(
+                &k,
+                4,
+                &[
+                    KernelArg::Buffer(buf.clone()),
+                    KernelArg::Buffer(buf.clone()),
+                    KernelArg::i32(4),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, OclError::BufferAliased { .. }));
+        // The buffer must still be usable afterwards.
+        assert!(q.enqueue_write_buffer(&buf, &[1.0f32; 4]).is_ok());
+    }
+
+    #[test]
+    fn finish_synchronises_host_clock() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, 1 << 20).unwrap();
+        q.enqueue_write_buffer(&buf, &vec![0.0f32; 1 << 20]).unwrap();
+        assert!(ctx.host_now() < q.available_at());
+        let t = q.finish();
+        assert_eq!(t, q.available_at());
+        assert_eq!(ctx.host_now(), q.available_at());
+    }
+
+    #[test]
+    fn event_log_accumulates_and_clears() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, 4).unwrap();
+        q.enqueue_write_buffer(&buf, &[0.0f32; 4]).unwrap();
+        let mut out = [0.0f32; 4];
+        q.enqueue_read_buffer(&buf, &mut out).unwrap();
+        assert_eq!(q.events().len(), 2);
+        q.clear_events();
+        assert!(q.events().is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests of the simulated OpenCL runtime: the timing model is
+//! monotone and roofline-shaped, the API-model constants keep the paper's
+//! CUDA/OpenCL/SkelCL relationships for any workload, buffers round-trip
+//! arbitrary data, and in-order queues keep their commands ordered in
+//! virtual time.
+
+use proptest::prelude::*;
+
+use oclsim::{
+    ApiModel, ArgView, Context, CostHint, DeviceProfile, KernelArg, NativeKernelDef, Program,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes_and_at_least_the_latency(
+        a in 0usize..64 * 1024 * 1024,
+        b in 0usize..64 * 1024 * 1024,
+    ) {
+        let p = DeviceProfile::tesla_c1060();
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assert!(p.transfer_time(small) <= p.transfer_time(large));
+        prop_assert!(p.transfer_time(small) >= p.transfer_latency);
+    }
+
+    #[test]
+    fn execution_time_is_the_roofline_maximum(
+        items in 1usize..5_000_000,
+        flops in 0.0f64..5_000.0,
+        bytes in 0.0f64..5_000.0,
+    ) {
+        let p = DeviceProfile::tesla_c1060();
+        let t = p.execution_time(items, flops, bytes).as_secs_f64();
+        let compute = items as f64 * flops.max(1.0) / (p.peak_gflops * 1e9);
+        let memory = items as f64 * bytes.max(4.0) / (p.mem_bandwidth_gbs * 1e9);
+        let expected = compute.max(memory);
+        // Virtual time is kept in integer nanoseconds, so allow one
+        // nanosecond of quantisation on top of the relative tolerance.
+        prop_assert!((t - expected).abs() <= expected * 1e-6 + 1e-9);
+    }
+
+    #[test]
+    fn execution_time_is_monotone_in_every_argument(
+        items in 1usize..1_000_000,
+        flops in 1.0f64..2_000.0,
+        bytes in 4.0f64..2_000.0,
+    ) {
+        let p = DeviceProfile::tesla_c1060();
+        let base = p.execution_time(items, flops, bytes);
+        prop_assert!(p.execution_time(items * 2, flops, bytes) >= base);
+        prop_assert!(p.execution_time(items, flops * 2.0, bytes) >= base);
+        prop_assert!(p.execution_time(items, flops, bytes * 2.0) >= base);
+    }
+
+    #[test]
+    fn cuda_is_never_slower_than_opencl_and_skelcl_matches_opencl(
+        items in 1usize..2_000_000,
+        flops in 1.0f64..2_000.0,
+        bytes in 4.0f64..500.0,
+    ) {
+        let p = DeviceProfile::tesla_c1060();
+        let cuda = ApiModel::cuda().kernel_time(&p, items, flops, bytes);
+        let opencl = ApiModel::opencl().kernel_time(&p, items, flops, bytes);
+        let skelcl = ApiModel::skelcl().kernel_time(&p, items, flops, bytes);
+        prop_assert!(cuda <= opencl, "CUDA must never lose on identical kernels");
+        prop_assert_eq!(
+            skelcl, opencl,
+            "SkelCL device-side execution is plain OpenCL underneath"
+        );
+    }
+
+    #[test]
+    fn buffers_round_trip_arbitrary_data(
+        data in prop::collection::vec(any::<f32>().prop_filter("finite", |x| x.is_finite()), 1..512),
+        device in 0usize..4,
+    ) {
+        let ctx = Context::with_gpus(4);
+        let queue = ctx.queue(device).unwrap();
+        let buf = ctx.create_buffer::<f32>(device, data.len()).unwrap();
+        queue.enqueue_write_buffer(&buf, &data).unwrap();
+        let mut back = vec![0.0f32; data.len()];
+        queue.enqueue_read_buffer(&buf, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn buffer_region_writes_only_touch_their_region(
+        len in 8usize..256,
+        split in 1usize..7,
+    ) {
+        let split = split.min(len - 1);
+        let ctx = Context::with_gpus(1);
+        let queue = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, len).unwrap();
+        queue.enqueue_write_buffer(&buf, &vec![1.0f32; len]).unwrap();
+        // Overwrite the tail only.
+        let tail = vec![9.0f32; len - split];
+        queue.enqueue_write_buffer_region(&buf, split, &tail).unwrap();
+        let mut back = vec![0.0f32; len];
+        queue.enqueue_read_buffer(&buf, &mut back).unwrap();
+        prop_assert!(back[..split].iter().all(|&x| x == 1.0));
+        prop_assert!(back[split..].iter().all(|&x| x == 9.0));
+    }
+
+    #[test]
+    fn in_order_queues_never_overlap_their_commands(
+        sizes in prop::collection::vec(1usize..4_096, 2..10),
+    ) {
+        let ctx = Context::with_gpus(1);
+        let queue = ctx.queue(0).unwrap();
+        let def = NativeKernelDef::new("touch", CostHint::new(10.0, 8.0), |ctx| {
+            let n = ctx.global_size();
+            let mut views = ctx.arg_views();
+            let data = views[0]
+                .as_slice_mut::<f32>()
+                .ok_or("buffer expected")?;
+            for i in 0..n.min(data.len()) {
+                data[i] += 1.0;
+            }
+            Ok(())
+        });
+        let program = Program::from_native([def]);
+        let kernel = program.kernel("touch").unwrap();
+        for &n in &sizes {
+            let buf = ctx.create_buffer::<f32>(0, n).unwrap();
+            queue.enqueue_write_buffer(&buf, &vec![0.0f32; n]).unwrap();
+            queue
+                .enqueue_kernel(&kernel, n, &[KernelArg::Buffer(buf)])
+                .unwrap();
+        }
+        queue.finish();
+        let events = queue.events();
+        prop_assert!(events.len() >= sizes.len() * 2);
+        for w in events.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "in-order queue must serialise commands");
+            prop_assert!(w[0].start >= w[0].queued);
+            prop_assert!(w[0].end >= w[0].start);
+        }
+    }
+
+    #[test]
+    fn dsl_kernels_charge_more_virtual_time_for_more_measured_work(
+        items in 64usize..2_048,
+    ) {
+        // Two kernels with identical static shape but different runtime loop
+        // bounds: the one that executes more iterations must take longer in
+        // virtual time because the interpreter reports measured counts.
+        let src = r#"
+            __kernel void spin(__global float* v, int n, int iters) {
+                int gid = get_global_id(0);
+                float acc = v[gid];
+                for (int i = 0; i < iters; i++) { acc = acc * 1.0001f + 1.0f; }
+                v[gid] = acc;
+            }
+        "#;
+        let ctx = Context::with_gpus(1);
+        let program = ctx.build_program(src).unwrap();
+        let kernel = program.kernel("spin").unwrap();
+        let queue = ctx.queue(0).unwrap();
+
+        let mut time_with = |iters: i32| {
+            let buf = ctx.create_buffer::<f32>(0, items).unwrap();
+            queue.enqueue_write_buffer(&buf, &vec![1.0f32; items]).unwrap();
+            let ev = queue
+                .enqueue_kernel(
+                    &kernel,
+                    items,
+                    &[
+                        KernelArg::Buffer(buf),
+                        KernelArg::i32(items as i32),
+                        KernelArg::i32(iters),
+                    ],
+                )
+                .unwrap();
+            ev.duration()
+        };
+        let short = time_with(2);
+        let long = time_with(200);
+        prop_assert!(long > short, "measured cost must follow the executed work");
+    }
+}
+
+#[test]
+fn arg_view_type_mismatches_are_errors_not_silent_reinterpretation() {
+    let ctx = Context::with_gpus(1);
+    let queue = ctx.queue(0).unwrap();
+    let def = NativeKernelDef::new("typed", CostHint::DEFAULT, |ctx| {
+        let mut views = ctx.arg_views();
+        match &mut views[0] {
+            ArgView::Buffer(_) => Ok(()),
+            ArgView::Scalar(_) => Err("expected a buffer".to_string()),
+        }
+    });
+    let program = Program::from_native([def]);
+    let kernel = program.kernel("typed").unwrap();
+    // Passing a scalar where the kernel expects a buffer is reported.
+    let err = queue.enqueue_kernel(&kernel, 1, &[KernelArg::i32(3)]);
+    assert!(err.is_err());
+}

@@ -1,0 +1,146 @@
+//! Reconstruction volume geometry.
+
+/// The reconstruction volume: a regular voxel grid centred at the origin.
+///
+/// The paper reconstructs an image of 150×150×280 voxels; tests and examples
+/// use smaller grids with the same code path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Volume {
+    /// Number of voxels along x.
+    pub nx: usize,
+    /// Number of voxels along y.
+    pub ny: usize,
+    /// Number of voxels along z.
+    pub nz: usize,
+    /// Edge length of a voxel in millimetres (cubic voxels).
+    pub voxel_size: f32,
+}
+
+impl Volume {
+    /// Create a volume of `nx × ny × nz` voxels with the given voxel size.
+    pub fn new(nx: usize, ny: usize, nz: usize, voxel_size: f32) -> Volume {
+        assert!(nx > 0 && ny > 0 && nz > 0, "volume dimensions must be positive");
+        assert!(voxel_size > 0.0, "voxel size must be positive");
+        Volume {
+            nx,
+            ny,
+            nz,
+            voxel_size,
+        }
+    }
+
+    /// The paper's full-scale volume (150 × 150 × 280 voxels).
+    pub fn paper_scale() -> Volume {
+        Volume::new(150, 150, 280, 1.0)
+    }
+
+    /// A small volume suitable for unit tests.
+    pub fn test_scale() -> Volume {
+        Volume::new(16, 16, 24, 2.0)
+    }
+
+    /// Total number of voxels.
+    pub fn voxel_count(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Physical extent along each axis in millimetres.
+    pub fn extent(&self) -> [f32; 3] {
+        [
+            self.nx as f32 * self.voxel_size,
+            self.ny as f32 * self.voxel_size,
+            self.nz as f32 * self.voxel_size,
+        ]
+    }
+
+    /// Lower corner of the volume (the grid is centred at the origin).
+    pub fn min_corner(&self) -> [f32; 3] {
+        let e = self.extent();
+        [-e[0] / 2.0, -e[1] / 2.0, -e[2] / 2.0]
+    }
+
+    /// Upper corner of the volume.
+    pub fn max_corner(&self) -> [f32; 3] {
+        let e = self.extent();
+        [e[0] / 2.0, e[1] / 2.0, e[2] / 2.0]
+    }
+
+    /// Linear voxel index of integer coordinates (x fastest).
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        (z * self.ny + y) * self.nx + x
+    }
+
+    /// Integer coordinates of a linear index.
+    pub fn coords(&self, index: usize) -> (usize, usize, usize) {
+        let x = index % self.nx;
+        let y = (index / self.nx) % self.ny;
+        let z = index / (self.nx * self.ny);
+        (x, y, z)
+    }
+
+    /// Whether a point (in millimetres) lies inside the volume.
+    pub fn contains(&self, p: [f32; 3]) -> bool {
+        let lo = self.min_corner();
+        let hi = self.max_corner();
+        (0..3).all(|i| p[i] >= lo[i] && p[i] <= hi[i])
+    }
+
+    /// Centre of the voxel with the given integer coordinates.
+    pub fn voxel_center(&self, x: usize, y: usize, z: usize) -> [f32; 3] {
+        let lo = self.min_corner();
+        [
+            lo[0] + (x as f32 + 0.5) * self.voxel_size,
+            lo[1] + (y as f32 + 0.5) * self.voxel_size,
+            lo[2] + (z as f32 + 0.5) * self.voxel_size,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trips() {
+        let v = Volume::new(5, 7, 3, 1.0);
+        assert_eq!(v.voxel_count(), 105);
+        for idx in 0..v.voxel_count() {
+            let (x, y, z) = v.coords(idx);
+            assert_eq!(v.index(x, y, z), idx);
+        }
+    }
+
+    #[test]
+    fn geometry_is_centred() {
+        let v = Volume::new(10, 10, 10, 2.0);
+        assert_eq!(v.extent(), [20.0, 20.0, 20.0]);
+        assert_eq!(v.min_corner(), [-10.0, -10.0, -10.0]);
+        assert_eq!(v.max_corner(), [10.0, 10.0, 10.0]);
+        assert!(v.contains([0.0, 0.0, 0.0]));
+        assert!(v.contains([9.9, -9.9, 5.0]));
+        assert!(!v.contains([10.5, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn voxel_centers_are_inside() {
+        let v = Volume::test_scale();
+        let c = v.voxel_center(0, 0, 0);
+        assert!(v.contains(c));
+        let c = v.voxel_center(v.nx - 1, v.ny - 1, v.nz - 1);
+        assert!(v.contains(c));
+    }
+
+    #[test]
+    fn paper_scale_matches_the_evaluation_volume() {
+        let v = Volume::paper_scale();
+        assert_eq!((v.nx, v.ny, v.nz), (150, 150, 280));
+        assert_eq!(v.voxel_count(), 150 * 150 * 280);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimensions_are_rejected() {
+        Volume::new(0, 4, 4, 1.0);
+    }
+}

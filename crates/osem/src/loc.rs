@@ -1,0 +1,206 @@
+//! Lines-of-code accounting for the Figure 4a programming-effort comparison.
+//!
+//! The paper compares the host-program sizes of the SkelCL, OpenCL and CUDA
+//! implementations of list-mode OSEM, for the single-GPU and multi-GPU
+//! versions, plus the (similar-sized) GPU kernel code. Here the three host
+//! programs live in this crate as real, tested source files; this module
+//! counts their lines the same way:
+//!
+//! * only lines inside `// LOC: host-single begin` / `end` regions count as
+//!   host code (imports, struct plumbing and test modules are excluded so
+//!   the numbers reflect the algorithmic host code like the paper's),
+//! * lines inside `// LOC: multi-gpu begin` / `end` sub-regions are the
+//!   *additional* lines required for multi-GPU support,
+//! * blank lines and pure comment lines never count.
+
+/// Lines-of-code breakdown of one implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocBreakdown {
+    /// Host lines for the single-GPU version (total minus multi-GPU lines).
+    pub host_single: usize,
+    /// Additional host lines needed for the multi-GPU version.
+    pub host_multi_extra: usize,
+    /// Lines of device (kernel) code shared by the implementations.
+    pub kernel: usize,
+}
+
+impl LocBreakdown {
+    /// Host lines of the multi-GPU version.
+    pub fn host_multi_total(&self) -> usize {
+        self.host_single + self.host_multi_extra
+    }
+}
+
+/// Which implementation to account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Implementation {
+    /// The SkelCL host program (Listing 3 analogue).
+    SkelCl,
+    /// The hand-written OpenCL-style host program.
+    OpenCl,
+    /// The hand-written CUDA-style host program.
+    Cuda,
+}
+
+impl Implementation {
+    /// All implementations in the order of Figure 4a.
+    pub fn all() -> [Implementation; 3] {
+        [Implementation::SkelCl, Implementation::OpenCl, Implementation::Cuda]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Implementation::SkelCl => "SkelCL",
+            Implementation::OpenCl => "OpenCL",
+            Implementation::Cuda => "CUDA",
+        }
+    }
+
+    fn source(&self) -> &'static str {
+        match self {
+            Implementation::SkelCl => include_str!("skelcl_impl.rs"),
+            Implementation::OpenCl => include_str!("opencl_impl.rs"),
+            Implementation::Cuda => include_str!("cuda_impl.rs"),
+        }
+    }
+}
+
+/// Kernel (device) code shared by every implementation: the per-event /
+/// per-voxel computations and the ray tracer.
+fn kernel_loc() -> usize {
+    count_code_lines(include_str!("kernels.rs")) + count_code_lines(include_str!("siddon.rs"))
+}
+
+fn is_code_line(line: &str) -> bool {
+    let t = line.trim();
+    !t.is_empty() && !t.starts_with("//") && !t.starts_with("/*") && !t.starts_with('*')
+}
+
+/// Count non-blank, non-comment lines of a source string, excluding its test
+/// module (everything from `#[cfg(test)]` on).
+fn count_code_lines(source: &str) -> usize {
+    source
+        .lines()
+        .take_while(|l| !l.trim_start().starts_with("#[cfg(test)]"))
+        .filter(|l| is_code_line(l))
+        .count()
+}
+
+/// Count host lines within the `LOC:` regions of a source string.
+fn count_marked_regions(source: &str) -> (usize, usize) {
+    let mut in_host = false;
+    let mut in_multi = false;
+    let mut host_total = 0usize;
+    let mut multi = 0usize;
+    for line in source.lines() {
+        let t = line.trim();
+        if t.starts_with("// LOC: host-single begin") {
+            in_host = true;
+            continue;
+        }
+        if t.starts_with("// LOC: host-single end") {
+            in_host = false;
+            continue;
+        }
+        if t.starts_with("// LOC: multi-gpu begin") {
+            in_multi = true;
+            continue;
+        }
+        if t.starts_with("// LOC: multi-gpu end") {
+            in_multi = false;
+            continue;
+        }
+        if !in_host || !is_code_line(line) {
+            continue;
+        }
+        host_total += 1;
+        if in_multi {
+            multi += 1;
+        }
+    }
+    (host_total, multi)
+}
+
+/// Lines-of-code breakdown of an implementation.
+pub fn loc_of(implementation: Implementation) -> LocBreakdown {
+    let (host_total, multi) = count_marked_regions(implementation.source());
+    LocBreakdown {
+        host_single: host_total - multi,
+        host_multi_extra: multi,
+        kernel: kernel_loc(),
+    }
+}
+
+/// The full Figure 4a data set: one breakdown per implementation.
+pub fn figure_4a() -> Vec<(Implementation, LocBreakdown)> {
+    Implementation::all()
+        .into_iter()
+        .map(|i| (i, loc_of(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_line_classification() {
+        assert!(is_code_line("let x = 1;"));
+        assert!(!is_code_line("   // comment"));
+        assert!(!is_code_line(""));
+        assert!(!is_code_line("  * doc continuation"));
+    }
+
+    #[test]
+    fn marked_region_counting() {
+        let src = "\
+// LOC: host-single begin
+let a = 1;
+// a comment
+// LOC: multi-gpu begin
+let b = 2;
+let c = 3;
+// LOC: multi-gpu end
+let d = 4;
+// LOC: host-single end
+let outside = 5;
+";
+        let (host, multi) = count_marked_regions(src);
+        assert_eq!(host, 4);
+        assert_eq!(multi, 2);
+    }
+
+    #[test]
+    fn figure_4a_reproduces_the_papers_ordering() {
+        let rows = figure_4a();
+        let get = |i: Implementation| rows.iter().find(|(im, _)| *im == i).unwrap().1;
+        let skelcl = get(Implementation::SkelCl);
+        let opencl = get(Implementation::OpenCl);
+        let cuda = get(Implementation::Cuda);
+
+        // The qualitative claims of Figure 4a / Section IV-B:
+        // the SkelCL host program is by far the shortest;
+        assert!(skelcl.host_single < cuda.host_single);
+        assert!(skelcl.host_single < opencl.host_single);
+        // the OpenCL host program is the longest (platform selection and
+        // runtime compilation boilerplate);
+        assert!(opencl.host_single > cuda.host_single);
+        // multi-GPU support costs SkelCL only a handful of extra lines —
+        // far fewer than either low-level version;
+        assert!(skelcl.host_multi_extra < opencl.host_multi_extra);
+        assert!(skelcl.host_multi_extra < cuda.host_multi_extra);
+        assert!(skelcl.host_multi_extra <= 12);
+        // and the kernel code is identical (shared) across implementations.
+        assert_eq!(skelcl.kernel, opencl.kernel);
+        assert_eq!(opencl.kernel, cuda.kernel);
+        assert!(skelcl.kernel > 50);
+    }
+
+    #[test]
+    fn multi_total_is_consistent() {
+        for (_, loc) in figure_4a() {
+            assert_eq!(loc.host_multi_total(), loc.host_single + loc.host_multi_extra);
+        }
+    }
+}

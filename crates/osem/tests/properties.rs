@@ -1,0 +1,165 @@
+//! Property-based tests of the OSEM substrate: the Siddon-style ray tracer
+//! respects geometric invariants for arbitrary lines of response, event
+//! generation is reproducible and well-formed, and the sequential
+//! reconstruction of Listing 2 behaves sanely for degenerate inputs.
+
+use proptest::prelude::*;
+
+use osem::{compute_path, Event, EventGenerator, Phantom, ReconstructionConfig, Volume};
+
+fn segment_length(e: &Event) -> f32 {
+    let dx = e.p2[0] - e.p1[0];
+    let dy = e.p2[1] - e.p1[1];
+    let dz = e.p2[2] - e.p1[2];
+    (dx * dx + dy * dy + dz * dz).sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn path_lengths_are_nonnegative_and_bounded_by_the_segment(
+        p1 in prop::array::uniform3(-60.0f32..60.0),
+        p2 in prop::array::uniform3(-60.0f32..60.0),
+    ) {
+        let volume = Volume::test_scale();
+        let event = Event { p1, p2 };
+        let path = compute_path(&volume, &event);
+        let total: f32 = path.iter().map(|el| el.len).sum();
+        for el in &path {
+            prop_assert!(el.len >= 0.0, "negative intersection length");
+            prop_assert!(el.coord < volume.voxel_count(), "voxel index out of range");
+        }
+        // The traced length can never exceed the LOR segment itself (small
+        // epsilon for the floating-point clipping arithmetic).
+        prop_assert!(total <= segment_length(&event) * 1.0001 + 1e-3,
+            "traced {total} exceeds segment {}", segment_length(&event));
+    }
+
+    #[test]
+    fn paths_never_visit_the_same_voxel_twice(
+        p1 in prop::array::uniform3(-60.0f32..60.0),
+        p2 in prop::array::uniform3(-60.0f32..60.0),
+    ) {
+        let volume = Volume::test_scale();
+        let path = compute_path(&volume, &Event { p1, p2 });
+        let mut seen = std::collections::HashSet::new();
+        for el in &path {
+            prop_assert!(seen.insert(el.coord), "voxel {} visited twice", el.coord);
+        }
+    }
+
+    #[test]
+    fn lines_through_the_centre_cross_a_full_chord(
+        angle in 0.0f32..std::f32::consts::PI,
+    ) {
+        // A LOR through the volume centre, entering and leaving well outside
+        // the volume, must accumulate a path roughly as long as the volume
+        // extent along that direction (within a voxel of slack at each end).
+        let volume = Volume::test_scale();
+        let extent = volume.extent();
+        let r = extent[0].max(extent[1]) * 2.0;
+        let centre = [
+            (volume.min_corner()[0] + volume.max_corner()[0]) / 2.0,
+            (volume.min_corner()[1] + volume.max_corner()[1]) / 2.0,
+            (volume.min_corner()[2] + volume.max_corner()[2]) / 2.0,
+        ];
+        let dir = [angle.cos(), angle.sin(), 0.0];
+        let event = Event {
+            p1: [centre[0] - dir[0] * r, centre[1] - dir[1] * r, centre[2]],
+            p2: [centre[0] + dir[0] * r, centre[1] + dir[1] * r, centre[2]],
+        };
+        let total: f32 = compute_path(&volume, &event).iter().map(|el| el.len).sum();
+        // Minimum chord through the centre of a box is its smallest XY side.
+        let min_side = extent[0].min(extent[1]);
+        prop_assert!(total >= min_side * 0.8, "chord {total} too short for extent {extent:?}");
+    }
+
+    #[test]
+    fn events_entirely_outside_the_volume_produce_empty_paths(
+        offset in 100.0f32..500.0,
+        delta in prop::array::uniform3(-20.0f32..20.0),
+    ) {
+        let volume = Volume::test_scale();
+        let far = volume.max_corner()[0] + offset;
+        let event = Event {
+            p1: [far, far, far],
+            p2: [far + delta[0], far + delta[1], far + delta[2]],
+        };
+        prop_assert!(compute_path(&volume, &event).is_empty());
+    }
+
+    #[test]
+    fn event_generation_is_reproducible_and_well_formed(
+        seed in 0u64..10_000,
+        n in 1usize..200,
+    ) {
+        let volume = Volume::test_scale();
+        let phantom = Phantom::default_for(&volume);
+        let mut gen_a = EventGenerator::new(volume, phantom.clone(), seed);
+        let mut gen_b = EventGenerator::new(Volume::test_scale(), phantom, seed);
+        let a = gen_a.generate_subset(n);
+        let b = gen_b.generate_subset(n);
+        prop_assert_eq!(a.len(), n);
+        prop_assert_eq!(&a, &b, "same seed must give the same events");
+        for e in &a {
+            prop_assert!(e.p1.iter().all(|v| v.is_finite()));
+            prop_assert!(e.p2.iter().all(|v| v.is_finite()));
+            prop_assert!(segment_length(e) > 0.0, "degenerate LOR");
+        }
+    }
+
+    #[test]
+    fn max_relative_difference_behaves_like_a_distance(
+        data in prop::collection::vec(0.01f32..100.0, 1..200),
+        noise in 0.0f32..0.5,
+    ) {
+        let identical = osem::max_relative_difference(&data, &data);
+        prop_assert!(identical == 0.0);
+
+        let perturbed: Vec<f32> = data.iter().map(|x| x * (1.0 + noise)).collect();
+        let d = osem::max_relative_difference(&data, &perturbed);
+        prop_assert!(d >= 0.0);
+        if noise > 1e-3 {
+            prop_assert!(d > 0.0, "a perturbation must be detected");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sequential_reconstruction_keeps_the_image_finite_and_nonnegative(
+        events_per_subset in 50usize..500,
+        seed in 0u64..1_000,
+    ) {
+        let mut config = ReconstructionConfig::test_scale();
+        config.events_per_subset = events_per_subset;
+        config.seed = seed;
+        let image = osem::sequential::reconstruct(&config);
+        prop_assert_eq!(image.len(), config.volume.voxel_count());
+        for v in &image {
+            prop_assert!(v.is_finite() && *v >= 0.0, "voxel value {v}");
+        }
+    }
+}
+
+#[test]
+fn an_empty_subset_leaves_the_reconstruction_image_unchanged() {
+    let config = ReconstructionConfig::test_scale();
+    let mut image = vec![1.0f32; config.volume.voxel_count()];
+    osem::sequential::process_subset(&config, &[], &mut image);
+    assert_eq!(image, vec![1.0f32; config.volume.voxel_count()]);
+}
+
+#[test]
+fn phantom_reference_image_is_hotter_inside_the_spheres() {
+    let volume = Volume::test_scale();
+    let phantom = Phantom::default_for(&volume);
+    let reference = phantom.reference_image(&volume);
+    let max = reference.iter().cloned().fold(f32::MIN, f32::max);
+    let min = reference.iter().cloned().fold(f32::MAX, f32::min);
+    assert!(max > min, "the phantom must have contrast");
+    assert!(min >= 0.0);
+}

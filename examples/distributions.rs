@@ -1,0 +1,42 @@
+//! Figure 1 of the paper: the `single`, `block` and `copy` distributions of a
+//! vector over two GPUs, and what changing them implies.
+//!
+//! Run with `cargo run -p skelcl-bench --example distributions`.
+
+use skelcl::prelude::*;
+
+fn show(label: &str, v: &Vector<f32>) {
+    println!(
+        "{label:<28} sizes per device = {:?}, residence = {:?}",
+        v.sizes(),
+        v.residence()
+    );
+}
+
+fn main() -> Result<()> {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, (1..=16).map(|i| i as f32).collect());
+
+    // Figure 1a: single — the whole vector on one device.
+    v.set_distribution(Distribution::Single(0))?;
+    v.copy_data_to_devices()?;
+    show("single (device 0)", &v);
+
+    // Figure 1b: block — contiguous disjoint parts.
+    v.set_distribution(Distribution::Block)?;
+    v.copy_data_to_devices()?;
+    show("block", &v);
+
+    // Figure 1c: copy — a full copy on every device.
+    v.set_distribution(Distribution::Copy)?;
+    v.copy_data_to_devices()?;
+    show("copy", &v);
+
+    // Changing away from copy with a combine function merges the per-device
+    // copies (used by the OSEM error image in Listing 3).
+    v.set_combine(Combine::add());
+    v.set_distribution(Distribution::Block)?;
+    println!("after copy -> block with Combine::add(): v[0] = {}", v.to_vec()?[0]);
+
+    Ok(())
+}

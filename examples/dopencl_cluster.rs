@@ -1,0 +1,78 @@
+//! Section V of the paper: SkelCL on top of dOpenCL.
+//!
+//! "When using dOpenCL, all CPUs, GPUs and accelerators of a distributed
+//! system become accessible as OpenCL devices. ... Since dOpenCL is a drop-in
+//! replacement for any OpenCL implementation, it can be used together with
+//! SkelCL without any modifications."
+//!
+//! This example assembles the paper's laboratory system — the 4-GPU Tesla
+//! S1070 server plus two dual-GPU servers — as a simulated dOpenCL cluster,
+//! runs the *unmodified* SkelCL SAXPY program on it, and quantifies the
+//! communication penalty for different interconnects.
+//!
+//! Run with `cargo run --release -p skelcl-bench --example dopencl_cluster`.
+
+use skelcl::prelude::*;
+
+use dopencl::{Cluster, NetworkModel, Node};
+
+fn saxpy_on(profiles: Vec<oclsim::DeviceProfile>, n: usize) -> Result<(f64, f32)> {
+    let rt = skelcl::init_profiles(profiles);
+    let saxpy = Zip::<f32, f32, f32>::from_source(
+        "float func(float x, float y, float a) { return a*x+y; }",
+    );
+    let x = Vector::from_vec(&rt, (0..n).map(|i| i as f32).collect());
+    let y = Vector::from_vec(&rt, vec![1.0f32; n]);
+    saxpy.call(&x, &y, &Args::new().with_f32(2.0))?; // warm-up
+    rt.finish_all();
+    let t0 = rt.now();
+    let out = saxpy.call(&x, &y, &Args::new().with_f32(2.0))?;
+    let sample = out.to_vec()?[n / 2];
+    rt.finish_all();
+    Ok(((rt.now() - t0).as_secs_f64(), sample))
+}
+
+fn main() -> Result<()> {
+    // The paper's laboratory system: the Section IV-C GPU server plus two
+    // dual-GPU servers, connected to a client without OpenCL devices.
+    let cluster = Cluster::new(NetworkModel::gigabit_ethernet())
+        .with_node(Node::tesla_s1070_server("tesla-server"))
+        .with_node(Node::dual_gpu_server("lab-server-1"))
+        .with_node(Node::dual_gpu_server("lab-server-2"));
+
+    println!("simulated dOpenCL cluster:");
+    for node in cluster.nodes() {
+        println!("  node `{}` with {} GPUs", node.name, node.gpu_count());
+    }
+    println!(
+        "  total devices visible to the client: {} ({} GPUs)",
+        cluster.device_count(),
+        cluster.gpu_profiles().len()
+    );
+
+    // The very same SkelCL program runs locally and on the cluster.
+    let n = 1 << 21;
+    let (local_s, local_sample) = saxpy_on(vec![oclsim::DeviceProfile::tesla_c1060(); 4], n)?;
+    let (remote_s, remote_sample) = saxpy_on(cluster.gpu_profiles(), n)?;
+    assert_eq!(local_sample, remote_sample, "same program, same result");
+
+    println!("\nSAXPY over {n} elements (steady state, simulated seconds):");
+    println!("  4 local GPUs                 : {:.3} ms", local_s * 1e3);
+    println!(
+        "  8 remote GPUs over 1 GbE     : {:.3} ms ({:.2}x vs local)",
+        remote_s * 1e3,
+        remote_s / local_s
+    );
+
+    // The interconnect determines how much the distribution costs.
+    println!("\nmoving 64 MiB from the client to a server:");
+    for (name, network) in [
+        ("Gigabit Ethernet", NetworkModel::gigabit_ethernet()),
+        ("10-Gigabit Ethernet", NetworkModel::ten_gigabit_ethernet()),
+        ("InfiniBand QDR", NetworkModel::infiniband_qdr()),
+    ] {
+        let t = network.transfer_time(64 * 1024 * 1024);
+        println!("  {name:20}: {:.3} ms", t.as_secs_f64() * 1e3);
+    }
+    Ok(())
+}

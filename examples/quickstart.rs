@@ -1,0 +1,40 @@
+//! Quickstart: the SAXPY computation of Listing 1 of the paper, plus a
+//! map → reduce pipeline that never leaves the (simulated) GPUs.
+//!
+//! Run with `cargo run -p skelcl-bench --example quickstart`.
+
+use skelcl::prelude::*;
+
+fn main() -> Result<()> {
+    // Initialise SkelCL on two simulated Tesla GPUs.
+    let rt = skelcl::init_gpus(2);
+    println!("SkelCL initialised on {} devices", rt.device_count());
+
+    // --- Listing 1: Y <- a*X + Y with a zip skeleton --------------------
+    let saxpy = Zip::<f32, f32, f32>::from_source(
+        "float func(float x, float y, float a) { return a * x + y; }",
+    );
+    let n = 1 << 16;
+    let x = Vector::from_vec(&rt, (0..n).map(|i| i as f32).collect());
+    let y = Vector::from_vec(&rt, vec![1.0f32; n as usize]);
+    let a = 2.5f32;
+    let y = saxpy.call(&x, &y, &Args::new().with_f32(a))?;
+    let result = y.to_vec()?;
+    println!("saxpy: y[10] = {} (expected {})", result[10], a * 10.0 + 1.0);
+
+    // --- A map → reduce pipeline ----------------------------------------
+    // The map's output stays on the devices; the reduce reuses it without
+    // any host transfer (lazy copying, Section II-B of the paper).
+    let square = Map::<f32, f32>::from_source("float func(float v) { return v * v; }");
+    let sum = Reduce::<f32>::from_source("float func(float l, float r) { return l + r; }");
+    let values = Vector::from_vec(&rt, (1..=1000).map(|i| i as f32).collect());
+    let sum_of_squares = sum.reduce_value(&square.call(&values, &Args::none())?)?;
+    println!("sum of squares 1..=1000 = {sum_of_squares}");
+
+    println!(
+        "total skeleton calls: {}, simulated time: {:.3} ms",
+        rt.skeleton_calls(),
+        rt.now().as_secs_f64() * 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! Figure 1 of the paper: the three vector distributions offered to the
+//! programmer — `single`, `block` and `copy` — plus the semantics of
+//! changing a distribution at runtime (Section III-A): implicit data
+//! exchanges, and the combine step when switching away from `copy`.
+
+use skelcl::prelude::*;
+use skelcl::Residence;
+
+/// The figure's setting: a 16-element vector on a 2-GPU system.
+fn sixteen_on_two_gpus() -> (std::sync::Arc<skelcl::SkelCl>, Vector<f32>) {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, (1..=16).map(|i| i as f32).collect());
+    (rt, v)
+}
+
+#[test]
+fn figure_1a_single_distribution_stores_everything_on_one_gpu() {
+    let (_rt, v) = sixteen_on_two_gpus();
+    v.set_distribution(Distribution::Single(0)).unwrap();
+    v.copy_data_to_devices().unwrap();
+    assert_eq!(v.sizes(), vec![16, 0]);
+    // "the first GPU if not specified otherwise" — but any device may be
+    // chosen explicitly.
+    v.set_distribution(Distribution::Single(1)).unwrap();
+    v.copy_data_to_devices().unwrap();
+    assert_eq!(v.sizes(), vec![0, 16]);
+    assert_eq!(v.to_vec().unwrap(), (1..=16).map(|i| i as f32).collect::<Vec<_>>());
+}
+
+#[test]
+fn figure_1b_block_distribution_splits_into_contiguous_disjoint_parts() {
+    let (_rt, v) = sixteen_on_two_gpus();
+    v.set_distribution(Distribution::Block).unwrap();
+    v.copy_data_to_devices().unwrap();
+    assert_eq!(v.sizes(), vec![8, 8]);
+    assert_eq!(v.range_of(0), 0..8);
+    assert_eq!(v.range_of(1), 8..16);
+}
+
+#[test]
+fn figure_1c_copy_distribution_replicates_the_whole_vector() {
+    let (_rt, v) = sixteen_on_two_gpus();
+    v.set_distribution(Distribution::Copy).unwrap();
+    v.copy_data_to_devices().unwrap();
+    assert_eq!(v.sizes(), vec![16, 16]);
+    assert_eq!(v.range_of(0), 0..16);
+    assert_eq!(v.range_of(1), 0..16);
+}
+
+#[test]
+fn block_parts_scale_with_the_number_of_devices() {
+    for devices in 1..=4 {
+        let rt = skelcl::init_gpus(devices);
+        let v = Vector::from_vec(&rt, vec![0.0f32; 12]);
+        v.set_distribution(Distribution::Block).unwrap();
+        v.copy_data_to_devices().unwrap();
+        let sizes = v.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 12, "devices = {devices}");
+        assert_eq!(sizes.len(), devices);
+        // Evenly sized up to rounding.
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?} are not balanced");
+    }
+}
+
+#[test]
+fn changing_distribution_preserves_the_observable_contents() {
+    let (_rt, v) = sixteen_on_two_gpus();
+    let expected: Vec<f32> = (1..=16).map(|i| i as f32).collect();
+    for dist in [
+        Distribution::Block,
+        Distribution::Copy,
+        Distribution::Single(1),
+        Distribution::Block,
+        Distribution::Single(0),
+        Distribution::Copy,
+    ] {
+        v.set_distribution(dist).unwrap();
+        assert_eq!(v.to_vec().unwrap(), expected);
+    }
+}
+
+#[test]
+fn switching_away_from_copy_keeps_the_first_devices_version_by_default() {
+    // Section III-A: "If no function is specified, the copy of the first
+    // device is taken as the new version of the vector; the copies of the
+    // other devices are discarded."
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, vec![1.0f32; 8]);
+    v.set_distribution(Distribution::Copy).unwrap();
+
+    // Each device locally doubles its own full copy (copy-distributed map).
+    let double = Map::<f32, f32>::from_source("float func(float x) { return 2.0f * x; }");
+    let doubled = double.call(&v, &Args::none()).unwrap();
+    assert_eq!(doubled.distribution(), Distribution::Copy);
+
+    // Switching to block without a combine function keeps device 0's copy.
+    doubled.set_distribution(Distribution::Block).unwrap();
+    assert_eq!(doubled.to_vec().unwrap(), vec![2.0f32; 8]);
+}
+
+#[test]
+fn switching_away_from_copy_with_a_user_combine_function_merges_the_copies() {
+    // The OSEM error image in Listing 3 uses `Distribution::copy(add)`: the
+    // per-device versions are element-wise added when the distribution
+    // changes.
+    let rt = skelcl::init_gpus(3);
+    let c = Vector::from_vec(&rt, vec![0.0f32; 6]);
+    c.set_copy_distribution_with(Combine::add()).unwrap();
+    c.copy_data_to_devices().unwrap();
+
+    // Each device adds 1 to its own copy.
+    let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+    let c = inc.call(&c, &Args::none()).unwrap();
+    c.set_combine(Combine::add());
+    assert_eq!(c.distribution(), Distribution::Copy);
+
+    c.set_distribution(Distribution::Block).unwrap();
+    // Three devices, each contributed +1 to its own full copy → 3 everywhere.
+    assert_eq!(c.to_vec().unwrap(), vec![3.0f32; 6]);
+}
+
+#[test]
+fn weighted_block_distribution_respects_the_weights() {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, vec![0.0f32; 100]);
+    v.set_distribution(Distribution::block_weighted(&[3.0, 1.0]))
+        .unwrap();
+    v.copy_data_to_devices().unwrap();
+    let sizes = v.sizes();
+    assert_eq!(sizes.iter().sum::<usize>(), 100);
+    assert!(sizes[0] >= 70 && sizes[0] <= 80, "sizes = {sizes:?}");
+}
+
+#[test]
+fn residence_tracks_where_the_valid_copy_lives() {
+    let (_rt, v) = sixteen_on_two_gpus();
+    assert_eq!(v.residence(), Residence::HostOnly);
+    v.copy_data_to_devices().unwrap();
+    assert_eq!(v.residence(), Residence::Shared);
+
+    // A skeleton writes a device-resident output; reading it back makes it
+    // shared again.
+    let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+    let out = inc.call(&v, &Args::none()).unwrap();
+    assert_eq!(out.residence(), Residence::DevicesOnly);
+    let _ = out.to_vec().unwrap();
+    assert_eq!(out.residence(), Residence::Shared);
+}
+
+#[test]
+fn skeleton_execution_follows_the_input_distribution() {
+    // Section III-B: every device that holds a part or a copy participates;
+    // single-distributed vectors run on one GPU only.
+    let rt = skelcl::init_gpus(2);
+    let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+
+    for (dist, expected_kernels) in [
+        (Distribution::Single(1), vec![0usize, 1]),
+        (Distribution::Block, vec![1, 1]),
+        (Distribution::Copy, vec![1, 1]),
+    ] {
+        let v = Vector::from_vec(&rt, vec![1.0f32; 32]);
+        v.set_distribution(dist.clone()).unwrap();
+        rt.drain_events();
+        let _ = inc.call(&v, &Args::none()).unwrap();
+        let events = rt.drain_events();
+        let per_device: Vec<usize> = events
+            .iter()
+            .map(|evs| evs.iter().filter(|e| e.is_kernel()).count())
+            .collect();
+        assert_eq!(per_device, expected_kernels, "distribution = {dist:?}");
+    }
+}
+
+#[test]
+fn redistribution_moves_data_through_the_host_as_the_paper_describes() {
+    // Section III-A: "data has to be downloaded to the host before it can be
+    // uploaded to other devices" — redistributing a vector whose only valid
+    // copy lives on device 0 therefore causes a download from device 0 and an
+    // upload to device 1.
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, (0..64).map(|i| i as f32).collect());
+    v.set_distribution(Distribution::Single(0)).unwrap();
+    let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+    // The map's output is resident on device 0 only; the host copy is stale.
+    let out = inc.call(&v, &Args::none()).unwrap();
+    rt.drain_events();
+
+    out.set_distribution(Distribution::Single(1)).unwrap();
+    out.copy_data_to_devices().unwrap();
+
+    let events = rt.drain_events();
+    let downloads_from_0 = events[0].iter().filter(|e| e.is_read()).count();
+    let uploads_to_1 = events[1].iter().filter(|e| e.is_write()).count();
+    assert!(downloads_from_0 >= 1, "expected a download from device 0");
+    assert!(uploads_to_1 >= 1, "expected an upload to device 1");
+    assert_eq!(
+        out.to_vec().unwrap(),
+        (0..64).map(|i| i as f32 + 1.0).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,189 @@
+//! Figure 2 of the paper: the scan skeleton on four GPUs.
+//!
+//! The figure shows the input `[1..16]` block-distributed over four devices,
+//! the per-device local scans, the offsets (6+4, 18+8, 30+12 → 10, 36, 78)
+//! added by implicitly created map skeletons, and the final prefix-sum
+//! vector. These tests reproduce the figure exactly and then cover the
+//! surrounding behaviour: other device counts, uneven part sizes,
+//! non-commutative operators, and the distribution of the output.
+
+use skelcl::prelude::*;
+
+fn prefix_sums(data: &[i32]) -> Vec<i32> {
+    let mut acc = 0;
+    data.iter()
+        .map(|x| {
+            acc += x;
+            acc
+        })
+        .collect()
+}
+
+#[test]
+fn figure_2_trace_on_four_gpus_matches_every_stage() {
+    let rt = skelcl::init_gpus(4);
+    let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
+    let input: Vec<i32> = (1..=16).collect();
+    let v = Vector::from_vec(&rt, input.clone());
+
+    let (out, trace) = scan.call_with_trace(&v).unwrap();
+
+    // Second row of the figure: the local (per-device) scans.
+    assert_eq!(
+        trace.local_scans,
+        vec![
+            vec![1, 3, 6, 10],
+            vec![5, 11, 18, 26],
+            vec![9, 19, 30, 42],
+            vec![13, 27, 42, 58],
+        ]
+    );
+
+    // The offsets combined by the implicit map skeletons: the first device
+    // needs none; the others receive the totals of all their predecessors
+    // (6+4 = 10, 18+8+10 = 36, 30+12+36 = 78 in the figure's notation).
+    assert_eq!(trace.offsets, vec![None, Some(10), Some(36), Some(78)]);
+
+    // Bottom row: the complete prefix sums.
+    assert_eq!(out.to_vec().unwrap(), prefix_sums(&input));
+}
+
+#[test]
+fn scan_output_is_block_distributed_as_section_iii_c_states() {
+    let rt = skelcl::init_gpus(4);
+    let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
+    let v = Vector::from_vec(&rt, (1..=16).collect());
+    let out = scan.call(&v).unwrap();
+    assert_eq!(out.distribution(), Distribution::Block);
+    assert_eq!(out.sizes(), vec![4, 4, 4, 4]);
+}
+
+#[test]
+fn scan_matches_the_sequential_prefix_on_any_device_count() {
+    let input: Vec<i32> = (0..97).map(|i| (i * 7) % 23 - 11).collect();
+    let expected = prefix_sums(&input);
+    for devices in 1..=4 {
+        let rt = skelcl::init_gpus(devices);
+        let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
+        let v = Vector::from_vec(&rt, input.clone());
+        assert_eq!(
+            scan.call(&v).unwrap().to_vec().unwrap(),
+            expected,
+            "devices = {devices}"
+        );
+    }
+}
+
+#[test]
+fn scan_handles_lengths_that_do_not_divide_evenly() {
+    // 10 elements over 4 devices: parts of 3/2/3/2 (or similar) — the
+    // predecessor offsets must still be correct.
+    let rt = skelcl::init_gpus(4);
+    let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
+    let input: Vec<i32> = (1..=10).collect();
+    let v = Vector::from_vec(&rt, input.clone());
+    assert_eq!(scan.call(&v).unwrap().to_vec().unwrap(), prefix_sums(&input));
+}
+
+#[test]
+fn scan_of_a_single_element_and_of_fewer_elements_than_devices() {
+    let rt = skelcl::init_gpus(4);
+    let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
+
+    let one = Vector::from_vec(&rt, vec![42]);
+    assert_eq!(scan.call(&one).unwrap().to_vec().unwrap(), vec![42]);
+
+    let three = Vector::from_vec(&rt, vec![1, 2, 3]);
+    assert_eq!(scan.call(&three).unwrap().to_vec().unwrap(), vec![1, 3, 6]);
+}
+
+#[test]
+fn scan_with_a_non_commutative_but_associative_operator() {
+    // The paper requires associativity but not commutativity. The "right
+    // projection" operator `a ⊕ b = b` is associative and non-commutative;
+    // its prefix scan is the input itself, but only if the implementation
+    // preserves the left-to-right order across device boundaries.
+    let rt = skelcl::init_gpus(3);
+    let rightmost = Scan::<i32>::from_source("int func(int a, int b) { return b; }");
+    let input: Vec<i32> = vec![7, 1, 9, 4, 2, 8, 6, 3];
+    let v = Vector::from_vec(&rt, input.clone());
+    assert_eq!(
+        rightmost.call(&v).unwrap().to_vec().unwrap(),
+        input,
+        "left-to-right order must be preserved across device boundaries"
+    );
+}
+
+#[test]
+fn scan_with_maximum_operator() {
+    let rt = skelcl::init_gpus(4);
+    let running_max =
+        Scan::<i32>::from_source("int func(int a, int b) { return a > b ? a : b; }");
+    let input = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8];
+    let v = Vector::from_vec(&rt, input.clone());
+    let mut acc = i32::MIN;
+    let expected: Vec<i32> = input
+        .iter()
+        .map(|x| {
+            acc = acc.max(*x);
+            acc
+        })
+        .collect();
+    assert_eq!(running_max.call(&v).unwrap().to_vec().unwrap(), expected);
+}
+
+#[test]
+fn scan_with_a_native_closure_operator_matches_the_source_version() {
+    let rt = skelcl::init_gpus(4);
+    let input: Vec<f32> = (1..=32).map(|i| i as f32 * 0.5).collect();
+
+    let source = Scan::<f32>::from_source("float func(float a, float b) { return a + b; }");
+    let native = Scan::<f32>::new(|a, b| a + b);
+
+    let v1 = Vector::from_vec(&rt, input.clone());
+    let v2 = Vector::from_vec(&rt, input);
+    assert_eq!(
+        source.call(&v1).unwrap().to_vec().unwrap(),
+        native.call(&v2).unwrap().to_vec().unwrap()
+    );
+}
+
+#[test]
+fn scan_rejects_non_operator_user_functions() {
+    let rt = skelcl::init_gpus(2);
+    // A unary function is not a binary operator.
+    let bad = Scan::<f32>::from_source("float func(float a) { return a; }");
+    let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
+    assert!(bad.call(&v).is_err());
+
+    // Mixed types are not (T, T) -> T either.
+    let mixed = Scan::<f32>::from_source("float func(float a, int b) { return a; }");
+    let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
+    assert!(mixed.call(&v).is_err());
+}
+
+#[test]
+fn scan_downloads_only_the_per_device_totals_between_the_two_steps() {
+    // Step 2 of the paper's description: "The results of all GPUs are
+    // downloaded to the host" — the implementation only needs the *totals*
+    // (one element per device), not the full parts.
+    let rt = skelcl::init_gpus(4);
+    let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
+    let v = Vector::from_vec(&rt, (1..=4096).collect());
+    v.copy_data_to_devices().unwrap();
+    rt.drain_events();
+
+    let _ = scan.call(&v).unwrap();
+    let events = rt.drain_events();
+    let downloaded_bytes: usize = events
+        .iter()
+        .flatten()
+        .filter(|e| e.is_read())
+        .map(|e| e.bytes)
+        .sum();
+    // Far less than the vector itself (16 KiB): only a handful of scalars.
+    assert!(
+        downloaded_bytes <= 64,
+        "scan downloaded {downloaded_bytes} bytes between its steps"
+    );
+}

@@ -1,0 +1,205 @@
+//! Listing 1 of the paper: the BLAS SAXPY computation (`Y <- a*X + Y`)
+//! expressed as a zip skeleton whose user-defined function receives the
+//! scalar `a` as an *additional argument*.
+//!
+//! These tests reproduce the listing verbatim (same user-function source
+//! string) and then exercise the surrounding feature space the paper
+//! describes in Section II-A: additional scalar arguments of several types,
+//! additional vector arguments, input distributions, and the error paths a
+//! user hits when the user function and the call do not agree.
+
+use skelcl::prelude::*;
+
+/// The user-defined function exactly as printed in Listing 1.
+const SAXPY_UDF: &str = "float func(float x, float y, float a) { return a*x+y; }";
+
+fn saxpy_reference(x: &[f32], y: &[f32], a: f32) -> Vec<f32> {
+    x.iter().zip(y).map(|(x, y)| a * x + y).collect()
+}
+
+#[test]
+fn listing_1_saxpy_matches_the_reference() {
+    let rt = skelcl::init_gpus(2);
+    let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
+
+    let size = 4096;
+    let x_data: Vec<f32> = (0..size).map(|i| i as f32 * 0.25).collect();
+    let y_data: Vec<f32> = (0..size).map(|i| (size - i) as f32).collect();
+    let a = 3.5f32;
+
+    let x = Vector::from_vec(&rt, x_data.clone());
+    let y = Vector::from_vec(&rt, y_data.clone());
+    let result = saxpy
+        .call(&x, &y, &Args::new().with_f32(a))
+        .unwrap()
+        .to_vec()
+        .unwrap();
+
+    assert_eq!(result, saxpy_reference(&x_data, &y_data, a));
+}
+
+#[test]
+fn saxpy_is_identical_on_one_two_and_four_gpus() {
+    let x_data: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+    let y_data: Vec<f32> = (0..1000).map(|i| (i as f32).cos()).collect();
+    let a = -1.25f32;
+    let expected = saxpy_reference(&x_data, &y_data, a);
+
+    for devices in [1usize, 2, 3, 4] {
+        let rt = skelcl::init_gpus(devices);
+        let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
+        let x = Vector::from_vec(&rt, x_data.clone());
+        let y = Vector::from_vec(&rt, y_data.clone());
+        let result = saxpy
+            .call(&x, &y, &Args::new().with_f32(a))
+            .unwrap()
+            .to_vec()
+            .unwrap();
+        assert_eq!(result, expected, "devices = {devices}");
+    }
+}
+
+#[test]
+fn saxpy_result_can_be_fed_back_like_y_in_the_listing() {
+    // Listing 1 overwrites Y with the skeleton result (`Y = saxpy(X, Y, a)`);
+    // repeating the call must keep accumulating into the same logical vector.
+    let rt = skelcl::init_gpus(2);
+    let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
+    let x = Vector::from_vec(&rt, vec![1.0f32; 64]);
+    let mut y = Vector::from_vec(&rt, vec![0.0f32; 64]);
+    for _ in 0..3 {
+        y = saxpy.call(&x, &y, &Args::new().with_f32(2.0)).unwrap();
+    }
+    // y = ((0 + 2) + 2) + 2 = 6 everywhere.
+    assert_eq!(y.to_vec().unwrap(), vec![6.0f32; 64]);
+}
+
+#[test]
+fn additional_arguments_of_mixed_scalar_types() {
+    // Section II-A: "Besides scalar values, like shown in the example,
+    // vectors can also be passed as additional arguments" — here we check
+    // several scalar types in one call.
+    let rt = skelcl::init_gpus(2);
+    let affine = Zip::<f32, f32, f32>::from_source(
+        "float func(float x, float y, float a, int shift) { return a * x + y + shift; }",
+    );
+    let x = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0]);
+    let y = Vector::from_vec(&rt, vec![10.0f32, 20.0, 30.0]);
+    let out = affine
+        .call(&x, &y, &Args::new().with_f32(2.0).with_i32(100))
+        .unwrap()
+        .to_vec()
+        .unwrap();
+    assert_eq!(out, vec![112.0, 124.0, 136.0]);
+}
+
+#[test]
+fn additional_vector_argument_with_a_native_user_function() {
+    // A copy-distributed lookup table passed as an additional argument —
+    // the mechanism the OSEM step-1 map relies on.
+    let rt = skelcl::init_gpus(2);
+    let table = Vector::from_vec(&rt, vec![0.5f32, 2.0, 4.0, 8.0]);
+    table.set_distribution(Distribution::Copy).unwrap();
+
+    let scale_by_table = Zip::<f32, f32, f32>::new(|x, y, args| {
+        let t = args.slice_f32(0);
+        x * t[(*y as usize) % t.len()]
+    });
+    let x = Vector::from_vec(&rt, vec![1.0f32, 1.0, 1.0, 1.0]);
+    let y = Vector::from_vec(&rt, vec![0.0f32, 1.0, 2.0, 3.0]);
+    let out = scale_by_table
+        .call(&x, &y, &Args::new().with_vec_f32(&table))
+        .unwrap()
+        .to_vec()
+        .unwrap();
+    assert_eq!(out, vec![0.5, 2.0, 4.0, 8.0]);
+}
+
+#[test]
+fn saxpy_with_explicit_single_and_copy_distributions() {
+    // The programmer may override the default block distribution
+    // (Section III-B); the numerical result must not change.
+    let x_data: Vec<f32> = (0..256).map(|i| i as f32).collect();
+    let y_data = vec![1.0f32; 256];
+    let expected = saxpy_reference(&x_data, &y_data, 0.5);
+
+    for dist in [Distribution::Single(0), Distribution::Copy, Distribution::Block] {
+        let rt = skelcl::init_gpus(3);
+        let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
+        let x = Vector::from_vec(&rt, x_data.clone());
+        let y = Vector::from_vec(&rt, y_data.clone());
+        x.set_distribution(dist.clone()).unwrap();
+        y.set_distribution(dist.clone()).unwrap();
+        let out = saxpy
+            .call(&x, &y, &Args::new().with_f32(0.5))
+            .unwrap()
+            .to_vec()
+            .unwrap();
+        assert_eq!(out, expected, "distribution = {dist:?}");
+    }
+}
+
+#[test]
+fn missing_additional_argument_is_a_signature_error() {
+    let rt = skelcl::init_gpus(1);
+    let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
+    let x = Vector::from_vec(&rt, vec![1.0f32; 8]);
+    let y = Vector::from_vec(&rt, vec![1.0f32; 8]);
+    let err = saxpy.call(&x, &y, &Args::none()).unwrap_err();
+    assert!(matches!(err, SkelError::UdfSignature(_)), "got {err:?}");
+}
+
+#[test]
+fn mismatched_input_lengths_are_rejected() {
+    let rt = skelcl::init_gpus(2);
+    let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
+    let x = Vector::from_vec(&rt, vec![1.0f32; 8]);
+    let y = Vector::from_vec(&rt, vec![1.0f32; 9]);
+    assert!(saxpy.call(&x, &y, &Args::new().with_f32(1.0)).is_err());
+}
+
+#[test]
+fn malformed_user_function_source_is_reported_not_panicked() {
+    let rt = skelcl::init_gpus(1);
+    let broken = Zip::<f32, f32, f32>::from_source("float func(float x, float y { return x; }");
+    let x = Vector::from_vec(&rt, vec![1.0f32; 4]);
+    let y = Vector::from_vec(&rt, vec![1.0f32; 4]);
+    assert!(broken.call(&x, &y, &Args::none()).is_err());
+}
+
+#[test]
+fn daxpy_double_precision_variant() {
+    let rt = skelcl::init_gpus(2);
+    let daxpy = Zip::<f64, f64, f64>::from_source(
+        "double func(double x, double y, double a) { return a*x+y; }",
+    );
+    let x = Vector::from_vec(&rt, vec![1.0f64, 2.0, 3.0]);
+    let y = Vector::from_vec(&rt, vec![0.5f64, 0.5, 0.5]);
+    let out = daxpy
+        .call(&x, &y, &Args::new().with_f64(10.0))
+        .unwrap()
+        .to_vec()
+        .unwrap();
+    assert_eq!(out, vec![10.5, 20.5, 30.5]);
+}
+
+#[test]
+fn saxpy_uploads_each_input_exactly_once() {
+    // Lazy copying (Section II-B): executing the skeleton uploads the two
+    // inputs once; reading the result downloads each device part once; no
+    // other transfers happen.
+    let rt = skelcl::init_gpus(2);
+    let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
+    let x = Vector::from_vec(&rt, vec![1.0f32; 1024]);
+    let y = Vector::from_vec(&rt, vec![2.0f32; 1024]);
+    let out = saxpy.call(&x, &y, &Args::new().with_f32(4.0)).unwrap();
+    let _ = out.to_vec().unwrap();
+
+    let events = rt.drain_events();
+    let uploads: usize = events.iter().flatten().filter(|e| e.is_write()).count();
+    let downloads: usize = events.iter().flatten().filter(|e| e.is_read()).count();
+    // Two inputs × two devices (block halves) = 4 uploads; one output × two
+    // devices = 2 downloads.
+    assert_eq!(uploads, 4, "one upload per input part");
+    assert_eq!(downloads, 2, "one download per output part");
+}
