@@ -8,7 +8,7 @@ use dopencl::{Cluster, NetworkModel, Node};
 use skelcl::prelude::*;
 
 fn run_map_once(v: &Vector<f32>, map: &Map<f32, f32>) {
-    let out = map.call(v, &Args::none()).unwrap();
+    let out = v.map(map).unwrap();
     std::hint::black_box(out.len());
 }
 
@@ -21,7 +21,7 @@ fn bench_local_vs_cluster(c: &mut Criterion) {
         let rt = skelcl::init_gpus(4);
         let map = Map::<f32, f32>::from_source("float func(float x) { return x * 0.5f + 1.0f; }");
         let v = Vector::from_vec(&rt, vec![1.0f32; n]);
-        map.call(&v, &Args::none()).unwrap();
+        v.map(&map).unwrap();
         b.iter(|| run_map_once(&v, &map));
     });
 
@@ -30,7 +30,7 @@ fn bench_local_vs_cluster(c: &mut Criterion) {
         let rt = skelcl::init_profiles(cluster.device_profiles());
         let map = Map::<f32, f32>::from_source("float func(float x) { return x * 0.5f + 1.0f; }");
         let v = Vector::from_vec(&rt, vec![1.0f32; n]);
-        map.call(&v, &Args::none()).unwrap();
+        v.map(&map).unwrap();
         b.iter(|| run_map_once(&v, &map));
     });
     group.finish();
@@ -72,5 +72,9 @@ fn bench_cluster_assembly_and_network_model(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_local_vs_cluster, bench_cluster_assembly_and_network_model);
+criterion_group!(
+    benches,
+    bench_local_vs_cluster,
+    bench_cluster_assembly_and_network_model
+);
 criterion_main!(benches);

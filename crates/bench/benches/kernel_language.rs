@@ -17,15 +17,15 @@ fn bench_dsl_vs_native_map(c: &mut Criterion) {
             let rt = skelcl::init_gpus(2);
             let map = Map::<f32, f32>::from_source(POLY_UDF);
             let v = Vector::from_vec(&rt, vec![1.5f32; n]);
-            map.call(&v, &Args::none()).unwrap();
-            b.iter(|| std::hint::black_box(map.call(&v, &Args::none()).unwrap().len()));
+            v.map(&map).unwrap();
+            b.iter(|| std::hint::black_box(v.map(&map).unwrap().len()));
         });
         group.bench_with_input(BenchmarkId::new("native_closure", n), &n, |b, &n| {
             let rt = skelcl::init_gpus(2);
             let map = Map::<f32, f32>::new(|x, _| x * x * x - 2.0 * x + 1.0);
             let v = Vector::from_vec(&rt, vec![1.5f32; n]);
-            map.call(&v, &Args::none()).unwrap();
-            b.iter(|| std::hint::black_box(map.call(&v, &Args::none()).unwrap().len()));
+            v.map(&map).unwrap();
+            b.iter(|| std::hint::black_box(v.map(&map).unwrap().len()));
         });
     }
     group.finish();
@@ -65,24 +65,18 @@ fn bench_index_map_vs_explicit_input(c: &mut Criterion) {
     group.sample_size(20);
     let n = 64 * 1024;
     let udf = "int func(int i, int scale) { return i * scale; }";
-    group.bench_function("call_index", |b| {
+    group.bench_function("run_index", |b| {
         let rt = skelcl::init_gpus(2);
         let map = Map::<i32, i32>::from_source(udf);
-        map.call_index(&rt, n, &Args::new().with_i32(3)).unwrap();
-        b.iter(|| {
-            std::hint::black_box(
-                map.call_index(&rt, n, &Args::new().with_i32(3)).unwrap().len(),
-            )
-        });
+        map.run_index(&rt, n).arg(3i32).exec().unwrap();
+        b.iter(|| std::hint::black_box(map.run_index(&rt, n).arg(3i32).exec().unwrap().len()));
     });
     group.bench_function("explicit_index_vector", |b| {
         let rt = skelcl::init_gpus(2);
         let map = Map::<i32, i32>::from_source(udf);
         b.iter(|| {
             let idx = Vector::from_vec(&rt, (0..n as i32).collect());
-            std::hint::black_box(
-                map.call(&idx, &Args::new().with_i32(3)).unwrap().len(),
-            )
+            std::hint::black_box(map.run(&idx).arg(3i32).exec().unwrap().len())
         });
     });
     group.finish();

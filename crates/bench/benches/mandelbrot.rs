@@ -19,11 +19,15 @@ fn bench_mandelbrot(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(render_sequential(&config).len()));
     });
     for devices in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::new("skelcl", devices), &devices, |b, &devices| {
-            let rt = skelcl::init_gpus(devices);
-            render_skelcl(&rt, &config).unwrap();
-            b.iter(|| std::hint::black_box(render_skelcl(&rt, &config).unwrap().len()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("skelcl", devices),
+            &devices,
+            |b, &devices| {
+                let rt = skelcl::init_gpus(devices);
+                render_skelcl(&rt, &config).unwrap();
+                b.iter(|| std::hint::black_box(render_skelcl(&rt, &config).unwrap().len()));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("lowlevel", devices),
             &devices,

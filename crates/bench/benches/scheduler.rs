@@ -33,8 +33,8 @@ fn bench_even_vs_weighted(c: &mut Criterion) {
         let rt = skelcl::init_profiles(skelcl_bench::sched::heterogeneous_profiles());
         let map = Map::<f32, f32>::from_source(udf);
         let v = Vector::from_vec(&rt, vec![1.0f32; 100_000]);
-        map.call(&v, &Args::none()).unwrap();
-        b.iter(|| std::hint::black_box(map.call(&v, &Args::none()).unwrap().len()));
+        v.map(&map).unwrap();
+        b.iter(|| std::hint::black_box(v.map(&map).unwrap().len()));
     });
     group.bench_function("scheduler_weighted", |b| {
         let rt = skelcl::init_profiles(skelcl_bench::sched::heterogeneous_profiles());
@@ -43,8 +43,8 @@ fn bench_even_vs_weighted(c: &mut Criterion) {
         let v = Vector::from_vec(&rt, vec![1.0f32; 100_000]);
         v.set_distribution(scheduler.weighted_block(CostHint::new(40.0, 8.0)))
             .unwrap();
-        map.call(&v, &Args::none()).unwrap();
-        b.iter(|| std::hint::black_box(map.call(&v, &Args::none()).unwrap().len()));
+        v.map(&map).unwrap();
+        b.iter(|| std::hint::black_box(v.map(&map).unwrap().len()));
     });
     group.finish();
 }

@@ -10,17 +10,21 @@ fn bench_map(c: &mut Criterion) {
     let mut group = c.benchmark_group("map_skeleton");
     group.sample_size(20);
     for devices in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("square_64k", devices), &devices, |b, &devices| {
-            let rt = skelcl::init_gpus(devices);
-            let map = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
-            let v = Vector::from_vec(&rt, vec![1.5f32; 64 * 1024]);
-            // Build the kernel and upload once.
-            map.call(&v, &Args::none()).unwrap();
-            b.iter(|| {
-                let out = map.call(&v, &Args::none()).unwrap();
-                std::hint::black_box(out.len());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("square_64k", devices),
+            &devices,
+            |b, &devices| {
+                let rt = skelcl::init_gpus(devices);
+                let map = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+                let v = Vector::from_vec(&rt, vec![1.5f32; 64 * 1024]);
+                // Build the kernel and upload once.
+                v.map(&map).unwrap();
+                b.iter(|| {
+                    let out = v.map(&map).unwrap();
+                    std::hint::black_box(out.len());
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -29,19 +33,23 @@ fn bench_zip_saxpy(c: &mut Criterion) {
     let mut group = c.benchmark_group("zip_saxpy");
     group.sample_size(20);
     for devices in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, &devices| {
-            let rt = skelcl::init_gpus(devices);
-            let saxpy = Zip::<f32, f32, f32>::from_source(
-                "float func(float x, float y, float a) { return a * x + y; }",
-            );
-            let x = Vector::from_vec(&rt, vec![1.0f32; 64 * 1024]);
-            let y = Vector::from_vec(&rt, vec![2.0f32; 64 * 1024]);
-            saxpy.call(&x, &y, &Args::new().with_f32(2.0)).unwrap();
-            b.iter(|| {
-                let out = saxpy.call(&x, &y, &Args::new().with_f32(2.0)).unwrap();
-                std::hint::black_box(out.len());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(devices),
+            &devices,
+            |b, &devices| {
+                let rt = skelcl::init_gpus(devices);
+                let saxpy = Zip::<f32, f32, f32>::from_source(
+                    "float func(float x, float y, float a) { return a * x + y; }",
+                );
+                let x = Vector::from_vec(&rt, vec![1.0f32; 64 * 1024]);
+                let y = Vector::from_vec(&rt, vec![2.0f32; 64 * 1024]);
+                saxpy.run(&x, &y).arg(2.0f32).exec().unwrap();
+                b.iter(|| {
+                    let out = saxpy.run(&x, &y).arg(2.0f32).exec().unwrap();
+                    std::hint::black_box(out.len());
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -50,20 +58,30 @@ fn bench_reduce_and_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("reduce_scan");
     group.sample_size(20);
     for devices in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::new("reduce_sum_64k", devices), &devices, |b, &devices| {
-            let rt = skelcl::init_gpus(devices);
-            let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
-            let v = Vector::from_vec(&rt, vec![1.0f32; 64 * 1024]);
-            sum.reduce_value(&v).unwrap();
-            b.iter(|| std::hint::black_box(sum.reduce_value(&v).unwrap()));
-        });
-        group.bench_with_input(BenchmarkId::new("scan_sum_16k", devices), &devices, |b, &devices| {
-            let rt = skelcl::init_gpus(devices);
-            let scan = Scan::<f32>::from_source("float func(float a, float b) { return a + b; }");
-            let v = Vector::from_vec(&rt, vec![1.0f32; 16 * 1024]);
-            scan.call(&v).unwrap();
-            b.iter(|| std::hint::black_box(scan.call(&v).unwrap().len()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("reduce_sum_64k", devices),
+            &devices,
+            |b, &devices| {
+                let rt = skelcl::init_gpus(devices);
+                let sum =
+                    Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
+                let v = Vector::from_vec(&rt, vec![1.0f32; 64 * 1024]);
+                v.reduce(&sum).unwrap();
+                b.iter(|| std::hint::black_box(v.reduce(&sum).unwrap()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scan_sum_16k", devices),
+            &devices,
+            |b, &devices| {
+                let rt = skelcl::init_gpus(devices);
+                let scan =
+                    Scan::<f32>::from_source("float func(float a, float b) { return a + b; }");
+                let v = Vector::from_vec(&rt, vec![1.0f32; 16 * 1024]);
+                v.scan(&scan).unwrap();
+                b.iter(|| std::hint::black_box(v.scan(&scan).unwrap().len()));
+            },
+        );
     }
     group.finish();
 }

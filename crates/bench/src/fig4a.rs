@@ -44,12 +44,14 @@ pub fn paper_reference() -> Vec<LocRow> {
 pub fn measured() -> Vec<LocRow> {
     figure_4a()
         .into_iter()
-        .map(|(implementation, loc): (Implementation, LocBreakdown)| LocRow {
-            implementation: implementation.name(),
-            host_single: loc.host_single,
-            host_multi: loc.host_multi_total(),
-            kernel: loc.kernel,
-        })
+        .map(
+            |(implementation, loc): (Implementation, LocBreakdown)| LocRow {
+                implementation: implementation.name(),
+                host_single: loc.host_single,
+                host_multi: loc.host_multi_total(),
+                kernel: loc.kernel,
+            },
+        )
         .collect()
 }
 
@@ -66,7 +68,13 @@ pub fn report() -> String {
     for (m, p) in measured().iter().zip(paper_reference()) {
         out.push_str(&format!(
             "{:<8} | {:>11} | {:>10} | {:>6} || {:>13} | {:>5} | {:>6}\n",
-            m.implementation, m.host_single, m.host_multi, m.kernel, p.host_single, p.host_multi, p.kernel
+            m.implementation,
+            m.host_single,
+            m.host_multi,
+            m.kernel,
+            p.host_single,
+            p.host_multi,
+            p.kernel
         ));
     }
     out

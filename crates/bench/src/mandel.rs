@@ -82,7 +82,9 @@ fn render_lowlevel_timed(gpus: usize, config: &MandelbrotConfig) -> f64 {
             continue;
         }
         let queue = context.queue(gpu).expect("queue");
-        let buffer = context.create_buffer::<u32>(gpu, end - start).expect("buffer");
+        let buffer = context
+            .create_buffer::<u32>(gpu, end - start)
+            .expect("buffer");
         queue
             .enqueue_kernel(
                 &kernel,
@@ -106,7 +108,9 @@ fn render_lowlevel_timed(gpus: usize, config: &MandelbrotConfig) -> f64 {
 /// Text report.
 pub fn report(rows: &[MandelRow]) -> String {
     let mut out = String::new();
-    out.push_str("Mandelbrot — SkelCL (map skeleton) vs low-level OpenCL-style (simulated seconds)\n");
+    out.push_str(
+        "Mandelbrot — SkelCL (map skeleton) vs low-level OpenCL-style (simulated seconds)\n",
+    );
     out.push_str("GPUs | SkelCL    | low-level | SkelCL overhead\n");
     out.push_str("-----+-----------+-----------+----------------\n");
     for r in rows {

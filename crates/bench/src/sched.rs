@@ -50,10 +50,10 @@ fn run_map(runtime: &std::sync::Arc<SkelCl>, distribution: Distribution, n: usiz
     let v = Vector::from_vec(runtime, vec![1.0f32; n]);
     v.set_distribution(distribution)?;
     // Warm-up builds the kernel so runtime compilation is not measured.
-    map.call(&v, &Args::none())?;
+    v.map(&map)?;
     runtime.finish_all();
     let t0 = runtime.now();
-    let out = map.call(&v, &Args::none())?;
+    let out = v.map(&map)?;
     out.with_host(|_| ())?; // force completion including downloads
     runtime.finish_all();
     Ok((runtime.now() - t0).as_secs_f64())
@@ -135,6 +135,9 @@ mod tests {
     #[test]
     fn remote_devices_are_slower_but_usable() {
         let row = local_vs_distributed(200_000).unwrap();
-        assert!(row.remote_s > row.local_s, "the network penalty must show up");
+        assert!(
+            row.remote_s > row.local_s,
+            "the network penalty must show up"
+        );
     }
 }

@@ -10,49 +10,205 @@
 //! buffers according to *their own* distribution — the paper notes that no
 //! meaningful default distribution exists for them, so the user must set it
 //! explicitly.
+//!
+//! Arguments are built through the open [`IntoArg`] trait, so any
+//! [`DeviceScalar`](crate::skeletons::DeviceScalar) scalar and any
+//! `Vector<T: Pod>` (including `Vector<f64>` and application element types
+//! such as the OSEM `Event`) can be appended with one uniform method:
+//!
+//! ```
+//! use skelcl::prelude::*;
+//!
+//! let rt = skelcl::init_gpus(1);
+//! let img = Vector::from_vec(&rt, vec![1.0f32; 8]);
+//! let args = Args::new().arg(2.5f32).arg(&img).arg(7i32);
+//! assert_eq!(args.scalar_count(), 2);
+//! assert_eq!(args.vector_count(), 1);
+//!
+//! // Or equivalently with the `args![]` macro:
+//! let args = skelcl::args![2.5f32, &img, 7i32];
+//! assert_eq!(args.len(), 3);
+//! ```
 
-use oclsim::{ArgView, Value};
+use std::sync::Arc;
 
+use oclsim::{ArgView, Buffer, Pod, Value};
+
+use crate::error::Result;
+use crate::runtime::SkelCl;
 use crate::vector::Vector;
 
-/// One additional argument of a skeleton call.
+/// Internal interface of a type-erased vector argument: everything a
+/// skeleton launch needs without knowing the element type.
+pub(crate) trait DynVectorArg: Send + Sync {
+    /// Check the vector belongs to `runtime`.
+    fn check_runtime(&self, runtime: &Arc<SkelCl>) -> Result<()>;
+    /// Ensure the vector is resident on the devices and return its
+    /// per-device buffers.
+    fn prepare_buffers(&self) -> Result<Vec<Option<Buffer>>>;
+    /// Element count (for diagnostics).
+    fn len(&self) -> usize;
+    /// Element type name (for diagnostics).
+    fn elem_type(&self) -> &'static str;
+}
+
+impl<T: Pod> DynVectorArg for Vector<T> {
+    fn check_runtime(&self, runtime: &Arc<SkelCl>) -> Result<()> {
+        Vector::check_runtime(self, runtime)
+    }
+
+    fn prepare_buffers(&self) -> Result<Vec<Option<Buffer>>> {
+        let (_, buffers) = self.prepare_on_devices()?;
+        Ok(buffers)
+    }
+
+    fn len(&self) -> usize {
+        Vector::len(self)
+    }
+
+    fn elem_type(&self) -> &'static str {
+        std::any::type_name::<T>()
+    }
+}
+
+/// A type-erased vector additional argument. Holds a cheap handle to the
+/// underlying [`Vector`]; the element type is erased so [`Args`] can carry
+/// vectors of any `Pod` element — `f32`, `f64`, `i32`, `u32` or application
+/// structs.
+#[derive(Clone)]
+pub struct VectorArg {
+    inner: Arc<dyn DynVectorArg>,
+}
+
+impl VectorArg {
+    /// Wrap a vector handle.
+    pub fn new<T: Pod>(vector: Vector<T>) -> VectorArg {
+        VectorArg {
+            inner: Arc::new(vector),
+        }
+    }
+
+    pub(crate) fn check_runtime(&self, runtime: &Arc<SkelCl>) -> Result<()> {
+        self.inner.check_runtime(runtime)
+    }
+
+    pub(crate) fn prepare_buffers(&self) -> Result<Vec<Option<Buffer>>> {
+        self.inner.prepare_buffers()
+    }
+}
+
+impl std::fmt::Debug for VectorArg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VectorArg")
+            .field("elem", &self.inner.elem_type())
+            .field("len", &self.inner.len())
+            .finish()
+    }
+}
+
+/// One additional argument of a skeleton call: a scalar kernel value or a
+/// type-erased vector.
 #[derive(Debug, Clone)]
 pub enum ArgItem {
-    /// A `float` scalar.
-    Float(f32),
-    /// A `double` scalar.
-    Double(f64),
-    /// An `int` scalar.
-    Int(i32),
-    /// A `uint` scalar.
-    Uint(u32),
-    /// A vector of `f32` elements.
-    VecF32(Vector<f32>),
-    /// A vector of `i32` elements.
-    VecI32(Vector<i32>),
-    /// A vector of `u32` elements.
-    VecU32(Vector<u32>),
+    /// A scalar forwarded to the user function.
+    Scalar(Value),
+    /// A whole SkelCL vector, passed as per-device buffers according to its
+    /// own distribution.
+    Vector(VectorArg),
 }
 
 impl ArgItem {
     /// Whether the argument is a scalar.
     pub fn is_scalar(&self) -> bool {
-        matches!(
-            self,
-            ArgItem::Float(_) | ArgItem::Double(_) | ArgItem::Int(_) | ArgItem::Uint(_)
-        )
+        matches!(self, ArgItem::Scalar(_))
     }
 
     /// The scalar value, if the argument is a scalar.
     pub fn scalar_value(&self) -> Option<Value> {
         match self {
-            ArgItem::Float(v) => Some(Value::Float(*v)),
-            ArgItem::Double(v) => Some(Value::Double(*v)),
-            ArgItem::Int(v) => Some(Value::Int(*v)),
-            ArgItem::Uint(v) => Some(Value::Uint(*v)),
-            _ => None,
+            ArgItem::Scalar(v) => Some(*v),
+            ArgItem::Vector(_) => None,
         }
     }
+}
+
+/// Conversion into one additional argument. Implemented for every
+/// [`DeviceScalar`](crate::skeletons::DeviceScalar) scalar type and for
+/// vectors (by reference or by handle) of any `Pod` element type — this is
+/// the open-ended replacement for the former closed `with_f32` /
+/// `with_vec_f32` method family, and is what makes `Vector<f64>` additional
+/// arguments possible.
+pub trait IntoArg {
+    /// Convert `self` into an [`ArgItem`].
+    fn into_arg(self) -> ArgItem;
+}
+
+impl IntoArg for f32 {
+    fn into_arg(self) -> ArgItem {
+        ArgItem::Scalar(Value::Float(self))
+    }
+}
+
+impl IntoArg for f64 {
+    fn into_arg(self) -> ArgItem {
+        ArgItem::Scalar(Value::Double(self))
+    }
+}
+
+impl IntoArg for i32 {
+    fn into_arg(self) -> ArgItem {
+        ArgItem::Scalar(Value::Int(self))
+    }
+}
+
+impl IntoArg for u32 {
+    fn into_arg(self) -> ArgItem {
+        ArgItem::Scalar(Value::Uint(self))
+    }
+}
+
+impl IntoArg for Value {
+    fn into_arg(self) -> ArgItem {
+        ArgItem::Scalar(self)
+    }
+}
+
+impl<T: Pod> IntoArg for Vector<T> {
+    fn into_arg(self) -> ArgItem {
+        ArgItem::Vector(VectorArg::new(self))
+    }
+}
+
+impl<T: Pod> IntoArg for &Vector<T> {
+    fn into_arg(self) -> ArgItem {
+        ArgItem::Vector(VectorArg::new(self.clone()))
+    }
+}
+
+impl IntoArg for ArgItem {
+    fn into_arg(self) -> ArgItem {
+        self
+    }
+}
+
+/// Build an [`Args`] list from a comma-separated sequence of values
+/// implementing [`IntoArg`]:
+///
+/// ```
+/// use skelcl::prelude::*;
+///
+/// let rt = skelcl::init_gpus(1);
+/// let lut = Vector::from_vec(&rt, vec![1i32, 2, 3]);
+/// let args = skelcl::args![2.5f32, 4u32, &lut, 1.5f64];
+/// assert_eq!(args.len(), 4);
+/// assert_eq!(args.vector_count(), 1);
+/// ```
+#[macro_export]
+macro_rules! args {
+    () => { $crate::args::Args::new() };
+    ($($value:expr),+ $(,)?) => {
+        $crate::args::Args::new()$(.arg($value))+
+    };
 }
 
 /// The additional arguments of one skeleton call, in user-specified order.
@@ -72,46 +228,54 @@ impl Args {
         Args::default()
     }
 
-    /// Append a `float` scalar.
-    pub fn with_f32(mut self, v: f32) -> Args {
-        self.items.push(ArgItem::Float(v));
+    /// Append any value implementing [`IntoArg`]: a scalar of any
+    /// [`DeviceScalar`](crate::skeletons::DeviceScalar) type or a vector of
+    /// any `Pod` element type.
+    pub fn arg(mut self, value: impl IntoArg) -> Args {
+        self.items.push(value.into_arg());
         self
+    }
+
+    /// Append a `float` scalar.
+    #[deprecated(since = "0.2.0", note = "use `arg(value)` or the `args![]` macro")]
+    pub fn with_f32(self, v: f32) -> Args {
+        self.arg(v)
     }
 
     /// Append a `double` scalar.
-    pub fn with_f64(mut self, v: f64) -> Args {
-        self.items.push(ArgItem::Double(v));
-        self
+    #[deprecated(since = "0.2.0", note = "use `arg(value)` or the `args![]` macro")]
+    pub fn with_f64(self, v: f64) -> Args {
+        self.arg(v)
     }
 
     /// Append an `int` scalar.
-    pub fn with_i32(mut self, v: i32) -> Args {
-        self.items.push(ArgItem::Int(v));
-        self
+    #[deprecated(since = "0.2.0", note = "use `arg(value)` or the `args![]` macro")]
+    pub fn with_i32(self, v: i32) -> Args {
+        self.arg(v)
     }
 
     /// Append a `uint` scalar.
-    pub fn with_u32(mut self, v: u32) -> Args {
-        self.items.push(ArgItem::Uint(v));
-        self
+    #[deprecated(since = "0.2.0", note = "use `arg(value)` or the `args![]` macro")]
+    pub fn with_u32(self, v: u32) -> Args {
+        self.arg(v)
     }
 
     /// Append an `f32` vector argument (passed as a device buffer).
-    pub fn with_vec_f32(mut self, v: &Vector<f32>) -> Args {
-        self.items.push(ArgItem::VecF32(v.clone()));
-        self
+    #[deprecated(since = "0.2.0", note = "use `arg(&vector)` or the `args![]` macro")]
+    pub fn with_vec_f32(self, v: &Vector<f32>) -> Args {
+        self.arg(v)
     }
 
     /// Append an `i32` vector argument.
-    pub fn with_vec_i32(mut self, v: &Vector<i32>) -> Args {
-        self.items.push(ArgItem::VecI32(v.clone()));
-        self
+    #[deprecated(since = "0.2.0", note = "use `arg(&vector)` or the `args![]` macro")]
+    pub fn with_vec_i32(self, v: &Vector<i32>) -> Args {
+        self.arg(v)
     }
 
     /// Append a `u32` vector argument.
-    pub fn with_vec_u32(mut self, v: &Vector<u32>) -> Args {
-        self.items.push(ArgItem::VecU32(v.clone()));
-        self
+    #[deprecated(since = "0.2.0", note = "use `arg(&vector)` or the `args![]` macro")]
+    pub fn with_vec_u32(self, v: &Vector<u32>) -> Args {
+        self.arg(v)
     }
 
     /// The arguments in order.
@@ -194,6 +358,11 @@ impl<'v, 'a> ArgAccess<'v, 'a> {
         self.scalar(index).as_i64() as i32
     }
 
+    /// The scalar at `index` as `u32`.
+    pub fn u32(&self, index: usize) -> u32 {
+        self.scalar(index).as_i64() as u32
+    }
+
     /// The scalar at `index` as `usize` (panics if negative).
     pub fn usize(&self, index: usize) -> usize {
         let v = self.scalar(index).as_i64();
@@ -201,19 +370,45 @@ impl<'v, 'a> ArgAccess<'v, 'a> {
             .unwrap_or_else(|_| panic!("additional argument {index} is negative ({v})"))
     }
 
+    fn slice<T: Pod>(&self, index: usize, type_name: &str) -> &[T] {
+        self.view(index)
+            .as_slice::<T>()
+            .unwrap_or_else(|| panic!("additional argument {index} is not an {type_name} vector"))
+    }
+
+    fn slice_mut<T: Pod>(&mut self, index: usize, type_name: &str) -> &mut [T] {
+        self.views
+            .get_mut(index)
+            .unwrap_or_else(|| panic!("additional argument index {index} out of range"))
+            .as_slice_mut::<T>()
+            .unwrap_or_else(|| panic!("additional argument {index} is not an {type_name} vector"))
+    }
+
     /// The vector argument at `index` as an immutable `f32` slice (this
     /// device's local copy or part, depending on the vector's distribution).
     pub fn slice_f32(&self, index: usize) -> &[f32] {
-        self.view(index)
-            .as_slice::<f32>()
-            .unwrap_or_else(|| panic!("additional argument {index} is not an f32 vector"))
+        self.slice(index, "f32")
+    }
+
+    /// The vector argument at `index` as an immutable `f64` slice.
+    pub fn slice_f64(&self, index: usize) -> &[f64] {
+        self.slice(index, "f64")
     }
 
     /// The vector argument at `index` as an immutable `i32` slice.
     pub fn slice_i32(&self, index: usize) -> &[i32] {
-        self.view(index)
-            .as_slice::<i32>()
-            .unwrap_or_else(|| panic!("additional argument {index} is not an i32 vector"))
+        self.slice(index, "i32")
+    }
+
+    /// The vector argument at `index` as an immutable `u32` slice.
+    pub fn slice_u32(&self, index: usize) -> &[u32] {
+        self.slice(index, "u32")
+    }
+
+    /// The vector argument at `index` as an immutable slice of an arbitrary
+    /// `Pod` element type (e.g. an application struct).
+    pub fn slice_of<T: Pod>(&self, index: usize) -> &[T] {
+        self.slice(index, std::any::type_name::<T>())
     }
 
     /// The vector argument at `index` as a mutable `f32` slice. Writes go to
@@ -222,44 +417,98 @@ impl<'v, 'a> ArgAccess<'v, 'a> {
     /// afterwards so the host copy is refreshed before the next CPU access
     /// (Listing 3, line 10 of the paper).
     pub fn slice_mut_f32(&mut self, index: usize) -> &mut [f32] {
-        self.views
-            .get_mut(index)
-            .unwrap_or_else(|| panic!("additional argument index {index} out of range"))
-            .as_slice_mut::<f32>()
-            .unwrap_or_else(|| panic!("additional argument {index} is not an f32 vector"))
+        self.slice_mut(index, "f32")
+    }
+
+    /// The vector argument at `index` as a mutable `f64` slice.
+    pub fn slice_mut_f64(&mut self, index: usize) -> &mut [f64] {
+        self.slice_mut(index, "f64")
     }
 
     /// The vector argument at `index` as a mutable `i32` slice.
     pub fn slice_mut_i32(&mut self, index: usize) -> &mut [i32] {
-        self.views
-            .get_mut(index)
-            .unwrap_or_else(|| panic!("additional argument index {index} out of range"))
-            .as_slice_mut::<i32>()
-            .unwrap_or_else(|| panic!("additional argument {index} is not an i32 vector"))
+        self.slice_mut(index, "i32")
+    }
+
+    /// The vector argument at `index` as a mutable `u32` slice.
+    pub fn slice_mut_u32(&mut self, index: usize) -> &mut [u32] {
+        self.slice_mut(index, "u32")
+    }
+
+    /// The vector argument at `index` as a mutable slice of an arbitrary
+    /// `Pod` element type.
+    pub fn slice_mut_of<T: Pod>(&mut self, index: usize) -> &mut [T] {
+        self.slice_mut(index, std::any::type_name::<T>())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::init_gpus;
 
     #[test]
-    fn builder_collects_items_in_order() {
-        let args = Args::new().with_f32(1.5).with_i32(7).with_u32(3);
-        assert_eq!(args.len(), 3);
-        assert_eq!(args.scalar_count(), 3);
+    fn arg_builder_collects_items_in_order() {
+        let args = Args::new().arg(1.5f32).arg(7i32).arg(3u32).arg(2.25f64);
+        assert_eq!(args.len(), 4);
+        assert_eq!(args.scalar_count(), 4);
         assert_eq!(args.vector_count(), 0);
-        assert!(matches!(args.items()[0], ArgItem::Float(v) if v == 1.5));
-        assert!(matches!(args.items()[1], ArgItem::Int(7)));
-        assert!(matches!(args.items()[2], ArgItem::Uint(3)));
+        assert!(matches!(args.items()[0], ArgItem::Scalar(Value::Float(v)) if v == 1.5));
+        assert!(matches!(args.items()[1], ArgItem::Scalar(Value::Int(7))));
+        assert!(matches!(args.items()[2], ArgItem::Scalar(Value::Uint(3))));
+        assert!(matches!(args.items()[3], ArgItem::Scalar(Value::Double(v)) if v == 2.25));
         assert!(Args::none().is_empty());
     }
 
     #[test]
+    fn into_arg_accepts_every_vector_element_type() {
+        let rt = init_gpus(1);
+        let args = Args::new()
+            .arg(Vector::from_vec(&rt, vec![1.0f32]))
+            .arg(Vector::from_vec(&rt, vec![1.0f64]))
+            .arg(Vector::from_vec(&rt, vec![1i32]))
+            .arg(Vector::from_vec(&rt, vec![1u32]))
+            .arg(Vector::from_vec(&rt, vec![2.0f64])); // by value too
+        assert_eq!(args.vector_count(), 5);
+        assert_eq!(args.scalar_count(), 0);
+        // The f64 vector is representable — the former ArgItem enum had no
+        // VecF64 variant at all.
+        assert!(matches!(&args.items()[1], ArgItem::Vector(_)));
+    }
+
+    #[test]
+    fn args_macro_mixes_scalars_and_vectors() {
+        let rt = init_gpus(1);
+        let lut = Vector::from_vec(&rt, vec![5i32; 4]);
+        let args = crate::args![2.5f32, &lut, 7u32];
+        assert_eq!(args.len(), 3);
+        assert_eq!(args.scalar_count(), 2);
+        assert_eq!(args.vector_count(), 1);
+        assert!(crate::args![].is_empty());
+    }
+
+    #[test]
+    fn deprecated_with_methods_still_work() {
+        #![allow(deprecated)]
+        let rt = init_gpus(1);
+        let v = Vector::from_vec(&rt, vec![0.0f32; 4]);
+        let args = Args::new().with_f32(1.0).with_i32(2).with_vec_f32(&v);
+        assert_eq!(args.len(), 3);
+        assert_eq!(args.scalar_count(), 2);
+    }
+
+    #[test]
     fn scalar_values_convert() {
-        assert_eq!(ArgItem::Float(2.0).scalar_value(), Some(Value::Float(2.0)));
-        assert_eq!(ArgItem::Int(-3).scalar_value(), Some(Value::Int(-3)));
-        assert!(ArgItem::Float(0.0).is_scalar());
+        assert_eq!(2.0f32.into_arg().scalar_value(), Some(Value::Float(2.0)));
+        assert_eq!((-3i32).into_arg().scalar_value(), Some(Value::Int(-3)));
+        assert!(0.0f32.into_arg().is_scalar());
+        let rt = init_gpus(1);
+        let v = Vector::from_vec(&rt, vec![1u32]);
+        let item = (&v).into_arg();
+        assert!(!item.is_scalar());
+        assert_eq!(item.scalar_value(), None);
+        let dbg = format!("{item:?}");
+        assert!(dbg.contains("u32"), "{dbg}");
     }
 
     #[test]
@@ -267,12 +516,16 @@ mod tests {
         let mut views = vec![
             ArgView::Scalar(Value::Float(2.5)),
             ArgView::Scalar(Value::Int(9)),
+            ArgView::Scalar(Value::Double(1.25)),
+            ArgView::Scalar(Value::Uint(4)),
         ];
         let access = ArgAccess::new(&mut views);
-        assert_eq!(access.len(), 2);
+        assert_eq!(access.len(), 4);
         assert_eq!(access.f32(0), 2.5);
         assert_eq!(access.i32(1), 9);
         assert_eq!(access.usize(1), 9);
+        assert_eq!(access.f64(2), 1.25);
+        assert_eq!(access.u32(3), 4);
     }
 
     #[test]
@@ -301,5 +554,16 @@ mod tests {
         assert_eq!(access.slice_f32(0), &[1.0, 2.0, 3.0]);
         access.slice_mut_f32(0)[1] = 20.0;
         assert_eq!(access.slice_f32(0), &[1.0, 20.0, 3.0]);
+    }
+
+    #[test]
+    fn arg_access_f64_slices() {
+        let mut data = oclsim::BufferData::new(16);
+        data.as_slice_mut::<f64>().copy_from_slice(&[1.5, -2.5]);
+        let mut views = vec![ArgView::Buffer(&mut data)];
+        let mut access = ArgAccess::new(&mut views);
+        assert_eq!(access.slice_f64(0), &[1.5, -2.5]);
+        access.slice_mut_f64(0)[0] = 9.0;
+        assert_eq!(access.slice_of::<f64>(0), &[9.0, -2.5]);
     }
 }

@@ -21,7 +21,8 @@ use crate::error::{Result, SkelError};
 /// Information extracted from a user-defined function's source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UdfInfo {
-    /// Name of the user function (the last function defined in the source).
+    /// Name of the user function (the only function in the source, or the
+    /// one named `func` among helpers).
     pub name: String,
     /// Scalar types of the skeleton's main element parameters.
     pub main_params: Vec<ScalarType>,
@@ -33,21 +34,62 @@ pub struct UdfInfo {
     pub source: String,
 }
 
+/// Resolve the user-defined function within a parsed translation unit — the
+/// single source of truth shared by kernel generation and cost estimation,
+/// so the function that is compiled is always the function that is costed.
+///
+/// A unit with a single function is unambiguous. With several functions the
+/// UDF is the one named `func` (the convention of every listing in the
+/// paper; the other functions are helpers it may call). Anything else — no
+/// functions, or several candidates none/many of which are named `func` —
+/// is reported as a clear [`SkelError::UdfSignature`] instead of silently
+/// picking an arbitrary function.
+pub(crate) fn resolve_udf<'u>(
+    unit: &'u skelcl_kernel::ast::TranslationUnit,
+    source_kind: &str,
+) -> Result<&'u Function> {
+    match unit.functions.as_slice() {
+        [] => Err(SkelError::UdfSignature(format!(
+            "empty {source_kind}: the source defines no function"
+        ))),
+        [only] => Ok(only),
+        many => {
+            let named: Vec<&Function> = many.iter().filter(|f| f.name == "func").collect();
+            match named.as_slice() {
+                [udf] => Ok(udf),
+                [] => Err(SkelError::UdfSignature(format!(
+                    "the {source_kind} defines {} functions ({}) but none is named `func`; \
+                     name the user-defined function `func` so it can be distinguished from \
+                     its helpers",
+                    many.len(),
+                    many.iter()
+                        .map(|f| f.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))),
+                _ => Err(SkelError::UdfSignature(format!(
+                    "the {source_kind} defines {} functions named `func`; the user-defined \
+                     function must be unique",
+                    named.len()
+                ))),
+            }
+        }
+    }
+}
+
 impl UdfInfo {
     /// Analyse a user-defined function source string.
     ///
-    /// * The *last* function defined in the source is taken as the UDF;
-    ///   earlier functions are helpers it may call.
+    /// * The UDF is resolved by [`resolve_udf`]: the only function in the
+    ///   source, or — among several — the one named `func` (the others are
+    ///   helpers it may call).
     /// * Its first `main_inputs` parameters are the skeleton's element
     ///   inputs; the rest are additional arguments, which must be scalars
     ///   (vector additional arguments require a native UDF, see DESIGN.md).
     pub fn analyze(source: &str, main_inputs: usize) -> Result<UdfInfo> {
         let tokens = skelcl_kernel::lexer::lex(source)?;
         let unit = skelcl_kernel::parser::parse(&tokens, source)?;
-        let func: &Function = unit
-            .functions
-            .last()
-            .ok_or_else(|| SkelError::UdfSignature("the UDF source defines no function".into()))?;
+        let func: &Function = resolve_udf(&unit, "user function source")?;
         if func.is_kernel {
             return Err(SkelError::UdfSignature(
                 "pass a plain function, not a __kernel; SkelCL generates the kernel".into(),
@@ -342,22 +384,41 @@ mod tests {
         let info = UdfInfo::analyze(SAXPY, 2).unwrap();
         assert_eq!(info.name, "func");
         assert_eq!(info.main_params, vec![ScalarType::Float, ScalarType::Float]);
-        assert_eq!(info.extra_params, vec![("a".to_string(), ScalarType::Float)]);
+        assert_eq!(
+            info.extra_params,
+            vec![("a".to_string(), ScalarType::Float)]
+        );
         assert_eq!(info.return_type, ScalarType::Float);
     }
 
     #[test]
-    fn analyze_takes_last_function_and_keeps_helpers() {
-        let src = "float sq(float x) { return x * x; }\nfloat norm(float x, float y) { return sqrt(sq(x) + sq(y)); }";
+    fn analyze_resolves_func_among_helpers() {
+        let src = "float sq(float x) { return x * x; }\nfloat func(float x, float y) { return sqrt(sq(x) + sq(y)); }";
         let info = UdfInfo::analyze(src, 2).unwrap();
-        assert_eq!(info.name, "norm");
+        assert_eq!(info.name, "func");
         assert!(info.source.contains("float sq"));
+        // The helper's position does not matter: `func` wins by name.
+        let reordered = "float func(float x, float y) { return sqrt(sq(x) + sq(y)); }\nfloat sq(float x) { return x * x; }";
+        assert_eq!(UdfInfo::analyze(reordered, 2).unwrap().name, "func");
+    }
+
+    #[test]
+    fn analyze_rejects_multi_function_sources_without_func() {
+        let src = "float alpha(float a, float b) { return a + b; }\nfloat beta(float a, float b) { return a * b; }";
+        let err = UdfInfo::analyze(src, 2).unwrap_err();
+        let SkelError::UdfSignature(msg) = err else {
+            panic!("expected UdfSignature, got {err:?}");
+        };
+        assert!(msg.contains("alpha") && msg.contains("beta"), "{msg}");
+        assert!(msg.contains("func"), "{msg}");
     }
 
     #[test]
     fn analyze_rejects_bad_udfs() {
         assert!(UdfInfo::analyze("", 1).is_err());
-        assert!(UdfInfo::analyze("__kernel void k(__global float* v) { v[0] = 0.0f; }", 1).is_err());
+        assert!(
+            UdfInfo::analyze("__kernel void k(__global float* v) { v[0] = 0.0f; }", 1).is_err()
+        );
         assert!(UdfInfo::analyze("float f(float a) { return a; }", 2).is_err());
         // Pointer additional arguments need a native UDF.
         let err = UdfInfo::analyze(
@@ -379,9 +440,11 @@ mod tests {
 
     #[test]
     fn generated_index_map_kernel_compiles() {
-        let info =
-            UdfInfo::analyze("int f(int i, int width, int max_iter) { return i % width; }", 1)
-                .unwrap();
+        let info = UdfInfo::analyze(
+            "int f(int i, int width, int max_iter) { return i % width; }",
+            1,
+        )
+        .unwrap();
         let src = map_index_kernel(&info).unwrap();
         let program = skelcl_kernel::Program::build(&src).unwrap();
         let k = program.kernel(MAP_INDEX_KERNEL).unwrap();
@@ -445,7 +508,9 @@ mod tests {
 
     #[test]
     fn reduce_rejects_non_operator_udfs() {
-        let err = UdfInfo::analyze(SAXPY, 2).and_then(|i| reduce_kernel(&i)).unwrap_err();
+        let err = UdfInfo::analyze(SAXPY, 2)
+            .and_then(|i| reduce_kernel(&i))
+            .unwrap_err();
         assert!(matches!(err, SkelError::UdfSignature(_)));
         let mixed = UdfInfo::analyze("int f(int a, float b) { return a; }", 2).unwrap();
         assert!(reduce_kernel(&mixed).is_err());

@@ -8,14 +8,19 @@
 //!   [`Scan`] — customised with user-defined functions passed either as
 //!   plain source strings (compiled at runtime, as in the paper) or as native
 //!   Rust closures,
+//! * one **uniform execution API**: every skeleton implements the
+//!   [`Skeleton`] trait and is invoked through the fluent [`Launch`] builder
+//!   (`sk.run(&input).args(...).devices(...).scheduler(...).exec()`),
 //! * an abstract [`Vector`] data type with implicit, lazy host ↔ device
-//!   transfers,
+//!   transfers and a **fluent pipeline API**
+//!   (`v.map(&f)?.zip(&w, &g)?.reduce(&h)?`),
 //! * [`Distribution`]s (`single`, `block`, `copy`) describing how a vector is
 //!   partitioned across multiple GPUs, with implicit redistribution,
-//! * the **additional arguments** mechanism that forwards extra scalars and
-//!   vectors of a skeleton call to the user-defined function,
+//! * the **additional arguments** mechanism — the open [`IntoArg`] trait and
+//!   the [`args!`] macro forward extra scalars and vectors of *any* element
+//!   type to the user-defined function,
 //! * a static **scheduler** with performance prediction for heterogeneous
-//!   devices (Section V of the paper).
+//!   devices (Section V of the paper), attachable to any launch.
 //!
 //! The GPUs themselves are simulated by the [`oclsim`] crate: kernels execute
 //! for real on the host (results are exact), while timing is accounted in
@@ -37,10 +42,37 @@
 //!
 //! let x = Vector::from_vec(&rt, (0..1024).map(|i| i as f32).collect());
 //! let y = Vector::from_vec(&rt, vec![1.0f32; 1024]);
-//! let y = saxpy.call(&x, &y, &Args::new().with_f32(2.5)).unwrap();
+//! let y = saxpy.run(&x, &y).arg(2.5f32).exec().unwrap();
 //!
 //! assert_eq!(y.to_vec().unwrap()[4], 2.5 * 4.0 + 1.0);
 //! ```
+//!
+//! ## Fluent pipelines
+//!
+//! Chained skeletons keep their data on the devices (lazy copying, Section
+//! II-B of the paper); the fluent vector API makes the chaining explicit:
+//!
+//! ```
+//! use skelcl::prelude::*;
+//!
+//! let rt = skelcl::init_gpus(4);
+//! let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+//! let mul = Zip::<f32, f32, f32>::from_source("float func(float a, float b) { return a * b; }");
+//! let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
+//!
+//! let v = Vector::from_vec(&rt, (1..=10).map(|i| i as f32).collect());
+//! let w = Vector::from_vec(&rt, vec![2.0f32; 10]);
+//!
+//! // sum(square(v) * w), entirely on the devices.
+//! let total = v.map(&square).unwrap().zip(&w, &mul).unwrap().reduce(&sum).unwrap();
+//! assert_eq!(total, 770.0);
+//! ```
+//!
+//! Skeleton-specific terminal forms replace the former ad-hoc call variants:
+//! `reduce.run(&v).scalar()` / `.into_vector()` /
+//! `.scheduler(&s).chunks(8).scalar_with_plan()`, `scan.run(&v).trace()`,
+//! and `map.run(&v).run_into(&out)` for output-buffer reuse in steady-state
+//! pipelines.
 
 pub mod args;
 pub mod distribution;
@@ -51,12 +83,15 @@ pub mod scheduler;
 pub mod skeletons;
 pub mod vector;
 
-pub use args::{ArgAccess, ArgItem, Args};
+pub use args::{ArgAccess, ArgItem, Args, IntoArg, VectorArg};
 pub use distribution::{Combine, Distribution, Partition};
 pub use error::{Result, SkelError};
 pub use runtime::{init_gpus, init_profiles, DeviceSelection, SkelCl};
 pub use scheduler::{DevicePerf, PerfModel, StaticScheduler};
-pub use skeletons::{DeviceScalar, Map, Reduce, ReducePlan, Scan, ScanTrace, Zip};
+pub use skeletons::{
+    DeviceScalar, IndexLaunch, Launch, LaunchConfig, Map, Reduce, ReducePlan, Scan, ScanTrace,
+    Skeleton, Zip,
+};
 pub use vector::{Residence, Vector};
 
 /// Re-export of the simulated OpenCL runtime for applications that mix
@@ -66,11 +101,12 @@ pub use oclsim;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use crate::args::{ArgAccess, Args};
+    pub use crate::args;
+    pub use crate::args::{ArgAccess, Args, IntoArg};
     pub use crate::distribution::{Combine, Distribution};
     pub use crate::error::{Result, SkelError};
     pub use crate::runtime::{DeviceSelection, SkelCl};
-    pub use crate::skeletons::{Map, Reduce, Scan, Zip};
+    pub use crate::skeletons::{Launch, Map, Reduce, Scan, Skeleton, Zip};
     pub use crate::vector::Vector;
     pub use oclsim::CostHint;
 }
@@ -85,9 +121,30 @@ mod tests {
         let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
         let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
         let v = Vector::from_vec(&rt, (1..=10).map(|i| i as f32).collect());
-        let squared = square.call(&v, &Args::none()).unwrap();
-        let total = sum.reduce_value(&squared).unwrap();
+        let total = v.map(&square).unwrap().reduce(&sum).unwrap();
         assert_eq!(total, 385.0);
         assert!(rt.skeleton_calls() >= 2);
+    }
+
+    #[test]
+    fn launch_builder_round_trip_for_all_skeletons() {
+        let rt = crate::init_gpus(3);
+        let v = Vector::from_vec(&rt, (1..=9).map(|i| i as f32).collect());
+
+        let map = Map::<f32, f32>::from_source("float func(float x) { return 2.0f * x; }");
+        let doubled = map.run(&v).into_vector().unwrap();
+
+        let zip =
+            Zip::<f32, f32, f32>::from_source("float func(float a, float b) { return a - b; }");
+        let diff = zip.run(&doubled, &v).exec().unwrap();
+        assert_eq!(diff.to_vec().unwrap(), v.to_vec().unwrap());
+
+        let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
+        assert_eq!(sum.run(&diff).scalar().unwrap(), 45.0);
+
+        let scan = Scan::<f32>::from_source("float func(float a, float b) { return a + b; }");
+        let (prefix, trace) = scan.run(&diff).trace().unwrap();
+        assert_eq!(prefix.to_vec().unwrap().last().copied(), Some(45.0));
+        assert_eq!(trace.local_scans.len(), 3);
     }
 }

@@ -11,9 +11,14 @@ use oclsim::{ApiModel, CommandQueue, Context, DeviceProfile, SimDuration, SimTim
 
 use crate::error::Result;
 
-/// Which devices the runtime should use.
+/// Which devices to use: at runtime initialisation this selects the devices
+/// the runtime is built from; passed to a skeleton `Launch` it restricts the
+/// devices participating in that call.
 #[derive(Debug, Clone)]
 pub enum DeviceSelection {
+    /// Every available device: all GPUs of the default platform at init
+    /// time, or all devices of the runtime at launch time.
+    All,
     /// All GPUs of the default platform (the paper's default).
     AllGpus,
     /// The first `n` GPUs of the default platform.
@@ -44,7 +49,9 @@ impl SkelCl {
     /// CUDA-equivalent cost constants).
     pub fn init_with_api(selection: DeviceSelection, api: ApiModel) -> Arc<SkelCl> {
         let profiles = match selection {
-            DeviceSelection::AllGpus => oclsim::select_gpus(4).unwrap_or_default(),
+            DeviceSelection::All | DeviceSelection::AllGpus => {
+                oclsim::select_gpus(4).unwrap_or_default()
+            }
             DeviceSelection::Gpus(n) => oclsim::select_gpus(n).unwrap_or_default(),
             DeviceSelection::Profiles(p) => p,
         };

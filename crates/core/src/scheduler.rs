@@ -79,7 +79,11 @@ impl PerfModel {
     /// the given per-element cost on every device and measuring its (virtual)
     /// execution time — the "benchmarks" part of the paper's prediction
     /// approach. `sample_size` elements are processed per device.
-    pub fn calibrated(runtime: &Arc<SkelCl>, cost: CostHint, sample_size: usize) -> Result<PerfModel> {
+    pub fn calibrated(
+        runtime: &Arc<SkelCl>,
+        cost: CostHint,
+        sample_size: usize,
+    ) -> Result<PerfModel> {
         let mut model = Self::analytical(runtime);
         let def = NativeKernelDef::new("skelcl_calibration", cost, |_ctx| Ok(()));
         let program = Program::from_native([def]);
@@ -120,7 +124,9 @@ impl PerfModel {
             .devices
             .iter()
             .find(|d| d.device == device)
-            .ok_or_else(|| SkelError::Scheduler(format!("no performance data for device {device}")))?;
+            .ok_or_else(|| {
+                SkelError::Scheduler(format!("no performance data for device {device}"))
+            })?;
         Ok(self_predict(perf, work_items, cost))
     }
 
@@ -130,7 +136,9 @@ impl PerfModel {
             .devices
             .iter()
             .find(|d| d.device == device)
-            .ok_or_else(|| SkelError::Scheduler(format!("no performance data for device {device}")))?;
+            .ok_or_else(|| {
+                SkelError::Scheduler(format!("no performance data for device {device}"))
+            })?;
         Ok(perf.transfer_latency
             + SimDuration::from_secs_f64(bytes as f64 / perf.transfer_bytes_per_sec))
     }
@@ -223,7 +231,7 @@ impl StaticScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::{init_profiles, init_gpus};
+    use crate::runtime::{init_gpus, init_profiles};
     use oclsim::DeviceProfile;
 
     fn heterogeneous_runtime() -> Arc<SkelCl> {
@@ -248,7 +256,9 @@ mod tests {
         let rt = init_gpus(1);
         let model = PerfModel::analytical(&rt);
         let small = model.predict(0, 1_000, CostHint::new(10.0, 8.0)).unwrap();
-        let large = model.predict(0, 1_000_000, CostHint::new(10.0, 8.0)).unwrap();
+        let large = model
+            .predict(0, 1_000_000, CostHint::new(10.0, 8.0))
+            .unwrap();
         assert!(large > small);
         assert!(model.predict(7, 10, CostHint::DEFAULT).is_err());
     }
@@ -300,7 +310,10 @@ mod tests {
         let (device, is_cpu) = scheduler
             .final_reduce_placement(50_000_000, 4, CostHint::new(200.0, 4.0))
             .unwrap();
-        assert!(!is_cpu, "a huge compute-heavy reduction should pick a GPU, picked device {device}");
+        assert!(
+            !is_cpu,
+            "a huge compute-heavy reduction should pick a GPU, picked device {device}"
+        );
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! The unified skeleton execution pipeline: one [`Skeleton`] trait, one
+//! [`Launch`] builder, and the shared prepare-args → partition → launch →
+//! combine stages that used to be duplicated across the four skeleton
+//! implementations.
+//!
+//! Every skeleton call flows through the same stages:
+//!
+//! 1. **configure** — a [`Launch`] builder collects additional [`Args`], an
+//!    optional [`DeviceSelection`] and an optional scheduler,
+//! 2. **prepare** — inputs are validated, coerced to a common distribution
+//!    and uploaded lazily; additional arguments are resolved
+//!    ([`PreparedArgs`]),
+//! 3. **launch** — one kernel enqueue per active device
+//!    ([`launch_elementwise`] for the data-parallel skeletons),
+//! 4. **combine** — multi-device results are gathered/merged (reduce and
+//!    scan) or wrapped as a device-resident output vector.
+//!
+//! ```
+//! use skelcl::prelude::*;
+//!
+//! let rt = skelcl::init_gpus(2);
+//! let saxpy = Zip::<f32, f32, f32>::from_source(
+//!     "float func(float x, float y, float a) { return a * x + y; }",
+//! );
+//! let x = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0]);
+//! let y = Vector::from_vec(&rt, vec![10.0f32; 3]);
+//! let out = saxpy.run(&x, &y).arg(2.0f32).exec().unwrap();
+//! assert_eq!(out.to_vec().unwrap(), vec![12.0, 14.0, 16.0]);
+//! ```
+
+use std::sync::Arc;
+
+use oclsim::{Buffer, CostHint, KernelArg, Pod, Value};
+
+use crate::args::{Args, IntoArg};
+use crate::distribution::{Distribution, Partition};
+use crate::error::{Result, SkelError};
+use crate::runtime::{DeviceSelection, SkelCl};
+use crate::scheduler::StaticScheduler;
+use crate::skeletons::PreparedArgs;
+use crate::vector::Vector;
+
+/// Execution configuration of one skeleton call, collected by [`Launch`].
+pub struct LaunchConfig<'a> {
+    /// Additional arguments forwarded to the user-defined function.
+    pub args: Args,
+    /// Optional restriction of the participating devices.
+    pub devices: Option<DeviceSelection>,
+    /// Optional static scheduler (Section V): data-parallel skeletons use
+    /// its weighted block distribution; reduce uses it to place the final
+    /// combination step.
+    pub scheduler: Option<&'a StaticScheduler>,
+    /// Intermediate results per device for scheduler-aware reductions.
+    pub chunks_per_device: usize,
+}
+
+impl Default for LaunchConfig<'_> {
+    fn default() -> Self {
+        LaunchConfig {
+            args: Args::new(),
+            devices: None,
+            scheduler: None,
+            chunks_per_device: 1,
+        }
+    }
+}
+
+/// The single execution interface every skeleton implements. `Input` is the
+/// skeleton's natural input shape (a [`Vector`] handle, or a pair of them for
+/// zip), `Output` its natural result (an output vector, or the reduced scalar
+/// for [`Reduce`](crate::skeletons::Reduce)).
+pub trait Skeleton {
+    /// The input shape of one call (vector handles are cheap clones).
+    type Input: Clone;
+    /// The result of one call.
+    type Output;
+
+    /// The skeleton's name, for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Execute one call under the given configuration. This is the uniform
+    /// entry point behind every [`Launch`] terminal form.
+    fn execute(&self, input: &Self::Input, cfg: &LaunchConfig<'_>) -> Result<Self::Output>;
+}
+
+/// Fluent builder for one skeleton call; created by each skeleton's `run`
+/// method. Configure with [`args`](Launch::args) / [`arg`](Launch::arg) /
+/// [`devices`](Launch::devices) / [`scheduler`](Launch::scheduler) /
+/// [`chunks`](Launch::chunks), then finish with a terminal form:
+/// [`exec`](Launch::exec) (every skeleton), `into_vector` (map/zip/scan as
+/// identity, reduce wrapping the scalar), `scalar` / `scalar_with_plan`
+/// (reduce), `trace` (scan) or `run_into` (map/zip/scan, reusing an existing
+/// output vector's buffers).
+#[must_use = "a Launch does nothing until a terminal form such as `exec()` is called"]
+pub struct Launch<'a, S: Skeleton> {
+    pub(crate) skeleton: &'a S,
+    pub(crate) input: S::Input,
+    pub(crate) cfg: LaunchConfig<'a>,
+}
+
+impl<'a, S: Skeleton> Launch<'a, S> {
+    pub(crate) fn new(skeleton: &'a S, input: S::Input) -> Launch<'a, S> {
+        Launch {
+            skeleton,
+            input,
+            cfg: LaunchConfig::default(),
+        }
+    }
+
+    /// Replace the additional arguments of the call.
+    pub fn args(mut self, args: Args) -> Self {
+        self.cfg.args = args;
+        self
+    }
+
+    /// Append one additional argument (any [`IntoArg`] value).
+    pub fn arg(mut self, value: impl IntoArg) -> Self {
+        self.cfg.args = self.cfg.args.arg(value);
+        self
+    }
+
+    /// Restrict the call to a subset of the runtime's devices.
+    /// [`DeviceSelection::All`] (and `AllGpus`) keeps the input's current
+    /// distribution; `Gpus(n)` re-distributes over the first `n` devices.
+    pub fn devices(mut self, selection: DeviceSelection) -> Self {
+        self.cfg.devices = Some(selection);
+        self
+    }
+
+    /// Attach a static scheduler (Section V of the paper). Data-parallel
+    /// skeletons partition the input by the scheduler's predicted per-device
+    /// throughput; reduce additionally uses it to decide where the final
+    /// combination of intermediate results runs.
+    pub fn scheduler(mut self, scheduler: &'a StaticScheduler) -> Self {
+        self.cfg.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Number of intermediate results each device produces in a
+    /// scheduler-aware reduction (default 1).
+    pub fn chunks(mut self, chunks_per_device: usize) -> Self {
+        self.cfg.chunks_per_device = chunks_per_device.max(1);
+        self
+    }
+
+    /// Execute the call and return the skeleton's natural output.
+    pub fn exec(self) -> Result<S::Output> {
+        self.skeleton.execute(&self.input, &self.cfg)
+    }
+}
+
+/// Translate a launch-time device selection into a distribution override.
+/// `Ok(None)` means "keep the current distribution" (`All`/`AllGpus`, or
+/// `Gpus(n)` covering every device); `Profiles` is an init-time-only
+/// selection and is rejected. Shared by vector launches and index-map
+/// launches so the policy cannot diverge.
+pub(crate) fn selection_distribution(
+    selection: &DeviceSelection,
+    devices: usize,
+) -> Result<Option<Distribution>> {
+    match selection {
+        DeviceSelection::All | DeviceSelection::AllGpus => Ok(None),
+        DeviceSelection::Gpus(n) => {
+            let n = (*n).min(devices);
+            if n == 0 {
+                return Err(SkelError::Distribution(
+                    "device selection Gpus(0) leaves no device to run on".into(),
+                ));
+            }
+            if n == devices {
+                Ok(None)
+            } else if n == 1 {
+                Ok(Some(Distribution::Single(0)))
+            } else {
+                let mut weights = vec![0.0f64; devices];
+                for w in weights.iter_mut().take(n) {
+                    *w = 1.0;
+                }
+                Ok(Some(Distribution::block_weighted(&weights)))
+            }
+        }
+        DeviceSelection::Profiles(_) => Err(SkelError::Distribution(
+            "DeviceSelection::Profiles selects devices at runtime initialisation; \
+             pass All or Gpus(n) to a launch"
+                .into(),
+        )),
+    }
+}
+
+/// Apply the launch-time device selection to an input vector by overriding
+/// its distribution (see [`selection_distribution`]).
+pub(crate) fn apply_device_selection<T: Pod>(
+    input: &Vector<T>,
+    selection: &DeviceSelection,
+    runtime: &Arc<SkelCl>,
+) -> Result<()> {
+    match selection_distribution(selection, runtime.device_count())? {
+        Some(distribution) => input.set_distribution(distribution),
+        None => Ok(()),
+    }
+}
+
+/// The shared **prepare** stage of a data-parallel call: validates the
+/// input(s), applies the device selection and scheduler distribution,
+/// performs the lazy uploads and resolves the additional arguments.
+pub(crate) struct PreparedCall {
+    pub runtime: Arc<SkelCl>,
+    pub partition: Partition,
+    pub distribution: Distribution,
+    pub prepared_args: PreparedArgs,
+    /// Per-input per-device buffers, in skeleton argument order.
+    pub input_buffers: Vec<Vec<Option<Buffer>>>,
+    /// Identities of the input vectors, used to detect `run_into` targets
+    /// that alias an input.
+    pub input_ids: Vec<u64>,
+    pub len: usize,
+}
+
+impl PreparedCall {
+    /// Prepare a single-input call (map, reduce, scan).
+    pub fn single<T: Pod>(
+        input: &Vector<T>,
+        cfg: &LaunchConfig<'_>,
+        scheduler_cost: Option<CostHint>,
+    ) -> Result<PreparedCall> {
+        let runtime = input.runtime();
+        runtime.charge_skeleton_call();
+        if input.is_empty() {
+            return Err(SkelError::EmptyInput);
+        }
+        if let Some(selection) = &cfg.devices {
+            apply_device_selection(input, selection, &runtime)?;
+        }
+        if let (Some(scheduler), Some(cost)) = (cfg.scheduler, scheduler_cost) {
+            input.set_distribution(scheduler.weighted_block(cost))?;
+        }
+        let (partition, buffers) = input.prepare_on_devices()?;
+        let prepared_args = PreparedArgs::prepare(&runtime, &cfg.args)?;
+        Ok(PreparedCall {
+            runtime,
+            partition,
+            distribution: input.distribution(),
+            prepared_args,
+            input_buffers: vec![buffers],
+            input_ids: vec![input.id()],
+            len: input.len(),
+        })
+    }
+
+    /// Prepare a two-input call (zip): length check plus the paper's
+    /// distribution unification (differing distributions are coerced to
+    /// block on both sides).
+    pub fn pair<A: Pod, B: Pod>(
+        left: &Vector<A>,
+        right: &Vector<B>,
+        cfg: &LaunchConfig<'_>,
+        scheduler_cost: Option<CostHint>,
+    ) -> Result<PreparedCall> {
+        let runtime = left.runtime();
+        right.check_runtime(&runtime)?;
+        runtime.charge_skeleton_call();
+        if left.is_empty() || right.is_empty() {
+            return Err(SkelError::EmptyInput);
+        }
+        if left.len() != right.len() {
+            return Err(SkelError::LengthMismatch {
+                left: left.len(),
+                right: right.len(),
+            });
+        }
+        if let Some(selection) = &cfg.devices {
+            apply_device_selection(left, selection, &runtime)?;
+            apply_device_selection(right, selection, &runtime)?;
+        }
+        if let (Some(scheduler), Some(cost)) = (cfg.scheduler, scheduler_cost) {
+            let dist = scheduler.weighted_block(cost);
+            left.set_distribution(dist.clone())?;
+            right.set_distribution(dist)?;
+        }
+        // Unify: if the distributions differ (or both are single but on
+        // different devices, which compares unequal), coerce both to block.
+        let distribution = if left.distribution() == right.distribution() {
+            left.distribution()
+        } else {
+            left.set_distribution(Distribution::Block)?;
+            right.set_distribution(Distribution::Block)?;
+            Distribution::Block
+        };
+        let (partition, left_buffers) = left.prepare_on_devices()?;
+        let (_, right_buffers) = right.prepare_on_devices()?;
+        let prepared_args = PreparedArgs::prepare(&runtime, &cfg.args)?;
+        Ok(PreparedCall {
+            runtime,
+            partition,
+            distribution,
+            prepared_args,
+            input_buffers: vec![left_buffers, right_buffers],
+            input_ids: vec![left.id(), right.id()],
+            len: left.len(),
+        })
+    }
+
+    /// Allocate output buffers for the partition, or reuse the buffers of an
+    /// existing output vector (`run_into`) when they fit. A `run_into`
+    /// target that aliases one of the inputs (the paper's in-place
+    /// `y = saxpy(x, y)` pattern) gets fresh buffers instead — the device
+    /// model forbids binding one buffer to two kernel arguments — and the
+    /// old ones are released when the result is committed.
+    pub fn output_buffers<O: Pod>(&self, reuse: Option<&Vector<O>>) -> Result<Vec<Option<Buffer>>> {
+        match reuse {
+            Some(out) if !self.input_ids.contains(&out.id()) => {
+                out.check_runtime(&self.runtime)?;
+                out.obtain_output_buffers(&self.partition)
+            }
+            _ => crate::skeletons::alloc_output::<O>(&self.runtime, &self.partition),
+        }
+    }
+
+    /// The shared **launch** stage of the element-wise skeletons (map, zip):
+    /// for every active device enqueue the kernel with the argument layout
+    /// `[inputs..., output, n, extra args...]` over `n` work items.
+    pub fn launch_elementwise(
+        &self,
+        kernel: &oclsim::Kernel,
+        out_buffers: &[Option<Buffer>],
+    ) -> Result<()> {
+        // Resolve the argument lists of every device before enqueueing the
+        // first kernel: argument errors (a missing input part, an
+        // additional-argument vector with no copy on one device) then
+        // surface before anything ran, so a `run_into` target is never left
+        // partially overwritten by them.
+        let mut launches = Vec::new();
+        for device in self.partition.active_devices() {
+            let n = self.partition.size(device);
+            let mut kargs = Vec::with_capacity(self.input_buffers.len() + 2);
+            for (position, buffers) in self.input_buffers.iter().enumerate() {
+                let buffer = buffers[device].clone().ok_or_else(|| {
+                    SkelError::Distribution(format!(
+                        "input {position} has no buffer on device {device}"
+                    ))
+                })?;
+                kargs.push(KernelArg::Buffer(buffer));
+            }
+            kargs.push(KernelArg::Buffer(
+                out_buffers[device].clone().expect("output allocated above"),
+            ));
+            kargs.push(KernelArg::Scalar(Value::Int(n as i32)));
+            kargs.extend(self.prepared_args.kernel_args_for(device)?);
+            launches.push((device, n, kargs));
+        }
+        for (device, n, kargs) in launches {
+            self.runtime
+                .queue(device)
+                .enqueue_kernel(kernel, n, &kargs)?;
+        }
+        Ok(())
+    }
+
+    /// The **combine** stage of element-wise skeletons: wrap the per-device
+    /// output buffers as a device-resident vector, or commit the reused
+    /// output vector's new state (`run_into`).
+    pub fn finish_vector<O: Pod>(
+        &self,
+        out_buffers: Vec<Option<Buffer>>,
+        reuse: Option<&Vector<O>>,
+    ) -> Result<Vector<O>> {
+        match reuse {
+            Some(out) => {
+                out.commit_as_output(self.len, self.distribution.clone(), out_buffers)?;
+                Ok(out.clone())
+            }
+            None => Ok(Vector::device_resident(
+                &self.runtime,
+                self.len,
+                self.distribution.clone(),
+                out_buffers,
+            )),
+        }
+    }
+
+    /// The input buffer of `device` for single-input skeletons.
+    pub fn input_buffer(&self, device: usize) -> Result<Buffer> {
+        self.input_buffers[0][device].clone().ok_or_else(|| {
+            SkelError::Distribution(format!("input vector has no buffer on device {device}"))
+        })
+    }
+}
+
+/// Check a source-UDF call: vector extras need native UDFs, and the argument
+/// count must match the user function's extra parameters.
+pub(crate) fn check_source_call(prepared: &PreparedArgs, extra_scalars: usize) -> Result<()> {
+    if prepared.has_vectors() {
+        return Err(SkelError::UnsupportedArg(
+            "vector additional arguments require a native (closure) user function".into(),
+        ));
+    }
+    if prepared.len() != extra_scalars {
+        return Err(SkelError::UdfSignature(format!(
+            "the user function expects {extra_scalars} additional argument(s), the call provides {}",
+            prepared.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Scale a per-element cost hint to `n` elements (sequential reduce/scan
+/// kernels run as one work item covering the whole part).
+pub(crate) fn sequential_cost(per_element: CostHint, n: usize, min_bytes: f64) -> CostHint {
+    CostHint::new(
+        per_element.flops_per_item * n as f64,
+        per_element.bytes_per_item.max(min_bytes) * n as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::init_gpus;
+    use crate::skeletons::{Map, Reduce, Scan, Zip};
+
+    #[test]
+    fn skeleton_trait_is_object_safe_enough_for_uniform_dispatch() {
+        // All four skeletons execute through the one trait method.
+        let rt = init_gpus(2);
+        let v = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let cfg = LaunchConfig::default();
+
+        let map = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        assert_eq!(
+            Skeleton::execute(&map, &v, &cfg).unwrap().to_vec().unwrap(),
+            vec![2.0, 3.0, 4.0, 5.0]
+        );
+
+        let zip = Zip::<f32, f32, f32>::new(|a, b, _| a + b);
+        let w = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
+        let pair = (v.clone(), w);
+        assert_eq!(
+            Skeleton::execute(&zip, &pair, &cfg)
+                .unwrap()
+                .to_vec()
+                .unwrap(),
+            vec![2.0, 4.0, 6.0, 8.0]
+        );
+
+        let sum = Reduce::<f32>::new(|a, b| a + b);
+        assert_eq!(Skeleton::execute(&sum, &v, &cfg).unwrap(), 10.0);
+
+        let scan = Scan::<f32>::new(|a, b| a + b);
+        assert_eq!(
+            Skeleton::execute(&scan, &v, &cfg)
+                .unwrap()
+                .to_vec()
+                .unwrap(),
+            vec![1.0, 3.0, 6.0, 10.0]
+        );
+        assert_eq!(map.name(), "map");
+        assert_eq!(zip.name(), "zip");
+        assert_eq!(sum.name(), "reduce");
+        assert_eq!(scan.name(), "scan");
+    }
+
+    #[test]
+    fn launch_builder_collects_args_incrementally() {
+        let rt = init_gpus(2);
+        let affine = Map::<f32, f32>::from_source(
+            "float func(float x, float a, int b) { return a * x + b; }",
+        );
+        let v = Vector::from_vec(&rt, vec![1.0f32, 2.0]);
+        let out = affine.run(&v).arg(3.0f32).arg(10i32).exec().unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![13.0, 16.0]);
+    }
+
+    #[test]
+    fn device_selection_all_keeps_the_distribution() {
+        let rt = init_gpus(3);
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32; 6]);
+        v.set_distribution(Distribution::Single(2)).unwrap();
+        let out = inc.run(&v).devices(DeviceSelection::All).exec().unwrap();
+        assert_eq!(out.distribution(), Distribution::Single(2));
+        assert_eq!(out.to_vec().unwrap(), vec![2.0f32; 6]);
+    }
+
+    #[test]
+    fn device_selection_gpus_restricts_the_active_devices() {
+        let rt = init_gpus(4);
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32; 8]);
+        rt.drain_events();
+        let out = inc
+            .run(&v)
+            .devices(DeviceSelection::Gpus(2))
+            .exec()
+            .unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![2.0f32; 8]);
+        let events = rt.drain_events();
+        let kernels_per_device: Vec<usize> = events
+            .iter()
+            .map(|evs| evs.iter().filter(|e| e.is_kernel()).count())
+            .collect();
+        assert_eq!(kernels_per_device[2], 0, "device 2 must stay idle");
+        assert_eq!(kernels_per_device[3], 0, "device 3 must stay idle");
+        assert!(kernels_per_device[0] > 0 && kernels_per_device[1] > 0);
+
+        // Gpus(1) degenerates to single distribution.
+        let one = inc
+            .run(&v)
+            .devices(DeviceSelection::Gpus(1))
+            .exec()
+            .unwrap();
+        assert_eq!(one.to_vec().unwrap(), vec![2.0f32; 8]);
+        assert_eq!(v.distribution(), Distribution::Single(0));
+    }
+
+    #[test]
+    fn device_selection_rejects_invalid_launch_selections() {
+        let rt = init_gpus(2);
+        let inc = Map::<f32, f32>::new(|x, _| x + 1.0);
+        let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
+        assert!(matches!(
+            inc.run(&v).devices(DeviceSelection::Gpus(0)).exec(),
+            Err(SkelError::Distribution(_))
+        ));
+        assert!(matches!(
+            inc.run(&v)
+                .devices(DeviceSelection::Profiles(vec![]))
+                .exec(),
+            Err(SkelError::Distribution(_))
+        ));
+    }
+
+    #[test]
+    fn scheduler_on_a_map_launch_weights_the_partition() {
+        use oclsim::DeviceProfile;
+        let rt = crate::runtime::init_profiles(vec![
+            DeviceProfile::tesla_c1060(),
+            DeviceProfile::xeon_e5520(),
+        ]);
+        let scheduler = StaticScheduler::analytical(&rt);
+        let heavy = Map::<f32, f32>::from_source(
+            "float func(float x) { float a = x; for (int i = 0; i < 64; i++) { a = a * 1.0001f + 0.5f; } return a; }",
+        );
+        let v = Vector::from_vec(&rt, vec![1.0f32; 10_000]);
+        let out = heavy.run(&v).scheduler(&scheduler).exec().unwrap();
+        assert_eq!(out.len(), 10_000);
+        // The GPU must receive the (much) larger part.
+        let sizes = v.sizes();
+        assert!(
+            sizes[0] > sizes[1],
+            "scheduler should give the Tesla more work than the Xeon: {sizes:?}"
+        );
+    }
+}

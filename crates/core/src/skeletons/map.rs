@@ -8,12 +8,17 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use oclsim::{CostHint, KernelArg, NativeKernelDef, Pod, Program, Value};
+use oclsim::{CostHint, NativeKernelDef, Pod, Program, Value};
 
 use crate::args::{ArgAccess, Args};
+use crate::distribution::Distribution;
 use crate::error::{Result, SkelError};
 use crate::kernelgen::{self, UdfInfo};
-use crate::skeletons::{alloc_output, PreparedArgs};
+use crate::runtime::{DeviceSelection, SkelCl};
+use crate::skeletons::{
+    alloc_output, check_source_call, udf_cost_estimate, Launch, LaunchConfig, PreparedArgs,
+    PreparedCall, Skeleton,
+};
 use crate::vector::Vector;
 
 enum MapUdf<I, O> {
@@ -34,8 +39,11 @@ struct BuiltSource {
 /// let rt = skelcl::init_gpus(2);
 /// let negate = Map::<f32, f32>::from_source("float func(float x) { return -x; }");
 /// let v = Vector::from_vec(&rt, vec![1.0f32, -2.0, 3.0]);
-/// let out = negate.call(&v, &Args::none()).unwrap();
+/// let out = negate.run(&v).exec().unwrap();
 /// assert_eq!(out.to_vec().unwrap(), vec![-1.0, 2.0, -3.0]);
+///
+/// // Or through the fluent vector pipeline:
+/// assert_eq!(v.map(&negate).unwrap().to_vec().unwrap(), vec![-1.0, 2.0, -3.0]);
 /// ```
 pub struct Map<I: Pod, O: Pod> {
     udf: MapUdf<I, O>,
@@ -46,9 +54,10 @@ pub struct Map<I: Pod, O: Pod> {
 
 impl<I: Pod, O: Pod> Map<I, O> {
     /// Customise the skeleton with a user-defined function given as source
-    /// code in the kernel language. The last function in the string is the
-    /// UDF; its first parameter receives the input element, any further
-    /// (scalar) parameters receive the additional arguments of the call.
+    /// code in the kernel language. The UDF is the function named `func` (or
+    /// the only function); its first parameter receives the input element,
+    /// any further (scalar) parameters receive the additional arguments of
+    /// the call.
     pub fn from_source(source: &str) -> Map<I, O> {
         Map {
             udf: MapUdf::Source(source.to_string()),
@@ -80,7 +89,21 @@ impl<I: Pod, O: Pod> Map<I, O> {
         self
     }
 
-    fn ensure_built(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<Arc<BuiltSource>> {
+    /// Begin a launch of this skeleton over `input`:
+    /// `map.run(&v).arg(2.5f32).exec()?`.
+    pub fn run<'a>(&'a self, input: &Vector<I>) -> Launch<'a, Self> {
+        Launch::new(self, input.clone())
+    }
+
+    /// The per-element cost used for scheduler-weighted partitioning.
+    fn scheduler_cost(&self) -> CostHint {
+        match &self.udf {
+            MapUdf::Source(src) => udf_cost_estimate(src).unwrap_or(self.cost),
+            MapUdf::Native(_) => self.cost,
+        }
+    }
+
+    fn ensure_built(&self, runtime: &Arc<SkelCl>) -> Result<Arc<BuiltSource>> {
         let mut built = self.built.lock();
         if let Some(b) = built.as_ref() {
             return Ok(b.clone());
@@ -100,10 +123,7 @@ impl<I: Pod, O: Pod> Map<I, O> {
         Ok(b)
     }
 
-    fn ensure_built_index(
-        &self,
-        runtime: &Arc<crate::runtime::SkelCl>,
-    ) -> Result<Arc<BuiltSource>> {
+    fn ensure_built_index(&self, runtime: &Arc<SkelCl>) -> Result<Arc<BuiltSource>> {
         let mut built = self.built_index.lock();
         if let Some(b) = built.as_ref() {
             return Ok(b.clone());
@@ -156,140 +176,192 @@ impl<I: Pod, O: Pod> Map<I, O> {
         program.kernel("skelcl_map_native").ok()
     }
 
-    /// Execute the skeleton: apply the user function to every element of
-    /// `input`, with `args` as additional arguments. Every device that holds
-    /// a part (or copy) of the input participates; the output adopts the
-    /// input's distribution.
-    pub fn call(&self, input: &Vector<I>, args: &Args) -> Result<Vector<O>> {
-        let runtime = input.runtime();
-        runtime.charge_skeleton_call();
-        if input.is_empty() {
-            return Err(SkelError::EmptyInput);
-        }
-        let (partition, in_buffers) = input.prepare_on_devices()?;
-        let prepared = PreparedArgs::prepare(&runtime, args)?;
-        let out_buffers = alloc_output::<O>(&runtime, &partition)?;
-
-        let kernel = match &self.udf {
+    /// Resolve the kernel to launch and validate the additional arguments
+    /// against the UDF kind.
+    fn resolve_kernel(
+        &self,
+        runtime: &Arc<SkelCl>,
+        prepared: &PreparedArgs,
+    ) -> Result<oclsim::Kernel> {
+        match &self.udf {
             MapUdf::Source(_) => {
-                if prepared.has_vectors() {
-                    return Err(SkelError::UnsupportedArg(
-                        "vector additional arguments require a native (closure) user function"
-                            .into(),
-                    ));
-                }
-                let built = self.ensure_built(&runtime)?;
-                if prepared.len() != built.extra_scalars {
-                    return Err(SkelError::UdfSignature(format!(
-                        "the user function expects {} additional argument(s), the call provides {}",
-                        built.extra_scalars,
-                        prepared.len()
-                    )));
-                }
-                built.kernel.clone()
+                let built = self.ensure_built(runtime)?;
+                check_source_call(prepared, built.extra_scalars)?;
+                Ok(built.kernel.clone())
             }
-            MapUdf::Native(_) => self
+            MapUdf::Native(_) => Ok(self
                 .native_kernel()
-                .expect("native kernel construction cannot fail"),
-        };
-
-        for device in partition.active_devices() {
-            let n = partition.size(device);
-            let input_buffer = in_buffers[device].clone().ok_or_else(|| {
-                SkelError::Distribution(format!("input vector has no buffer on device {device}"))
-            })?;
-            let output_buffer = out_buffers[device].clone().expect("allocated above");
-            let mut kargs = vec![
-                KernelArg::Buffer(input_buffer),
-                KernelArg::Buffer(output_buffer),
-                KernelArg::Scalar(Value::Int(n as i32)),
-            ];
-            kargs.extend(prepared.kernel_args_for(device)?);
-            runtime.queue(device).enqueue_kernel(&kernel, n, &kargs)?;
+                .expect("native kernel construction cannot fail")),
         }
+    }
 
-        Ok(Vector::device_resident(
-            &runtime,
-            input.len(),
-            input.distribution(),
-            out_buffers,
-        ))
+    /// The shared execution path behind [`Skeleton::execute`], the
+    /// deprecated [`Map::call`] shim and the `run_into` terminal form.
+    fn execute_map(
+        &self,
+        input: &Vector<I>,
+        cfg: &LaunchConfig<'_>,
+        reuse: Option<&Vector<O>>,
+    ) -> Result<Vector<O>> {
+        let scheduler_cost = cfg.scheduler.map(|_| self.scheduler_cost());
+        let call = PreparedCall::single(input, cfg, scheduler_cost)?;
+        let kernel = self.resolve_kernel(&call.runtime, &call.prepared_args)?;
+        let out_buffers = call.output_buffers::<O>(reuse)?;
+        call.launch_elementwise(&kernel, &out_buffers)?;
+        call.finish_vector(out_buffers, reuse)
+    }
+
+    /// Execute the skeleton with explicit additional arguments.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(&input)` with the Launch builder, \
+                                          e.g. `map.run(&v).args(args).exec()`"
+    )]
+    pub fn call(&self, input: &Vector<I>, args: &Args) -> Result<Vector<O>> {
+        let cfg = LaunchConfig {
+            args: args.clone(),
+            ..LaunchConfig::default()
+        };
+        self.execute_map(input, &cfg, None)
     }
 }
 
-impl<O: Pod> Map<i32, O> {
-    /// Execute the skeleton over the *implicit index range* `[0, len)`
-    /// instead of a stored input vector: `out[i] = f(i, extra...)`.
-    ///
-    /// No input buffer exists, so nothing is uploaded — each device computes
-    /// its block of indices from its global ids plus a per-device offset.
-    /// This mirrors SkelCL's index-vector facility and is the natural way to
-    /// express generator-style workloads such as the Mandelbrot benchmark,
-    /// where the "input" is just the pixel index. The output vector is
-    /// block-distributed across all devices of the runtime.
-    pub fn call_index(
-        &self,
-        runtime: &Arc<crate::runtime::SkelCl>,
-        len: usize,
-        args: &Args,
-    ) -> Result<Vector<O>> {
+impl<I: Pod, O: Pod> Skeleton for Map<I, O> {
+    type Input = Vector<I>;
+    type Output = Vector<O>;
+
+    fn name(&self) -> &'static str {
+        "map"
+    }
+
+    fn execute(&self, input: &Vector<I>, cfg: &LaunchConfig<'_>) -> Result<Vector<O>> {
+        self.execute_map(input, cfg, None)
+    }
+}
+
+impl<I: Pod, O: Pod> Launch<'_, Map<I, O>> {
+    /// Execute and return the output vector (identity terminal form,
+    /// symmetric with reduce's `into_vector`).
+    pub fn into_vector(self) -> Result<Vector<O>> {
+        self.exec()
+    }
+
+    /// Execute, writing the result into `out` and reusing `out`'s device
+    /// buffers instead of allocating fresh ones. `out` adopts the launch's
+    /// length and distribution; its previous contents are overwritten.
+    pub fn run_into(self, out: &Vector<O>) -> Result<()> {
+        self.skeleton
+            .execute_map(&self.input, &self.cfg, Some(out))?;
+        Ok(())
+    }
+}
+
+/// A launch of a map skeleton over the *implicit index range* `[0, len)`;
+/// created by [`Map::run_index`]. Supports the same configuration methods as
+/// [`Launch`].
+#[must_use = "an IndexLaunch does nothing until `exec()` is called"]
+pub struct IndexLaunch<'a, O: Pod> {
+    map: &'a Map<i32, O>,
+    runtime: Arc<SkelCl>,
+    len: usize,
+    cfg: LaunchConfig<'a>,
+}
+
+impl<'a, O: Pod> IndexLaunch<'a, O> {
+    /// Replace the additional arguments of the call.
+    pub fn args(mut self, args: Args) -> Self {
+        self.cfg.args = args;
+        self
+    }
+
+    /// Append one additional argument.
+    pub fn arg(mut self, value: impl crate::args::IntoArg) -> Self {
+        self.cfg.args = self.cfg.args.arg(value);
+        self
+    }
+
+    /// Restrict the launch to a subset of the runtime's devices.
+    pub fn devices(mut self, selection: DeviceSelection) -> Self {
+        self.cfg.devices = Some(selection);
+        self
+    }
+
+    /// Partition the index range by a static scheduler's predictions.
+    pub fn scheduler(mut self, scheduler: &'a crate::scheduler::StaticScheduler) -> Self {
+        self.cfg.scheduler = Some(scheduler);
+        self
+    }
+
+    /// The distribution of the generated output under the configured device
+    /// selection / scheduler.
+    fn output_distribution(&self) -> Result<Distribution> {
+        if let Some(scheduler) = self.cfg.scheduler {
+            return Ok(scheduler.weighted_block(self.map.scheduler_cost()));
+        }
+        let override_dist = match &self.cfg.devices {
+            Some(selection) => crate::skeletons::exec::selection_distribution(
+                selection,
+                self.runtime.device_count(),
+            )?,
+            None => None,
+        };
+        Ok(override_dist.unwrap_or(Distribution::Block))
+    }
+
+    /// Execute the index map: `out[i] = f(i, extra...)` for `i` in
+    /// `[0, len)`. No input buffer exists, so nothing is uploaded — each
+    /// device computes its block of indices from its global ids plus a
+    /// per-device offset. This mirrors SkelCL's index-vector facility and is
+    /// the natural way to express generator-style workloads such as the
+    /// Mandelbrot benchmark.
+    pub fn exec(self) -> Result<Vector<O>> {
+        let runtime = &self.runtime;
         runtime.charge_skeleton_call();
-        if len == 0 {
+        if self.len == 0 {
             return Err(SkelError::EmptyInput);
         }
-        let distribution = crate::distribution::Distribution::Block;
+        let distribution = self.output_distribution()?;
         let partition = crate::distribution::Partition::compute(
-            len,
+            self.len,
             runtime.device_count(),
             &distribution,
         );
-        let prepared = PreparedArgs::prepare(runtime, args)?;
+        let prepared = PreparedArgs::prepare(runtime, &self.cfg.args)?;
         let out_buffers = alloc_output::<O>(runtime, &partition)?;
 
-        let kernel = match &self.udf {
+        let kernel = match &self.map.udf {
             MapUdf::Source(_) => {
-                if prepared.has_vectors() {
-                    return Err(SkelError::UnsupportedArg(
-                        "vector additional arguments require a native (closure) user function"
-                            .into(),
-                    ));
-                }
-                let built = self.ensure_built_index(runtime)?;
-                if prepared.len() != built.extra_scalars {
-                    return Err(SkelError::UdfSignature(format!(
-                        "the user function expects {} additional argument(s), the call provides {}",
-                        built.extra_scalars,
-                        prepared.len()
-                    )));
-                }
+                let built = self.map.ensure_built_index(runtime)?;
+                check_source_call(&prepared, built.extra_scalars)?;
                 built.kernel.clone()
             }
             MapUdf::Native(f) => {
                 let f = f.clone();
-                let def = NativeKernelDef::new("skelcl_map_index_native", self.cost, move |ctx| {
-                    let n = ctx.global_size();
-                    // Arguments: [out, n, offset, extra...] — the per-device
-                    // offset is the third argument.
-                    let offset = ctx.scalar_usize(2)?;
-                    let mut views = ctx.arg_views();
-                    let (out_view, rest) = views
-                        .split_first_mut()
-                        .ok_or_else(|| "index map kernel is missing its output".to_string())?;
-                    let (_n_view, rest) = rest
-                        .split_first_mut()
-                        .ok_or_else(|| "index map kernel is missing its length".to_string())?;
-                    let (_offset_view, extra) = rest
-                        .split_first_mut()
-                        .ok_or_else(|| "index map kernel is missing its offset".to_string())?;
-                    let output = out_view
-                        .as_slice_mut::<O>()
-                        .ok_or_else(|| "index map output must be a buffer".to_string())?;
-                    let mut access = ArgAccess::new(extra);
-                    for i in 0..n {
-                        output[i] = f(&((offset + i) as i32), &mut access);
-                    }
-                    Ok(())
-                });
+                let def =
+                    NativeKernelDef::new("skelcl_map_index_native", self.map.cost, move |ctx| {
+                        let n = ctx.global_size();
+                        // Arguments: [out, n, offset, extra...] — the
+                        // per-device offset is the third argument.
+                        let offset = ctx.scalar_usize(2)?;
+                        let mut views = ctx.arg_views();
+                        let (out_view, rest) = views
+                            .split_first_mut()
+                            .ok_or_else(|| "index map kernel is missing its output".to_string())?;
+                        let (_n_view, rest) = rest
+                            .split_first_mut()
+                            .ok_or_else(|| "index map kernel is missing its length".to_string())?;
+                        let (_offset_view, extra) = rest
+                            .split_first_mut()
+                            .ok_or_else(|| "index map kernel is missing its offset".to_string())?;
+                        let output = out_view
+                            .as_slice_mut::<O>()
+                            .ok_or_else(|| "index map output must be a buffer".to_string())?;
+                        let mut access = ArgAccess::new(extra);
+                        for i in 0..n {
+                            output[i] = f(&((offset + i) as i32), &mut access);
+                        }
+                        Ok(())
+                    });
                 let program = Program::from_native([def]);
                 program
                     .kernel("skelcl_map_index_native")
@@ -302,15 +374,43 @@ impl<O: Pod> Map<i32, O> {
             let n = range.len();
             let output_buffer = out_buffers[device].clone().expect("allocated above");
             let mut kargs = vec![
-                KernelArg::Buffer(output_buffer),
-                KernelArg::Scalar(Value::Int(n as i32)),
-                KernelArg::Scalar(Value::Int(range.start as i32)),
+                oclsim::KernelArg::Buffer(output_buffer),
+                oclsim::KernelArg::Scalar(Value::Int(n as i32)),
+                oclsim::KernelArg::Scalar(Value::Int(range.start as i32)),
             ];
             kargs.extend(prepared.kernel_args_for(device)?);
             runtime.queue(device).enqueue_kernel(&kernel, n, &kargs)?;
         }
 
-        Ok(Vector::device_resident(runtime, len, distribution, out_buffers))
+        Ok(Vector::device_resident(
+            runtime,
+            self.len,
+            distribution,
+            out_buffers,
+        ))
+    }
+}
+
+impl<O: Pod> Map<i32, O> {
+    /// Begin an index-map launch over the implicit range `[0, len)`:
+    /// `map.run_index(&rt, n).arg(scale).exec()?`.
+    pub fn run_index<'a>(&'a self, runtime: &Arc<SkelCl>, len: usize) -> IndexLaunch<'a, O> {
+        IndexLaunch {
+            map: self,
+            runtime: runtime.clone(),
+            len,
+            cfg: LaunchConfig::default(),
+        }
+    }
+
+    /// Execute the skeleton over the implicit index range `[0, len)`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run_index(&rt, len)` with the builder, \
+                                          e.g. `map.run_index(&rt, n).args(args).exec()`"
+    )]
+    pub fn call_index(&self, runtime: &Arc<SkelCl>, len: usize, args: &Args) -> Result<Vector<O>> {
+        self.run_index(runtime, len).args(args.clone()).exec()
     }
 }
 
@@ -327,7 +427,7 @@ mod tests {
             let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
             let data: Vec<f32> = (1..=10).map(|i| i as f32).collect();
             let v = Vector::from_vec(&rt, data.clone());
-            let out = square.call(&v, &Args::none()).unwrap();
+            let out = square.run(&v).exec().unwrap();
             let expected: Vec<f32> = data.iter().map(|x| x * x).collect();
             assert_eq!(out.to_vec().unwrap(), expected, "devices = {devices}");
             assert_eq!(out.distribution(), Distribution::Block);
@@ -339,7 +439,7 @@ mod tests {
         let rt = init_gpus(2);
         let scale = Map::<f32, f32>::from_source("float func(float x, float s) { return x * s; }");
         let v = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
-        let out = scale.call(&v, &Args::new().with_f32(2.5)).unwrap();
+        let out = scale.run(&v).arg(2.5f32).exec().unwrap();
         assert_eq!(out.to_vec().unwrap(), vec![2.5, 5.0, 7.5, 10.0]);
     }
 
@@ -349,7 +449,7 @@ mod tests {
         let scale = Map::<f32, f32>::from_source("float func(float x, float s) { return x * s; }");
         let v = Vector::from_vec(&rt, vec![1.0f32]);
         assert!(matches!(
-            scale.call(&v, &Args::none()),
+            scale.run(&v).exec(),
             Err(SkelError::UdfSignature(_))
         ));
     }
@@ -366,7 +466,7 @@ mod tests {
             x * t[(*x as usize) % t.len()]
         });
         let v = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
-        let out = map.call(&v, &Args::new().with_vec_f32(&table)).unwrap();
+        let out = map.run(&v).arg(&table).exec().unwrap();
         assert_eq!(out.to_vec().unwrap(), vec![100.0, 20.0, 300.0, 40.0]);
     }
 
@@ -375,7 +475,7 @@ mod tests {
         let rt = init_gpus(2);
         let round = Map::<f32, i32>::from_source("int func(float x) { return (int) (x + 0.5f); }");
         let v = Vector::from_vec(&rt, vec![0.2f32, 1.7, 2.4]);
-        let out = round.call(&v, &Args::none()).unwrap();
+        let out = v.map(&round).unwrap();
         assert_eq!(out.to_vec().unwrap(), vec![0, 2, 2]);
     }
 
@@ -385,7 +485,7 @@ mod tests {
         let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
         let v = Vector::from_vec(&rt, vec![1.0f32; 6]);
         v.set_distribution(Distribution::Single(1)).unwrap();
-        let out = inc.call(&v, &Args::none()).unwrap();
+        let out = v.map(&inc).unwrap();
         assert_eq!(out.to_vec().unwrap(), vec![2.0f32; 6]);
         assert_eq!(out.distribution(), Distribution::Single(1));
         // Only device 1 must have executed a kernel.
@@ -401,7 +501,7 @@ mod tests {
         let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
         let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
         v.set_distribution(Distribution::Copy).unwrap();
-        let out = inc.call(&v, &Args::none()).unwrap();
+        let out = v.map(&inc).unwrap();
         assert_eq!(out.to_vec().unwrap(), vec![2.0f32; 4]);
         assert_eq!(out.distribution(), Distribution::Copy);
         let events = rt.drain_events();
@@ -414,7 +514,7 @@ mod tests {
         for devices in 1..=4 {
             let rt = init_gpus(devices);
             let square = Map::<i32, i32>::from_source("int func(int i) { return i * i; }");
-            let out = square.call_index(&rt, 10, &Args::none()).unwrap();
+            let out = square.run_index(&rt, 10).exec().unwrap();
             let expected: Vec<i32> = (0..10).map(|i| i * i).collect();
             // No host→device transfer may have happened: the indices are
             // generated on the devices.
@@ -434,20 +534,33 @@ mod tests {
     fn index_map_with_additional_arguments_and_native_udf() {
         let rt = init_gpus(3);
         // Source UDF with an extra scalar: out[i] = i * scale.
-        let scaled = Map::<i32, f32>::from_source(
-            "float func(int i, float scale) { return i * scale; }",
-        );
-        let out = scaled
-            .call_index(&rt, 7, &Args::new().with_f32(0.5))
-            .unwrap();
+        let scaled =
+            Map::<i32, f32>::from_source("float func(int i, float scale) { return i * scale; }");
+        let out = scaled.run_index(&rt, 7).arg(0.5f32).exec().unwrap();
         assert_eq!(
             out.to_vec().unwrap(),
             (0..7).map(|i| i as f32 * 0.5).collect::<Vec<_>>()
         );
         // Native UDF over the same range.
         let native = Map::<i32, i32>::new(|i, _| i + 100);
-        let out = native.call_index(&rt, 5, &Args::none()).unwrap();
+        let out = native.run_index(&rt, 5).exec().unwrap();
         assert_eq!(out.to_vec().unwrap(), vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn index_map_honours_device_selection() {
+        let rt = init_gpus(4);
+        let m = Map::<i32, i32>::from_source("int func(int i) { return i; }");
+        rt.drain_events();
+        let out = m
+            .run_index(&rt, 12)
+            .devices(DeviceSelection::Gpus(2))
+            .exec()
+            .unwrap();
+        assert_eq!(out.to_vec().unwrap(), (0..12).collect::<Vec<_>>());
+        let events = rt.drain_events();
+        assert_eq!(events[2].iter().filter(|e| e.is_kernel()).count(), 0);
+        assert_eq!(events[3].iter().filter(|e| e.is_kernel()).count(), 0);
     }
 
     #[test]
@@ -455,12 +568,12 @@ mod tests {
         let rt = init_gpus(1);
         let m = Map::<i32, i32>::from_source("int func(int i) { return i; }");
         assert!(matches!(
-            m.call_index(&rt, 0, &Args::none()),
+            m.run_index(&rt, 0).exec(),
             Err(SkelError::EmptyInput)
         ));
         let bad = Map::<i32, f32>::from_source("float func(float x) { return x; }");
         assert!(matches!(
-            bad.call_index(&rt, 4, &Args::none()),
+            bad.run_index(&rt, 4).exec(),
             Err(SkelError::UdfSignature(_))
         ));
     }
@@ -470,10 +583,7 @@ mod tests {
         let rt = init_gpus(1);
         let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
         let v = Vector::from_vec(&rt, Vec::<f32>::new());
-        assert!(matches!(
-            inc.call(&v, &Args::none()),
-            Err(SkelError::EmptyInput)
-        ));
+        assert!(matches!(v.map(&inc), Err(SkelError::EmptyInput)));
     }
 
     #[test]
@@ -481,18 +591,48 @@ mod tests {
         let rt = init_gpus(2);
         let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
         let v = Vector::from_vec(&rt, vec![0.0f32; 8]);
-        let a = inc.call(&v, &Args::none()).unwrap();
+        let a = v.map(&inc).unwrap();
         rt.drain_events();
-        let b = inc.call(&a, &Args::none()).unwrap();
+        let b = a.map(&inc).unwrap();
         // The second call must not transfer anything: its input already
         // resides on the devices (lazy transfers, paper Section II-B).
         let events = rt.drain_events();
-        let transfers: usize = events
-            .iter()
-            .flatten()
-            .filter(|e| e.is_transfer())
-            .count();
+        let transfers: usize = events.iter().flatten().filter(|e| e.is_transfer()).count();
         assert_eq!(transfers, 0, "chained skeletons must not move data");
         assert_eq!(b.to_vec().unwrap(), vec![2.0f32; 8]);
+    }
+
+    #[test]
+    fn deprecated_call_shim_still_works() {
+        #![allow(deprecated)]
+        let rt = init_gpus(2);
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
+        assert_eq!(
+            inc.call(&v, &Args::none()).unwrap().to_vec().unwrap(),
+            vec![2.0f32; 4]
+        );
+        let gen = Map::<i32, i32>::from_source("int func(int i) { return 2 * i; }");
+        assert_eq!(
+            gen.call_index(&rt, 3, &Args::none())
+                .unwrap()
+                .to_vec()
+                .unwrap(),
+            vec![0, 2, 4]
+        );
+    }
+
+    #[test]
+    fn run_into_reuses_the_output_vector() {
+        let rt = init_gpus(2);
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32; 8]);
+        let out = Vector::from_vec(&rt, vec![0.0f32; 8]);
+        out.copy_data_to_devices().unwrap();
+        inc.run(&v).run_into(&out).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![2.0f32; 8]);
+        // Repeat into the same target: steady state, buffers reused.
+        inc.run(&v).run_into(&out).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![2.0f32; 8]);
     }
 }

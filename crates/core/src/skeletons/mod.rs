@@ -7,16 +7,25 @@
 //! compiled at runtime, exactly as in the paper) or as a native Rust closure
 //! (used for application kernels too large for the kernel-language subset,
 //! such as the OSEM path tracer).
+//!
+//! Execution is uniform across all four skeletons: every one implements the
+//! [`Skeleton`] trait and is invoked through the fluent [`Launch`] builder
+//! returned by its `run` method — see the [`exec`] module for the shared
+//! prepare → partition → launch → combine pipeline.
 
+mod exec;
 mod map;
 mod reduce;
 mod scan;
 mod zip;
 
-pub use map::Map;
+pub use exec::{Launch, LaunchConfig, Skeleton};
+pub use map::{IndexLaunch, Map};
 pub use reduce::{Reduce, ReducePlan};
 pub use scan::{Scan, ScanTrace};
 pub use zip::Zip;
+
+pub(crate) use exec::{check_source_call, sequential_cost, PreparedCall};
 
 use std::sync::Arc;
 
@@ -89,7 +98,9 @@ impl DeviceScalar for u32 {
 
 /// Additional arguments resolved for one skeleton call: scalars converted to
 /// kernel values, vector arguments uploaded (lazily) according to their own
-/// distributions with their per-device buffers captured.
+/// distributions with their per-device buffers captured. The element types of
+/// vector arguments are already erased by [`crate::args::VectorArg`], so one
+/// code path covers every `Pod` element type, `f64` included.
 pub(crate) struct PreparedArgs {
     items: Vec<PreparedItem>,
 }
@@ -105,25 +116,12 @@ impl PreparedArgs {
         let mut items = Vec::with_capacity(args.len());
         for item in args.items() {
             match item {
-                ArgItem::Float(_) | ArgItem::Double(_) | ArgItem::Int(_) | ArgItem::Uint(_) => {
-                    items.push(PreparedItem::Scalar(
-                        item.scalar_value().expect("scalar item has a value"),
-                    ));
-                }
-                ArgItem::VecF32(v) => {
+                ArgItem::Scalar(v) => items.push(PreparedItem::Scalar(*v)),
+                ArgItem::Vector(v) => {
                     v.check_runtime(runtime)?;
-                    let (_, buffers) = v.prepare_on_devices()?;
-                    items.push(PreparedItem::Vector { buffers });
-                }
-                ArgItem::VecI32(v) => {
-                    v.check_runtime(runtime)?;
-                    let (_, buffers) = v.prepare_on_devices()?;
-                    items.push(PreparedItem::Vector { buffers });
-                }
-                ArgItem::VecU32(v) => {
-                    v.check_runtime(runtime)?;
-                    let (_, buffers) = v.prepare_on_devices()?;
-                    items.push(PreparedItem::Vector { buffers });
+                    items.push(PreparedItem::Vector {
+                        buffers: v.prepare_buffers()?,
+                    });
                 }
             }
         }
@@ -178,14 +176,15 @@ pub(crate) fn alloc_output<T: Pod>(
 }
 
 /// The per-element cost estimate of a source user-defined function, used to
-/// override launch cost hints for the sequential reduce/scan kernels.
+/// override launch cost hints for the sequential reduce/scan kernels. The
+/// UDF is resolved by the same rule kernel generation uses
+/// ([`crate::kernelgen::resolve_udf`]) — the function that is compiled is
+/// the function that is costed — and ambiguous sources are rejected with a
+/// clear error rather than silently costing the wrong function.
 pub(crate) fn udf_cost_estimate(source: &str) -> Result<CostHint> {
     let tokens = skelcl_kernel::lexer::lex(source)?;
     let unit = skelcl_kernel::parser::parse(&tokens, source)?;
-    let func = unit
-        .functions
-        .last()
-        .ok_or_else(|| SkelError::UdfSignature("empty user function source".into()))?;
+    let func = crate::kernelgen::resolve_udf(&unit, "user function source")?;
     let est = skelcl_kernel::cost::estimate_function(&unit, func);
     Ok(CostHint::new(est.flops.max(1.0), est.global_bytes.max(8.0)))
 }
@@ -212,7 +211,7 @@ mod tests {
         let img = Vector::from_vec(&rt, vec![1.0f32; 8]);
         img.set_distribution(crate::distribution::Distribution::Copy)
             .unwrap();
-        let args = Args::new().with_f32(3.0).with_vec_f32(&img).with_i32(5);
+        let args = Args::new().arg(3.0f32).arg(&img).arg(5i32);
         let prepared = PreparedArgs::prepare(&rt, &args).unwrap();
         assert_eq!(prepared.len(), 3);
         assert!(prepared.has_vectors());
@@ -224,12 +223,27 @@ mod tests {
     }
 
     #[test]
+    fn prepared_args_accept_f64_vectors() {
+        let rt = init_gpus(2);
+        let table = Vector::from_vec(&rt, vec![1.0f64; 4]);
+        table
+            .set_distribution(crate::distribution::Distribution::Copy)
+            .unwrap();
+        let prepared = PreparedArgs::prepare(&rt, &crate::args![&table]).unwrap();
+        assert!(prepared.has_vectors());
+        assert!(matches!(
+            prepared.kernel_args_for(0).unwrap()[0],
+            KernelArg::Buffer(_)
+        ));
+    }
+
+    #[test]
     fn prepared_args_reject_missing_device_copy() {
         let rt = init_gpus(2);
         let img = Vector::from_vec(&rt, vec![1.0f32; 8]);
         img.set_distribution(crate::distribution::Distribution::Single(0))
             .unwrap();
-        let args = Args::new().with_vec_f32(&img);
+        let args = Args::new().arg(&img);
         let prepared = PreparedArgs::prepare(&rt, &args).unwrap();
         assert!(prepared.kernel_args_for(0).is_ok());
         assert!(prepared.kernel_args_for(1).is_err());
@@ -240,6 +254,41 @@ mod tests {
         let c = udf_cost_estimate("float f(float a, float b) { return a + b; }").unwrap();
         assert!(c.flops_per_item >= 1.0);
         assert!(udf_cost_estimate("").is_err());
+    }
+
+    #[test]
+    fn udf_cost_resolves_the_function_named_func_among_helpers() {
+        // The helper is heavy, the UDF trivial: the estimate must cost the
+        // function named `func`, not whichever happens to come last.
+        let helper_last = r#"
+            float func(float a, float b) { return a + b; }
+            float heavy_helper(float x) {
+                float acc = x;
+                for (int i = 0; i < 100; i++) { acc = acc * 1.5f + 2.0f; }
+                return acc;
+            }
+        "#;
+        let c = udf_cost_estimate(helper_last).unwrap();
+        assert!(
+            c.flops_per_item < 50.0,
+            "cost {0} must reflect `func`, not the trailing helper",
+            c.flops_per_item
+        );
+    }
+
+    #[test]
+    fn udf_cost_rejects_ambiguous_sources_with_a_clear_error() {
+        let no_func_name = r#"
+            float alpha(float a, float b) { return a + b; }
+            float beta(float a, float b) { return a * b; }
+        "#;
+        match udf_cost_estimate(no_func_name) {
+            Err(SkelError::UdfSignature(msg)) => {
+                assert!(msg.contains("alpha") && msg.contains("beta"), "{msg}");
+                assert!(msg.contains("func"), "{msg}");
+            }
+            other => panic!("expected a UdfSignature error, got {other:?}"),
+        }
     }
 
     #[test]

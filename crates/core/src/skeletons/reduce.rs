@@ -7,7 +7,11 @@
 //! 2. the per-GPU results are gathered by the CPU,
 //! 3. the CPU reduces the intermediate results into the final value.
 //!
-//! The output is a single-element vector with single distribution.
+//! With a scheduler attached to the launch
+//! (`sum.run(&v).scheduler(&s).chunks(8).scalar_with_plan()`), the
+//! Section V strategy is used instead: each device produces an intermediate
+//! result vector, and the scheduler decides whether the final combination
+//! runs on the host CPU or on the fastest device.
 
 use std::sync::Arc;
 
@@ -18,7 +22,9 @@ use oclsim::{CostHint, KernelArg, NativeKernelDef, Program, Value};
 use crate::distribution::Distribution;
 use crate::error::{Result, SkelError};
 use crate::kernelgen::{self, UdfInfo};
-use crate::skeletons::{udf_cost_estimate, DeviceScalar};
+use crate::skeletons::{
+    sequential_cost, udf_cost_estimate, DeviceScalar, Launch, LaunchConfig, PreparedCall, Skeleton,
+};
 use crate::vector::Vector;
 
 enum ReduceUdf<T> {
@@ -36,7 +42,7 @@ struct BuiltSource {
 
 /// How a scheduler-aware reduction (Section V) was executed: how many
 /// intermediate results the devices produced and where the final reduction
-/// ran. Returned by [`Reduce::reduce_with_scheduler`] so applications and
+/// ran. Returned by the `scalar_with_plan` terminal form so applications and
 /// tests can inspect the decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReducePlan {
@@ -57,7 +63,9 @@ pub struct ReducePlan {
 /// let rt = skelcl::init_gpus(4);
 /// let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
 /// let v = Vector::from_vec(&rt, (1..=16).map(|i| i as f32).collect());
-/// assert_eq!(sum.reduce_value(&v).unwrap(), 136.0);
+/// assert_eq!(sum.run(&v).scalar().unwrap(), 136.0);
+/// // Or through the fluent vector pipeline:
+/// assert_eq!(v.reduce(&sum).unwrap(), 136.0);
 /// ```
 pub struct Reduce<T: DeviceScalar> {
     udf: ReduceUdf<T>,
@@ -96,6 +104,13 @@ impl<T: DeviceScalar> Reduce<T> {
         self
     }
 
+    /// Begin a launch of this skeleton over `input`:
+    /// `sum.run(&v).scalar()?`, `sum.run(&v).into_vector()?`, or the
+    /// scheduler-aware `sum.run(&v).scheduler(&s).chunks(8).scalar_with_plan()?`.
+    pub fn run<'a>(&'a self, input: &Vector<T>) -> Launch<'a, Self> {
+        Launch::new(self, input.clone())
+    }
+
     fn ensure_built(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<Arc<BuiltSource>> {
         let mut built = self.built.lock();
         if let Some(b) = built.as_ref() {
@@ -118,7 +133,10 @@ impl<T: DeviceScalar> Reduce<T> {
         Ok(b)
     }
 
-    fn ensure_built_chunked(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<oclsim::Kernel> {
+    fn ensure_built_chunked(
+        &self,
+        runtime: &Arc<crate::runtime::SkelCl>,
+    ) -> Result<oclsim::Kernel> {
         let mut built = self.built_chunked.lock();
         if let Some(k) = built.as_ref() {
             return Ok(k.clone());
@@ -283,29 +301,23 @@ impl<T: DeviceScalar> Reduce<T> {
         }
     }
 
-    /// Execute the skeleton and return the single-element result vector
-    /// (single-distributed, as the paper specifies).
-    pub fn call(&self, input: &Vector<T>) -> Result<Vector<T>> {
-        let value = self.reduce_value(input)?;
-        let runtime = input.runtime();
-        let out = Vector::from_vec(&runtime, vec![value]);
-        out.set_distribution(Distribution::Single(0))?;
-        Ok(out)
-    }
-
-    /// Execute the skeleton and return the reduced value directly.
-    pub fn reduce_value(&self, input: &Vector<T>) -> Result<T> {
-        let runtime = input.runtime();
-        runtime.charge_skeleton_call();
-        if input.is_empty() {
-            return Err(SkelError::EmptyInput);
+    /// The plain three-step reduction (Section III-C).
+    fn execute_plain(&self, input: &Vector<T>, cfg: &LaunchConfig<'_>) -> Result<T> {
+        let call = PreparedCall::single(input, cfg, None)?;
+        if call.prepared_args.len() != 0 {
+            return Err(SkelError::UnsupportedArg(
+                "the reduce skeleton's binary operator takes no additional arguments".into(),
+            ));
         }
-        let (partition, in_buffers) = input.prepare_on_devices()?;
 
         let (kernel, built, per_element_cost) = match &self.udf {
             ReduceUdf::Source(_) => {
-                let built = self.ensure_built(&runtime)?;
-                (built.kernel.clone(), Some(built.clone()), built.per_element_cost)
+                let built = self.ensure_built(&call.runtime)?;
+                (
+                    built.kernel.clone(),
+                    Some(built.clone()),
+                    built.per_element_cost,
+                )
             }
             ReduceUdf::Native(_) => (
                 self.native_kernel()
@@ -316,17 +328,12 @@ impl<T: DeviceScalar> Reduce<T> {
         };
 
         // Step 1: local reductions on every device that holds a part.
+        let runtime = &call.runtime;
         let mut partial_buffers = Vec::new();
-        for device in partition.active_devices() {
-            let n = partition.size(device);
-            let in_buffer = in_buffers[device].clone().ok_or_else(|| {
-                SkelError::Distribution(format!("input vector has no buffer on device {device}"))
-            })?;
+        for device in call.partition.active_devices() {
+            let n = call.partition.size(device);
+            let in_buffer = call.input_buffer(device)?;
             let out_buffer = runtime.context().create_buffer::<T>(device, 1)?;
-            let total_cost = CostHint::new(
-                per_element_cost.flops_per_item * n as f64,
-                per_element_cost.bytes_per_item.max(4.0) * n as f64,
-            );
             runtime.queue(device).enqueue_kernel_with_cost(
                 &kernel,
                 1,
@@ -335,7 +342,7 @@ impl<T: DeviceScalar> Reduce<T> {
                     KernelArg::Buffer(out_buffer.clone()),
                     KernelArg::Scalar(Value::Int(n as i32)),
                 ],
-                total_cost,
+                sequential_cost(per_element_cost, n, 4.0),
             )?;
             partial_buffers.push((device, out_buffer));
         }
@@ -345,7 +352,9 @@ impl<T: DeviceScalar> Reduce<T> {
         let mut partials = Vec::with_capacity(partial_buffers.len());
         for (device, buffer) in &partial_buffers {
             let mut one = [T::from_value(Value::Int(0)); 1];
-            runtime.queue(*device).enqueue_read_buffer(buffer, &mut one)?;
+            runtime
+                .queue(*device)
+                .enqueue_read_buffer(buffer, &mut one)?;
             partials.push(one[0]);
             runtime.context().release_buffer(buffer)?;
         }
@@ -358,34 +367,33 @@ impl<T: DeviceScalar> Reduce<T> {
     ///
     /// Instead of folding each device's part down to a single value, every
     /// device produces an *intermediate result vector* of up to
-    /// `chunks_per_device` partial results (one per chunk of its part). The
-    /// gathered intermediates are then reduced either on the host CPU or on
-    /// the device the [`StaticScheduler`] predicts to be fastest — the paper
-    /// notes that "CPUs will be faster to perform the final reduction of
-    /// these vectors than GPUs which provide poor performance when reducing
-    /// only few elements", and that deciding this requires a scheduling
-    /// mechanism.
-    ///
-    /// Returns the reduced value together with the [`ReducePlan`] describing
-    /// the decision that was taken.
-    pub fn reduce_with_scheduler(
+    /// `cfg.chunks_per_device` partial results (one per chunk of its part).
+    /// The gathered intermediates are then reduced either on the host CPU or
+    /// on the device the scheduler predicts to be fastest — the paper notes
+    /// that "CPUs will be faster to perform the final reduction of these
+    /// vectors than GPUs which provide poor performance when reducing only
+    /// few elements".
+    fn execute_scheduled(
         &self,
         input: &Vector<T>,
-        scheduler: &crate::scheduler::StaticScheduler,
-        chunks_per_device: usize,
+        cfg: &LaunchConfig<'_>,
     ) -> Result<(T, ReducePlan)> {
-        let runtime = input.runtime();
-        runtime.charge_skeleton_call();
-        if input.is_empty() {
-            return Err(SkelError::EmptyInput);
+        let scheduler = cfg
+            .scheduler
+            .expect("execute_scheduled requires a scheduler");
+        let chunks_per_device = cfg.chunks_per_device.max(1);
+        let call = PreparedCall::single(input, cfg, None)?;
+        if call.prepared_args.len() != 0 {
+            return Err(SkelError::UnsupportedArg(
+                "the reduce skeleton's binary operator takes no additional arguments".into(),
+            ));
         }
-        let chunks_per_device = chunks_per_device.max(1);
-        let (partition, in_buffers) = input.prepare_on_devices()?;
+        let runtime = &call.runtime;
 
         let (chunked_kernel, built, per_element_cost) = match &self.udf {
             ReduceUdf::Source(_) => {
-                let built = self.ensure_built(&runtime)?;
-                let chunked = self.ensure_built_chunked(&runtime)?;
+                let built = self.ensure_built(runtime)?;
+                let chunked = self.ensure_built_chunked(runtime)?;
                 (chunked, Some(built.clone()), built.per_element_cost)
             }
             ReduceUdf::Native(_) => (
@@ -399,18 +407,12 @@ impl<T: DeviceScalar> Reduce<T> {
         // Step 1: chunked local reductions — each device leaves an
         // intermediate result vector on its own memory.
         let mut partial_buffers = Vec::new();
-        for device in partition.active_devices() {
-            let n = partition.size(device);
+        for device in call.partition.active_devices() {
+            let n = call.partition.size(device);
             let chunks = chunks_per_device.min(n);
             let chunk_size = n.div_ceil(chunks);
-            let in_buffer = in_buffers[device].clone().ok_or_else(|| {
-                SkelError::Distribution(format!("input vector has no buffer on device {device}"))
-            })?;
+            let in_buffer = call.input_buffer(device)?;
             let out_buffer = runtime.context().create_buffer::<T>(device, chunks)?;
-            let per_item_cost = CostHint::new(
-                per_element_cost.flops_per_item * chunk_size as f64,
-                per_element_cost.bytes_per_item.max(4.0) * chunk_size as f64,
-            );
             runtime.queue(device).enqueue_kernel_with_cost(
                 &chunked_kernel,
                 chunks,
@@ -420,7 +422,7 @@ impl<T: DeviceScalar> Reduce<T> {
                     KernelArg::Scalar(Value::Int(n as i32)),
                     KernelArg::Scalar(Value::Int(chunk_size as i32)),
                 ],
-                per_item_cost,
+                sequential_cost(per_element_cost, chunk_size, 4.0),
             )?;
             partial_buffers.push((device, out_buffer, chunks));
         }
@@ -430,7 +432,9 @@ impl<T: DeviceScalar> Reduce<T> {
         let mut partials = Vec::new();
         for (device, buffer, chunks) in &partial_buffers {
             let mut part = vec![T::from_value(Value::Int(0)); *chunks];
-            runtime.queue(*device).enqueue_read_buffer(buffer, &mut part)?;
+            runtime
+                .queue(*device)
+                .enqueue_read_buffer(buffer, &mut part)?;
             partials.extend_from_slice(&part);
             runtime.context().release_buffer(buffer)?;
         }
@@ -468,10 +472,6 @@ impl<T: DeviceScalar> Reduce<T> {
             .create_buffer::<T>(final_device, partials.len())?;
         queue.enqueue_write_buffer(&in_buffer, &partials)?;
         let out_buffer = runtime.context().create_buffer::<T>(final_device, 1)?;
-        let total_cost = CostHint::new(
-            per_element_cost.flops_per_item * partials.len() as f64,
-            per_element_cost.bytes_per_item.max(4.0) * partials.len() as f64,
-        );
         queue.enqueue_kernel_with_cost(
             &final_kernel,
             1,
@@ -480,7 +480,7 @@ impl<T: DeviceScalar> Reduce<T> {
                 KernelArg::Buffer(out_buffer.clone()),
                 KernelArg::Scalar(Value::Int(partials.len() as i32)),
             ],
-            total_cost,
+            sequential_cost(per_element_cost, partials.len(), 4.0),
         )?;
         let mut one = [T::from_value(Value::Int(0)); 1];
         queue.enqueue_read_buffer(&out_buffer, &mut one)?;
@@ -488,12 +488,103 @@ impl<T: DeviceScalar> Reduce<T> {
         runtime.context().release_buffer(&out_buffer)?;
         Ok((one[0], plan))
     }
+
+    /// Execute the skeleton and return the single-element result vector
+    /// (single-distributed, as the paper specifies).
+    #[deprecated(since = "0.2.0", note = "use `run(&input).into_vector()`")]
+    pub fn call(&self, input: &Vector<T>) -> Result<Vector<T>> {
+        self.run(input).into_vector()
+    }
+
+    /// Execute the skeleton and return the reduced value directly.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(&input).scalar()` or `input.reduce(&sk)`"
+    )]
+    pub fn reduce_value(&self, input: &Vector<T>) -> Result<T> {
+        self.execute_plain(input, &LaunchConfig::default())
+    }
+
+    /// The scheduler-aware multi-stage reduction of Section V of the paper.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(&input).scheduler(&s).chunks(n).scalar_with_plan()`"
+    )]
+    pub fn reduce_with_scheduler(
+        &self,
+        input: &Vector<T>,
+        scheduler: &crate::scheduler::StaticScheduler,
+        chunks_per_device: usize,
+    ) -> Result<(T, ReducePlan)> {
+        let cfg = LaunchConfig {
+            scheduler: Some(scheduler),
+            chunks_per_device: chunks_per_device.max(1),
+            ..LaunchConfig::default()
+        };
+        self.execute_scheduled(input, &cfg)
+    }
+}
+
+impl<T: DeviceScalar> Skeleton for Reduce<T> {
+    type Input = Vector<T>;
+    type Output = T;
+
+    fn name(&self) -> &'static str {
+        "reduce"
+    }
+
+    fn execute(&self, input: &Vector<T>, cfg: &LaunchConfig<'_>) -> Result<T> {
+        if cfg.scheduler.is_some() {
+            Ok(self.execute_scheduled(input, cfg)?.0)
+        } else {
+            self.execute_plain(input, cfg)
+        }
+    }
+}
+
+impl<T: DeviceScalar> Launch<'_, Reduce<T>> {
+    /// Execute and return the reduced value (alias of [`Launch::exec`]).
+    pub fn scalar(self) -> Result<T> {
+        self.exec()
+    }
+
+    /// Execute and return the reduced value together with the
+    /// [`ReducePlan`] describing how the reduction was scheduled. Without an
+    /// attached scheduler the plan reflects the plain three-step strategy
+    /// (final combination on the CPU).
+    pub fn scalar_with_plan(self) -> Result<(T, ReducePlan)> {
+        if self.cfg.scheduler.is_some() {
+            return self.skeleton.execute_scheduled(&self.input, &self.cfg);
+        }
+        // The plain strategy gathers one partial per active device and
+        // always finishes on the CPU.
+        let value = self.skeleton.execute_plain(&self.input, &self.cfg)?;
+        let actives = self.input.sizes().iter().filter(|&&s| s > 0).count();
+        Ok((
+            value,
+            ReducePlan {
+                intermediate_results: actives,
+                final_device: 0,
+                final_on_cpu: true,
+            },
+        ))
+    }
+
+    /// Execute and wrap the reduced value in a single-element,
+    /// single-distributed vector (the paper's output shape).
+    pub fn into_vector(self) -> Result<Vector<T>> {
+        let input = self.input.clone();
+        let value = self.exec()?;
+        let runtime = input.runtime();
+        let out = Vector::from_vec(&runtime, vec![value]);
+        out.set_distribution(Distribution::Single(0))?;
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::Args;
     use crate::runtime::init_gpus;
     use crate::skeletons::Map;
 
@@ -507,7 +598,7 @@ mod tests {
             let rt = init_gpus(devices);
             let sum = Reduce::<f32>::from_source(ADD);
             let v = Vector::from_vec(&rt, data.clone());
-            assert_eq!(sum.reduce_value(&v).unwrap(), expected, "devices = {devices}");
+            assert_eq!(v.reduce(&sum).unwrap(), expected, "devices = {devices}");
         }
     }
 
@@ -521,7 +612,12 @@ mod tests {
             let scheduler = StaticScheduler::analytical(&rt);
             let sum = Reduce::<f32>::from_source(ADD);
             let v = Vector::from_vec(&rt, data.clone());
-            let (value, plan) = sum.reduce_with_scheduler(&v, &scheduler, 8).unwrap();
+            let (value, plan) = sum
+                .run(&v)
+                .scheduler(&scheduler)
+                .chunks(8)
+                .scalar_with_plan()
+                .unwrap();
             assert_eq!(value, expected, "devices = {devices}");
             assert!(plan.intermediate_results >= devices);
             assert!(plan.intermediate_results <= 8 * devices);
@@ -540,7 +636,12 @@ mod tests {
         let scheduler = StaticScheduler::analytical(&rt);
         let max = Reduce::<i32>::new(|a, b| a.max(b));
         let v = Vector::from_vec(&rt, (0..3000).map(|i| (i * 37) % 1009).collect());
-        let (value, plan) = max.reduce_with_scheduler(&v, &scheduler, 4).unwrap();
+        let (value, plan) = max
+            .run(&v)
+            .scheduler(&scheduler)
+            .chunks(4)
+            .scalar_with_plan()
+            .unwrap();
         assert_eq!(value, (0..3000).map(|i| (i * 37) % 1009).max().unwrap());
         assert!(
             plan.final_on_cpu,
@@ -556,9 +657,25 @@ mod tests {
         let sum = Reduce::<i32>::new(|a, b| a + b);
         let v = Vector::from_vec(&rt, (1..=100).collect());
         // chunks_per_device = 1 degenerates to the plain three-step strategy.
-        let (value, plan) = sum.reduce_with_scheduler(&v, &scheduler, 1).unwrap();
+        let (value, plan) = sum
+            .run(&v)
+            .scheduler(&scheduler)
+            .chunks(1)
+            .scalar_with_plan()
+            .unwrap();
         assert_eq!(value, 5050);
         assert_eq!(plan.intermediate_results, 2);
+    }
+
+    #[test]
+    fn plan_without_scheduler_reports_the_plain_strategy() {
+        let rt = init_gpus(3);
+        let sum = Reduce::<i32>::new(|a, b| a + b);
+        let v = Vector::from_vec(&rt, (1..=30).collect());
+        let (value, plan) = sum.run(&v).scalar_with_plan().unwrap();
+        assert_eq!(value, 465);
+        assert!(plan.final_on_cpu);
+        assert_eq!(plan.intermediate_results, 3);
     }
 
     #[test]
@@ -566,7 +683,7 @@ mod tests {
         let rt = init_gpus(3);
         let max = Reduce::<i32>::new(|a, b| a.max(b));
         let v = Vector::from_vec(&rt, vec![3, -1, 42, 17, 0, 41]);
-        assert_eq!(max.reduce_value(&v).unwrap(), 42);
+        assert_eq!(v.reduce(&max).unwrap(), 42);
     }
 
     #[test]
@@ -575,16 +692,14 @@ mod tests {
         // point here is ordering: left-to-right folding over device
         // boundaries must equal the sequential left-to-right fold.
         let data: Vec<f32> = (1..=64).map(|i| (i % 7) as f32).collect();
-        let sequential = data[1..]
-            .iter()
-            .fold(data[0], |acc, x| acc - x);
+        let sequential = data[1..].iter().fold(data[0], |acc, x| acc - x);
         for devices in 1..=1 {
             // Subtraction is non-associative, so only the single-device case
             // must match the sequential fold exactly.
             let rt = init_gpus(devices);
             let sub = Reduce::<f32>::new(|a, b| a - b);
             let v = Vector::from_vec(&rt, data.clone());
-            assert_eq!(sub.reduce_value(&v).unwrap(), sequential);
+            assert_eq!(v.reduce(&sub).unwrap(), sequential);
         }
         // Right projection f(a, b) = b is associative and non-commutative:
         // under the required left-to-right combination order the result is
@@ -592,17 +707,16 @@ mod tests {
         let values: Vec<f32> = (1..=23).map(|i| i as f32).collect();
         for devices in 1..=4 {
             let rt = init_gpus(devices);
-            let last =
-                Reduce::<f32>::from_source("float func(float a, float b) { return b; }");
+            let last = Reduce::<f32>::from_source("float func(float a, float b) { return b; }");
             let v = Vector::from_vec(&rt, values.clone());
-            assert_eq!(last.reduce_value(&v).unwrap(), 23.0, "devices = {devices}");
+            assert_eq!(v.reduce(&last).unwrap(), 23.0, "devices = {devices}");
         }
         // First projection must symmetrically give the first element.
         for devices in 1..=4 {
             let rt = init_gpus(devices);
             let first = Reduce::<f32>::new(|a, _b| a);
             let v = Vector::from_vec(&rt, values.clone());
-            assert_eq!(first.reduce_value(&v).unwrap(), 1.0, "devices = {devices}");
+            assert_eq!(v.reduce(&first).unwrap(), 1.0, "devices = {devices}");
         }
     }
 
@@ -611,7 +725,7 @@ mod tests {
         let rt = init_gpus(2);
         let sum = Reduce::<f32>::from_source(ADD);
         let v = Vector::from_vec(&rt, vec![1.0f32; 10]);
-        let out = sum.call(&v).unwrap();
+        let out = sum.run(&v).into_vector().unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.distribution(), Distribution::Single(0));
         assert_eq!(out.to_vec().unwrap(), vec![10.0]);
@@ -622,22 +736,39 @@ mod tests {
         let rt = init_gpus(4);
         let sum = Reduce::<f32>::from_source(ADD);
         let v = Vector::from_vec(&rt, vec![7.0f32]);
-        assert_eq!(sum.reduce_value(&v).unwrap(), 7.0);
+        assert_eq!(v.reduce(&sum).unwrap(), 7.0);
     }
 
     #[test]
-    fn reduce_rejects_empty_input_and_bad_udf() {
+    fn reduce_rejects_empty_input_bad_udf_and_extra_args() {
         let rt = init_gpus(1);
         let sum = Reduce::<f32>::from_source(ADD);
         let empty = Vector::from_vec(&rt, Vec::<f32>::new());
-        assert!(matches!(sum.reduce_value(&empty), Err(SkelError::EmptyInput)));
+        assert!(matches!(empty.reduce(&sum), Err(SkelError::EmptyInput)));
 
         let bad = Reduce::<f32>::from_source("float func(float a) { return a; }");
         let v = Vector::from_vec(&rt, vec![1.0f32, 2.0]);
+        assert!(matches!(v.reduce(&bad), Err(SkelError::UdfSignature(_))));
+
+        // The binary operator takes no additional arguments.
         assert!(matches!(
-            bad.reduce_value(&v),
-            Err(SkelError::UdfSignature(_))
+            sum.run(&v).arg(1.0f32).scalar(),
+            Err(SkelError::UnsupportedArg(_))
         ));
+    }
+
+    #[test]
+    fn deprecated_reduce_shims_still_work() {
+        #![allow(deprecated)]
+        use crate::scheduler::StaticScheduler;
+        let rt = init_gpus(2);
+        let sum = Reduce::<i32>::new(|a, b| a + b);
+        let v = Vector::from_vec(&rt, (1..=10).collect());
+        assert_eq!(sum.reduce_value(&v).unwrap(), 55);
+        assert_eq!(sum.call(&v).unwrap().to_vec().unwrap(), vec![55]);
+        let scheduler = StaticScheduler::analytical(&rt);
+        let (value, _) = sum.reduce_with_scheduler(&v, &scheduler, 2).unwrap();
+        assert_eq!(value, 55);
     }
 
     #[test]
@@ -649,9 +780,9 @@ mod tests {
         let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
         let sum = Reduce::<f32>::from_source(ADD);
         let v = Vector::from_vec(&rt, (1..=8).map(|i| i as f32).collect());
-        let squared = square.call(&v, &Args::none()).unwrap();
+        let squared = v.map(&square).unwrap();
         rt.drain_events();
-        let result = sum.reduce_value(&squared).unwrap();
+        let result = squared.reduce(&sum).unwrap();
         assert_eq!(result, 204.0);
         let events = rt.drain_events();
         let uploads: usize = events
@@ -659,6 +790,9 @@ mod tests {
             .flatten()
             .filter(|e| matches!(e.kind, oclsim::CommandKind::WriteBuffer))
             .count();
-        assert_eq!(uploads, 0, "reduce must reuse the map's device-resident output");
+        assert_eq!(
+            uploads, 0,
+            "reduce must reuse the map's device-resident output"
+        );
     }
 }

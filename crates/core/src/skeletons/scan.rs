@@ -20,7 +20,9 @@ use oclsim::{CostHint, KernelArg, NativeKernelDef, Program, Value};
 use crate::distribution::Distribution;
 use crate::error::{Result, SkelError};
 use crate::kernelgen::{self, UdfInfo};
-use crate::skeletons::{alloc_output, udf_cost_estimate, DeviceScalar};
+use crate::skeletons::{
+    sequential_cost, udf_cost_estimate, DeviceScalar, Launch, LaunchConfig, PreparedCall, Skeleton,
+};
 use crate::vector::Vector;
 
 enum ScanUdf<T> {
@@ -36,6 +38,8 @@ struct BuiltSource {
 
 /// Intermediate state of one multi-device scan: exposed so that tests and the
 /// Figure 2 example can show the per-stage values exactly as the paper does.
+/// Produced by the `trace` terminal form:
+/// `scan.run(&v).trace()?`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScanTrace<T> {
     /// The local (per-device) scan results before offsets are applied —
@@ -54,7 +58,7 @@ pub struct ScanTrace<T> {
 /// let rt = skelcl::init_gpus(4);
 /// let prefix_sum = Scan::<f32>::from_source("float func(float a, float b) { return a + b; }");
 /// let v = Vector::from_vec(&rt, (1..=16).map(|i| i as f32).collect());
-/// let out = prefix_sum.call(&v).unwrap();
+/// let out = v.scan(&prefix_sum).unwrap();
 /// assert_eq!(out.to_vec().unwrap().last().copied(), Some(136.0));
 /// ```
 pub struct Scan<T: DeviceScalar> {
@@ -89,6 +93,20 @@ impl<T: DeviceScalar> Scan<T> {
     pub fn with_cost(mut self, cost: CostHint) -> Self {
         self.cost = cost;
         self
+    }
+
+    /// Begin a launch of this skeleton over `input`:
+    /// `scan.run(&v).exec()?` or `scan.run(&v).trace()?`.
+    pub fn run<'a>(&'a self, input: &Vector<T>) -> Launch<'a, Self> {
+        Launch::new(self, input.clone())
+    }
+
+    /// The per-element cost used for scheduler-weighted partitioning.
+    fn scheduler_cost(&self) -> CostHint {
+        match &self.udf {
+            ScanUdf::Source(src) => udf_cost_estimate(src).unwrap_or(self.cost),
+            ScanUdf::Native(_) => self.cost,
+        }
     }
 
     fn ensure_built(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<Arc<BuiltSource>> {
@@ -138,7 +156,9 @@ impl<T: DeviceScalar> Scan<T> {
             }
             Ok(())
         });
-        Program::from_native([def]).kernel("skelcl_scan_native").ok()
+        Program::from_native([def])
+            .kernel("skelcl_scan_native")
+            .ok()
     }
 
     fn native_offset_kernel(&self, offset: T) -> Option<oclsim::Kernel> {
@@ -170,8 +190,6 @@ impl<T: DeviceScalar> Scan<T> {
                 // user operator through the same generated kernel used on the
                 // devices, over a two-element array.
                 let _ = built;
-                // Falling back to a tiny device-free evaluation: run the scan
-                // kernel over [a, b] and take the last element.
                 let src = match &self.udf {
                     ScanUdf::Source(s) => s.clone(),
                     ScanUdf::Native(_) => unreachable!(),
@@ -181,43 +199,35 @@ impl<T: DeviceScalar> Scan<T> {
         }
     }
 
-    /// Execute the skeleton and also return the per-stage trace of Figure 2.
-    pub fn call_with_trace(&self, input: &Vector<T>) -> Result<(Vector<T>, ScanTrace<T>)> {
-        let (output, trace) = self.run(input, true)?;
-        Ok((output, trace.expect("trace requested")))
-    }
-
-    /// Execute the skeleton.
-    pub fn call(&self, input: &Vector<T>) -> Result<Vector<T>> {
-        self.run(input, false).map(|(v, _)| v)
-    }
-
-    /// The shared implementation of [`Scan::call`] and
-    /// [`Scan::call_with_trace`]. When no trace is requested, only the *last*
-    /// element of each device's local scan — its total — is downloaded
-    /// between the two steps, exactly the marked values of Figure 2; the full
-    /// parts stay on their devices.
-    fn run(
+    /// The shared implementation behind every terminal form. When no trace
+    /// is requested, only the *last* element of each device's local scan —
+    /// its total — is downloaded between the two steps, exactly the marked
+    /// values of Figure 2; the full parts stay on their devices.
+    fn execute_scan(
         &self,
         input: &Vector<T>,
+        cfg: &LaunchConfig<'_>,
         want_trace: bool,
+        reuse: Option<&Vector<T>>,
     ) -> Result<(Vector<T>, Option<ScanTrace<T>>)> {
-        let runtime = input.runtime();
-        runtime.charge_skeleton_call();
-        if input.is_empty() {
-            return Err(SkelError::EmptyInput);
-        }
         // Copy distribution makes no sense for a prefix computation; the
         // paper's scan assumes block distribution by default.
         if input.distribution() == Distribution::Copy {
             input.set_distribution(Distribution::Block)?;
         }
-        let (partition, in_buffers) = input.prepare_on_devices()?;
-        let out_buffers = alloc_output::<T>(&runtime, &partition)?;
+        let scheduler_cost = cfg.scheduler.map(|_| self.scheduler_cost());
+        let call = PreparedCall::single(input, cfg, scheduler_cost)?;
+        if call.prepared_args.len() != 0 {
+            return Err(SkelError::UnsupportedArg(
+                "the scan skeleton's binary operator takes no additional arguments".into(),
+            ));
+        }
+        let runtime = &call.runtime;
+        let out_buffers = call.output_buffers::<T>(reuse)?;
 
         let (scan_kernel, built, per_element_cost) = match &self.udf {
             ScanUdf::Source(_) => {
-                let built = self.ensure_built(&runtime)?;
+                let built = self.ensure_built(runtime)?;
                 (
                     built.scan_kernel.clone(),
                     Some(built.clone()),
@@ -233,17 +243,11 @@ impl<T: DeviceScalar> Scan<T> {
         };
 
         // Step 1: local scans.
-        let active = partition.active_devices();
+        let active = call.partition.active_devices();
         for &device in &active {
-            let n = partition.size(device);
-            let in_buffer = in_buffers[device].clone().ok_or_else(|| {
-                SkelError::Distribution(format!("input vector has no buffer on device {device}"))
-            })?;
+            let n = call.partition.size(device);
+            let in_buffer = call.input_buffer(device)?;
             let out_buffer = out_buffers[device].clone().expect("allocated above");
-            let total_cost = CostHint::new(
-                per_element_cost.flops_per_item * n as f64,
-                per_element_cost.bytes_per_item.max(8.0) * n as f64,
-            );
             runtime.queue(device).enqueue_kernel_with_cost(
                 &scan_kernel,
                 1,
@@ -252,7 +256,7 @@ impl<T: DeviceScalar> Scan<T> {
                     KernelArg::Buffer(out_buffer),
                     KernelArg::Scalar(Value::Int(n as i32)),
                 ],
-                total_cost,
+                sequential_cost(per_element_cost, n, 8.0),
             )?;
         }
 
@@ -262,7 +266,7 @@ impl<T: DeviceScalar> Scan<T> {
         let mut totals = Vec::with_capacity(active.len());
         let mut local_scans = Vec::with_capacity(active.len());
         for &device in &active {
-            let n = partition.size(device);
+            let n = call.partition.size(device);
             let out_buffer = out_buffers[device].as_ref().expect("allocated above");
             if want_trace {
                 let mut part = vec![T::from_value(Value::Int(0)); n];
@@ -296,7 +300,7 @@ impl<T: DeviceScalar> Scan<T> {
                 continue;
             }
             let offset = offsets[i].expect("set above for i > 0");
-            let n = partition.size(device);
+            let n = call.partition.size(device);
             let out_buffer = out_buffers[device].clone().expect("allocated above");
             let offset_cost = CostHint::new(per_element_cost.flops_per_item, 8.0);
             match &self.udf {
@@ -327,16 +331,20 @@ impl<T: DeviceScalar> Scan<T> {
             }
         }
 
-        let output = Vector::device_resident(
-            &runtime,
-            input.len(),
-            if active.len() == 1 {
-                input.distribution()
-            } else {
-                Distribution::Block
-            },
-            out_buffers,
-        );
+        // The output keeps a single-device distribution; multi-device parts
+        // are block-distributed as Section III-C specifies.
+        // The output adopts the input's (non-copy) distribution: the buffers
+        // were allocated for exactly that partition, so block, weighted
+        // block and single inputs all stay consistent (Section III-C's
+        // "block-distributed output" is the default-input case).
+        let distribution = call.distribution.clone();
+        let output = match reuse {
+            Some(out) => {
+                out.commit_as_output(call.len, distribution, out_buffers)?;
+                out.clone()
+            }
+            None => Vector::device_resident(runtime, call.len, distribution, out_buffers),
+        };
         Ok((
             output,
             want_trace.then_some(ScanTrace {
@@ -344,6 +352,60 @@ impl<T: DeviceScalar> Scan<T> {
                 offsets,
             }),
         ))
+    }
+
+    /// Execute the skeleton and also return the per-stage trace of Figure 2.
+    #[deprecated(since = "0.2.0", note = "use `run(&input).trace()`")]
+    pub fn call_with_trace(&self, input: &Vector<T>) -> Result<(Vector<T>, ScanTrace<T>)> {
+        self.run(input).trace()
+    }
+
+    /// Execute the skeleton.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(&input).exec()` or `input.scan(&sk)`"
+    )]
+    pub fn call(&self, input: &Vector<T>) -> Result<Vector<T>> {
+        self.execute_scan(input, &LaunchConfig::default(), false, None)
+            .map(|(v, _)| v)
+    }
+}
+
+impl<T: DeviceScalar> Skeleton for Scan<T> {
+    type Input = Vector<T>;
+    type Output = Vector<T>;
+
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn execute(&self, input: &Vector<T>, cfg: &LaunchConfig<'_>) -> Result<Vector<T>> {
+        self.execute_scan(input, cfg, false, None).map(|(v, _)| v)
+    }
+}
+
+impl<T: DeviceScalar> Launch<'_, Scan<T>> {
+    /// Execute and return the output vector (identity terminal form).
+    pub fn into_vector(self) -> Result<Vector<T>> {
+        self.exec()
+    }
+
+    /// Execute and additionally return the [`ScanTrace`] of Figure 2 (the
+    /// per-device local scans and the offsets combined by the implicit map
+    /// skeletons).
+    pub fn trace(self) -> Result<(Vector<T>, ScanTrace<T>)> {
+        let (output, trace) = self
+            .skeleton
+            .execute_scan(&self.input, &self.cfg, true, None)?;
+        Ok((output, trace.expect("trace requested")))
+    }
+
+    /// Execute, writing the result into `out` and reusing `out`'s device
+    /// buffers instead of allocating fresh ones.
+    pub fn run_into(self, out: &Vector<T>) -> Result<()> {
+        self.skeleton
+            .execute_scan(&self.input, &self.cfg, false, Some(out))?;
+        Ok(())
     }
 }
 
@@ -437,7 +499,7 @@ mod tests {
             let rt = init_gpus(devices);
             let scan = Scan::<f32>::from_source(ADD);
             let v = Vector::from_vec(&rt, data.clone());
-            let out = scan.call(&v).unwrap();
+            let out = v.scan(&scan).unwrap();
             assert_eq!(out.to_vec().unwrap(), expected, "devices = {devices}");
         }
     }
@@ -448,7 +510,7 @@ mod tests {
         let rt = init_gpus(4);
         let scan = Scan::<f32>::from_source(ADD);
         let v = Vector::from_vec(&rt, (1..=16).map(|i| i as f32).collect());
-        let (out, trace) = scan.call_with_trace(&v).unwrap();
+        let (out, trace) = scan.run(&v).trace().unwrap();
 
         // Middle row of Figure 2: the local scans per device.
         assert_eq!(trace.local_scans[0], vec![1.0, 3.0, 6.0, 10.0]);
@@ -482,8 +544,8 @@ mod tests {
         let v1 = Vector::from_vec(&rt, data.clone());
         let v2 = Vector::from_vec(&rt, data);
         assert_eq!(
-            source.call(&v1).unwrap().to_vec().unwrap(),
-            native.call(&v2).unwrap().to_vec().unwrap()
+            v1.scan(&source).unwrap().to_vec().unwrap(),
+            v2.scan(&native).unwrap().to_vec().unwrap()
         );
     }
 
@@ -491,9 +553,10 @@ mod tests {
     fn scan_with_non_commutative_operator() {
         // Matrix-like composition encoded as digits: f(a, b) = a * 10 + b.
         let rt = init_gpus(4);
-        let scan = Scan::<f32>::from_source("float func(float a, float b) { return a * 10.0f + b; }");
+        let scan =
+            Scan::<f32>::from_source("float func(float a, float b) { return a * 10.0f + b; }");
         let v = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
-        let out = scan.call(&v).unwrap();
+        let out = v.scan(&scan).unwrap();
         assert_eq!(out.to_vec().unwrap(), vec![1.0, 12.0, 123.0, 1234.0]);
     }
 
@@ -502,7 +565,10 @@ mod tests {
         let rt = init_gpus(2);
         let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
         let v = Vector::from_vec(&rt, vec![1i32, 2, 3, 4, 5]);
-        assert_eq!(scan.call(&v).unwrap().to_vec().unwrap(), vec![1, 3, 6, 10, 15]);
+        assert_eq!(
+            v.scan(&scan).unwrap().to_vec().unwrap(),
+            vec![1, 3, 6, 10, 15]
+        );
     }
 
     #[test]
@@ -511,16 +577,45 @@ mod tests {
         let scan = Scan::<f32>::from_source(ADD);
         let v = Vector::from_vec(&rt, vec![1.0f32; 6]);
         v.set_distribution(Distribution::Single(2)).unwrap();
-        let out = scan.call(&v).unwrap();
+        let out = v.scan(&scan).unwrap();
         assert_eq!(out.distribution(), Distribution::Single(2));
         assert_eq!(out.to_vec().unwrap(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
     }
 
     #[test]
-    fn scan_rejects_empty_input() {
+    fn scan_rejects_empty_input_and_extra_args() {
         let rt = init_gpus(1);
         let scan = Scan::<f32>::from_source(ADD);
         let v = Vector::from_vec(&rt, Vec::<f32>::new());
-        assert!(matches!(scan.call(&v), Err(SkelError::EmptyInput)));
+        assert!(matches!(v.scan(&scan), Err(SkelError::EmptyInput)));
+
+        let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
+        assert!(matches!(
+            scan.run(&v).arg(1.0f32).exec(),
+            Err(SkelError::UnsupportedArg(_))
+        ));
+    }
+
+    #[test]
+    fn deprecated_scan_shims_still_work() {
+        #![allow(deprecated)]
+        let rt = init_gpus(2);
+        let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
+        let v = Vector::from_vec(&rt, vec![1, 2, 3]);
+        assert_eq!(scan.call(&v).unwrap().to_vec().unwrap(), vec![1, 3, 6]);
+        let (out, trace) = scan.call_with_trace(&v).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![1, 3, 6]);
+        assert_eq!(trace.local_scans.len(), 2);
+    }
+
+    #[test]
+    fn scan_run_into_reuses_buffers() {
+        let rt = init_gpus(2);
+        let scan = Scan::<i32>::new(|a, b| a + b);
+        let v = Vector::from_vec(&rt, vec![1i32; 6]);
+        let out = Vector::from_vec(&rt, vec![0i32; 6]);
+        out.copy_data_to_devices().unwrap();
+        scan.run(&v).run_into(&out).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![1, 2, 3, 4, 5, 6]);
     }
 }

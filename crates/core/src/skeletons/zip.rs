@@ -9,13 +9,16 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use oclsim::{CostHint, KernelArg, NativeKernelDef, Pod, Program, Value};
+use oclsim::{CostHint, NativeKernelDef, Pod, Program};
 
 use crate::args::{ArgAccess, Args};
-use crate::distribution::Distribution;
-use crate::error::{Result, SkelError};
+use crate::error::Result;
 use crate::kernelgen::{self, UdfInfo};
-use crate::skeletons::{alloc_output, PreparedArgs};
+use crate::runtime::SkelCl;
+use crate::skeletons::{
+    check_source_call, udf_cost_estimate, Launch, LaunchConfig, PreparedArgs, PreparedCall,
+    Skeleton,
+};
 use crate::vector::Vector;
 
 enum ZipUdf<A, B, O> {
@@ -41,7 +44,7 @@ struct BuiltSource {
 /// );
 /// let x = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0]);
 /// let y = Vector::from_vec(&rt, vec![10.0f32, 10.0, 10.0]);
-/// let y = saxpy.call(&x, &y, &Args::new().with_f32(2.0)).unwrap();
+/// let y = saxpy.run(&x, &y).arg(2.0f32).exec().unwrap();
 /// assert_eq!(y.to_vec().unwrap(), vec![12.0, 14.0, 16.0]);
 /// ```
 pub struct Zip<A: Pod, B: Pod, O: Pod> {
@@ -52,9 +55,9 @@ pub struct Zip<A: Pod, B: Pod, O: Pod> {
 
 impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
     /// Customise the skeleton with a user-defined function given as source
-    /// code. The last function in the string is the UDF; its first two
-    /// parameters receive the paired elements, further (scalar) parameters
-    /// receive the additional arguments.
+    /// code. The UDF is the function named `func` (or the only function);
+    /// its first two parameters receive the paired elements, further
+    /// (scalar) parameters receive the additional arguments.
     pub fn from_source(source: &str) -> Zip<A, B, O> {
         Zip {
             udf: ZipUdf::Source(source.to_string()),
@@ -81,7 +84,20 @@ impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
         self
     }
 
-    fn ensure_built(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<Arc<BuiltSource>> {
+    /// Begin a launch of this skeleton over the element pairs of `left` and
+    /// `right`: `saxpy.run(&x, &y).arg(a).exec()?`.
+    pub fn run<'a>(&'a self, left: &Vector<A>, right: &Vector<B>) -> Launch<'a, Self> {
+        Launch::new(self, (left.clone(), right.clone()))
+    }
+
+    fn scheduler_cost(&self) -> CostHint {
+        match &self.udf {
+            ZipUdf::Source(src) => udf_cost_estimate(src).unwrap_or(self.cost),
+            ZipUdf::Native(_) => self.cost,
+        }
+    }
+
+    fn ensure_built(&self, runtime: &Arc<SkelCl>) -> Result<Arc<BuiltSource>> {
         let mut built = self.built.lock();
         if let Some(b) = built.as_ref() {
             return Ok(b.clone());
@@ -140,95 +156,88 @@ impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
         program.kernel("skelcl_zip_native").ok()
     }
 
-    /// Coerce the two inputs to a common distribution as the paper specifies:
-    /// if the distributions differ, or both are single but on different
-    /// devices, both vectors are switched to block distribution.
-    fn unify_distributions(left: &Vector<A>, right: &Vector<B>) -> Result<Distribution> {
-        let dl = left.distribution();
-        let dr = right.distribution();
-        if dl == dr {
-            return Ok(dl);
+    fn resolve_kernel(
+        &self,
+        runtime: &Arc<SkelCl>,
+        prepared: &PreparedArgs,
+    ) -> Result<oclsim::Kernel> {
+        match &self.udf {
+            ZipUdf::Source(_) => {
+                let built = self.ensure_built(runtime)?;
+                check_source_call(prepared, built.extra_scalars)?;
+                Ok(built.kernel.clone())
+            }
+            ZipUdf::Native(_) => Ok(self
+                .native_kernel()
+                .expect("native kernel construction cannot fail")),
         }
-        left.set_distribution(Distribution::Block)?;
-        right.set_distribution(Distribution::Block)?;
-        Ok(Distribution::Block)
     }
 
-    /// Execute the skeleton: pair the elements of `left` and `right` and
-    /// apply the user function, with `args` as additional arguments.
+    /// The shared execution path behind [`Skeleton::execute`], the
+    /// deprecated [`Zip::call`] shim and the `run_into` terminal form.
+    fn execute_zip(
+        &self,
+        left: &Vector<A>,
+        right: &Vector<B>,
+        cfg: &LaunchConfig<'_>,
+        reuse: Option<&Vector<O>>,
+    ) -> Result<Vector<O>> {
+        let scheduler_cost = cfg.scheduler.map(|_| self.scheduler_cost());
+        let call = PreparedCall::pair(left, right, cfg, scheduler_cost)?;
+        let kernel = self.resolve_kernel(&call.runtime, &call.prepared_args)?;
+        let out_buffers = call.output_buffers::<O>(reuse)?;
+        call.launch_elementwise(&kernel, &out_buffers)?;
+        call.finish_vector(out_buffers, reuse)
+    }
+
+    /// Execute the skeleton with explicit additional arguments.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `run(&left, &right)` with the Launch builder, \
+                                          e.g. `zip.run(&x, &y).args(args).exec()`"
+    )]
     pub fn call(&self, left: &Vector<A>, right: &Vector<B>, args: &Args) -> Result<Vector<O>> {
-        let runtime = left.runtime();
-        right.check_runtime(&runtime)?;
-        runtime.charge_skeleton_call();
-        if left.is_empty() || right.is_empty() {
-            return Err(SkelError::EmptyInput);
-        }
-        if left.len() != right.len() {
-            return Err(SkelError::LengthMismatch {
-                left: left.len(),
-                right: right.len(),
-            });
-        }
-        let distribution = Self::unify_distributions(left, right)?;
-        let (partition, left_buffers) = left.prepare_on_devices()?;
-        let (_, right_buffers) = right.prepare_on_devices()?;
-        let prepared = PreparedArgs::prepare(&runtime, args)?;
-        let out_buffers = alloc_output::<O>(&runtime, &partition)?;
-
-        let kernel = match &self.udf {
-            ZipUdf::Source(_) => {
-                if prepared.has_vectors() {
-                    return Err(SkelError::UnsupportedArg(
-                        "vector additional arguments require a native (closure) user function"
-                            .into(),
-                    ));
-                }
-                let built = self.ensure_built(&runtime)?;
-                if prepared.len() != built.extra_scalars {
-                    return Err(SkelError::UdfSignature(format!(
-                        "the user function expects {} additional argument(s), the call provides {}",
-                        built.extra_scalars,
-                        prepared.len()
-                    )));
-                }
-                built.kernel.clone()
-            }
-            ZipUdf::Native(_) => self
-                .native_kernel()
-                .expect("native kernel construction cannot fail"),
+        let cfg = LaunchConfig {
+            args: args.clone(),
+            ..LaunchConfig::default()
         };
+        self.execute_zip(left, right, &cfg, None)
+    }
+}
 
-        for device in partition.active_devices() {
-            let n = partition.size(device);
-            let lb = left_buffers[device].clone().ok_or_else(|| {
-                SkelError::Distribution(format!("left input has no buffer on device {device}"))
-            })?;
-            let rb = right_buffers[device].clone().ok_or_else(|| {
-                SkelError::Distribution(format!("right input has no buffer on device {device}"))
-            })?;
-            let ob = out_buffers[device].clone().expect("allocated above");
-            let mut kargs = vec![
-                KernelArg::Buffer(lb),
-                KernelArg::Buffer(rb),
-                KernelArg::Buffer(ob),
-                KernelArg::Scalar(Value::Int(n as i32)),
-            ];
-            kargs.extend(prepared.kernel_args_for(device)?);
-            runtime.queue(device).enqueue_kernel(&kernel, n, &kargs)?;
-        }
+impl<A: Pod, B: Pod, O: Pod> Skeleton for Zip<A, B, O> {
+    type Input = (Vector<A>, Vector<B>);
+    type Output = Vector<O>;
 
-        Ok(Vector::device_resident(
-            &runtime,
-            left.len(),
-            distribution,
-            out_buffers,
-        ))
+    fn name(&self) -> &'static str {
+        "zip"
+    }
+
+    fn execute(&self, input: &Self::Input, cfg: &LaunchConfig<'_>) -> Result<Vector<O>> {
+        self.execute_zip(&input.0, &input.1, cfg, None)
+    }
+}
+
+impl<A: Pod, B: Pod, O: Pod> Launch<'_, Zip<A, B, O>> {
+    /// Execute and return the output vector (identity terminal form).
+    pub fn into_vector(self) -> Result<Vector<O>> {
+        self.exec()
+    }
+
+    /// Execute, writing the result into `out` and reusing `out`'s device
+    /// buffers instead of allocating fresh ones.
+    pub fn run_into(self, out: &Vector<O>) -> Result<()> {
+        self.skeleton
+            .execute_zip(&self.input.0, &self.input.1, &self.cfg, Some(out))?;
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::distribution::Distribution;
+    use crate::error::SkelError;
     use crate::runtime::init_gpus;
 
     const SAXPY: &str = "float func(float x, float y, float a) { return a * x + y; }";
@@ -244,7 +253,7 @@ mod tests {
             let a = 3.0f32;
             let xv = Vector::from_vec(&rt, x.clone());
             let yv = Vector::from_vec(&rt, y.clone());
-            let out = saxpy.call(&xv, &yv, &Args::new().with_f32(a)).unwrap();
+            let out = saxpy.run(&xv, &yv).arg(a).exec().unwrap();
             let expected: Vec<f32> = x.iter().zip(&y).map(|(x, y)| a * x + y).collect();
             assert_eq!(out.to_vec().unwrap(), expected, "devices = {devices}");
         }
@@ -256,7 +265,7 @@ mod tests {
         let add = Zip::<f32, f32, f32>::new(|a, b, _| a + b);
         let x = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0]);
         let y = Vector::from_vec(&rt, vec![0.5f32, 0.5, 0.5]);
-        let out = add.call(&x, &y, &Args::none()).unwrap();
+        let out = x.zip(&y, &add).unwrap();
         assert_eq!(out.to_vec().unwrap(), vec![1.5, 2.5, 3.5]);
     }
 
@@ -268,7 +277,7 @@ mod tests {
         );
         let x = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
         let keep = Vector::from_vec(&rt, vec![1i32, 0, 1, 0]);
-        let out = pick.call(&x, &keep, &Args::none()).unwrap();
+        let out = x.zip(&keep, &pick).unwrap();
         assert_eq!(out.to_vec().unwrap(), vec![1.0, 0.0, 3.0, 0.0]);
     }
 
@@ -279,7 +288,7 @@ mod tests {
         let x = Vector::from_vec(&rt, vec![1.0f32, 2.0]);
         let y = Vector::from_vec(&rt, vec![1.0f32]);
         assert!(matches!(
-            add.call(&x, &y, &Args::none()),
+            add.run(&x, &y).exec(),
             Err(SkelError::LengthMismatch { left: 2, right: 1 })
         ));
     }
@@ -292,7 +301,7 @@ mod tests {
         let y = Vector::from_vec(&rt, vec![2.0f32; 8]);
         x.set_distribution(Distribution::Single(0)).unwrap();
         y.set_distribution(Distribution::Copy).unwrap();
-        let out = add.call(&x, &y, &Args::none()).unwrap();
+        let out = add.run(&x, &y).exec().unwrap();
         assert_eq!(x.distribution(), Distribution::Block);
         assert_eq!(y.distribution(), Distribution::Block);
         assert_eq!(out.distribution(), Distribution::Block);
@@ -307,7 +316,7 @@ mod tests {
         let y = Vector::from_vec(&rt, vec![2.0f32; 4]);
         x.set_distribution(Distribution::Single(1)).unwrap();
         y.set_distribution(Distribution::Single(1)).unwrap();
-        let out = add.call(&x, &y, &Args::none()).unwrap();
+        let out = add.run(&x, &y).exec().unwrap();
         assert_eq!(out.distribution(), Distribution::Single(1));
         assert_eq!(out.to_vec().unwrap(), vec![3.0f32; 4]);
     }
@@ -320,7 +329,7 @@ mod tests {
         let x = Vector::from_vec(&rt1, vec![1.0f32]);
         let y = Vector::from_vec(&rt2, vec![1.0f32]);
         assert!(matches!(
-            add.call(&x, &y, &Args::none()),
+            add.run(&x, &y).exec(),
             Err(SkelError::RuntimeMismatch)
         ));
     }
@@ -335,7 +344,30 @@ mod tests {
         );
         let f = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
         let c = Vector::from_vec(&rt, vec![2.0f32, 0.0, 0.5, -1.0]);
-        let f2 = zip_update.call(&f, &c, &Args::none()).unwrap();
+        let f2 = f.zip(&c, &zip_update).unwrap();
         assert_eq!(f2.to_vec().unwrap(), vec![2.0, 2.0, 1.5, 4.0]);
+    }
+
+    #[test]
+    fn deprecated_call_shim_still_works() {
+        #![allow(deprecated)]
+        let rt = init_gpus(2);
+        let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY);
+        let x = Vector::from_vec(&rt, vec![1.0f32; 4]);
+        let y = Vector::from_vec(&rt, vec![1.0f32; 4]);
+        let out = saxpy.call(&x, &y, &crate::args![2.0f32]).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![3.0f32; 4]);
+    }
+
+    #[test]
+    fn zip_run_into_reuses_buffers() {
+        let rt = init_gpus(2);
+        let add = Zip::<f32, f32, f32>::new(|a, b, _| a + b);
+        let x = Vector::from_vec(&rt, vec![1.0f32; 6]);
+        let y = Vector::from_vec(&rt, vec![2.0f32; 6]);
+        let out = Vector::from_vec(&rt, vec![0.0f32; 6]);
+        out.copy_data_to_devices().unwrap();
+        add.run(&x, &y).run_into(&out).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![3.0f32; 6]);
     }
 }

@@ -415,6 +415,151 @@ impl<T: Pod> Vector<T> {
     pub fn buffer_of(&self, device: usize) -> Option<Buffer> {
         self.inner.lock().buffers.get(device).cloned().flatten()
     }
+
+    /// Obtain per-device buffers for using this vector as a skeleton
+    /// *output* (`run_into`): existing buffers are reused when their sizes
+    /// match the target partition — the hot path of chained pipelines — and
+    /// fresh ones are created where they do not fit.
+    ///
+    /// This method does **not** mutate the vector: replaced buffers stay
+    /// owned by it until [`Vector::commit_as_output`] adopts the new set
+    /// after a successful launch, so a failed launch leaves the vector
+    /// fully intact.
+    pub(crate) fn obtain_output_buffers(
+        &self,
+        partition: &Partition,
+    ) -> Result<Vec<Option<Buffer>>> {
+        let inner = self.inner.lock();
+        let elem = std::mem::size_of::<T>();
+        let mut buffers = vec![None; partition.device_count()];
+        for device in 0..partition.device_count() {
+            let want = partition.size(device);
+            if want == 0 {
+                continue;
+            }
+            let reusable = inner
+                .buffers
+                .get(device)
+                .and_then(|slot| slot.as_ref())
+                .filter(|b| b.len() == want && b.len_bytes() == want * elem);
+            buffers[device] = match reusable {
+                Some(b) => Some(b.clone()),
+                None => Some(inner.runtime.context().create_buffer::<T>(device, want)?),
+            };
+        }
+        Ok(buffers)
+    }
+
+    /// Commit this vector as the output of a skeleton launch that wrote the
+    /// given buffers: adopt length, distribution and buffers; the devices now
+    /// hold the authoritative copy and the host copy is stale.
+    pub(crate) fn commit_as_output(
+        &self,
+        len: usize,
+        distribution: Distribution,
+        buffers: Vec<Option<Buffer>>,
+    ) -> Result<()> {
+        let mut inner = self.inner.lock();
+        // Release any old buffer that was replaced rather than reused.
+        let new_ids: Vec<_> = buffers.iter().flatten().map(|b| b.id()).collect();
+        let stale: Vec<Buffer> = inner
+            .buffers
+            .iter_mut()
+            .filter_map(|old| old.take())
+            .filter(|b| !new_ids.contains(&b.id()))
+            .collect();
+        for b in stale {
+            let _ = inner.runtime.context().release_buffer(&b);
+        }
+        let devices = inner.runtime.device_count();
+        inner.len = len;
+        inner.partition = Partition::compute(len, devices, &distribution);
+        inner.distribution = distribution;
+        inner.buffers = buffers;
+        inner.host_valid = false;
+        inner.devices_valid = true;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fluent pipeline API
+// ---------------------------------------------------------------------------
+
+use crate::args::Args;
+use crate::skeletons::{DeviceScalar, Map, Reduce, Scan, Skeleton, Zip};
+
+impl<T: Pod> Vector<T> {
+    /// Apply a [`Map`] skeleton to this vector:
+    /// `v.map(&square)?` is shorthand for `square.run(&v).exec()?`.
+    ///
+    /// ```
+    /// use skelcl::prelude::*;
+    ///
+    /// let rt = skelcl::init_gpus(2);
+    /// let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+    /// let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
+    /// let v = Vector::from_vec(&rt, (1..=4).map(|i| i as f32).collect());
+    /// let total = v.map(&square)?.reduce(&sum)?;
+    /// assert_eq!(total, 30.0);
+    /// # skelcl::Result::Ok(())
+    /// ```
+    pub fn map<O: Pod>(&self, skeleton: &Map<T, O>) -> Result<Vector<O>> {
+        skeleton.run(self).exec()
+    }
+
+    /// Apply a [`Map`] skeleton with additional arguments.
+    pub fn map_with<O: Pod>(&self, skeleton: &Map<T, O>, args: Args) -> Result<Vector<O>> {
+        skeleton.run(self).args(args).exec()
+    }
+
+    /// Apply a [`Map`] skeleton writing into `out`, reusing `out`'s device
+    /// buffers instead of allocating fresh ones (see `Launch::run_into`).
+    pub fn map_into<O: Pod>(&self, skeleton: &Map<T, O>, out: &Vector<O>) -> Result<()> {
+        skeleton.run(self).run_into(out)
+    }
+
+    /// Pair this vector with `other` under a [`Zip`] skeleton:
+    /// `x.zip(&y, &saxpy)?`.
+    pub fn zip<B: Pod, O: Pod>(
+        &self,
+        other: &Vector<B>,
+        skeleton: &Zip<T, B, O>,
+    ) -> Result<Vector<O>> {
+        skeleton.run(self, other).exec()
+    }
+
+    /// Apply a [`Zip`] skeleton with additional arguments.
+    pub fn zip_with<B: Pod, O: Pod>(
+        &self,
+        other: &Vector<B>,
+        skeleton: &Zip<T, B, O>,
+        args: Args,
+    ) -> Result<Vector<O>> {
+        skeleton.run(self, other).args(args).exec()
+    }
+
+    /// Apply a [`Zip`] skeleton writing into `out` (buffer reuse).
+    pub fn zip_into<B: Pod, O: Pod>(
+        &self,
+        other: &Vector<B>,
+        skeleton: &Zip<T, B, O>,
+        out: &Vector<O>,
+    ) -> Result<()> {
+        skeleton.run(self, other).run_into(out)
+    }
+}
+
+impl<T: DeviceScalar> Vector<T> {
+    /// Reduce this vector to a single value: `v.reduce(&sum)?`.
+    pub fn reduce(&self, skeleton: &Reduce<T>) -> Result<T> {
+        Skeleton::execute(skeleton, self, &crate::skeletons::LaunchConfig::default())
+    }
+
+    /// Inclusive prefix combination of this vector: `v.scan(&prefix_sum)?`.
+    pub fn scan(&self, skeleton: &Scan<T>) -> Result<Vector<T>> {
+        Skeleton::execute(skeleton, self, &crate::skeletons::LaunchConfig::default())
+    }
 }
 
 #[cfg(test)]
@@ -524,7 +669,11 @@ mod tests {
         v.prepare_on_devices().unwrap();
         let before = rt.now();
         v.set_distribution(Distribution::Block).unwrap();
-        assert_eq!(rt.now(), before, "no data movement for an unchanged distribution");
+        assert_eq!(
+            rt.now(),
+            before,
+            "no data movement for an unchanged distribution"
+        );
         assert_eq!(v.residence(), Residence::Shared);
     }
 
@@ -533,10 +682,14 @@ mod tests {
         let rt = init_gpus(2);
         let v = Vector::from_vec(&rt, vec![1.0f32; 100]);
         v.prepare_on_devices().unwrap();
-        let live_before: usize = (0..2).map(|d| rt.context().device(d).unwrap().live_buffers()).sum();
+        let live_before: usize = (0..2)
+            .map(|d| rt.context().device(d).unwrap().live_buffers())
+            .sum();
         v.set_distribution(Distribution::Single(0)).unwrap();
         v.prepare_on_devices().unwrap();
-        let live_after: usize = (0..2).map(|d| rt.context().device(d).unwrap().live_buffers()).sum();
+        let live_after: usize = (0..2)
+            .map(|d| rt.context().device(d).unwrap().live_buffers())
+            .sum();
         assert_eq!(live_before, 2);
         assert_eq!(live_after, 1);
     }

@@ -122,7 +122,7 @@ proptest! {
         }).unwrap();
 
         let doubled = Map::<f32, f32>::from_source("float func(float x) { return x + 0.0f; }");
-        let out = doubled.call(&v, &Args::none()).unwrap().to_vec().unwrap();
+        let out = doubled.run(&v).exec().unwrap().to_vec().unwrap();
         let expected: Vec<f32> = data.iter().map(|x| x * scale).collect();
         prop_assert_eq!(out, expected);
     }
@@ -151,11 +151,11 @@ proptest! {
         let udf = "int func(int i, int offset) { return 3 * i + offset; }";
         let by_index = Map::<i32, i32>::from_source(udf);
         let explicit = Map::<i32, i32>::from_source(udf);
-        let args = Args::new().with_i32(offset);
+        let args = skelcl::args![offset];
 
-        let a = by_index.call_index(&rt, len, &args).unwrap().to_vec().unwrap();
+        let a = by_index.run_index(&rt, len).args(args.clone()).exec().unwrap().to_vec().unwrap();
         let idx = Vector::from_vec(&rt, (0..len as i32).collect());
-        let b = explicit.call(&idx, &args).unwrap().to_vec().unwrap();
+        let b = explicit.run(&idx).args(args.clone()).exec().unwrap().to_vec().unwrap();
         prop_assert_eq!(a, b);
     }
 
@@ -170,8 +170,8 @@ proptest! {
         let scan = Scan::<i32>::from_source(add);
         let reduce = Reduce::<i32>::from_source(add);
         let v = Vector::from_vec(&rt, data.clone());
-        let prefix = scan.call(&v).unwrap().to_vec().unwrap();
-        let total = reduce.reduce_value(&v).unwrap();
+        let prefix = scan.run(&v).exec().unwrap().to_vec().unwrap();
+        let total = v.reduce(&reduce).unwrap();
         prop_assert_eq!(*prefix.last().unwrap(), total);
         prop_assert_eq!(total, data.iter().sum::<i32>());
     }
@@ -191,8 +191,10 @@ proptest! {
         );
         let xv = Vector::from_vec(&rt, xs.clone());
         let yv = Vector::from_vec(&rt, ys.clone());
-        let out = add
-            .call(&square.call(&xv, &Args::none()).unwrap(), &yv, &Args::none())
+        let out = xv
+            .map(&square)
+            .unwrap()
+            .zip(&yv, &add)
             .unwrap()
             .to_vec()
             .unwrap();
@@ -217,20 +219,23 @@ proptest! {
         let rt = skelcl::init_gpus(1);
         let mut args = Args::new();
         for f in &floats {
-            args = args.with_f32(*f);
+            args = args.arg(*f);
         }
         for i in &ints {
-            args = args.with_i32(*i);
+            args = args.arg(*i);
         }
         let held: Vec<Vector<f32>> = (0..vectors)
             .map(|_| Vector::from_vec(&rt, vec![0.0f32; 4]))
             .collect();
         for v in &held {
-            args = args.with_vec_f32(v);
+            args = args.arg(v);
         }
         prop_assert_eq!(args.len(), floats.len() + ints.len() + vectors);
         prop_assert_eq!(args.scalar_count(), floats.len() + ints.len());
         prop_assert_eq!(args.vector_count(), vectors);
-        prop_assert_eq!(args.is_empty(), args.len() == 0);
+        prop_assert_eq!(
+            args.is_empty(),
+            floats.is_empty() && ints.is_empty() && vectors == 0
+        );
     }
 }

@@ -1,0 +1,375 @@
+//! Tests of the unified execution API introduced with the `Skeleton` trait:
+//! the `IntoArg` trait and `args![]` macro (every scalar and vector element
+//! type, wrong-runtime rejection), property tests that fluent pipelines
+//! (`map → zip → reduce`) match sequential references across 1–4 devices,
+//! and buffer-reuse tests asserting that `run_into` performs no fresh output
+//! allocation in steady state.
+
+use proptest::prelude::*;
+
+use skelcl::prelude::*;
+use skelcl::{args, ArgItem, Reduce, Scan, SkelError};
+
+// ---------------------------------------------------------------------------
+// IntoArg / args![] coverage
+// ---------------------------------------------------------------------------
+
+#[test]
+fn args_macro_accepts_every_device_scalar_type() {
+    let args = args![1.5f32, 2.5f64, -3i32, 4u32];
+    assert_eq!(args.len(), 4);
+    assert_eq!(args.scalar_count(), 4);
+    assert_eq!(args.vector_count(), 0);
+    use oclsim::Value;
+    let values: Vec<Option<Value>> = args.items().iter().map(|i| i.scalar_value()).collect();
+    assert_eq!(values[0], Some(Value::Float(1.5)));
+    assert_eq!(values[1], Some(Value::Double(2.5)));
+    assert_eq!(values[2], Some(Value::Int(-3)));
+    assert_eq!(values[3], Some(Value::Uint(4)));
+}
+
+#[test]
+fn args_macro_accepts_every_vector_element_type() {
+    let rt = skelcl::init_gpus(1);
+    let f32s = Vector::from_vec(&rt, vec![1.0f32]);
+    let f64s = Vector::from_vec(&rt, vec![1.0f64]);
+    let i32s = Vector::from_vec(&rt, vec![1i32]);
+    let u32s = Vector::from_vec(&rt, vec![1u32]);
+    let args = args![&f32s, &f64s, &i32s, &u32s];
+    assert_eq!(args.vector_count(), 4);
+    assert!(args.items().iter().all(|i| matches!(i, ArgItem::Vector(_))));
+}
+
+#[test]
+fn f64_vector_additional_argument_reaches_a_native_udf() {
+    // The former closed ArgItem enum had no VecF64 variant; the open IntoArg
+    // trait must carry a double-precision lookup table end to end.
+    let rt = skelcl::init_gpus(2);
+    let table = Vector::from_vec(&rt, vec![0.5f64, 2.0]);
+    table.set_distribution(Distribution::Copy).unwrap();
+    let map = Map::<f32, f32>::new(|x, a| {
+        let t = a.slice_f64(0);
+        (*x as f64 * t[(*x as usize) % t.len()]) as f32
+    });
+    let v = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
+    let out = map.run(&v).arg(&table).exec().unwrap();
+    assert_eq!(out.to_vec().unwrap(), vec![2.0, 1.0, 6.0, 2.0]);
+}
+
+#[test]
+fn vector_argument_from_the_wrong_runtime_is_rejected() {
+    let rt1 = skelcl::init_gpus(1);
+    let rt2 = skelcl::init_gpus(1);
+    let foreign = Vector::from_vec(&rt2, vec![1.0f32; 4]);
+    let map = Map::<f32, f32>::new(|x, a| x * a.slice_f32(0)[0]);
+    let v = Vector::from_vec(&rt1, vec![1.0f32; 4]);
+    let err = map.run(&v).arg(&foreign).exec().unwrap_err();
+    assert!(matches!(err, SkelError::RuntimeMismatch), "got {err:?}");
+}
+
+#[test]
+fn source_udfs_still_reject_vector_additional_arguments() {
+    let rt = skelcl::init_gpus(1);
+    let table = Vector::from_vec(&rt, vec![1.0f32; 4]);
+    let map = Map::<f32, f32>::from_source("float func(float x, float s) { return x * s; }");
+    let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
+    assert!(matches!(
+        map.run(&v).arg(&table).exec(),
+        Err(SkelError::UnsupportedArg(_))
+    ));
+}
+
+#[test]
+fn arg_and_args_compose_on_the_launch_builder() {
+    let rt = skelcl::init_gpus(2);
+    let affine = Map::<f32, f32>::from_source(
+        "float func(float x, float a, int b, float c) { return a * x + b + c; }",
+    );
+    let v = Vector::from_vec(&rt, vec![1.0f32, 2.0]);
+    // .args(...) replaces, .arg(...) appends.
+    let out = affine
+        .run(&v)
+        .args(args![2.0f32])
+        .arg(10i32)
+        .arg(0.5f32)
+        .exec()
+        .unwrap();
+    assert_eq!(out.to_vec().unwrap(), vec![12.5, 14.5]);
+}
+
+// ---------------------------------------------------------------------------
+// run_into buffer reuse
+// ---------------------------------------------------------------------------
+
+fn total_live_buffers(rt: &std::sync::Arc<SkelCl>) -> usize {
+    (0..rt.device_count())
+        .map(|d| rt.context().device(d).unwrap().live_buffers())
+        .sum()
+}
+
+fn total_allocated_bytes(rt: &std::sync::Arc<SkelCl>) -> usize {
+    (0..rt.device_count())
+        .map(|d| rt.context().device(d).unwrap().allocated_bytes())
+        .sum()
+}
+
+#[test]
+fn run_into_performs_no_fresh_output_allocation() {
+    let rt = skelcl::init_gpus(2);
+    let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+    let v = Vector::from_vec(&rt, vec![1.0f32; 1024]);
+    let out = Vector::from_vec(&rt, vec![0.0f32; 1024]);
+    // Materialise input and output on the devices, then measure.
+    v.copy_data_to_devices().unwrap();
+    out.copy_data_to_devices().unwrap();
+    inc.run(&v).run_into(&out).unwrap(); // first call may rebuild nothing: sizes match
+    let buffers_before = total_live_buffers(&rt);
+    let bytes_before = total_allocated_bytes(&rt);
+
+    for _ in 0..5 {
+        inc.run(&v).run_into(&out).unwrap();
+    }
+
+    assert_eq!(
+        total_live_buffers(&rt),
+        buffers_before,
+        "steady-state run_into must not allocate fresh buffers"
+    );
+    assert_eq!(
+        total_allocated_bytes(&rt),
+        bytes_before,
+        "steady-state run_into must not grow device memory"
+    );
+    assert_eq!(out.to_vec().unwrap(), vec![2.0f32; 1024]);
+}
+
+#[test]
+fn plain_exec_allocates_but_run_into_does_not() {
+    let rt = skelcl::init_gpus(2);
+    let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+    let v = Vector::from_vec(&rt, vec![1.0f32; 512]);
+    v.copy_data_to_devices().unwrap();
+    let out = Vector::from_vec(&rt, vec![0.0f32; 512]);
+    out.copy_data_to_devices().unwrap();
+    inc.run(&v).run_into(&out).unwrap();
+
+    let before = total_live_buffers(&rt);
+    // A plain exec produces a brand-new device-resident vector → +1 buffer
+    // per active device while it lives.
+    let fresh = inc.run(&v).exec().unwrap();
+    assert_eq!(total_live_buffers(&rt), before + 2);
+    drop(fresh);
+    assert_eq!(total_live_buffers(&rt), before);
+
+    // run_into to the fitting target: no change at all.
+    inc.run(&v).run_into(&out).unwrap();
+    assert_eq!(total_live_buffers(&rt), before);
+}
+
+#[test]
+fn run_into_supports_the_in_place_listing_1_pattern() {
+    // Y <- a*X + Y written back into Y: the target aliases an input, so the
+    // launch transparently falls back to fresh buffers instead of binding
+    // one buffer to two kernel arguments.
+    let rt = skelcl::init_gpus(2);
+    let saxpy = Zip::<f32, f32, f32>::from_source(
+        "float func(float x, float y, float a) { return a * x + y; }",
+    );
+    let x = Vector::from_vec(&rt, vec![1.0f32; 64]);
+    let y = Vector::from_vec(&rt, vec![0.0f32; 64]);
+    for _ in 0..3 {
+        saxpy.run(&x, &y).arg(2.0f32).run_into(&y).unwrap();
+    }
+    assert_eq!(y.to_vec().unwrap(), vec![6.0f32; 64]);
+
+    // Same for a unary map into its own input.
+    let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+    let v = Vector::from_vec(&rt, vec![0.0f32; 16]);
+    inc.run(&v).run_into(&v).unwrap();
+    assert_eq!(v.to_vec().unwrap(), vec![1.0f32; 16]);
+}
+
+#[test]
+fn failed_run_into_leaves_the_target_vector_intact() {
+    // An additional vector argument without a copy on device 1 makes the
+    // launch fail after preparation; the run_into target must keep its
+    // previous contents and stay readable.
+    let rt = skelcl::init_gpus(2);
+    let lut = Vector::from_vec(&rt, vec![2.0f32; 4]);
+    lut.set_distribution(Distribution::Single(0)).unwrap(); // missing on device 1
+    let map = Map::<f32, f32>::new(|x, a| x * a.slice_f32(0)[0]);
+    let v = Vector::from_vec(&rt, vec![1.0f32; 8]);
+    let out = Vector::from_vec(&rt, vec![7.0f32; 8]);
+    out.copy_data_to_devices().unwrap();
+
+    let err = map.run(&v).arg(&lut).run_into(&out).unwrap_err();
+    assert!(matches!(err, SkelError::UnsupportedArg(_)), "got {err:?}");
+    assert_eq!(out.len(), 8);
+    // Argument errors surface before any kernel runs, so even the device
+    // copy of the target is untouched.
+    out.mark_device_modified();
+    assert_eq!(out.to_vec().unwrap(), vec![7.0f32; 8]);
+}
+
+#[test]
+fn scan_honours_an_attached_scheduler() {
+    use oclsim::DeviceProfile;
+    use skelcl::StaticScheduler;
+    let rt = skelcl::init_profiles(vec![
+        DeviceProfile::tesla_c1060(),
+        DeviceProfile::xeon_e5520(),
+    ]);
+    let scheduler = StaticScheduler::analytical(&rt);
+    let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
+    let data: Vec<i32> = (1..=1000).collect();
+    let v = Vector::from_vec(&rt, data.clone());
+    let out = scan.run(&v).scheduler(&scheduler).exec().unwrap();
+    let mut acc = 0;
+    let expected: Vec<i32> = data
+        .iter()
+        .map(|x| {
+            acc += x;
+            acc
+        })
+        .collect();
+    assert_eq!(out.to_vec().unwrap(), expected);
+    // The scheduler must actually have re-partitioned the input: the Tesla
+    // gets the larger part.
+    let sizes = v.sizes();
+    assert!(
+        sizes[0] > sizes[1],
+        "weighted partition expected: {sizes:?}"
+    );
+}
+
+#[test]
+fn run_into_reallocates_when_the_target_does_not_fit() {
+    let rt = skelcl::init_gpus(2);
+    let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+    let v = Vector::from_vec(&rt, vec![1.0f32; 64]);
+    let small = Vector::from_vec(&rt, vec![0.0f32; 8]);
+    inc.run(&v).run_into(&small).unwrap();
+    assert_eq!(small.len(), 64);
+    assert_eq!(small.to_vec().unwrap(), vec![2.0f32; 64]);
+}
+
+#[test]
+fn zip_pipeline_with_run_into_stays_allocation_free() {
+    let rt = skelcl::init_gpus(2);
+    let saxpy = Zip::<f32, f32, f32>::from_source(
+        "float func(float x, float y, float a) { return a * x + y; }",
+    );
+    let x = Vector::from_vec(&rt, vec![1.0f32; 256]);
+    let y = Vector::from_vec(&rt, vec![2.0f32; 256]);
+    let out = Vector::from_vec(&rt, vec![0.0f32; 256]);
+    x.copy_data_to_devices().unwrap();
+    y.copy_data_to_devices().unwrap();
+    out.copy_data_to_devices().unwrap();
+    saxpy.run(&x, &y).arg(3.0f32).run_into(&out).unwrap();
+
+    let buffers = total_live_buffers(&rt);
+    for _ in 0..4 {
+        saxpy.run(&x, &y).arg(3.0f32).run_into(&out).unwrap();
+    }
+    assert_eq!(total_live_buffers(&rt), buffers);
+    assert_eq!(out.to_vec().unwrap(), vec![5.0f32; 256]);
+}
+
+// ---------------------------------------------------------------------------
+// Fluent pipelines vs sequential references (property tests)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fluent_map_zip_reduce_matches_sequential(
+        data in prop::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 1..160),
+        a in -4.0f32..4.0,
+        devices in 1usize..=4,
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let xs: Vec<f32> = data.iter().map(|(x, _)| *x).collect();
+        let ys: Vec<f32> = data.iter().map(|(_, y)| *y).collect();
+
+        let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+        let saxpy = Zip::<f32, f32, f32>::from_source(
+            "float func(float x, float y, float a) { return a * x + y; }",
+        );
+        let sum = Reduce::<f64>::from_source("double func(double p, double q) { return p + q; }");
+
+        let xv = Vector::from_vec(&rt, xs.clone());
+        let yv = Vector::from_vec(&rt, ys.clone());
+
+        // square(x) then a*square(x)+y, then a float64 total.
+        let combined = xv
+            .map(&square)
+            .unwrap()
+            .zip_with(&yv, &saxpy, args![a])
+            .unwrap();
+        let wide = Map::<f32, f64>::from_source("double func(float v) { return v; }");
+        let total = combined.map(&wide).unwrap().reduce(&sum).unwrap();
+
+        let reference: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (a * (x * x) + y) as f64)
+            .sum();
+        // One double-precision fold per device, then a short host fold: the
+        // grouping differs from the sequential sum, so allow a tiny epsilon.
+        let scale = reference.abs().max(1.0);
+        prop_assert!(
+            (total - reference).abs() / scale < 1e-6,
+            "devices = {}: {} vs {}", devices, total, reference
+        );
+    }
+
+    #[test]
+    fn fluent_map_scan_matches_sequential(
+        data in prop::collection::vec(-100i32..100, 1..200),
+        devices in 1usize..=4,
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let double = Map::<i32, i32>::from_source("int func(int x) { return 2 * x; }");
+        let prefix = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
+        let v = Vector::from_vec(&rt, data.clone());
+        let out = v.map(&double).unwrap().scan(&prefix).unwrap().to_vec().unwrap();
+        let mut acc = 0;
+        let expected: Vec<i32> = data.iter().map(|x| { acc += 2 * x; acc }).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn launch_builder_and_fluent_form_agree(
+        data in prop::collection::vec(-1.0e3f32..1.0e3, 1..120),
+        s in -3.0f32..3.0,
+        devices in 1usize..=4,
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let scale = Map::<f32, f32>::from_source("float func(float x, float s) { return s * x; }");
+        let v1 = Vector::from_vec(&rt, data.clone());
+        let v2 = Vector::from_vec(&rt, data);
+        let via_builder = scale.run(&v1).arg(s).exec().unwrap().to_vec().unwrap();
+        let via_fluent = v2.map_with(&scale, args![s]).unwrap().to_vec().unwrap();
+        prop_assert_eq!(via_builder, via_fluent);
+    }
+
+    #[test]
+    fn pipelines_agree_across_device_counts(
+        data in prop::collection::vec(-1_000i32..1_000, 1..250),
+    ) {
+        // The same fluent pipeline must produce identical results on 1..4
+        // devices (integer ops are exactly associative).
+        let sums: Vec<i32> = (1..=4)
+            .map(|devices| {
+                let rt = skelcl::init_gpus(devices);
+                let inc = Map::<i32, i32>::from_source("int func(int x) { return x + 1; }");
+                let sum = Reduce::<i32>::from_source("int func(int a, int b) { return a + b; }");
+                let v = Vector::from_vec(&rt, data.clone());
+                v.map(&inc).unwrap().reduce(&sum).unwrap()
+            })
+            .collect();
+        let expected: i32 = data.iter().map(|x| x + 1).sum();
+        prop_assert!(sums.iter().all(|s| *s == expected), "{:?} vs {}", sums, expected);
+    }
+}

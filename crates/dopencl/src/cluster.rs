@@ -73,7 +73,7 @@ impl Cluster {
     fn remote_profile(&self, node: &Node, device: &DeviceProfile) -> DeviceProfile {
         let mut p = device.clone();
         p.name = format!("{} @ {}", p.name, node.name);
-        p.transfer_latency = p.transfer_latency + self.network.latency;
+        p.transfer_latency += self.network.latency;
         p.transfer_bandwidth_gbs = p.transfer_bandwidth_gbs.min(self.network.bandwidth_gbs);
         // Remote kernel launches carry an extra round trip of command
         // forwarding.
@@ -149,10 +149,10 @@ mod tests {
 
     #[test]
     fn faster_networks_reduce_offload_overhead() {
-        let slow = Cluster::new(NetworkModel::gigabit_ethernet())
-            .with_node(Node::dual_gpu_server("s"));
-        let fast = Cluster::new(NetworkModel::infiniband_qdr())
-            .with_node(Node::dual_gpu_server("s"));
+        let slow =
+            Cluster::new(NetworkModel::gigabit_ethernet()).with_node(Node::dual_gpu_server("s"));
+        let fast =
+            Cluster::new(NetworkModel::infiniband_qdr()).with_node(Node::dual_gpu_server("s"));
         let bytes = 16 * 1024 * 1024;
         assert!(slow.offload_overhead(bytes) > fast.offload_overhead(bytes));
     }

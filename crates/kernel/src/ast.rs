@@ -134,7 +134,14 @@ impl BinOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 }
@@ -281,10 +288,7 @@ impl Expr {
     /// Source location of the expression.
     pub fn span(&self) -> Span {
         match self {
-            Expr::IntLit(_, s)
-            | Expr::FloatLit(_, s)
-            | Expr::BoolLit(_, s)
-            | Expr::Var(_, s) => *s,
+            Expr::IntLit(_, s) | Expr::FloatLit(_, s) | Expr::BoolLit(_, s) | Expr::Var(_, s) => *s,
             Expr::Index { span, .. }
             | Expr::Binary { span, .. }
             | Expr::Unary { span, .. }

@@ -119,7 +119,7 @@ impl Builtin {
                 .unwrap_or(ScalarType::Float),
             _ => {
                 // Math builtins return float unless any argument is double.
-                if args.iter().any(|t| *t == ScalarType::Double) {
+                if args.contains(&ScalarType::Double) {
                     ScalarType::Double
                 } else {
                     ScalarType::Float
@@ -191,7 +191,10 @@ mod tests {
 
     #[test]
     fn lookup_by_name() {
-        assert_eq!(Builtin::from_name("get_global_id"), Some(Builtin::GetGlobalId));
+        assert_eq!(
+            Builtin::from_name("get_global_id"),
+            Some(Builtin::GetGlobalId)
+        );
         assert_eq!(Builtin::from_name("sqrt"), Some(Builtin::Sqrt));
         assert_eq!(Builtin::from_name("mad"), Some(Builtin::Fma));
         assert_eq!(Builtin::from_name("unknown_fn"), None);
@@ -207,7 +210,10 @@ mod tests {
 
     #[test]
     fn math_evaluation() {
-        assert_eq!(Builtin::Sqrt.eval_math(&[Value::Float(9.0)]), Value::Float(3.0));
+        assert_eq!(
+            Builtin::Sqrt.eval_math(&[Value::Float(9.0)]),
+            Value::Float(3.0)
+        );
         assert_eq!(
             Builtin::Fma.eval_math(&[Value::Float(2.0), Value::Float(3.0), Value::Float(4.0)]),
             Value::Float(10.0)

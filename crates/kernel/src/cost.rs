@@ -209,7 +209,6 @@ impl<'u> Estimator<'u> {
                     global_bytes: 8.0,
                     flops: 1.0,
                     ops: 1.0,
-                    ..Default::default()
                 }),
                 LValue::Var(..) => CostEstimate {
                     flops: 1.0,

@@ -680,8 +680,7 @@ impl<'u> Interpreter<'u> {
                             Builtin::GetGlobalSize => item.global_size,
                             Builtin::GetLocalSize => item.local_size,
                             Builtin::GetNumGroups => {
-                                (item.global_size + item.local_size.max(1) - 1)
-                                    / item.local_size.max(1)
+                                item.global_size.div_ceil(item.local_size.max(1))
                             }
                             _ => unreachable!(),
                         };
@@ -742,9 +741,7 @@ impl<'u> Interpreter<'u> {
                 self.write_lvalue(target, new, env, frame)?;
                 Ok(if *prefix { new } else { old })
             }
-            Expr::Cast { ty, operand, .. } => {
-                Ok(self.eval(operand, env, frame)?.convert_to(*ty))
-            }
+            Expr::Cast { ty, operand, .. } => Ok(self.eval(operand, env, frame)?.convert_to(*ty)),
         }
     }
 }

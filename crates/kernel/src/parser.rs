@@ -199,7 +199,10 @@ impl<'a> Parser<'a> {
         let mut stmts = Vec::new();
         while !self.at(&TokenKind::RBrace) {
             if self.at(&TokenKind::Eof) {
-                return Err(KernelError::parse("unexpected end of input in block", self.peek().span));
+                return Err(KernelError::parse(
+                    "unexpected end of input in block",
+                    self.peek().span,
+                ));
             }
             stmts.push(self.statement()?);
         }
@@ -266,7 +269,12 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        Ok(Stmt::Decl { ty, name, init, span })
+        Ok(Stmt::Decl {
+            ty,
+            name,
+            init,
+            span,
+        })
     }
 
     fn if_statement(&mut self) -> Result<Stmt, KernelError> {
@@ -537,7 +545,11 @@ impl<'a> Parser<'a> {
                 })
             }
             TokenKind::PlusPlus | TokenKind::MinusMinus => {
-                let delta = if matches!(self.peek_kind(), TokenKind::PlusPlus) { 1 } else { -1 };
+                let delta = if matches!(self.peek_kind(), TokenKind::PlusPlus) {
+                    1
+                } else {
+                    -1
+                };
                 self.bump();
                 let operand = self.unary()?;
                 let target = Self::expr_to_lvalue(&operand)?;
@@ -553,7 +565,11 @@ impl<'a> Parser<'a> {
                 if matches!(
                     self.peek2_kind(),
                     TokenKind::Keyword(
-                        Keyword::Float | Keyword::Double | Keyword::Int | Keyword::Uint | Keyword::Bool
+                        Keyword::Float
+                            | Keyword::Double
+                            | Keyword::Int
+                            | Keyword::Uint
+                            | Keyword::Bool
                     )
                 ) =>
             {
@@ -601,7 +617,11 @@ impl<'a> Parser<'a> {
                     };
                 }
                 TokenKind::PlusPlus | TokenKind::MinusMinus => {
-                    let delta = if matches!(self.peek_kind(), TokenKind::PlusPlus) { 1 } else { -1 };
+                    let delta = if matches!(self.peek_kind(), TokenKind::PlusPlus) {
+                        1
+                    } else {
+                        -1
+                    };
                     let span = self.bump().span;
                     let target = Self::expr_to_lvalue(&expr)?;
                     expr = Expr::IncDec {
@@ -686,7 +706,10 @@ mod tests {
         assert!(unit.functions[1].is_kernel);
         assert_eq!(unit.functions[1].params.len(), 5);
         assert!(unit.functions[1].params[0].ty.is_pointer());
-        assert_eq!(unit.functions[1].params[3].ty, Type::Scalar(ScalarType::Int));
+        assert_eq!(
+            unit.functions[1].params[3].ty,
+            Type::Scalar(ScalarType::Int)
+        );
     }
 
     #[test]
@@ -735,7 +758,9 @@ mod tests {
         )
         .unwrap();
         let body = &unit.functions[0].body;
-        assert!(matches!(&body.stmts[1], Stmt::If { then_block, .. } if then_block.stmts.len() == 1));
+        assert!(
+            matches!(&body.stmts[1], Stmt::If { then_block, .. } if then_block.stmts.len() == 1)
+        );
     }
 
     #[test]

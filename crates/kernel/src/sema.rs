@@ -108,7 +108,12 @@ impl<'a> Checker<'a> {
 
     fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), KernelError> {
         match stmt {
-            Stmt::Decl { ty, name, init, span } => {
+            Stmt::Decl {
+                ty,
+                name,
+                init,
+                span,
+            } => {
                 if let Some(init) = init {
                     self.check_expr(init)?;
                 }
@@ -232,7 +237,10 @@ impl<'a> Checker<'a> {
                         UnOp::Neg => Err(KernelError::check("cannot negate a bool", *span)),
                         UnOp::Not => Ok(Type::Scalar(ScalarType::Bool)),
                     },
-                    _ => Err(KernelError::check("unary operator needs a scalar operand", *span)),
+                    _ => Err(KernelError::check(
+                        "unary operator needs a scalar operand",
+                        *span,
+                    )),
                 }
             }
             Expr::Binary { op, lhs, rhs, span } => {
@@ -315,7 +323,12 @@ impl<'a> Checker<'a> {
                     )),
                 }
             }
-            Expr::Assign { target, value, op, span } => {
+            Expr::Assign {
+                target,
+                value,
+                op,
+                span,
+            } => {
                 let tgt = self.check_lvalue(target)?;
                 let vty = self.check_expr(value)?;
                 if vty.is_pointer() {
@@ -402,8 +415,8 @@ mod tests {
 
     #[test]
     fn rejects_float_buffer_index() {
-        let err = check_src("__kernel void k(__global float* v, float i) { v[i] = 1.0f; }")
-            .unwrap_err();
+        let err =
+            check_src("__kernel void k(__global float* v, float i) { v[i] = 1.0f; }").unwrap_err();
         assert!(err.message.contains("integer"));
     }
 
@@ -443,10 +456,12 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_functions_and_builtin_shadowing() {
-        assert!(check_src("float f(float a) { return a; } float f(float b) { return b; } ")
-            .unwrap_err()
-            .message
-            .contains("duplicate"));
+        assert!(
+            check_src("float f(float a) { return a; } float f(float b) { return b; } ")
+                .unwrap_err()
+                .message
+                .contains("duplicate")
+        );
         assert!(check_src("float sqrt(float a) { return a; }")
             .unwrap_err()
             .message
@@ -461,8 +476,8 @@ mod tests {
 
     #[test]
     fn rejects_modulo_on_floats() {
-        let err = check_src("__kernel void k(__global float* v) { v[0] = 1.5f % 2.0f; }")
-            .unwrap_err();
+        let err =
+            check_src("__kernel void k(__global float* v) { v[0] = 1.5f % 2.0f; }").unwrap_err();
         assert!(err.message.contains("integer operands"));
     }
 }

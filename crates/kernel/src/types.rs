@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn unification_prefers_floats() {
         assert_eq!(ScalarType::Int.unify(ScalarType::Float), ScalarType::Float);
-        assert_eq!(ScalarType::Float.unify(ScalarType::Double), ScalarType::Double);
+        assert_eq!(
+            ScalarType::Float.unify(ScalarType::Double),
+            ScalarType::Double
+        );
         assert_eq!(ScalarType::Uint.unify(ScalarType::Int), ScalarType::Int);
         assert_eq!(ScalarType::Uint.unify(ScalarType::Uint), ScalarType::Uint);
     }
@@ -134,7 +137,10 @@ mod tests {
     #[test]
     fn type_display() {
         assert_eq!(Type::Scalar(ScalarType::Float).to_string(), "float");
-        assert_eq!(Type::GlobalPtr(ScalarType::Int).to_string(), "__global int*");
+        assert_eq!(
+            Type::GlobalPtr(ScalarType::Int).to_string(),
+            "__global int*"
+        );
         assert_eq!(Type::Void.to_string(), "void");
     }
 

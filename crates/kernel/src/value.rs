@@ -151,9 +151,18 @@ mod tests {
         assert_eq!(Value::Int(-2).as_f64(), -2.0);
         assert!(Value::Int(5).as_bool());
         assert!(!Value::Float(0.0).as_bool());
-        assert_eq!(Value::Double(1.5).convert_to(ScalarType::Int), Value::Int(1));
-        assert_eq!(Value::Int(7).convert_to(ScalarType::Float), Value::Float(7.0));
-        assert_eq!(Value::Uint(3).convert_to(ScalarType::Bool), Value::Bool(true));
+        assert_eq!(
+            Value::Double(1.5).convert_to(ScalarType::Int),
+            Value::Int(1)
+        );
+        assert_eq!(
+            Value::Int(7).convert_to(ScalarType::Float),
+            Value::Float(7.0)
+        );
+        assert_eq!(
+            Value::Uint(3).convert_to(ScalarType::Bool),
+            Value::Bool(true)
+        );
     }
 
     #[test]

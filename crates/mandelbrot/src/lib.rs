@@ -92,7 +92,9 @@ pub fn escape_time(config: &MandelbrotConfig, pixel: usize) -> u32 {
 
 /// Sequential reference rendering.
 pub fn render_sequential(config: &MandelbrotConfig) -> Vec<u32> {
-    (0..config.pixels()).map(|p| escape_time(config, p)).collect()
+    (0..config.pixels())
+        .map(|p| escape_time(config, p))
+        .collect()
 }
 
 /// The kernel-language source of the per-pixel user function used by the
@@ -124,14 +126,17 @@ int func(int pixel, int width, int height, float center_re, float center_im,
 /// view parameters as additional arguments.
 pub fn render_skelcl(runtime: &Arc<SkelCl>, config: &MandelbrotConfig) -> Result<Vec<u32>> {
     let map = Map::<i32, i32>::from_source(MANDELBROT_UDF);
-    let args = Args::new()
-        .with_i32(config.width as i32)
-        .with_i32(config.height as i32)
-        .with_f32(config.center_re)
-        .with_f32(config.center_im)
-        .with_f32(config.view_width)
-        .with_i32(config.max_iterations as i32);
-    let out = map.call_index(runtime, config.pixels(), &args)?;
+    let out = map
+        .run_index(runtime, config.pixels())
+        .args(skelcl::args![
+            config.width as i32,
+            config.height as i32,
+            config.center_re,
+            config.center_im,
+            config.view_width,
+            config.max_iterations as i32
+        ])
+        .exec()?;
     Ok(out.to_vec()?.into_iter().map(|v| v as u32).collect())
 }
 

@@ -192,7 +192,10 @@ mod tests {
         assert!(ctx.device(3).is_ok());
         assert!(matches!(
             ctx.device(4),
-            Err(OclError::NoSuchDevice { index: 4, available: 4 })
+            Err(OclError::NoSuchDevice {
+                index: 4,
+                available: 4
+            })
         ));
         assert_eq!(ctx.api().name, "OpenCL");
     }
@@ -226,7 +229,11 @@ mod tests {
         let first = ctx.build_program(src).unwrap();
         let after_first = ctx.host_now();
         let second = ctx.build_program(src).unwrap();
-        assert_eq!(ctx.host_now(), after_first, "cache hit must not charge time");
+        assert_eq!(
+            ctx.host_now(),
+            after_first,
+            "cache hit must not charge time"
+        );
         assert_eq!(first.kernel_names(), second.kernel_names());
         assert_eq!(ctx.built_program_count(), 1);
         // A different source is a genuine build and is charged again.

@@ -47,7 +47,10 @@ impl BufferData {
         // fully initialised allocation; the byte length never exceeds the
         // word storage.
         let bytes = unsafe {
-            std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), self.words.len() * 8)
+            std::slice::from_raw_parts_mut(
+                self.words.as_mut_ptr().cast::<u8>(),
+                self.words.len() * 8,
+            )
         };
         &mut bytes[..len]
     }
@@ -105,7 +108,9 @@ impl Device {
 
     /// Bytes of device memory still available.
     pub fn available_bytes(&self) -> usize {
-        self.profile.memory_bytes.saturating_sub(self.allocated_bytes())
+        self.profile
+            .memory_bytes
+            .saturating_sub(self.allocated_bytes())
     }
 
     /// Number of live buffer allocations.
@@ -135,7 +140,8 @@ impl Device {
         let removed = self.storage.lock().remove(&buffer.id());
         match removed {
             Some(data) => {
-                self.allocated.fetch_sub(data.len_bytes(), Ordering::Relaxed);
+                self.allocated
+                    .fetch_sub(data.len_bytes(), Ordering::Relaxed);
                 Ok(())
             }
             None => Err(OclError::BufferNotFound { id: buffer.id() }),
@@ -143,7 +149,12 @@ impl Device {
     }
 
     /// Copy host data into a device buffer.
-    pub fn write_buffer_bytes(&self, buffer: &Buffer, offset_bytes: usize, data: &[u8]) -> Result<()> {
+    pub fn write_buffer_bytes(
+        &self,
+        buffer: &Buffer,
+        offset_bytes: usize,
+        data: &[u8],
+    ) -> Result<()> {
         let mut storage = self.storage.lock();
         let dst = storage
             .get_mut(&buffer.id())
@@ -160,7 +171,12 @@ impl Device {
     }
 
     /// Copy a device buffer range back to the host.
-    pub fn read_buffer_bytes(&self, buffer: &Buffer, offset_bytes: usize, out: &mut [u8]) -> Result<()> {
+    pub fn read_buffer_bytes(
+        &self,
+        buffer: &Buffer,
+        offset_bytes: usize,
+        out: &mut [u8],
+    ) -> Result<()> {
         let storage = self.storage.lock();
         let src = storage
             .get(&buffer.id())
@@ -259,7 +275,8 @@ mod tests {
         assert_eq!(dev.live_buffers(), 1);
 
         let data = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
-        dev.write_buffer_bytes(&buf, 0, pod::as_bytes(&data)).unwrap();
+        dev.write_buffer_bytes(&buf, 0, pod::as_bytes(&data))
+            .unwrap();
         let mut out = vec![0u8; 32];
         dev.read_buffer_bytes(&buf, 0, &mut out).unwrap();
         let back: Vec<f32> = pod::from_bytes_vec(&out);
@@ -275,7 +292,8 @@ mod tests {
         let dev = device();
         let buf = dev.create_buffer::<f32>(4).unwrap();
         let part = [9.0f32, 10.0];
-        dev.write_buffer_bytes(&buf, 8, pod::as_bytes(&part)).unwrap();
+        dev.write_buffer_bytes(&buf, 8, pod::as_bytes(&part))
+            .unwrap();
         let mut out = vec![0u8; 16];
         dev.read_buffer_bytes(&buf, 0, &mut out).unwrap();
         let back: Vec<f32> = pod::from_bytes_vec(&out);

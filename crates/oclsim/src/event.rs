@@ -56,7 +56,10 @@ impl Event {
 
     /// Whether the event is a data transfer.
     pub fn is_transfer(&self) -> bool {
-        matches!(self.kind, CommandKind::WriteBuffer | CommandKind::ReadBuffer)
+        matches!(
+            self.kind,
+            CommandKind::WriteBuffer | CommandKind::ReadBuffer
+        )
     }
 
     /// Whether the event is a host → device transfer (an upload).

@@ -84,7 +84,11 @@ pub fn from_bytes_vec<T: Pod>(bytes: &[u8]) -> Vec<T> {
 /// multiple of `size_of::<T>()`.
 pub fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
     let size = std::mem::size_of::<T>();
-    assert_eq!(bytes.len() % size, 0, "length not a multiple of element size");
+    assert_eq!(
+        bytes.len() % size,
+        0,
+        "length not a multiple of element size"
+    );
     assert_eq!(
         bytes.as_ptr() as usize % std::mem::align_of::<T>(),
         0,
@@ -97,7 +101,11 @@ pub fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
 /// Mutable version of [`cast_slice`].
 pub fn cast_slice_mut<T: Pod>(bytes: &mut [u8]) -> &mut [T] {
     let size = std::mem::size_of::<T>();
-    assert_eq!(bytes.len() % size, 0, "length not a multiple of element size");
+    assert_eq!(
+        bytes.len() % size,
+        0,
+        "length not a multiple of element size"
+    );
     assert_eq!(
         bytes.as_ptr() as usize % std::mem::align_of::<T>(),
         0,
@@ -129,8 +137,16 @@ mod tests {
         }
         unsafe impl Pod for P {}
         let data = vec![
-            P { x: 1.0, y: 2.0, id: 7 },
-            P { x: -1.0, y: 0.5, id: 9 },
+            P {
+                x: 1.0,
+                y: 2.0,
+                id: 7,
+            },
+            P {
+                x: -1.0,
+                y: 0.5,
+                id: 9,
+            },
         ];
         let bytes = as_bytes(&data).to_vec();
         let back: Vec<P> = from_bytes_vec(&bytes);
@@ -147,9 +163,7 @@ mod tests {
     #[test]
     fn cast_slice_views_aligned_memory() {
         let mut words = vec![0u64; 2];
-        let bytes = unsafe {
-            std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), 16)
-        };
+        let bytes = unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), 16) };
         let floats = cast_slice_mut::<f32>(bytes);
         floats[0] = 1.5;
         floats[3] = -2.0;

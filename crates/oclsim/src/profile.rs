@@ -236,7 +236,10 @@ mod tests {
         assert!(large > small);
         // 100 MB over ~5.2 GB/s should be roughly 19 ms, plus latency.
         let secs = large.as_secs_f64();
-        assert!(secs > 0.015 && secs < 0.03, "unexpected transfer time {secs}");
+        assert!(
+            secs > 0.015 && secs < 0.03,
+            "unexpected transfer time {secs}"
+        );
     }
 
     #[test]

@@ -423,10 +423,7 @@ impl Kernel {
                         }
                     }
                 }
-                let mut ctx = NativeCtx {
-                    global_size,
-                    slots,
-                };
+                let mut ctx = NativeCtx { global_size, slots };
                 (def.func)(&mut ctx).map_err(OclError::InvalidKernelArg)?;
                 Ok(None)
             }
@@ -480,12 +477,8 @@ mod tests {
         let k = p.kernel("fill").unwrap();
         let buf = Buffer::new::<f32>(1, 0, 4);
         let mut taken = vec![(1u64, BufferData::new(16))];
-        k.execute(
-            4,
-            &[KernelArg::Buffer(buf), KernelArg::i32(4)],
-            &mut taken,
-        )
-        .unwrap();
+        k.execute(4, &[KernelArg::Buffer(buf), KernelArg::i32(4)], &mut taken)
+            .unwrap();
         assert_eq!(taken[0].1.as_slice::<f32>(), &[0.0, 2.0, 4.0, 6.0]);
     }
 
@@ -505,8 +498,14 @@ mod tests {
         let x = Buffer::new::<f32>(1, 0, 3);
         let y = Buffer::new::<f32>(2, 0, 3);
         let mut taken = vec![(1u64, BufferData::new(12)), (2u64, BufferData::new(12))];
-        taken[0].1.as_slice_mut::<f32>().copy_from_slice(&[1.0, 2.0, 3.0]);
-        taken[1].1.as_slice_mut::<f32>().copy_from_slice(&[10.0, 20.0, 30.0]);
+        taken[0]
+            .1
+            .as_slice_mut::<f32>()
+            .copy_from_slice(&[1.0, 2.0, 3.0]);
+        taken[1]
+            .1
+            .as_slice_mut::<f32>()
+            .copy_from_slice(&[10.0, 20.0, 30.0]);
         k.execute(
             3,
             &[
@@ -534,10 +533,8 @@ mod tests {
 
     #[test]
     fn dsl_rejects_opaque_buffers() {
-        let p = Program::from_source(
-            "__kernel void k(__global float* v, int n) { v[0] = n; }",
-        )
-        .unwrap();
+        let p = Program::from_source("__kernel void k(__global float* v, int n) { v[0] = n; }")
+            .unwrap();
         let k = p.kernel("k").unwrap();
         let buf = Buffer::new::<[f32; 4]>(1, 0, 2);
         let mut taken = vec![(1u64, BufferData::new(32))];

@@ -87,7 +87,7 @@ impl CommandQueue {
         let start = avail.max(queued);
         let end = start + duration;
         *avail = end;
-        *host = *host + self.api.enqueue_overhead;
+        *host += self.api.enqueue_overhead;
         if blocking {
             *host = host.max(end);
         }
@@ -236,7 +236,8 @@ mod tests {
         let ctx = two_gpu_context();
         let q = ctx.queue(0).unwrap();
         let buf = ctx.create_buffer::<f32>(0, 4).unwrap();
-        q.enqueue_write_buffer(&buf, &[1.0f32, 2.0, 3.0, 4.0]).unwrap();
+        q.enqueue_write_buffer(&buf, &[1.0f32, 2.0, 3.0, 4.0])
+            .unwrap();
 
         let program = ctx
             .build_program(
@@ -244,8 +245,12 @@ mod tests {
             )
             .unwrap();
         let kernel = program.kernel("dbl").unwrap();
-        q.enqueue_kernel(&kernel, 4, &[KernelArg::Buffer(buf.clone()), KernelArg::i32(4)])
-            .unwrap();
+        q.enqueue_kernel(
+            &kernel,
+            4,
+            &[KernelArg::Buffer(buf.clone()), KernelArg::i32(4)],
+        )
+        .unwrap();
 
         let mut out = vec![0.0f32; 4];
         q.enqueue_read_buffer(&buf, &mut out).unwrap();
@@ -262,7 +267,10 @@ mod tests {
         let r = q.enqueue_read_buffer(&buf, &mut out).unwrap();
         assert!(w.end <= r.start, "in-order queue must serialise commands");
         assert!(r.duration().as_nanos() > 0);
-        assert!(ctx.host_now() >= r.end, "blocking read syncs the host clock");
+        assert!(
+            ctx.host_now() >= r.end,
+            "blocking read syncs the host clock"
+        );
     }
 
     #[test]
@@ -326,7 +334,8 @@ mod tests {
         let ctx = two_gpu_context();
         let q = ctx.queue(0).unwrap();
         let buf = ctx.create_buffer::<f32>(0, 1 << 20).unwrap();
-        q.enqueue_write_buffer(&buf, &vec![0.0f32; 1 << 20]).unwrap();
+        q.enqueue_write_buffer(&buf, &vec![0.0f32; 1 << 20])
+            .unwrap();
         assert!(ctx.host_now() < q.available_at());
         let t = q.finish();
         assert_eq!(t, q.available_at());

@@ -159,7 +159,7 @@ proptest! {
         let kernel = program.kernel("spin").unwrap();
         let queue = ctx.queue(0).unwrap();
 
-        let mut time_with = |iters: i32| {
+        let time_with = |iters: i32| {
             let buf = ctx.create_buffer::<f32>(0, items).unwrap();
             queue.enqueue_write_buffer(&buf, &vec![1.0f32; items]).unwrap();
             let ev = queue

@@ -50,7 +50,9 @@ impl CudaOsem {
             let (events_view, rest) = views.split_first_mut().ok_or("missing events argument")?;
             let (f_view, rest) = rest.split_first_mut().ok_or("missing f argument")?;
             let (c_view, _) = rest.split_first_mut().ok_or("missing c argument")?;
-            let events = events_view.as_slice::<Event>().ok_or("events must be a buffer")?;
+            let events = events_view
+                .as_slice::<Event>()
+                .ok_or("events must be a buffer")?;
             let f = f_view.as_slice::<f32>().ok_or("f must be a buffer")?;
             let c = c_view.as_slice_mut::<f32>().ok_or("c must be a buffer")?;
             kernels::compute_error_image(&volume, &events[..n], f, c);
@@ -113,7 +115,9 @@ impl CudaOsem {
             let ev_buf = if chunks[gpu].is_empty() {
                 None
             } else {
-                let b = self.context.create_buffer::<Event>(gpu, chunks[gpu].len())?;
+                let b = self
+                    .context
+                    .create_buffer::<Event>(gpu, chunks[gpu].len())?;
                 queue.enqueue_write_buffer(&b, chunks[gpu])?;
                 Some(b)
             };
@@ -170,13 +174,18 @@ impl CudaOsem {
             queue.enqueue_kernel(
                 &self.update_kernel,
                 range.len(),
-                &[KernelArg::Buffer(f_buf.clone()), KernelArg::Buffer(c_buf.clone())],
+                &[
+                    KernelArg::Buffer(f_buf.clone()),
+                    KernelArg::Buffer(c_buf.clone()),
+                ],
             )?;
             part_buffers.push(Some((f_buf, c_buf)));
         }
         // LOC: multi-gpu begin
         for gpu in 0..self.num_gpus {
-            let Some((f_buf, c_buf)) = &part_buffers[gpu] else { continue };
+            let Some((f_buf, c_buf)) = &part_buffers[gpu] else {
+                continue;
+            };
             let range = ranges[gpu].clone();
             self.queues[gpu].enqueue_read_buffer(f_buf, &mut f[range])?;
             self.context.release_buffer(f_buf)?;

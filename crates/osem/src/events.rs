@@ -121,8 +121,8 @@ impl EventGenerator {
     /// endpoints are placed outside the volume along that direction.
     pub fn generate_event(&mut self) -> Event {
         // Rejection-sample an emission point proportional to activity.
-        let max_activity: f32 = self.phantom.background
-            + self.phantom.spheres.iter().map(|s| s.2).sum::<f32>();
+        let max_activity: f32 =
+            self.phantom.background + self.phantom.spheres.iter().map(|s| s.2).sum::<f32>();
         let emission = loop {
             let p = self.random_point_in_volume();
             let a = self.phantom.activity(p);
@@ -145,7 +145,7 @@ impl EventGenerator {
         };
         // Place the endpoints just outside the volume along the direction.
         let e = self.volume.extent();
-        let reach = (e[0] + e[1] + e[2]) as f32; // longer than any chord
+        let reach = e[0] + e[1] + e[2]; // longer than any chord
         Event {
             p1: [
                 emission[0] + dir[0] * reach,

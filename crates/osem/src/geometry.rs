@@ -19,7 +19,10 @@ pub struct Volume {
 impl Volume {
     /// Create a volume of `nx × ny × nz` voxels with the given voxel size.
     pub fn new(nx: usize, ny: usize, nz: usize, voxel_size: f32) -> Volume {
-        assert!(nx > 0 && ny > 0 && nz > 0, "volume dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "volume dimensions must be positive"
+        );
         assert!(voxel_size > 0.0, "voxel size must be positive");
         Volume {
             nx,

@@ -141,7 +141,11 @@ mod tests {
 
         let mut f1 = f.clone();
         update_image(&mut f1, &c_batch);
-        let f2: Vec<f32> = f.iter().zip(&c_batch).map(|(a, b)| update_voxel(*a, *b)).collect();
+        let f2: Vec<f32> = f
+            .iter()
+            .zip(&c_batch)
+            .map(|(a, b)| update_voxel(*a, *b))
+            .collect();
         assert_eq!(f1, f2);
     }
 

@@ -45,7 +45,11 @@ pub enum Implementation {
 impl Implementation {
     /// All implementations in the order of Figure 4a.
     pub fn all() -> [Implementation; 3] {
-        [Implementation::SkelCl, Implementation::OpenCl, Implementation::Cuda]
+        [
+            Implementation::SkelCl,
+            Implementation::OpenCl,
+            Implementation::Cuda,
+        ]
     }
 
     /// Display name.
@@ -200,7 +204,10 @@ let outside = 5;
     #[test]
     fn multi_total_is_consistent() {
         for (_, loc) in figure_4a() {
-            assert_eq!(loc.host_multi_total(), loc.host_single + loc.host_multi_extra);
+            assert_eq!(
+                loc.host_multi_total(),
+                loc.host_single + loc.host_multi_extra
+            );
         }
     }
 }

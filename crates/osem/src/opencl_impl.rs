@@ -90,7 +90,9 @@ impl OpenClOsem {
             let (events_view, rest) = views.split_first_mut().ok_or("missing events argument")?;
             let (f_view, rest) = rest.split_first_mut().ok_or("missing f argument")?;
             let (c_view, _) = rest.split_first_mut().ok_or("missing c argument")?;
-            let events = events_view.as_slice::<Event>().ok_or("events must be a buffer")?;
+            let events = events_view
+                .as_slice::<Event>()
+                .ok_or("events must be a buffer")?;
             let f = f_view.as_slice::<f32>().ok_or("f must be a buffer")?;
             let c = c_view.as_slice_mut::<f32>().ok_or("c must be a buffer")?;
             kernels::compute_error_image(&volume, &events[..n], f, c);
@@ -157,7 +159,9 @@ impl OpenClOsem {
             let ev_buf = if chunks[gpu].is_empty() {
                 None
             } else {
-                let b = self.context.create_buffer::<Event>(gpu, chunks[gpu].len())?;
+                let b = self
+                    .context
+                    .create_buffer::<Event>(gpu, chunks[gpu].len())?;
                 queue.enqueue_write_buffer(&b, chunks[gpu])?;
                 Some(b)
             };
@@ -166,7 +170,9 @@ impl OpenClOsem {
             c_buffers.push(c_buf);
         }
         for gpu in 0..self.num_gpus {
-            let Some(ev_buf) = &event_buffers[gpu] else { continue };
+            let Some(ev_buf) = &event_buffers[gpu] else {
+                continue;
+            };
             self.queues[gpu].enqueue_kernel(
                 &self.compute_c_kernel,
                 chunks[gpu].len(),
@@ -232,12 +238,17 @@ impl OpenClOsem {
             self.queues[gpu].enqueue_kernel(
                 &self.update_kernel,
                 ranges[gpu].len(),
-                &[KernelArg::Buffer(f_buf.clone()), KernelArg::Buffer(c_buf.clone())],
+                &[
+                    KernelArg::Buffer(f_buf.clone()),
+                    KernelArg::Buffer(c_buf.clone()),
+                ],
             )?;
         }
         // LOC: multi-gpu begin
         for gpu in 0..self.num_gpus {
-            let Some(f_buf) = &f_part_buffers[gpu] else { continue };
+            let Some(f_buf) = &f_part_buffers[gpu] else {
+                continue;
+            };
             let range = ranges[gpu].clone();
             self.queues[gpu].enqueue_read_buffer(f_buf, &mut f[range])?;
             self.context.release_buffer(f_buf)?;

@@ -9,8 +9,7 @@ use crate::kernels::{compute_error_image, update_image};
 ///
 /// Returns the reconstruction image `f`.
 pub fn reconstruct(config: &ReconstructionConfig) -> Vec<f32> {
-    let mut generator =
-        EventGenerator::new(config.volume, config.phantom.clone(), config.seed);
+    let mut generator = EventGenerator::new(config.volume, config.phantom.clone(), config.seed);
     let mut f = vec![1.0f32; config.volume.voxel_count()];
     for _ in 0..config.num_subsets {
         // "read subset from file" in Listing 2 — here: generate it.
@@ -31,8 +30,7 @@ pub fn process_subset(config: &ReconstructionConfig, events: &[Event], f: &mut [
 /// implementations and benchmarks so every implementation processes exactly
 /// the same events).
 pub fn generate_subsets(config: &ReconstructionConfig) -> Vec<Vec<Event>> {
-    let mut generator =
-        EventGenerator::new(config.volume, config.phantom.clone(), config.seed);
+    let mut generator = EventGenerator::new(config.volume, config.phantom.clone(), config.seed);
     (0..config.num_subsets)
         .map(|_| generator.generate_subset(config.events_per_subset))
         .collect()
@@ -85,7 +83,9 @@ mod tests {
         let subsets_b = generate_subsets(&config);
         assert_eq!(subsets_a, subsets_b);
         assert_eq!(subsets_a.len(), config.num_subsets);
-        assert!(subsets_a.iter().all(|s| s.len() == config.events_per_subset));
+        assert!(subsets_a
+            .iter()
+            .all(|s| s.len() == config.events_per_subset));
 
         // Reconstructing from the pre-generated subsets gives the same image.
         let mut f = vec![1.0f32; config.volume.voxel_count()];

@@ -117,11 +117,7 @@ pub fn compute_path_into(volume: &Volume, event: &Event, out: &mut Vec<PathEleme
         let t_exit = t_next[axis].min(t_max);
         let len = (t_exit - t) * seg_len;
         if len > 0.0 {
-            let coord = volume.index(
-                voxel[0] as usize,
-                voxel[1] as usize,
-                voxel[2] as usize,
-            );
+            let coord = volume.index(voxel[0] as usize, voxel[1] as usize, voxel[2] as usize);
             out.push(PathElement { coord, len });
         }
         t = t_exit;
@@ -227,7 +223,10 @@ mod tests {
     #[test]
     fn path_buffer_reuse_clears_previous_contents() {
         let vol = Volume::new(4, 4, 4, 1.0);
-        let mut path = vec![PathElement { coord: 999, len: 1.0 }];
+        let mut path = vec![PathElement {
+            coord: 999,
+            len: 1.0,
+        }];
         compute_path_into(&vol, &axis_event(&vol), &mut path);
         assert!(path.iter().all(|e| e.coord < vol.voxel_count()));
     }

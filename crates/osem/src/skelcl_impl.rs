@@ -123,10 +123,7 @@ impl SkelclOsem {
         timing.upload_s = (t1 - t0).as_secs_f64();
 
         /* 2. Step 1: compute error image (map skeleton) */
-        self.map_compute_c.call(
-            &events,
-            &Args::new().with_vec_f32(f).with_vec_f32(&c),
-        )?;
+        self.map_compute_c.run(&events).arg(&*f).arg(&c).exec()?;
         c.mark_device_modified();
         let t2 = rt.finish_all();
         timing.step1_s = (t2 - t1).as_secs_f64();
@@ -141,7 +138,7 @@ impl SkelclOsem {
         timing.redistribution_s = (t3 - t2).as_secs_f64();
 
         /* 4. Step 2: update reconstruction image (zip skeleton) */
-        *f = self.zip_update.call(f, &c, &Args::none())?;
+        *f = self.zip_update.run(f, &c).exec()?;
         let t4 = rt.finish_all();
         timing.step2_s = (t4 - t3).as_secs_f64();
 

@@ -1,0 +1,217 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!` — with simple wall-clock timing
+//! and a text report instead of criterion's statistical machinery. Benches
+//! compile under `cargo test` (where they only build) and run under
+//! `cargo bench`, printing mean time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to the closure under test; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean time per call.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // One warm-up call outside the measurement.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = self.samples;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure that receives an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        self.criterion
+            .run_one(&full, sample_size, |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (report output happens per benchmark; nothing to do).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Criterion {
+    /// Driver with the default sample size.
+    fn new() -> Criterion {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, samples: u64, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iterations > 0 {
+            bencher.elapsed / bencher.iterations as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "bench {name:<50} {:>12.3} µs/iter ({} iters)",
+            per_iter.as_secs_f64() * 1e6,
+            bencher.iterations
+        );
+    }
+}
+
+/// Prevent the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::__new_for_macro();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group named in the invocation.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+impl Criterion {
+    /// Constructor used by the `criterion_group!` macro expansion.
+    #[doc(hidden)]
+    pub fn __new_for_macro() -> Criterion {
+        Criterion::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_payload() {
+        let mut c = Criterion::new();
+        let mut count = 0u64;
+        c.bench_function("count", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .bench_with_input(BenchmarkId::new("x", 1), &1, |b, &v| {
+                b.iter(|| black_box(v + 1))
+            });
+        g.finish();
+    }
+}

@@ -1,0 +1,229 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of proptest it uses: the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!`, range and collection strategies, `any::<T>()` with
+//! `prop_filter`, `prop::array::uniform3`, and simple `[class]{m,n}` string
+//! patterns. Case generation is deterministic (seeded per test name and case
+//! index), so failures are reproducible; there is no shrinking — the failing
+//! inputs are printed instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection`, `prop::array`, … namespace mirroring proptest.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Fixed-size array strategies.
+    pub mod array {
+        pub use crate::strategy::{uniform3, uniform4};
+    }
+}
+
+/// Strategy producing arbitrary values of `T` (full bit patterns for floats).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// The everything-you-need import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body; failure reports the case
+/// instead of panicking mid-generator.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert two values differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Define property tests: each function runs `config.cases` times over
+/// freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)+),
+                    $(&$arg),+
+                );
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = result {
+                    panic!(
+                        "property `{}` failed at case {}/{}:\n{}\ninputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err,
+                        inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 0usize..100,
+            b in 1usize..=8,
+            f in -2.5f32..7.5,
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!((1..=8).contains(&b));
+            prop_assert!((-2.5..7.5).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn collections_and_tuples(
+            data in prop::collection::vec((-10.0f32..10.0, 0i32..5), 1..20),
+            arr in prop::array::uniform3(-1.0f32..1.0),
+        ) {
+            prop_assert!(!data.is_empty() && data.len() < 20);
+            for (x, y) in &data {
+                prop_assert!((-10.0..10.0).contains(x));
+                prop_assert!((0..5).contains(y));
+            }
+            prop_assert_eq!(arr.len(), 3);
+        }
+
+        #[test]
+        fn filters_and_strings(
+            x in any::<f32>().prop_filter("finite", |v| v.is_finite()),
+            s in "[ -~\n]{0,20}",
+        ) {
+            prop_assert!(x.is_finite());
+            prop_assert!(s.len() <= 20);
+            prop_assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        let s = 0usize..1000;
+        assert_eq!(
+            Strategy::generate(&s, &mut a),
+            Strategy::generate(&s, &mut b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            #[allow(dead_code)]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,432 @@
+//! Value-generation strategies: numeric ranges, tuples, collections, arrays,
+//! `any::<T>()`, filtering/mapping combinators and `[class]{m,n}` string
+//! patterns.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Keep only values satisfying `pred` (regenerates on rejection).
+    fn prop_filter<F>(self, label: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            label,
+            pred,
+        }
+    }
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy yielding always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- numeric ranges --------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start as f64
+                    + rng.unit_f64() * (self.end as f64 - self.start as f64);
+                if v >= self.end as f64 { self.start } else { v as $t }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                (start as f64 + rng.unit_f64() * (end as f64 - start as f64)) as $t
+            }
+        }
+    )+};
+}
+
+float_range_strategy!(f32, f64);
+
+// --- tuples ----------------------------------------------------------------
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+// --- collections and arrays -------------------------------------------------
+
+/// Strategy for `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S: Strategy> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.len.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// Strategy for fixed-size arrays of three elements.
+pub struct Uniform3<S: Strategy>(S);
+
+impl<S: Strategy> Strategy for Uniform3<S> {
+    type Value = [S::Value; 3];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        [
+            self.0.generate(rng),
+            self.0.generate(rng),
+            self.0.generate(rng),
+        ]
+    }
+}
+
+/// `prop::array::uniform3(element)`.
+pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+    Uniform3(element)
+}
+
+/// Strategy for fixed-size arrays of four elements.
+pub struct Uniform4<S: Strategy>(S);
+
+impl<S: Strategy> Strategy for Uniform4<S> {
+    type Value = [S::Value; 4];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        [
+            self.0.generate(rng),
+            self.0.generate(rng),
+            self.0.generate(rng),
+            self.0.generate(rng),
+        ]
+    }
+}
+
+/// `prop::array::uniform4(element)`.
+pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+    Uniform4(element)
+}
+
+// --- any::<T>() --------------------------------------------------------------
+
+/// Types `any::<T>()` can generate (full value-space, including non-finite
+/// floats).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits((rng.next_u64() >> 32) as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i32
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`crate::any`].
+pub struct Any<T: Arbitrary>(PhantomData<T>);
+
+impl<T: Arbitrary> Any<T> {
+    pub(crate) fn new() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --- combinators --------------------------------------------------------------
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    label: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 10000 consecutive candidates",
+            self.label
+        );
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// --- string patterns -----------------------------------------------------------
+
+/// `&str` patterns of the shape `[class]{m,n}` (character class plus a
+/// repetition count) generate strings; any other pattern is produced
+/// verbatim.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_pattern(self) {
+            Some((chars, lo, hi)) if !chars.is_empty() => {
+                let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                (0..len)
+                    .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                    .collect()
+            }
+            _ => (*self).to_string(),
+        }
+    }
+}
+
+/// Parse `[class]{m,n}` into (allowed characters, m, n).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let (class, tail) = rest.split_at(close);
+    let tail = tail.strip_prefix(']')?;
+    let tail = tail.strip_prefix('{')?;
+    let tail = tail.strip_suffix('}')?;
+    let (lo, hi) = match tail.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = tail.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+
+    let mut chars = Vec::new();
+    let mut it = class.chars().peekable();
+    while let Some(c) = it.next() {
+        let c = if c == '\\' {
+            match it.next()? {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            }
+        } else {
+            c
+        };
+        // A range `a-b` (a dash that is neither first nor last).
+        if it.peek() == Some(&'-') {
+            let mut look = it.clone();
+            look.next(); // the dash
+            if let Some(&end) = look.peek() {
+                if end != ']' {
+                    it.next(); // consume '-'
+                    let end = it.next()?;
+                    let end = if end == '\\' {
+                        match it.next()? {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        }
+                    } else {
+                        end
+                    };
+                    if c as u32 <= end as u32 {
+                        chars.extend((c as u32..=end as u32).filter_map(char::from_u32));
+                    }
+                    continue;
+                }
+            }
+        }
+        chars.push(c);
+    }
+    Some((chars, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy_tests", 0)
+    }
+
+    #[test]
+    fn class_pattern_parses_ranges_and_escapes() {
+        let (chars, lo, hi) = parse_class_pattern("[ -~\n]{0,200}").unwrap();
+        assert_eq!((lo, hi), (0, 200));
+        assert!(chars.contains(&' '));
+        assert!(chars.contains(&'~'));
+        assert!(chars.contains(&'\n'));
+        assert!(!chars.contains(&'\x01'));
+    }
+
+    #[test]
+    fn string_strategy_respects_length_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c]{2,5}".generate(&mut r);
+            assert!(s.len() >= 2 && s.len() <= 5, "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_and_collections_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (1usize..=8).generate(&mut r);
+            assert!((1..=8).contains(&v));
+            let xs = vec(-1.0f32..1.0, 1..10).generate(&mut r);
+            assert!(!xs.is_empty() && xs.len() < 10);
+            let arr = uniform3(0i32..3).generate(&mut r);
+            assert!(arr.iter().all(|x| (0..3).contains(x)));
+        }
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let mut r = rng();
+        let s = any::<f32>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(|x| x.abs());
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    use crate::any;
+}

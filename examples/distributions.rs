@@ -1,7 +1,7 @@
 //! Figure 1 of the paper: the `single`, `block` and `copy` distributions of a
 //! vector over two GPUs, and what changing them implies.
 //!
-//! Run with `cargo run -p skelcl-bench --example distributions`.
+//! Run with `cargo run --example distributions`.
 
 use skelcl::prelude::*;
 
@@ -36,7 +36,10 @@ fn main() -> Result<()> {
     // copies (used by the OSEM error image in Listing 3).
     v.set_combine(Combine::add());
     v.set_distribution(Distribution::Block)?;
-    println!("after copy -> block with Combine::add(): v[0] = {}", v.to_vec()?[0]);
+    println!(
+        "after copy -> block with Combine::add(): v[0] = {}",
+        v.to_vec()?[0]
+    );
 
     Ok(())
 }

@@ -10,7 +10,7 @@
 //! runs the *unmodified* SkelCL SAXPY program on it, and quantifies the
 //! communication penalty for different interconnects.
 //!
-//! Run with `cargo run --release -p skelcl-bench --example dopencl_cluster`.
+//! Run with `cargo run --release --example dopencl_cluster`.
 
 use skelcl::prelude::*;
 
@@ -23,10 +23,10 @@ fn saxpy_on(profiles: Vec<oclsim::DeviceProfile>, n: usize) -> Result<(f64, f32)
     );
     let x = Vector::from_vec(&rt, (0..n).map(|i| i as f32).collect());
     let y = Vector::from_vec(&rt, vec![1.0f32; n]);
-    saxpy.call(&x, &y, &Args::new().with_f32(2.0))?; // warm-up
+    saxpy.run(&x, &y).arg(2.0f32).exec()?; // warm-up
     rt.finish_all();
     let t0 = rt.now();
-    let out = saxpy.call(&x, &y, &Args::new().with_f32(2.0))?;
+    let out = saxpy.run(&x, &y).arg(2.0f32).exec()?;
     let sample = out.to_vec()?[n / 2];
     rt.finish_all();
     Ok(((rt.now() - t0).as_secs_f64(), sample))

@@ -3,7 +3,7 @@
 //! paper's Section II-B uses to motivate lazy data transfers — the zip's
 //! output never leaves the devices.
 //!
-//! Run with `cargo run -p skelcl-bench --example dot_product`.
+//! Run with `cargo run --example dot_product`.
 
 use skelcl::prelude::*;
 
@@ -26,13 +26,12 @@ fn main() -> Result<()> {
     // Warm-up pass: compiles both generated kernels (runtime compilation is a
     // one-time cost the paper excludes from its measurements) and uploads the
     // two input vectors.
-    let _ = sum.reduce_value(&multiply.call(&x, &y, &Args::none())?)?;
+    let _ = x.zip(&y, &multiply)?.reduce(&sum)?;
     rt.finish_all();
     rt.drain_events();
 
     let t0 = rt.now();
-    let products = multiply.call(&x, &y, &Args::none())?;
-    let dot = sum.reduce_value(&products)?;
+    let dot = x.zip(&y, &multiply)?.reduce(&sum)?;
     rt.finish_all();
     let elapsed = (rt.now() - t0).as_secs_f64();
 

@@ -7,7 +7,7 @@
 //! partition, the speed-up over an even split, and the CPU-vs-GPU decision
 //! for the final step of a reduction.
 //!
-//! Run with `cargo run --release -p skelcl-bench --example heterogeneous_scheduling`.
+//! Run with `cargo run --release --example heterogeneous_scheduling`.
 
 use skelcl::prelude::*;
 use skelcl::{PerfModel, StaticScheduler};
@@ -38,7 +38,10 @@ fn main() -> Result<()> {
         let weights = model.weights(cost);
         println!(
             "  {label:32} -> {:?}",
-            weights.iter().map(|w| (w * 100.0).round() / 100.0).collect::<Vec<_>>()
+            weights
+                .iter()
+                .map(|w| (w * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -57,10 +60,10 @@ fn main() -> Result<()> {
         let map = Map::<f32, f32>::from_source(heavy);
         let v = Vector::from_vec(&rt, vec![1.0f32; n]);
         v.set_distribution(dist)?;
-        map.call(&v, &Args::none())?; // warm-up: compile + upload
+        v.map(&map)?; // warm-up: compile + upload
         rt.finish_all();
         let t0 = rt.now();
-        let out = map.call(&v, &Args::none())?;
+        let out = v.map(&map)?;
         out.with_host(|_| ())?;
         rt.finish_all();
         Ok((rt.now() - t0).as_secs_f64())

@@ -1,7 +1,7 @@
 //! Render a small Mandelbrot set with the map skeleton and print it as ASCII
 //! art — the benchmark application referenced in the paper's conclusion.
 //!
-//! Run with `cargo run -p skelcl-bench --example mandelbrot_image`.
+//! Run with `cargo run --example mandelbrot_image`.
 
 use mandelbrot::{render_skelcl, MandelbrotConfig};
 

@@ -2,7 +2,7 @@
 //! iteration on two GPUs (upload, step 1, redistribution, step 2, download),
 //! expressed purely through SkelCL distributions.
 //!
-//! Run with `cargo run --release -p skelcl-bench --example osem_phases`.
+//! Run with `cargo run --release --example osem_phases`.
 
 use osem::{sequential, ReconstructionConfig, SkelclOsem};
 use skelcl::prelude::*;
@@ -28,12 +28,18 @@ fn main() {
     println!("phase breakdown (simulated milliseconds), cf. Figure 3 of the paper:");
     println!("  1. upload          {:>10.3} ms", timing.upload_s * 1e3);
     println!("  2. step 1 (map)    {:>10.3} ms", timing.step1_s * 1e3);
-    println!("  3. redistribution  {:>10.3} ms", timing.redistribution_s * 1e3);
+    println!(
+        "  3. redistribution  {:>10.3} ms",
+        timing.redistribution_s * 1e3
+    );
     println!("  4. step 2 (zip)    {:>10.3} ms", timing.step2_s * 1e3);
     println!("  5. download        {:>10.3} ms", timing.download_s * 1e3);
     println!("  total              {:>10.3} ms", timing.total_s() * 1e3);
 
     let image = f.to_vec().expect("download");
     let max = image.iter().cloned().fold(0.0f32, f32::max);
-    println!("reconstructed image: {} voxels, max value {max:.3}", image.len());
+    println!(
+        "reconstructed image: {} voxels, max value {max:.3}",
+        image.len()
+    );
 }

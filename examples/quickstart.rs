@@ -1,7 +1,7 @@
 //! Quickstart: the SAXPY computation of Listing 1 of the paper, plus a
 //! map → reduce pipeline that never leaves the (simulated) GPUs.
 //!
-//! Run with `cargo run -p skelcl-bench --example quickstart`.
+//! Run with `cargo run --example quickstart`.
 
 use skelcl::prelude::*;
 
@@ -18,9 +18,13 @@ fn main() -> Result<()> {
     let x = Vector::from_vec(&rt, (0..n).map(|i| i as f32).collect());
     let y = Vector::from_vec(&rt, vec![1.0f32; n as usize]);
     let a = 2.5f32;
-    let y = saxpy.call(&x, &y, &Args::new().with_f32(a))?;
+    let y = saxpy.run(&x, &y).arg(a).exec()?;
     let result = y.to_vec()?;
-    println!("saxpy: y[10] = {} (expected {})", result[10], a * 10.0 + 1.0);
+    println!(
+        "saxpy: y[10] = {} (expected {})",
+        result[10],
+        a * 10.0 + 1.0
+    );
 
     // --- A map → reduce pipeline ----------------------------------------
     // The map's output stays on the devices; the reduce reuses it without
@@ -28,7 +32,7 @@ fn main() -> Result<()> {
     let square = Map::<f32, f32>::from_source("float func(float v) { return v * v; }");
     let sum = Reduce::<f32>::from_source("float func(float l, float r) { return l + r; }");
     let values = Vector::from_vec(&rt, (1..=1000).map(|i| i as f32).collect());
-    let sum_of_squares = sum.reduce_value(&square.call(&values, &Args::none())?)?;
+    let sum_of_squares = values.map(&square)?.reduce(&sum)?;
     println!("sum of squares 1..=1000 = {sum_of_squares}");
 
     println!(

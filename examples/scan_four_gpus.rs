@@ -4,7 +4,7 @@
 //! per-device local scans, and the final result after the implicitly created
 //! map skeletons add each device's predecessor totals.
 //!
-//! Run with `cargo run -p skelcl-bench --example scan_four_gpus`.
+//! Run with `cargo run --example scan_four_gpus`.
 
 use skelcl::prelude::*;
 
@@ -12,11 +12,14 @@ fn main() -> Result<()> {
     let rt = skelcl::init_gpus(4);
     let input: Vec<f32> = (1..=16).map(|i| i as f32).collect();
     println!("input (block-distributed over 4 GPUs):");
-    println!("  {:?}", input.iter().map(|v| *v as i64).collect::<Vec<_>>());
+    println!(
+        "  {:?}",
+        input.iter().map(|v| *v as i64).collect::<Vec<_>>()
+    );
 
     let scan = Scan::<f32>::from_source("float func(float a, float b) { return a + b; }");
     let v = Vector::from_vec(&rt, input);
-    let (out, trace) = scan.call_with_trace(&v)?;
+    let (out, trace) = scan.run(&v).trace()?;
 
     println!("local scans per GPU (step 1 of Figure 2):");
     for (gpu, part) in trace.local_scans.iter().enumerate() {

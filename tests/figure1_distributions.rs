@@ -24,7 +24,10 @@ fn figure_1a_single_distribution_stores_everything_on_one_gpu() {
     v.set_distribution(Distribution::Single(1)).unwrap();
     v.copy_data_to_devices().unwrap();
     assert_eq!(v.sizes(), vec![0, 16]);
-    assert_eq!(v.to_vec().unwrap(), (1..=16).map(|i| i as f32).collect::<Vec<_>>());
+    assert_eq!(
+        v.to_vec().unwrap(),
+        (1..=16).map(|i| i as f32).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -92,7 +95,7 @@ fn switching_away_from_copy_keeps_the_first_devices_version_by_default() {
 
     // Each device locally doubles its own full copy (copy-distributed map).
     let double = Map::<f32, f32>::from_source("float func(float x) { return 2.0f * x; }");
-    let doubled = double.call(&v, &Args::none()).unwrap();
+    let doubled = double.run(&v).exec().unwrap();
     assert_eq!(doubled.distribution(), Distribution::Copy);
 
     // Switching to block without a combine function keeps device 0's copy.
@@ -112,7 +115,7 @@ fn switching_away_from_copy_with_a_user_combine_function_merges_the_copies() {
 
     // Each device adds 1 to its own copy.
     let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
-    let c = inc.call(&c, &Args::none()).unwrap();
+    let c = inc.run(&c).exec().unwrap();
     c.set_combine(Combine::add());
     assert_eq!(c.distribution(), Distribution::Copy);
 
@@ -143,7 +146,7 @@ fn residence_tracks_where_the_valid_copy_lives() {
     // A skeleton writes a device-resident output; reading it back makes it
     // shared again.
     let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
-    let out = inc.call(&v, &Args::none()).unwrap();
+    let out = inc.run(&v).exec().unwrap();
     assert_eq!(out.residence(), Residence::DevicesOnly);
     let _ = out.to_vec().unwrap();
     assert_eq!(out.residence(), Residence::Shared);
@@ -164,7 +167,7 @@ fn skeleton_execution_follows_the_input_distribution() {
         let v = Vector::from_vec(&rt, vec![1.0f32; 32]);
         v.set_distribution(dist.clone()).unwrap();
         rt.drain_events();
-        let _ = inc.call(&v, &Args::none()).unwrap();
+        let _ = inc.run(&v).exec().unwrap();
         let events = rt.drain_events();
         let per_device: Vec<usize> = events
             .iter()
@@ -185,7 +188,7 @@ fn redistribution_moves_data_through_the_host_as_the_paper_describes() {
     v.set_distribution(Distribution::Single(0)).unwrap();
     let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
     // The map's output is resident on device 0 only; the host copy is stale.
-    let out = inc.call(&v, &Args::none()).unwrap();
+    let out = inc.run(&v).exec().unwrap();
     rt.drain_events();
 
     out.set_distribution(Distribution::Single(1)).unwrap();

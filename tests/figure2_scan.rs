@@ -26,7 +26,7 @@ fn figure_2_trace_on_four_gpus_matches_every_stage() {
     let input: Vec<i32> = (1..=16).collect();
     let v = Vector::from_vec(&rt, input.clone());
 
-    let (out, trace) = scan.call_with_trace(&v).unwrap();
+    let (out, trace) = scan.run(&v).trace().unwrap();
 
     // Second row of the figure: the local (per-device) scans.
     assert_eq!(
@@ -53,7 +53,7 @@ fn scan_output_is_block_distributed_as_section_iii_c_states() {
     let rt = skelcl::init_gpus(4);
     let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
     let v = Vector::from_vec(&rt, (1..=16).collect());
-    let out = scan.call(&v).unwrap();
+    let out = scan.run(&v).exec().unwrap();
     assert_eq!(out.distribution(), Distribution::Block);
     assert_eq!(out.sizes(), vec![4, 4, 4, 4]);
 }
@@ -67,7 +67,7 @@ fn scan_matches_the_sequential_prefix_on_any_device_count() {
         let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
         let v = Vector::from_vec(&rt, input.clone());
         assert_eq!(
-            scan.call(&v).unwrap().to_vec().unwrap(),
+            scan.run(&v).exec().unwrap().to_vec().unwrap(),
             expected,
             "devices = {devices}"
         );
@@ -82,7 +82,10 @@ fn scan_handles_lengths_that_do_not_divide_evenly() {
     let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
     let input: Vec<i32> = (1..=10).collect();
     let v = Vector::from_vec(&rt, input.clone());
-    assert_eq!(scan.call(&v).unwrap().to_vec().unwrap(), prefix_sums(&input));
+    assert_eq!(
+        scan.run(&v).exec().unwrap().to_vec().unwrap(),
+        prefix_sums(&input)
+    );
 }
 
 #[test]
@@ -91,10 +94,13 @@ fn scan_of_a_single_element_and_of_fewer_elements_than_devices() {
     let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
 
     let one = Vector::from_vec(&rt, vec![42]);
-    assert_eq!(scan.call(&one).unwrap().to_vec().unwrap(), vec![42]);
+    assert_eq!(scan.run(&one).exec().unwrap().to_vec().unwrap(), vec![42]);
 
     let three = Vector::from_vec(&rt, vec![1, 2, 3]);
-    assert_eq!(scan.call(&three).unwrap().to_vec().unwrap(), vec![1, 3, 6]);
+    assert_eq!(
+        scan.run(&three).exec().unwrap().to_vec().unwrap(),
+        vec![1, 3, 6]
+    );
 }
 
 #[test]
@@ -108,7 +114,7 @@ fn scan_with_a_non_commutative_but_associative_operator() {
     let input: Vec<i32> = vec![7, 1, 9, 4, 2, 8, 6, 3];
     let v = Vector::from_vec(&rt, input.clone());
     assert_eq!(
-        rightmost.call(&v).unwrap().to_vec().unwrap(),
+        rightmost.run(&v).exec().unwrap().to_vec().unwrap(),
         input,
         "left-to-right order must be preserved across device boundaries"
     );
@@ -117,8 +123,7 @@ fn scan_with_a_non_commutative_but_associative_operator() {
 #[test]
 fn scan_with_maximum_operator() {
     let rt = skelcl::init_gpus(4);
-    let running_max =
-        Scan::<i32>::from_source("int func(int a, int b) { return a > b ? a : b; }");
+    let running_max = Scan::<i32>::from_source("int func(int a, int b) { return a > b ? a : b; }");
     let input = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8];
     let v = Vector::from_vec(&rt, input.clone());
     let mut acc = i32::MIN;
@@ -129,7 +134,10 @@ fn scan_with_maximum_operator() {
             acc
         })
         .collect();
-    assert_eq!(running_max.call(&v).unwrap().to_vec().unwrap(), expected);
+    assert_eq!(
+        running_max.run(&v).exec().unwrap().to_vec().unwrap(),
+        expected
+    );
 }
 
 #[test]
@@ -143,8 +151,8 @@ fn scan_with_a_native_closure_operator_matches_the_source_version() {
     let v1 = Vector::from_vec(&rt, input.clone());
     let v2 = Vector::from_vec(&rt, input);
     assert_eq!(
-        source.call(&v1).unwrap().to_vec().unwrap(),
-        native.call(&v2).unwrap().to_vec().unwrap()
+        source.run(&v1).exec().unwrap().to_vec().unwrap(),
+        native.run(&v2).exec().unwrap().to_vec().unwrap()
     );
 }
 
@@ -154,12 +162,12 @@ fn scan_rejects_non_operator_user_functions() {
     // A unary function is not a binary operator.
     let bad = Scan::<f32>::from_source("float func(float a) { return a; }");
     let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
-    assert!(bad.call(&v).is_err());
+    assert!(bad.run(&v).exec().is_err());
 
     // Mixed types are not (T, T) -> T either.
     let mixed = Scan::<f32>::from_source("float func(float a, int b) { return a; }");
     let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
-    assert!(mixed.call(&v).is_err());
+    assert!(mixed.run(&v).exec().is_err());
 }
 
 #[test]
@@ -173,7 +181,7 @@ fn scan_downloads_only_the_per_device_totals_between_the_two_steps() {
     v.copy_data_to_devices().unwrap();
     rt.drain_events();
 
-    let _ = scan.call(&v).unwrap();
+    let _ = scan.run(&v).exec().unwrap();
     let events = rt.drain_events();
     let downloaded_bytes: usize = events
         .iter()

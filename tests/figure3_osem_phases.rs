@@ -26,7 +26,10 @@ fn one_subset_iteration_produces_the_five_phases_of_figure_3() {
 
     // Every phase exists and the total is the sum of the parts.
     assert!(timing.step1_s > 0.0, "step 1 computes the error image");
-    assert!(timing.step2_s > 0.0, "step 2 updates the reconstruction image");
+    assert!(
+        timing.step2_s > 0.0,
+        "step 2 updates the reconstruction image"
+    );
     assert!(
         timing.redistribution_s > 0.0,
         "switching PSD → ISD moves the error and reconstruction images"

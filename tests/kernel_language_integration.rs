@@ -16,7 +16,7 @@ fn user_functions_are_merged_and_compiled_at_runtime_once() {
     let v = Vector::from_vec(&rt, vec![1.0f32; 128]);
 
     let first = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
-    first.call(&v, &Args::none()).unwrap();
+    first.run(&v).exec().unwrap();
     rt.finish_all();
     assert_eq!(rt.context().built_program_count(), 1);
     let after_first_build = rt.now();
@@ -24,13 +24,13 @@ fn user_functions_are_merged_and_compiled_at_runtime_once() {
     // A second skeleton object with the identical user function compiles to
     // the identical kernel source → cache hit, no further build time.
     let second = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
-    second.call(&v, &Args::none()).unwrap();
+    second.run(&v).exec().unwrap();
     rt.finish_all();
     assert_eq!(rt.context().built_program_count(), 1, "cache hit expected");
 
     // A different user function is a genuine new program.
     let third = Map::<f32, f32>::from_source("float func(float x) { return x - 1.0f; }");
-    third.call(&v, &Args::none()).unwrap();
+    third.run(&v).exec().unwrap();
     rt.finish_all();
     assert_eq!(rt.context().built_program_count(), 2);
     assert!(rt.now() > after_first_build);
@@ -47,19 +47,25 @@ fn runtime_compilation_is_a_one_time_cost_like_the_paper_measures() {
     let v = Vector::from_vec(&rt, vec![1.0f32; 256]);
 
     let t0 = rt.now();
-    map.call(&v, &Args::none()).unwrap();
+    map.run(&v).exec().unwrap();
     rt.finish_all();
     let first_call = (rt.now() - t0).as_secs_f64();
 
     let t1 = rt.now();
-    map.call(&v, &Args::none()).unwrap();
+    map.run(&v).exec().unwrap();
     rt.finish_all();
     let second_call = (rt.now() - t1).as_secs_f64();
 
     // The Tesla profile charges 0.15 s of build time; steady-state calls are
     // microseconds.
-    assert!(first_call > 0.1, "first call pays the build: {first_call} s");
-    assert!(second_call < 0.01, "later calls are steady state: {second_call} s");
+    assert!(
+        first_call > 0.1,
+        "first call pays the build: {first_call} s"
+    );
+    assert!(
+        second_call < 0.01,
+        "later calls are steady state: {second_call} s"
+    );
 }
 
 #[test]
@@ -83,10 +89,10 @@ fn data_dependent_kernels_are_charged_for_the_work_they_actually_do() {
         let map = Map::<f32, f32>::from_source(udf);
         let v = Vector::from_vec(rt, data.clone());
         // Warm-up: build the program and upload the data.
-        map.call(&v, &Args::new().with_i32(iters)).unwrap();
+        map.run(&v).arg(iters).exec().unwrap();
         rt.finish_all();
         let t0 = rt.now();
-        map.call(&v, &Args::new().with_i32(iters)).unwrap();
+        map.run(&v).arg(iters).exec().unwrap();
         rt.finish_all();
         (rt.now() - t0).as_secs_f64()
     };
@@ -110,13 +116,12 @@ fn kernel_language_and_native_closures_agree_on_a_nontrivial_function() {
         float func(float x) { return fabs(poly(x)) + sqrt(fabs(x)); }
         "#,
     );
-    let native =
-        Map::<f32, f32>::new(|x, _| (x * x * x - 2.0 * x + 1.0).abs() + x.abs().sqrt());
+    let native = Map::<f32, f32>::new(|x, _| (x * x * x - 2.0 * x + 1.0).abs() + x.abs().sqrt());
     let data: Vec<f32> = (-50..50).map(|i| i as f32 * 0.25).collect();
     let v1 = Vector::from_vec(&rt, data.clone());
     let v2 = Vector::from_vec(&rt, data);
-    let a = source.call(&v1, &Args::none()).unwrap().to_vec().unwrap();
-    let b = native.call(&v2, &Args::none()).unwrap().to_vec().unwrap();
+    let a = source.run(&v1).exec().unwrap().to_vec().unwrap();
+    let b = native.run(&v2).exec().unwrap().to_vec().unwrap();
     for (x, y) in a.iter().zip(&b) {
         assert!((x - y).abs() < 1e-4, "{x} vs {y}");
     }
@@ -136,7 +141,9 @@ fn paper_user_functions_all_compile_and_run() {
     let y = Vector::from_vec(&rt, vec![1.0f32; 8]);
     assert_eq!(
         saxpy
-            .call(&x, &y, &Args::new().with_f32(3.0))
+            .run(&x, &y)
+            .arg(3.0f32)
+            .exec()
             .unwrap()
             .to_vec()
             .unwrap(),
@@ -147,14 +154,14 @@ fn paper_user_functions_all_compile_and_run() {
     let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
     let v = Vector::from_vec(&rt, (1..=8).collect());
     assert_eq!(
-        scan.call(&v).unwrap().to_vec().unwrap(),
+        scan.run(&v).exec().unwrap().to_vec().unwrap(),
         vec![1, 3, 6, 10, 15, 21, 28, 36]
     );
 
     // Reduction with addition (Section III-C).
     let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
     let v = Vector::from_vec(&rt, vec![0.5f32; 64]);
-    assert_eq!(sum.reduce_value(&v).unwrap(), 32.0);
+    assert_eq!(v.reduce(&sum).unwrap(), 32.0);
 
     // Listing 3, step 2: the reconstruction-image update.
     let update = Zip::<f32, f32, f32>::from_source(
@@ -163,7 +170,7 @@ fn paper_user_functions_all_compile_and_run() {
     let f = Vector::from_vec(&rt, vec![2.0f32, 2.0, 2.0]);
     let c = Vector::from_vec(&rt, vec![0.5f32, 0.0, 3.0]);
     assert_eq!(
-        update.call(&f, &c, &Args::none()).unwrap().to_vec().unwrap(),
+        update.run(&f, &c).exec().unwrap().to_vec().unwrap(),
         vec![1.0, 2.0, 6.0]
     );
 }
@@ -174,21 +181,19 @@ fn helpful_errors_for_the_mistakes_the_paper_warns_about() {
     let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
 
     // Passing a whole __kernel instead of a plain user function.
-    let kernel_instead_of_udf = Map::<f32, f32>::from_source(
-        "__kernel void k(__global float* v) { v[0] = 0.0f; }",
-    );
+    let kernel_instead_of_udf =
+        Map::<f32, f32>::from_source("__kernel void k(__global float* v) { v[0] = 0.0f; }");
     assert!(matches!(
-        kernel_instead_of_udf.call(&v, &Args::none()),
+        kernel_instead_of_udf.run(&v).exec(),
         Err(SkelError::UdfSignature(_))
     ));
 
     // Name errors inside the user function are reported by the checker.
-    let name_error = Map::<f32, f32>::from_source(
-        "float func(float x) { return x + undeclared_variable; }",
-    );
-    assert!(name_error.call(&v, &Args::none()).is_err());
+    let name_error =
+        Map::<f32, f32>::from_source("float func(float x) { return x + undeclared_variable; }");
+    assert!(name_error.run(&v).exec().is_err());
 
     // A user function that returns nothing cannot customise a map.
     let void_udf = Map::<f32, f32>::from_source("void func(float x) { float y = x; }");
-    assert!(void_udf.call(&v, &Args::none()).is_err());
+    assert!(void_udf.run(&v).exec().is_err());
 }

@@ -29,11 +29,7 @@ fn listing_1_saxpy_matches_the_reference() {
 
     let x = Vector::from_vec(&rt, x_data.clone());
     let y = Vector::from_vec(&rt, y_data.clone());
-    let result = saxpy
-        .call(&x, &y, &Args::new().with_f32(a))
-        .unwrap()
-        .to_vec()
-        .unwrap();
+    let result = saxpy.run(&x, &y).arg(a).exec().unwrap().to_vec().unwrap();
 
     assert_eq!(result, saxpy_reference(&x_data, &y_data, a));
 }
@@ -50,11 +46,7 @@ fn saxpy_is_identical_on_one_two_and_four_gpus() {
         let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
         let x = Vector::from_vec(&rt, x_data.clone());
         let y = Vector::from_vec(&rt, y_data.clone());
-        let result = saxpy
-            .call(&x, &y, &Args::new().with_f32(a))
-            .unwrap()
-            .to_vec()
-            .unwrap();
+        let result = saxpy.run(&x, &y).arg(a).exec().unwrap().to_vec().unwrap();
         assert_eq!(result, expected, "devices = {devices}");
     }
 }
@@ -68,7 +60,7 @@ fn saxpy_result_can_be_fed_back_like_y_in_the_listing() {
     let x = Vector::from_vec(&rt, vec![1.0f32; 64]);
     let mut y = Vector::from_vec(&rt, vec![0.0f32; 64]);
     for _ in 0..3 {
-        y = saxpy.call(&x, &y, &Args::new().with_f32(2.0)).unwrap();
+        y = saxpy.run(&x, &y).arg(2.0f32).exec().unwrap();
     }
     // y = ((0 + 2) + 2) + 2 = 6 everywhere.
     assert_eq!(y.to_vec().unwrap(), vec![6.0f32; 64]);
@@ -86,7 +78,10 @@ fn additional_arguments_of_mixed_scalar_types() {
     let x = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0]);
     let y = Vector::from_vec(&rt, vec![10.0f32, 20.0, 30.0]);
     let out = affine
-        .call(&x, &y, &Args::new().with_f32(2.0).with_i32(100))
+        .run(&x, &y)
+        .arg(2.0f32)
+        .arg(100i32)
+        .exec()
         .unwrap()
         .to_vec()
         .unwrap();
@@ -108,7 +103,9 @@ fn additional_vector_argument_with_a_native_user_function() {
     let x = Vector::from_vec(&rt, vec![1.0f32, 1.0, 1.0, 1.0]);
     let y = Vector::from_vec(&rt, vec![0.0f32, 1.0, 2.0, 3.0]);
     let out = scale_by_table
-        .call(&x, &y, &Args::new().with_vec_f32(&table))
+        .run(&x, &y)
+        .arg(&table)
+        .exec()
         .unwrap()
         .to_vec()
         .unwrap();
@@ -123,7 +120,11 @@ fn saxpy_with_explicit_single_and_copy_distributions() {
     let y_data = vec![1.0f32; 256];
     let expected = saxpy_reference(&x_data, &y_data, 0.5);
 
-    for dist in [Distribution::Single(0), Distribution::Copy, Distribution::Block] {
+    for dist in [
+        Distribution::Single(0),
+        Distribution::Copy,
+        Distribution::Block,
+    ] {
         let rt = skelcl::init_gpus(3);
         let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
         let x = Vector::from_vec(&rt, x_data.clone());
@@ -131,7 +132,9 @@ fn saxpy_with_explicit_single_and_copy_distributions() {
         x.set_distribution(dist.clone()).unwrap();
         y.set_distribution(dist.clone()).unwrap();
         let out = saxpy
-            .call(&x, &y, &Args::new().with_f32(0.5))
+            .run(&x, &y)
+            .arg(0.5f32)
+            .exec()
             .unwrap()
             .to_vec()
             .unwrap();
@@ -145,7 +148,7 @@ fn missing_additional_argument_is_a_signature_error() {
     let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
     let x = Vector::from_vec(&rt, vec![1.0f32; 8]);
     let y = Vector::from_vec(&rt, vec![1.0f32; 8]);
-    let err = saxpy.call(&x, &y, &Args::none()).unwrap_err();
+    let err = saxpy.run(&x, &y).exec().unwrap_err();
     assert!(matches!(err, SkelError::UdfSignature(_)), "got {err:?}");
 }
 
@@ -155,7 +158,7 @@ fn mismatched_input_lengths_are_rejected() {
     let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
     let x = Vector::from_vec(&rt, vec![1.0f32; 8]);
     let y = Vector::from_vec(&rt, vec![1.0f32; 9]);
-    assert!(saxpy.call(&x, &y, &Args::new().with_f32(1.0)).is_err());
+    assert!(saxpy.run(&x, &y).arg(1.0f32).exec().is_err());
 }
 
 #[test]
@@ -164,7 +167,7 @@ fn malformed_user_function_source_is_reported_not_panicked() {
     let broken = Zip::<f32, f32, f32>::from_source("float func(float x, float y { return x; }");
     let x = Vector::from_vec(&rt, vec![1.0f32; 4]);
     let y = Vector::from_vec(&rt, vec![1.0f32; 4]);
-    assert!(broken.call(&x, &y, &Args::none()).is_err());
+    assert!(broken.run(&x, &y).exec().is_err());
 }
 
 #[test]
@@ -176,7 +179,9 @@ fn daxpy_double_precision_variant() {
     let x = Vector::from_vec(&rt, vec![1.0f64, 2.0, 3.0]);
     let y = Vector::from_vec(&rt, vec![0.5f64, 0.5, 0.5]);
     let out = daxpy
-        .call(&x, &y, &Args::new().with_f64(10.0))
+        .run(&x, &y)
+        .arg(10.0f64)
+        .exec()
         .unwrap()
         .to_vec()
         .unwrap();
@@ -192,7 +197,7 @@ fn saxpy_uploads_each_input_exactly_once() {
     let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY_UDF);
     let x = Vector::from_vec(&rt, vec![1.0f32; 1024]);
     let y = Vector::from_vec(&rt, vec![2.0f32; 1024]);
-    let out = saxpy.call(&x, &y, &Args::new().with_f32(4.0)).unwrap();
+    let out = saxpy.run(&x, &y).arg(4.0f32).exec().unwrap();
     let _ = out.to_vec().unwrap();
 
     let events = rt.drain_events();

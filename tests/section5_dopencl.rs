@@ -40,7 +40,7 @@ fn skelcl_programs_run_unmodified_on_the_cluster_and_locally() {
         let rt = skelcl::init_profiles(profiles);
         let map = Map::<f32, f32>::from_source("float func(float x) { return x * x + 1.0f; }");
         let v = Vector::from_vec(&rt, data.clone());
-        map.call(&v, &Args::none()).unwrap().to_vec().unwrap()
+        map.run(&v).exec().unwrap().to_vec().unwrap()
     };
 
     // Local 4-GPU system vs the distributed 11-device system: identical
@@ -89,7 +89,11 @@ fn cluster_nodes_can_be_assembled_explicitly() {
         .with_node(Node::dual_gpu_server("lab-1"))
         .with_node(Node::dual_gpu_server("lab-2"));
     assert_eq!(cluster.nodes().len(), 3);
-    assert_eq!(cluster.nodes()[0].gpu_count(), 4, "the S1070 node has 4 GPUs");
+    assert_eq!(
+        cluster.nodes()[0].gpu_count(),
+        4,
+        "the S1070 node has 4 GPUs"
+    );
     assert_eq!(cluster.gpu_profiles().len(), 8);
     // Every remote device remembers which node it lives on.
     let remotes = cluster.remote_devices();
@@ -167,5 +171,5 @@ fn reduce_skeleton_still_computes_the_right_value_on_the_cluster() {
     let sum = Reduce::<i32>::from_source("int func(int a, int b) { return a + b; }");
     let data: Vec<i32> = (1..=10_000).collect();
     let v = Vector::from_vec(&rt, data);
-    assert_eq!(sum.reduce_value(&v).unwrap(), 10_000 * 10_001 / 2);
+    assert_eq!(v.reduce(&sum).unwrap(), 10_000 * 10_001 / 2);
 }

@@ -25,7 +25,7 @@ proptest! {
             "float func(float x) { return 2.0f * x + 1.0f; }",
         );
         let v = Vector::from_vec(&rt, data.clone());
-        let out = map.call(&v, &Args::none()).unwrap().to_vec().unwrap();
+        let out = map.run(&v).exec().unwrap().to_vec().unwrap();
         let expected: Vec<f32> = data.iter().map(|x| 2.0 * x + 1.0).collect();
         prop_assert_eq!(out, expected);
     }
@@ -44,7 +44,7 @@ proptest! {
         let ys: Vec<f32> = data.iter().map(|(_, y)| *y).collect();
         let xv = Vector::from_vec(&rt, xs.clone());
         let yv = Vector::from_vec(&rt, ys.clone());
-        let out = saxpy.call(&xv, &yv, &Args::new().with_f32(a)).unwrap().to_vec().unwrap();
+        let out = saxpy.run(&xv, &yv).arg(a).exec().unwrap().to_vec().unwrap();
         let expected: Vec<f32> = xs.iter().zip(&ys).map(|(x, y)| a * x + y).collect();
         prop_assert_eq!(out, expected);
     }
@@ -59,7 +59,7 @@ proptest! {
         let rt = skelcl::init_gpus(devices);
         let sum = Reduce::<i32>::from_source("int func(int a, int b) { return a + b; }");
         let v = Vector::from_vec(&rt, data.clone());
-        let result = sum.reduce_value(&v).unwrap();
+        let result = v.reduce(&sum).unwrap();
         prop_assert_eq!(result, data.iter().sum::<i32>());
     }
 
@@ -71,7 +71,7 @@ proptest! {
         let rt = skelcl::init_gpus(devices);
         let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
         let v = Vector::from_vec(&rt, data.clone());
-        let out = scan.call(&v).unwrap().to_vec().unwrap();
+        let out = scan.run(&v).exec().unwrap().to_vec().unwrap();
         let mut acc = 0;
         let expected: Vec<i32> = data.iter().map(|x| { acc += x; acc }).collect();
         prop_assert_eq!(out, expected);
@@ -114,8 +114,8 @@ proptest! {
         let v1 = Vector::from_vec(&rt, data.clone());
         let v2 = Vector::from_vec(&rt, data);
         prop_assert_eq!(
-            source.call(&v1, &Args::none()).unwrap().to_vec().unwrap(),
-            native.call(&v2, &Args::none()).unwrap().to_vec().unwrap()
+            source.run(&v1).exec().unwrap().to_vec().unwrap(),
+            native.run(&v2).exec().unwrap().to_vec().unwrap()
         );
     }
 }
@@ -188,7 +188,11 @@ fn skelcl_overhead_over_opencl_is_bounded() {
 #[test]
 fn heterogeneous_scheduler_improves_makespan() {
     let row = skelcl_bench::sched::even_vs_weighted(200_000).unwrap();
-    assert!(row.speedup() > 1.05, "speed-up was only {:.3}", row.speedup());
+    assert!(
+        row.speedup() > 1.05,
+        "speed-up was only {:.3}",
+        row.speedup()
+    );
 }
 
 #[test]
@@ -227,10 +231,10 @@ fn chained_skeletons_avoid_all_intermediate_transfers() {
     let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
     let v = Vector::from_vec(&rt, vec![1.0f32; 4096]);
 
-    let a = inc.call(&v, &Args::none()).unwrap();
+    let a = inc.run(&v).exec().unwrap();
     rt.drain_events();
-    let b = dbl.call(&a, &Args::none()).unwrap();
-    let result = sum.reduce_value(&b).unwrap();
+    let b = dbl.run(&a).exec().unwrap();
+    let result = b.reduce(&sum).unwrap();
     assert_eq!(result, 4.0 * 4096.0);
 
     let events = rt.drain_events();
