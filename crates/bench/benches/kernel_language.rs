@@ -82,10 +82,58 @@ fn bench_index_map_vs_explicit_input(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_vm_vs_interpreter(c: &mut Criterion) {
+    // The execution engines head to head on the generated map-kernel shape:
+    // the bytecode VM (the engine behind every launch) against the
+    // tree-walking AST interpreter it replaced (retained as the
+    // differential-testing oracle).
+    use skelcl_kernel::interp::{ArgBinding, BufferView};
+    use skelcl_kernel::value::Value;
+
+    let info = skelcl::kernelgen::UdfInfo::analyze(POLY_UDF, 1).unwrap();
+    let kernel_src = skelcl::kernelgen::map_kernel(&info).unwrap();
+    let program = skelcl_kernel::Program::build(&kernel_src).unwrap();
+    let kernel = program.kernel(skelcl::kernelgen::MAP_KERNEL).unwrap();
+    let n = 64 * 1024;
+
+    let mut group = c.benchmark_group("kernel_vm_vs_interp");
+    group.sample_size(10);
+    group.bench_function("bytecode_vm_map_64k", |b| {
+        let mut input = vec![1.5f32; n];
+        let mut output = vec![0.0f32; n];
+        b.iter(|| {
+            let mut args = vec![
+                ArgBinding::Buffer(BufferView::F32(&mut input)),
+                ArgBinding::Buffer(BufferView::F32(&mut output)),
+                ArgBinding::Scalar(Value::Int(n as i32)),
+            ];
+            std::hint::black_box(program.run_ndrange_measured(&kernel, n, &mut args).unwrap())
+        });
+    });
+    group.bench_function("ast_interpreter_map_64k", |b| {
+        let mut input = vec![1.5f32; n];
+        let mut output = vec![0.0f32; n];
+        b.iter(|| {
+            let mut args = vec![
+                ArgBinding::Buffer(BufferView::F32(&mut input)),
+                ArgBinding::Buffer(BufferView::F32(&mut output)),
+                ArgBinding::Scalar(Value::Int(n as i32)),
+            ];
+            std::hint::black_box(
+                program
+                    .run_ndrange_measured_interp(&kernel, n, &mut args)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_dsl_vs_native_map,
     bench_program_build_and_cache,
-    bench_index_map_vs_explicit_input
+    bench_index_map_vs_explicit_input,
+    bench_vm_vs_interpreter
 );
 criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! Kernel-engine throughput benchmark: bytecode VM vs AST interpreter.
+//!
+//! Runs the four generated skeleton kernel shapes (map, zip, reduce, scan)
+//! over 1M elements through both execution engines and emits
+//! `BENCH_kernel_vm.json` with elements/sec and the VM speedup, so future
+//! PRs have a perf trajectory to compare against.
+//!
+//! Usage:
+//!   cargo run --release -p skelcl_bench --bin kernel_vm_bench
+//!   cargo run --release -p skelcl_bench --bin kernel_vm_bench -- --quick
+//!   cargo run --release -p skelcl_bench --bin kernel_vm_bench -- --out path.json
+//!
+//! `--quick` shrinks the element count so CI can use the binary as a smoke
+//! check (compile + run both engines, no thresholds).
+
+use std::time::Instant;
+
+use skelcl_kernel::interp::{ArgBinding, BufferView};
+use skelcl_kernel::value::Value;
+use skelcl_kernel::Program;
+
+const MAP_SRC: &str = r#"
+    float func(float x) { return x * x * x - 2.0f * x + 1.0f; }
+    __kernel void SKELCL_MAP(__global float* skelcl_in, __global float* skelcl_out, int skelcl_n) {
+        int skelcl_gid = get_global_id(0);
+        if (skelcl_gid < skelcl_n) {
+            skelcl_out[skelcl_gid] = func(skelcl_in[skelcl_gid]);
+        }
+    }
+"#;
+
+const ZIP_SRC: &str = r#"
+    float func(float x, float y, float a) { return a * x + y; }
+    __kernel void SKELCL_ZIP(__global float* skelcl_left, __global float* skelcl_right, __global float* skelcl_out, int skelcl_n, float skelcl_arg_a) {
+        int skelcl_gid = get_global_id(0);
+        if (skelcl_gid < skelcl_n) {
+            skelcl_out[skelcl_gid] = func(skelcl_left[skelcl_gid], skelcl_right[skelcl_gid], skelcl_arg_a);
+        }
+    }
+"#;
+
+const REDUCE_SRC: &str = r#"
+    float func(float a, float b) { return a + b; }
+    __kernel void SKELCL_REDUCE(__global float* skelcl_in, __global float* skelcl_out, int skelcl_n) {
+        float skelcl_acc = skelcl_in[0];
+        for (int skelcl_i = 1; skelcl_i < skelcl_n; skelcl_i++) {
+            skelcl_acc = func(skelcl_acc, skelcl_in[skelcl_i]);
+        }
+        skelcl_out[0] = skelcl_acc;
+    }
+"#;
+
+const SCAN_SRC: &str = r#"
+    float func(float a, float b) { return a + b; }
+    __kernel void SKELCL_SCAN(__global float* skelcl_in, __global float* skelcl_out, int skelcl_n) {
+        float skelcl_acc = skelcl_in[0];
+        skelcl_out[0] = skelcl_acc;
+        for (int skelcl_i = 1; skelcl_i < skelcl_n; skelcl_i++) {
+            skelcl_acc = func(skelcl_acc, skelcl_in[skelcl_i]);
+            skelcl_out[skelcl_i] = skelcl_acc;
+        }
+    }
+"#;
+
+struct Workload {
+    name: &'static str,
+    src: &'static str,
+    kernel: &'static str,
+    /// Number of input buffers before the single output buffer.
+    inputs: usize,
+    /// Extra scalar args appended after `n`.
+    extra: &'static [Value],
+    /// Work-items per launch given `n` elements (1 for the sequential
+    /// reduce/scan kernels).
+    items: fn(usize) -> usize,
+}
+
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "map",
+        src: MAP_SRC,
+        kernel: "SKELCL_MAP",
+        inputs: 1,
+        extra: &[],
+        items: |n| n,
+    },
+    Workload {
+        name: "zip",
+        src: ZIP_SRC,
+        kernel: "SKELCL_ZIP",
+        inputs: 2,
+        extra: &[Value::Float(2.5)],
+        items: |n| n,
+    },
+    Workload {
+        name: "reduce",
+        src: REDUCE_SRC,
+        kernel: "SKELCL_REDUCE",
+        inputs: 1,
+        extra: &[],
+        items: |_| 1,
+    },
+    Workload {
+        name: "scan",
+        src: SCAN_SRC,
+        kernel: "SKELCL_SCAN",
+        inputs: 1,
+        extra: &[],
+        items: |_| 1,
+    },
+];
+
+/// Best-of-`reps` wall-clock seconds for one engine over one workload.
+fn time_engine(w: &Workload, n: usize, reps: usize, use_vm: bool) -> f64 {
+    let program = Program::build(w.src).expect("benchmark kernels build");
+    let kernel = program.kernel(w.kernel).expect("kernel exists");
+    let items = (w.items)(n);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut bufs: Vec<Vec<f32>> = (0..w.inputs)
+            .map(|b| (0..n).map(|i| ((i + b) % 97) as f32 * 0.25 + 0.5).collect())
+            .collect();
+        bufs.push(vec![0.0f32; n]);
+        let mut args: Vec<ArgBinding<'_>> = bufs
+            .iter_mut()
+            .map(|b| ArgBinding::Buffer(BufferView::F32(b)))
+            .collect();
+        args.push(ArgBinding::Scalar(Value::Int(n as i32)));
+        args.extend(w.extra.iter().map(|v| ArgBinding::Scalar(*v)));
+
+        let start = Instant::now();
+        let stats = if use_vm {
+            program.run_ndrange_measured(&kernel, items, &mut args)
+        } else {
+            program.run_ndrange_measured_interp(&kernel, items, &mut args)
+        }
+        .expect("benchmark kernels run");
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(stats);
+        best = best.min(elapsed);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernel_vm.json".to_string());
+
+    let n: usize = if quick { 20_000 } else { 1_000_000 };
+    let reps = if quick { 1 } else { 3 };
+
+    let mut rows = Vec::new();
+    for w in WORKLOADS {
+        let t_interp = time_engine(w, n, reps.min(2), false);
+        let t_vm = time_engine(w, n, reps, true);
+        let interp_eps = n as f64 / t_interp;
+        let vm_eps = n as f64 / t_vm;
+        let speedup = vm_eps / interp_eps;
+        println!(
+            "{:<8} n={n:>8}  interp {:>12.0} elem/s  vm {:>12.0} elem/s  speedup {:>5.1}x",
+            w.name, interp_eps, vm_eps, speedup
+        );
+        rows.push((w.name, interp_eps, vm_eps, speedup));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"kernel_vm\",\n");
+    json.push_str(&format!("  \"elements\": {n},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p skelcl_bench --bin kernel_vm_bench\",\n",
+    );
+    json.push_str("  \"units\": \"elements_per_second\",\n");
+    json.push_str("  \"workloads\": {\n");
+    for (i, (name, interp_eps, vm_eps, speedup)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"interp_eps\": {interp_eps:.0}, \"vm_eps\": {vm_eps:.0}, \"speedup\": {speedup:.2} }}{comma}\n",
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

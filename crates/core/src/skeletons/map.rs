@@ -13,11 +13,11 @@ use oclsim::{CostHint, NativeKernelDef, Pod, Program, Value};
 use crate::args::{ArgAccess, Args};
 use crate::distribution::Distribution;
 use crate::error::{Result, SkelError};
-use crate::kernelgen::{self, UdfInfo};
+use crate::kernelgen;
 use crate::runtime::{DeviceSelection, SkelCl};
 use crate::skeletons::{
-    alloc_output, check_source_call, udf_cost_estimate, Launch, LaunchConfig, PreparedArgs,
-    PreparedCall, Skeleton,
+    alloc_output, check_source_call, Launch, LaunchConfig, PreparedArgs, PreparedCall, Skeleton,
+    UdfCache,
 };
 use crate::vector::Vector;
 
@@ -48,6 +48,7 @@ struct BuiltSource {
 pub struct Map<I: Pod, O: Pod> {
     udf: MapUdf<I, O>,
     cost: CostHint,
+    cache: UdfCache,
     built: Mutex<Option<Arc<BuiltSource>>>,
     built_index: Mutex<Option<Arc<BuiltSource>>>,
 }
@@ -62,6 +63,7 @@ impl<I: Pod, O: Pod> Map<I, O> {
         Map {
             udf: MapUdf::Source(source.to_string()),
             cost: CostHint::DEFAULT,
+            cache: UdfCache::new(),
             built: Mutex::new(None),
             built_index: Mutex::new(None),
         }
@@ -77,6 +79,7 @@ impl<I: Pod, O: Pod> Map<I, O> {
         Map {
             udf: MapUdf::Native(Arc::new(f)),
             cost: CostHint::DEFAULT,
+            cache: UdfCache::new(),
             built: Mutex::new(None),
             built_index: Mutex::new(None),
         }
@@ -98,7 +101,7 @@ impl<I: Pod, O: Pod> Map<I, O> {
     /// The per-element cost used for scheduler-weighted partitioning.
     fn scheduler_cost(&self) -> CostHint {
         match &self.udf {
-            MapUdf::Source(src) => udf_cost_estimate(src).unwrap_or(self.cost),
+            MapUdf::Source(src) => self.cache.cost(src).unwrap_or(self.cost),
             MapUdf::Native(_) => self.cost,
         }
     }
@@ -111,7 +114,7 @@ impl<I: Pod, O: Pod> Map<I, O> {
         let MapUdf::Source(src) = &self.udf else {
             unreachable!("ensure_built is only called for source UDFs")
         };
-        let info = UdfInfo::analyze(src, 1)?;
+        let info = self.cache.info(src, 1)?;
         let kernel_src = kernelgen::map_kernel(&info)?;
         let program = runtime.context().build_program(&kernel_src)?;
         let kernel = program.kernel(kernelgen::MAP_KERNEL)?;
@@ -131,7 +134,7 @@ impl<I: Pod, O: Pod> Map<I, O> {
         let MapUdf::Source(src) = &self.udf else {
             unreachable!("ensure_built_index is only called for source UDFs")
         };
-        let info = UdfInfo::analyze(src, 1)?;
+        let info = self.cache.info(src, 1)?;
         let kernel_src = kernelgen::map_index_kernel(&info)?;
         let program = runtime.context().build_program(&kernel_src)?;
         let kernel = program.kernel(kernelgen::MAP_INDEX_KERNEL)?;

@@ -175,6 +175,54 @@ pub(crate) fn alloc_output<T: Pod>(
     Ok(buffers)
 }
 
+/// Per-skeleton-instance cache of the artefacts derived from a source UDF:
+/// the analysed signature ([`UdfInfo`], shared by every generated kernel
+/// variant of the skeleton) and the scheduler cost estimate. Both used to be
+/// recomputed — re-lexing and re-parsing the UDF source — on every
+/// scheduler-weighted launch and once per kernel variant; now each is
+/// computed at most once per skeleton instance.
+pub(crate) struct UdfCache {
+    info: parking_lot::Mutex<Option<Arc<crate::kernelgen::UdfInfo>>>,
+    cost: parking_lot::Mutex<Option<CostHint>>,
+}
+
+impl UdfCache {
+    pub(crate) fn new() -> UdfCache {
+        UdfCache {
+            info: parking_lot::Mutex::new(None),
+            cost: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// The analysed UDF signature; `source` and `main_inputs` are fixed per
+    /// skeleton instance, so the first result is cached for good.
+    pub(crate) fn info(
+        &self,
+        source: &str,
+        main_inputs: usize,
+    ) -> Result<Arc<crate::kernelgen::UdfInfo>> {
+        let mut slot = self.info.lock();
+        if let Some(info) = slot.as_ref() {
+            return Ok(info.clone());
+        }
+        let info = Arc::new(crate::kernelgen::UdfInfo::analyze(source, main_inputs)?);
+        *slot = Some(info.clone());
+        Ok(info)
+    }
+
+    /// The per-element cost estimate used for scheduler-weighted
+    /// partitioning, computed once instead of once per launch.
+    pub(crate) fn cost(&self, source: &str) -> Result<CostHint> {
+        let mut slot = self.cost.lock();
+        if let Some(cost) = *slot {
+            return Ok(cost);
+        }
+        let cost = udf_cost_estimate(source)?;
+        *slot = Some(cost);
+        Ok(cost)
+    }
+}
+
 /// The per-element cost estimate of a source user-defined function, used to
 /// override launch cost hints for the sequential reduce/scan kernels. The
 /// UDF is resolved by the same rule kernel generation uses
@@ -247,6 +295,22 @@ mod tests {
         let prepared = PreparedArgs::prepare(&rt, &args).unwrap();
         assert!(prepared.kernel_args_for(0).is_ok());
         assert!(prepared.kernel_args_for(1).is_err());
+    }
+
+    #[test]
+    fn udf_cache_computes_each_artefact_once() {
+        let cache = UdfCache::new();
+        let src = "float func(float a, float b) { return a + b; }";
+        let first = cache.info(src, 2).unwrap();
+        let second = cache.info(src, 2).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "repeated analysis must return the cached Arc"
+        );
+        let c1 = cache.cost(src).unwrap();
+        let c2 = cache.cost(src).unwrap();
+        assert_eq!(c1, c2);
+        assert!(c1.flops_per_item >= 1.0);
     }
 
     #[test]

@@ -21,9 +21,9 @@ use oclsim::{CostHint, KernelArg, NativeKernelDef, Program, Value};
 
 use crate::distribution::Distribution;
 use crate::error::{Result, SkelError};
-use crate::kernelgen::{self, UdfInfo};
+use crate::kernelgen;
 use crate::skeletons::{
-    sequential_cost, udf_cost_estimate, DeviceScalar, Launch, LaunchConfig, PreparedCall, Skeleton,
+    sequential_cost, DeviceScalar, Launch, LaunchConfig, PreparedCall, Skeleton, UdfCache,
 };
 use crate::vector::Vector;
 
@@ -70,6 +70,7 @@ pub struct ReducePlan {
 pub struct Reduce<T: DeviceScalar> {
     udf: ReduceUdf<T>,
     cost: CostHint,
+    cache: UdfCache,
     built: Mutex<Option<Arc<BuiltSource>>>,
     built_chunked: Mutex<Option<oclsim::Kernel>>,
 }
@@ -80,6 +81,7 @@ impl<T: DeviceScalar> Reduce<T> {
         Reduce {
             udf: ReduceUdf::Source(source.to_string()),
             cost: CostHint::DEFAULT,
+            cache: UdfCache::new(),
             built: Mutex::new(None),
             built_chunked: Mutex::new(None),
         }
@@ -93,6 +95,7 @@ impl<T: DeviceScalar> Reduce<T> {
         Reduce {
             udf: ReduceUdf::Native(Arc::new(f)),
             cost: CostHint::DEFAULT,
+            cache: UdfCache::new(),
             built: Mutex::new(None),
             built_chunked: Mutex::new(None),
         }
@@ -119,7 +122,7 @@ impl<T: DeviceScalar> Reduce<T> {
         let ReduceUdf::Source(src) = &self.udf else {
             unreachable!("ensure_built is only called for source UDFs")
         };
-        let info = UdfInfo::analyze(src, 2)?;
+        let info = self.cache.info(src, 2)?;
         let kernel_src = kernelgen::reduce_kernel(&info)?;
         let program = runtime.context().build_program(&kernel_src)?;
         let kernel = program.kernel(kernelgen::REDUCE_KERNEL)?;
@@ -127,7 +130,7 @@ impl<T: DeviceScalar> Reduce<T> {
         let b = Arc::new(BuiltSource {
             kernel,
             host_program,
-            per_element_cost: udf_cost_estimate(src)?,
+            per_element_cost: self.cache.cost(src)?,
         });
         *built = Some(b.clone());
         Ok(b)
@@ -144,7 +147,7 @@ impl<T: DeviceScalar> Reduce<T> {
         let ReduceUdf::Source(src) = &self.udf else {
             unreachable!("ensure_built_chunked is only called for source UDFs")
         };
-        let info = UdfInfo::analyze(src, 2)?;
+        let info = self.cache.info(src, 2)?;
         let kernel_src = kernelgen::reduce_chunked_kernel(&info)?;
         let program = runtime.context().build_program(&kernel_src)?;
         let kernel = program.kernel(kernelgen::REDUCE_CHUNKED_KERNEL)?;

@@ -21,7 +21,7 @@ use crate::distribution::Distribution;
 use crate::error::{Result, SkelError};
 use crate::kernelgen::{self, UdfInfo};
 use crate::skeletons::{
-    sequential_cost, udf_cost_estimate, DeviceScalar, Launch, LaunchConfig, PreparedCall, Skeleton,
+    sequential_cost, DeviceScalar, Launch, LaunchConfig, PreparedCall, Skeleton, UdfCache,
 };
 use crate::vector::Vector;
 
@@ -64,6 +64,7 @@ pub struct ScanTrace<T> {
 pub struct Scan<T: DeviceScalar> {
     udf: ScanUdf<T>,
     cost: CostHint,
+    cache: UdfCache,
     built: Mutex<Option<Arc<BuiltSource>>>,
 }
 
@@ -73,6 +74,7 @@ impl<T: DeviceScalar> Scan<T> {
         Scan {
             udf: ScanUdf::Source(source.to_string()),
             cost: CostHint::DEFAULT,
+            cache: UdfCache::new(),
             built: Mutex::new(None),
         }
     }
@@ -85,6 +87,7 @@ impl<T: DeviceScalar> Scan<T> {
         Scan {
             udf: ScanUdf::Native(Arc::new(f)),
             cost: CostHint::DEFAULT,
+            cache: UdfCache::new(),
             built: Mutex::new(None),
         }
     }
@@ -104,7 +107,7 @@ impl<T: DeviceScalar> Scan<T> {
     /// The per-element cost used for scheduler-weighted partitioning.
     fn scheduler_cost(&self) -> CostHint {
         match &self.udf {
-            ScanUdf::Source(src) => udf_cost_estimate(src).unwrap_or(self.cost),
+            ScanUdf::Source(src) => self.cache.cost(src).unwrap_or(self.cost),
             ScanUdf::Native(_) => self.cost,
         }
     }
@@ -117,13 +120,13 @@ impl<T: DeviceScalar> Scan<T> {
         let ScanUdf::Source(src) = &self.udf else {
             unreachable!("ensure_built is only called for source UDFs")
         };
-        let info = UdfInfo::analyze(src, 2)?;
+        let info = self.cache.info(src, 2)?;
         let kernel_src = kernelgen::scan_kernels(&info)?;
         let program = runtime.context().build_program(&kernel_src)?;
         let b = Arc::new(BuiltSource {
             scan_kernel: program.kernel(kernelgen::SCAN_KERNEL)?,
             offset_kernel: program.kernel(kernelgen::SCAN_OFFSET_KERNEL)?,
-            per_element_cost: udf_cost_estimate(src)?,
+            per_element_cost: self.cache.cost(src)?,
         });
         *built = Some(b.clone());
         Ok(b)

@@ -13,11 +13,10 @@ use oclsim::{CostHint, NativeKernelDef, Pod, Program};
 
 use crate::args::{ArgAccess, Args};
 use crate::error::Result;
-use crate::kernelgen::{self, UdfInfo};
+use crate::kernelgen;
 use crate::runtime::SkelCl;
 use crate::skeletons::{
-    check_source_call, udf_cost_estimate, Launch, LaunchConfig, PreparedArgs, PreparedCall,
-    Skeleton,
+    check_source_call, Launch, LaunchConfig, PreparedArgs, PreparedCall, Skeleton, UdfCache,
 };
 use crate::vector::Vector;
 
@@ -50,6 +49,7 @@ struct BuiltSource {
 pub struct Zip<A: Pod, B: Pod, O: Pod> {
     udf: ZipUdf<A, B, O>,
     cost: CostHint,
+    cache: UdfCache,
     built: Mutex<Option<Arc<BuiltSource>>>,
 }
 
@@ -62,6 +62,7 @@ impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
         Zip {
             udf: ZipUdf::Source(source.to_string()),
             cost: CostHint::DEFAULT,
+            cache: UdfCache::new(),
             built: Mutex::new(None),
         }
     }
@@ -74,6 +75,7 @@ impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
         Zip {
             udf: ZipUdf::Native(Arc::new(f)),
             cost: CostHint::DEFAULT,
+            cache: UdfCache::new(),
             built: Mutex::new(None),
         }
     }
@@ -92,7 +94,7 @@ impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
 
     fn scheduler_cost(&self) -> CostHint {
         match &self.udf {
-            ZipUdf::Source(src) => udf_cost_estimate(src).unwrap_or(self.cost),
+            ZipUdf::Source(src) => self.cache.cost(src).unwrap_or(self.cost),
             ZipUdf::Native(_) => self.cost,
         }
     }
@@ -105,7 +107,7 @@ impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
         let ZipUdf::Source(src) = &self.udf else {
             unreachable!("ensure_built is only called for source UDFs")
         };
-        let info = UdfInfo::analyze(src, 2)?;
+        let info = self.cache.info(src, 2)?;
         let kernel_src = kernelgen::zip_kernel(&info)?;
         let program = runtime.context().build_program(&kernel_src)?;
         let kernel = program.kernel(kernelgen::ZIP_KERNEL)?;

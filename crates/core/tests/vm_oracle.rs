@@ -1,0 +1,183 @@
+//! Differential tests over the *actual* generated skeleton kernels: every
+//! kernel that `kernelgen` emits (map, index map, zip, reduce, chunked
+//! reduce, scan + scan offset) runs through both the bytecode VM and the
+//! AST-interpreter oracle, asserting identical results and identical
+//! measured ExecStats.
+
+use proptest::prelude::*;
+
+use skelcl::kernelgen::{self, UdfInfo};
+use skelcl_kernel::interp::{ArgBinding, BufferView};
+use skelcl_kernel::value::Value;
+use skelcl_kernel::Program;
+
+/// Run `kernel_src` through both engines on identical f32 buffers and
+/// assert bit-identical buffers and stats.
+fn assert_generated_kernel_agrees(
+    kernel_src: &str,
+    kernel_name: &str,
+    buffers: &[Vec<f32>],
+    scalars: &[Value],
+    global_size: usize,
+) {
+    let p = Program::build(kernel_src).expect("generated kernels always build");
+    let k = p.kernel(kernel_name).expect("generated kernel exists");
+
+    let run = |use_vm: bool| {
+        let mut bufs: Vec<Vec<f32>> = buffers.to_vec();
+        let mut args: Vec<ArgBinding<'_>> = Vec::new();
+        for b in &mut bufs {
+            args.push(ArgBinding::Buffer(BufferView::F32(b)));
+        }
+        for s in scalars {
+            args.push(ArgBinding::Scalar(*s));
+        }
+        let stats = if use_vm {
+            p.run_ndrange_measured(&k, global_size, &mut args)
+        } else {
+            p.run_ndrange_measured_interp(&k, global_size, &mut args)
+        }
+        .expect("generated kernels run");
+        drop(args);
+        (bufs, stats)
+    };
+
+    let (vm_bufs, vm_stats) = run(true);
+    let (or_bufs, or_stats) = run(false);
+    for (i, (v, o)) in vm_bufs.iter().zip(&or_bufs).enumerate() {
+        let vbits: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+        let obits: Vec<u32> = o.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(vbits, obits, "buffer {i} diverged for:\n{kernel_src}");
+    }
+    assert_eq!(vm_stats, or_stats, "stats diverged for:\n{kernel_src}");
+}
+
+const UDF_UNARY: &str =
+    "float helper(float x) { return x * 0.5f; }\nfloat func(float x) { return helper(x) * x + 1.0f; }";
+const UDF_BINARY_OP: &str = "float func(float a, float b) { return a + b * 0.25f; }";
+const UDF_ZIP: &str = "float func(float x, float y, float a) { return a * x + y; }";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_map_kernel(data in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        let info = UdfInfo::analyze(UDF_UNARY, 1).unwrap();
+        let src = kernelgen::map_kernel(&info).unwrap();
+        let n = data.len();
+        let out = vec![0.0f32; n];
+        assert_generated_kernel_agrees(
+            &src, kernelgen::MAP_KERNEL,
+            &[data, out], &[Value::Int(n as i32)], n,
+        );
+    }
+
+    #[test]
+    fn generated_zip_kernel(
+        data in prop::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 1..64),
+        a in -4.0f32..4.0,
+    ) {
+        let info = UdfInfo::analyze(UDF_ZIP, 2).unwrap();
+        let src = kernelgen::zip_kernel(&info).unwrap();
+        let n = data.len();
+        let left: Vec<f32> = data.iter().map(|(x, _)| *x).collect();
+        let right: Vec<f32> = data.iter().map(|(_, y)| *y).collect();
+        let out = vec![0.0f32; n];
+        assert_generated_kernel_agrees(
+            &src, kernelgen::ZIP_KERNEL,
+            &[left, right, out],
+            &[Value::Int(n as i32), Value::Float(a)], n,
+        );
+    }
+
+    #[test]
+    fn generated_reduce_kernels(
+        data in prop::collection::vec(-10.0f32..10.0, 1..96),
+        chunk in 1i32..16,
+    ) {
+        let info = UdfInfo::analyze(UDF_BINARY_OP, 2).unwrap();
+        let n = data.len();
+
+        let src = kernelgen::reduce_kernel(&info).unwrap();
+        assert_generated_kernel_agrees(
+            &src, kernelgen::REDUCE_KERNEL,
+            &[data.clone(), vec![0.0f32; 1]], &[Value::Int(n as i32)], 1,
+        );
+
+        let chunks = n.div_ceil(chunk as usize);
+        let src = kernelgen::reduce_chunked_kernel(&info).unwrap();
+        assert_generated_kernel_agrees(
+            &src, kernelgen::REDUCE_CHUNKED_KERNEL,
+            &[data, vec![0.0f32; chunks]],
+            &[Value::Int(n as i32), Value::Int(chunk)], chunks,
+        );
+    }
+
+    #[test]
+    fn generated_scan_kernels(
+        data in prop::collection::vec(-10.0f32..10.0, 1..96),
+        offset in -5.0f32..5.0,
+    ) {
+        let info = UdfInfo::analyze(UDF_BINARY_OP, 2).unwrap();
+        let src = kernelgen::scan_kernels(&info).unwrap();
+        let n = data.len();
+        assert_generated_kernel_agrees(
+            &src, kernelgen::SCAN_KERNEL,
+            &[data.clone(), vec![0.0f32; n]], &[Value::Int(n as i32)], 1,
+        );
+        assert_generated_kernel_agrees(
+            &src, kernelgen::SCAN_OFFSET_KERNEL,
+            &[data], &[Value::Int(n as i32), Value::Float(offset)], n,
+        );
+    }
+
+    #[test]
+    fn generated_index_map_kernel(
+        n in 1usize..64,
+        scale in -3i32..4,
+    ) {
+        let udf = "int func(int i, int scale) { return i * scale + i % 3; }";
+        let info = UdfInfo::analyze(udf, 1).unwrap();
+        let src = kernelgen::map_index_kernel(&info).unwrap();
+        let p = Program::build(&src).unwrap();
+        let k = p.kernel(kernelgen::MAP_INDEX_KERNEL).unwrap();
+        let run = |use_vm: bool| {
+            let mut out = vec![0i32; n];
+            let mut args = vec![
+                ArgBinding::Buffer(BufferView::I32(&mut out)),
+                ArgBinding::Scalar(Value::Int(n as i32)),
+                ArgBinding::Scalar(Value::Int(7)),
+                ArgBinding::Scalar(Value::Int(scale)),
+            ];
+            let stats = if use_vm {
+                p.run_ndrange_measured(&k, n, &mut args)
+            } else {
+                p.run_ndrange_measured_interp(&k, n, &mut args)
+            }
+            .unwrap();
+            drop(args);
+            (out, stats)
+        };
+        let (vm_out, vm_stats) = run(true);
+        let (or_out, or_stats) = run(false);
+        prop_assert_eq!(vm_out, or_out);
+        prop_assert_eq!(vm_stats, or_stats);
+    }
+}
+
+/// The full skeleton pipeline (which now executes through the VM) still
+/// matches a sequential Rust reference end to end.
+#[test]
+fn skeleton_pipeline_end_to_end_through_vm() {
+    let rt = skelcl::init_gpus(3);
+    let square =
+        skelcl::skeletons::Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+    let sum = skelcl::skeletons::Reduce::<f32>::from_source(
+        "float func(float a, float b) { return a + b; }",
+    );
+    let data: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+    let v = skelcl::vector::Vector::from_vec(&rt, data.clone());
+    let result = v.map(&square).unwrap().reduce(&sum).unwrap();
+    let expected: f32 = data.iter().map(|x| x * x).sum();
+    assert_eq!(result, expected);
+}

@@ -80,7 +80,7 @@ impl<'a> BufferView<'a> {
         self.len() == 0
     }
 
-    fn load(&self, idx: usize) -> Option<Value> {
+    pub(crate) fn load(&self, idx: usize) -> Option<Value> {
         match self {
             BufferView::F32(s) => s.get(idx).map(|v| Value::Float(*v)),
             BufferView::F64(s) => s.get(idx).map(|v| Value::Double(*v)),
@@ -89,7 +89,7 @@ impl<'a> BufferView<'a> {
         }
     }
 
-    fn store(&mut self, idx: usize, value: Value) -> bool {
+    pub(crate) fn store(&mut self, idx: usize, value: Value) -> bool {
         match self {
             BufferView::F32(s) => {
                 if let Some(slot) = s.get_mut(idx) {
@@ -635,7 +635,9 @@ impl<'u> Interpreter<'u> {
                     UnOp::Neg => match v {
                         Value::Float(x) => Value::Float(-x),
                         Value::Double(x) => Value::Double(-x),
-                        Value::Int(x) => Value::Int(-x),
+                        // Wrapping, like every other integer op of the
+                        // language (and the VM): -INT_MIN is INT_MIN.
+                        Value::Int(x) => Value::Int(x.wrapping_neg()),
                         Value::Uint(x) => Value::Int(-(x as i64) as i32),
                         Value::Bool(_) => unreachable!("checker rejects bool negation"),
                     },
@@ -747,8 +749,9 @@ impl<'u> Interpreter<'u> {
 }
 
 /// Evaluate a (non-short-circuit) binary operator with C-style usual
-/// arithmetic conversions.
-fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value, KernelError> {
+/// arithmetic conversions. Shared with the bytecode VM ([`crate::vm`]) so
+/// both engines have identical arithmetic semantics by construction.
+pub(crate) fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value, KernelError> {
     use BinOp::*;
     let unified = l.scalar_type().unify(r.scalar_type());
     if unified.is_float() {

@@ -13,14 +13,21 @@
 //!
 //! * a [`lexer`] and [`parser`] producing an [`ast`],
 //! * a [`sema`] pass (symbol resolution and type checking),
-//! * an [`interp`] (tree-walking interpreter) that executes a kernel for one
-//!   work-item at a time against argument [`value::Value`]s and buffer views,
+//! * a [`compile`] stage lowering the checked AST into flat, register-based
+//!   bytecode — names resolved to numbered slots, control flow lowered to
+//!   jumps, FLOP/byte costs attributed per instruction at compile time,
+//! * a [`vm`] (register-based bytecode VM) that executes a kernel for one
+//!   work-item at a time against argument [`value::Value`]s and buffer views
+//!   — the fast engine behind every launch,
+//! * an [`interp`] (tree-walking interpreter) retained as the
+//!   differential-testing oracle for the VM,
 //! * a static [`cost`] estimator that counts floating-point and memory
 //!   operations per work-item, used by the simulator's analytical cost model.
 //!
 //! The entry point is [`Program::build`], mirroring `clBuildProgram`: it
-//! parses and checks a translation unit and returns the compiled program from
-//! which [`KernelHandle`]s can be looked up by name.
+//! parses, checks and **compiles to bytecode once**, returning the compiled
+//! program from which [`KernelHandle`]s can be looked up by name; every
+//! launch then runs flat bytecode instead of re-walking the AST.
 //!
 //! ```
 //! use skelcl_kernel::{Program, value::Value, interp::ArgBinding};
@@ -52,6 +59,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod compile;
 pub mod cost;
 pub mod diag;
 pub mod interp;
@@ -61,20 +69,27 @@ pub mod sema;
 pub mod token;
 pub mod types;
 pub mod value;
+pub mod vm;
 
 use std::sync::Arc;
 
 use crate::ast::TranslationUnit;
+use crate::compile::CompiledUnit;
 use crate::diag::KernelError;
 use crate::interp::{ArgBinding, Interpreter, WorkItem};
+use crate::vm::Vm;
 
-/// A compiled kernel program: the checked AST of a translation unit plus the
-/// list of `__kernel` entry points.
+/// A compiled kernel program: the checked AST of a translation unit plus its
+/// bytecode lowering and the list of `__kernel` entry points.
 ///
-/// This is the analogue of an OpenCL `cl_program` after `clBuildProgram`.
+/// This is the analogue of an OpenCL `cl_program` after `clBuildProgram`:
+/// the bytecode is produced once at build time and shared (via `Arc`) by
+/// every clone of the program, so repeated launches pay no per-call
+/// compilation or name-resolution cost.
 #[derive(Debug, Clone)]
 pub struct Program {
     unit: Arc<TranslationUnit>,
+    compiled: Arc<CompiledUnit>,
     source: Arc<str>,
 }
 
@@ -88,6 +103,15 @@ pub struct KernelHandle {
     pub(crate) index: usize,
     /// Parameter signature (for argument validation by callers).
     pub params: Vec<KernelParam>,
+}
+
+impl KernelHandle {
+    /// Index of the kernel's function in the translation unit (also valid
+    /// into [`compile::CompiledUnit::functions`]), for callers driving the
+    /// [`vm::Vm`] or [`interp::Interpreter`] directly.
+    pub fn index(&self) -> usize {
+        self.index
+    }
 }
 
 /// Description of one kernel parameter, exposed so that runtimes can validate
@@ -110,8 +134,10 @@ impl Program {
         let tokens = lexer::lex(source)?;
         let unit = parser::parse(&tokens, source)?;
         let unit = sema::check(unit)?;
+        let compiled = compile::compile(&unit)?;
         Ok(Program {
             unit: Arc::new(unit),
+            compiled: Arc::new(compiled),
             source: Arc::from(source),
         })
     }
@@ -124,6 +150,11 @@ impl Program {
     /// The checked translation unit.
     pub fn unit(&self) -> &TranslationUnit {
         &self.unit
+    }
+
+    /// The bytecode lowering of the translation unit.
+    pub fn compiled(&self) -> &CompiledUnit {
+        &self.compiled
     }
 
     /// Names of all `__kernel` entry points, in declaration order.
@@ -168,7 +199,7 @@ impl Program {
         cost::estimate_function(&self.unit, &self.unit.functions[kernel.index])
     }
 
-    /// Execute `kernel` for a single work-item.
+    /// Execute `kernel` for a single work-item (through the bytecode VM).
     ///
     /// `args` must match the kernel signature (validated). The bindings are
     /// read and written in place.
@@ -178,14 +209,14 @@ impl Program {
         item: WorkItem,
         args: &mut [ArgBinding<'_>],
     ) -> Result<(), KernelError> {
-        let mut interp = Interpreter::new(&self.unit);
-        interp.run_kernel(kernel.index, item, args)
+        let mut vm = Vm::new(&self.compiled);
+        vm.run_kernel(kernel.index, item, args)
     }
 
     /// Execute `kernel` over a one-dimensional NDRange of `global_size`
-    /// work-items, sequentially. This is the reference execution path used by
-    /// the device simulator (`oclsim`), which models hardware parallelism in
-    /// virtual time rather than in host threads.
+    /// work-items, sequentially through the bytecode VM. This is the
+    /// execution path used by the device simulator (`oclsim`), which models
+    /// hardware parallelism in virtual time rather than in host threads.
     pub fn run_ndrange(
         &self,
         kernel: &KernelHandle,
@@ -202,7 +233,48 @@ impl Program {
     /// summed over all work-items. The device simulator uses these measured
     /// counts — rather than the static [`Program::cost_estimate`] — to charge
     /// virtual time, so data-dependent loops are accounted for exactly.
+    ///
+    /// Work-items run through the bytecode VM; argument validation happens
+    /// once per launch instead of once per item.
     pub fn run_ndrange_measured(
+        &self,
+        kernel: &KernelHandle,
+        global_size: usize,
+        args: &mut [ArgBinding<'_>],
+    ) -> Result<interp::ExecStats, KernelError> {
+        let mut vm = Vm::new(&self.compiled);
+        vm.bind_kernel(kernel.index, args)?;
+        for gid in 0..global_size {
+            let item = WorkItem {
+                global_id: gid,
+                global_size,
+                local_id: gid,
+                local_size: global_size,
+                group_id: 0,
+            };
+            vm.run_item(item, args)?;
+        }
+        Ok(vm.stats())
+    }
+
+    /// Execute `kernel` over an NDRange through the tree-walking
+    /// interpreter. The interpreter is the differential-testing oracle for
+    /// the bytecode VM — slower, but semantically authoritative; the
+    /// property suite asserts both engines produce identical results and
+    /// [`interp::ExecStats`].
+    pub fn run_ndrange_interp(
+        &self,
+        kernel: &KernelHandle,
+        global_size: usize,
+        args: &mut [ArgBinding<'_>],
+    ) -> Result<(), KernelError> {
+        self.run_ndrange_measured_interp(kernel, global_size, args)
+            .map(|_| ())
+    }
+
+    /// Oracle twin of [`Program::run_ndrange_measured`]: runs every
+    /// work-item through the AST interpreter and returns its measured stats.
+    pub fn run_ndrange_measured_interp(
         &self,
         kernel: &KernelHandle,
         global_size: usize,

@@ -1,0 +1,468 @@
+//! Differential property tests: the bytecode VM against the tree-walking
+//! interpreter oracle.
+//!
+//! Every kernel here runs through **both** engines on identical inputs; the
+//! suite asserts bit-identical output buffers AND identical measured
+//! [`ExecStats`] (flops, global-memory bytes, op counts). Errors must agree
+//! too — same failure, same message. Coverage: control-flow edge cases
+//! (for/while/break/continue, nested if, ternaries), all four buffer element
+//! types (f32/f64/i32/u32), compound assignment and increment quirks,
+//! helper-function calls, short-circuit logic, and division by zero.
+
+use proptest::prelude::*;
+
+use skelcl_kernel::interp::{ArgBinding, ExecStats};
+use skelcl_kernel::value::Value;
+use skelcl_kernel::Program;
+
+/// Run `kernel` over `global_size` items through both engines on identical
+/// copies of the f32 buffers; return both outcomes for comparison.
+type Outcome<T> = Result<(Vec<Vec<T>>, ExecStats), String>;
+
+fn run_both_f32(
+    src: &str,
+    kernel: &str,
+    buffers: &[Vec<f32>],
+    scalars: &[Value],
+    global_size: usize,
+) -> (Outcome<f32>, Outcome<f32>) {
+    let p = Program::build(src).expect("test kernels must build");
+    let k = p.kernel(kernel).expect("kernel exists");
+
+    let run = |use_vm: bool| -> Outcome<f32> {
+        let mut bufs: Vec<Vec<f32>> = buffers.to_vec();
+        let mut args: Vec<ArgBinding<'_>> = Vec::new();
+        for b in &mut bufs {
+            args.push(ArgBinding::Buffer(skelcl_kernel::interp::BufferView::F32(
+                b,
+            )));
+        }
+        for s in scalars {
+            args.push(ArgBinding::Scalar(*s));
+        }
+        let stats = if use_vm {
+            p.run_ndrange_measured(&k, global_size, &mut args)
+        } else {
+            p.run_ndrange_measured_interp(&k, global_size, &mut args)
+        };
+        drop(args);
+        match stats {
+            Ok(s) => Ok((bufs, s)),
+            Err(e) => Err(e.message),
+        }
+    };
+    (run(true), run(false))
+}
+
+fn assert_engines_agree_f32(
+    src: &str,
+    kernel: &str,
+    buffers: &[Vec<f32>],
+    scalars: &[Value],
+    global_size: usize,
+) {
+    let (vm, oracle) = run_both_f32(src, kernel, buffers, scalars, global_size);
+    match (vm, oracle) {
+        (Ok((vb, vs)), Ok((ob, os))) => {
+            for (i, (v, o)) in vb.iter().zip(&ob).enumerate() {
+                let vbits: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+                let obits: Vec<u32> = o.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(vbits, obits, "buffer {i} diverged for kernel:\n{src}");
+            }
+            assert_eq!(vs, os, "ExecStats diverged for kernel:\n{src}");
+        }
+        (Err(ve), Err(oe)) => {
+            assert_eq!(ve, oe, "error messages diverged for kernel:\n{src}");
+        }
+        (vm, oracle) => panic!(
+            "engines disagree on success for kernel:\n{src}\nvm: {:?}\noracle: {:?}",
+            vm.map(|(_, s)| s),
+            oracle.map(|(_, s)| s)
+        ),
+    }
+}
+
+/// Typed variant covering the integer buffer types.
+macro_rules! run_both_typed {
+    ($name:ident, $elem:ty, $view:ident) => {
+        fn $name(
+            src: &str,
+            kernel: &str,
+            buffers: &[Vec<$elem>],
+            scalars: &[Value],
+            global_size: usize,
+        ) {
+            let p = Program::build(src).expect("test kernels must build");
+            let k = p.kernel(kernel).expect("kernel exists");
+            let run = |use_vm: bool| -> Outcome<$elem> {
+                let mut bufs: Vec<Vec<$elem>> = buffers.to_vec();
+                let mut args: Vec<ArgBinding<'_>> = Vec::new();
+                for b in &mut bufs {
+                    args.push(ArgBinding::Buffer(
+                        skelcl_kernel::interp::BufferView::$view(b),
+                    ));
+                }
+                for s in scalars {
+                    args.push(ArgBinding::Scalar(*s));
+                }
+                let stats = if use_vm {
+                    p.run_ndrange_measured(&k, global_size, &mut args)
+                } else {
+                    p.run_ndrange_measured_interp(&k, global_size, &mut args)
+                };
+                drop(args);
+                match stats {
+                    Ok(s) => Ok((bufs, s)),
+                    Err(e) => Err(e.message),
+                }
+            };
+            let vm = run(true);
+            let oracle = run(false);
+            match (vm, oracle) {
+                (Ok((vb, vs)), Ok((ob, os))) => {
+                    assert_eq!(vb, ob, "buffers diverged for kernel:\n{src}");
+                    assert_eq!(vs, os, "ExecStats diverged for kernel:\n{src}");
+                }
+                (Err(ve), Err(oe)) => {
+                    assert_eq!(ve, oe, "errors diverged for kernel:\n{src}")
+                }
+                (vm, oracle) => panic!(
+                    "engines disagree on success for kernel:\n{src}\nvm err: {:?}\noracle err: {:?}",
+                    vm.err(),
+                    oracle.err()
+                ),
+            }
+        }
+    };
+}
+
+run_both_typed!(assert_engines_agree_i32, i32, I32);
+run_both_typed!(assert_engines_agree_u32, u32, U32);
+run_both_typed!(assert_engines_agree_f64, f64, F64);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn for_loops_with_break_and_continue(
+        data in prop::collection::vec(-100.0f32..100.0, 1..48),
+        limit in 0i32..40,
+        skip in 1i32..7,
+    ) {
+        let src = r#"
+            __kernel void k(__global float* v, int n, int limit, int skip) {
+                int gid = get_global_id(0);
+                float acc = 0.0f;
+                for (int i = 0; i < n; i++) {
+                    if (i % skip == 0) { continue; }
+                    if (i > limit) { break; }
+                    acc += v[i] * 0.5f;
+                }
+                v[gid] = acc;
+            }
+        "#;
+        let n = data.len();
+        assert_engines_agree_f32(
+            src, "k", &[data],
+            &[Value::Int(n as i32), Value::Int(limit), Value::Int(skip)],
+            n,
+        );
+    }
+
+    #[test]
+    fn while_loops_with_runtime_bounds(
+        seed in 1u32..1000,
+        iters in 0i32..60,
+        items in 1usize..24,
+    ) {
+        let src = r#"
+            __kernel void k(__global float* v, int n, int iters) {
+                int gid = get_global_id(0);
+                float acc = v[gid];
+                int i = 0;
+                while (i < iters) {
+                    acc = acc * 1.001f + 0.25f;
+                    i++;
+                    if (acc > 1.0e6f) { break; }
+                }
+                v[gid] = acc;
+            }
+        "#;
+        let data: Vec<f32> = (0..items).map(|i| (seed as f32) * 0.1 + i as f32).collect();
+        assert_engines_agree_f32(
+            src, "k", &[data],
+            &[Value::Int(items as i32), Value::Int(iters)],
+            items,
+        );
+    }
+
+    #[test]
+    fn nested_ifs_ternaries_and_short_circuits(
+        data in prop::collection::vec(-50.0f32..50.0, 1..40),
+        t in -10.0f32..10.0,
+    ) {
+        let src = r#"
+            __kernel void k(__global float* v, int n, float t) {
+                int gid = get_global_id(0);
+                float x = v[gid];
+                if (x > t && x < t + 20.0f) {
+                    if (x > 0.0f || t < -5.0f) {
+                        x = x > 10.0f ? x - 10.0f : -x;
+                    } else {
+                        x += 1.0f;
+                    }
+                } else {
+                    x = !(x > t) ? t : x * 0.5f;
+                }
+                v[gid] = x;
+            }
+        "#;
+        let n = data.len();
+        assert_engines_agree_f32(
+            src, "k", &[data],
+            &[Value::Int(n as i32), Value::Float(t)],
+            n,
+        );
+    }
+
+    #[test]
+    fn i32_arithmetic_with_division_and_modulo(
+        data in prop::collection::vec(-1000i32..1000, 1..40),
+        d in -8i32..8,
+    ) {
+        // d may be zero: both engines must report the identical
+        // division-by-zero error; otherwise identical results.
+        let src = r#"
+            __kernel void k(__global int* v, int n, int d) {
+                int gid = get_global_id(0);
+                int x = v[gid];
+                v[gid] = x * 3 - x / d + x % d;
+            }
+        "#;
+        let n = data.len();
+        assert_engines_agree_i32(
+            src, "k", &[data],
+            &[Value::Int(n as i32), Value::Int(d)],
+            n,
+        );
+    }
+
+    #[test]
+    fn u32_arithmetic_and_unsigned_conversions(
+        data in prop::collection::vec(0u32..100_000, 1..32),
+        s in 0u32..17,
+    ) {
+        let src = r#"
+            __kernel void k(__global uint* v, int n, uint s) {
+                int gid = get_global_id(0);
+                uint x = v[gid];
+                uint y = x + s * 3u;
+                if (y % 2u == 0u) { y = y / 2u; } else { y = y * 3u + 1u; }
+                v[gid] = y;
+            }
+        "#;
+        let n = data.len();
+        assert_engines_agree_u32(
+            src, "k", &[data],
+            &[Value::Int(n as i32), Value::Uint(s)],
+            n,
+        );
+    }
+
+    #[test]
+    fn f64_math_builtins_and_casts(
+        data in prop::collection::vec(0.01f64..100.0, 1..24),
+    ) {
+        let src = r#"
+            __kernel void k(__global double* v, int n) {
+                int gid = get_global_id(0);
+                double x = v[gid];
+                double y = sqrt(x) + exp(x * 0.001f) + pow(x, 0.5f);
+                int trunc = (int) y;
+                v[gid] = y - (float) trunc + fmin(x, 10.0f);
+            }
+        "#;
+        let n = data.len();
+        assert_engines_agree_f64(src, "k", &[data], &[Value::Int(n as i32)], n);
+    }
+
+    #[test]
+    fn compound_assignment_and_incdec_quirks(
+        data in prop::collection::vec(-20.0f32..20.0, 2..32),
+    ) {
+        // Covers: compound assignment to buffer elements (the interpreter
+        // evaluates the index twice), pre/post increment as values, and
+        // assignment-as-expression yielding the unconverted value.
+        let src = r#"
+            __kernel void k(__global float* v, int n) {
+                int gid = get_global_id(0);
+                int i = 0;
+                v[gid] *= 2.0f;
+                v[gid] += v[(gid + 1) % n];
+                float a = i++;
+                float b = ++i;
+                int c = 0;
+                float d = (c = 7) + a + b;
+                v[gid] -= d * 0.125f;
+            }
+        "#;
+        let n = data.len();
+        assert_engines_agree_f32(src, "k", &[data], &[Value::Int(n as i32)], n);
+    }
+
+    #[test]
+    fn helper_functions_and_generated_skeleton_shapes(
+        data in prop::collection::vec(-100.0f32..100.0, 1..48),
+        a in -4.0f32..4.0,
+    ) {
+        // The exact shape kernelgen emits for a map skeleton with helpers.
+        let src = r#"
+            float sq(float x) { return x * x; }
+            float func(float x, float a) { return sq(x) * a + sq(a); }
+            __kernel void SKELCL_MAP(__global float* skelcl_in, __global float* skelcl_out, int skelcl_n, float skelcl_arg_a) {
+                int skelcl_gid = get_global_id(0);
+                if (skelcl_gid < skelcl_n) {
+                    skelcl_out[skelcl_gid] = func(skelcl_in[skelcl_gid], skelcl_arg_a);
+                }
+            }
+        "#;
+        let n = data.len();
+        let out = vec![0.0f32; n];
+        assert_engines_agree_f32(
+            src, "SKELCL_MAP", &[data, out],
+            &[Value::Int(n as i32), Value::Float(a)],
+            n,
+        );
+    }
+
+    #[test]
+    fn sequential_reduce_kernel_matches(
+        data in prop::collection::vec(-10.0f32..10.0, 1..64),
+    ) {
+        // The generated reduce kernel shape: one work-item folds the buffer.
+        let src = r#"
+            float func(float a, float b) { return a + b * 0.5f; }
+            __kernel void SKELCL_REDUCE(__global float* skelcl_in, __global float* skelcl_out, int skelcl_n) {
+                float skelcl_acc = skelcl_in[0];
+                for (int skelcl_i = 1; skelcl_i < skelcl_n; skelcl_i++) {
+                    skelcl_acc = func(skelcl_acc, skelcl_in[skelcl_i]);
+                }
+                skelcl_out[0] = skelcl_acc;
+            }
+        "#;
+        let n = data.len();
+        let out = vec![0.0f32; 1];
+        assert_engines_agree_f32(
+            src, "SKELCL_REDUCE", &[data, out],
+            &[Value::Int(n as i32)],
+            1,
+        );
+    }
+
+    #[test]
+    fn data_dependent_loops_have_identical_measured_stats(
+        items in 1usize..32,
+    ) {
+        // Triangular work: item `gid` runs `gid+1` iterations, so the stats
+        // are strongly data dependent — exactly what the per-instruction
+        // cost attribution must reproduce.
+        let src = r#"
+            __kernel void k(__global float* v, int n) {
+                int gid = get_global_id(0);
+                float acc = 0.0f;
+                for (int i = 0; i <= gid; i++) { acc += sqrt(acc + i) * 0.1f; }
+                v[gid] = acc;
+            }
+        "#;
+        let data = vec![0.0f32; items];
+        assert_engines_agree_f32(src, "k", &[data], &[Value::Int(items as i32)], items);
+    }
+
+    #[test]
+    fn out_of_bounds_errors_agree(
+        idx in 8i32..64,
+    ) {
+        let src = r#"
+            __kernel void k(__global float* v, int n, int idx) {
+                v[idx] = 1.0f;
+            }
+        "#;
+        assert_engines_agree_f32(
+            src, "k", &[vec![0.0f32; 4]],
+            &[Value::Int(4), Value::Int(idx)],
+            1,
+        );
+    }
+}
+
+#[test]
+fn break_and_continue_at_kernel_top_level() {
+    // A kernel-level `break` outside any loop ends the work-item in both
+    // engines (the interpreter unwinds the block stack and stops).
+    let src = r#"
+        __kernel void k(__global float* v, int n) {
+            int gid = get_global_id(0);
+            v[gid] = 1.0f;
+            if (gid > 0) { break; }
+            v[gid] = 2.0f;
+        }
+    "#;
+    assert_engines_agree_f32(src, "k", &[vec![0.0f32; 4]], &[Value::Int(4)], 4);
+}
+
+#[test]
+fn orphan_break_in_helper_is_the_same_runtime_error() {
+    let src = r#"
+        float f(float x) { break; return x; }
+        __kernel void k(__global float* v, int n) { v[0] = f(v[0]); }
+    "#;
+    assert_engines_agree_f32(src, "k", &[vec![1.0f32; 2]], &[Value::Int(2)], 1);
+}
+
+#[test]
+fn void_helper_call_value_and_return_conversion() {
+    let src = r#"
+        int half_int(float x) { return x / 2.0f; }
+        __kernel void k(__global float* v, int n) {
+            int gid = get_global_id(0);
+            v[gid] = half_int(v[gid]);
+        }
+    "#;
+    assert_engines_agree_f32(src, "k", &[vec![1.0, 3.0, 9.5, -7.0]], &[Value::Int(4)], 4);
+}
+
+#[test]
+fn negative_index_errors_agree() {
+    let src = r#"
+        __kernel void k(__global float* v, int n, int idx) { v[idx] = 0.5f; }
+    "#;
+    assert_engines_agree_f32(
+        src,
+        "k",
+        &[vec![0.0f32; 4]],
+        &[Value::Int(4), Value::Int(-3)],
+        1,
+    );
+}
+
+#[test]
+fn work_item_geometry_functions_agree() {
+    let src = r#"
+        __kernel void k(__global int* v, int n) {
+            int gid = get_global_id(0);
+            v[gid] = gid * 1000000 + get_local_id(0) * 10000
+                   + get_group_id(0) * 1000 + get_global_size(0) * 10
+                   + get_local_size(0) + get_num_groups(0);
+        }
+    "#;
+    assert_engines_agree_i32(src, "k", &[vec![0i32; 6]], &[Value::Int(6)], 6);
+}
+
+#[test]
+fn buffer_parameter_read_as_value_is_the_same_error() {
+    let src = "__kernel void k(__global float* v, int n) { float x = v + 0.0f; v[0] = x; }";
+    // Sema actually rejects binary ops on pointers, so use a bare statement.
+    let src2 = "__kernel void k(__global float* v, int n) { v; v[0] = 1.0f; }";
+    let _ = src;
+    assert_engines_agree_f32(src2, "k", &[vec![0.0f32; 2]], &[Value::Int(2)], 1);
+}

@@ -93,14 +93,34 @@ impl Context {
         ))
     }
 
-    /// Allocate a buffer of `len` elements of `T` on a device.
+    /// Allocate a buffer of `len` elements of `T` on a device. Released
+    /// same-size allocations are served from the device's buffer pool (see
+    /// [`Device::create_buffer`]), so repeated same-shape launches reuse
+    /// allocations instead of hitting the allocator every call.
     pub fn create_buffer<T: Pod>(&self, device_index: usize, len: usize) -> Result<Buffer> {
         self.device(device_index)?.create_buffer::<T>(len)
     }
 
-    /// Release a buffer allocation.
+    /// Release a buffer allocation (parked in the owning device's pool).
     pub fn release_buffer(&self, buffer: &Buffer) -> Result<()> {
         self.device(buffer.device())?.release_buffer(buffer)
+    }
+
+    /// Total allocations served from buffer pools across all devices.
+    pub fn buffer_pool_hits(&self) -> usize {
+        self.devices.iter().map(|d| d.pool_hit_count()).sum()
+    }
+
+    /// Total released allocations currently parked across all device pools.
+    pub fn pooled_buffers(&self) -> usize {
+        self.devices.iter().map(|d| d.pooled_buffers()).sum()
+    }
+
+    /// Drop every parked allocation on every device.
+    pub fn trim_buffer_pools(&self) {
+        for d in &self.devices {
+            d.trim_pool();
+        }
     }
 
     /// Build a program from kernel-language source. Charges the runtime
@@ -263,6 +283,23 @@ mod tests {
         assert_eq!(ctx.device(1).unwrap().live_buffers(), 1);
         ctx.release_buffer(&b).unwrap();
         assert_eq!(ctx.device(1).unwrap().live_buffers(), 0);
+    }
+
+    #[test]
+    fn repeated_same_shape_allocations_hit_the_pool() {
+        let ctx = Context::with_gpus(2);
+        // Steady-state launch loop: allocate an output per device, release,
+        // repeat. After the first round every allocation is a pool hit.
+        for _round in 0..5 {
+            for device in 0..2 {
+                let b = ctx.create_buffer::<f32>(device, 1024).unwrap();
+                ctx.release_buffer(&b).unwrap();
+            }
+        }
+        assert_eq!(ctx.buffer_pool_hits(), 8, "rounds 2-5 hit the pool");
+        assert_eq!(ctx.pooled_buffers(), 2);
+        ctx.trim_buffer_pools();
+        assert_eq!(ctx.pooled_buffers(), 0);
     }
 
     #[test]

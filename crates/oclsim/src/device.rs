@@ -64,6 +64,27 @@ impl BufferData {
     pub fn as_slice_mut<T: Pod>(&mut self) -> &mut [T] {
         pod::cast_slice_mut(self.as_bytes_mut())
     }
+
+    /// Reset the contents to all zeroes (fresh-allocation semantics for
+    /// pooled reuse).
+    fn zero(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+/// Maximum number of parked allocations kept per size bucket of a device's
+/// buffer pool; releases beyond this drop their storage for real.
+const POOL_BUCKET_CAP: usize = 8;
+
+/// Maximum total bytes a device's buffer pool may retain across all size
+/// buckets; releases beyond this drop their storage for real.
+const POOL_MAX_BYTES: usize = 256 * 1024 * 1024;
+
+/// The free list of one device: released storage parked by byte length.
+#[derive(Debug, Default)]
+struct BufferPool {
+    buckets: HashMap<usize, Vec<BufferData>>,
+    total_bytes: usize,
 }
 
 /// A simulated OpenCL device: a performance profile plus its dedicated
@@ -75,6 +96,15 @@ pub struct Device {
     /// Performance characteristics.
     pub profile: DeviceProfile,
     storage: Mutex<HashMap<u64, BufferData>>,
+    /// Size-bucketed free list: released allocations parked by byte length
+    /// so repeated same-shape `create_buffer` calls (the skeleton
+    /// `alloc_output` steady state) reuse the storage instead of hitting the
+    /// allocator every launch. Revived buffers get a *fresh* id: recycling
+    /// ids would turn an erroneous double release of a stale handle into
+    /// silent destruction of an unrelated live buffer instead of the
+    /// [`OclError::BufferNotFound`] it reports today.
+    pool: Mutex<BufferPool>,
+    pool_hits: AtomicUsize,
     allocated: AtomicUsize,
     next_buffer_id: AtomicU64,
 }
@@ -86,6 +116,8 @@ impl Device {
             id,
             profile,
             storage: Mutex::new(HashMap::new()),
+            pool: Mutex::new(BufferPool::default()),
+            pool_hits: AtomicUsize::new(0),
             allocated: AtomicUsize::new(0),
             next_buffer_id: AtomicU64::new(1),
         }
@@ -119,6 +151,10 @@ impl Device {
     }
 
     /// Allocate a buffer of `len` elements of type `T` on this device.
+    ///
+    /// Same-size allocations released earlier are served from the device's
+    /// buffer pool: the parked storage is zeroed and revived (under a fresh
+    /// id), so steady-state launch loops never touch the allocator.
     pub fn create_buffer<T: Pod>(&self, len: usize) -> Result<Buffer> {
         let len_bytes = len * std::mem::size_of::<T>();
         let available = self.available_bytes();
@@ -128,24 +164,72 @@ impl Device {
                 available,
             });
         }
+        let recycled = {
+            let mut pool = self.pool.lock();
+            let data = pool.buckets.get_mut(&len_bytes).and_then(Vec::pop);
+            if data.is_some() {
+                pool.total_bytes -= len_bytes;
+            }
+            data
+        };
+        let data = match recycled {
+            Some(mut data) => {
+                data.zero();
+                self.pool_hits.fetch_add(1, Ordering::Relaxed);
+                data
+            }
+            None => BufferData::new(len_bytes),
+        };
         let id = self.next_buffer_id.fetch_add(1, Ordering::Relaxed);
-        self.storage.lock().insert(id, BufferData::new(len_bytes));
+        self.storage.lock().insert(id, data);
         self.allocated.fetch_add(len_bytes, Ordering::Relaxed);
         Ok(Buffer::new::<T>(id, self.id, len))
     }
 
     /// Release a buffer allocation. Releasing an already-released buffer is
-    /// an error.
+    /// an error. The storage is parked in the device's size-bucketed pool
+    /// (bounded per bucket and in total bytes) for reuse by a later
+    /// same-size allocation.
     pub fn release_buffer(&self, buffer: &Buffer) -> Result<()> {
         let removed = self.storage.lock().remove(&buffer.id());
         match removed {
             Some(data) => {
-                self.allocated
-                    .fetch_sub(data.len_bytes(), Ordering::Relaxed);
+                let len_bytes = data.len_bytes();
+                self.allocated.fetch_sub(len_bytes, Ordering::Relaxed);
+                let mut pool = self.pool.lock();
+                if pool.total_bytes + len_bytes <= POOL_MAX_BYTES {
+                    let bucket = pool.buckets.entry(len_bytes).or_default();
+                    if bucket.len() < POOL_BUCKET_CAP {
+                        bucket.push(data);
+                        pool.total_bytes += len_bytes;
+                    }
+                }
                 Ok(())
             }
             None => Err(OclError::BufferNotFound { id: buffer.id() }),
         }
+    }
+
+    /// Number of released allocations currently parked in the buffer pool.
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.lock().buckets.values().map(Vec::len).sum()
+    }
+
+    /// Bytes of storage currently parked in the buffer pool.
+    pub fn pooled_bytes(&self) -> usize {
+        self.pool.lock().total_bytes
+    }
+
+    /// How many allocations have been served from the pool so far.
+    pub fn pool_hit_count(&self) -> usize {
+        self.pool_hits.load(Ordering::Relaxed)
+    }
+
+    /// Drop every parked allocation (frees the host memory backing them).
+    pub fn trim_pool(&self) {
+        let mut pool = self.pool.lock();
+        pool.buckets.clear();
+        pool.total_bytes = 0;
     }
 
     /// Copy host data into a device buffer.
@@ -339,6 +423,73 @@ mod tests {
         assert_eq!(dev.live_buffers(), 0);
         dev.return_buffers(taken);
         assert_eq!(dev.live_buffers(), 2);
+    }
+
+    #[test]
+    fn released_buffers_are_pooled_and_reused() {
+        let dev = device();
+        let a = dev.create_buffer::<f32>(16).unwrap();
+        dev.write_buffer_bytes(&a, 0, &[0xAB; 64]).unwrap();
+        dev.release_buffer(&a).unwrap();
+        assert_eq!(dev.pooled_buffers(), 1);
+        assert_eq!(dev.pooled_bytes(), 64);
+        assert_eq!(dev.allocated_bytes(), 0);
+
+        // Same-size allocation revives the parked storage (fresh id),
+        // zeroed like a fresh allocation.
+        let b = dev.create_buffer::<i32>(16).unwrap();
+        assert_eq!(dev.pool_hit_count(), 1);
+        assert_eq!(dev.pooled_buffers(), 0);
+        let mut out = vec![0xFFu8; 64];
+        dev.read_buffer_bytes(&b, 0, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0), "reused storage must be zeroed");
+
+        // A different size is a genuine new allocation, not a pool hit.
+        dev.release_buffer(&b).unwrap();
+        let _c = dev.create_buffer::<f32>(8).unwrap();
+        assert_eq!(dev.pool_hit_count(), 1);
+    }
+
+    #[test]
+    fn double_release_of_a_stale_handle_cannot_destroy_a_live_buffer() {
+        let dev = device();
+        let a = dev.create_buffer::<f32>(16).unwrap();
+        dev.release_buffer(&a).unwrap();
+        // `b` revives a's storage; a second (erroneous) release of the
+        // stale handle must fail, not free b.
+        let b = dev.create_buffer::<f32>(16).unwrap();
+        assert_ne!(b.id(), a.id(), "revived storage must get a fresh id");
+        assert!(matches!(
+            dev.release_buffer(&a),
+            Err(OclError::BufferNotFound { .. })
+        ));
+        let mut out = vec![0u8; 64];
+        dev.read_buffer_bytes(&b, 0, &mut out).unwrap();
+    }
+
+    #[test]
+    fn pool_total_bytes_are_bounded() {
+        let dev = device();
+        // One allocation larger than the whole pool budget: released storage
+        // must be dropped, not parked.
+        let big = dev.create_buffer::<f32>(POOL_MAX_BYTES / 4 + 1024).unwrap();
+        dev.release_buffer(&big).unwrap();
+        assert_eq!(dev.pooled_buffers(), 0, "oversized releases are dropped");
+    }
+
+    #[test]
+    fn pool_buckets_are_capped_and_trimmable() {
+        let dev = device();
+        let buffers: Vec<_> = (0..POOL_BUCKET_CAP + 3)
+            .map(|_| dev.create_buffer::<f32>(4).unwrap())
+            .collect();
+        for b in &buffers {
+            dev.release_buffer(b).unwrap();
+        }
+        assert_eq!(dev.pooled_buffers(), POOL_BUCKET_CAP);
+        dev.trim_pool();
+        assert_eq!(dev.pooled_buffers(), 0);
+        assert_eq!(dev.pooled_bytes(), 0);
     }
 
     #[test]

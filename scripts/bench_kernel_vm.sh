@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Kernel-engine performance trajectory: runs the criterion benches that cover
+# the kernel language and skeletons, then regenerates BENCH_kernel_vm.json
+# (elements/sec for map/zip/reduce/scan at 1M elements, AST interpreter vs
+# bytecode VM) at the repository root.
+#
+# Usage:
+#   scripts/bench_kernel_vm.sh            # full run, rewrites BENCH_kernel_vm.json
+#   scripts/bench_kernel_vm.sh --quick    # small-N smoke run only (CI runs the
+#                                         # kernel_vm_bench binary directly)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--quick" ]]; then
+    cargo run --release -p skelcl_bench --bin kernel_vm_bench -- --quick --out /tmp/BENCH_kernel_vm.json
+else
+    cargo bench -p skelcl_bench --bench kernel_language
+    cargo bench -p skelcl_bench --bench skeletons
+    cargo run --release -p skelcl_bench --bin kernel_vm_bench -- --out BENCH_kernel_vm.json
+fi
