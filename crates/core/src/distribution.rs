@@ -186,6 +186,194 @@ impl Partition {
     }
 }
 
+// ---------------------------------------------------------------------------
+// 2-D (matrix) distributions
+// ---------------------------------------------------------------------------
+
+/// How a [`crate::matrix::Matrix`] is distributed across the devices of the
+/// runtime. Matrices are row-major and are always split at row granularity,
+/// so every device part is a contiguous range of whole rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixDistribution {
+    /// The whole matrix on a single device.
+    Single(usize),
+    /// Contiguous, disjoint, evenly-sized row blocks on every device.
+    RowBlock,
+    /// A full copy of the matrix on every device.
+    Copy,
+    /// Row blocks where each device's part additionally carries `halo_rows`
+    /// read-only rows from its neighbours above and below (filled by a
+    /// [`Boundary`] policy at the matrix edges). This is the distribution of
+    /// stencil ([`crate::skeletons::MapOverlap`]) inputs: redistribution
+    /// between sweeps exchanges only the halo rows, never whole parts.
+    OverlapBlock {
+        /// Number of neighbour rows replicated on each side of a part.
+        halo_rows: usize,
+    },
+}
+
+impl MatrixDistribution {
+    /// The default distribution of newly created matrices.
+    pub fn default_for_inputs() -> MatrixDistribution {
+        MatrixDistribution::RowBlock
+    }
+
+    /// The halo width of the distribution (zero for non-overlapping ones).
+    pub fn halo_rows(&self) -> usize {
+        match self {
+            MatrixDistribution::OverlapBlock { halo_rows } => *halo_rows,
+            _ => 0,
+        }
+    }
+}
+
+/// Out-of-bound policy of stencil neighbour accesses — how `get(dx, dy)`
+/// resolves reads past the edges of the matrix, and how halo rows beyond the
+/// first/last row are filled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Boundary<T> {
+    /// Out-of-range accesses clamp to the nearest valid element.
+    Clamp,
+    /// Out-of-range accesses wrap around (torus topology); halo exchanges
+    /// are cyclic — the first device's top halo comes from the last device.
+    Wrap,
+    /// Out-of-range accesses yield the given constant.
+    Constant(T),
+}
+
+impl<T> Boundary<T> {
+    /// The kernel-side policy code ([`skelcl_kernel::builtins::stencil`]).
+    pub(crate) fn policy_code(&self) -> i32 {
+        use skelcl_kernel::builtins::stencil;
+        match self {
+            Boundary::Clamp => stencil::POLICY_CLAMP,
+            Boundary::Wrap => stencil::POLICY_WRAP,
+            Boundary::Constant(_) => stencil::POLICY_CONSTANT,
+        }
+    }
+}
+
+/// The concrete row partitioning of a `rows × cols` matrix over `devices`
+/// devices: for each device the *core* row range it owns, plus the halo
+/// width replicated around each part under
+/// [`MatrixDistribution::OverlapBlock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPartition {
+    ranges: Vec<Range<usize>>,
+    rows: usize,
+    cols: usize,
+    halo: usize,
+}
+
+impl RowPartition {
+    /// Compute the row partition of a `rows × cols` matrix for `devices`
+    /// devices under `distribution`.
+    pub fn compute(
+        rows: usize,
+        cols: usize,
+        devices: usize,
+        distribution: &MatrixDistribution,
+    ) -> RowPartition {
+        assert!(devices > 0, "a runtime always has at least one device");
+        let (ranges, halo) = match distribution {
+            MatrixDistribution::Single(dev) => (
+                (0..devices)
+                    .map(|d| if d == *dev { 0..rows } else { 0..0 })
+                    .collect(),
+                0,
+            ),
+            MatrixDistribution::Copy => ((0..devices).map(|_| 0..rows).collect(), 0),
+            MatrixDistribution::RowBlock => (Partition::block_ranges(rows, &vec![1.0; devices]), 0),
+            MatrixDistribution::OverlapBlock { halo_rows } => (
+                Partition::block_ranges(rows, &vec![1.0; devices]),
+                *halo_rows,
+            ),
+        };
+        RowPartition {
+            ranges,
+            rows,
+            cols,
+            halo,
+        }
+    }
+
+    /// The core row range device `d` owns (exclusive of halo rows).
+    pub fn core_rows(&self, device: usize) -> Range<usize> {
+        self.ranges.get(device).cloned().unwrap_or(0..0)
+    }
+
+    /// Number of core rows device `d` owns.
+    pub fn core_row_count(&self, device: usize) -> usize {
+        self.core_rows(device).len()
+    }
+
+    /// Number of rows device `d` stores, including the halo padding (the
+    /// halo is carried even by parts at the matrix edges, filled by the
+    /// boundary policy, so every part is uniformly `core + 2 * halo` rows).
+    pub fn stored_row_count(&self, device: usize) -> usize {
+        let core = self.core_row_count(device);
+        if core == 0 {
+            0
+        } else {
+            core + 2 * self.halo
+        }
+    }
+
+    /// Number of elements device `d` stores (halo included).
+    pub fn stored_len(&self, device: usize) -> usize {
+        self.stored_row_count(device) * self.cols
+    }
+
+    /// Number of elements device `d` computes (its core rows).
+    pub fn core_len(&self, device: usize) -> usize {
+        self.core_row_count(device) * self.cols
+    }
+
+    /// The halo width of the partition.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Matrix height in rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix width in columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of devices (including inactive ones).
+    pub fn device_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Devices that own at least one core row.
+    pub fn active_devices(&self) -> Vec<usize> {
+        self.ranges
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// The device whose core rows contain global row `row` (`None` for
+    /// copy/single layouts should be resolved by the caller; every row of a
+    /// block layout has exactly one owner).
+    pub fn row_owner(&self, row: usize) -> Option<usize> {
+        self.ranges
+            .iter()
+            .position(|r| !r.is_empty() && r.contains(&row))
+    }
+
+    /// Per-device core row counts.
+    pub fn core_row_counts(&self) -> Vec<usize> {
+        self.ranges.iter().map(|r| r.len()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +462,73 @@ mod tests {
         assert_eq!(Distribution::default_for_inputs(), Distribution::Block);
         assert!(Distribution::Block.uses_all_devices());
         assert!(!Distribution::Single(0).uses_all_devices());
+    }
+
+    #[test]
+    fn row_partition_splits_rows_contiguously() {
+        for rows in [0usize, 1, 5, 16, 17] {
+            for devices in 1..=5 {
+                let p = RowPartition::compute(rows, 7, devices, &MatrixDistribution::RowBlock);
+                let mut next = 0;
+                for d in 0..devices {
+                    let r = p.core_rows(d);
+                    assert_eq!(r.start, next, "row blocks must be contiguous");
+                    next = r.end;
+                    assert_eq!(p.core_len(d), r.len() * 7);
+                    assert_eq!(p.stored_len(d), p.core_len(d), "no halo under RowBlock");
+                }
+                assert_eq!(next, rows);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_partition_pads_every_active_part_by_the_halo() {
+        let d = MatrixDistribution::OverlapBlock { halo_rows: 2 };
+        let p = RowPartition::compute(10, 4, 3, &d);
+        assert_eq!(p.halo(), 2);
+        assert_eq!(p.core_row_counts(), vec![3, 4, 3]);
+        for dev in 0..3 {
+            assert_eq!(p.stored_row_count(dev), p.core_row_count(dev) + 4);
+            assert_eq!(p.stored_len(dev), p.stored_row_count(dev) * 4);
+        }
+        assert_eq!(d.halo_rows(), 2);
+        assert_eq!(MatrixDistribution::RowBlock.halo_rows(), 0);
+    }
+
+    #[test]
+    fn row_partition_owner_lookup_and_empty_devices() {
+        let d = MatrixDistribution::OverlapBlock { halo_rows: 1 };
+        // More devices than rows: some devices own nothing and store nothing.
+        let p = RowPartition::compute(2, 3, 4, &d);
+        let active = p.active_devices();
+        assert_eq!(active.len(), 2);
+        for dev in 0..4 {
+            if active.contains(&dev) {
+                assert!(p.stored_row_count(dev) > 0);
+            } else {
+                assert_eq!(p.stored_row_count(dev), 0);
+                assert_eq!(p.stored_len(dev), 0);
+            }
+        }
+        assert_eq!(p.row_owner(0), Some(active[0]));
+        assert_eq!(p.row_owner(1), Some(active[1]));
+        assert_eq!(p.row_owner(2), None);
+    }
+
+    #[test]
+    fn single_and_copy_matrix_distributions() {
+        let single = RowPartition::compute(6, 2, 3, &MatrixDistribution::Single(1));
+        assert_eq!(single.core_row_counts(), vec![0, 6, 0]);
+        assert_eq!(single.active_devices(), vec![1]);
+        let copy = RowPartition::compute(6, 2, 3, &MatrixDistribution::Copy);
+        assert_eq!(copy.core_row_counts(), vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn boundary_policy_codes_match_the_kernel_language() {
+        assert_eq!(Boundary::<f32>::Clamp.policy_code(), 0);
+        assert_eq!(Boundary::<f32>::Wrap.policy_code(), 1);
+        assert_eq!(Boundary::Constant(1.5f32).policy_code(), 2);
     }
 }

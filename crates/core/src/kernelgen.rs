@@ -167,6 +167,8 @@ pub const MAP_KERNEL: &str = "SKELCL_MAP";
 pub const MAP_INDEX_KERNEL: &str = "SKELCL_MAP_INDEX";
 /// Name of the generated zip kernel.
 pub const ZIP_KERNEL: &str = "SKELCL_ZIP";
+/// Name of the generated map-overlap (stencil) kernel.
+pub const MAP_OVERLAP_KERNEL: &str = "SKELCL_MAP_OVERLAP";
 /// Name of the generated (per-device, sequential) reduce kernel.
 pub const REDUCE_KERNEL: &str = "SKELCL_REDUCE";
 /// Name of the generated chunked reduce kernel (one partial result per
@@ -236,6 +238,54 @@ pub fn map_index_kernel(udf: &UdfInfo) -> Result<String> {
          }}\n",
         udf_src = udf.source,
         kernel = MAP_INDEX_KERNEL,
+        out_ty = udf.return_type,
+        extra_decls = udf.extra_param_decls(),
+        extra_uses = udf.extra_param_uses(),
+        f = udf.name,
+    ))
+}
+
+/// Generate the map-overlap (stencil) kernel:
+/// `out[r, c] = f(in[r, c], extra...)` where the user function may read
+/// neighbouring elements through the `get(dx, dy)` builtin.
+///
+/// The kernel runs over the device's *core* elements (`n = core_rows × w`)
+/// while its input buffer is the halo-padded part (`(core_rows + 2·halo) × w`
+/// elements): row accesses of `get` resolve directly into the padding —
+/// out-of-bound rows were materialised when the halo was filled — and column
+/// accesses apply the boundary policy in the engines. The reserved
+/// `skelcl_stencil_*` parameters bind the builtin's execution context (see
+/// `skelcl_kernel::builtins::stencil`). The output part is padded the same
+/// way, so iterative stencils can flip output to input with a halo-only
+/// exchange; its halo rows are left untouched by the kernel.
+pub fn map_overlap_kernel(udf: &UdfInfo) -> Result<String> {
+    if udf.main_params.len() != 1 {
+        return Err(SkelError::UdfSignature(format!(
+            "map-overlap expects a unary user function (the centre element); `{}` has {} main parameter(s)",
+            udf.name,
+            udf.main_params.len()
+        )));
+    }
+    if udf.main_params[0] != ScalarType::Float {
+        return Err(SkelError::UdfSignature(format!(
+            "map-overlap requires a float centre element (the stencil input is a float matrix); \
+             `{}` takes {}",
+            udf.name, udf.main_params[0]
+        )));
+    }
+    Ok(format!(
+        "{udf_src}\n\
+         __kernel void {kernel}(__global float* skelcl_stencil_in, __global {out_ty}* skelcl_out, \
+         int skelcl_n, int skelcl_stencil_w, int skelcl_stencil_halo, int skelcl_stencil_policy, \
+         float skelcl_stencil_oob{extra_decls}) {{\n\
+         \x20   int skelcl_gid = get_global_id(0);\n\
+         \x20   if (skelcl_gid < skelcl_n) {{\n\
+         \x20       int skelcl_idx = (skelcl_gid / skelcl_stencil_w + skelcl_stencil_halo) * skelcl_stencil_w + skelcl_gid % skelcl_stencil_w;\n\
+         \x20       skelcl_out[skelcl_idx] = {f}(skelcl_stencil_in[skelcl_idx]{extra_uses});\n\
+         \x20   }}\n\
+         }}\n",
+        udf_src = udf.source,
+        kernel = MAP_OVERLAP_KERNEL,
         out_ty = udf.return_type,
         extra_decls = udf.extra_param_decls(),
         extra_uses = udf.extra_param_uses(),
@@ -462,6 +512,62 @@ mod tests {
         ));
         let binary = UdfInfo::analyze(ADD, 2).unwrap();
         assert!(map_index_kernel(&binary).is_err());
+    }
+
+    #[test]
+    fn generated_map_overlap_kernel_compiles_and_reads_neighbours() {
+        let info = UdfInfo::analyze(
+            "float func(float x, float a) { return a * (get(-1, 0) + get(1, 0)) + x; }",
+            1,
+        )
+        .unwrap();
+        let src = map_overlap_kernel(&info).unwrap();
+        let program = skelcl_kernel::Program::build(&src).unwrap();
+        let k = program.kernel(MAP_OVERLAP_KERNEL).unwrap();
+        // in, out, n, w, halo, policy, oob, a
+        assert_eq!(k.params.len(), 8);
+        assert!(src.contains("skelcl_stencil_in"));
+        assert!(src.contains("skelcl_stencil_halo"));
+
+        // Run it directly: 2x2 matrix, halo 1 → padded input has 4 rows.
+        let mut input = vec![
+            0.0f32, 0.0, // top halo (policy-filled by the runtime)
+            1.0, 2.0, // row 0
+            3.0, 4.0, // row 1
+            0.0, 0.0, // bottom halo
+        ];
+        let mut out = vec![0.0f32; 8];
+        let mut args = vec![
+            skelcl_kernel::interp::ArgBinding::buffer_f32(&mut input),
+            skelcl_kernel::interp::ArgBinding::buffer_f32(&mut out),
+            skelcl_kernel::interp::ArgBinding::Scalar(skelcl_kernel::value::Value::Int(4)),
+            skelcl_kernel::interp::ArgBinding::Scalar(skelcl_kernel::value::Value::Int(2)),
+            skelcl_kernel::interp::ArgBinding::Scalar(skelcl_kernel::value::Value::Int(1)),
+            skelcl_kernel::interp::ArgBinding::Scalar(skelcl_kernel::value::Value::Int(0)),
+            skelcl_kernel::interp::ArgBinding::Scalar(skelcl_kernel::value::Value::Float(0.0)),
+            skelcl_kernel::interp::ArgBinding::Scalar(skelcl_kernel::value::Value::Float(10.0)),
+        ];
+        program.run_ndrange(&k, 4, &mut args).unwrap();
+        drop(args);
+        // Element (0,0): x=1, left neighbour clamps to 1, right is 2.
+        assert_eq!(out[2], 10.0 * (1.0 + 2.0) + 1.0);
+        // The output's halo rows are untouched.
+        assert_eq!(&out[0..2], &[0.0, 0.0]);
+        assert_eq!(&out[6..8], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn map_overlap_rejects_non_unary_and_non_float_udfs() {
+        let binary = UdfInfo::analyze(ADD, 2).unwrap();
+        assert!(matches!(
+            map_overlap_kernel(&binary),
+            Err(SkelError::UdfSignature(_))
+        ));
+        let int_centre = UdfInfo::analyze("int func(int x) { return x; }", 1).unwrap();
+        assert!(matches!(
+            map_overlap_kernel(&int_centre),
+            Err(SkelError::UdfSignature(_))
+        ));
     }
 
     #[test]

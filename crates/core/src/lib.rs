@@ -4,10 +4,10 @@
 //! Programming of Multi-GPU Systems Using the SkelCL Library"* (Steuwer,
 //! Kegel, Gorlatch — IPDPSW 2012). The library provides
 //!
-//! * four **algorithmic skeletons** — [`Map`], [`Zip`], [`Reduce`] and
-//!   [`Scan`] — customised with user-defined functions passed either as
-//!   plain source strings (compiled at runtime, as in the paper) or as native
-//!   Rust closures,
+//! * five **algorithmic skeletons** — [`Map`], [`Zip`], [`Reduce`],
+//!   [`Scan`] and the 2-D stencil [`MapOverlap`] — customised with
+//!   user-defined functions passed either as plain source strings (compiled
+//!   at runtime, as in the paper) or as native Rust closures,
 //! * one **uniform execution API**: every skeleton implements the
 //!   [`Skeleton`] trait and is invoked through the fluent [`Launch`] builder
 //!   (`sk.run(&input).args(...).devices(...).scheduler(...).exec()`),
@@ -16,6 +16,9 @@
 //!   (`v.map(&f)?.zip(&w, &g)?.reduce(&h)?`),
 //! * [`Distribution`]s (`single`, `block`, `copy`) describing how a vector is
 //!   partitioned across multiple GPUs, with implicit redistribution,
+//! * a 2-D [`Matrix`] container with row-block [`MatrixDistribution`]s,
+//!   including the halo-padded `OverlapBlock` layout whose between-sweep
+//!   redistribution exchanges only halo rows (see [`MapOverlap`]),
 //! * the **additional arguments** mechanism — the open [`IntoArg`] trait and
 //!   the [`args!`] macro forward extra scalars and vectors of *any* element
 //!   type to the user-defined function,
@@ -78,19 +81,23 @@ pub mod args;
 pub mod distribution;
 pub mod error;
 pub mod kernelgen;
+pub mod matrix;
 pub mod runtime;
 pub mod scheduler;
 pub mod skeletons;
 pub mod vector;
 
 pub use args::{ArgAccess, ArgItem, Args, IntoArg, VectorArg};
-pub use distribution::{Combine, Distribution, Partition};
+pub use distribution::{
+    Boundary, Combine, Distribution, MatrixDistribution, Partition, RowPartition,
+};
 pub use error::{Result, SkelError};
-pub use runtime::{init_gpus, init_profiles, DeviceSelection, SkelCl};
+pub use matrix::Matrix;
+pub use runtime::{init_gpus, init_profiles, DeviceSelection, DeviceTrace, ExecTrace, SkelCl};
 pub use scheduler::{DevicePerf, PerfModel, StaticScheduler};
 pub use skeletons::{
-    DeviceScalar, IndexLaunch, Launch, LaunchConfig, Map, Reduce, ReducePlan, Scan, ScanTrace,
-    Skeleton, Zip,
+    DeviceScalar, IndexLaunch, Launch, LaunchConfig, Map, MapOverlap, Reduce, ReducePlan, Scan,
+    ScanTrace, Skeleton, Zip,
 };
 pub use vector::{Residence, Vector};
 
@@ -103,10 +110,11 @@ pub use oclsim;
 pub mod prelude {
     pub use crate::args;
     pub use crate::args::{ArgAccess, Args, IntoArg};
-    pub use crate::distribution::{Combine, Distribution};
+    pub use crate::distribution::{Boundary, Combine, Distribution, MatrixDistribution};
     pub use crate::error::{Result, SkelError};
+    pub use crate::matrix::Matrix;
     pub use crate::runtime::{DeviceSelection, SkelCl};
-    pub use crate::skeletons::{Launch, Map, Reduce, Scan, Skeleton, Zip};
+    pub use crate::skeletons::{Launch, Map, MapOverlap, Reduce, Scan, Skeleton, Zip};
     pub use crate::vector::Vector;
     pub use oclsim::CostHint;
 }

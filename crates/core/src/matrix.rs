@@ -1,0 +1,836 @@
+//! The abstract 2-D matrix data type.
+//!
+//! A [`Matrix`] is the two-dimensional sibling of [`crate::vector::Vector`]:
+//! a row-major `rows × cols` container whose data is accessible by both CPU
+//! and GPU, kept consistent automatically and *lazily*. Matrices are always
+//! split at row granularity ([`MatrixDistribution`]); under
+//! [`MatrixDistribution::OverlapBlock`] each device part is padded with
+//! `halo_rows` read-only rows from its neighbours (filled by a [`Boundary`]
+//! policy at the matrix edges), which is the layout stencil skeletons
+//! ([`crate::skeletons::MapOverlap`]) execute on. Re-establishing coherence
+//! between stencil sweeps exchanges **only the halo rows** — never whole
+//! parts — and every exchange is visible in the oclsim transfer stats and in
+//! the runtime's [`crate::runtime::ExecTrace`] halo counters.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use oclsim::{pod, Buffer, Pod};
+
+use crate::distribution::{Boundary, MatrixDistribution, RowPartition};
+use crate::error::{Result, SkelError};
+use crate::runtime::SkelCl;
+use crate::vector::Residence;
+
+/// Compare two boundaries by value; the constant compares by its `Pod` byte
+/// representation, so no `PartialEq` bound on `T` is needed.
+pub(crate) fn boundary_eq<T: Pod>(a: &Boundary<T>, b: &Boundary<T>) -> bool {
+    match (a, b) {
+        (Boundary::Clamp, Boundary::Clamp) | (Boundary::Wrap, Boundary::Wrap) => true,
+        (Boundary::Constant(x), Boundary::Constant(y)) => {
+            pod::as_bytes(std::slice::from_ref(x)) == pod::as_bytes(std::slice::from_ref(y))
+        }
+        _ => false,
+    }
+}
+
+/// Where one padded (halo) row comes from.
+enum RowSource {
+    /// A real matrix row (global row index).
+    Row(usize),
+    /// A row of the boundary constant.
+    Constant,
+}
+
+struct Inner<T: Pod> {
+    runtime: Arc<SkelCl>,
+    host: Vec<T>,
+    rows: usize,
+    cols: usize,
+    host_valid: bool,
+    devices_valid: bool,
+    /// Under `OverlapBlock`: whether the halo rows of the device parts match
+    /// the neighbours' current core rows. A stencil sweep leaves the freshly
+    /// written output with stale halos; the next device use refreshes them
+    /// through a halo exchange instead of a full redistribution.
+    halos_valid: bool,
+    distribution: MatrixDistribution,
+    partition: RowPartition,
+    buffers: Vec<Option<Buffer>>,
+    /// Halo fill policy at the matrix edges (meaningful under
+    /// `OverlapBlock`; kept across redistributions).
+    boundary: Boundary<T>,
+}
+
+impl<T: Pod> Inner<T> {
+    fn release_buffers(&mut self) {
+        for buf in self.buffers.iter_mut() {
+            if let Some(b) = buf.take() {
+                let _ = self.runtime.context().release_buffer(&b);
+            }
+        }
+    }
+
+    /// Resolve padded row index `p` (may be negative or `>= rows`) to its
+    /// source under the boundary policy.
+    fn row_source(&self, p: i64) -> RowSource {
+        let rows = self.rows as i64;
+        if (0..rows).contains(&p) {
+            return RowSource::Row(p as usize);
+        }
+        match self.boundary {
+            Boundary::Clamp => RowSource::Row(p.clamp(0, rows - 1) as usize),
+            Boundary::Wrap => RowSource::Row(p.rem_euclid(rows) as usize),
+            Boundary::Constant(_) => RowSource::Constant,
+        }
+    }
+
+    /// Append the contents of padded row `p` (boundary policy applied) to a
+    /// part being assembled for upload.
+    fn push_padded_row(&self, p: i64, part: &mut Vec<T>) {
+        match self.row_source(p) {
+            RowSource::Row(r) => {
+                part.extend_from_slice(&self.host[r * self.cols..(r + 1) * self.cols])
+            }
+            RowSource::Constant => {
+                let Boundary::Constant(c) = self.boundary else {
+                    unreachable!("row_source yields Constant only for constant boundaries")
+                };
+                part.resize(part.len() + self.cols, c);
+            }
+        }
+    }
+
+    fn ensure_on_devices(&mut self) -> Result<()> {
+        if self.devices_valid {
+            return Ok(());
+        }
+        debug_assert!(self.host_valid, "either host or devices must be valid");
+        let halo = self.partition.halo() as i64;
+        for device in 0..self.partition.device_count() {
+            let stored = self.partition.stored_len(device);
+            if stored == 0 {
+                continue;
+            }
+            let buffer = match &self.buffers[device] {
+                Some(b) if b.len() == stored => b.clone(),
+                _ => {
+                    if let Some(old) = self.buffers[device].take() {
+                        let _ = self.runtime.context().release_buffer(&old);
+                    }
+                    let b = self.runtime.context().create_buffer::<T>(device, stored)?;
+                    self.buffers[device] = Some(b.clone());
+                    b
+                }
+            };
+            let core = self.partition.core_rows(device);
+            // Build the part to upload: the top halo rows (policy-filled),
+            // the core rows as one contiguous host slice, the bottom halo.
+            let mut part = Vec::with_capacity(stored);
+            for p in core.start as i64 - halo..core.start as i64 {
+                self.push_padded_row(p, &mut part);
+            }
+            part.extend_from_slice(&self.host[core.start * self.cols..core.end * self.cols]);
+            for p in core.end as i64..core.end as i64 + halo {
+                self.push_padded_row(p, &mut part);
+            }
+            self.runtime
+                .queue(device)
+                .enqueue_write_buffer(&buffer, &part)?;
+        }
+        self.devices_valid = true;
+        self.halos_valid = true;
+        Ok(())
+    }
+
+    /// Re-fill the halo rows of every device part from the neighbours'
+    /// current *core* rows (and the boundary policy at the matrix edges),
+    /// without touching any core data. Consecutive halo rows with the same
+    /// owner move as one transfer, so the exchange between two neighbouring
+    /// parts is a single `halo_rows × cols` read plus one write.
+    fn refresh_halos(&mut self) -> Result<()> {
+        debug_assert!(self.devices_valid);
+        let halo = self.partition.halo();
+        if halo == 0 || self.halos_valid {
+            self.halos_valid = true;
+            return Ok(());
+        }
+        let cols = self.cols;
+        let elem = std::mem::size_of::<T>();
+        for device in self.partition.active_devices() {
+            let core = self.partition.core_rows(device);
+            let dst = self.buffers[device]
+                .as_ref()
+                .expect("active parts hold a buffer")
+                .clone();
+            // Padded slots: `slot` is the row index within the stored part;
+            // core rows occupy slots halo .. halo + core_len.
+            let slots: Vec<(usize, i64)> = (0..halo)
+                .map(|k| (k, core.start as i64 - halo as i64 + k as i64))
+                .chain((0..halo).map(|k| (halo + core.len() + k, core.end as i64 + k as i64)))
+                .collect();
+            // Group consecutive slots whose sources are consecutive rows of
+            // the same owning device into one read + one write.
+            let mut run: Option<(usize, usize, usize, usize)> = None; // (slot0, src_row0, owner, len)
+            let flush =
+                |inner: &Self, run: &mut Option<(usize, usize, usize, usize)>| -> Result<()> {
+                    if let Some((slot0, src_row0, owner, len)) = run.take() {
+                        let src_buf = inner.buffers[owner].as_ref().expect("owners hold a buffer");
+                        let owner_core = inner.partition.core_rows(owner);
+                        let src_off = (src_row0 - owner_core.start + halo) * cols;
+                        let mut staging = crate::vector::vec_uninit_len::<T>(len * cols);
+                        inner.runtime.queue(owner).enqueue_read_buffer_region(
+                            src_buf,
+                            src_off,
+                            &mut staging,
+                        )?;
+                        inner.runtime.queue(device).enqueue_write_buffer_region(
+                            &dst,
+                            slot0 * cols,
+                            &staging,
+                        )?;
+                        inner.runtime.charge_halo_transfer(owner, len * cols * elem);
+                        inner
+                            .runtime
+                            .charge_halo_transfer(device, len * cols * elem);
+                    }
+                    Ok(())
+                };
+            for (slot, p) in slots {
+                match self.row_source(p) {
+                    RowSource::Constant => {
+                        flush(self, &mut run)?;
+                        let Boundary::Constant(c) = self.boundary else {
+                            unreachable!("constant source implies constant boundary")
+                        };
+                        self.runtime.queue(device).enqueue_write_buffer_region(
+                            &dst,
+                            slot * cols,
+                            &vec![c; cols],
+                        )?;
+                        self.runtime.charge_halo_transfer(device, cols * elem);
+                    }
+                    RowSource::Row(g) => {
+                        let owner = self
+                            .partition
+                            .row_owner(g)
+                            .expect("every matrix row has an owning device");
+                        match &mut run {
+                            Some((slot0, src_row0, own, len))
+                                if *own == owner
+                                    && g == *src_row0 + *len
+                                    && slot == *slot0 + *len =>
+                            {
+                                *len += 1;
+                            }
+                            _ => {
+                                flush(self, &mut run)?;
+                                run = Some((slot, g, owner, 1));
+                            }
+                        }
+                    }
+                }
+            }
+            flush(self, &mut run)?;
+        }
+        self.halos_valid = true;
+        Ok(())
+    }
+
+    fn download_to_host(&mut self) -> Result<()> {
+        if self.host_valid {
+            return Ok(());
+        }
+        debug_assert!(self.devices_valid, "either host or devices must be valid");
+        let halo = self.partition.halo();
+        let cols = self.cols;
+        match &self.distribution {
+            MatrixDistribution::Copy => {
+                let actives = self.partition.active_devices();
+                let first = *actives.first().ok_or(SkelError::EmptyInput)?;
+                let buffer = self.buffers[first].as_ref().ok_or_else(|| {
+                    SkelError::Distribution("copy-distributed matrix has no device buffer".into())
+                })?;
+                let mut host = crate::vector::vec_uninit_len::<T>(self.rows * cols);
+                self.runtime
+                    .queue(first)
+                    .enqueue_read_buffer(buffer, &mut host)?;
+                self.host = host;
+            }
+            _ => {
+                // Row blocks (plain, single or overlapped): gather only the
+                // core rows of every part — halo rows are replicas and are
+                // never read back.
+                let mut host = Vec::with_capacity(self.rows * cols);
+                for device in 0..self.partition.device_count() {
+                    let core = self.partition.core_rows(device);
+                    if core.is_empty() {
+                        continue;
+                    }
+                    let buffer = self.buffers[device].as_ref().ok_or_else(|| {
+                        SkelError::Distribution(format!(
+                            "device {device} should hold rows {core:?} but has no buffer"
+                        ))
+                    })?;
+                    let mut part = crate::vector::vec_uninit_len::<T>(core.len() * cols);
+                    self.runtime.queue(device).enqueue_read_buffer_region(
+                        buffer,
+                        halo * cols,
+                        &mut part,
+                    )?;
+                    host.extend_from_slice(&part);
+                }
+                self.host = host;
+            }
+        }
+        self.host_valid = true;
+        Ok(())
+    }
+}
+
+impl<T: Pod> Drop for Inner<T> {
+    fn drop(&mut self) {
+        self.release_buffers();
+    }
+}
+
+/// The SkelCL matrix: a row-major 2-D container with host + multi-device
+/// storage and lazy coherence. Cloning is cheap and yields a handle to the
+/// *same* underlying data, like [`crate::vector::Vector`].
+///
+/// ```
+/// use skelcl::prelude::*;
+///
+/// let rt = skelcl::init_gpus(2);
+/// let m = Matrix::from_fn(&rt, 4, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m.rows(), 4);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m.to_vec().unwrap()[5], 5.0);
+/// ```
+pub struct Matrix<T: Pod> {
+    id: u64,
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+impl<T: Pod> Clone for Matrix<T> {
+    fn clone(&self) -> Self {
+        Matrix {
+            id: self.id,
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Pod> std::fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Matrix")
+            .field("id", &self.id)
+            .field("rows", &inner.rows)
+            .field("cols", &inner.cols)
+            .field("distribution", &inner.distribution)
+            .finish()
+    }
+}
+
+impl<T: Pod> Matrix<T> {
+    /// Create a matrix from row-major host data. The initial distribution is
+    /// [`MatrixDistribution::RowBlock`]; no device transfer happens until the
+    /// matrix is first used on the devices.
+    pub fn from_vec(
+        runtime: &Arc<SkelCl>,
+        rows: usize,
+        cols: usize,
+        data: Vec<T>,
+    ) -> Result<Matrix<T>> {
+        if data.len() != rows * cols {
+            return Err(SkelError::Distribution(format!(
+                "matrix shape {rows}×{cols} needs {} elements, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        let devices = runtime.device_count();
+        let distribution = MatrixDistribution::default_for_inputs();
+        let partition = RowPartition::compute(rows, cols, devices, &distribution);
+        Ok(Matrix {
+            id: runtime.next_vector_id(),
+            inner: Arc::new(Mutex::new(Inner {
+                runtime: runtime.clone(),
+                host: data,
+                rows,
+                cols,
+                host_valid: true,
+                devices_valid: false,
+                halos_valid: false,
+                distribution,
+                partition,
+                buffers: vec![None; devices],
+                boundary: Boundary::Clamp,
+            })),
+        })
+    }
+
+    /// Create a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(
+        runtime: &Arc<SkelCl>,
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> T,
+    ) -> Matrix<T> {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix::from_vec(runtime, rows, cols, data).expect("shape matches by construction")
+    }
+
+    /// Create a `rows × cols` matrix of copies of `value`.
+    pub fn filled(runtime: &Arc<SkelCl>, rows: usize, cols: usize, value: T) -> Matrix<T> {
+        Matrix::from_vec(runtime, rows, cols, vec![value; rows * cols])
+            .expect("shape matches by construction")
+    }
+
+    /// Internal constructor for stencil outputs: the data already lives in
+    /// halo-padded per-device buffers; the host copy is stale, and the halo
+    /// rows are stale too (the kernel writes core rows only), so the next
+    /// device use triggers a halo exchange rather than a full upload.
+    pub(crate) fn device_resident(
+        runtime: &Arc<SkelCl>,
+        rows: usize,
+        cols: usize,
+        distribution: MatrixDistribution,
+        boundary: Boundary<T>,
+        buffers: Vec<Option<Buffer>>,
+    ) -> Matrix<T> {
+        let partition = RowPartition::compute(rows, cols, runtime.device_count(), &distribution);
+        Matrix {
+            id: runtime.next_vector_id(),
+            inner: Arc::new(Mutex::new(Inner {
+                runtime: runtime.clone(),
+                host: Vec::new(),
+                rows,
+                cols,
+                host_valid: false,
+                devices_valid: true,
+                halos_valid: false,
+                distribution,
+                partition,
+                buffers,
+                boundary,
+            })),
+        }
+    }
+
+    /// Stable identity of the matrix (used to detect aliasing).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The runtime this matrix belongs to.
+    pub fn runtime(&self) -> Arc<SkelCl> {
+        self.inner.lock().runtime.clone()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.inner.lock().rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.inner.lock().cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.rows * inner.cols
+    }
+
+    /// Whether the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current distribution.
+    pub fn distribution(&self) -> MatrixDistribution {
+        self.inner.lock().distribution.clone()
+    }
+
+    /// Where the authoritative data currently lives.
+    pub fn residence(&self) -> Residence {
+        let inner = self.inner.lock();
+        match (inner.host_valid, inner.devices_valid) {
+            (true, true) => Residence::Shared,
+            (true, false) => Residence::HostOnly,
+            (false, true) => Residence::DevicesOnly,
+            (false, false) => unreachable!("matrix lost both copies"),
+        }
+    }
+
+    /// Per-device core row counts under the current distribution.
+    pub fn row_counts(&self) -> Vec<usize> {
+        self.inner.lock().partition.core_row_counts()
+    }
+
+    /// Change the distribution. Like the vector, the implied data exchange
+    /// goes through the host and the re-upload happens lazily on next device
+    /// use. For halo-only refreshes between stencil sweeps the runtime uses
+    /// [`Matrix::set_overlap`] + halo exchanges instead — never this path.
+    pub fn set_distribution(&self, distribution: MatrixDistribution) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.distribution == distribution {
+            return Ok(());
+        }
+        if let MatrixDistribution::Single(d) = &distribution {
+            let devices = inner.runtime.device_count();
+            if *d >= devices {
+                return Err(SkelError::Distribution(format!(
+                    "single distribution names device {d} but the runtime has {devices} devices"
+                )));
+            }
+        }
+        inner.download_to_host()?;
+        inner.release_buffers();
+        inner.devices_valid = false;
+        inner.halos_valid = false;
+        let devices = inner.runtime.device_count();
+        inner.partition = RowPartition::compute(inner.rows, inner.cols, devices, &distribution);
+        inner.distribution = distribution;
+        Ok(())
+    }
+
+    /// Coerce the matrix to [`MatrixDistribution::OverlapBlock`] with the
+    /// given halo width and boundary policy (the stencil-launch preparation
+    /// step). A matrix already overlap-distributed with the same halo and
+    /// boundary keeps its device parts untouched; anything else is a full
+    /// redistribution through the host.
+    pub fn set_overlap(&self, halo_rows: usize, boundary: Boundary<T>) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let target = MatrixDistribution::OverlapBlock { halo_rows };
+        if inner.distribution == target && boundary_eq(&inner.boundary, &boundary) {
+            return Ok(());
+        }
+        if inner.distribution != target {
+            inner.download_to_host()?;
+            inner.release_buffers();
+            inner.devices_valid = false;
+            inner.halos_valid = false;
+            let devices = inner.runtime.device_count();
+            inner.partition = RowPartition::compute(inner.rows, inner.cols, devices, &target);
+            inner.distribution = target;
+        } else {
+            // Same layout, different boundary: only the policy-filled edge
+            // halos change; a halo refresh re-fills them.
+            inner.halos_valid = false;
+        }
+        inner.boundary = boundary;
+        Ok(())
+    }
+
+    /// The boundary policy used to fill edge halos.
+    pub fn boundary(&self) -> Boundary<T> {
+        self.inner.lock().boundary
+    }
+
+    /// Declare that a kernel has modified the matrix's device data through a
+    /// channel the runtime cannot see: the host copy and the halo rows
+    /// become stale.
+    pub fn mark_device_modified(&self) {
+        let mut inner = self.inner.lock();
+        if inner.devices_valid {
+            inner.host_valid = false;
+            inner.halos_valid = false;
+        }
+    }
+
+    /// Copy the matrix's contents to a row-major host `Vec`, downloading
+    /// (core rows only) from the devices if they hold the newer copy.
+    pub fn to_vec(&self) -> Result<Vec<T>> {
+        let mut inner = self.inner.lock();
+        inner.download_to_host()?;
+        Ok(inner.host.clone())
+    }
+
+    /// Run `f` over the row-major host copy (downloading first if needed).
+    pub fn with_host<R>(&self, f: impl FnOnce(&[T]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        inner.download_to_host()?;
+        Ok(f(&inner.host))
+    }
+
+    /// Mutate the host copy in place (shape is fixed); the device copies
+    /// become stale and are re-uploaded lazily.
+    pub fn update_host(&self, f: impl FnOnce(&mut [T])) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.download_to_host()?;
+        f(&mut inner.host);
+        inner.release_buffers();
+        inner.devices_valid = false;
+        inner.halos_valid = false;
+        inner.host_valid = true;
+        Ok(())
+    }
+
+    /// Element at `(row, col)` (downloads if the devices hold the newer
+    /// copy).
+    pub fn get(&self, row: usize, col: usize) -> Result<T> {
+        let mut inner = self.inner.lock();
+        if row >= inner.rows || col >= inner.cols {
+            return Err(SkelError::Distribution(format!(
+                "element ({row}, {col}) out of bounds for a {}×{} matrix",
+                inner.rows, inner.cols
+            )));
+        }
+        inner.download_to_host()?;
+        let cols = inner.cols;
+        Ok(inner.host[row * cols + col])
+    }
+
+    /// Ensure the matrix data is present on the devices under its current
+    /// distribution; under `OverlapBlock` this also guarantees **fresh halo
+    /// rows**, refreshed by a halo-only exchange when the core data is
+    /// already device-resident (the between-sweeps path of iterative
+    /// stencils). Returns the partition and per-device buffers.
+    pub(crate) fn prepare_on_devices(&self) -> Result<(RowPartition, Vec<Option<Buffer>>)> {
+        let mut inner = self.inner.lock();
+        if inner.devices_valid {
+            inner.refresh_halos()?;
+        } else {
+            inner.ensure_on_devices()?;
+        }
+        Ok((inner.partition.clone(), inner.buffers.clone()))
+    }
+
+    /// Force the halo rows fresh now (no-op for non-overlap distributions or
+    /// when they are already valid). Exposed for tests and diagnostics.
+    pub fn refresh_halos(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.devices_valid {
+            inner.refresh_halos()?;
+        }
+        Ok(())
+    }
+
+    /// Declare this matrix the freshly written target of a stencil sweep
+    /// that reused its device buffers in place (the iterative driver's
+    /// ping-pong): the devices hold the authoritative core rows, the host
+    /// copy and the halo rows are stale.
+    pub(crate) fn mark_stencil_output(&self) {
+        let mut inner = self.inner.lock();
+        debug_assert!(
+            inner.buffers.iter().any(Option::is_some),
+            "a reused stencil target owns device buffers"
+        );
+        inner.devices_valid = true;
+        inner.host_valid = false;
+        inner.halos_valid = false;
+    }
+
+    /// Check that this matrix belongs to `runtime`.
+    pub(crate) fn check_runtime(&self, runtime: &Arc<SkelCl>) -> Result<()> {
+        if Arc::ptr_eq(&self.inner.lock().runtime, runtime) {
+            Ok(())
+        } else {
+            Err(SkelError::RuntimeMismatch)
+        }
+    }
+
+    /// The buffer of device `d`, if the matrix currently has one there.
+    pub fn buffer_of(&self, device: usize) -> Option<Buffer> {
+        self.inner.lock().buffers.get(device).cloned().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::init_gpus;
+
+    #[test]
+    fn from_vec_round_trip_and_shape_checks() {
+        let rt = init_gpus(2);
+        let m = Matrix::from_vec(&rt, 2, 3, vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.get(1, 2).unwrap(), 6.0);
+        assert!(m.get(2, 0).is_err());
+        assert!(Matrix::from_vec(&rt, 2, 3, vec![0.0f32; 5]).is_err());
+        assert_eq!(m.distribution(), MatrixDistribution::RowBlock);
+        assert_eq!(m.residence(), Residence::HostOnly);
+    }
+
+    #[test]
+    fn row_block_upload_and_download() {
+        let rt = init_gpus(3);
+        let m = Matrix::from_fn(&rt, 7, 4, |r, c| (r * 10 + c) as f32);
+        let expected = m.to_vec().unwrap();
+        let (partition, buffers) = m.prepare_on_devices().unwrap();
+        assert_eq!(partition.core_row_counts().iter().sum::<usize>(), 7);
+        assert_eq!(buffers.iter().filter(|b| b.is_some()).count(), 3);
+        m.mark_device_modified();
+        assert_eq!(m.residence(), Residence::DevicesOnly);
+        assert_eq!(m.to_vec().unwrap(), expected);
+    }
+
+    #[test]
+    fn overlap_upload_pads_parts_with_halo_rows() {
+        let rt = init_gpus(2);
+        let m = Matrix::from_fn(&rt, 6, 2, |r, _| r as f32);
+        m.set_overlap(1, Boundary::Clamp).unwrap();
+        let (partition, buffers) = m.prepare_on_devices().unwrap();
+        assert_eq!(partition.halo(), 1);
+        // Device 0 owns rows 0..3, stores rows -1..4 (clamped): 5 rows.
+        assert_eq!(buffers[0].as_ref().unwrap().len(), 5 * 2);
+        // Read the raw part back: clamp duplicates row 0 at the top, and the
+        // bottom halo row is the neighbour's row 3.
+        let mut part = vec![0.0f32; 10];
+        rt.queue(0)
+            .enqueue_read_buffer(buffers[0].as_ref().unwrap(), &mut part)
+            .unwrap();
+        assert_eq!(part, vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        // Downloads gather core rows only.
+        m.mark_device_modified();
+        assert_eq!(
+            m.to_vec().unwrap(),
+            Matrix::from_fn(&rt, 6, 2, |r, _| r as f32)
+                .to_vec()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn wrap_boundary_fills_halos_cyclically() {
+        let rt = init_gpus(1);
+        let m = Matrix::from_fn(&rt, 3, 1, |r, _| r as f32);
+        m.set_overlap(2, Boundary::Wrap).unwrap();
+        let (_, buffers) = m.prepare_on_devices().unwrap();
+        let mut part = vec![0.0f32; 7];
+        rt.queue(0)
+            .enqueue_read_buffer(buffers[0].as_ref().unwrap(), &mut part)
+            .unwrap();
+        // rows -2..5 wrapped over 3 rows: 1 2 | 0 1 2 | 0 1
+        assert_eq!(part, vec![1.0, 2.0, 0.0, 1.0, 2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_boundary_fills_halos_with_the_constant() {
+        let rt = init_gpus(1);
+        let m = Matrix::from_fn(&rt, 2, 2, |r, c| (r * 2 + c) as f32);
+        m.set_overlap(1, Boundary::Constant(-7.0)).unwrap();
+        let (_, buffers) = m.prepare_on_devices().unwrap();
+        let mut part = vec![0.0f32; 8];
+        rt.queue(0)
+            .enqueue_read_buffer(buffers[0].as_ref().unwrap(), &mut part)
+            .unwrap();
+        assert_eq!(part, vec![-7.0, -7.0, 0.0, 1.0, 2.0, 3.0, -7.0, -7.0]);
+    }
+
+    #[test]
+    fn halo_refresh_moves_only_halo_rows() {
+        let rt = init_gpus(2);
+        let m = Matrix::from_fn(&rt, 8, 16, |r, c| (r * 16 + c) as f32);
+        m.set_overlap(2, Boundary::Clamp).unwrap();
+        m.prepare_on_devices().unwrap();
+        rt.drain_events();
+        // Simulate a sweep having modified the cores: halos stale.
+        m.mark_device_modified();
+        m.refresh_halos().unwrap();
+        let events = rt.drain_events();
+        let transfers: Vec<&oclsim::Event> = events
+            .iter()
+            .flatten()
+            .filter(|e| e.is_transfer())
+            .collect();
+        // Interior boundary + clamped edges, grouped into runs: each halo
+        // region is one read + one write of halo*cols elements.
+        assert!(!transfers.is_empty());
+        let max_bytes = transfers.iter().map(|e| e.bytes).max().unwrap();
+        assert!(
+            max_bytes <= 2 * 16 * 4,
+            "halo refresh must move at most halo*cols elements per transfer, got {max_bytes}"
+        );
+        let trace = rt.exec_trace();
+        assert!(trace.devices.iter().any(|d| d.halo_bytes > 0));
+    }
+
+    #[test]
+    fn same_overlap_is_a_noop_and_boundary_change_only_invalidates_halos() {
+        let rt = init_gpus(2);
+        let m = Matrix::from_fn(&rt, 16, 16, |r, c| (r + c) as f32);
+        m.set_overlap(1, Boundary::Clamp).unwrap();
+        m.prepare_on_devices().unwrap();
+        let before = rt.now();
+        m.set_overlap(1, Boundary::Clamp).unwrap();
+        assert_eq!(rt.now(), before, "identical overlap must not move data");
+        // Changing only the boundary refreshes halos, not whole parts: the
+        // traffic is a few single rows (64 B each), far below the padded
+        // part re-upload of (8 + 2) * 16 * 4 = 640 B per device.
+        m.set_overlap(1, Boundary::Constant(0.0)).unwrap();
+        rt.drain_events();
+        m.prepare_on_devices().unwrap();
+        let events = rt.drain_events();
+        let uploads: usize = events
+            .iter()
+            .flatten()
+            .filter(|e| e.is_transfer())
+            .map(|e| e.bytes)
+            .sum();
+        assert!(
+            uploads < 10 * 16 * 4,
+            "boundary change must exchange halos only, moved {uploads} bytes"
+        );
+    }
+
+    #[test]
+    fn clone_shares_data_and_single_distribution_works() {
+        let rt = init_gpus(3);
+        let m = Matrix::filled(&rt, 3, 3, 2.5f32);
+        let n = m.clone();
+        assert_eq!(m.id(), n.id());
+        m.set_distribution(MatrixDistribution::Single(1)).unwrap();
+        let (partition, buffers) = n.prepare_on_devices().unwrap();
+        assert_eq!(partition.core_row_counts(), vec![0, 3, 0]);
+        assert!(buffers[1].is_some() && buffers[0].is_none());
+        assert!(m.set_distribution(MatrixDistribution::Single(9)).is_err());
+        assert_eq!(n.to_vec().unwrap(), vec![2.5f32; 9]);
+    }
+
+    #[test]
+    fn update_host_invalidates_devices() {
+        let rt = init_gpus(2);
+        let m = Matrix::filled(&rt, 2, 2, 0.0f32);
+        m.prepare_on_devices().unwrap();
+        m.update_host(|h| h[3] = 9.0).unwrap();
+        assert_eq!(m.residence(), Residence::HostOnly);
+        assert_eq!(m.to_vec().unwrap(), vec![0.0, 0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn runtime_mismatch_is_detected() {
+        let rt1 = init_gpus(1);
+        let rt2 = init_gpus(1);
+        let m = Matrix::filled(&rt1, 1, 1, 0i32);
+        assert!(m.check_runtime(&rt1).is_ok());
+        assert!(m.check_runtime(&rt2).is_err());
+    }
+
+    #[test]
+    fn boundary_comparison_by_bytes() {
+        assert!(boundary_eq::<f32>(&Boundary::Clamp, &Boundary::Clamp));
+        assert!(!boundary_eq::<f32>(&Boundary::Clamp, &Boundary::Wrap));
+        assert!(boundary_eq(
+            &Boundary::Constant(1.5f32),
+            &Boundary::Constant(1.5f32)
+        ));
+        assert!(!boundary_eq(
+            &Boundary::Constant(1.5f32),
+            &Boundary::Constant(2.5f32)
+        ));
+    }
+}

@@ -36,6 +36,58 @@ pub struct SkelCl {
     queues: Vec<CommandQueue>,
     skeleton_calls: AtomicUsize,
     vector_ids: AtomicU64,
+    /// Per-device halo-exchange transfer counts (stencil redistribution).
+    halo_transfers: Vec<AtomicUsize>,
+    /// Per-device halo-exchange bytes moved.
+    halo_bytes: Vec<AtomicUsize>,
+}
+
+/// One runtime telemetry snapshot: the library-level view of the execution
+/// counters that benches and the scheduler previously had to collect by
+/// poking [`oclsim::Context`] and its devices directly. Obtained from
+/// [`SkelCl::exec_trace`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecTrace {
+    /// Skeleton invocations so far.
+    pub skeleton_calls: usize,
+    /// Allocations served from the device buffer pools.
+    pub buffer_pool_hits: usize,
+    /// Released allocations currently parked across all pools.
+    pub pooled_buffers: usize,
+    /// Bytes of storage currently parked across all pools.
+    pub pooled_bytes: usize,
+    /// Distinct kernel programs built (and cached) so far.
+    pub programs_built: usize,
+    /// Per-device counters, indexed by device.
+    pub devices: Vec<DeviceTrace>,
+}
+
+impl ExecTrace {
+    /// Total halo-exchange transfers across all devices.
+    pub fn halo_transfers(&self) -> usize {
+        self.devices.iter().map(|d| d.halo_transfers).sum()
+    }
+
+    /// Total halo-exchange bytes across all devices.
+    pub fn halo_bytes(&self) -> usize {
+        self.devices.iter().map(|d| d.halo_bytes).sum()
+    }
+}
+
+/// Per-device slice of an [`ExecTrace`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceTrace {
+    /// Device index within the runtime.
+    pub device: usize,
+    /// Halo-exchange transfers this device took part in (as source or
+    /// destination).
+    pub halo_transfers: usize,
+    /// Bytes this device moved in halo exchanges.
+    pub halo_bytes: usize,
+    /// Allocations served from this device's buffer pool.
+    pub pool_hits: usize,
+    /// Bytes of storage parked in this device's buffer pool.
+    pub pooled_bytes: usize,
 }
 
 impl SkelCl {
@@ -64,11 +116,14 @@ impl SkelCl {
         let queues = (0..context.device_count())
             .map(|i| context.queue(i).expect("device index within range"))
             .collect();
+        let devices = context.device_count();
         Arc::new(SkelCl {
             context,
             queues,
             skeleton_calls: AtomicUsize::new(0),
             vector_ids: AtomicU64::new(1),
+            halo_transfers: (0..devices).map(|_| AtomicUsize::new(0)).collect(),
+            halo_bytes: (0..devices).map(|_| AtomicUsize::new(0)).collect(),
         })
     }
 
@@ -115,6 +170,44 @@ impl SkelCl {
     /// Number of skeleton invocations so far.
     pub fn skeleton_calls(&self) -> usize {
         self.skeleton_calls.load(Ordering::Relaxed)
+    }
+
+    /// Record one halo-exchange transfer of `bytes` bytes involving
+    /// `device` (called by the matrix halo machinery for both the source
+    /// read and the destination write of each exchange).
+    pub(crate) fn charge_halo_transfer(&self, device: usize, bytes: usize) {
+        self.halo_transfers[device].fetch_add(1, Ordering::Relaxed);
+        self.halo_bytes[device].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshot the runtime's execution telemetry: skeleton calls, buffer
+    /// pool statistics and the per-device halo-exchange counters. This is
+    /// the supported read path for benches and schedulers — no need to walk
+    /// [`SkelCl::context`] and its devices by hand.
+    pub fn exec_trace(&self) -> ExecTrace {
+        let devices = (0..self.device_count())
+            .map(|d| {
+                let dev = self
+                    .context
+                    .device(d)
+                    .expect("device index within runtime range");
+                DeviceTrace {
+                    device: d,
+                    halo_transfers: self.halo_transfers[d].load(Ordering::Relaxed),
+                    halo_bytes: self.halo_bytes[d].load(Ordering::Relaxed),
+                    pool_hits: dev.pool_hit_count(),
+                    pooled_bytes: dev.pooled_bytes(),
+                }
+            })
+            .collect();
+        ExecTrace {
+            skeleton_calls: self.skeleton_calls(),
+            buffer_pool_hits: self.context.buffer_pool_hits(),
+            pooled_buffers: self.context.pooled_buffers(),
+            pooled_bytes: self.context.pooled_bytes(),
+            programs_built: self.context.built_program_count(),
+            devices,
+        }
     }
 
     /// Allocate a fresh vector id (used to detect runtime mismatches).

@@ -1,0 +1,569 @@
+//! The map-overlap (stencil) skeleton: `out[r, c] = f(in[r, c])` where the
+//! user-defined function may read neighbouring elements through the
+//! `get(dx, dy)` builtin — the workload class of image filters, PDE solvers
+//! and convolutions.
+//!
+//! Multi-device execution builds on [`MatrixDistribution::OverlapBlock`]:
+//! each device owns a block of rows and additionally stores `halo` read-only
+//! rows from its neighbours, filled by the configured [`Boundary`] policy at
+//! the matrix edges. A single launch uploads the halo-padded parts and runs
+//! one kernel per device over its core elements; the **iterative driver**
+//! ([`MapOverlap::run_iter`] / `Launch::run_iter`) ping-pongs between two
+//! padded buffers and re-establishes coherence between sweeps by exchanging
+//! *only the halo rows* — never whole parts — which is visible in the oclsim
+//! transfer stats and the runtime's halo counters.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use oclsim::{Pod, Value};
+
+use crate::distribution::{Boundary, MatrixDistribution, RowPartition};
+use crate::error::{Result, SkelError};
+use crate::kernelgen;
+use crate::matrix::Matrix;
+use crate::runtime::SkelCl;
+use crate::skeletons::{check_source_call, Launch, LaunchConfig, PreparedArgs, Skeleton, UdfCache};
+
+struct BuiltSource {
+    kernel: oclsim::Kernel,
+    extra_scalars: usize,
+}
+
+/// The map-overlap (stencil) skeleton over [`Matrix`] inputs.
+///
+/// The user-defined function receives the centre element and reads
+/// neighbours with `get(dx, dy)` (column offset `dx`, row offset `dy`, with
+/// `|dy| <= halo`); out-of-bound accesses follow the configured
+/// [`Boundary`] policy.
+///
+/// ```
+/// use skelcl::prelude::*;
+///
+/// let rt = skelcl::init_gpus(2);
+/// let avg = MapOverlap::<f32, f32>::from_source(
+///     "float func(float x) { return 0.2f * (x + get(-1, 0) + get(1, 0) + get(0, -1) + get(0, 1)); }",
+/// )
+/// .with_halo(1)
+/// .with_boundary(Boundary::Clamp);
+/// let m = Matrix::from_fn(&rt, 6, 6, |r, c| (r * 6 + c) as f32);
+/// let out = avg.run(&m).exec().unwrap();
+/// assert_eq!(out.rows(), 6);
+/// # assert_eq!(out.cols(), 6);
+/// ```
+pub struct MapOverlap<I: Pod, O: Pod> {
+    source: String,
+    halo: usize,
+    boundary: Boundary<I>,
+    cache: UdfCache,
+    built: Mutex<Option<Arc<BuiltSource>>>,
+    _out: std::marker::PhantomData<fn() -> O>,
+}
+
+impl<O: Pod> MapOverlap<f32, O> {
+    /// Customise the skeleton with a user-defined function given as source
+    /// code in the kernel language. The UDF's first parameter receives the
+    /// centre element (a `float`); further scalar parameters receive the
+    /// additional arguments of the call; neighbours are read with
+    /// `get(dx, dy)`. Defaults: halo width 1, clamping boundary.
+    pub fn from_source(source: &str) -> MapOverlap<f32, O> {
+        MapOverlap {
+            source: source.to_string(),
+            halo: 1,
+            boundary: Boundary::Clamp,
+            cache: UdfCache::new(),
+            built: Mutex::new(None),
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    /// Set the halo width: the largest `|dy|` the user function reads. Wider
+    /// halos replicate more neighbour rows per device (and move more data
+    /// per exchange) but are required for larger stencils.
+    pub fn with_halo(mut self, halo_rows: usize) -> Self {
+        self.halo = halo_rows;
+        self
+    }
+
+    /// Set the out-of-bound policy applied at the matrix edges (both the
+    /// halo fill of edge parts and column accesses inside the kernel).
+    pub fn with_boundary(mut self, boundary: Boundary<f32>) -> Self {
+        self.boundary = boundary;
+        self
+    }
+
+    /// The configured halo width.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// The configured boundary policy.
+    pub fn boundary(&self) -> Boundary<f32> {
+        self.boundary
+    }
+
+    /// Begin a launch of this skeleton over `input`:
+    /// `stencil.run(&m).arg(0.25f32).exec()?`.
+    pub fn run<'a>(&'a self, input: &Matrix<f32>) -> Launch<'a, Self> {
+        Launch::new(self, input.clone())
+    }
+
+    fn ensure_built(&self, runtime: &Arc<SkelCl>) -> Result<Arc<BuiltSource>> {
+        let mut built = self.built.lock();
+        if let Some(b) = built.as_ref() {
+            return Ok(b.clone());
+        }
+        let info = self.cache.info(&self.source, 1)?;
+        let kernel_src = kernelgen::map_overlap_kernel(&info)?;
+        let program = runtime.context().build_program(&kernel_src)?;
+        let kernel = program.kernel(kernelgen::MAP_OVERLAP_KERNEL)?;
+        let b = Arc::new(BuiltSource {
+            kernel,
+            extra_scalars: info.extra_params.len(),
+        });
+        *built = Some(b.clone());
+        Ok(b)
+    }
+
+    /// The boundary carried over to output matrices: structurally the same
+    /// policy; the constant (an input-element value) does not transfer to
+    /// the output element type, so constant boundaries fall back to clamp.
+    /// Only used for no-op detection on a later `set_overlap` — the stencil
+    /// always re-imposes its own boundary on its input before refreshing
+    /// halos, so this never affects results.
+    fn output_boundary(&self) -> Boundary<O> {
+        match self.boundary {
+            Boundary::Wrap => Boundary::Wrap,
+            _ => Boundary::Clamp,
+        }
+    }
+
+    /// The shared execution path of one stencil sweep. `reuse` is the
+    /// ping-pong target of the iterative driver: its halo-padded device
+    /// buffers are written in place instead of allocating fresh ones.
+    fn execute_overlap(
+        &self,
+        input: &Matrix<f32>,
+        cfg: &LaunchConfig<'_>,
+        reuse: Option<&Matrix<O>>,
+    ) -> Result<Matrix<O>> {
+        let runtime = input.runtime();
+        runtime.charge_skeleton_call();
+        if input.is_empty() {
+            return Err(SkelError::EmptyInput);
+        }
+        if cfg.scheduler.is_some() {
+            return Err(SkelError::Distribution(
+                "schedulers are not supported on MapOverlap launches yet; \
+                 matrices always use the overlap row-block distribution"
+                    .into(),
+            ));
+        }
+        if let Some(selection) = &cfg.devices {
+            if !matches!(
+                selection,
+                crate::runtime::DeviceSelection::All | crate::runtime::DeviceSelection::AllGpus
+            ) {
+                return Err(SkelError::Distribution(
+                    "MapOverlap launches run on all devices of the runtime; \
+                     initialise the runtime with the devices you want"
+                        .into(),
+                ));
+            }
+        }
+
+        input.set_overlap(self.halo, self.boundary)?;
+        let (partition, in_buffers) = input.prepare_on_devices()?;
+        let prepared = PreparedArgs::prepare(&runtime, &cfg.args)?;
+        let built = self.ensure_built(&runtime)?;
+        check_source_call(&prepared, built.extra_scalars)?;
+
+        let out_buffers = self.output_buffers(&runtime, &partition, input, reuse)?;
+
+        // Resolve every device's argument list before the first enqueue, so
+        // argument errors surface before anything ran.
+        let mut launches = Vec::new();
+        for device in partition.active_devices() {
+            let n = partition.core_len(device);
+            let in_buffer = in_buffers[device].clone().ok_or_else(|| {
+                SkelError::Distribution(format!("input matrix has no buffer on device {device}"))
+            })?;
+            let out_buffer = out_buffers[device].clone().expect("allocated above");
+            let oob = match self.boundary {
+                Boundary::Constant(c) => c,
+                _ => 0.0,
+            };
+            let mut kargs = vec![
+                oclsim::KernelArg::Buffer(in_buffer),
+                oclsim::KernelArg::Buffer(out_buffer),
+                oclsim::KernelArg::Scalar(Value::Int(n as i32)),
+                oclsim::KernelArg::Scalar(Value::Int(partition.cols() as i32)),
+                oclsim::KernelArg::Scalar(Value::Int(partition.halo() as i32)),
+                oclsim::KernelArg::Scalar(Value::Int(self.boundary.policy_code())),
+                oclsim::KernelArg::Scalar(Value::Float(oob)),
+            ];
+            kargs.extend(prepared.kernel_args_for(device)?);
+            launches.push((device, n, kargs));
+        }
+        for (device, n, kargs) in launches {
+            runtime
+                .queue(device)
+                .enqueue_kernel(&built.kernel, n, &kargs)?;
+        }
+
+        match reuse {
+            Some(out) => {
+                out.mark_stencil_output();
+                Ok(out.clone())
+            }
+            None => Ok(Matrix::device_resident(
+                &runtime,
+                input.rows(),
+                input.cols(),
+                MatrixDistribution::OverlapBlock {
+                    halo_rows: self.halo,
+                },
+                self.output_boundary(),
+                out_buffers,
+            )),
+        }
+    }
+
+    /// Output buffers of one sweep: the reuse target's padded buffers when
+    /// they fit (and do not alias the input), fresh allocations otherwise.
+    fn output_buffers(
+        &self,
+        runtime: &Arc<SkelCl>,
+        partition: &RowPartition,
+        input: &Matrix<f32>,
+        reuse: Option<&Matrix<O>>,
+    ) -> Result<Vec<Option<oclsim::Buffer>>> {
+        if let Some(m) = reuse {
+            m.check_runtime(runtime)?;
+        }
+        let mut out = vec![None; partition.device_count()];
+        for device in partition.active_devices() {
+            let want = partition.stored_len(device);
+            let reused = reuse
+                .filter(|m| m.id() != input.id())
+                .and_then(|m| m.buffer_of(device))
+                .filter(|b| b.len() == want);
+            out[device] = Some(match reused {
+                Some(b) => b,
+                None => runtime.context().create_buffer::<O>(device, want)?,
+            });
+        }
+        Ok(out)
+    }
+}
+
+impl<O: Pod> Skeleton for MapOverlap<f32, O> {
+    type Input = Matrix<f32>;
+    type Output = Matrix<O>;
+
+    fn name(&self) -> &'static str {
+        "map_overlap"
+    }
+
+    fn execute(&self, input: &Matrix<f32>, cfg: &LaunchConfig<'_>) -> Result<Matrix<O>> {
+        self.execute_overlap(input, cfg, None)
+    }
+}
+
+impl<O: Pod> Launch<'_, MapOverlap<f32, O>> {
+    /// Execute one sweep and return the output matrix (identity terminal
+    /// form, symmetric with the other skeletons).
+    pub fn into_matrix(self) -> Result<Matrix<O>> {
+        self.exec()
+    }
+}
+
+impl Launch<'_, MapOverlap<f32, f32>> {
+    /// The iterative-stencil driver: run `sweeps` sweeps, feeding each
+    /// sweep's output into the next. Between sweeps only the halo rows are
+    /// re-exchanged — the core parts stay on their devices — and device
+    /// memory ping-pongs between two padded buffers, so the steady state
+    /// allocates nothing.
+    ///
+    /// `run_iter(0)` is an error (an empty launch); `run_iter(1)` is
+    /// equivalent to [`Launch::exec`].
+    pub fn run_iter(self, sweeps: usize) -> Result<Matrix<f32>> {
+        if sweeps == 0 {
+            return Err(SkelError::EmptyInput);
+        }
+        let mut cur = self.input.clone();
+        let mut spare: Option<Matrix<f32>> = None;
+        for sweep in 0..sweeps {
+            let out = self
+                .skeleton
+                .execute_overlap(&cur, &self.cfg, spare.as_ref())?;
+            // The user's input matrix is never recycled as a target; every
+            // internal intermediate is.
+            spare = (sweep > 0).then(|| cur.clone());
+            cur = out;
+        }
+        Ok(cur)
+    }
+}
+
+impl Matrix<f32> {
+    /// Apply a [`MapOverlap`] skeleton to this matrix:
+    /// `m.map_overlap(&blur)?` is shorthand for `blur.run(&m).exec()?`.
+    pub fn map_overlap<O: Pod>(&self, skeleton: &MapOverlap<f32, O>) -> Result<Matrix<O>> {
+        skeleton.run(self).exec()
+    }
+
+    /// Run `sweeps` iterative stencil sweeps over this matrix:
+    /// `m.map_overlap_iter(&heat, 100)?`.
+    pub fn map_overlap_iter(
+        &self,
+        skeleton: &MapOverlap<f32, f32>,
+        sweeps: usize,
+    ) -> Result<Matrix<f32>> {
+        skeleton.run(self).run_iter(sweeps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::init_gpus;
+
+    const FIVE_POINT_AVG: &str =
+        "float func(float x) { return 0.2f * (x + get(-1, 0) + get(1, 0) + get(0, -1) + get(0, 1)); }";
+
+    /// Scalar host reference for a stencil, mirroring the engines' float
+    /// semantics (every op is a single correctly-rounded f32 operation).
+    fn host_stencil(
+        input: &[f32],
+        rows: usize,
+        cols: usize,
+        halo: i64,
+        boundary: Boundary<f32>,
+        f: impl Fn(&dyn Fn(i64, i64) -> f32, f32) -> f32,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows as i64 {
+            for c in 0..cols as i64 {
+                let get = |dx: i64, dy: i64| -> f32 {
+                    assert!(dy.abs() <= halo, "reference probe within halo");
+                    let rr = match boundary {
+                        Boundary::Clamp => (r + dy).clamp(0, rows as i64 - 1),
+                        Boundary::Wrap => (r + dy).rem_euclid(rows as i64),
+                        Boundary::Constant(v) => {
+                            if !(0..rows as i64).contains(&(r + dy)) {
+                                return v;
+                            }
+                            r + dy
+                        }
+                    };
+                    let cc = match boundary {
+                        Boundary::Clamp => (c + dx).clamp(0, cols as i64 - 1),
+                        Boundary::Wrap => (c + dx).rem_euclid(cols as i64),
+                        Boundary::Constant(v) => {
+                            if !(0..cols as i64).contains(&(c + dx)) {
+                                return v;
+                            }
+                            c + dx
+                        }
+                    };
+                    input[(rr * cols as i64 + cc) as usize]
+                };
+                out[(r * cols as i64 + c) as usize] =
+                    f(&get, input[(r * cols as i64 + c) as usize]);
+            }
+        }
+        out
+    }
+
+    fn five_point_ref(get: &dyn Fn(i64, i64) -> f32, x: f32) -> f32 {
+        0.2f32 * (x + get(-1, 0) + get(1, 0) + get(0, -1) + get(0, 1))
+    }
+
+    #[test]
+    fn five_point_average_matches_host_reference_on_1_to_4_devices() {
+        let rows = 9;
+        let cols = 7;
+        let input: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 31) % 17) as f32 - 8.0)
+            .collect();
+        let expected = host_stencil(&input, rows, cols, 1, Boundary::Clamp, five_point_ref);
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let st = MapOverlap::<f32, f32>::from_source(FIVE_POINT_AVG);
+            let m = Matrix::from_vec(&rt, rows, cols, input.clone()).unwrap();
+            let out = st.run(&m).exec().unwrap();
+            let got = out.to_vec().unwrap();
+            let g: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+            let e: Vec<u32> = expected.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(g, e, "devices = {devices}");
+            assert_eq!(
+                out.distribution(),
+                MatrixDistribution::OverlapBlock { halo_rows: 1 }
+            );
+        }
+    }
+
+    #[test]
+    fn wrap_and_constant_boundaries_match_the_reference() {
+        let rows = 6;
+        let cols = 5;
+        let input: Vec<f32> = (0..rows * cols).map(|i| (i % 11) as f32 * 0.5).collect();
+        for boundary in [Boundary::Wrap, Boundary::Constant(-3.5)] {
+            let expected = host_stencil(&input, rows, cols, 1, boundary, five_point_ref);
+            let rt = init_gpus(3);
+            let st = MapOverlap::<f32, f32>::from_source(FIVE_POINT_AVG).with_boundary(boundary);
+            let m = Matrix::from_vec(&rt, rows, cols, input.clone()).unwrap();
+            let got = st.run(&m).exec().unwrap().to_vec().unwrap();
+            assert_eq!(got, expected, "boundary {boundary:?}");
+        }
+    }
+
+    #[test]
+    fn additional_scalar_arguments_reach_the_udf() {
+        let rt = init_gpus(2);
+        let st = MapOverlap::<f32, f32>::from_source(
+            "float func(float x, float a) { return x + a * get(1, 0); }",
+        );
+        let m = Matrix::from_fn(&rt, 4, 4, |r, c| (r * 4 + c) as f32);
+        let out = st.run(&m).arg(10.0f32).exec().unwrap();
+        // Interior: x + 10 * right-neighbour.
+        assert_eq!(out.get(1, 1).unwrap(), 5.0 + 10.0 * 6.0);
+        // Missing arg errors out.
+        assert!(matches!(st.run(&m).exec(), Err(SkelError::UdfSignature(_))));
+    }
+
+    #[test]
+    fn dy_beyond_the_declared_halo_is_a_launch_error() {
+        let rt = init_gpus(1);
+        let st = MapOverlap::<f32, f32>::from_source("float func(float x) { return get(0, 2); }")
+            .with_halo(1);
+        let m = Matrix::filled(&rt, 4, 4, 1.0f32);
+        let err = st.run(&m).exec().unwrap_err();
+        let msg = format!("{err:?}");
+        assert!(msg.contains("exceeds the declared halo"), "{msg}");
+    }
+
+    #[test]
+    fn run_iter_exchanges_halos_not_whole_parts() {
+        let rt = init_gpus(2);
+        let rows = 32;
+        let cols = 16;
+        let st = MapOverlap::<f32, f32>::from_source(FIVE_POINT_AVG).with_halo(1);
+        let m = Matrix::from_fn(&rt, rows, cols, |r, c| ((r * c) % 13) as f32);
+
+        // Reference: five sequential host sweeps.
+        let mut expected = m.to_vec().unwrap();
+        for _ in 0..5 {
+            expected = host_stencil(&expected, rows, cols, 1, Boundary::Clamp, five_point_ref);
+        }
+
+        rt.drain_events();
+        let out = st.run(&m).run_iter(5).unwrap();
+
+        let events = rt.drain_events();
+        // Count upload bytes after the initial padded upload: between-sweep
+        // traffic must be halo-sized (1 row × cols × 4 bytes per transfer),
+        // never a whole part (16 rows × cols × 4).
+        let part_bytes = (rows / 2) * cols * 4;
+        let halo_row_bytes = cols * 4;
+        let transfers: Vec<usize> = events
+            .iter()
+            .flatten()
+            .filter(|e| e.is_transfer())
+            .map(|e| e.bytes)
+            .collect();
+        let initial_upload = (rows / 2 + 2) * cols * 4;
+        for b in &transfers {
+            assert!(
+                *b <= halo_row_bytes || *b == initial_upload,
+                "transfer of {b} bytes is neither a halo row nor the initial padded upload \
+                 (part = {part_bytes} bytes)"
+            );
+        }
+        let trace = rt.exec_trace();
+        assert!(trace.halo_transfers() > 0, "sweeps must exchange halos");
+
+        let got = out.to_vec().unwrap();
+        let g: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+        let e: Vec<u32> = expected.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            g, e,
+            "5 iterative sweeps must match 5 host sweeps bit for bit"
+        );
+    }
+
+    #[test]
+    fn run_iter_steady_state_allocates_no_new_buffers() {
+        let rt = init_gpus(2);
+        let st = MapOverlap::<f32, f32>::from_source(FIVE_POINT_AVG);
+        let m = Matrix::filled(&rt, 16, 8, 1.0f32);
+        // Warm up: after three sweeps the ping-pong pair exists.
+        let _ = st.run(&m).run_iter(3).unwrap();
+        let live_before: usize = (0..2)
+            .map(|d| rt.context().device(d).unwrap().live_buffers())
+            .sum();
+        let _ = st.run(&m).run_iter(3).unwrap();
+        let live_after: usize = (0..2)
+            .map(|d| rt.context().device(d).unwrap().live_buffers())
+            .sum();
+        // The second run's intermediates were dropped (pooled), so the live
+        // count cannot grow without bound.
+        assert!(live_after <= live_before + 2);
+        assert!(
+            rt.exec_trace().buffer_pool_hits > 0,
+            "ping-pong reuses pooled buffers"
+        );
+    }
+
+    #[test]
+    fn run_iter_rejects_zero_sweeps_and_matches_single_exec() {
+        let rt = init_gpus(2);
+        let st = MapOverlap::<f32, f32>::from_source(FIVE_POINT_AVG);
+        let m = Matrix::from_fn(&rt, 5, 5, |r, c| (r + c) as f32);
+        assert!(st.run(&m).run_iter(0).is_err());
+        let once = st.run(&m).run_iter(1).unwrap().to_vec().unwrap();
+        let exec = st.run(&m).exec().unwrap().to_vec().unwrap();
+        assert_eq!(once, exec);
+    }
+
+    #[test]
+    fn schedulers_and_device_subsets_are_rejected() {
+        let rt = init_gpus(2);
+        let st = MapOverlap::<f32, f32>::from_source(FIVE_POINT_AVG);
+        let m = Matrix::filled(&rt, 4, 4, 0.0f32);
+        assert!(st
+            .run(&m)
+            .devices(crate::runtime::DeviceSelection::Gpus(1))
+            .exec()
+            .is_err());
+        let scheduler = crate::scheduler::StaticScheduler::analytical(&rt);
+        assert!(st.run(&m).scheduler(&scheduler).exec().is_err());
+    }
+
+    #[test]
+    fn skeleton_trait_uniform_dispatch() {
+        let rt = init_gpus(2);
+        let st = MapOverlap::<f32, f32>::from_source(FIVE_POINT_AVG);
+        assert_eq!(st.name(), "map_overlap");
+        let m = Matrix::filled(&rt, 3, 3, 1.0f32);
+        let out = Skeleton::execute(&st, &m, &LaunchConfig::default()).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![1.0f32; 9]);
+    }
+
+    #[test]
+    fn fluent_matrix_pipeline() {
+        let rt = init_gpus(2);
+        let st = MapOverlap::<f32, f32>::from_source(FIVE_POINT_AVG);
+        let m = Matrix::filled(&rt, 4, 4, 2.0f32);
+        assert_eq!(
+            m.map_overlap(&st).unwrap().to_vec().unwrap(),
+            vec![2.0f32; 16]
+        );
+        assert_eq!(
+            m.map_overlap_iter(&st, 3).unwrap().to_vec().unwrap(),
+            vec![2.0f32; 16]
+        );
+    }
+}

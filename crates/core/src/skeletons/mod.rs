@@ -15,12 +15,14 @@
 
 mod exec;
 mod map;
+mod map_overlap;
 mod reduce;
 mod scan;
 mod zip;
 
 pub use exec::{Launch, LaunchConfig, Skeleton};
 pub use map::{IndexLaunch, Map};
+pub use map_overlap::MapOverlap;
 pub use reduce::{Reduce, ReducePlan};
 pub use scan::{Scan, ScanTrace};
 pub use zip::Zip;

@@ -155,7 +155,7 @@ impl<T: Pod> Drop for Inner<T> {
 /// immediately by a device read. `T: Pod` has no invalid bit patterns that we
 /// could expose because the vector is fully overwritten before use; zeroed
 /// memory keeps this fully safe.
-fn vec_uninit_len<T: Pod>(len: usize) -> Vec<T> {
+pub(crate) fn vec_uninit_len<T: Pod>(len: usize) -> Vec<T> {
     let mut v = Vec::with_capacity(len);
     // SAFETY: not actually unsafe — we build from zeroed bytes via Pod copy.
     let bytes = vec![0u8; len * std::mem::size_of::<T>()];

@@ -8,6 +8,121 @@ use skelcl::prelude::*;
 use skelcl::Partition;
 
 // ---------------------------------------------------------------------------
+// Redistribution edge cases shared with the 2-D halo machinery
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Copy → Block` with a user combine function: every device copy is
+    /// merged element-wise, for any device count and any per-device edits.
+    #[test]
+    fn copy_to_block_with_user_combine_merges_every_device_copy(
+        data in prop::collection::vec(-100.0f32..100.0, 1..64),
+        devices in 1usize..=4,
+        deltas in prop::collection::vec(-8.0f32..8.0, 4..5),
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let v = Vector::from_vec(&rt, data.clone());
+        v.set_copy_distribution_with(Combine::add()).unwrap();
+        v.copy_data_to_devices().unwrap();
+        let buffers: Vec<_> = (0..devices).map(|d| v.buffer_of(d).unwrap()).collect();
+        // Each device adds its own delta to its private copy (the OSEM
+        // error-image pattern, via an additional-argument side channel).
+        for (d, buf) in buffers.iter().enumerate() {
+            let modified: Vec<f32> = data.iter().map(|x| x + deltas[d]).collect();
+            rt.queue(d).enqueue_write_buffer(buf, &modified).unwrap();
+        }
+        v.mark_device_modified();
+        v.set_distribution(Distribution::Block).unwrap();
+        let expected: Vec<f32> = data
+            .iter()
+            .map(|x| {
+                // combine(acc, other) folds copies in device order:
+                // (x+δ0) + (x+δ1) + ... summed exactly like Combine::add.
+                let mut acc = x + deltas[0];
+                for delta in deltas.iter().take(devices).skip(1) {
+                    acc += x + delta;
+                }
+                acc
+            })
+            .collect();
+        prop_assert_eq!(v.to_vec().unwrap(), expected);
+    }
+
+    /// `BlockWeighted` with zero-weight devices: those devices hold no part
+    /// and run no kernels, yet results and round trips stay exact.
+    #[test]
+    fn block_weighted_with_zero_weight_devices_skips_them(
+        data in prop::collection::vec(-50.0f32..50.0, 1..96),
+        weights in prop::collection::vec(0u8..3, 2..5),
+    ) {
+        let devices = weights.len();
+        let rt = skelcl::init_gpus(devices);
+        let v = Vector::from_vec(&rt, data.clone());
+        let w: Vec<f64> = weights.iter().map(|x| *x as f64).collect();
+        v.set_distribution(Distribution::block_weighted(&w)).unwrap();
+        let sizes = v.sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), data.len());
+        // A zero-weight device gets nothing — unless every weight is zero,
+        // which falls back to the even block split.
+        if w.iter().any(|x| *x > 0.0) {
+            for (d, weight) in w.iter().enumerate() {
+                if *weight == 0.0 {
+                    prop_assert_eq!(sizes[d], 0, "zero-weight device {} got {:?}", d, &sizes);
+                }
+            }
+        }
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        rt.drain_events();
+        let out = v.map(&inc).unwrap();
+        let events = rt.drain_events();
+        for (d, size) in sizes.iter().enumerate() {
+            let kernels = events[d].iter().filter(|e| e.is_kernel()).count();
+            prop_assert_eq!(kernels, usize::from(*size > 0), "device {}", d);
+        }
+        let expected: Vec<f32> = data.iter().map(|x| x + 1.0).collect();
+        prop_assert_eq!(out.to_vec().unwrap(), expected);
+        // Round trip back to block keeps the data exact.
+        v.set_distribution(Distribution::Block).unwrap();
+        prop_assert_eq!(v.to_vec().unwrap(), data);
+    }
+
+    /// Empty vectors survive every redistribution without touching a device,
+    /// and skeleton launches on them fail cleanly.
+    #[test]
+    fn empty_vectors_redistribute_without_device_traffic(
+        devices in 1usize..=4,
+        target in 0usize..4,
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let v = Vector::from_vec(&rt, Vec::<f32>::new());
+        prop_assert!(v.is_empty());
+        rt.drain_events();
+        for dist in [
+            Distribution::Block,
+            Distribution::Copy,
+            Distribution::Single(target.min(devices - 1)),
+            Distribution::block_weighted(&vec![1.0; devices]),
+            Distribution::Block,
+        ] {
+            v.set_distribution(dist).unwrap();
+            prop_assert_eq!(v.to_vec().unwrap(), Vec::<f32>::new());
+            prop_assert_eq!(v.sizes().iter().sum::<usize>(), 0);
+        }
+        let moved: usize = rt
+            .drain_events()
+            .iter()
+            .flatten()
+            .filter(|e| e.is_transfer())
+            .count();
+        prop_assert_eq!(moved, 0, "empty vectors must never move bytes");
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        prop_assert!(matches!(v.map(&inc), Err(SkelError::EmptyInput)));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Partition invariants (the arithmetic behind Figure 1)
 // ---------------------------------------------------------------------------
 

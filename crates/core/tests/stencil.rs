@@ -1,0 +1,305 @@
+//! Acceptance tests of the 2-D stencil subsystem: Gaussian blur and heat
+//! diffusion produce **bit-identical** results to a scalar host reference on
+//! 1, 2 and 4 devices, and the iterative driver exchanges **halo rows only**
+//! between sweeps (asserted via oclsim transfer stats and the runtime's
+//! `ExecTrace` halo counters).
+
+use skelcl::prelude::*;
+use skelcl::MatrixDistribution;
+
+/// The 3×3 Gaussian blur kernel (halo 1): 1/16 · [1 2 1; 2 4 2; 1 2 1].
+const GAUSSIAN_BLUR: &str = r#"
+    float func(float x) {
+        float acc = 4.0f * x;
+        acc += 2.0f * (get(-1, 0) + get(1, 0) + get(0, -1) + get(0, 1));
+        acc += get(-1, -1) + get(1, -1) + get(-1, 1) + get(1, 1);
+        return acc / 16.0f;
+    }
+"#;
+
+/// Explicit 5-point heat diffusion step (halo 1): u + α·∇²u.
+const HEAT_STEP: &str = r#"
+    float func(float u, float alpha) {
+        return u + alpha * (get(0, -1) + get(0, 1) + get(-1, 0) + get(1, 0) - 4.0f * u);
+    }
+"#;
+
+/// A vertical 5-row average exercising halo width 2.
+const WIDE_VERTICAL: &str = r#"
+    float func(float x) {
+        return 0.2f * (x + get(0, -2) + get(0, -1) + get(0, 1) + get(0, 2));
+    }
+"#;
+
+/// Scalar host reference executor. `f` receives a neighbour probe and the
+/// centre value; the probe applies `boundary` exactly like the runtime. All
+/// arithmetic inside `f` must mirror the UDF's operation order — every f32
+/// add/mul/div is a single correctly-rounded operation in both worlds, so
+/// results match bit for bit.
+fn host_stencil(
+    input: &[f32],
+    rows: usize,
+    cols: usize,
+    boundary: Boundary<f32>,
+    f: impl Fn(&dyn Fn(i64, i64) -> f32, f32) -> f32,
+) -> Vec<f32> {
+    let (r_max, c_max) = (rows as i64, cols as i64);
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..r_max {
+        for c in 0..c_max {
+            let probe = |dx: i64, dy: i64| -> f32 {
+                let mut rr = r + dy;
+                let mut cc = c + dx;
+                match boundary {
+                    Boundary::Clamp => {
+                        rr = rr.clamp(0, r_max - 1);
+                        cc = cc.clamp(0, c_max - 1);
+                    }
+                    Boundary::Wrap => {
+                        rr = rr.rem_euclid(r_max);
+                        cc = cc.rem_euclid(c_max);
+                    }
+                    Boundary::Constant(v) => {
+                        if !(0..r_max).contains(&rr) || !(0..c_max).contains(&cc) {
+                            return v;
+                        }
+                    }
+                }
+                input[(rr * c_max + cc) as usize]
+            };
+            out[(r * c_max + c) as usize] = f(&probe, input[(r * c_max + c) as usize]);
+        }
+    }
+    out
+}
+
+fn blur_ref(get: &dyn Fn(i64, i64) -> f32, x: f32) -> f32 {
+    let mut acc = 4.0f32 * x;
+    acc += 2.0f32 * (get(-1, 0) + get(1, 0) + get(0, -1) + get(0, 1));
+    acc += get(-1, -1) + get(1, -1) + get(-1, 1) + get(1, 1);
+    acc / 16.0f32
+}
+
+fn heat_ref(alpha: f32) -> impl Fn(&dyn Fn(i64, i64) -> f32, f32) -> f32 {
+    move |get, u| u + alpha * (get(0, -1) + get(0, 1) + get(-1, 0) + get(1, 0) - 4.0f32 * u)
+}
+
+fn wide_ref(get: &dyn Fn(i64, i64) -> f32, x: f32) -> f32 {
+    0.2f32 * (x + get(0, -2) + get(0, -1) + get(0, 1) + get(0, 2))
+}
+
+fn test_image(rows: usize, cols: usize) -> Vec<f32> {
+    (0..rows * cols)
+        .map(|i| ((i * 37 + 11) % 251) as f32 * 0.25 - 20.0)
+        .collect()
+}
+
+fn assert_bits_eq(got: &[f32], expected: &[f32], what: &str) {
+    let g: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+    let e: Vec<u32> = expected.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(g, e, "{what} must match the host reference bit for bit");
+}
+
+#[test]
+fn gaussian_blur_is_bit_identical_on_1_2_and_4_devices() {
+    let (rows, cols) = (23, 17);
+    let image = test_image(rows, cols);
+    let expected = host_stencil(&image, rows, cols, Boundary::Clamp, blur_ref);
+    for devices in [1, 2, 4] {
+        let rt = skelcl::init_gpus(devices);
+        let blur = MapOverlap::<f32, f32>::from_source(GAUSSIAN_BLUR)
+            .with_halo(1)
+            .with_boundary(Boundary::Clamp);
+        let m = Matrix::from_vec(&rt, rows, cols, image.clone()).unwrap();
+        let out = blur.run(&m).exec().unwrap();
+        assert_bits_eq(
+            &out.to_vec().unwrap(),
+            &expected,
+            &format!("gaussian blur on {devices} device(s)"),
+        );
+    }
+}
+
+#[test]
+fn heat_diffusion_is_bit_identical_on_1_2_and_4_devices_over_many_sweeps() {
+    let (rows, cols, sweeps) = (20, 12, 25);
+    let alpha = 0.15f32;
+    let mut expected = test_image(rows, cols);
+    for _ in 0..sweeps {
+        expected = host_stencil(
+            &expected,
+            rows,
+            cols,
+            Boundary::Constant(0.0),
+            heat_ref(alpha),
+        );
+    }
+    for devices in [1, 2, 4] {
+        let rt = skelcl::init_gpus(devices);
+        let heat = MapOverlap::<f32, f32>::from_source(HEAT_STEP)
+            .with_halo(1)
+            .with_boundary(Boundary::Constant(0.0));
+        let m = Matrix::from_vec(&rt, rows, cols, test_image(rows, cols)).unwrap();
+        let out = heat.run(&m).arg(alpha).run_iter(sweeps).unwrap();
+        assert_bits_eq(
+            &out.to_vec().unwrap(),
+            &expected,
+            &format!("{sweeps} heat sweeps on {devices} device(s)"),
+        );
+    }
+}
+
+#[test]
+fn halo_width_two_stencils_match_on_multiple_devices() {
+    let (rows, cols) = (18, 9);
+    let image = test_image(rows, cols);
+    let expected = host_stencil(&image, rows, cols, Boundary::Wrap, wide_ref);
+    for devices in [1, 3] {
+        let rt = skelcl::init_gpus(devices);
+        let st = MapOverlap::<f32, f32>::from_source(WIDE_VERTICAL)
+            .with_halo(2)
+            .with_boundary(Boundary::Wrap);
+        let m = Matrix::from_vec(&rt, rows, cols, image.clone()).unwrap();
+        let out = st.run(&m).exec().unwrap();
+        assert_bits_eq(
+            &out.to_vec().unwrap(),
+            &expected,
+            &format!("halo-2 wrap stencil on {devices} device(s)"),
+        );
+        assert_eq!(
+            out.distribution(),
+            MatrixDistribution::OverlapBlock { halo_rows: 2 }
+        );
+    }
+}
+
+#[test]
+fn iterative_sweeps_exchange_halo_rows_not_whole_parts() {
+    let (rows, cols, sweeps) = (64, 32, 6);
+    let rt = skelcl::init_gpus(4);
+    let heat = MapOverlap::<f32, f32>::from_source(HEAT_STEP)
+        .with_halo(1)
+        .with_boundary(Boundary::Constant(0.0));
+    let m = Matrix::from_vec(&rt, rows, cols, test_image(rows, cols)).unwrap();
+
+    rt.drain_events();
+    let out = heat.run(&m).arg(0.1f32).run_iter(sweeps).unwrap();
+
+    let events = rt.drain_events();
+    let row_bytes = cols * 4;
+    let core_rows = rows / 4;
+    let padded_upload = (core_rows + 2) * row_bytes;
+    let mut halo_bytes_seen = 0usize;
+    let mut uploads = 0usize;
+    for e in events.iter().flatten().filter(|e| e.is_transfer()) {
+        if e.bytes == padded_upload {
+            uploads += 1;
+        } else {
+            assert!(
+                e.bytes <= row_bytes,
+                "between-sweep transfer of {} bytes exceeds one halo row ({} bytes); \
+                 whole parts are {} bytes",
+                e.bytes,
+                row_bytes,
+                core_rows * row_bytes
+            );
+            halo_bytes_seen += e.bytes;
+        }
+    }
+    assert_eq!(uploads, 4, "exactly one padded upload per device");
+    assert!(halo_bytes_seen > 0, "sweeps must exchange halo data");
+
+    // The runtime telemetry exposes the same story without event plumbing.
+    let trace = rt.exec_trace();
+    assert!(trace.halo_transfers() > 0);
+    assert_eq!(
+        trace.halo_bytes() % row_bytes,
+        0,
+        "halo traffic is whole rows"
+    );
+    assert!(trace.skeleton_calls >= sweeps);
+    // And the result is still exact.
+    let mut expected = m.to_vec().unwrap();
+    for _ in 0..sweeps {
+        expected = host_stencil(
+            &expected,
+            rows,
+            cols,
+            Boundary::Constant(0.0),
+            heat_ref(0.1),
+        );
+    }
+    assert_bits_eq(
+        &out.to_vec().unwrap(),
+        &expected,
+        "iterative heat on 4 devices",
+    );
+}
+
+#[test]
+fn chained_stencils_stay_on_the_devices() {
+    // blur ∘ blur: the second launch's input is the first's device-resident
+    // output — only halo refreshes may move data, no full re-upload.
+    let (rows, cols) = (40, 20);
+    let rt = skelcl::init_gpus(2);
+    let blur = MapOverlap::<f32, f32>::from_source(GAUSSIAN_BLUR);
+    let m = Matrix::from_vec(&rt, rows, cols, test_image(rows, cols)).unwrap();
+    let once = blur.run(&m).exec().unwrap();
+    rt.drain_events();
+    let twice = blur.run(&once).exec().unwrap();
+    let events = rt.drain_events();
+    let row_bytes = cols * 4;
+    for e in events.iter().flatten().filter(|e| e.is_transfer()) {
+        assert!(
+            e.bytes <= row_bytes,
+            "chained stencil moved {} bytes — more than a halo row",
+            e.bytes
+        );
+    }
+    let expected = {
+        let one = host_stencil(&m.to_vec().unwrap(), rows, cols, Boundary::Clamp, blur_ref);
+        host_stencil(&one, rows, cols, Boundary::Clamp, blur_ref)
+    };
+    assert_bits_eq(&twice.to_vec().unwrap(), &expected, "chained blur");
+}
+
+#[test]
+fn more_devices_than_rows_still_computes_correctly() {
+    let (rows, cols) = (3, 5);
+    let rt = skelcl::init_gpus(4);
+    let blur = MapOverlap::<f32, f32>::from_source(GAUSSIAN_BLUR);
+    let image = test_image(rows, cols);
+    let expected = host_stencil(&image, rows, cols, Boundary::Clamp, blur_ref);
+    let m = Matrix::from_vec(&rt, rows, cols, image).unwrap();
+    let out = blur.run(&m).run_iter(3).unwrap();
+    let mut exp = expected;
+    for _ in 0..2 {
+        exp = host_stencil(&exp, rows, cols, Boundary::Clamp, blur_ref);
+    }
+    assert_bits_eq(&out.to_vec().unwrap(), &exp, "3 sweeps with idle devices");
+}
+
+#[test]
+fn empty_matrix_launches_are_rejected() {
+    let rt = skelcl::init_gpus(2);
+    let blur = MapOverlap::<f32, f32>::from_source(GAUSSIAN_BLUR);
+    let m = Matrix::from_vec(&rt, 0, 5, Vec::new()).unwrap();
+    assert!(matches!(blur.run(&m).exec(), Err(SkelError::EmptyInput)));
+}
+
+#[test]
+fn exec_trace_reports_pool_and_halo_telemetry() {
+    let rt = skelcl::init_gpus(2);
+    let heat = MapOverlap::<f32, f32>::from_source(HEAT_STEP);
+    let m = Matrix::filled(&rt, 24, 12, 1.0f32);
+    let _ = heat.run(&m).arg(0.2f32).run_iter(4).unwrap();
+    // Run again: the first run's intermediates were released to the pool.
+    let _ = heat.run(&m).arg(0.2f32).run_iter(4).unwrap();
+    let trace = rt.exec_trace();
+    assert!(trace.buffer_pool_hits > 0, "{trace:?}");
+    assert!(trace.halo_transfers() > 0, "{trace:?}");
+    assert_eq!(trace.devices.len(), 2);
+    assert!(trace.programs_built >= 1);
+    let total: usize = trace.devices.iter().map(|d| d.halo_bytes).sum();
+    assert_eq!(total, trace.halo_bytes());
+}

@@ -132,6 +132,82 @@ proptest! {
     }
 
     #[test]
+    fn generated_map_overlap_kernel(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        halo in 0usize..3,
+        policy in 0i32..3,
+        oob in -4.0f32..4.0,
+        seed in 0u32..500,
+    ) {
+        // Neighbour probes are clamped to the generated halo so the launch
+        // succeeds; the error paths are covered by the kernel crate's
+        // differential suite.
+        let dy = halo.min(1);
+        let udf = format!(
+            "float func(float x, float a) {{ return a * (get(-1, {dy}) + get(1, -{dy}) + get(3, 0)) + x; }}"
+        );
+        let info = UdfInfo::analyze(&udf, 1).unwrap();
+        let src = kernelgen::map_overlap_kernel(&info).unwrap();
+        let n = rows * cols;
+        let padded = (rows + 2 * halo) * cols;
+        let input: Vec<f32> = (0..padded)
+            .map(|i| ((i as u32 * 53 + seed) % 97) as f32 * 0.5 - 24.0)
+            .collect();
+        let out = vec![0.0f32; padded];
+        assert_generated_kernel_agrees(
+            &src, kernelgen::MAP_OVERLAP_KERNEL,
+            &[input, out],
+            &[
+                Value::Int(n as i32),
+                Value::Int(cols as i32),
+                Value::Int(halo as i32),
+                Value::Int(policy),
+                Value::Float(oob),
+                Value::Float(0.75),
+            ],
+            n,
+        );
+    }
+
+    #[test]
+    fn generated_gaussian_blur_kernel(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in 0u32..500,
+    ) {
+        // The exact UDF the examples ship: 3x3 Gaussian blur, halo 1.
+        let udf = r#"
+            float func(float x) {
+                float acc = 4.0f * x;
+                acc += 2.0f * (get(-1, 0) + get(1, 0) + get(0, -1) + get(0, 1));
+                acc += get(-1, -1) + get(1, -1) + get(-1, 1) + get(1, 1);
+                return acc / 16.0f;
+            }
+        "#;
+        let info = UdfInfo::analyze(udf, 1).unwrap();
+        let src = kernelgen::map_overlap_kernel(&info).unwrap();
+        let n = rows * cols;
+        let padded = (rows + 2) * cols;
+        let input: Vec<f32> = (0..padded)
+            .map(|i| ((i as u32 * 29 + seed) % 113) as f32 * 0.25)
+            .collect();
+        let out = vec![0.0f32; padded];
+        assert_generated_kernel_agrees(
+            &src, kernelgen::MAP_OVERLAP_KERNEL,
+            &[input, out],
+            &[
+                Value::Int(n as i32),
+                Value::Int(cols as i32),
+                Value::Int(1),
+                Value::Int(0),
+                Value::Float(0.0),
+            ],
+            n,
+        );
+    }
+
+    #[test]
     fn generated_index_map_kernel(
         n in 1usize..64,
         scale in -3i32..4,

@@ -4,6 +4,34 @@
 use crate::types::ScalarType;
 use crate::value::Value;
 
+/// Reserved parameter names through which a generated stencil (`MapOverlap`)
+/// kernel provides the execution context of the [`Builtin::StencilGet`]
+/// builtin. Both execution engines (interpreter and VM) recognise these names
+/// in the *kernel* signature at launch-bind time; `get(dx, dy)` called from
+/// any function of the unit then resolves against this per-launch context.
+pub mod stencil {
+    /// The stencil input buffer (a `__global float*`): the device's part of
+    /// the matrix, padded with `halo` rows above and below the core rows.
+    pub const IN_PARAM: &str = "skelcl_stencil_in";
+    /// Row width (number of columns) of the matrix part (`int`).
+    pub const WIDTH_PARAM: &str = "skelcl_stencil_w";
+    /// Halo width in rows (`int`): the input buffer holds this many extra
+    /// rows above and below the rows the launch computes.
+    pub const HALO_PARAM: &str = "skelcl_stencil_halo";
+    /// Column out-of-bound policy (`int`): see [`POLICY_CLAMP`] and friends.
+    pub const POLICY_PARAM: &str = "skelcl_stencil_policy";
+    /// The value `get` returns for out-of-range columns under the constant
+    /// policy (`float`).
+    pub const OOB_PARAM: &str = "skelcl_stencil_oob";
+
+    /// Column accesses past the edge clamp to the nearest valid column.
+    pub const POLICY_CLAMP: i32 = 0;
+    /// Column accesses wrap around (modulo the width).
+    pub const POLICY_WRAP: i32 = 1;
+    /// Column accesses past the edge yield the constant `oob` value.
+    pub const POLICY_CONSTANT: i32 = 2;
+}
+
 /// Identifies a builtin function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Builtin {
@@ -33,6 +61,12 @@ pub enum Builtin {
     // Math, ternary
     Fma,
     Clamp,
+    /// Indexed neighbour access `get(dx, dy)` inside a stencil (`MapOverlap`)
+    /// kernel: reads the stencil input at column offset `dx` and row offset
+    /// `dy` from the current work-item's element. Requires the stencil
+    /// context parameters (see [`stencil`]) on the enclosing kernel; costed
+    /// like any other global load plus the address arithmetic.
+    StencilGet,
 }
 
 impl Builtin {
@@ -61,6 +95,7 @@ impl Builtin {
             "atan2" => Builtin::Atan2,
             "fma" | "mad" => Builtin::Fma,
             "clamp" => Builtin::Clamp,
+            "get" => Builtin::StencilGet,
             _ => return None,
         })
     }
@@ -102,8 +137,16 @@ impl Builtin {
             | Builtin::Min
             | Builtin::Max
             | Builtin::Atan2 => 2,
+            Builtin::StencilGet => 2,
             Builtin::Fma | Builtin::Clamp => 3,
         }
+    }
+
+    /// Whether this is the stencil neighbour access `get(dx, dy)`, which
+    /// needs the per-launch stencil context (it is neither a pure math
+    /// builtin nor a work-item query).
+    pub fn is_stencil_fn(self) -> bool {
+        matches!(self, Builtin::StencilGet)
     }
 
     /// The scalar type this builtin returns, given its argument types.
@@ -112,6 +155,9 @@ impl Builtin {
             return ScalarType::Int;
         }
         match self {
+            // The stencil input buffer is always a float buffer, so `get`
+            // always yields float, independent of its (integer) offsets.
+            Builtin::StencilGet => ScalarType::Float,
             Builtin::Min | Builtin::Max | Builtin::Clamp => args
                 .iter()
                 .copied()
@@ -132,6 +178,10 @@ impl Builtin {
     /// interpreter because they need the work-item context).
     pub fn eval_math(self, args: &[Value]) -> Value {
         debug_assert!(!self.is_work_item_fn());
+        debug_assert!(
+            !self.is_stencil_fn(),
+            "get() needs the stencil context and is evaluated by the engines"
+        );
         let f = |i: usize| args[i].as_f64();
         let result_ty = self.result_type(&args.iter().map(|v| v.scalar_type()).collect::<Vec<_>>());
         let r = match self {
@@ -177,6 +227,9 @@ impl Builtin {
             Builtin::Fabs | Builtin::Floor | Builtin::Ceil | Builtin::Min | Builtin::Max => 1.0,
             Builtin::Fmin | Builtin::Fmax | Builtin::Clamp => 1.0,
             Builtin::Fma => 2.0,
+            // Address arithmetic of the indexed neighbour access (the global
+            // load itself is charged in bytes, like any other load).
+            Builtin::StencilGet => 4.0,
             Builtin::Sqrt => 4.0,
             Builtin::Sin | Builtin::Cos => 8.0,
             Builtin::Exp | Builtin::Log | Builtin::Pow | Builtin::Atan2 => 10.0,

@@ -152,6 +152,11 @@ pub enum Op {
     },
     /// Query a work-item function (`get_global_id` and friends)
     WorkItem { dst: Reg, builtin: Builtin },
+    /// Stencil neighbour access `get(dx, dy)`: `dx` and `dy` live in
+    /// registers `args` and `args + 1`; resolved against the launch's
+    /// stencil context (see [`crate::builtins::stencil`]). Carries the cost
+    /// of one global load plus the address arithmetic.
+    StencilGet { dst: Reg, args: Reg },
     /// Return `src` (converted to the function's return type)
     Return { src: Reg },
     /// Return from a `void` function (or finish the kernel)
@@ -1071,6 +1076,18 @@ impl<'u> FnCompiler<'u> {
         if let Some(b) = Builtin::from_name(callee) {
             if b.is_work_item_fn() {
                 self.emit(Op::WorkItem { dst: t, builtin: b }, InstrCost::op());
+            } else if b.is_stencil_fn() {
+                // Mirrors the interpreter's dynamic charge exactly: one flop
+                // count for the address arithmetic, one byte count for the
+                // element load — two counted operations.
+                self.emit(
+                    Op::StencilGet { dst: t, args: base },
+                    InstrCost {
+                        flops: b.flop_cost() as f32,
+                        bytes: ScalarType::Float.size_bytes() as f32,
+                        ops: 2.0,
+                    },
+                );
             } else {
                 self.emit(
                     Op::CallBuiltin {

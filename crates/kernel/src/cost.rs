@@ -164,10 +164,17 @@ impl<'u> Estimator<'u> {
                     .map(|a| self.expr(a))
                     .fold(CostEstimate::default(), CostEstimate::add);
                 if let Some(b) = Builtin::from_name(callee) {
+                    // The stencil neighbour access is a global load of one
+                    // 4-byte element plus its address arithmetic.
+                    let (global_bytes, ops) = if b.is_stencil_fn() {
+                        (4.0, 2.0)
+                    } else {
+                        (0.0, 1.0)
+                    };
                     return args_cost.add(CostEstimate {
                         flops: b.flop_cost(),
-                        ops: 1.0,
-                        ..Default::default()
+                        global_bytes,
+                        ops,
                     });
                 }
                 if self.depth >= 8 {

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use crate::ast::*;
-use crate::builtins::Builtin;
+use crate::builtins::{stencil, Builtin};
 use crate::diag::KernelError;
 use crate::types::{ScalarType, Type};
 use crate::value::Value;
@@ -151,6 +151,150 @@ impl<'a> ArgBinding<'a> {
     }
 }
 
+/// Per-launch context of the stencil neighbour-access builtin
+/// `get(dx, dy)`, detected from the reserved parameter names of the kernel
+/// signature (see [`crate::builtins::stencil`]). Shared by the interpreter
+/// and the bytecode VM so both engines resolve `get` identically.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StencilCtx {
+    /// Kernel argument slot of the stencil input buffer.
+    pub in_slot: usize,
+    /// Row width (columns) of the matrix part.
+    pub width: i64,
+    /// Halo rows padded above and below the part's core rows.
+    pub halo: i64,
+    /// Column out-of-bound policy (clamp / wrap / constant).
+    pub policy: i32,
+    /// Value returned for out-of-range columns under the constant policy.
+    pub oob: f32,
+}
+
+impl StencilCtx {
+    /// Detect the stencil context of a launch: `Ok(None)` when the kernel
+    /// declares no stencil parameters, `Ok(Some(..))` when all of them are
+    /// present and valid, an error for a partial or ill-typed set.
+    pub(crate) fn detect<'n>(
+        params: impl Iterator<Item = &'n str>,
+        args: &[ArgBinding<'_>],
+    ) -> Result<Option<StencilCtx>, KernelError> {
+        let mut slots: [Option<usize>; 5] = [None; 5];
+        const NAMES: [&str; 5] = [
+            stencil::IN_PARAM,
+            stencil::WIDTH_PARAM,
+            stencil::HALO_PARAM,
+            stencil::POLICY_PARAM,
+            stencil::OOB_PARAM,
+        ];
+        for (i, name) in params.enumerate() {
+            if let Some(k) = NAMES.iter().position(|n| *n == name) {
+                slots[k] = Some(i);
+            }
+        }
+        if slots.iter().all(Option::is_none) {
+            return Ok(None);
+        }
+        if slots.iter().any(Option::is_none) {
+            return Err(KernelError::run(
+                "incomplete stencil context: a stencil kernel must declare all \
+                 skelcl_stencil_* parameters",
+            ));
+        }
+        let scalar = |slot: usize, name: &str| -> Result<Value, KernelError> {
+            match &args[slot] {
+                ArgBinding::Scalar(v) => Ok(*v),
+                ArgBinding::Buffer(_) => Err(KernelError::run(format!(
+                    "stencil parameter `{name}` must be bound to a scalar"
+                ))),
+            }
+        };
+        let in_slot = slots[0].expect("checked above");
+        match &args[in_slot] {
+            ArgBinding::Buffer(view) if view.scalar_type() == ScalarType::Float => {}
+            _ => {
+                return Err(KernelError::run(format!(
+                    "stencil input `{}` must be bound to a float buffer",
+                    stencil::IN_PARAM
+                )))
+            }
+        }
+        let width = scalar(slots[1].expect("checked above"), stencil::WIDTH_PARAM)?.as_i64();
+        let halo = scalar(slots[2].expect("checked above"), stencil::HALO_PARAM)?.as_i64();
+        let policy = scalar(slots[3].expect("checked above"), stencil::POLICY_PARAM)?.as_i64();
+        let oob = scalar(slots[4].expect("checked above"), stencil::OOB_PARAM)?.as_f64() as f32;
+        if width <= 0 {
+            return Err(KernelError::run(format!(
+                "stencil width must be positive, got {width}"
+            )));
+        }
+        if halo < 0 {
+            return Err(KernelError::run(format!(
+                "stencil halo must be non-negative, got {halo}"
+            )));
+        }
+        if !(stencil::POLICY_CLAMP as i64..=stencil::POLICY_CONSTANT as i64).contains(&policy) {
+            return Err(KernelError::run(format!(
+                "unknown stencil boundary policy {policy}"
+            )));
+        }
+        Ok(Some(StencilCtx {
+            in_slot,
+            width,
+            halo,
+            policy: policy as i32,
+            oob,
+        }))
+    }
+}
+
+/// Evaluate `get(dx, dy)` for the work-item `gid` under a stencil context:
+/// rows resolve directly into the halo-padded input part (row out-of-bound
+/// handling happened when the halo was filled), columns apply the configured
+/// policy. Shared verbatim by both execution engines; the cost accounting
+/// (one global load plus address arithmetic) is done by each engine's own
+/// counting mechanism *before* this call, so error paths charge identically.
+pub(crate) fn stencil_get(
+    ctx: StencilCtx,
+    args: &[ArgBinding<'_>],
+    gid: usize,
+    dx: i64,
+    dy: i64,
+) -> Result<Value, KernelError> {
+    if dy < -ctx.halo || dy > ctx.halo {
+        return Err(KernelError::run(format!(
+            "stencil access dy={dy} exceeds the declared halo of {} row(s)",
+            ctx.halo
+        )));
+    }
+    let w = ctx.width;
+    let row = gid as i64 / w;
+    let col = gid as i64 % w;
+    let mut c = col + dx;
+    if c < 0 || c >= w {
+        c = match ctx.policy {
+            stencil::POLICY_CLAMP => c.clamp(0, w - 1),
+            stencil::POLICY_WRAP => c.rem_euclid(w),
+            stencil::POLICY_CONSTANT => return Ok(Value::Float(ctx.oob)),
+            other => unreachable!("policy {other} rejected at context detection"),
+        };
+    }
+    let idx = ((row + ctx.halo + dy) * w + c) as usize;
+    match &args[ctx.in_slot] {
+        ArgBinding::Buffer(view) => view.load(idx).ok_or_else(|| {
+            KernelError::run(format!(
+                "stencil access ({dx}, {dy}) at index {idx} is out of bounds for the \
+                 stencil input (len {})",
+                view.len()
+            ))
+        }),
+        ArgBinding::Scalar(_) => unreachable!("buffer binding validated at context detection"),
+    }
+}
+
+/// The error reported when `get` is called outside a stencil kernel; one
+/// string so both engines agree verbatim.
+pub(crate) const NO_STENCIL_CONTEXT: &str =
+    "`get` requires a stencil (MapOverlap) kernel: no stencil context parameters are bound";
+
 /// Control-flow signal produced by statement execution.
 enum Flow {
     Normal,
@@ -245,6 +389,9 @@ struct KernelFrame<'a, 'b> {
     buffer_params: HashMap<String, usize>,
     args: &'a mut [ArgBinding<'b>],
     item: WorkItem,
+    /// Stencil context of the launch, when the kernel declares the reserved
+    /// `skelcl_stencil_*` parameters (enables the `get(dx, dy)` builtin).
+    stencil: Option<StencilCtx>,
 }
 
 impl<'u> Interpreter<'u> {
@@ -342,10 +489,12 @@ impl<'u> Interpreter<'u> {
             }
         }
 
+        let stencil = StencilCtx::detect(func.params.iter().map(|p| p.name.as_str()), args)?;
         let mut frame = KernelFrame {
             buffer_params,
             args,
             item,
+            stencil,
         };
         self.exec_block(&func.body, &mut env, &mut frame)?;
         Ok(())
@@ -688,6 +837,19 @@ impl<'u> Interpreter<'u> {
                         };
                         self.count_op();
                         return Ok(Value::Int(v as i32));
+                    }
+                    if b.is_stencil_fn() {
+                        // Costed like any other load: the address arithmetic
+                        // as flops, the element read as global bytes —
+                        // charged before evaluation so error paths count the
+                        // same work in both engines.
+                        self.count_flops(b.flop_cost());
+                        self.count_bytes(ScalarType::Float.size_bytes() as f64);
+                        let ctx = frame
+                            .stencil
+                            .ok_or_else(|| KernelError::run(NO_STENCIL_CONTEXT))?;
+                        let (dx, dy) = (values[0].as_i64(), values[1].as_i64());
+                        return stencil_get(ctx, frame.args, frame.item.global_id, dx, dy);
                     }
                     self.count_flops(b.flop_cost());
                     return Ok(b.eval_math(&values));

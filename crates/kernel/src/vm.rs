@@ -13,7 +13,9 @@ use crate::ast::BinOp;
 use crate::builtins::Builtin;
 use crate::compile::{CompiledUnit, Op};
 use crate::diag::KernelError;
-use crate::interp::{eval_binary, ArgBinding, ExecStats, WorkItem};
+use crate::interp::{
+    eval_binary, stencil_get, ArgBinding, ExecStats, StencilCtx, WorkItem, NO_STENCIL_CONTEXT,
+};
 use crate::types::Type;
 use crate::value::Value;
 
@@ -87,6 +89,9 @@ pub struct Vm<'u> {
     frames: Vec<Frame>,
     /// Per-launch map from interned buffer name to kernel argument slot.
     buffer_slots: Vec<Option<u16>>,
+    /// Per-launch stencil context (present when the bound kernel declares
+    /// the reserved `skelcl_stencil_*` parameters).
+    stencil: Option<StencilCtx>,
     bound_kernel: Option<usize>,
     /// Whether the bound kernel's constant pool has been written into the
     /// register file (done lazily on the first work-item of a launch).
@@ -112,6 +117,7 @@ impl<'u> Vm<'u> {
             regs: Vec::new(),
             frames: Vec::new(),
             buffer_slots: Vec::new(),
+            stencil: None,
             bound_kernel: None,
             pool_ready: false,
             max_loop_iterations: 100_000_000,
@@ -178,6 +184,7 @@ impl<'u> Vm<'u> {
                 (Type::Void, _) => unreachable!("void parameters rejected by the parser"),
             }
         }
+        self.stencil = StencilCtx::detect(func.params.iter().map(|p| p.name.as_str()), args)?;
         self.bound_kernel = Some(kernel_index);
         self.pool_ready = false;
         Ok(())
@@ -400,6 +407,18 @@ impl<'u> Vm<'u> {
                         let lo = base + *args_base as usize;
                         let vals = &self.regs[lo..lo + *nargs as usize];
                         let v = builtin.eval_math(vals);
+                        self.regs[base + *dst as usize] = v;
+                    }
+                    Op::StencilGet {
+                        dst,
+                        args: args_base,
+                    } => {
+                        let dx = self.regs[base + *args_base as usize].as_i64();
+                        let dy = self.regs[base + *args_base as usize + 1].as_i64();
+                        let ctx = self
+                            .stencil
+                            .ok_or_else(|| KernelError::run(NO_STENCIL_CONTEXT))?;
+                        let v = stencil_get(ctx, args, item.global_id, dx, dy)?;
                         self.regs[base + *dst as usize] = v;
                     }
                     Op::WorkItem { dst, builtin } => {

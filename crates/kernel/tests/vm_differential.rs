@@ -395,6 +395,146 @@ proptest! {
     }
 }
 
+/// The kernel shape `kernelgen` emits for a MapOverlap (stencil) skeleton:
+/// the reserved `skelcl_stencil_*` parameters bind the context of the
+/// `get(dx, dy)` neighbour-access builtin.
+fn stencil_kernel(udf: &str) -> String {
+    format!(
+        "{udf}\n\
+         __kernel void SKELCL_MAP_OVERLAP(__global float* skelcl_stencil_in, __global float* skelcl_out,\n\
+             int skelcl_n, int skelcl_stencil_w, int skelcl_stencil_halo,\n\
+             int skelcl_stencil_policy, float skelcl_stencil_oob) {{\n\
+             int skelcl_gid = get_global_id(0);\n\
+             if (skelcl_gid < skelcl_n) {{\n\
+                 int skelcl_row = skelcl_gid / skelcl_stencil_w;\n\
+                 int skelcl_col = skelcl_gid % skelcl_stencil_w;\n\
+                 skelcl_out[skelcl_gid] = func(skelcl_stencil_in[(skelcl_row + skelcl_stencil_halo) * skelcl_stencil_w + skelcl_col]);\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stencil_neighbour_access_agrees_across_engines(
+        rows in 1usize..6,
+        w in 1usize..8,
+        halo in 0usize..3,
+        policy in 0i32..3,
+        oob in -5.0f32..5.0,
+        seed in 0u32..1000,
+    ) {
+        // A 5-point probe clamped to the available halo, plus corner taps.
+        let dy = halo.min(1) as i32;
+        let udf = format!(
+            "float func(float x) {{ return x + 0.5f * (get(-1, 0) + get(1, 0) + get(0, -{dy}) + get(0, {dy})) + 0.25f * get(-2, {dy}); }}"
+        );
+        let src = stencil_kernel(&udf);
+        let n = rows * w;
+        let padded = (rows + 2 * halo) * w;
+        let input: Vec<f32> = (0..padded).map(|i| ((i as u32 * 37 + seed) % 101) as f32 * 0.5 - 20.0).collect();
+        let out = vec![0.0f32; n];
+        assert_engines_agree_f32(
+            &src, "SKELCL_MAP_OVERLAP", &[input, out],
+            &[
+                Value::Int(n as i32),
+                Value::Int(w as i32),
+                Value::Int(halo as i32),
+                Value::Int(policy),
+                Value::Float(oob),
+            ],
+            n,
+        );
+    }
+
+    #[test]
+    fn stencil_row_accesses_beyond_the_halo_error_identically(
+        rows in 1usize..5,
+        w in 1usize..6,
+        halo in 0usize..3,
+        dy in -4i32..5,
+    ) {
+        // `dy` may exceed the declared halo: both engines must report the
+        // identical "exceeds the declared halo" error (and identical stats
+        // up to the failure); valid offsets must agree bit for bit.
+        let udf = "float func(float x, int dx, int dy) { return x * 0.5f + get(dx, dy); }";
+        let src = format!(
+            "{udf}\n\
+             __kernel void SKELCL_MAP_OVERLAP(__global float* skelcl_stencil_in, __global float* skelcl_out,\n\
+                 int skelcl_n, int skelcl_stencil_w, int skelcl_stencil_halo,\n\
+                 int skelcl_stencil_policy, float skelcl_stencil_oob, int skelcl_arg_dx, int skelcl_arg_dy) {{\n\
+                 int skelcl_gid = get_global_id(0);\n\
+                 if (skelcl_gid < skelcl_n) {{\n\
+                     skelcl_out[skelcl_gid] = func(skelcl_stencil_in[skelcl_gid], skelcl_arg_dx, skelcl_arg_dy);\n\
+                 }}\n\
+             }}\n"
+        );
+        let n = rows * w;
+        let padded = (rows + 2 * halo) * w;
+        let input: Vec<f32> = (0..padded).map(|i| i as f32 * 0.25).collect();
+        let out = vec![0.0f32; n];
+        assert_engines_agree_f32(
+            &src, "SKELCL_MAP_OVERLAP", &[input, out],
+            &[
+                Value::Int(n as i32),
+                Value::Int(w as i32),
+                Value::Int(halo as i32),
+                Value::Int(0),
+                Value::Float(0.0),
+                Value::Int(1),
+                Value::Int(dy),
+            ],
+            n,
+        );
+    }
+}
+
+#[test]
+fn get_outside_a_stencil_kernel_is_the_same_runtime_error() {
+    let src = r#"
+        __kernel void k(__global float* v, int n) {
+            int gid = get_global_id(0);
+            v[gid] = get(0, 0);
+        }
+    "#;
+    assert_engines_agree_f32(src, "k", &[vec![0.0f32; 3]], &[Value::Int(3)], 3);
+}
+
+#[test]
+fn stencil_column_policies_differ_only_at_the_edges() {
+    // Sanity on the semantics themselves (not just engine agreement): with a
+    // 1-column probe to the left, clamp repeats the edge, wrap pulls the last
+    // column, constant yields the oob value.
+    let src = stencil_kernel("float func(float x) { return get(-1, 0); }");
+    let p = Program::build(&src).unwrap();
+    let k = p.kernel("SKELCL_MAP_OVERLAP").unwrap();
+    let run = |policy: i32, oob: f32| -> Vec<f32> {
+        let mut input = vec![10.0f32, 20.0, 30.0]; // 1 row, 3 cols, halo 0
+        let mut out = vec![0.0f32; 3];
+        let mut args = vec![
+            ArgBinding::Buffer(skelcl_kernel::interp::BufferView::F32(&mut input)),
+            ArgBinding::Buffer(skelcl_kernel::interp::BufferView::F32(&mut out)),
+            ArgBinding::Scalar(Value::Int(3)),
+            ArgBinding::Scalar(Value::Int(3)),
+            ArgBinding::Scalar(Value::Int(0)),
+            ArgBinding::Scalar(Value::Int(policy)),
+            ArgBinding::Scalar(Value::Float(oob)),
+        ];
+        p.run_ndrange(&k, 3, &mut args).unwrap();
+        drop(args);
+        out
+    };
+    assert_eq!(
+        run(0, 0.0),
+        vec![10.0, 10.0, 20.0],
+        "clamp repeats the edge"
+    );
+    assert_eq!(run(1, 0.0), vec![30.0, 10.0, 20.0], "wrap is cyclic");
+    assert_eq!(run(2, -1.0), vec![-1.0, 10.0, 20.0], "constant fills");
+}
+
 #[test]
 fn break_and_continue_at_kernel_top_level() {
     // A kernel-level `break` outside any loop ends the work-item in both

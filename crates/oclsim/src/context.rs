@@ -116,6 +116,11 @@ impl Context {
         self.devices.iter().map(|d| d.pooled_buffers()).sum()
     }
 
+    /// Total bytes of storage currently parked across all device pools.
+    pub fn pooled_bytes(&self) -> usize {
+        self.devices.iter().map(|d| d.pooled_bytes()).sum()
+    }
+
     /// Drop every parked allocation on every device.
     pub fn trim_buffer_pools(&self) {
         for d in &self.devices {

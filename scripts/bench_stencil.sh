@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Stencil (MapOverlap) performance trajectory: regenerates BENCH_stencil.json
+# at the repository root — a device-count (1-4) × halo-width (1/2/4) sweep of
+# an iterative vertical-box stencil plus the Gaussian-blur and heat-diffusion
+# example workloads, reporting virtual runtime and halo-exchange traffic.
+#
+# Usage:
+#   scripts/bench_stencil.sh            # full run, rewrites BENCH_stencil.json
+#   scripts/bench_stencil.sh --smoke    # small-image smoke run only (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" || "${1:-}" == "--quick" ]]; then
+    cargo run --release -p skelcl_bench --bin stencil_bench -- --smoke --out /tmp/BENCH_stencil.json
+else
+    cargo run --release -p skelcl_bench --bin stencil_bench -- --out BENCH_stencil.json
+fi

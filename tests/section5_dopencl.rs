@@ -165,6 +165,69 @@ fn small_final_reductions_belong_on_the_cpu_large_ones_on_the_gpu() {
 }
 
 #[test]
+fn stencils_run_on_the_cluster_and_halo_exchanges_pay_the_network() {
+    use skelcl::{Boundary, MapOverlap, Matrix};
+
+    const HEAT: &str = r#"
+        float func(float u, float alpha) {
+            return u + alpha * (get(0, -1) + get(0, 1) + get(-1, 0) + get(1, 0) - 4.0f * u);
+        }
+    "#;
+    let (rows, cols, sweeps) = (64usize, 32usize, 5usize);
+    let image: Vec<f32> = (0..rows * cols).map(|i| ((i * 7) % 19) as f32).collect();
+
+    // The same stencil program on four local Teslas and on the four Teslas
+    // of the S1070 node reached through Gigabit Ethernet: identical results,
+    // but every halo exchange of the remote runtime additionally crosses the
+    // network (latency added, bandwidth capped by the interconnect via the
+    // adjusted DeviceProfiles).
+    let run_on = |profiles: Vec<oclsim::DeviceProfile>| {
+        let rt = skelcl::init_profiles(profiles);
+        let heat = MapOverlap::<f32, f32>::from_source(HEAT)
+            .with_halo(1)
+            .with_boundary(Boundary::Constant(0.0));
+        let m = Matrix::from_vec(&rt, rows, cols, image.clone()).unwrap();
+        rt.drain_events();
+        let out = heat.run(&m).arg(0.2f32).run_iter(sweeps).unwrap();
+        let result = out.to_vec().unwrap();
+        let events = rt.drain_events();
+        let halo_row_bytes = cols * 4;
+        let halo_time = events
+            .iter()
+            .flatten()
+            .filter(|e| e.is_transfer() && e.bytes <= halo_row_bytes)
+            .fold(oclsim::SimDuration::ZERO, |acc, e| acc + e.duration());
+        let trace = rt.exec_trace();
+        (result, halo_time, trace)
+    };
+
+    let local_profiles = vec![oclsim::DeviceProfile::tesla_c1060(); 4];
+    let remote_profiles = Cluster::new(NetworkModel::gigabit_ethernet())
+        .with_node(Node::tesla_s1070_server("gpu-server"))
+        .gpu_profiles();
+    assert_eq!(remote_profiles.len(), 4, "same topology on both sides");
+
+    let (local_result, local_halo_time, local_trace) = run_on(local_profiles);
+    let (remote_result, remote_halo_time, remote_trace) = run_on(remote_profiles);
+
+    assert_eq!(
+        local_result, remote_result,
+        "the distributed run must be bit-identical to the local one"
+    );
+    assert_eq!(
+        local_trace.halo_bytes(),
+        remote_trace.halo_bytes(),
+        "both runs exchange exactly the same halo rows"
+    );
+    assert!(local_trace.halo_transfers() > 0);
+    assert!(
+        remote_halo_time > local_halo_time,
+        "remote halo exchanges must be charged the network cost \
+         (remote {remote_halo_time:?} vs local {local_halo_time:?})"
+    );
+}
+
+#[test]
 fn reduce_skeleton_still_computes_the_right_value_on_the_cluster() {
     let cluster = Cluster::lab_cluster();
     let rt = skelcl::init_profiles(cluster.device_profiles());
