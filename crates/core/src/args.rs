@@ -236,48 +236,6 @@ impl Args {
         self
     }
 
-    /// Append a `float` scalar.
-    #[deprecated(since = "0.2.0", note = "use `arg(value)` or the `args![]` macro")]
-    pub fn with_f32(self, v: f32) -> Args {
-        self.arg(v)
-    }
-
-    /// Append a `double` scalar.
-    #[deprecated(since = "0.2.0", note = "use `arg(value)` or the `args![]` macro")]
-    pub fn with_f64(self, v: f64) -> Args {
-        self.arg(v)
-    }
-
-    /// Append an `int` scalar.
-    #[deprecated(since = "0.2.0", note = "use `arg(value)` or the `args![]` macro")]
-    pub fn with_i32(self, v: i32) -> Args {
-        self.arg(v)
-    }
-
-    /// Append a `uint` scalar.
-    #[deprecated(since = "0.2.0", note = "use `arg(value)` or the `args![]` macro")]
-    pub fn with_u32(self, v: u32) -> Args {
-        self.arg(v)
-    }
-
-    /// Append an `f32` vector argument (passed as a device buffer).
-    #[deprecated(since = "0.2.0", note = "use `arg(&vector)` or the `args![]` macro")]
-    pub fn with_vec_f32(self, v: &Vector<f32>) -> Args {
-        self.arg(v)
-    }
-
-    /// Append an `i32` vector argument.
-    #[deprecated(since = "0.2.0", note = "use `arg(&vector)` or the `args![]` macro")]
-    pub fn with_vec_i32(self, v: &Vector<i32>) -> Args {
-        self.arg(v)
-    }
-
-    /// Append a `u32` vector argument.
-    #[deprecated(since = "0.2.0", note = "use `arg(&vector)` or the `args![]` macro")]
-    pub fn with_vec_u32(self, v: &Vector<u32>) -> Args {
-        self.arg(v)
-    }
-
     /// The arguments in order.
     pub fn items(&self) -> &[ArgItem] {
         &self.items
@@ -485,16 +443,6 @@ mod tests {
         assert_eq!(args.scalar_count(), 2);
         assert_eq!(args.vector_count(), 1);
         assert!(crate::args![].is_empty());
-    }
-
-    #[test]
-    fn deprecated_with_methods_still_work() {
-        #![allow(deprecated)]
-        let rt = init_gpus(1);
-        let v = Vector::from_vec(&rt, vec![0.0f32; 4]);
-        let args = Args::new().with_f32(1.0).with_i32(2).with_vec_f32(&v);
-        assert_eq!(args.len(), 3);
-        assert_eq!(args.scalar_count(), 2);
     }
 
     #[test]

@@ -1,0 +1,748 @@
+//! The unified container core: **one** host ↔ device coherence and
+//! distribution implementation shared by every SkelCL container.
+//!
+//! Historically [`crate::vector::Vector`] (1-D) and [`crate::matrix::Matrix`]
+//! (2-D) each carried their own copy of the lazy-transfer machinery — validity
+//! flags, per-device buffer bookkeeping, upload/download/halo-exchange loops.
+//! This module collapses that duplication into three layers:
+//!
+//! 1. ****`Storage<T, D>`**** — the coherence core. It owns the host copy, the
+//!    per-device buffers and the validity state (`host_valid` /
+//!    `devices_valid` / `halos_valid`), and implements the *only* transfer
+//!    paths in the crate: lazy upload (`Storage::ensure_on_devices`), lazy
+//!    gather (`Storage::download_to_host`) and the halo-only exchange
+//!    (`Storage::refresh_halos`). `Storage` is shape-agnostic: everything
+//!    geometric is delegated to the partitioning layer below.
+//!
+//! 2. **[`Partitioning`] / [`PartLayout`]** — the dimension-generic
+//!    distribution interface. [`crate::distribution::Distribution`] (1-D) and
+//!    [`crate::distribution::MatrixDistribution`] (2-D, including the
+//!    `OverlapBlock` halo bookkeeping) both implement [`Partitioning`]; their
+//!    computed geometries ([`crate::distribution::Partition`] and
+//!    [`crate::distribution::RowPartition`]) implement [`PartLayout`], which
+//!    describes every device part as plain data — *segments* — that `Storage`
+//!    turns into transfers:
+//!    * [`PartSegment`]s say how to assemble a part for upload (host ranges
+//!      plus policy-filled padding),
+//!    * a *gather segment* says which region of a part is authoritative on
+//!      download,
+//!    * [`HaloSegment`]s say which padding regions are refreshed from which
+//!      neighbour between stencil sweeps.
+//!
+//! 3. **[`Container`]** — the uniform launch interface of the data-parallel
+//!    skeletons. `Map`, `Zip` and `Reduce` are written against this trait
+//!    (element count, parts, ensure-on-device, mark-dirty, gather, output
+//!    adoption), so they execute over a `Vector` or a row-block `Matrix`
+//!    through the *same* code path — same kernels, same telemetry
+//!    ([`crate::runtime::SkelCl::exec_trace`]), no per-container forks.
+//!
+//! `Vector` and `Matrix` themselves are thin shape-aware views over a
+//! `Storage`: they translate user-facing concepts (element ranges, rows ×
+//! columns, boundary policies) into the shape-agnostic vocabulary above and
+//! contain no transfer logic of their own.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use oclsim::{Buffer, CostHint, Pod};
+
+use crate::distribution::{Combine, Distribution, Partition};
+use crate::error::{Result, SkelError};
+use crate::runtime::{DeviceSelection, SkelCl};
+use crate::scheduler::StaticScheduler;
+
+// ---------------------------------------------------------------------------
+// Segment vocabulary: how layouts describe parts to the coherence core
+// ---------------------------------------------------------------------------
+
+/// Element-type-erased edge policy of a layout's padding regions — the
+/// shape-agnostic face of [`crate::distribution::Boundary`]. The constant of
+/// `Boundary::Constant` stays in the `Storage` (which knows the element
+/// type); the layout only distinguishes "resolve to a real element"
+/// (`Clamp` / `Wrap`) from "fill with the stored constant" (`Fill`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgePolicy {
+    /// Out-of-range coordinates clamp to the nearest valid element.
+    Clamp,
+    /// Out-of-range coordinates wrap around (torus topology).
+    Wrap,
+    /// Out-of-range regions are filled with the storage's fill constant.
+    Fill,
+}
+
+/// One piece of a device part as assembled for upload, in storage order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartSegment {
+    /// A contiguous element range of the host copy.
+    Host(Range<usize>),
+    /// `len` elements of the storage's fill constant (policy-filled padding
+    /// beyond the container edges).
+    Fill {
+        /// Number of fill elements.
+        len: usize,
+    },
+}
+
+/// One padding region of a stored part and where its fresh contents come
+/// from during a halo-only exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HaloSegment {
+    /// Fill `len` elements at `dst_offset` (within the stored part) with the
+    /// storage's fill constant.
+    Fill {
+        /// Element offset within the destination part.
+        dst_offset: usize,
+        /// Number of fill elements.
+        len: usize,
+    },
+    /// Copy `len` elements from element `src_offset` of `owner`'s stored
+    /// part into the destination part at `dst_offset`.
+    Remote {
+        /// Element offset within the destination part.
+        dst_offset: usize,
+        /// Device whose part holds the authoritative copy.
+        owner: usize,
+        /// Element offset within the owner's stored part.
+        src_offset: usize,
+        /// Number of elements moved.
+        len: usize,
+    },
+}
+
+/// A dimension-generic distribution: something that can partition a container
+/// of its [`Shape`](Partitioning::Shape) over `devices` devices into a
+/// concrete [`PartLayout`]. Implemented by
+/// [`crate::distribution::Distribution`] (1-D vectors, `Shape = usize`
+/// length) and [`crate::distribution::MatrixDistribution`] (2-D matrices,
+/// `Shape = (rows, cols)`, including `OverlapBlock` halo bookkeeping).
+pub trait Partitioning: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// The shape of the containers this distribution partitions.
+    type Shape: Copy + Send + Sync + 'static;
+    /// The concrete per-device geometry computed from shape + device count.
+    type Layout: PartLayout;
+
+    /// Compute the concrete layout for a container of `shape` over `devices`
+    /// devices.
+    fn layout(&self, shape: Self::Shape, devices: usize) -> Self::Layout;
+
+    /// Validate the distribution against the runtime's device count (e.g.
+    /// `Single(d)` must name an existing device).
+    fn validate(&self, devices: usize) -> Result<()>;
+
+    /// Whether every active device holds a full replica of the data (the
+    /// `Copy` distributions): downloads then gather from one device (merging
+    /// per-device copies through the storage's [`Combine`]) instead of
+    /// concatenating disjoint parts.
+    fn is_replicated(&self) -> bool;
+}
+
+/// The concrete per-device geometry of one distribution applied to one
+/// container shape, described entirely as plain data so that `Storage` can
+/// execute transfers without knowing the container's dimensionality.
+pub trait PartLayout: Clone + Send + Sync + 'static {
+    /// Total number of elements in the container.
+    fn len(&self) -> usize;
+
+    /// Whether the container holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of devices (including inactive ones).
+    fn device_count(&self) -> usize;
+
+    /// Devices that store at least one element.
+    fn active_devices(&self) -> Vec<usize>;
+
+    /// Number of elements device `d` stores, including any halo padding.
+    fn stored_len(&self, device: usize) -> usize;
+
+    /// The segments (host ranges and policy fills) that assemble device
+    /// `d`'s stored part for upload, in storage order. Their lengths sum to
+    /// [`PartLayout::stored_len`].
+    fn upload_segments(&self, device: usize, edge: EdgePolicy) -> Vec<PartSegment>;
+
+    /// Where device `d`'s authoritative data lands on download: the element
+    /// offset within its stored part and the destination host range. `None`
+    /// for devices that own nothing (replicated layouts are gathered from a
+    /// single device instead; see [`Partitioning::is_replicated`]).
+    fn gather_segment(&self, device: usize) -> Option<(usize, Range<usize>)>;
+
+    /// Whether parts carry halo padding that can go stale independently of
+    /// the core data.
+    fn has_halo(&self) -> bool;
+
+    /// The padding regions of device `d`'s part and their sources, in
+    /// refresh order. Empty for layouts without halos.
+    fn halo_segments(&self, device: usize, edge: EdgePolicy) -> Vec<HaloSegment>;
+
+    /// The flat element partition of the *owned* (core) elements — what an
+    /// element-wise kernel launch iterates over. Only meaningful for layouts
+    /// whose stored parts equal their owned parts (no halo padding);
+    /// element-wise launches coerce overlapped layouts away first.
+    fn flat_partition(&self) -> Partition;
+}
+
+// ---------------------------------------------------------------------------
+// Storage: the one coherence implementation
+// ---------------------------------------------------------------------------
+
+/// Where the authoritative copy of a container's data currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residence {
+    /// Only the host copy is valid.
+    HostOnly,
+    /// Only the device copies are valid.
+    DevicesOnly,
+    /// Host and devices agree.
+    Shared,
+}
+
+/// The shared host + multi-device storage behind every SkelCL container:
+/// host data, per-device parts, validity flags and the lazy coherence
+/// machinery. Shape-agnostic — all geometry comes from the [`Partitioning`]
+/// type parameter.
+pub(crate) struct Storage<T: Pod, D: Partitioning> {
+    pub(crate) runtime: Arc<SkelCl>,
+    pub(crate) host: Vec<T>,
+    pub(crate) shape: D::Shape,
+    pub(crate) host_valid: bool,
+    pub(crate) devices_valid: bool,
+    /// Whether the halo padding of the device parts matches the neighbours'
+    /// current core data (trivially true for layouts without halos).
+    pub(crate) halos_valid: bool,
+    pub(crate) distribution: D,
+    pub(crate) layout: D::Layout,
+    pub(crate) buffers: Vec<Option<Buffer>>,
+    /// How padding beyond the container edges is resolved.
+    pub(crate) edge: EdgePolicy,
+    /// The constant used by [`EdgePolicy::Fill`] padding.
+    pub(crate) fill: Option<T>,
+    /// How per-device replicas are merged when leaving a replicated
+    /// distribution.
+    pub(crate) combine: Combine<T>,
+}
+
+impl<T: Pod, D: Partitioning> Storage<T, D> {
+    /// Host-resident storage (no device transfer until first device use).
+    pub(crate) fn new_host(
+        runtime: Arc<SkelCl>,
+        host: Vec<T>,
+        shape: D::Shape,
+        distribution: D,
+    ) -> Storage<T, D> {
+        let devices = runtime.device_count();
+        let layout = distribution.layout(shape, devices);
+        Storage {
+            runtime,
+            host,
+            shape,
+            host_valid: true,
+            devices_valid: false,
+            halos_valid: false,
+            distribution,
+            layout,
+            buffers: vec![None; devices],
+            edge: EdgePolicy::Clamp,
+            fill: None,
+            combine: Combine::KeepFirst,
+        }
+    }
+
+    /// Device-resident storage (skeleton outputs): the data already lives in
+    /// per-device buffers; the host copy — and any halo padding — is stale.
+    pub(crate) fn new_device_resident(
+        runtime: Arc<SkelCl>,
+        shape: D::Shape,
+        distribution: D,
+        buffers: Vec<Option<Buffer>>,
+        edge: EdgePolicy,
+        fill: Option<T>,
+    ) -> Storage<T, D> {
+        let devices = runtime.device_count();
+        let layout = distribution.layout(shape, devices);
+        Storage {
+            runtime,
+            host: Vec::new(),
+            shape,
+            host_valid: false,
+            devices_valid: true,
+            halos_valid: false,
+            distribution,
+            layout,
+            buffers,
+            edge,
+            fill,
+            combine: Combine::KeepFirst,
+        }
+    }
+
+    /// Where the authoritative data currently lives.
+    pub(crate) fn residence(&self) -> Residence {
+        match (self.host_valid, self.devices_valid) {
+            (true, true) => Residence::Shared,
+            (true, false) => Residence::HostOnly,
+            (false, true) => Residence::DevicesOnly,
+            (false, false) => unreachable!("container lost both copies"),
+        }
+    }
+
+    /// Release every device buffer back to the context.
+    pub(crate) fn release_buffers(&mut self) {
+        for buf in self.buffers.iter_mut() {
+            if let Some(b) = buf.take() {
+                // A failure here would mean the buffer was already released,
+                // which cannot happen while the storage owns it; ignore.
+                let _ = self.runtime.context().release_buffer(&b);
+            }
+        }
+    }
+
+    /// The fill constant, for layouts whose padding is policy-filled.
+    fn fill_value(&self) -> T {
+        self.fill
+            .expect("EdgePolicy::Fill storage always carries a fill constant")
+    }
+
+    /// Lazy upload: make the data present on the devices under the current
+    /// layout. Parts are assembled from the layout's upload segments; a part
+    /// that is one whole host range is written straight from the host copy
+    /// without staging.
+    pub(crate) fn ensure_on_devices(&mut self) -> Result<()> {
+        if self.devices_valid {
+            return Ok(());
+        }
+        debug_assert!(self.host_valid, "either host or devices must be valid");
+        for device in 0..self.layout.device_count() {
+            let stored = self.layout.stored_len(device);
+            if stored == 0 {
+                continue;
+            }
+            let buffer = match &self.buffers[device] {
+                Some(b) if b.len() == stored => b.clone(),
+                _ => {
+                    if let Some(old) = self.buffers[device].take() {
+                        let _ = self.runtime.context().release_buffer(&old);
+                    }
+                    let b = self.runtime.context().create_buffer::<T>(device, stored)?;
+                    self.buffers[device] = Some(b.clone());
+                    b
+                }
+            };
+            let segments = self.layout.upload_segments(device, self.edge);
+            match segments.as_slice() {
+                [PartSegment::Host(range)] => {
+                    debug_assert_eq!(range.len(), stored);
+                    self.runtime
+                        .queue(device)
+                        .enqueue_write_buffer(&buffer, &self.host[range.clone()])?;
+                }
+                _ => {
+                    let mut part = Vec::with_capacity(stored);
+                    for segment in &segments {
+                        match segment {
+                            PartSegment::Host(range) => {
+                                part.extend_from_slice(&self.host[range.clone()])
+                            }
+                            PartSegment::Fill { len } => {
+                                part.resize(part.len() + len, self.fill_value())
+                            }
+                        }
+                    }
+                    debug_assert_eq!(part.len(), stored);
+                    self.runtime
+                        .queue(device)
+                        .enqueue_write_buffer(&buffer, &part)?;
+                }
+            }
+        }
+        self.devices_valid = true;
+        self.halos_valid = true;
+        Ok(())
+    }
+
+    /// Lazy gather: bring the authoritative data back to the host. Disjoint
+    /// layouts concatenate the owned region of every part; replicated
+    /// layouts read one device's copy and merge the others through the
+    /// [`Combine`] function (after which the individual replicas are stale).
+    pub(crate) fn download_to_host(&mut self) -> Result<()> {
+        if self.host_valid {
+            return Ok(());
+        }
+        debug_assert!(self.devices_valid, "either host or devices must be valid");
+        let len = self.layout.len();
+        if len == 0 {
+            self.host = Vec::new();
+            self.host_valid = true;
+            return Ok(());
+        }
+        if self.distribution.is_replicated() {
+            let actives = self.layout.active_devices();
+            let first = *actives.first().ok_or(SkelError::EmptyInput)?;
+            let buffer = self.buffers[first].as_ref().ok_or_else(|| {
+                SkelError::Distribution("replicated container has no device buffer".into())
+            })?;
+            let mut host = vec_uninit_len::<T>(len);
+            self.runtime
+                .queue(first)
+                .enqueue_read_buffer(buffer, &mut host)?;
+            if let Combine::Func(f) = &self.combine {
+                let mut other = vec_uninit_len::<T>(len);
+                for &device in actives.iter().skip(1) {
+                    let buffer = self.buffers[device].as_ref().ok_or_else(|| {
+                        SkelError::Distribution(
+                            "replicated container is missing a device copy".into(),
+                        )
+                    })?;
+                    self.runtime
+                        .queue(device)
+                        .enqueue_read_buffer(buffer, &mut other)?;
+                    f(&mut host, &other);
+                }
+                // After combining, the individual device copies are stale.
+                self.devices_valid = false;
+            }
+            self.host = host;
+        } else {
+            let mut host = vec_uninit_len::<T>(len);
+            for device in 0..self.layout.device_count() {
+                let Some((src_offset, dst)) = self.layout.gather_segment(device) else {
+                    continue;
+                };
+                if dst.is_empty() {
+                    continue;
+                }
+                let buffer = self.buffers[device].as_ref().ok_or_else(|| {
+                    SkelError::Distribution(format!(
+                        "device {device} should hold elements {dst:?} but has no buffer"
+                    ))
+                })?;
+                self.runtime.queue(device).enqueue_read_buffer_region(
+                    buffer,
+                    src_offset,
+                    &mut host[dst],
+                )?;
+            }
+            self.host = host;
+        }
+        self.host_valid = true;
+        Ok(())
+    }
+
+    /// Halo-only re-coherence: re-fill the padding regions of every stored
+    /// part from the owners' current core data (and the edge policy at the
+    /// container edges) without touching any core data. Each
+    /// [`HaloSegment::Remote`] is one read from the owner plus one write to
+    /// the destination, charged to the runtime's halo counters on both ends.
+    pub(crate) fn refresh_halos(&mut self) -> Result<()> {
+        debug_assert!(self.devices_valid);
+        if self.halos_valid || !self.layout.has_halo() {
+            self.halos_valid = true;
+            return Ok(());
+        }
+        let elem = std::mem::size_of::<T>();
+        for device in self.layout.active_devices() {
+            let segments = self.layout.halo_segments(device, self.edge);
+            if segments.is_empty() {
+                continue;
+            }
+            let dst = self.buffers[device]
+                .as_ref()
+                .expect("parts with halo regions hold a buffer")
+                .clone();
+            for segment in segments {
+                match segment {
+                    HaloSegment::Fill { dst_offset, len } => {
+                        if len == 0 {
+                            continue;
+                        }
+                        self.runtime.queue(device).enqueue_fill_buffer_region(
+                            &dst,
+                            dst_offset,
+                            self.fill_value(),
+                            len,
+                        )?;
+                        self.runtime.charge_halo_transfer(device, len * elem);
+                    }
+                    HaloSegment::Remote {
+                        dst_offset,
+                        owner,
+                        src_offset,
+                        len,
+                    } => {
+                        if len == 0 {
+                            continue;
+                        }
+                        let src = self.buffers[owner].as_ref().expect("owners hold a buffer");
+                        let mut staging = vec_uninit_len::<T>(len);
+                        self.runtime.queue(owner).enqueue_read_buffer_region(
+                            src,
+                            src_offset,
+                            &mut staging,
+                        )?;
+                        self.runtime
+                            .queue(device)
+                            .enqueue_write_buffer_region(&dst, dst_offset, &staging)?;
+                        self.runtime.charge_halo_transfer(owner, len * elem);
+                        self.runtime.charge_halo_transfer(device, len * elem);
+                    }
+                }
+            }
+        }
+        self.halos_valid = true;
+        Ok(())
+    }
+
+    /// Prepare the container for device use: upload if the host holds the
+    /// newer copy, otherwise refresh any stale halo padding (the
+    /// between-sweeps path of iterative stencils).
+    pub(crate) fn prepare_on_devices(&mut self) -> Result<()> {
+        if self.devices_valid {
+            self.refresh_halos()
+        } else {
+            self.ensure_on_devices()
+        }
+    }
+
+    /// Change the distribution (and optionally the edge policy): the
+    /// authoritative state is brought to the host (merging replicas), the
+    /// old device buffers are released, and the next device use re-uploads
+    /// under the new layout.
+    pub(crate) fn redistribute(
+        &mut self,
+        distribution: D,
+        edge: EdgePolicy,
+        fill: Option<T>,
+    ) -> Result<()> {
+        distribution.validate(self.runtime.device_count())?;
+        self.download_to_host()?;
+        self.release_buffers();
+        self.devices_valid = false;
+        self.halos_valid = false;
+        self.layout = distribution.layout(self.shape, self.runtime.device_count());
+        self.distribution = distribution;
+        self.edge = edge;
+        self.fill = fill;
+        Ok(())
+    }
+
+    /// Declare that a kernel modified the device data through a channel the
+    /// runtime cannot see: the host copy and the halo padding are stale.
+    pub(crate) fn mark_device_modified(&mut self) {
+        if self.devices_valid {
+            self.host_valid = false;
+            self.halos_valid = false;
+        }
+    }
+
+    /// Declare the devices the authoritative side after a launch wrote this
+    /// storage's buffers in place (the iterative stencil ping-pong): the
+    /// host copy and the halo padding are stale.
+    pub(crate) fn mark_devices_authoritative(&mut self) {
+        debug_assert!(
+            self.buffers.iter().any(Option::is_some),
+            "a reused launch target owns device buffers"
+        );
+        self.devices_valid = true;
+        self.host_valid = false;
+        self.halos_valid = false;
+    }
+
+    /// Invalidate the device copies after a host-side mutation; the next
+    /// device use re-uploads lazily.
+    pub(crate) fn invalidate_devices(&mut self) {
+        self.release_buffers();
+        self.devices_valid = false;
+        self.halos_valid = false;
+        self.host_valid = true;
+    }
+
+    /// Recompute the layout after a shape change (host-side resize).
+    pub(crate) fn reshape(&mut self, shape: D::Shape) {
+        self.shape = shape;
+        self.layout = self.distribution.layout(shape, self.runtime.device_count());
+    }
+
+    /// Obtain per-device buffers for using this storage as a skeleton
+    /// *output*: existing buffers are reused when their sizes match the
+    /// target partition — the hot path of chained pipelines — and fresh ones
+    /// are created where they do not fit.
+    ///
+    /// Does **not** mutate the storage: replaced buffers stay owned by it
+    /// until `Storage::commit_as_output` adopts the new set after a
+    /// successful launch, so a failed launch leaves the container intact.
+    pub(crate) fn obtain_output_buffers(
+        &self,
+        partition: &Partition,
+    ) -> Result<Vec<Option<Buffer>>> {
+        let elem = std::mem::size_of::<T>();
+        let mut buffers = vec![None; partition.device_count()];
+        for device in 0..partition.device_count() {
+            let want = partition.size(device);
+            if want == 0 {
+                continue;
+            }
+            let reusable = self
+                .buffers
+                .get(device)
+                .and_then(|slot| slot.as_ref())
+                .filter(|b| b.len() == want && b.len_bytes() == want * elem);
+            buffers[device] = match reusable {
+                Some(b) => Some(b.clone()),
+                None => Some(self.runtime.context().create_buffer::<T>(device, want)?),
+            };
+        }
+        Ok(buffers)
+    }
+
+    /// Commit this storage as the output of a skeleton launch that wrote the
+    /// given buffers: adopt shape, distribution and buffers; the devices now
+    /// hold the authoritative copy and the host copy is stale.
+    pub(crate) fn commit_as_output(
+        &mut self,
+        shape: D::Shape,
+        distribution: D,
+        buffers: Vec<Option<Buffer>>,
+    ) -> Result<()> {
+        // Release any old buffer that was replaced rather than reused.
+        let new_ids: Vec<_> = buffers.iter().flatten().map(|b| b.id()).collect();
+        let stale: Vec<Buffer> = self
+            .buffers
+            .iter_mut()
+            .filter_map(|old| old.take())
+            .filter(|b| !new_ids.contains(&b.id()))
+            .collect();
+        for b in stale {
+            let _ = self.runtime.context().release_buffer(&b);
+        }
+        self.shape = shape;
+        self.layout = distribution.layout(shape, self.runtime.device_count());
+        self.distribution = distribution;
+        self.buffers = buffers;
+        self.host_valid = false;
+        self.devices_valid = true;
+        self.halos_valid = false;
+        Ok(())
+    }
+}
+
+impl<T: Pod, D: Partitioning> Drop for Storage<T, D> {
+    fn drop(&mut self) {
+        self.release_buffers();
+    }
+}
+
+/// Create a `Vec<T>` of the given length whose contents will be overwritten
+/// immediately by a device read. `T: Pod` has no invalid bit patterns that we
+/// could expose because the vector is fully overwritten before use; zeroed
+/// memory keeps this fully safe.
+pub(crate) fn vec_uninit_len<T: Pod>(len: usize) -> Vec<T> {
+    let mut v = Vec::with_capacity(len);
+    // SAFETY: not actually unsafe — we build from zeroed bytes via Pod copy.
+    let bytes = vec![0u8; len * std::mem::size_of::<T>()];
+    v.extend_from_slice(&oclsim::pod::from_bytes_vec::<T>(&bytes));
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Container: the uniform skeleton-launch interface
+// ---------------------------------------------------------------------------
+
+/// A distributed SkelCL container — the uniform interface the element-wise
+/// skeletons ([`crate::skeletons::Map`], [`crate::skeletons::Zip`],
+/// [`crate::skeletons::Reduce`]) launch against, implemented by
+/// [`crate::vector::Vector`] and [`crate::matrix::Matrix`].
+///
+/// The trait covers the container essentials (element count, per-device
+/// parts, ensure-on-device, mark-dirty, gather) plus the launch plumbing the
+/// shared execution pipeline in `skeletons::exec` needs: device-selection and
+/// scheduler overrides, distribution unification for zip, and shape-aware
+/// output adoption. The [`Container::Rebound`] associated type names the
+/// same-shaped container with a different element type, which is how
+/// `map(f): C<I> -> C<O>` stays shape-preserving generically.
+pub trait Container<T: Pod>: Clone {
+    /// The same-shaped container holding `O` elements (map/zip outputs).
+    type Rebound<O: Pod>: Container<O>;
+
+    /// The runtime this container belongs to.
+    fn runtime(&self) -> Arc<SkelCl>;
+
+    /// Stable identity (used to detect aliasing between launch inputs and
+    /// `run_into` targets).
+    fn id(&self) -> u64;
+
+    /// Total number of elements.
+    fn elem_count(&self) -> usize;
+
+    /// Whether the container has no elements.
+    fn is_empty(&self) -> bool {
+        self.elem_count() == 0
+    }
+
+    /// Per-device element counts of the owned parts under the current
+    /// distribution.
+    fn part_sizes(&self) -> Vec<usize>;
+
+    /// Check that this container belongs to `runtime`.
+    fn check_runtime(&self, runtime: &Arc<SkelCl>) -> Result<()>;
+
+    /// Force the lazy upload now (the C++ library's `copyDataToDevices()`).
+    fn ensure_on_devices(&self) -> Result<()>;
+
+    /// Declare that a kernel modified the device data through a side channel
+    /// (the host copy is stale).
+    fn mark_device_modified(&self);
+
+    /// Gather the container's contents into a host `Vec` in canonical
+    /// (row-major, for matrices) order, downloading if the devices hold the
+    /// newer copy.
+    fn gather(&self) -> Result<Vec<T>>;
+
+    /// Apply a launch-time device selection by overriding the distribution.
+    fn apply_selection(&self, selection: &DeviceSelection) -> Result<()>;
+
+    /// Apply a scheduler-weighted distribution for the given per-element
+    /// cost (Section V of the paper). Containers without a weighted layout
+    /// reject the scheduler with a clear error.
+    fn apply_scheduler(&self, scheduler: &StaticScheduler, cost: CostHint) -> Result<()>;
+
+    /// Coerce `self` and `other` (same shape, possibly different element
+    /// type) to one common element-wise layout — the paper's distribution
+    /// unification for zip. Errors if the shapes are incompatible.
+    fn unify_with<B: Pod>(&self, other: &Self::Rebound<B>) -> Result<()>;
+
+    /// Coerce a replicated (copy) distribution to the disjoint block
+    /// layout. Skeletons that must visit every element exactly once
+    /// (reduce, scan) call this first: the per-device replicas are merged
+    /// through the container's combine function, and each element ends up
+    /// owned by exactly one device.
+    fn ensure_disjoint(&self) -> Result<()>;
+
+    /// Upload lazily (coercing away layouts an element-wise kernel cannot
+    /// iterate, such as halo-padded stencil layouts) and return the flat
+    /// element partition plus the per-device buffers.
+    fn prepare_elementwise(&self) -> Result<(Partition, Vec<Option<Buffer>>)>;
+
+    /// Obtain output buffers for a launch writing into this container
+    /// (`run_into`), reusing its existing buffers where the sizes fit.
+    fn obtain_output_buffers(&self, partition: &Partition) -> Result<Vec<Option<Buffer>>>;
+
+    /// Wrap freshly written per-device buffers as a device-resident output
+    /// container of this container's shape and distribution.
+    fn wrap_output<O: Pod>(&self, buffers: Vec<Option<Buffer>>) -> Self::Rebound<O>;
+
+    /// Commit `out` as the output of a launch over `self` that wrote the
+    /// given buffers: `out` adopts `self`'s shape and distribution.
+    fn commit_output<O: Pod>(
+        &self,
+        out: &Self::Rebound<O>,
+        buffers: Vec<Option<Buffer>>,
+    ) -> Result<()>;
+
+    /// The current 1-D distribution of the container's flat element space,
+    /// if it has one (used by vector-specific skeletons); matrices return
+    /// `None`.
+    fn flat_distribution(&self) -> Option<Distribution> {
+        None
+    }
+}

@@ -19,6 +19,9 @@
 use std::ops::Range;
 use std::sync::Arc;
 
+use crate::container::{EdgePolicy, HaloSegment, PartLayout, PartSegment, Partitioning};
+use crate::error::{Result, SkelError};
+
 /// How a vector's data is distributed across the devices of the runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Distribution {
@@ -54,6 +57,30 @@ impl Distribution {
     /// this distribution.
     pub fn uses_all_devices(&self) -> bool {
         !matches!(self, Distribution::Single(_))
+    }
+}
+
+impl Partitioning for Distribution {
+    type Shape = usize;
+    type Layout = Partition;
+
+    fn layout(&self, shape: usize, devices: usize) -> Partition {
+        Partition::compute(shape, devices, self)
+    }
+
+    fn validate(&self, devices: usize) -> Result<()> {
+        if let Distribution::Single(d) = self {
+            if *d >= devices {
+                return Err(SkelError::Distribution(format!(
+                    "single distribution names device {d} but the runtime has {devices} devices"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn is_replicated(&self) -> bool {
+        matches!(self, Distribution::Copy)
     }
 }
 
@@ -184,6 +211,57 @@ impl Partition {
     pub fn device_count(&self) -> usize {
         self.ranges.len()
     }
+
+    /// Build a partition from explicit per-device element ranges (used to
+    /// flatten 2-D row layouts into the 1-D element space element-wise
+    /// kernels iterate over).
+    pub(crate) fn from_ranges(ranges: Vec<Range<usize>>, len: usize) -> Partition {
+        Partition { ranges, len }
+    }
+}
+
+impl PartLayout for Partition {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn device_count(&self) -> usize {
+        Partition::device_count(self)
+    }
+
+    fn active_devices(&self) -> Vec<usize> {
+        Partition::active_devices(self)
+    }
+
+    fn stored_len(&self, device: usize) -> usize {
+        self.size(device)
+    }
+
+    fn upload_segments(&self, device: usize, _edge: EdgePolicy) -> Vec<PartSegment> {
+        let range = self.range(device);
+        if range.is_empty() {
+            Vec::new()
+        } else {
+            vec![PartSegment::Host(range)]
+        }
+    }
+
+    fn gather_segment(&self, device: usize) -> Option<(usize, Range<usize>)> {
+        let range = self.range(device);
+        (!range.is_empty()).then_some((0, range))
+    }
+
+    fn has_halo(&self) -> bool {
+        false
+    }
+
+    fn halo_segments(&self, _device: usize, _edge: EdgePolicy) -> Vec<HaloSegment> {
+        Vec::new()
+    }
+
+    fn flat_partition(&self) -> Partition {
+        self.clone()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -224,6 +302,31 @@ impl MatrixDistribution {
             MatrixDistribution::OverlapBlock { halo_rows } => *halo_rows,
             _ => 0,
         }
+    }
+}
+
+impl Partitioning for MatrixDistribution {
+    /// `(rows, cols)` of the matrix.
+    type Shape = (usize, usize);
+    type Layout = RowPartition;
+
+    fn layout(&self, (rows, cols): (usize, usize), devices: usize) -> RowPartition {
+        RowPartition::compute(rows, cols, devices, self)
+    }
+
+    fn validate(&self, devices: usize) -> Result<()> {
+        if let MatrixDistribution::Single(d) = self {
+            if *d >= devices {
+                return Err(SkelError::Distribution(format!(
+                    "single distribution names device {d} but the runtime has {devices} devices"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn is_replicated(&self) -> bool {
+        matches!(self, MatrixDistribution::Copy)
     }
 }
 
@@ -371,6 +474,158 @@ impl RowPartition {
     /// Per-device core row counts.
     pub fn core_row_counts(&self) -> Vec<usize> {
         self.ranges.iter().map(|r| r.len()).collect()
+    }
+
+    /// Resolve padded row index `p` (may be negative or `>= rows`) to its
+    /// source under the edge policy: a real matrix row, or `None` for a
+    /// policy-filled row ([`EdgePolicy::Fill`] beyond the edges).
+    fn row_source(&self, p: i64, edge: EdgePolicy) -> Option<usize> {
+        let rows = self.rows as i64;
+        if (0..rows).contains(&p) {
+            return Some(p as usize);
+        }
+        match edge {
+            EdgePolicy::Clamp => Some(p.clamp(0, rows - 1) as usize),
+            EdgePolicy::Wrap => Some(p.rem_euclid(rows) as usize),
+            EdgePolicy::Fill => None,
+        }
+    }
+
+    /// The padded row indices of device `d`'s part that are halo slots:
+    /// `(slot, padded_row)` pairs, top halo first, then bottom halo. `slot`
+    /// is the row index within the stored part.
+    fn halo_slots(&self, device: usize) -> Vec<(usize, i64)> {
+        let core = self.core_rows(device);
+        let halo = self.halo;
+        (0..halo)
+            .map(|k| (k, core.start as i64 - halo as i64 + k as i64))
+            .chain((0..halo).map(|k| (halo + core.len() + k, core.end as i64 + k as i64)))
+            .collect()
+    }
+}
+
+impl PartLayout for RowPartition {
+    fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn device_count(&self) -> usize {
+        RowPartition::device_count(self)
+    }
+
+    fn active_devices(&self) -> Vec<usize> {
+        RowPartition::active_devices(self)
+    }
+
+    fn stored_len(&self, device: usize) -> usize {
+        RowPartition::stored_len(self, device)
+    }
+
+    fn upload_segments(&self, device: usize, edge: EdgePolicy) -> Vec<PartSegment> {
+        if RowPartition::stored_len(self, device) == 0 {
+            return Vec::new();
+        }
+        let core = self.core_rows(device);
+        let halo = self.halo as i64;
+        let cols = self.cols;
+        let row_segment = |p: i64| match self.row_source(p, edge) {
+            Some(r) => PartSegment::Host(r * cols..(r + 1) * cols),
+            None => PartSegment::Fill { len: cols },
+        };
+        let mut segments = Vec::with_capacity(2 * self.halo + 1);
+        for p in core.start as i64 - halo..core.start as i64 {
+            segments.push(row_segment(p));
+        }
+        segments.push(PartSegment::Host(core.start * cols..core.end * cols));
+        for p in core.end as i64..core.end as i64 + halo {
+            segments.push(row_segment(p));
+        }
+        segments
+    }
+
+    fn gather_segment(&self, device: usize) -> Option<(usize, Range<usize>)> {
+        let core = self.core_rows(device);
+        if core.is_empty() {
+            return None;
+        }
+        let cols = self.cols;
+        Some((self.halo * cols, core.start * cols..core.end * cols))
+    }
+
+    fn has_halo(&self) -> bool {
+        self.halo > 0
+    }
+
+    /// The halo regions of device `d`'s part. Consecutive halo slots whose
+    /// sources are consecutive rows of the same owning device are grouped
+    /// into one [`HaloSegment::Remote`], so the exchange between two
+    /// neighbouring parts is a single `halo_rows × cols` read plus one
+    /// write; policy-filled edge rows become per-row [`HaloSegment::Fill`]s.
+    fn halo_segments(&self, device: usize, edge: EdgePolicy) -> Vec<HaloSegment> {
+        let cols = self.cols;
+        if self.halo == 0 || cols == 0 {
+            return Vec::new();
+        }
+        let halo = self.halo;
+        let mut segments = Vec::new();
+        // (slot0, src_row0, owner, rows-in-run)
+        let mut run: Option<(usize, usize, usize, usize)> = None;
+        let flush = |run: &mut Option<(usize, usize, usize, usize)>,
+                     segments: &mut Vec<HaloSegment>| {
+            if let Some((slot0, src_row0, owner, rows)) = run.take() {
+                let owner_core = self.core_rows(owner);
+                segments.push(HaloSegment::Remote {
+                    dst_offset: slot0 * cols,
+                    owner,
+                    src_offset: (src_row0 - owner_core.start + halo) * cols,
+                    len: rows * cols,
+                });
+            }
+        };
+        for (slot, p) in self.halo_slots(device) {
+            match self.row_source(p, edge) {
+                None => {
+                    flush(&mut run, &mut segments);
+                    segments.push(HaloSegment::Fill {
+                        dst_offset: slot * cols,
+                        len: cols,
+                    });
+                }
+                Some(g) => {
+                    let owner = self
+                        .row_owner(g)
+                        .expect("every matrix row has an owning device");
+                    match &mut run {
+                        Some((slot0, src_row0, own, rows))
+                            if *own == owner
+                                && g == *src_row0 + *rows
+                                && slot == *slot0 + *rows =>
+                        {
+                            *rows += 1;
+                        }
+                        _ => {
+                            flush(&mut run, &mut segments);
+                            run = Some((slot, g, owner, 1));
+                        }
+                    }
+                }
+            }
+        }
+        flush(&mut run, &mut segments);
+        segments
+    }
+
+    /// The flat element partition of the core rows: what an element-wise
+    /// kernel iterates when a matrix is launched through the
+    /// [`crate::container::Container`] interface.
+    fn flat_partition(&self) -> Partition {
+        let cols = self.cols;
+        let ranges = self
+            .ranges
+            .iter()
+            .map(|r| r.start * cols..r.end * cols)
+            .collect();
+        Partition::from_ranges(ranges, self.rows * cols)
     }
 }
 

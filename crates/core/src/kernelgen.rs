@@ -80,7 +80,7 @@ pub(crate) fn resolve_udf<'u>(
 impl UdfInfo {
     /// Analyse a user-defined function source string.
     ///
-    /// * The UDF is resolved by [`resolve_udf`]: the only function in the
+    /// * The UDF is resolved by `resolve_udf`: the only function in the
     ///   source, or — among several — the one named `func` (the others are
     ///   helpers it may call).
     /// * Its first `main_inputs` parameters are the skeleton's element
@@ -208,7 +208,7 @@ pub fn map_kernel(udf: &UdfInfo) -> Result<String> {
 
 /// Generate the index-map kernel: `out[i] = f(offset + i, extra...)`.
 ///
-/// Used by [`crate::skeletons::Map::call_index`]: the skeleton's input is the
+/// Used by [`crate::skeletons::Map::run_index`]: the skeleton's input is the
 /// implicit index range `[0, n)` rather than a stored vector, so no input
 /// buffer exists and no host→device transfer is needed — each device computes
 /// its elements directly from its global ids plus a per-device offset. This
@@ -394,7 +394,7 @@ pub fn reduce_chunked_kernel(udf: &UdfInfo) -> Result<String> {
 
 /// Generate the per-device scan kernel (inclusive prefix) plus the offset
 /// kernel used to combine each device's part with its predecessors' totals —
-/// the "map skeletons [that] are created automatically" in Figure 2 of the
+/// the "map skeletons \[that\] are created automatically" in Figure 2 of the
 /// paper. Both kernels live in one program.
 pub fn scan_kernels(udf: &UdfInfo) -> Result<String> {
     let ty = check_binary_op(udf, "scan")?;

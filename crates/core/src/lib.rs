@@ -11,6 +11,11 @@
 //! * one **uniform execution API**: every skeleton implements the
 //!   [`Skeleton`] trait and is invoked through the fluent [`Launch`] builder
 //!   (`sk.run(&input).args(...).devices(...).scheduler(...).exec()`),
+//! * one **unified container layer** ([`container`]): a single shared
+//!   coherence/distribution core behind every container, with the
+//!   [`Container`] trait as the uniform launch interface — `Map`, `Zip` and
+//!   `Reduce` execute over a [`Vector`] or element-wise over a [`Matrix`]
+//!   through the same code path and the same generated kernels,
 //! * an abstract [`Vector`] data type with implicit, lazy host ↔ device
 //!   transfers and a **fluent pipeline API**
 //!   (`v.map(&f)?.zip(&w, &g)?.reduce(&h)?`),
@@ -78,6 +83,7 @@
 //! pipelines.
 
 pub mod args;
+pub mod container;
 pub mod distribution;
 pub mod error;
 pub mod kernelgen;
@@ -88,6 +94,9 @@ pub mod skeletons;
 pub mod vector;
 
 pub use args::{ArgAccess, ArgItem, Args, IntoArg, VectorArg};
+pub use container::{
+    Container, EdgePolicy, HaloSegment, PartLayout, PartSegment, Partitioning, Residence,
+};
 pub use distribution::{
     Boundary, Combine, Distribution, MatrixDistribution, Partition, RowPartition,
 };
@@ -99,7 +108,7 @@ pub use skeletons::{
     DeviceScalar, IndexLaunch, Launch, LaunchConfig, Map, MapOverlap, Reduce, ReducePlan, Scan,
     ScanTrace, Skeleton, Zip,
 };
-pub use vector::{Residence, Vector};
+pub use vector::Vector;
 
 /// Re-export of the simulated OpenCL runtime for applications that mix
 /// skeleton code with low-level code (the paper stresses that SkelCL still
@@ -110,6 +119,7 @@ pub use oclsim;
 pub mod prelude {
     pub use crate::args;
     pub use crate::args::{ArgAccess, Args, IntoArg};
+    pub use crate::container::Container;
     pub use crate::distribution::{Boundary, Combine, Distribution, MatrixDistribution};
     pub use crate::error::{Result, SkelError};
     pub use crate::matrix::Matrix;

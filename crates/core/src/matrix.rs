@@ -1,26 +1,34 @@
 //! The abstract 2-D matrix data type.
 //!
 //! A [`Matrix`] is the two-dimensional sibling of [`crate::vector::Vector`]:
-//! a row-major `rows × cols` container whose data is accessible by both CPU
-//! and GPU, kept consistent automatically and *lazily*. Matrices are always
-//! split at row granularity ([`MatrixDistribution`]); under
-//! [`MatrixDistribution::OverlapBlock`] each device part is padded with
-//! `halo_rows` read-only rows from its neighbours (filled by a [`Boundary`]
-//! policy at the matrix edges), which is the layout stencil skeletons
-//! ([`crate::skeletons::MapOverlap`]) execute on. Re-establishing coherence
-//! between stencil sweeps exchanges **only the halo rows** — never whole
-//! parts — and every exchange is visible in the oclsim transfer stats and in
-//! the runtime's [`crate::runtime::ExecTrace`] halo counters.
+//! a row-major `rows × cols` view over the same shared
+//! `container::Storage` coherence core, kept consistent
+//! automatically and *lazily*. Matrices are always split at row granularity
+//! ([`MatrixDistribution`]); under [`MatrixDistribution::OverlapBlock`] each
+//! device part is padded with `halo_rows` read-only rows from its neighbours
+//! (filled by a [`Boundary`] policy at the matrix edges), which is the
+//! layout stencil skeletons ([`crate::skeletons::MapOverlap`]) execute on.
+//! Re-establishing coherence between stencil sweeps exchanges **only the
+//! halo rows** — never whole parts — and every exchange is visible in the
+//! oclsim transfer stats and in the runtime's
+//! [`crate::runtime::ExecTrace`] halo counters.
+//!
+//! The matrix contributes only the 2-D shape bookkeeping (rows × columns,
+//! boundary policies, halo widths); every transfer and validity decision is
+//! made by the shared `Storage`, driven by the segment geometry of
+//! [`crate::distribution::RowPartition`].
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use oclsim::{pod, Buffer, Pod};
+use oclsim::{pod, Buffer, CostHint, Pod};
 
-use crate::distribution::{Boundary, MatrixDistribution, RowPartition};
+use crate::container::{Container, EdgePolicy, PartLayout, Storage};
+use crate::distribution::{Boundary, MatrixDistribution, Partition, RowPartition};
 use crate::error::{Result, SkelError};
-use crate::runtime::SkelCl;
+use crate::runtime::{DeviceSelection, SkelCl};
+use crate::scheduler::StaticScheduler;
 use crate::vector::Residence;
 
 /// Compare two boundaries by value; the constant compares by its `Pod` byte
@@ -35,263 +43,13 @@ pub(crate) fn boundary_eq<T: Pod>(a: &Boundary<T>, b: &Boundary<T>) -> bool {
     }
 }
 
-/// Where one padded (halo) row comes from.
-enum RowSource {
-    /// A real matrix row (global row index).
-    Row(usize),
-    /// A row of the boundary constant.
-    Constant,
-}
-
-struct Inner<T: Pod> {
-    runtime: Arc<SkelCl>,
-    host: Vec<T>,
-    rows: usize,
-    cols: usize,
-    host_valid: bool,
-    devices_valid: bool,
-    /// Under `OverlapBlock`: whether the halo rows of the device parts match
-    /// the neighbours' current core rows. A stencil sweep leaves the freshly
-    /// written output with stale halos; the next device use refreshes them
-    /// through a halo exchange instead of a full redistribution.
-    halos_valid: bool,
-    distribution: MatrixDistribution,
-    partition: RowPartition,
-    buffers: Vec<Option<Buffer>>,
-    /// Halo fill policy at the matrix edges (meaningful under
-    /// `OverlapBlock`; kept across redistributions).
-    boundary: Boundary<T>,
-}
-
-impl<T: Pod> Inner<T> {
-    fn release_buffers(&mut self) {
-        for buf in self.buffers.iter_mut() {
-            if let Some(b) = buf.take() {
-                let _ = self.runtime.context().release_buffer(&b);
-            }
-        }
-    }
-
-    /// Resolve padded row index `p` (may be negative or `>= rows`) to its
-    /// source under the boundary policy.
-    fn row_source(&self, p: i64) -> RowSource {
-        let rows = self.rows as i64;
-        if (0..rows).contains(&p) {
-            return RowSource::Row(p as usize);
-        }
-        match self.boundary {
-            Boundary::Clamp => RowSource::Row(p.clamp(0, rows - 1) as usize),
-            Boundary::Wrap => RowSource::Row(p.rem_euclid(rows) as usize),
-            Boundary::Constant(_) => RowSource::Constant,
-        }
-    }
-
-    /// Append the contents of padded row `p` (boundary policy applied) to a
-    /// part being assembled for upload.
-    fn push_padded_row(&self, p: i64, part: &mut Vec<T>) {
-        match self.row_source(p) {
-            RowSource::Row(r) => {
-                part.extend_from_slice(&self.host[r * self.cols..(r + 1) * self.cols])
-            }
-            RowSource::Constant => {
-                let Boundary::Constant(c) = self.boundary else {
-                    unreachable!("row_source yields Constant only for constant boundaries")
-                };
-                part.resize(part.len() + self.cols, c);
-            }
-        }
-    }
-
-    fn ensure_on_devices(&mut self) -> Result<()> {
-        if self.devices_valid {
-            return Ok(());
-        }
-        debug_assert!(self.host_valid, "either host or devices must be valid");
-        let halo = self.partition.halo() as i64;
-        for device in 0..self.partition.device_count() {
-            let stored = self.partition.stored_len(device);
-            if stored == 0 {
-                continue;
-            }
-            let buffer = match &self.buffers[device] {
-                Some(b) if b.len() == stored => b.clone(),
-                _ => {
-                    if let Some(old) = self.buffers[device].take() {
-                        let _ = self.runtime.context().release_buffer(&old);
-                    }
-                    let b = self.runtime.context().create_buffer::<T>(device, stored)?;
-                    self.buffers[device] = Some(b.clone());
-                    b
-                }
-            };
-            let core = self.partition.core_rows(device);
-            // Build the part to upload: the top halo rows (policy-filled),
-            // the core rows as one contiguous host slice, the bottom halo.
-            let mut part = Vec::with_capacity(stored);
-            for p in core.start as i64 - halo..core.start as i64 {
-                self.push_padded_row(p, &mut part);
-            }
-            part.extend_from_slice(&self.host[core.start * self.cols..core.end * self.cols]);
-            for p in core.end as i64..core.end as i64 + halo {
-                self.push_padded_row(p, &mut part);
-            }
-            self.runtime
-                .queue(device)
-                .enqueue_write_buffer(&buffer, &part)?;
-        }
-        self.devices_valid = true;
-        self.halos_valid = true;
-        Ok(())
-    }
-
-    /// Re-fill the halo rows of every device part from the neighbours'
-    /// current *core* rows (and the boundary policy at the matrix edges),
-    /// without touching any core data. Consecutive halo rows with the same
-    /// owner move as one transfer, so the exchange between two neighbouring
-    /// parts is a single `halo_rows × cols` read plus one write.
-    fn refresh_halos(&mut self) -> Result<()> {
-        debug_assert!(self.devices_valid);
-        let halo = self.partition.halo();
-        if halo == 0 || self.halos_valid {
-            self.halos_valid = true;
-            return Ok(());
-        }
-        let cols = self.cols;
-        let elem = std::mem::size_of::<T>();
-        for device in self.partition.active_devices() {
-            let core = self.partition.core_rows(device);
-            let dst = self.buffers[device]
-                .as_ref()
-                .expect("active parts hold a buffer")
-                .clone();
-            // Padded slots: `slot` is the row index within the stored part;
-            // core rows occupy slots halo .. halo + core_len.
-            let slots: Vec<(usize, i64)> = (0..halo)
-                .map(|k| (k, core.start as i64 - halo as i64 + k as i64))
-                .chain((0..halo).map(|k| (halo + core.len() + k, core.end as i64 + k as i64)))
-                .collect();
-            // Group consecutive slots whose sources are consecutive rows of
-            // the same owning device into one read + one write.
-            let mut run: Option<(usize, usize, usize, usize)> = None; // (slot0, src_row0, owner, len)
-            let flush =
-                |inner: &Self, run: &mut Option<(usize, usize, usize, usize)>| -> Result<()> {
-                    if let Some((slot0, src_row0, owner, len)) = run.take() {
-                        let src_buf = inner.buffers[owner].as_ref().expect("owners hold a buffer");
-                        let owner_core = inner.partition.core_rows(owner);
-                        let src_off = (src_row0 - owner_core.start + halo) * cols;
-                        let mut staging = crate::vector::vec_uninit_len::<T>(len * cols);
-                        inner.runtime.queue(owner).enqueue_read_buffer_region(
-                            src_buf,
-                            src_off,
-                            &mut staging,
-                        )?;
-                        inner.runtime.queue(device).enqueue_write_buffer_region(
-                            &dst,
-                            slot0 * cols,
-                            &staging,
-                        )?;
-                        inner.runtime.charge_halo_transfer(owner, len * cols * elem);
-                        inner
-                            .runtime
-                            .charge_halo_transfer(device, len * cols * elem);
-                    }
-                    Ok(())
-                };
-            for (slot, p) in slots {
-                match self.row_source(p) {
-                    RowSource::Constant => {
-                        flush(self, &mut run)?;
-                        let Boundary::Constant(c) = self.boundary else {
-                            unreachable!("constant source implies constant boundary")
-                        };
-                        self.runtime.queue(device).enqueue_write_buffer_region(
-                            &dst,
-                            slot * cols,
-                            &vec![c; cols],
-                        )?;
-                        self.runtime.charge_halo_transfer(device, cols * elem);
-                    }
-                    RowSource::Row(g) => {
-                        let owner = self
-                            .partition
-                            .row_owner(g)
-                            .expect("every matrix row has an owning device");
-                        match &mut run {
-                            Some((slot0, src_row0, own, len))
-                                if *own == owner
-                                    && g == *src_row0 + *len
-                                    && slot == *slot0 + *len =>
-                            {
-                                *len += 1;
-                            }
-                            _ => {
-                                flush(self, &mut run)?;
-                                run = Some((slot, g, owner, 1));
-                            }
-                        }
-                    }
-                }
-            }
-            flush(self, &mut run)?;
-        }
-        self.halos_valid = true;
-        Ok(())
-    }
-
-    fn download_to_host(&mut self) -> Result<()> {
-        if self.host_valid {
-            return Ok(());
-        }
-        debug_assert!(self.devices_valid, "either host or devices must be valid");
-        let halo = self.partition.halo();
-        let cols = self.cols;
-        match &self.distribution {
-            MatrixDistribution::Copy => {
-                let actives = self.partition.active_devices();
-                let first = *actives.first().ok_or(SkelError::EmptyInput)?;
-                let buffer = self.buffers[first].as_ref().ok_or_else(|| {
-                    SkelError::Distribution("copy-distributed matrix has no device buffer".into())
-                })?;
-                let mut host = crate::vector::vec_uninit_len::<T>(self.rows * cols);
-                self.runtime
-                    .queue(first)
-                    .enqueue_read_buffer(buffer, &mut host)?;
-                self.host = host;
-            }
-            _ => {
-                // Row blocks (plain, single or overlapped): gather only the
-                // core rows of every part — halo rows are replicas and are
-                // never read back.
-                let mut host = Vec::with_capacity(self.rows * cols);
-                for device in 0..self.partition.device_count() {
-                    let core = self.partition.core_rows(device);
-                    if core.is_empty() {
-                        continue;
-                    }
-                    let buffer = self.buffers[device].as_ref().ok_or_else(|| {
-                        SkelError::Distribution(format!(
-                            "device {device} should hold rows {core:?} but has no buffer"
-                        ))
-                    })?;
-                    let mut part = crate::vector::vec_uninit_len::<T>(core.len() * cols);
-                    self.runtime.queue(device).enqueue_read_buffer_region(
-                        buffer,
-                        halo * cols,
-                        &mut part,
-                    )?;
-                    host.extend_from_slice(&part);
-                }
-                self.host = host;
-            }
-        }
-        self.host_valid = true;
-        Ok(())
-    }
-}
-
-impl<T: Pod> Drop for Inner<T> {
-    fn drop(&mut self) {
-        self.release_buffers();
+/// Split a [`Boundary`] into the shape-agnostic edge policy and the fill
+/// constant the storage keeps.
+fn boundary_parts<T: Pod>(boundary: &Boundary<T>) -> (EdgePolicy, Option<T>) {
+    match boundary {
+        Boundary::Clamp => (EdgePolicy::Clamp, None),
+        Boundary::Wrap => (EdgePolicy::Wrap, None),
+        Boundary::Constant(c) => (EdgePolicy::Fill, Some(*c)),
     }
 }
 
@@ -310,7 +68,7 @@ impl<T: Pod> Drop for Inner<T> {
 /// ```
 pub struct Matrix<T: Pod> {
     id: u64,
-    inner: Arc<Mutex<Inner<T>>>,
+    inner: Arc<Mutex<Storage<T, MatrixDistribution>>>,
 }
 
 impl<T: Pod> Clone for Matrix<T> {
@@ -327,8 +85,8 @@ impl<T: Pod> std::fmt::Debug for Matrix<T> {
         let inner = self.inner.lock();
         f.debug_struct("Matrix")
             .field("id", &self.id)
-            .field("rows", &inner.rows)
-            .field("cols", &inner.cols)
+            .field("rows", &inner.shape.0)
+            .field("cols", &inner.shape.1)
             .field("distribution", &inner.distribution)
             .finish()
     }
@@ -351,24 +109,14 @@ impl<T: Pod> Matrix<T> {
                 data.len()
             )));
         }
-        let devices = runtime.device_count();
-        let distribution = MatrixDistribution::default_for_inputs();
-        let partition = RowPartition::compute(rows, cols, devices, &distribution);
         Ok(Matrix {
             id: runtime.next_vector_id(),
-            inner: Arc::new(Mutex::new(Inner {
-                runtime: runtime.clone(),
-                host: data,
-                rows,
-                cols,
-                host_valid: true,
-                devices_valid: false,
-                halos_valid: false,
-                distribution,
-                partition,
-                buffers: vec![None; devices],
-                boundary: Boundary::Clamp,
-            })),
+            inner: Arc::new(Mutex::new(Storage::new_host(
+                runtime.clone(),
+                data,
+                (rows, cols),
+                MatrixDistribution::default_for_inputs(),
+            ))),
         })
     }
 
@@ -394,10 +142,10 @@ impl<T: Pod> Matrix<T> {
             .expect("shape matches by construction")
     }
 
-    /// Internal constructor for stencil outputs: the data already lives in
-    /// halo-padded per-device buffers; the host copy is stale, and the halo
-    /// rows are stale too (the kernel writes core rows only), so the next
-    /// device use triggers a halo exchange rather than a full upload.
+    /// Internal constructor for device-resident outputs: the data already
+    /// lives in per-device buffers; the host copy is stale, and any halo
+    /// rows are stale too (stencil kernels write core rows only), so the
+    /// next device use triggers a halo exchange rather than a full upload.
     pub(crate) fn device_resident(
         runtime: &Arc<SkelCl>,
         rows: usize,
@@ -406,22 +154,17 @@ impl<T: Pod> Matrix<T> {
         boundary: Boundary<T>,
         buffers: Vec<Option<Buffer>>,
     ) -> Matrix<T> {
-        let partition = RowPartition::compute(rows, cols, runtime.device_count(), &distribution);
+        let (edge, fill) = boundary_parts(&boundary);
         Matrix {
             id: runtime.next_vector_id(),
-            inner: Arc::new(Mutex::new(Inner {
-                runtime: runtime.clone(),
-                host: Vec::new(),
-                rows,
-                cols,
-                host_valid: false,
-                devices_valid: true,
-                halos_valid: false,
+            inner: Arc::new(Mutex::new(Storage::new_device_resident(
+                runtime.clone(),
+                (rows, cols),
                 distribution,
-                partition,
                 buffers,
-                boundary,
-            })),
+                edge,
+                fill,
+            ))),
         }
     }
 
@@ -437,18 +180,18 @@ impl<T: Pod> Matrix<T> {
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.inner.lock().rows
+        self.inner.lock().shape.0
     }
 
     /// Number of columns.
     pub fn cols(&self) -> usize {
-        self.inner.lock().cols
+        self.inner.lock().shape.1
     }
 
     /// Total number of elements.
     pub fn len(&self) -> usize {
         let inner = self.inner.lock();
-        inner.rows * inner.cols
+        inner.shape.0 * inner.shape.1
     }
 
     /// Whether the matrix has no elements.
@@ -463,89 +206,77 @@ impl<T: Pod> Matrix<T> {
 
     /// Where the authoritative data currently lives.
     pub fn residence(&self) -> Residence {
-        let inner = self.inner.lock();
-        match (inner.host_valid, inner.devices_valid) {
-            (true, true) => Residence::Shared,
-            (true, false) => Residence::HostOnly,
-            (false, true) => Residence::DevicesOnly,
-            (false, false) => unreachable!("matrix lost both copies"),
-        }
+        self.inner.lock().residence()
     }
 
     /// Per-device core row counts under the current distribution.
     pub fn row_counts(&self) -> Vec<usize> {
-        self.inner.lock().partition.core_row_counts()
+        self.inner.lock().layout.core_row_counts()
     }
 
     /// Change the distribution. Like the vector, the implied data exchange
     /// goes through the host and the re-upload happens lazily on next device
     /// use. For halo-only refreshes between stencil sweeps the runtime uses
     /// [`Matrix::set_overlap`] + halo exchanges instead — never this path.
+    /// The boundary policy is kept across redistributions.
     pub fn set_distribution(&self, distribution: MatrixDistribution) -> Result<()> {
         let mut inner = self.inner.lock();
         if inner.distribution == distribution {
             return Ok(());
         }
-        if let MatrixDistribution::Single(d) = &distribution {
-            let devices = inner.runtime.device_count();
-            if *d >= devices {
-                return Err(SkelError::Distribution(format!(
-                    "single distribution names device {d} but the runtime has {devices} devices"
-                )));
-            }
-        }
-        inner.download_to_host()?;
-        inner.release_buffers();
-        inner.devices_valid = false;
-        inner.halos_valid = false;
-        let devices = inner.runtime.device_count();
-        inner.partition = RowPartition::compute(inner.rows, inner.cols, devices, &distribution);
-        inner.distribution = distribution;
-        Ok(())
+        let (edge, fill) = (inner.edge, inner.fill);
+        inner.redistribute(distribution, edge, fill)
     }
 
     /// Coerce the matrix to [`MatrixDistribution::OverlapBlock`] with the
     /// given halo width and boundary policy (the stencil-launch preparation
     /// step). A matrix already overlap-distributed with the same halo and
-    /// boundary keeps its device parts untouched; anything else is a full
+    /// boundary keeps its device parts untouched; a boundary-only change
+    /// invalidates just the halo rows; anything else is a full
     /// redistribution through the host.
     pub fn set_overlap(&self, halo_rows: usize, boundary: Boundary<T>) -> Result<()> {
         let mut inner = self.inner.lock();
         let target = MatrixDistribution::OverlapBlock { halo_rows };
-        if inner.distribution == target && boundary_eq(&inner.boundary, &boundary) {
+        let (edge, fill) = boundary_parts(&boundary);
+        if inner.distribution == target && boundary_eq(&self.boundary_of(&inner), &boundary) {
             return Ok(());
         }
         if inner.distribution != target {
-            inner.download_to_host()?;
-            inner.release_buffers();
-            inner.devices_valid = false;
-            inner.halos_valid = false;
-            let devices = inner.runtime.device_count();
-            inner.partition = RowPartition::compute(inner.rows, inner.cols, devices, &target);
-            inner.distribution = target;
+            inner.redistribute(target, edge, fill)?;
         } else {
             // Same layout, different boundary: only the policy-filled edge
             // halos change; a halo refresh re-fills them.
+            inner.edge = edge;
+            inner.fill = fill;
             inner.halos_valid = false;
         }
-        inner.boundary = boundary;
         Ok(())
+    }
+
+    /// Reconstruct the boundary policy from the storage's edge + fill state.
+    fn boundary_of(&self, inner: &Storage<T, MatrixDistribution>) -> Boundary<T> {
+        match inner.edge {
+            EdgePolicy::Clamp => Boundary::Clamp,
+            EdgePolicy::Wrap => Boundary::Wrap,
+            EdgePolicy::Fill => Boundary::Constant(
+                inner
+                    .fill
+                    .expect("fill-edged matrices carry their constant"),
+            ),
+        }
     }
 
     /// The boundary policy used to fill edge halos.
     pub fn boundary(&self) -> Boundary<T> {
-        self.inner.lock().boundary
+        let inner = self.inner.lock();
+        self.boundary_of(&inner)
     }
 
     /// Declare that a kernel has modified the matrix's device data through a
     /// channel the runtime cannot see: the host copy and the halo rows
     /// become stale.
     pub fn mark_device_modified(&self) {
-        let mut inner = self.inner.lock();
-        if inner.devices_valid {
-            inner.host_valid = false;
-            inner.halos_valid = false;
-        }
+        self.inner.lock().mark_device_modified();
     }
 
     /// Copy the matrix's contents to a row-major host `Vec`, downloading
@@ -569,10 +300,7 @@ impl<T: Pod> Matrix<T> {
         let mut inner = self.inner.lock();
         inner.download_to_host()?;
         f(&mut inner.host);
-        inner.release_buffers();
-        inner.devices_valid = false;
-        inner.halos_valid = false;
-        inner.host_valid = true;
+        inner.invalidate_devices();
         Ok(())
     }
 
@@ -580,14 +308,13 @@ impl<T: Pod> Matrix<T> {
     /// copy).
     pub fn get(&self, row: usize, col: usize) -> Result<T> {
         let mut inner = self.inner.lock();
-        if row >= inner.rows || col >= inner.cols {
+        let (rows, cols) = inner.shape;
+        if row >= rows || col >= cols {
             return Err(SkelError::Distribution(format!(
-                "element ({row}, {col}) out of bounds for a {}×{} matrix",
-                inner.rows, inner.cols
+                "element ({row}, {col}) out of bounds for a {rows}×{cols} matrix"
             )));
         }
         inner.download_to_host()?;
-        let cols = inner.cols;
         Ok(inner.host[row * cols + col])
     }
 
@@ -598,12 +325,8 @@ impl<T: Pod> Matrix<T> {
     /// stencils). Returns the partition and per-device buffers.
     pub(crate) fn prepare_on_devices(&self) -> Result<(RowPartition, Vec<Option<Buffer>>)> {
         let mut inner = self.inner.lock();
-        if inner.devices_valid {
-            inner.refresh_halos()?;
-        } else {
-            inner.ensure_on_devices()?;
-        }
-        Ok((inner.partition.clone(), inner.buffers.clone()))
+        inner.prepare_on_devices()?;
+        Ok((inner.layout.clone(), inner.buffers.clone()))
     }
 
     /// Force the halo rows fresh now (no-op for non-overlap distributions or
@@ -621,14 +344,21 @@ impl<T: Pod> Matrix<T> {
     /// ping-pong): the devices hold the authoritative core rows, the host
     /// copy and the halo rows are stale.
     pub(crate) fn mark_stencil_output(&self) {
-        let mut inner = self.inner.lock();
-        debug_assert!(
-            inner.buffers.iter().any(Option::is_some),
-            "a reused stencil target owns device buffers"
-        );
-        inner.devices_valid = true;
-        inner.host_valid = false;
-        inner.halos_valid = false;
+        self.inner.lock().mark_devices_authoritative();
+    }
+
+    /// Commit this matrix as the output of an element-wise launch that wrote
+    /// the given buffers: adopt shape, distribution and buffers.
+    pub(crate) fn commit_as_output(
+        &self,
+        rows: usize,
+        cols: usize,
+        distribution: MatrixDistribution,
+        buffers: Vec<Option<Buffer>>,
+    ) -> Result<()> {
+        self.inner
+            .lock()
+            .commit_as_output((rows, cols), distribution, buffers)
     }
 
     /// Check that this matrix belongs to `runtime`.
@@ -643,6 +373,196 @@ impl<T: Pod> Matrix<T> {
     /// The buffer of device `d`, if the matrix currently has one there.
     pub fn buffer_of(&self, device: usize) -> Option<Buffer> {
         self.inner.lock().buffers.get(device).cloned().flatten()
+    }
+
+    /// The boundary carried onto element-wise outputs: `Clamp`/`Wrap` are
+    /// element-type-independent and transfer as-is; a `Constant` (an
+    /// input-element value) does not transfer to the output element type and
+    /// falls back to clamp — consistent with the stencil skeleton's output
+    /// policy.
+    fn output_boundary<O: Pod>(&self) -> Boundary<O> {
+        match self.boundary() {
+            Boundary::Wrap => Boundary::Wrap,
+            _ => Boundary::Clamp,
+        }
+    }
+}
+
+impl<T: Pod> Container<T> for Matrix<T> {
+    type Rebound<O: Pod> = Matrix<O>;
+
+    fn runtime(&self) -> Arc<SkelCl> {
+        Matrix::runtime(self)
+    }
+
+    fn id(&self) -> u64 {
+        Matrix::id(self)
+    }
+
+    fn elem_count(&self) -> usize {
+        self.len()
+    }
+
+    fn part_sizes(&self) -> Vec<usize> {
+        self.inner.lock().layout.flat_partition().sizes()
+    }
+
+    fn check_runtime(&self, runtime: &Arc<SkelCl>) -> Result<()> {
+        Matrix::check_runtime(self, runtime)
+    }
+
+    fn ensure_on_devices(&self) -> Result<()> {
+        self.inner.lock().prepare_on_devices()
+    }
+
+    fn mark_device_modified(&self) {
+        Matrix::mark_device_modified(self)
+    }
+
+    fn gather(&self) -> Result<Vec<T>> {
+        self.to_vec()
+    }
+
+    fn apply_selection(&self, selection: &DeviceSelection) -> Result<()> {
+        match selection {
+            DeviceSelection::All | DeviceSelection::AllGpus => Ok(()),
+            _ => Err(SkelError::Distribution(
+                "matrix launches run on all devices of the runtime; \
+                 initialise the runtime with the devices you want"
+                    .into(),
+            )),
+        }
+    }
+
+    fn apply_scheduler(&self, _scheduler: &StaticScheduler, _cost: CostHint) -> Result<()> {
+        Err(SkelError::Distribution(
+            "schedulers are not supported on matrix launches yet; \
+             matrices always split at row granularity"
+                .into(),
+        ))
+    }
+
+    fn unify_with<B: Pod>(&self, other: &Matrix<B>) -> Result<()> {
+        let (lr, lc) = (self.rows(), self.cols());
+        let (rr, rc) = (other.rows(), other.cols());
+        if (lr, lc) != (rr, rc) {
+            return Err(SkelError::Distribution(format!(
+                "zip requires equal matrix shapes, got {lr}×{lc} and {rr}×{rc}"
+            )));
+        }
+        if self.distribution() != other.distribution() {
+            self.set_distribution(MatrixDistribution::RowBlock)?;
+            other.set_distribution(MatrixDistribution::RowBlock)?;
+        }
+        Ok(())
+    }
+
+    fn ensure_disjoint(&self) -> Result<()> {
+        if self.distribution() == MatrixDistribution::Copy {
+            self.set_distribution(MatrixDistribution::RowBlock)?;
+        }
+        Ok(())
+    }
+
+    fn prepare_elementwise(&self) -> Result<(Partition, Vec<Option<Buffer>>)> {
+        // Halo-padded parts interleave padding with core data; element-wise
+        // kernels iterate owned elements only, so coerce to plain row blocks.
+        if matches!(self.distribution(), MatrixDistribution::OverlapBlock { .. }) {
+            self.set_distribution(MatrixDistribution::RowBlock)?;
+        }
+        let mut inner = self.inner.lock();
+        inner.ensure_on_devices()?;
+        Ok((inner.layout.flat_partition(), inner.buffers.clone()))
+    }
+
+    fn obtain_output_buffers(&self, partition: &Partition) -> Result<Vec<Option<Buffer>>> {
+        self.inner.lock().obtain_output_buffers(partition)
+    }
+
+    fn wrap_output<O: Pod>(&self, buffers: Vec<Option<Buffer>>) -> Matrix<O> {
+        Matrix::device_resident(
+            &self.runtime(),
+            self.rows(),
+            self.cols(),
+            self.distribution(),
+            self.output_boundary::<O>(),
+            buffers,
+        )
+    }
+
+    fn commit_output<O: Pod>(&self, out: &Matrix<O>, buffers: Vec<Option<Buffer>>) -> Result<()> {
+        out.commit_as_output(self.rows(), self.cols(), self.distribution(), buffers)?;
+        // Keep both output paths (fresh wrap and run_into commit) consistent:
+        // the target adopts the input's boundary metadata too.
+        let (edge, fill) = boundary_parts(&self.output_boundary::<O>());
+        let mut inner = out.inner.lock();
+        inner.edge = edge;
+        inner.fill = fill;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fluent pipeline API (element-wise skeletons over matrices)
+// ---------------------------------------------------------------------------
+
+use crate::args::Args;
+use crate::skeletons::{DeviceScalar, Map, Reduce, Skeleton, Zip};
+
+impl<T: Pod> Matrix<T> {
+    /// Apply a [`Map`] skeleton element-wise to this matrix:
+    /// `m.map(&square)?` is shorthand for `square.run(&m).exec()?`. The
+    /// output matrix has the same shape and distribution.
+    pub fn map<O: Pod>(&self, skeleton: &Map<T, O>) -> Result<Matrix<O>> {
+        skeleton.run(self).exec()
+    }
+
+    /// Apply a [`Map`] skeleton with additional arguments.
+    pub fn map_with<O: Pod>(&self, skeleton: &Map<T, O>, args: Args) -> Result<Matrix<O>> {
+        skeleton.run(self).args(args).exec()
+    }
+
+    /// Apply a [`Map`] skeleton writing into `out` (buffer reuse).
+    pub fn map_into<O: Pod>(&self, skeleton: &Map<T, O>, out: &Matrix<O>) -> Result<()> {
+        skeleton.run(self).run_into(out)
+    }
+
+    /// Pair this matrix element-wise with `other` (same shape) under a
+    /// [`Zip`] skeleton: `a.zip(&b, &add)?`.
+    pub fn zip<B: Pod, O: Pod>(
+        &self,
+        other: &Matrix<B>,
+        skeleton: &Zip<T, B, O>,
+    ) -> Result<Matrix<O>> {
+        skeleton.run(self, other).exec()
+    }
+
+    /// Apply a [`Zip`] skeleton with additional arguments.
+    pub fn zip_with<B: Pod, O: Pod>(
+        &self,
+        other: &Matrix<B>,
+        skeleton: &Zip<T, B, O>,
+        args: Args,
+    ) -> Result<Matrix<O>> {
+        skeleton.run(self, other).args(args).exec()
+    }
+
+    /// Apply a [`Zip`] skeleton writing into `out` (buffer reuse).
+    pub fn zip_into<B: Pod, O: Pod>(
+        &self,
+        other: &Matrix<B>,
+        skeleton: &Zip<T, B, O>,
+        out: &Matrix<O>,
+    ) -> Result<()> {
+        skeleton.run(self, other).run_into(out)
+    }
+}
+
+impl<T: DeviceScalar> Matrix<T> {
+    /// Reduce every element of this matrix to a single value:
+    /// `m.reduce(&sum)?`.
+    pub fn reduce(&self, skeleton: &Reduce<T>) -> Result<T> {
+        Skeleton::execute(skeleton, self, &crate::skeletons::LaunchConfig::default())
     }
 }
 
@@ -832,5 +752,56 @@ mod tests {
             &Boundary::Constant(1.5f32),
             &Boundary::Constant(2.5f32)
         ));
+    }
+
+    #[test]
+    fn elementwise_outputs_adopt_the_input_boundary_metadata() {
+        let rt = init_gpus(2);
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+
+        // Wrap is element-type-independent and transfers to the output on
+        // both output paths (fresh exec and run_into commit).
+        let m = Matrix::filled(&rt, 4, 2, 1.0f32);
+        m.set_overlap(1, Boundary::Wrap).unwrap();
+        let out = m.map(&inc).unwrap();
+        assert!(matches!(out.boundary(), Boundary::Wrap));
+        let target = Matrix::filled(&rt, 4, 2, 0.0f32);
+        target.set_overlap(1, Boundary::Constant(3.0)).unwrap();
+        m.map_into(&inc, &target).unwrap();
+        assert!(matches!(target.boundary(), Boundary::Wrap));
+        assert_eq!(target.to_vec().unwrap(), vec![2.0f32; 8]);
+
+        // A constant boundary is an input-element value and cannot transfer
+        // to the output element type: both paths fall back to clamp.
+        let c = Matrix::filled(&rt, 4, 2, 1.0f32);
+        c.set_overlap(1, Boundary::Constant(7.0)).unwrap();
+        let out = c.map(&inc).unwrap();
+        assert!(matches!(out.boundary(), Boundary::Clamp));
+    }
+
+    #[test]
+    fn empty_matrices_round_trip_through_every_distribution() {
+        let rt = init_gpus(3);
+        for (rows, cols) in [(0usize, 5usize), (4, 0), (0, 0)] {
+            let m = Matrix::from_vec(&rt, rows, cols, Vec::<f32>::new()).unwrap();
+            for dist in [
+                MatrixDistribution::RowBlock,
+                MatrixDistribution::Copy,
+                MatrixDistribution::Single(1),
+                MatrixDistribution::OverlapBlock { halo_rows: 2 },
+                MatrixDistribution::RowBlock,
+            ] {
+                m.set_distribution(dist.clone()).unwrap();
+                let (_, buffers) = m.prepare_on_devices().unwrap();
+                assert!(
+                    buffers.iter().all(Option::is_none),
+                    "empty {rows}×{cols} matrix must allocate nothing under {dist:?}"
+                );
+                m.mark_device_modified();
+                assert_eq!(m.to_vec().unwrap(), Vec::<f32>::new());
+                assert_eq!(m.rows(), rows);
+                assert_eq!(m.cols(), cols);
+            }
+        }
     }
 }

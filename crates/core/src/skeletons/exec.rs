@@ -1,6 +1,6 @@
 //! The unified skeleton execution pipeline: one [`Skeleton`] trait, one
 //! [`Launch`] builder, and the shared prepare-args → partition → launch →
-//! combine stages that used to be duplicated across the four skeleton
+//! combine stages that used to be duplicated across the skeleton
 //! implementations.
 //!
 //! Every skeleton call flows through the same stages:
@@ -13,7 +13,16 @@
 //! 3. **launch** — one kernel enqueue per active device
 //!    ([`launch_elementwise`] for the data-parallel skeletons),
 //! 4. **combine** — multi-device results are gathered/merged (reduce and
-//!    scan) or wrapped as a device-resident output vector.
+//!    scan) or wrapped as a device-resident output container.
+//!
+//! The data-parallel stages are written against the
+//! [`Container`](crate::container::Container) trait, not a concrete
+//! container type: the same prepare/launch/combine code (and the same
+//! generated kernels) executes a [`Map`](crate::skeletons::Map) over a
+//! [`Vector`](crate::vector::Vector) or over a row-block
+//! [`Matrix`](crate::matrix::Matrix), and `Skeleton` is generic over its
+//! input shape (`Skeleton<Vector<f32>>`, `Skeleton<Matrix<f32>>`, a pair of
+//! containers for zip).
 //!
 //! ```
 //! use skelcl::prelude::*;
@@ -33,12 +42,12 @@ use std::sync::Arc;
 use oclsim::{Buffer, CostHint, KernelArg, Pod, Value};
 
 use crate::args::{Args, IntoArg};
+use crate::container::Container;
 use crate::distribution::{Distribution, Partition};
 use crate::error::{Result, SkelError};
 use crate::runtime::{DeviceSelection, SkelCl};
 use crate::scheduler::StaticScheduler;
 use crate::skeletons::PreparedArgs;
-use crate::vector::Vector;
 
 /// Execution configuration of one skeleton call, collected by [`Launch`].
 pub struct LaunchConfig<'a> {
@@ -65,13 +74,13 @@ impl Default for LaunchConfig<'_> {
     }
 }
 
-/// The single execution interface every skeleton implements. `Input` is the
-/// skeleton's natural input shape (a [`Vector`] handle, or a pair of them for
-/// zip), `Output` its natural result (an output vector, or the reduced scalar
-/// for [`Reduce`](crate::skeletons::Reduce)).
-pub trait Skeleton {
-    /// The input shape of one call (vector handles are cheap clones).
-    type Input: Clone;
+/// The single execution interface every skeleton implements, generic over
+/// the input shape `In` — a container handle ([`crate::vector::Vector`],
+/// [`crate::matrix::Matrix`]), or a pair of them for zip. One skeleton type
+/// may implement `Skeleton` for several input shapes: `Map<f32, f32>` is
+/// both a `Skeleton<Vector<f32>>` and a `Skeleton<Matrix<f32>>` through one
+/// generic impl over the [`Container`] trait.
+pub trait Skeleton<In: Clone> {
     /// The result of one call.
     type Output;
 
@@ -80,26 +89,26 @@ pub trait Skeleton {
 
     /// Execute one call under the given configuration. This is the uniform
     /// entry point behind every [`Launch`] terminal form.
-    fn execute(&self, input: &Self::Input, cfg: &LaunchConfig<'_>) -> Result<Self::Output>;
+    fn execute(&self, input: &In, cfg: &LaunchConfig<'_>) -> Result<Self::Output>;
 }
 
 /// Fluent builder for one skeleton call; created by each skeleton's `run`
 /// method. Configure with [`args`](Launch::args) / [`arg`](Launch::arg) /
 /// [`devices`](Launch::devices) / [`scheduler`](Launch::scheduler) /
 /// [`chunks`](Launch::chunks), then finish with a terminal form:
-/// [`exec`](Launch::exec) (every skeleton), `into_vector` (map/zip/scan as
-/// identity, reduce wrapping the scalar), `scalar` / `scalar_with_plan`
-/// (reduce), `trace` (scan) or `run_into` (map/zip/scan, reusing an existing
-/// output vector's buffers).
+/// [`exec`](Launch::exec) (every skeleton), `into_vector` / `into_matrix`
+/// (map/zip/scan as identity, reduce wrapping the scalar), `scalar` /
+/// `scalar_with_plan` (reduce), `trace` (scan) or `run_into` (map/zip/scan,
+/// reusing an existing output container's buffers).
 #[must_use = "a Launch does nothing until a terminal form such as `exec()` is called"]
-pub struct Launch<'a, S: Skeleton> {
+pub struct Launch<'a, S, In: Clone> {
     pub(crate) skeleton: &'a S,
-    pub(crate) input: S::Input,
+    pub(crate) input: In,
     pub(crate) cfg: LaunchConfig<'a>,
 }
 
-impl<'a, S: Skeleton> Launch<'a, S> {
-    pub(crate) fn new(skeleton: &'a S, input: S::Input) -> Launch<'a, S> {
+impl<'a, S, In: Clone> Launch<'a, S, In> {
+    pub(crate) fn new(skeleton: &'a S, input: In) -> Launch<'a, S, In> {
         Launch {
             skeleton,
             input,
@@ -144,7 +153,10 @@ impl<'a, S: Skeleton> Launch<'a, S> {
     }
 
     /// Execute the call and return the skeleton's natural output.
-    pub fn exec(self) -> Result<S::Output> {
+    pub fn exec(self) -> Result<S::Output>
+    where
+        S: Skeleton<In>,
+    {
         self.skeleton.execute(&self.input, &self.cfg)
     }
 }
@@ -187,30 +199,20 @@ pub(crate) fn selection_distribution(
     }
 }
 
-/// Apply the launch-time device selection to an input vector by overriding
-/// its distribution (see [`selection_distribution`]).
-pub(crate) fn apply_device_selection<T: Pod>(
-    input: &Vector<T>,
-    selection: &DeviceSelection,
-    runtime: &Arc<SkelCl>,
-) -> Result<()> {
-    match selection_distribution(selection, runtime.device_count())? {
-        Some(distribution) => input.set_distribution(distribution),
-        None => Ok(()),
-    }
-}
-
 /// The shared **prepare** stage of a data-parallel call: validates the
 /// input(s), applies the device selection and scheduler distribution,
-/// performs the lazy uploads and resolves the additional arguments.
+/// performs the lazy uploads and resolves the additional arguments. All of
+/// it goes through the [`Container`] trait, so vectors and matrices prepare
+/// through the same code.
 pub(crate) struct PreparedCall {
     pub runtime: Arc<SkelCl>,
+    /// The flat element partition the kernels iterate (a matrix's row blocks
+    /// flattened to element ranges).
     pub partition: Partition,
-    pub distribution: Distribution,
     pub prepared_args: PreparedArgs,
     /// Per-input per-device buffers, in skeleton argument order.
     pub input_buffers: Vec<Vec<Option<Buffer>>>,
-    /// Identities of the input vectors, used to detect `run_into` targets
+    /// Identities of the input containers, used to detect `run_into` targets
     /// that alias an input.
     pub input_ids: Vec<u64>,
     pub len: usize,
@@ -218,8 +220,8 @@ pub(crate) struct PreparedCall {
 
 impl PreparedCall {
     /// Prepare a single-input call (map, reduce, scan).
-    pub fn single<T: Pod>(
-        input: &Vector<T>,
+    pub fn single<T: Pod, C: Container<T>>(
+        input: &C,
         cfg: &LaunchConfig<'_>,
         scheduler_cost: Option<CostHint>,
     ) -> Result<PreparedCall> {
@@ -229,30 +231,30 @@ impl PreparedCall {
             return Err(SkelError::EmptyInput);
         }
         if let Some(selection) = &cfg.devices {
-            apply_device_selection(input, selection, &runtime)?;
+            input.apply_selection(selection)?;
         }
         if let (Some(scheduler), Some(cost)) = (cfg.scheduler, scheduler_cost) {
-            input.set_distribution(scheduler.weighted_block(cost))?;
+            input.apply_scheduler(scheduler, cost)?;
         }
-        let (partition, buffers) = input.prepare_on_devices()?;
+        let (partition, buffers) = input.prepare_elementwise()?;
         let prepared_args = PreparedArgs::prepare(&runtime, &cfg.args)?;
         Ok(PreparedCall {
             runtime,
             partition,
-            distribution: input.distribution(),
             prepared_args,
             input_buffers: vec![buffers],
             input_ids: vec![input.id()],
-            len: input.len(),
+            len: input.elem_count(),
         })
     }
 
-    /// Prepare a two-input call (zip): length check plus the paper's
+    /// Prepare a two-input call (zip): shape check plus the paper's
     /// distribution unification (differing distributions are coerced to
-    /// block on both sides).
-    pub fn pair<A: Pod, B: Pod>(
-        left: &Vector<A>,
-        right: &Vector<B>,
+    /// block on both sides), then the same device-selection / scheduler /
+    /// upload path as the single-input case — on both containers.
+    pub fn pair<A: Pod, B: Pod, CA: Container<A>>(
+        left: &CA,
+        right: &CA::Rebound<B>,
         cfg: &LaunchConfig<'_>,
         scheduler_cost: Option<CostHint>,
     ) -> Result<PreparedCall> {
@@ -262,51 +264,40 @@ impl PreparedCall {
         if left.is_empty() || right.is_empty() {
             return Err(SkelError::EmptyInput);
         }
-        if left.len() != right.len() {
-            return Err(SkelError::LengthMismatch {
-                left: left.len(),
-                right: right.len(),
-            });
-        }
+        // Shape check + distribution unification (coerce both to block when
+        // they differ).
+        left.unify_with(right)?;
         if let Some(selection) = &cfg.devices {
-            apply_device_selection(left, selection, &runtime)?;
-            apply_device_selection(right, selection, &runtime)?;
+            left.apply_selection(selection)?;
+            right.apply_selection(selection)?;
         }
         if let (Some(scheduler), Some(cost)) = (cfg.scheduler, scheduler_cost) {
-            let dist = scheduler.weighted_block(cost);
-            left.set_distribution(dist.clone())?;
-            right.set_distribution(dist)?;
+            left.apply_scheduler(scheduler, cost)?;
+            right.apply_scheduler(scheduler, cost)?;
         }
-        // Unify: if the distributions differ (or both are single but on
-        // different devices, which compares unequal), coerce both to block.
-        let distribution = if left.distribution() == right.distribution() {
-            left.distribution()
-        } else {
-            left.set_distribution(Distribution::Block)?;
-            right.set_distribution(Distribution::Block)?;
-            Distribution::Block
-        };
-        let (partition, left_buffers) = left.prepare_on_devices()?;
-        let (_, right_buffers) = right.prepare_on_devices()?;
+        let (partition, left_buffers) = left.prepare_elementwise()?;
+        let (_, right_buffers) = right.prepare_elementwise()?;
         let prepared_args = PreparedArgs::prepare(&runtime, &cfg.args)?;
         Ok(PreparedCall {
             runtime,
             partition,
-            distribution,
             prepared_args,
             input_buffers: vec![left_buffers, right_buffers],
             input_ids: vec![left.id(), right.id()],
-            len: left.len(),
+            len: left.elem_count(),
         })
     }
 
     /// Allocate output buffers for the partition, or reuse the buffers of an
-    /// existing output vector (`run_into`) when they fit. A `run_into`
+    /// existing output container (`run_into`) when they fit. A `run_into`
     /// target that aliases one of the inputs (the paper's in-place
     /// `y = saxpy(x, y)` pattern) gets fresh buffers instead — the device
     /// model forbids binding one buffer to two kernel arguments — and the
     /// old ones are released when the result is committed.
-    pub fn output_buffers<O: Pod>(&self, reuse: Option<&Vector<O>>) -> Result<Vec<Option<Buffer>>> {
+    pub fn output_buffers<O: Pod, CO: Container<O>>(
+        &self,
+        reuse: Option<&CO>,
+    ) -> Result<Vec<Option<Buffer>>> {
         match reuse {
             Some(out) if !self.input_ids.contains(&out.id()) => {
                 out.check_runtime(&self.runtime)?;
@@ -357,31 +348,27 @@ impl PreparedCall {
     }
 
     /// The **combine** stage of element-wise skeletons: wrap the per-device
-    /// output buffers as a device-resident vector, or commit the reused
-    /// output vector's new state (`run_into`).
-    pub fn finish_vector<O: Pod>(
+    /// output buffers as a device-resident container of the input's shape,
+    /// or commit the reused output container's new state (`run_into`).
+    pub fn finish_output<T: Pod, O: Pod, C: Container<T>>(
         &self,
+        input: &C,
         out_buffers: Vec<Option<Buffer>>,
-        reuse: Option<&Vector<O>>,
-    ) -> Result<Vector<O>> {
+        reuse: Option<&C::Rebound<O>>,
+    ) -> Result<C::Rebound<O>> {
         match reuse {
             Some(out) => {
-                out.commit_as_output(self.len, self.distribution.clone(), out_buffers)?;
+                input.commit_output(out, out_buffers)?;
                 Ok(out.clone())
             }
-            None => Ok(Vector::device_resident(
-                &self.runtime,
-                self.len,
-                self.distribution.clone(),
-                out_buffers,
-            )),
+            None => Ok(input.wrap_output(out_buffers)),
         }
     }
 
     /// The input buffer of `device` for single-input skeletons.
     pub fn input_buffer(&self, device: usize) -> Result<Buffer> {
         self.input_buffers[0][device].clone().ok_or_else(|| {
-            SkelError::Distribution(format!("input vector has no buffer on device {device}"))
+            SkelError::Distribution(format!("input container has no buffer on device {device}"))
         })
     }
 }
@@ -415,12 +402,14 @@ pub(crate) fn sequential_cost(per_element: CostHint, n: usize, min_bytes: f64) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::Matrix;
     use crate::runtime::init_gpus;
     use crate::skeletons::{Map, Reduce, Scan, Zip};
+    use crate::vector::Vector;
 
     #[test]
-    fn skeleton_trait_is_object_safe_enough_for_uniform_dispatch() {
-        // All four skeletons execute through the one trait method.
+    fn skeleton_trait_is_generic_enough_for_uniform_dispatch() {
+        // All skeletons execute through the one trait method.
         let rt = init_gpus(2);
         let v = Vector::from_vec(&rt, vec![1.0f32, 2.0, 3.0, 4.0]);
         let cfg = LaunchConfig::default();
@@ -453,10 +442,24 @@ mod tests {
                 .unwrap(),
             vec![1.0, 3.0, 6.0, 10.0]
         );
-        assert_eq!(map.name(), "map");
-        assert_eq!(zip.name(), "zip");
-        assert_eq!(sum.name(), "reduce");
-        assert_eq!(scan.name(), "scan");
+        assert_eq!(Skeleton::<Vector<f32>>::name(&map), "map");
+        assert_eq!(Skeleton::<(Vector<f32>, Vector<f32>)>::name(&zip), "zip");
+        assert_eq!(Skeleton::<Vector<f32>>::name(&sum), "reduce");
+        assert_eq!(Skeleton::<Vector<f32>>::name(&scan), "scan");
+    }
+
+    #[test]
+    fn the_same_skeleton_instance_dispatches_over_vectors_and_matrices() {
+        let rt = init_gpus(2);
+        let cfg = LaunchConfig::default();
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
+        let m = Matrix::filled(&rt, 2, 2, 1.0f32);
+        let vo: Vector<f32> = Skeleton::execute(&inc, &v, &cfg).unwrap();
+        let mo: Matrix<f32> = Skeleton::execute(&inc, &m, &cfg).unwrap();
+        assert_eq!(vo.to_vec().unwrap(), vec![2.0f32; 4]);
+        assert_eq!(mo.to_vec().unwrap(), vec![2.0f32; 4]);
+        assert_eq!(mo.rows(), 2);
     }
 
     #[test]
@@ -525,6 +528,23 @@ mod tests {
             inc.run(&v)
                 .devices(DeviceSelection::Profiles(vec![]))
                 .exec(),
+            Err(SkelError::Distribution(_))
+        ));
+    }
+
+    #[test]
+    fn matrix_launches_reject_partial_selections_and_schedulers() {
+        let rt = init_gpus(2);
+        let inc = Map::<f32, f32>::new(|x, _| x + 1.0);
+        let m = Matrix::filled(&rt, 4, 4, 1.0f32);
+        assert!(inc.run(&m).devices(DeviceSelection::All).exec().is_ok());
+        assert!(matches!(
+            inc.run(&m).devices(DeviceSelection::Gpus(1)).exec(),
+            Err(SkelError::Distribution(_))
+        ));
+        let scheduler = StaticScheduler::analytical(&rt);
+        assert!(matches!(
+            inc.run(&m).scheduler(&scheduler).exec(),
             Err(SkelError::Distribution(_))
         ));
     }

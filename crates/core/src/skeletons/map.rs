@@ -1,8 +1,14 @@
 //! The map skeleton: `map(f)([x1..xn]) = [f(x1)..f(xn)]`.
 //!
 //! Multi-GPU execution (paper, Section III-C): "each GPU executes the map's
-//! unary function on its part of the input vector"; the output vector adopts
-//! the distribution of the input vector.
+//! unary function on its part of the input vector"; the output container
+//! adopts the shape and distribution of the input.
+//!
+//! The skeleton is **container-generic**: one `Map<I, O>` instance launches
+//! over a [`Vector<I>`] (yielding a `Vector<O>`) or element-wise over a
+//! row-block [`crate::matrix::Matrix<I>`] (yielding a same-shaped
+//! `Matrix<O>`) through the same [`Container`] code path and the same
+//! generated kernel — no matrix-specific kernel or launch code exists.
 
 use std::sync::Arc;
 
@@ -11,9 +17,11 @@ use parking_lot::Mutex;
 use oclsim::{CostHint, NativeKernelDef, Pod, Program, Value};
 
 use crate::args::{ArgAccess, Args};
+use crate::container::Container;
 use crate::distribution::Distribution;
 use crate::error::{Result, SkelError};
 use crate::kernelgen;
+use crate::matrix::Matrix;
 use crate::runtime::{DeviceSelection, SkelCl};
 use crate::skeletons::{
     alloc_output, check_source_call, Launch, LaunchConfig, PreparedArgs, PreparedCall, Skeleton,
@@ -42,8 +50,9 @@ struct BuiltSource {
 /// let out = negate.run(&v).exec().unwrap();
 /// assert_eq!(out.to_vec().unwrap(), vec![-1.0, 2.0, -3.0]);
 ///
-/// // Or through the fluent vector pipeline:
-/// assert_eq!(v.map(&negate).unwrap().to_vec().unwrap(), vec![-1.0, 2.0, -3.0]);
+/// // The same skeleton instance maps element-wise over a matrix:
+/// let m = Matrix::from_fn(&rt, 2, 2, |r, c| (r * 2 + c) as f32);
+/// assert_eq!(m.map(&negate).unwrap().to_vec().unwrap(), vec![0.0, -1.0, -2.0, -3.0]);
 /// ```
 pub struct Map<I: Pod, O: Pod> {
     udf: MapUdf<I, O>,
@@ -92,9 +101,9 @@ impl<I: Pod, O: Pod> Map<I, O> {
         self
     }
 
-    /// Begin a launch of this skeleton over `input`:
-    /// `map.run(&v).arg(2.5f32).exec()?`.
-    pub fn run<'a>(&'a self, input: &Vector<I>) -> Launch<'a, Self> {
+    /// Begin a launch of this skeleton over `input` — a [`Vector`] or a
+    /// [`Matrix`]: `map.run(&v).arg(2.5f32).exec()?`.
+    pub fn run<'a, C: Container<I>>(&'a self, input: &C) -> Launch<'a, Self, C> {
         Launch::new(self, input.clone())
     }
 
@@ -198,64 +207,58 @@ impl<I: Pod, O: Pod> Map<I, O> {
         }
     }
 
-    /// The shared execution path behind [`Skeleton::execute`], the
-    /// deprecated [`Map::call`] shim and the `run_into` terminal form.
-    fn execute_map(
+    /// The shared execution path behind [`Skeleton::execute`] and the
+    /// `run_into` terminal form, generic over the input container.
+    fn execute_map<C: Container<I>>(
         &self,
-        input: &Vector<I>,
+        input: &C,
         cfg: &LaunchConfig<'_>,
-        reuse: Option<&Vector<O>>,
-    ) -> Result<Vector<O>> {
+        reuse: Option<&C::Rebound<O>>,
+    ) -> Result<C::Rebound<O>> {
         let scheduler_cost = cfg.scheduler.map(|_| self.scheduler_cost());
         let call = PreparedCall::single(input, cfg, scheduler_cost)?;
         let kernel = self.resolve_kernel(&call.runtime, &call.prepared_args)?;
-        let out_buffers = call.output_buffers::<O>(reuse)?;
+        let out_buffers = call.output_buffers::<O, C::Rebound<O>>(reuse)?;
         call.launch_elementwise(&kernel, &out_buffers)?;
-        call.finish_vector(out_buffers, reuse)
-    }
-
-    /// Execute the skeleton with explicit additional arguments.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(&input)` with the Launch builder, \
-                                          e.g. `map.run(&v).args(args).exec()`"
-    )]
-    pub fn call(&self, input: &Vector<I>, args: &Args) -> Result<Vector<O>> {
-        let cfg = LaunchConfig {
-            args: args.clone(),
-            ..LaunchConfig::default()
-        };
-        self.execute_map(input, &cfg, None)
+        call.finish_output(input, out_buffers, reuse)
     }
 }
 
-impl<I: Pod, O: Pod> Skeleton for Map<I, O> {
-    type Input = Vector<I>;
-    type Output = Vector<O>;
+impl<I: Pod, O: Pod, C: Container<I>> Skeleton<C> for Map<I, O> {
+    type Output = C::Rebound<O>;
 
     fn name(&self) -> &'static str {
         "map"
     }
 
-    fn execute(&self, input: &Vector<I>, cfg: &LaunchConfig<'_>) -> Result<Vector<O>> {
+    fn execute(&self, input: &C, cfg: &LaunchConfig<'_>) -> Result<C::Rebound<O>> {
         self.execute_map(input, cfg, None)
     }
 }
 
-impl<I: Pod, O: Pod> Launch<'_, Map<I, O>> {
+impl<I: Pod, O: Pod, C: Container<I>> Launch<'_, Map<I, O>, C> {
+    /// Execute, writing the result into `out` and reusing `out`'s device
+    /// buffers instead of allocating fresh ones. `out` adopts the launch's
+    /// shape and distribution; its previous contents are overwritten.
+    pub fn run_into(self, out: &C::Rebound<O>) -> Result<()> {
+        self.skeleton
+            .execute_map(&self.input, &self.cfg, Some(out))?;
+        Ok(())
+    }
+}
+
+impl<I: Pod, O: Pod> Launch<'_, Map<I, O>, Vector<I>> {
     /// Execute and return the output vector (identity terminal form,
     /// symmetric with reduce's `into_vector`).
     pub fn into_vector(self) -> Result<Vector<O>> {
         self.exec()
     }
+}
 
-    /// Execute, writing the result into `out` and reusing `out`'s device
-    /// buffers instead of allocating fresh ones. `out` adopts the launch's
-    /// length and distribution; its previous contents are overwritten.
-    pub fn run_into(self, out: &Vector<O>) -> Result<()> {
-        self.skeleton
-            .execute_map(&self.input, &self.cfg, Some(out))?;
-        Ok(())
+impl<I: Pod, O: Pod> Launch<'_, Map<I, O>, Matrix<I>> {
+    /// Execute and return the output matrix (identity terminal form).
+    pub fn into_matrix(self) -> Result<Matrix<O>> {
+        self.exec()
     }
 }
 
@@ -404,16 +407,6 @@ impl<O: Pod> Map<i32, O> {
             len,
             cfg: LaunchConfig::default(),
         }
-    }
-
-    /// Execute the skeleton over the implicit index range `[0, len)`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run_index(&rt, len)` with the builder, \
-                                          e.g. `map.run_index(&rt, n).args(args).exec()`"
-    )]
-    pub fn call_index(&self, runtime: &Arc<SkelCl>, len: usize, args: &Args) -> Result<Vector<O>> {
-        self.run_index(runtime, len).args(args.clone()).exec()
     }
 }
 
@@ -606,26 +599,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_call_shim_still_works() {
-        #![allow(deprecated)]
-        let rt = init_gpus(2);
-        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
-        let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
-        assert_eq!(
-            inc.call(&v, &Args::none()).unwrap().to_vec().unwrap(),
-            vec![2.0f32; 4]
-        );
-        let gen = Map::<i32, i32>::from_source("int func(int i) { return 2 * i; }");
-        assert_eq!(
-            gen.call_index(&rt, 3, &Args::none())
-                .unwrap()
-                .to_vec()
-                .unwrap(),
-            vec![0, 2, 4]
-        );
-    }
-
-    #[test]
     fn run_into_reuses_the_output_vector() {
         let rt = init_gpus(2);
         let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
@@ -637,5 +610,37 @@ mod tests {
         // Repeat into the same target: steady state, buffers reused.
         inc.run(&v).run_into(&out).unwrap();
         assert_eq!(out.to_vec().unwrap(), vec![2.0f32; 8]);
+    }
+
+    #[test]
+    fn map_over_matrix_matches_vector_map_and_keeps_shape() {
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+            let data: Vec<f32> = (0..12).map(|i| i as f32 - 5.5).collect();
+            let m = Matrix::from_vec(&rt, 4, 3, data.clone()).unwrap();
+            let v = Vector::from_vec(&rt, data.clone());
+            let mo = m.map(&square).unwrap();
+            let vo = v.map(&square).unwrap();
+            assert_eq!(
+                mo.to_vec().unwrap(),
+                vo.to_vec().unwrap(),
+                "devices = {devices}"
+            );
+            assert_eq!(mo.rows(), 4);
+            assert_eq!(mo.cols(), 3);
+            assert_eq!(mo.distribution(), crate::MatrixDistribution::RowBlock);
+        }
+    }
+
+    #[test]
+    fn map_into_reuses_a_matrix_target() {
+        let rt = init_gpus(2);
+        let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+        let m = Matrix::filled(&rt, 4, 4, 1.0f32);
+        let out = Matrix::filled(&rt, 4, 4, 0.0f32);
+        out.map(&inc).unwrap(); // warm the target's buffers
+        m.map_into(&inc, &out).unwrap();
+        assert_eq!(out.to_vec().unwrap(), vec![2.0f32; 16]);
     }
 }

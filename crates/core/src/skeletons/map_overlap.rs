@@ -105,7 +105,7 @@ impl<O: Pod> MapOverlap<f32, O> {
 
     /// Begin a launch of this skeleton over `input`:
     /// `stencil.run(&m).arg(0.25f32).exec()?`.
-    pub fn run<'a>(&'a self, input: &Matrix<f32>) -> Launch<'a, Self> {
+    pub fn run<'a>(&'a self, input: &Matrix<f32>) -> Launch<'a, Self, Matrix<f32>> {
         Launch::new(self, input.clone())
     }
 
@@ -258,8 +258,7 @@ impl<O: Pod> MapOverlap<f32, O> {
     }
 }
 
-impl<O: Pod> Skeleton for MapOverlap<f32, O> {
-    type Input = Matrix<f32>;
+impl<O: Pod> Skeleton<Matrix<f32>> for MapOverlap<f32, O> {
     type Output = Matrix<O>;
 
     fn name(&self) -> &'static str {
@@ -271,7 +270,7 @@ impl<O: Pod> Skeleton for MapOverlap<f32, O> {
     }
 }
 
-impl<O: Pod> Launch<'_, MapOverlap<f32, O>> {
+impl<O: Pod> Launch<'_, MapOverlap<f32, O>, Matrix<f32>> {
     /// Execute one sweep and return the output matrix (identity terminal
     /// form, symmetric with the other skeletons).
     pub fn into_matrix(self) -> Result<Matrix<O>> {
@@ -279,7 +278,7 @@ impl<O: Pod> Launch<'_, MapOverlap<f32, O>> {
     }
 }
 
-impl Launch<'_, MapOverlap<f32, f32>> {
+impl Launch<'_, MapOverlap<f32, f32>, Matrix<f32>> {
     /// The iterative-stencil driver: run `sweeps` sweeps, feeding each
     /// sweep's output into the next. Between sweeps only the halo rows are
     /// re-exchanged — the core parts stay on their devices — and device

@@ -8,12 +8,16 @@
 //! (used for application kernels too large for the kernel-language subset,
 //! such as the OSEM path tracer).
 //!
-//! Execution is uniform across all four skeletons: every one implements the
-//! [`Skeleton`] trait and is invoked through the fluent [`Launch`] builder
-//! returned by its `run` method — see the [`exec`] module for the shared
-//! prepare → partition → launch → combine pipeline.
+//! Execution is uniform across every skeleton: each implements the
+//! input-generic [`Skeleton`] trait and is invoked through the fluent
+//! [`Launch`] builder returned by its `run` method — see the `exec` module
+//! for the shared prepare → partition → launch → combine pipeline. The
+//! data-parallel skeletons ([`Map`], [`Zip`], [`Reduce`]) are additionally
+//! generic over the [`crate::container::Container`] trait, so one skeleton
+//! instance launches over a [`crate::vector::Vector`] or element-wise over
+//! a [`crate::matrix::Matrix`] with no container-specific code.
 
-mod exec;
+pub(crate) mod exec;
 mod map;
 mod map_overlap;
 mod reduce;

@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 
 use oclsim::{CostHint, KernelArg, NativeKernelDef, Program, Value};
 
+use crate::container::Container;
 use crate::distribution::Distribution;
 use crate::error::{Result, SkelError};
 use crate::kernelgen;
@@ -107,10 +108,11 @@ impl<T: DeviceScalar> Reduce<T> {
         self
     }
 
-    /// Begin a launch of this skeleton over `input`:
+    /// Begin a launch of this skeleton over `input` — a [`Vector`] or a
+    /// [`crate::matrix::Matrix`] (reduced over all its elements):
     /// `sum.run(&v).scalar()?`, `sum.run(&v).into_vector()?`, or the
     /// scheduler-aware `sum.run(&v).scheduler(&s).chunks(8).scalar_with_plan()?`.
-    pub fn run<'a>(&'a self, input: &Vector<T>) -> Launch<'a, Self> {
+    pub fn run<'a, C: Container<T>>(&'a self, input: &C) -> Launch<'a, Self, C> {
         Launch::new(self, input.clone())
     }
 
@@ -305,7 +307,11 @@ impl<T: DeviceScalar> Reduce<T> {
     }
 
     /// The plain three-step reduction (Section III-C).
-    fn execute_plain(&self, input: &Vector<T>, cfg: &LaunchConfig<'_>) -> Result<T> {
+    fn execute_plain<C: Container<T>>(&self, input: &C, cfg: &LaunchConfig<'_>) -> Result<T> {
+        // A replicated input would be folded once per device; reduce visits
+        // every element exactly once, so coerce to a disjoint layout first
+        // (merging replicas through the container's combine function).
+        input.ensure_disjoint()?;
         let call = PreparedCall::single(input, cfg, None)?;
         if call.prepared_args.len() != 0 {
             return Err(SkelError::UnsupportedArg(
@@ -376,15 +382,16 @@ impl<T: DeviceScalar> Reduce<T> {
     /// that "CPUs will be faster to perform the final reduction of these
     /// vectors than GPUs which provide poor performance when reducing only
     /// few elements".
-    fn execute_scheduled(
+    fn execute_scheduled<C: Container<T>>(
         &self,
-        input: &Vector<T>,
+        input: &C,
         cfg: &LaunchConfig<'_>,
     ) -> Result<(T, ReducePlan)> {
         let scheduler = cfg
             .scheduler
             .expect("execute_scheduled requires a scheduler");
         let chunks_per_device = cfg.chunks_per_device.max(1);
+        input.ensure_disjoint()?;
         let call = PreparedCall::single(input, cfg, None)?;
         if call.prepared_args.len() != 0 {
             return Err(SkelError::UnsupportedArg(
@@ -491,52 +498,16 @@ impl<T: DeviceScalar> Reduce<T> {
         runtime.context().release_buffer(&out_buffer)?;
         Ok((one[0], plan))
     }
-
-    /// Execute the skeleton and return the single-element result vector
-    /// (single-distributed, as the paper specifies).
-    #[deprecated(since = "0.2.0", note = "use `run(&input).into_vector()`")]
-    pub fn call(&self, input: &Vector<T>) -> Result<Vector<T>> {
-        self.run(input).into_vector()
-    }
-
-    /// Execute the skeleton and return the reduced value directly.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(&input).scalar()` or `input.reduce(&sk)`"
-    )]
-    pub fn reduce_value(&self, input: &Vector<T>) -> Result<T> {
-        self.execute_plain(input, &LaunchConfig::default())
-    }
-
-    /// The scheduler-aware multi-stage reduction of Section V of the paper.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(&input).scheduler(&s).chunks(n).scalar_with_plan()`"
-    )]
-    pub fn reduce_with_scheduler(
-        &self,
-        input: &Vector<T>,
-        scheduler: &crate::scheduler::StaticScheduler,
-        chunks_per_device: usize,
-    ) -> Result<(T, ReducePlan)> {
-        let cfg = LaunchConfig {
-            scheduler: Some(scheduler),
-            chunks_per_device: chunks_per_device.max(1),
-            ..LaunchConfig::default()
-        };
-        self.execute_scheduled(input, &cfg)
-    }
 }
 
-impl<T: DeviceScalar> Skeleton for Reduce<T> {
-    type Input = Vector<T>;
+impl<T: DeviceScalar, C: Container<T>> Skeleton<C> for Reduce<T> {
     type Output = T;
 
     fn name(&self) -> &'static str {
         "reduce"
     }
 
-    fn execute(&self, input: &Vector<T>, cfg: &LaunchConfig<'_>) -> Result<T> {
+    fn execute(&self, input: &C, cfg: &LaunchConfig<'_>) -> Result<T> {
         if cfg.scheduler.is_some() {
             Ok(self.execute_scheduled(input, cfg)?.0)
         } else {
@@ -545,7 +516,7 @@ impl<T: DeviceScalar> Skeleton for Reduce<T> {
     }
 }
 
-impl<T: DeviceScalar> Launch<'_, Reduce<T>> {
+impl<T: DeviceScalar, C: Container<T>> Launch<'_, Reduce<T>, C> {
     /// Execute and return the reduced value (alias of [`Launch::exec`]).
     pub fn scalar(self) -> Result<T> {
         self.exec()
@@ -562,7 +533,7 @@ impl<T: DeviceScalar> Launch<'_, Reduce<T>> {
         // The plain strategy gathers one partial per active device and
         // always finishes on the CPU.
         let value = self.skeleton.execute_plain(&self.input, &self.cfg)?;
-        let actives = self.input.sizes().iter().filter(|&&s| s > 0).count();
+        let actives = self.input.part_sizes().iter().filter(|&&s| s > 0).count();
         Ok((
             value,
             ReducePlan {
@@ -761,17 +732,49 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_reduce_shims_still_work() {
-        #![allow(deprecated)]
-        use crate::scheduler::StaticScheduler;
-        let rt = init_gpus(2);
-        let sum = Reduce::<i32>::new(|a, b| a + b);
-        let v = Vector::from_vec(&rt, (1..=10).collect());
-        assert_eq!(sum.reduce_value(&v).unwrap(), 55);
-        assert_eq!(sum.call(&v).unwrap().to_vec().unwrap(), vec![55]);
-        let scheduler = StaticScheduler::analytical(&rt);
-        let (value, _) = sum.reduce_with_scheduler(&v, &scheduler, 2).unwrap();
-        assert_eq!(value, 55);
+    fn copy_distributed_inputs_reduce_each_element_exactly_once() {
+        // A replica per device must not be folded per device: the reduce
+        // coerces replicated layouts to disjoint blocks first.
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let sum = Reduce::<f32>::from_source(ADD);
+
+            let v = Vector::from_vec(&rt, vec![1.0f32; 4]);
+            v.set_distribution(Distribution::Copy).unwrap();
+            v.copy_data_to_devices().unwrap();
+            assert_eq!(v.reduce(&sum).unwrap(), 4.0, "devices = {devices}");
+            assert_eq!(v.distribution(), Distribution::Block);
+
+            let m = crate::matrix::Matrix::filled(&rt, 2, 2, 1.0f32);
+            m.set_distribution(crate::MatrixDistribution::Copy).unwrap();
+            assert_eq!(m.reduce(&sum).unwrap(), 4.0, "devices = {devices}");
+            assert_eq!(m.distribution(), crate::MatrixDistribution::RowBlock);
+
+            // The scheduler-aware path applies the same coercion.
+            let scheduler = crate::scheduler::StaticScheduler::analytical(&rt);
+            let w = Vector::from_vec(&rt, (1..=8).map(|i| i as f32).collect());
+            w.set_distribution(Distribution::Copy).unwrap();
+            let (value, _) = sum
+                .run(&w)
+                .scheduler(&scheduler)
+                .chunks(2)
+                .scalar_with_plan()
+                .unwrap();
+            assert_eq!(value, 36.0, "devices = {devices}");
+        }
+    }
+
+    #[test]
+    fn reduce_over_a_matrix_folds_every_element() {
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let sum = Reduce::<f32>::from_source(ADD);
+            let m = crate::matrix::Matrix::from_fn(&rt, 6, 5, |r, c| (r * 5 + c) as f32);
+            assert_eq!(m.reduce(&sum).unwrap(), (0..30).sum::<i32>() as f32);
+            let (value, plan) = sum.run(&m).scalar_with_plan().unwrap();
+            assert_eq!(value, 435.0);
+            assert!(plan.final_on_cpu);
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 
 use oclsim::{CostHint, KernelArg, NativeKernelDef, Program, Value};
 
-use crate::distribution::Distribution;
+use crate::container::Container;
 use crate::error::{Result, SkelError};
 use crate::kernelgen::{self, UdfInfo};
 use crate::skeletons::{
@@ -100,7 +100,7 @@ impl<T: DeviceScalar> Scan<T> {
 
     /// Begin a launch of this skeleton over `input`:
     /// `scan.run(&v).exec()?` or `scan.run(&v).trace()?`.
-    pub fn run<'a>(&'a self, input: &Vector<T>) -> Launch<'a, Self> {
+    pub fn run<'a>(&'a self, input: &Vector<T>) -> Launch<'a, Self, Vector<T>> {
         Launch::new(self, input.clone())
     }
 
@@ -215,18 +215,16 @@ impl<T: DeviceScalar> Scan<T> {
     ) -> Result<(Vector<T>, Option<ScanTrace<T>>)> {
         // Copy distribution makes no sense for a prefix computation; the
         // paper's scan assumes block distribution by default.
-        if input.distribution() == Distribution::Copy {
-            input.set_distribution(Distribution::Block)?;
-        }
+        input.ensure_disjoint()?;
         let scheduler_cost = cfg.scheduler.map(|_| self.scheduler_cost());
-        let call = PreparedCall::single(input, cfg, scheduler_cost)?;
+        let call = PreparedCall::single::<T, Vector<T>>(input, cfg, scheduler_cost)?;
         if call.prepared_args.len() != 0 {
             return Err(SkelError::UnsupportedArg(
                 "the scan skeleton's binary operator takes no additional arguments".into(),
             ));
         }
         let runtime = &call.runtime;
-        let out_buffers = call.output_buffers::<T>(reuse)?;
+        let out_buffers = call.output_buffers::<T, Vector<T>>(reuse)?;
 
         let (scan_kernel, built, per_element_cost) = match &self.udf {
             ScanUdf::Source(_) => {
@@ -334,13 +332,11 @@ impl<T: DeviceScalar> Scan<T> {
             }
         }
 
-        // The output keeps a single-device distribution; multi-device parts
-        // are block-distributed as Section III-C specifies.
         // The output adopts the input's (non-copy) distribution: the buffers
         // were allocated for exactly that partition, so block, weighted
         // block and single inputs all stay consistent (Section III-C's
         // "block-distributed output" is the default-input case).
-        let distribution = call.distribution.clone();
+        let distribution = input.distribution();
         let output = match reuse {
             Some(out) => {
                 out.commit_as_output(call.len, distribution, out_buffers)?;
@@ -356,26 +352,9 @@ impl<T: DeviceScalar> Scan<T> {
             }),
         ))
     }
-
-    /// Execute the skeleton and also return the per-stage trace of Figure 2.
-    #[deprecated(since = "0.2.0", note = "use `run(&input).trace()`")]
-    pub fn call_with_trace(&self, input: &Vector<T>) -> Result<(Vector<T>, ScanTrace<T>)> {
-        self.run(input).trace()
-    }
-
-    /// Execute the skeleton.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(&input).exec()` or `input.scan(&sk)`"
-    )]
-    pub fn call(&self, input: &Vector<T>) -> Result<Vector<T>> {
-        self.execute_scan(input, &LaunchConfig::default(), false, None)
-            .map(|(v, _)| v)
-    }
 }
 
-impl<T: DeviceScalar> Skeleton for Scan<T> {
-    type Input = Vector<T>;
+impl<T: DeviceScalar> Skeleton<Vector<T>> for Scan<T> {
     type Output = Vector<T>;
 
     fn name(&self) -> &'static str {
@@ -387,7 +366,7 @@ impl<T: DeviceScalar> Skeleton for Scan<T> {
     }
 }
 
-impl<T: DeviceScalar> Launch<'_, Scan<T>> {
+impl<T: DeviceScalar> Launch<'_, Scan<T>, Vector<T>> {
     /// Execute and return the output vector (identity terminal form).
     pub fn into_vector(self) -> Result<Vector<T>> {
         self.exec()
@@ -480,6 +459,7 @@ fn host_eval_operator<T: DeviceScalar>(source: &str, a: T, b: T) -> T {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::distribution::Distribution;
     use crate::runtime::init_gpus;
 
     const ADD: &str = "float func(float a, float b) { return a + b; }";
@@ -597,18 +577,6 @@ mod tests {
             scan.run(&v).arg(1.0f32).exec(),
             Err(SkelError::UnsupportedArg(_))
         ));
-    }
-
-    #[test]
-    fn deprecated_scan_shims_still_work() {
-        #![allow(deprecated)]
-        let rt = init_gpus(2);
-        let scan = Scan::<i32>::from_source("int func(int a, int b) { return a + b; }");
-        let v = Vector::from_vec(&rt, vec![1, 2, 3]);
-        assert_eq!(scan.call(&v).unwrap().to_vec().unwrap(), vec![1, 3, 6]);
-        let (out, trace) = scan.call_with_trace(&v).unwrap();
-        assert_eq!(out.to_vec().unwrap(), vec![1, 3, 6]);
-        assert_eq!(trace.local_scans.len(), 2);
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! The zip skeleton: `zip(⊕)([x1..xn],[y1..yn]) = [x1⊕y1 .. xn⊕yn]`.
 //!
-//! Multi-GPU execution (paper, Section III-C): both input vectors must have
-//! the same distribution (and, for single distribution, live on the same
-//! device); if not, SkelCL automatically changes both to block distribution.
-//! The output adopts the inputs' distribution.
+//! Multi-GPU execution (paper, Section III-C): both input containers must
+//! have the same distribution (and, for single distribution, live on the
+//! same device); if not, SkelCL automatically changes both to block
+//! distribution. The output adopts the inputs' shape and distribution.
+//!
+//! Like [`Map`](crate::skeletons::Map), the skeleton is container-generic:
+//! one `Zip<A, B, O>` instance pairs two [`Vector`]s or two equal-shaped
+//! row-block [`crate::matrix::Matrix`]es through the same [`Container`]
+//! launch path and the same generated kernel.
 
 use std::sync::Arc;
 
@@ -11,9 +16,11 @@ use parking_lot::Mutex;
 
 use oclsim::{CostHint, NativeKernelDef, Pod, Program};
 
-use crate::args::{ArgAccess, Args};
+use crate::args::ArgAccess;
+use crate::container::Container;
 use crate::error::Result;
 use crate::kernelgen;
+use crate::matrix::Matrix;
 use crate::runtime::SkelCl;
 use crate::skeletons::{
     check_source_call, Launch, LaunchConfig, PreparedArgs, PreparedCall, Skeleton, UdfCache,
@@ -87,8 +94,13 @@ impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
     }
 
     /// Begin a launch of this skeleton over the element pairs of `left` and
-    /// `right`: `saxpy.run(&x, &y).arg(a).exec()?`.
-    pub fn run<'a>(&'a self, left: &Vector<A>, right: &Vector<B>) -> Launch<'a, Self> {
+    /// `right` — two vectors or two equal-shaped matrices:
+    /// `saxpy.run(&x, &y).arg(a).exec()?`.
+    pub fn run<'a, CA: Container<A>>(
+        &'a self,
+        left: &CA,
+        right: &CA::Rebound<B>,
+    ) -> Launch<'a, Self, (CA, CA::Rebound<B>)> {
         Launch::new(self, (left.clone(), right.clone()))
     }
 
@@ -175,70 +187,68 @@ impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
         }
     }
 
-    /// The shared execution path behind [`Skeleton::execute`], the
-    /// deprecated [`Zip::call`] shim and the `run_into` terminal form.
-    fn execute_zip(
+    /// The shared execution path behind [`Skeleton::execute`] and the
+    /// `run_into` terminal form, generic over the input containers.
+    fn execute_zip<CA: Container<A>>(
         &self,
-        left: &Vector<A>,
-        right: &Vector<B>,
+        left: &CA,
+        right: &CA::Rebound<B>,
         cfg: &LaunchConfig<'_>,
-        reuse: Option<&Vector<O>>,
-    ) -> Result<Vector<O>> {
+        reuse: Option<&CA::Rebound<O>>,
+    ) -> Result<CA::Rebound<O>> {
         let scheduler_cost = cfg.scheduler.map(|_| self.scheduler_cost());
         let call = PreparedCall::pair(left, right, cfg, scheduler_cost)?;
         let kernel = self.resolve_kernel(&call.runtime, &call.prepared_args)?;
-        let out_buffers = call.output_buffers::<O>(reuse)?;
+        let out_buffers = call.output_buffers::<O, CA::Rebound<O>>(reuse)?;
         call.launch_elementwise(&kernel, &out_buffers)?;
-        call.finish_vector(out_buffers, reuse)
-    }
-
-    /// Execute the skeleton with explicit additional arguments.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `run(&left, &right)` with the Launch builder, \
-                                          e.g. `zip.run(&x, &y).args(args).exec()`"
-    )]
-    pub fn call(&self, left: &Vector<A>, right: &Vector<B>, args: &Args) -> Result<Vector<O>> {
-        let cfg = LaunchConfig {
-            args: args.clone(),
-            ..LaunchConfig::default()
-        };
-        self.execute_zip(left, right, &cfg, None)
+        call.finish_output(left, out_buffers, reuse)
     }
 }
 
-impl<A: Pod, B: Pod, O: Pod> Skeleton for Zip<A, B, O> {
-    type Input = (Vector<A>, Vector<B>);
-    type Output = Vector<O>;
+impl<A: Pod, B: Pod, O: Pod, CA: Container<A>> Skeleton<(CA, CA::Rebound<B>)> for Zip<A, B, O> {
+    type Output = CA::Rebound<O>;
 
     fn name(&self) -> &'static str {
         "zip"
     }
 
-    fn execute(&self, input: &Self::Input, cfg: &LaunchConfig<'_>) -> Result<Vector<O>> {
+    fn execute(
+        &self,
+        input: &(CA, CA::Rebound<B>),
+        cfg: &LaunchConfig<'_>,
+    ) -> Result<CA::Rebound<O>> {
         self.execute_zip(&input.0, &input.1, cfg, None)
     }
 }
 
-impl<A: Pod, B: Pod, O: Pod> Launch<'_, Zip<A, B, O>> {
-    /// Execute and return the output vector (identity terminal form).
-    pub fn into_vector(self) -> Result<Vector<O>> {
-        self.exec()
-    }
-
+impl<A: Pod, B: Pod, O: Pod, CA: Container<A>> Launch<'_, Zip<A, B, O>, (CA, CA::Rebound<B>)> {
     /// Execute, writing the result into `out` and reusing `out`'s device
     /// buffers instead of allocating fresh ones.
-    pub fn run_into(self, out: &Vector<O>) -> Result<()> {
+    pub fn run_into(self, out: &CA::Rebound<O>) -> Result<()> {
         self.skeleton
             .execute_zip(&self.input.0, &self.input.1, &self.cfg, Some(out))?;
         Ok(())
     }
 }
 
+impl<A: Pod, B: Pod, O: Pod> Launch<'_, Zip<A, B, O>, (Vector<A>, Vector<B>)> {
+    /// Execute and return the output vector (identity terminal form).
+    pub fn into_vector(self) -> Result<Vector<O>> {
+        self.exec()
+    }
+}
+
+impl<A: Pod, B: Pod, O: Pod> Launch<'_, Zip<A, B, O>, (Matrix<A>, Matrix<B>)> {
+    /// Execute and return the output matrix (identity terminal form).
+    pub fn into_matrix(self) -> Result<Matrix<O>> {
+        self.exec()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::distribution::Distribution;
+    use crate::distribution::{Distribution, MatrixDistribution};
     use crate::error::SkelError;
     use crate::runtime::init_gpus;
 
@@ -351,17 +361,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_call_shim_still_works() {
-        #![allow(deprecated)]
-        let rt = init_gpus(2);
-        let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY);
-        let x = Vector::from_vec(&rt, vec![1.0f32; 4]);
-        let y = Vector::from_vec(&rt, vec![1.0f32; 4]);
-        let out = saxpy.call(&x, &y, &crate::args![2.0f32]).unwrap();
-        assert_eq!(out.to_vec().unwrap(), vec![3.0f32; 4]);
-    }
-
-    #[test]
     fn zip_run_into_reuses_buffers() {
         let rt = init_gpus(2);
         let add = Zip::<f32, f32, f32>::new(|a, b, _| a + b);
@@ -371,5 +370,55 @@ mod tests {
         out.copy_data_to_devices().unwrap();
         add.run(&x, &y).run_into(&out).unwrap();
         assert_eq!(out.to_vec().unwrap(), vec![3.0f32; 6]);
+    }
+
+    #[test]
+    fn zip_over_matrices_matches_the_vector_zip() {
+        for devices in 1..=4 {
+            let rt = init_gpus(devices);
+            let saxpy = Zip::<f32, f32, f32>::from_source(SAXPY);
+            let x: Vec<f32> = (0..15).map(|i| i as f32 * 0.5).collect();
+            let y: Vec<f32> = (0..15).map(|i| (i * 3) as f32).collect();
+            let mx = Matrix::from_vec(&rt, 5, 3, x.clone()).unwrap();
+            let my = Matrix::from_vec(&rt, 5, 3, y.clone()).unwrap();
+            let vx = Vector::from_vec(&rt, x);
+            let vy = Vector::from_vec(&rt, y);
+            let mo = saxpy.run(&mx, &my).arg(2.0f32).exec().unwrap();
+            let vo = saxpy.run(&vx, &vy).arg(2.0f32).exec().unwrap();
+            assert_eq!(
+                mo.to_vec().unwrap(),
+                vo.to_vec().unwrap(),
+                "devices = {devices}"
+            );
+            assert_eq!(mo.rows(), 5);
+            assert_eq!(mo.cols(), 3);
+        }
+    }
+
+    #[test]
+    fn zip_rejects_matrices_of_different_shapes() {
+        let rt = init_gpus(2);
+        let add = Zip::<f32, f32, f32>::new(|a, b, _| a + b);
+        // Same element count, different shapes: must be rejected.
+        let a = Matrix::filled(&rt, 2, 3, 1.0f32);
+        let b = Matrix::filled(&rt, 3, 2, 1.0f32);
+        assert!(matches!(
+            add.run(&a, &b).exec(),
+            Err(SkelError::Distribution(_))
+        ));
+    }
+
+    #[test]
+    fn zip_unifies_matrix_distributions_to_row_block() {
+        let rt = init_gpus(2);
+        let add = Zip::<f32, f32, f32>::new(|a, b, _| a + b);
+        let a = Matrix::filled(&rt, 4, 2, 1.0f32);
+        let b = Matrix::filled(&rt, 4, 2, 2.0f32);
+        a.set_distribution(MatrixDistribution::Single(0)).unwrap();
+        b.set_distribution(MatrixDistribution::Copy).unwrap();
+        let out = add.run(&a, &b).exec().unwrap();
+        assert_eq!(a.distribution(), MatrixDistribution::RowBlock);
+        assert_eq!(b.distribution(), MatrixDistribution::RowBlock);
+        assert_eq!(out.to_vec().unwrap(), vec![3.0f32; 8]);
     }
 }

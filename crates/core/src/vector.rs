@@ -1,167 +1,29 @@
 //! The abstract vector data type (paper, Section II-B).
 //!
 //! A [`Vector`] is "a contiguous memory range where data is accessible by
-//! both CPU and GPU". Internally it holds a host copy and per-device buffers
-//! which are kept in a consistent state automatically and *lazily*: CPU
-//! access triggers a download only if the device copies are newer; skeleton
-//! execution triggers an upload only if the host copy is newer. Consecutive
-//! skeleton calls therefore chain on the devices without any host transfers,
-//! exactly as described in the paper.
+//! both CPU and GPU". It is a thin 1-D view over the shared
+//! `container::Storage` core, which holds the host copy and the
+//! per-device buffers and keeps them consistent automatically and *lazily*:
+//! CPU access triggers a download only if the device copies are newer;
+//! skeleton execution triggers an upload only if the host copy is newer.
+//! Consecutive skeleton calls therefore chain on the devices without any
+//! host transfers, exactly as described in the paper. All transfer and
+//! validity logic lives in `Storage` — the vector contributes only the 1-D
+//! shape (its length) and the fluent pipeline API.
 
 use std::ops::Range;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use oclsim::{Buffer, Pod};
+use oclsim::{Buffer, CostHint, Pod};
 
+pub use crate::container::Residence;
+use crate::container::{Container, EdgePolicy, Storage};
 use crate::distribution::{Combine, Distribution, Partition};
-use crate::error::{Result, SkelError};
-use crate::runtime::SkelCl;
-
-/// Where the authoritative copy of the data currently lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Residence {
-    /// Only the host copy is valid.
-    HostOnly,
-    /// Only the device copies are valid.
-    DevicesOnly,
-    /// Host and devices agree.
-    Shared,
-}
-
-struct Inner<T: Pod> {
-    runtime: Arc<SkelCl>,
-    host: Vec<T>,
-    len: usize,
-    host_valid: bool,
-    devices_valid: bool,
-    distribution: Distribution,
-    partition: Partition,
-    buffers: Vec<Option<Buffer>>,
-    combine: Combine<T>,
-}
-
-impl<T: Pod> Inner<T> {
-    fn release_buffers(&mut self) {
-        for buf in self.buffers.iter_mut() {
-            if let Some(b) = buf.take() {
-                // A failure here would mean the buffer was already released,
-                // which cannot happen while the vector owns it; ignore.
-                let _ = self.runtime.context().release_buffer(&b);
-            }
-        }
-    }
-
-    fn ensure_on_devices(&mut self) -> Result<()> {
-        if self.devices_valid {
-            return Ok(());
-        }
-        debug_assert!(self.host_valid, "either host or devices must be valid");
-        for device in 0..self.partition.device_count() {
-            let range = self.partition.range(device);
-            if range.is_empty() {
-                continue;
-            }
-            let buffer = match &self.buffers[device] {
-                Some(b) if b.len() == range.len() => b.clone(),
-                _ => {
-                    if let Some(old) = self.buffers[device].take() {
-                        let _ = self.runtime.context().release_buffer(&old);
-                    }
-                    let b = self
-                        .runtime
-                        .context()
-                        .create_buffer::<T>(device, range.len())?;
-                    self.buffers[device] = Some(b.clone());
-                    b
-                }
-            };
-            self.runtime
-                .queue(device)
-                .enqueue_write_buffer(&buffer, &self.host[range])?;
-        }
-        self.devices_valid = true;
-        Ok(())
-    }
-
-    fn download_to_host(&mut self) -> Result<()> {
-        if self.host_valid {
-            return Ok(());
-        }
-        debug_assert!(self.devices_valid, "either host or devices must be valid");
-        match &self.distribution {
-            Distribution::Single(_) | Distribution::Block | Distribution::BlockWeighted(_) => {
-                let mut host = Vec::with_capacity(self.len);
-                for device in 0..self.partition.device_count() {
-                    let range = self.partition.range(device);
-                    if range.is_empty() {
-                        continue;
-                    }
-                    let buffer = self.buffers[device].as_ref().ok_or_else(|| {
-                        SkelError::Distribution(format!(
-                            "device {device} should hold elements {range:?} but has no buffer"
-                        ))
-                    })?;
-                    let mut part = vec_uninit_len::<T>(range.len());
-                    self.runtime
-                        .queue(device)
-                        .enqueue_read_buffer(buffer, &mut part)?;
-                    host.extend_from_slice(&part);
-                }
-                self.host = host;
-            }
-            Distribution::Copy => {
-                let actives = self.partition.active_devices();
-                let first = *actives.first().ok_or(SkelError::EmptyInput)?;
-                let buffer = self.buffers[first].as_ref().ok_or_else(|| {
-                    SkelError::Distribution("copy-distributed vector has no device buffer".into())
-                })?;
-                let mut host = vec_uninit_len::<T>(self.len);
-                self.runtime
-                    .queue(first)
-                    .enqueue_read_buffer(buffer, &mut host)?;
-                if let Combine::Func(f) = &self.combine {
-                    let mut other = vec_uninit_len::<T>(self.len);
-                    for &device in actives.iter().skip(1) {
-                        let buffer = self.buffers[device].as_ref().ok_or_else(|| {
-                            SkelError::Distribution(
-                                "copy-distributed vector is missing a device copy".into(),
-                            )
-                        })?;
-                        self.runtime
-                            .queue(device)
-                            .enqueue_read_buffer(buffer, &mut other)?;
-                        f(&mut host, &other);
-                    }
-                    // After combining, the individual device copies are stale.
-                    self.devices_valid = false;
-                }
-                self.host = host;
-            }
-        }
-        self.host_valid = true;
-        Ok(())
-    }
-}
-
-impl<T: Pod> Drop for Inner<T> {
-    fn drop(&mut self) {
-        self.release_buffers();
-    }
-}
-
-/// Create a `Vec<T>` of the given length whose contents will be overwritten
-/// immediately by a device read. `T: Pod` has no invalid bit patterns that we
-/// could expose because the vector is fully overwritten before use; zeroed
-/// memory keeps this fully safe.
-pub(crate) fn vec_uninit_len<T: Pod>(len: usize) -> Vec<T> {
-    let mut v = Vec::with_capacity(len);
-    // SAFETY: not actually unsafe — we build from zeroed bytes via Pod copy.
-    let bytes = vec![0u8; len * std::mem::size_of::<T>()];
-    v.extend_from_slice(&oclsim::pod::from_bytes_vec::<T>(&bytes));
-    v
-}
+use crate::error::Result;
+use crate::runtime::{DeviceSelection, SkelCl};
+use crate::scheduler::StaticScheduler;
 
 /// The SkelCL vector: host + multi-device storage with lazy coherence.
 ///
@@ -170,7 +32,7 @@ pub(crate) fn vec_uninit_len<T: Pod>(len: usize) -> Vec<T> {
 /// skeletons).
 pub struct Vector<T: Pod> {
     id: u64,
-    inner: Arc<Mutex<Inner<T>>>,
+    inner: Arc<Mutex<Storage<T, Distribution>>>,
 }
 
 impl<T: Pod> Clone for Vector<T> {
@@ -187,19 +49,10 @@ impl<T: Pod> std::fmt::Debug for Vector<T> {
         let inner = self.inner.lock();
         f.debug_struct("Vector")
             .field("id", &self.id)
-            .field("len", &inner.len)
+            .field("len", &inner.shape)
             .field("distribution", &inner.distribution)
-            .field("residence", &residence_of(&inner))
+            .field("residence", &inner.residence())
             .finish()
-    }
-}
-
-fn residence_of<T: Pod>(inner: &Inner<T>) -> Residence {
-    match (inner.host_valid, inner.devices_valid) {
-        (true, true) => Residence::Shared,
-        (true, false) => Residence::HostOnly,
-        (false, true) => Residence::DevicesOnly,
-        (false, false) => unreachable!("vector lost both copies"),
     }
 }
 
@@ -209,22 +62,14 @@ impl<T: Pod> Vector<T> {
     /// until the vector is first used on the devices.
     pub fn from_vec(runtime: &Arc<SkelCl>, data: Vec<T>) -> Vector<T> {
         let len = data.len();
-        let devices = runtime.device_count();
-        let distribution = Distribution::default_for_inputs();
-        let partition = Partition::compute(len, devices, &distribution);
         Vector {
             id: runtime.next_vector_id(),
-            inner: Arc::new(Mutex::new(Inner {
-                runtime: runtime.clone(),
-                host: data,
+            inner: Arc::new(Mutex::new(Storage::new_host(
+                runtime.clone(),
+                data,
                 len,
-                host_valid: true,
-                devices_valid: false,
-                distribution,
-                partition,
-                buffers: vec![None; devices],
-                combine: Combine::KeepFirst,
-            })),
+                Distribution::default_for_inputs(),
+            ))),
         }
     }
 
@@ -241,20 +86,16 @@ impl<T: Pod> Vector<T> {
         distribution: Distribution,
         buffers: Vec<Option<Buffer>>,
     ) -> Vector<T> {
-        let partition = Partition::compute(len, runtime.device_count(), &distribution);
         Vector {
             id: runtime.next_vector_id(),
-            inner: Arc::new(Mutex::new(Inner {
-                runtime: runtime.clone(),
-                host: Vec::new(),
+            inner: Arc::new(Mutex::new(Storage::new_device_resident(
+                runtime.clone(),
                 len,
-                host_valid: false,
-                devices_valid: true,
                 distribution,
-                partition,
                 buffers,
-                combine: Combine::KeepFirst,
-            })),
+                EdgePolicy::Clamp,
+                None,
+            ))),
         }
     }
 
@@ -270,7 +111,7 @@ impl<T: Pod> Vector<T> {
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.inner.lock().len
+        self.inner.lock().shape
     }
 
     /// Whether the vector has no elements.
@@ -285,18 +126,18 @@ impl<T: Pod> Vector<T> {
 
     /// Where the authoritative data currently lives.
     pub fn residence(&self) -> Residence {
-        residence_of(&self.inner.lock())
+        self.inner.lock().residence()
     }
 
     /// Per-device part sizes under the current distribution (the paper's
     /// `events.sizes()` in Listing 3).
     pub fn sizes(&self) -> Vec<usize> {
-        self.inner.lock().partition.sizes()
+        self.inner.lock().layout.sizes()
     }
 
     /// The element range device `d` holds under the current distribution.
     pub fn range_of(&self, device: usize) -> Range<usize> {
-        self.inner.lock().partition.range(device)
+        self.inner.lock().layout.range(device)
     }
 
     /// Set the combine function used when the distribution changes away from
@@ -313,24 +154,7 @@ impl<T: Pod> Vector<T> {
         if inner.distribution == distribution {
             return Ok(());
         }
-        if let Distribution::Single(d) = &distribution {
-            let devices = inner.runtime.device_count();
-            if *d >= devices {
-                return Err(SkelError::Distribution(format!(
-                    "single distribution names device {d} but the runtime has {devices} devices"
-                )));
-            }
-        }
-        // Bring the authoritative state to the host (combining per-device
-        // copies when leaving a copy distribution), then drop the old device
-        // buffers; the next device use re-uploads under the new distribution.
-        inner.download_to_host()?;
-        inner.release_buffers();
-        inner.devices_valid = false;
-        let devices = inner.runtime.device_count();
-        inner.partition = Partition::compute(inner.len, devices, &distribution);
-        inner.distribution = distribution;
-        Ok(())
+        inner.redistribute(distribution, EdgePolicy::Clamp, None)
     }
 
     /// Shorthand for `set_distribution(Distribution::Copy)` followed by
@@ -345,10 +169,7 @@ impl<T: Pod> Vector<T> {
     /// the host copy is stale. Mirrors `dataOnDevicesModified()` from
     /// Listing 3 of the paper.
     pub fn mark_device_modified(&self) {
-        let mut inner = self.inner.lock();
-        if inner.devices_valid {
-            inner.host_valid = false;
-        }
+        self.inner.lock().mark_device_modified();
     }
 
     /// Copy the vector's contents to a host `Vec`, downloading from the
@@ -373,15 +194,10 @@ impl<T: Pod> Vector<T> {
         inner.download_to_host()?;
         f(&mut inner.host);
         let len = inner.host.len();
-        if len != inner.len {
-            inner.len = len;
-            let devices = inner.runtime.device_count();
-            let distribution = inner.distribution.clone();
-            inner.partition = Partition::compute(len, devices, &distribution);
+        if len != inner.shape {
+            inner.reshape(len);
         }
-        inner.release_buffers();
-        inner.devices_valid = false;
-        inner.host_valid = true;
+        inner.invalidate_devices();
         Ok(())
     }
 
@@ -399,7 +215,7 @@ impl<T: Pod> Vector<T> {
     pub(crate) fn prepare_on_devices(&self) -> Result<(Partition, Vec<Option<Buffer>>)> {
         let mut inner = self.inner.lock();
         inner.ensure_on_devices()?;
-        Ok((inner.partition.clone(), inner.buffers.clone()))
+        Ok((inner.layout.clone(), inner.buffers.clone()))
     }
 
     /// Check that this vector belongs to `runtime`.
@@ -407,47 +223,13 @@ impl<T: Pod> Vector<T> {
         if Arc::ptr_eq(&self.inner.lock().runtime, runtime) {
             Ok(())
         } else {
-            Err(SkelError::RuntimeMismatch)
+            Err(crate::error::SkelError::RuntimeMismatch)
         }
     }
 
     /// The buffer of device `d`, if the vector currently has one there.
     pub fn buffer_of(&self, device: usize) -> Option<Buffer> {
         self.inner.lock().buffers.get(device).cloned().flatten()
-    }
-
-    /// Obtain per-device buffers for using this vector as a skeleton
-    /// *output* (`run_into`): existing buffers are reused when their sizes
-    /// match the target partition — the hot path of chained pipelines — and
-    /// fresh ones are created where they do not fit.
-    ///
-    /// This method does **not** mutate the vector: replaced buffers stay
-    /// owned by it until [`Vector::commit_as_output`] adopts the new set
-    /// after a successful launch, so a failed launch leaves the vector
-    /// fully intact.
-    pub(crate) fn obtain_output_buffers(
-        &self,
-        partition: &Partition,
-    ) -> Result<Vec<Option<Buffer>>> {
-        let inner = self.inner.lock();
-        let elem = std::mem::size_of::<T>();
-        let mut buffers = vec![None; partition.device_count()];
-        for device in 0..partition.device_count() {
-            let want = partition.size(device);
-            if want == 0 {
-                continue;
-            }
-            let reusable = inner
-                .buffers
-                .get(device)
-                .and_then(|slot| slot.as_ref())
-                .filter(|b| b.len() == want && b.len_bytes() == want * elem);
-            buffers[device] = match reusable {
-                Some(b) => Some(b.clone()),
-                None => Some(inner.runtime.context().create_buffer::<T>(device, want)?),
-            };
-        }
-        Ok(buffers)
     }
 
     /// Commit this vector as the output of a skeleton launch that wrote the
@@ -459,26 +241,103 @@ impl<T: Pod> Vector<T> {
         distribution: Distribution,
         buffers: Vec<Option<Buffer>>,
     ) -> Result<()> {
-        let mut inner = self.inner.lock();
-        // Release any old buffer that was replaced rather than reused.
-        let new_ids: Vec<_> = buffers.iter().flatten().map(|b| b.id()).collect();
-        let stale: Vec<Buffer> = inner
-            .buffers
-            .iter_mut()
-            .filter_map(|old| old.take())
-            .filter(|b| !new_ids.contains(&b.id()))
-            .collect();
-        for b in stale {
-            let _ = inner.runtime.context().release_buffer(&b);
+        self.inner
+            .lock()
+            .commit_as_output(len, distribution, buffers)
+    }
+}
+
+impl<T: Pod> Container<T> for Vector<T> {
+    type Rebound<O: Pod> = Vector<O>;
+
+    fn runtime(&self) -> Arc<SkelCl> {
+        Vector::runtime(self)
+    }
+
+    fn id(&self) -> u64 {
+        Vector::id(self)
+    }
+
+    fn elem_count(&self) -> usize {
+        self.len()
+    }
+
+    fn part_sizes(&self) -> Vec<usize> {
+        self.sizes()
+    }
+
+    fn check_runtime(&self, runtime: &Arc<SkelCl>) -> Result<()> {
+        Vector::check_runtime(self, runtime)
+    }
+
+    fn ensure_on_devices(&self) -> Result<()> {
+        self.copy_data_to_devices()
+    }
+
+    fn mark_device_modified(&self) {
+        Vector::mark_device_modified(self)
+    }
+
+    fn gather(&self) -> Result<Vec<T>> {
+        self.to_vec()
+    }
+
+    fn apply_selection(&self, selection: &DeviceSelection) -> Result<()> {
+        match crate::skeletons::exec::selection_distribution(
+            selection,
+            self.runtime().device_count(),
+        )? {
+            Some(distribution) => self.set_distribution(distribution),
+            None => Ok(()),
         }
-        let devices = inner.runtime.device_count();
-        inner.len = len;
-        inner.partition = Partition::compute(len, devices, &distribution);
-        inner.distribution = distribution;
-        inner.buffers = buffers;
-        inner.host_valid = false;
-        inner.devices_valid = true;
+    }
+
+    fn apply_scheduler(&self, scheduler: &StaticScheduler, cost: CostHint) -> Result<()> {
+        self.set_distribution(scheduler.weighted_block(cost))
+    }
+
+    fn unify_with<B: Pod>(&self, other: &Vector<B>) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(crate::error::SkelError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        // Unify: if the distributions differ (or both are single but on
+        // different devices, which compares unequal), coerce both to block
+        // (paper, Section III-C).
+        if self.distribution() != other.distribution() {
+            self.set_distribution(Distribution::Block)?;
+            other.set_distribution(Distribution::Block)?;
+        }
         Ok(())
+    }
+
+    fn ensure_disjoint(&self) -> Result<()> {
+        if self.distribution() == Distribution::Copy {
+            self.set_distribution(Distribution::Block)?;
+        }
+        Ok(())
+    }
+
+    fn prepare_elementwise(&self) -> Result<(Partition, Vec<Option<Buffer>>)> {
+        self.prepare_on_devices()
+    }
+
+    fn obtain_output_buffers(&self, partition: &Partition) -> Result<Vec<Option<Buffer>>> {
+        self.inner.lock().obtain_output_buffers(partition)
+    }
+
+    fn wrap_output<O: Pod>(&self, buffers: Vec<Option<Buffer>>) -> Vector<O> {
+        Vector::device_resident(&self.runtime(), self.len(), self.distribution(), buffers)
+    }
+
+    fn commit_output<O: Pod>(&self, out: &Vector<O>, buffers: Vec<Option<Buffer>>) -> Result<()> {
+        out.commit_as_output(self.len(), self.distribution(), buffers)
+    }
+
+    fn flat_distribution(&self) -> Option<Distribution> {
+        Some(self.distribution())
     }
 }
 
@@ -565,6 +424,7 @@ impl<T: DeviceScalar> Vector<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::SkelError;
     use crate::runtime::init_gpus;
 
     #[test]
@@ -735,5 +595,23 @@ mod tests {
         v.update_host(|h| h[0] = 9.0).unwrap();
         assert_eq!(w.to_vec().unwrap(), vec![9.0, 2.0]);
         assert_eq!(v.id(), w.id());
+    }
+
+    #[test]
+    fn empty_vector_round_trips_through_every_distribution() {
+        let rt = init_gpus(3);
+        let v = Vector::from_vec(&rt, Vec::<f32>::new());
+        for dist in [
+            Distribution::Block,
+            Distribution::Copy,
+            Distribution::Single(1),
+            Distribution::block_weighted(&[1.0, 2.0, 3.0]),
+            Distribution::Block,
+        ] {
+            v.set_distribution(dist).unwrap();
+            v.prepare_on_devices().unwrap();
+            v.mark_device_modified();
+            assert_eq!(v.to_vec().unwrap(), Vec::<f32>::new());
+        }
     }
 }

@@ -11,7 +11,7 @@
 //! groups [`Node`]s (each contributing device profiles) behind a
 //! [`NetworkModel`]. Exposing a remote device to the client means every
 //! host ↔ device transfer additionally crosses the network, so the cluster
-//! produces *adjusted* [`DeviceProfile`]s — added latency, bandwidth capped
+//! produces *adjusted* [`oclsim::DeviceProfile`]s — added latency, bandwidth capped
 //! by the interconnect — which can be handed directly to
 //! `skelcl::SkelCl::init(DeviceSelection::Profiles(...))`. Nothing else in
 //! the stack changes, which is exactly the drop-in property the paper

@@ -4,7 +4,7 @@
 //! where the tree-walking interpreter pays a string-keyed hash lookup for
 //! every variable access and a shared-cell update for every counted
 //! operation, the VM indexes a flat register file and accumulates the
-//! compile-time-attributed [`InstrCost`]s into plain per-work-item counters.
+//! compile-time-attributed [`crate::compile::InstrCost`]s into plain per-work-item counters.
 //! The interpreter ([`crate::interp`]) is retained as the differential-testing
 //! oracle; both engines must produce identical results *and* identical
 //! [`ExecStats`] for the same launch.

@@ -136,6 +136,20 @@ impl CommandQueue {
         Ok(self.charge(CommandKind::WriteBuffer, dur, bytes, 0, false))
     }
 
+    /// Non-blocking fill of `count` elements starting at element
+    /// `elem_offset` with a repeated value (the `clEnqueueFillBuffer`
+    /// analogue, used for policy-filled halo padding). Charged exactly like
+    /// the equivalent host → device transfer of `count` elements.
+    pub fn enqueue_fill_buffer_region<T: Pod>(
+        &self,
+        buffer: &Buffer,
+        elem_offset: usize,
+        value: T,
+        count: usize,
+    ) -> Result<Event> {
+        self.enqueue_write_buffer_region(buffer, elem_offset, &vec![value; count])
+    }
+
     /// Blocking device → host transfer of a whole buffer into `out`.
     pub fn enqueue_read_buffer<T: Pod>(&self, buffer: &Buffer, out: &mut [T]) -> Result<Event> {
         self.enqueue_read_buffer_region(buffer, 0, out)

@@ -104,6 +104,26 @@ proptest! {
     }
 
     #[test]
+    fn fill_buffer_region_writes_the_repeated_value_and_charges_like_a_write(
+        len in 8usize..256,
+        split in 1usize..7,
+    ) {
+        let split = split.min(len - 1);
+        let ctx = Context::with_gpus(1);
+        let queue = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, len).unwrap();
+        queue.enqueue_write_buffer(&buf, &vec![1.0f32; len]).unwrap();
+        let event = queue
+            .enqueue_fill_buffer_region(&buf, split, -2.5f32, len - split)
+            .unwrap();
+        prop_assert_eq!(event.bytes, (len - split) * 4);
+        let mut back = vec![0.0f32; len];
+        queue.enqueue_read_buffer(&buf, &mut back).unwrap();
+        prop_assert!(back[..split].iter().all(|&x| x == 1.0));
+        prop_assert!(back[split..].iter().all(|&x| x == -2.5));
+    }
+
+    #[test]
     fn in_order_queues_never_overlap_their_commands(
         sizes in prop::collection::vec(1usize..4_096, 2..10),
     ) {

@@ -1,0 +1,55 @@
+//! Container-layer smoke: the *same* `Map` / `Zip` / `Reduce` skeleton
+//! instances run element-wise over a `Vector` and over a `Matrix` through
+//! the unified `Container` launch path — same kernels, same telemetry.
+//!
+//! Run with `cargo run --example matrix_map`.
+
+use skelcl::prelude::*;
+
+fn main() -> Result<()> {
+    let rt = skelcl::init_gpus(4);
+    println!("SkelCL initialised on {} devices", rt.device_count());
+
+    let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+    let sub = Zip::<f32, f32, f32>::from_source("float func(float a, float b) { return a - b; }");
+    let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
+
+    // One skeleton instance, two container shapes.
+    let rows = 64;
+    let cols = 48;
+    let image = Matrix::from_fn(&rt, rows, cols, |r, c| ((r * 31 + c * 7) % 17) as f32);
+    let flat = Vector::from_vec(&rt, image.to_vec()?);
+
+    // map → zip → reduce entirely on the devices, over the matrix...
+    let m_squared = image.map(&square)?;
+    let m_diff = m_squared.zip(&image, &sub)?;
+    let m_total = m_diff.reduce(&sum)?;
+
+    // ...and over the flattened vector.
+    let v_total = flat.map(&square)?.zip(&flat, &sub)?.reduce(&sum)?;
+
+    println!("matrix pipeline: sum(x² - x) = {m_total}");
+    println!("vector pipeline: sum(x² - x) = {v_total}");
+    assert_eq!(
+        m_total.to_bits(),
+        v_total.to_bits(),
+        "matrix and vector pipelines must agree bit for bit"
+    );
+
+    // The matrix output keeps its shape and row-block distribution.
+    println!(
+        "matrix output: {}×{} rows-per-device {:?}",
+        m_diff.rows(),
+        m_diff.cols(),
+        m_diff.row_counts()
+    );
+
+    // Telemetry flows through the same exec-trace path for both shapes.
+    let trace = rt.exec_trace();
+    println!(
+        "exec trace: {} skeleton calls, {} programs built",
+        trace.skeleton_calls, trace.programs_built
+    );
+    assert!(trace.skeleton_calls >= 6);
+    Ok(())
+}
