@@ -287,10 +287,14 @@ impl<T: Pod, D: Partitioning> Storage<T, D> {
         }
     }
 
-    /// Release every device buffer back to the context.
+    /// Release every device buffer back to the context. Each owning
+    /// device's queue is quiesced first (a real-time join, no virtual-time
+    /// effect) so no in-flight command of the asynchronous engine still
+    /// references the storage being released.
     pub(crate) fn release_buffers(&mut self) {
         for buf in self.buffers.iter_mut() {
             if let Some(b) = buf.take() {
+                self.runtime.queue(b.device()).quiesce();
                 // A failure here would mean the buffer was already released,
                 // which cannot happen while the storage owns it; ignore.
                 let _ = self.runtime.context().release_buffer(&b);
@@ -322,6 +326,7 @@ impl<T: Pod, D: Partitioning> Storage<T, D> {
                 Some(b) if b.len() == stored => b.clone(),
                 _ => {
                     if let Some(old) = self.buffers[device].take() {
+                        self.runtime.queue(device).quiesce();
                         let _ = self.runtime.context().release_buffer(&old);
                     }
                     let b = self.runtime.context().create_buffer::<T>(device, stored)?;
@@ -379,32 +384,60 @@ impl<T: Pod, D: Partitioning> Storage<T, D> {
         if self.distribution.is_replicated() {
             let actives = self.layout.active_devices();
             let first = *actives.first().ok_or(SkelError::EmptyInput)?;
-            let buffer = self.buffers[first].as_ref().ok_or_else(|| {
-                SkelError::Distribution("replicated container has no device buffer".into())
-            })?;
-            let mut host = vec_uninit_len::<T>(len);
-            self.runtime
-                .queue(first)
-                .enqueue_read_buffer(buffer, &mut host)?;
-            if let Combine::Func(f) = &self.combine {
-                let mut other = vec_uninit_len::<T>(len);
-                for &device in actives.iter().skip(1) {
-                    let buffer = self.buffers[device].as_ref().ok_or_else(|| {
-                        SkelError::Distribution(
-                            "replicated container is missing a device copy".into(),
-                        )
-                    })?;
-                    self.runtime
-                        .queue(device)
-                        .enqueue_read_buffer(buffer, &mut other)?;
-                    f(&mut host, &other);
+            // Enqueue the read of every replica before waiting on any, so
+            // the per-device workers execute them concurrently; the merge
+            // then consumes the payloads in device order (the combine
+            // function may be non-commutative). Trade-off: each in-flight
+            // read buffers one replica-sized payload, so the transient peak
+            // is ~(replicas + 2) × len during a combining gather — accepted
+            // for the wall-clock overlap; cap the enqueue window here if a
+            // workload ever replicates containers near device-memory scale.
+            let merge_all = matches!(self.combine, Combine::Func(_));
+            let mut pending = Vec::new();
+            for &device in &actives {
+                if device != first && !merge_all {
+                    continue;
                 }
+                let buffer = self.buffers[device].as_ref().ok_or_else(|| {
+                    SkelError::Distribution("replicated container has no device buffer".into())
+                })?;
+                let event = self
+                    .runtime
+                    .queue(device)
+                    .enqueue_read_buffer_region_nb::<T>(buffer, 0, len)?;
+                pending.push((device, event));
+            }
+            let mut host = vec_uninit_len::<T>(len);
+            // The merge staging buffer is only needed when replicas are
+            // actually combined (Combine::KeepFirst reads one device only).
+            let mut other = if merge_all {
+                vec_uninit_len::<T>(len)
+            } else {
+                Vec::new()
+            };
+            for (device, event) in pending {
+                let dst = if device == first {
+                    &mut host
+                } else {
+                    &mut other
+                };
+                self.claim_read(device, &event, dst)?;
+                if device != first {
+                    if let Combine::Func(f) = &self.combine {
+                        f(&mut host, &other);
+                    }
+                }
+            }
+            if merge_all {
                 // After combining, the individual device copies are stale.
                 self.devices_valid = false;
             }
             self.host = host;
         } else {
-            let mut host = vec_uninit_len::<T>(len);
+            // Enqueue every part's read before waiting on any: downloads
+            // from different devices overlap in real time (and in virtual
+            // time — no host-clock sync serialises them any more).
+            let mut pending = Vec::new();
             for device in 0..self.layout.device_count() {
                 let Some((src_offset, dst)) = self.layout.gather_segment(device) else {
                     continue;
@@ -417,15 +450,35 @@ impl<T: Pod, D: Partitioning> Storage<T, D> {
                         "device {device} should hold elements {dst:?} but has no buffer"
                     ))
                 })?;
-                self.runtime.queue(device).enqueue_read_buffer_region(
-                    buffer,
-                    src_offset,
-                    &mut host[dst],
-                )?;
+                let event = self
+                    .runtime
+                    .queue(device)
+                    .enqueue_read_buffer_region_nb::<T>(buffer, src_offset, dst.len())?;
+                pending.push((device, dst, event));
+            }
+            let mut host = vec_uninit_len::<T>(len);
+            for (device, dst, event) in pending {
+                self.claim_read(device, &event, &mut host[dst])?;
             }
             self.host = host;
         }
         self.host_valid = true;
+        Ok(())
+    }
+
+    /// Wait for a non-blocking gather read, copy its payload into `out`, and
+    /// synchronise the host's virtual clock with the transfer's end — the
+    /// same virtual blocking-read semantics as `enqueue_read_buffer_region`,
+    /// including surfacing an earlier command's deferred error as the root
+    /// cause.
+    fn claim_read(&self, device: usize, event: &oclsim::EventHandle, out: &mut [T]) -> Result<()> {
+        let queue = self.runtime.queue(device);
+        let result = event.wait_into(out);
+        if let Some(earlier) = queue.take_error() {
+            return Err(earlier.into());
+        }
+        let record = result?;
+        self.runtime.context().sync_host_to(record.end);
         Ok(())
     }
 
@@ -613,6 +666,7 @@ impl<T: Pod, D: Partitioning> Storage<T, D> {
             .filter(|b| !new_ids.contains(&b.id()))
             .collect();
         for b in stale {
+            self.runtime.queue(b.device()).quiesce();
             let _ = self.runtime.context().release_buffer(&b);
         }
         self.shape = shape;

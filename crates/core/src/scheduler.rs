@@ -99,6 +99,7 @@ impl PerfModel {
                 sample_size.max(1),
                 &[KernelArg::Buffer(buffer.clone())],
             )?;
+            let event = event.wait().map_err(crate::error::SkelError::from)?;
             runtime.context().release_buffer(&buffer)?;
             let measured = event.duration();
             let predicted = self_predict(perf, sample_size.max(1), cost);

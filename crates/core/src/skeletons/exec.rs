@@ -339,12 +339,21 @@ impl PreparedCall {
             kargs.extend(self.prepared_args.kernel_args_for(device)?);
             launches.push((device, n, kargs));
         }
+        // Enqueue on every device before waiting on any: the non-blocking
+        // enqueues hand the launches to the per-device worker threads, so
+        // N-device calls execute concurrently in real time; the wait then
+        // surfaces any kernel runtime error at the call site (and keeps the
+        // launch's buffers alive until the kernels are done).
+        let mut events = Vec::with_capacity(launches.len());
         for (device, n, kargs) in launches {
-            self.runtime
-                .queue(device)
-                .enqueue_kernel(kernel, n, &kargs)?;
+            events.push((
+                device,
+                self.runtime
+                    .queue(device)
+                    .enqueue_kernel(kernel, n, &kargs)?,
+            ));
         }
-        Ok(())
+        wait_kernel_events(&self.runtime, events)
     }
 
     /// The **combine** stage of element-wise skeletons: wrap the per-device
@@ -370,6 +379,28 @@ impl PreparedCall {
         self.input_buffers[0][device].clone().ok_or_else(|| {
             SkelError::Distribution(format!("input container has no buffer on device {device}"))
         })
+    }
+}
+
+/// Join a set of per-device kernel launches (real time only — the virtual
+/// clocks are untouched) and surface the first error. The duplicate latched
+/// on the failing queue is discarded so later launches start clean.
+pub(crate) fn wait_kernel_events(
+    runtime: &Arc<SkelCl>,
+    events: Vec<(usize, oclsim::EventHandle)>,
+) -> Result<()> {
+    let mut first_error = None;
+    for (device, event) in events {
+        if let Err(e) = event.wait() {
+            let _ = runtime.queue(device).take_error();
+            if first_error.is_none() {
+                first_error = Some(e);
+            }
+        }
+    }
+    match first_error {
+        Some(e) => Err(e.into()),
+        None => Ok(()),
     }
 }
 

@@ -375,6 +375,9 @@ impl<'a, O: Pod> IndexLaunch<'a, O> {
             }
         };
 
+        // Enqueue on all devices, then wait: index-map launches overlap in
+        // real time across the per-device workers like every other skeleton.
+        let mut events = Vec::new();
         for device in partition.active_devices() {
             let range = partition.range(device);
             let n = range.len();
@@ -385,8 +388,12 @@ impl<'a, O: Pod> IndexLaunch<'a, O> {
                 oclsim::KernelArg::Scalar(Value::Int(range.start as i32)),
             ];
             kargs.extend(prepared.kernel_args_for(device)?);
-            runtime.queue(device).enqueue_kernel(&kernel, n, &kargs)?;
+            events.push((
+                device,
+                runtime.queue(device).enqueue_kernel(&kernel, n, &kargs)?,
+            ));
         }
+        crate::skeletons::exec::wait_kernel_events(runtime, events)?;
 
         Ok(Vector::device_resident(
             runtime,

@@ -206,11 +206,20 @@ impl<O: Pod> MapOverlap<f32, O> {
             kargs.extend(prepared.kernel_args_for(device)?);
             launches.push((device, n, kargs));
         }
+        // Enqueue the sweep on every device, then wait: the per-device
+        // workers execute the parts concurrently in real time, and kernel
+        // runtime errors (e.g. a `get` beyond the declared halo) surface
+        // here rather than at a later gather.
+        let mut events = Vec::new();
         for (device, n, kargs) in launches {
-            runtime
-                .queue(device)
-                .enqueue_kernel(&built.kernel, n, &kargs)?;
+            events.push((
+                device,
+                runtime
+                    .queue(device)
+                    .enqueue_kernel(&built.kernel, n, &kargs)?,
+            ));
         }
+        crate::skeletons::exec::wait_kernel_events(&runtime, events)?;
 
         match reuse {
             Some(out) => {

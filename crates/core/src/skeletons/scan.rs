@@ -286,7 +286,10 @@ impl<T: DeviceScalar> Scan<T> {
         }
 
         // Step 3 + 4: combine predecessor totals into each later part via the
-        // implicitly created map (offset) kernels.
+        // implicitly created map (offset) kernels. All offset kernels are
+        // enqueued before any is waited on, so the per-device workers apply
+        // them concurrently in real time.
+        let mut offset_events = Vec::new();
         let mut offsets: Vec<Option<T>> = vec![None; active.len()];
         let mut running: Option<T> = None;
         for (i, &device) in active.iter().enumerate() {
@@ -307,30 +310,37 @@ impl<T: DeviceScalar> Scan<T> {
             match &self.udf {
                 ScanUdf::Source(_) => {
                     let built = built.as_ref().expect("source scan builds its program");
-                    runtime.queue(device).enqueue_kernel_with_cost(
-                        &built.offset_kernel,
-                        n,
-                        &[
-                            KernelArg::Buffer(out_buffer),
-                            KernelArg::Scalar(Value::Int(n as i32)),
-                            KernelArg::Scalar(offset.to_value()),
-                        ],
-                        offset_cost,
-                    )?;
+                    offset_events.push((
+                        device,
+                        runtime.queue(device).enqueue_kernel_with_cost(
+                            &built.offset_kernel,
+                            n,
+                            &[
+                                KernelArg::Buffer(out_buffer),
+                                KernelArg::Scalar(Value::Int(n as i32)),
+                                KernelArg::Scalar(offset.to_value()),
+                            ],
+                            offset_cost,
+                        )?,
+                    ));
                 }
                 ScanUdf::Native(_) => {
                     let kernel = self
                         .native_offset_kernel(offset)
                         .expect("native kernel construction cannot fail");
-                    runtime.queue(device).enqueue_kernel_with_cost(
-                        &kernel,
-                        n,
-                        &[KernelArg::Buffer(out_buffer)],
-                        offset_cost,
-                    )?;
+                    offset_events.push((
+                        device,
+                        runtime.queue(device).enqueue_kernel_with_cost(
+                            &kernel,
+                            n,
+                            &[KernelArg::Buffer(out_buffer)],
+                            offset_cost,
+                        )?,
+                    ));
                 }
             }
         }
+        crate::skeletons::exec::wait_kernel_events(runtime, offset_events)?;
 
         // The output adopts the input's (non-copy) distribution: the buffers
         // were allocated for exactly that partition, so block, weighted

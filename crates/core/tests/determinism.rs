@@ -1,0 +1,166 @@
+//! Determinism suite for the threaded execution engine.
+//!
+//! Since PR 5 every `oclsim` command queue executes on a dedicated worker
+//! thread, so commands of different devices genuinely overlap in real time.
+//! The contract is that this is *observably invisible*: repeated runs of the
+//! same program must produce bit-identical results AND bit-identical
+//! telemetry — `SkelCl::exec_trace()` counters, per-device event logs with
+//! their virtual timestamps, and the host's virtual clock — no matter how
+//! the worker threads interleave.
+//!
+//! Each scenario below runs three times on fresh runtimes for every device
+//! count from 1 to 4 and compares full observation snapshots. CI runs this
+//! suite under both `--test-threads=1` and the default parallelism so the
+//! interleavings differ across runs as much as the host allows.
+
+use oclsim::EventSummary;
+use skelcl::prelude::*;
+use skelcl::runtime::ExecTrace;
+
+/// Deterministic pseudo-random input (explicit LCG — keeps the suite
+/// seed-stable without depending on a random crate).
+fn seeded(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32) / 1e6 - 8.0
+        })
+        .collect()
+}
+
+/// Everything an execution observably produces: result bits, runtime
+/// counters, per-device event summaries and timestamps, final virtual time.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    result_bits: Vec<u32>,
+    scalar_bits: u32,
+    trace: ExecTrace,
+    per_device_events: Vec<Vec<(u64, u64, usize, usize)>>,
+    summaries: Vec<EventSummary>,
+    host_ns: u64,
+}
+
+/// Run one scenario and snapshot every observable output.
+fn observe(
+    devices: usize,
+    scenario: impl Fn(&std::sync::Arc<skelcl::SkelCl>) -> (Vec<f32>, f32),
+) -> Observation {
+    let rt = skelcl::init_gpus(devices);
+    rt.drain_events();
+    let (result, scalar) = scenario(&rt);
+    rt.finish_all();
+    let events = rt.drain_events();
+    Observation {
+        result_bits: result.iter().map(|x| x.to_bits()).collect(),
+        scalar_bits: scalar.to_bits(),
+        trace: rt.exec_trace(),
+        per_device_events: events
+            .iter()
+            .map(|evs| {
+                evs.iter()
+                    .map(|e| (e.start.as_nanos(), e.end.as_nanos(), e.bytes, e.work_items))
+                    .collect()
+            })
+            .collect(),
+        summaries: events.iter().map(EventSummary::from_events).collect(),
+        host_ns: rt.now().as_nanos(),
+    }
+}
+
+fn assert_deterministic(
+    name: &str,
+    scenario: impl Fn(&std::sync::Arc<skelcl::SkelCl>) -> (Vec<f32>, f32),
+) {
+    for devices in 1..=4 {
+        let first = observe(devices, &scenario);
+        for rep in 1..3 {
+            let again = observe(devices, &scenario);
+            assert_eq!(
+                first, again,
+                "{name} diverged on repetition {rep} with {devices} device(s)"
+            );
+        }
+        assert!(
+            first.host_ns > 0,
+            "{name} must actually execute work ({devices} devices)"
+        );
+    }
+}
+
+#[test]
+fn map_is_deterministic_under_threaded_queues() {
+    assert_deterministic("map", |rt| {
+        let inc =
+            Map::<f32, f32>::from_source("float func(float x, float a) { return x * a + 0.5f; }");
+        let v = Vector::from_vec(rt, seeded(4096, 11));
+        let out = inc.run(&v).arg(1.5f32).exec().unwrap();
+        (out.to_vec().unwrap(), 0.0)
+    });
+}
+
+#[test]
+fn zip_is_deterministic_under_threaded_queues() {
+    assert_deterministic("zip", |rt| {
+        let saxpy = Zip::<f32, f32, f32>::from_source(
+            "float func(float x, float y, float a) { return a * x + y; }",
+        );
+        let x = Vector::from_vec(rt, seeded(3000, 7));
+        let y = Vector::from_vec(rt, seeded(3000, 13));
+        let out = saxpy.run(&x, &y).arg(2.5f32).exec().unwrap();
+        (out.to_vec().unwrap(), 0.0)
+    });
+}
+
+#[test]
+fn reduce_is_deterministic_under_threaded_queues() {
+    assert_deterministic("reduce", |rt| {
+        let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
+        let v = Vector::from_vec(rt, seeded(5000, 29));
+        let s = sum.run(&v).exec().unwrap();
+        (Vec::new(), s)
+    });
+}
+
+#[test]
+fn scan_is_deterministic_under_threaded_queues() {
+    assert_deterministic("scan", |rt| {
+        let prefix = Scan::<f32>::from_source("float func(float a, float b) { return a + b; }");
+        let v = Vector::from_vec(rt, seeded(2048, 3));
+        let out = prefix.run(&v).exec().unwrap();
+        (out.to_vec().unwrap(), 0.0)
+    });
+}
+
+#[test]
+fn iterative_stencil_is_deterministic_under_threaded_queues() {
+    assert_deterministic("stencil", |rt| {
+        let heat = MapOverlap::<f32, f32>::from_source(
+            "float func(float x) { return x + 0.1f * (get(0, -1) + get(0, 1) + get(-1, 0) + get(1, 0) - 4.0f * x); }",
+        )
+        .with_halo(1)
+        .with_boundary(Boundary::Clamp);
+        let m = Matrix::from_vec(rt, 24, 16, seeded(24 * 16, 41)).unwrap();
+        let out = heat.run(&m).run_iter(4).unwrap();
+        (out.to_vec().unwrap(), 0.0)
+    });
+}
+
+#[test]
+fn chained_pipeline_is_deterministic_under_threaded_queues() {
+    // A chain keeps intermediate results device-resident, so this exercises
+    // buffer-pool revival (lazy zeroing), run_into reuse and the
+    // multi-launch event stream together.
+    assert_deterministic("pipeline", |rt| {
+        let double = Map::<f32, f32>::from_source("float func(float x) { return x * 2.0f; }");
+        let shift = Map::<f32, f32>::from_source("float func(float x) { return x - 1.0f; }");
+        let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
+        let v = Vector::from_vec(rt, seeded(2500, 17));
+        let a = double.run(&v).exec().unwrap();
+        let b = shift.run(&a).exec().unwrap();
+        let s = sum.run(&b).exec().unwrap();
+        (b.to_vec().unwrap(), s)
+    });
+}

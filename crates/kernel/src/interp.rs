@@ -89,6 +89,20 @@ impl<'a> BufferView<'a> {
         }
     }
 
+    /// Write back a value previously read with [`BufferView::load`] without
+    /// any conversion, bit-exactly — the undo path of the batched VM's
+    /// rollback. A variant mismatch or out-of-range index is a logic error
+    /// (the undo log only ever holds values loaded from this view).
+    pub(crate) fn restore(&mut self, idx: usize, value: Value) {
+        match (self, value) {
+            (BufferView::F32(s), Value::Float(v)) => s[idx] = v,
+            (BufferView::F64(s), Value::Double(v)) => s[idx] = v,
+            (BufferView::I32(s), Value::Int(v)) => s[idx] = v,
+            (BufferView::U32(s), Value::Uint(v)) => s[idx] = v,
+            _ => unreachable!("undo log holds values loaded from the same view"),
+        }
+    }
+
     pub(crate) fn store(&mut self, idx: usize, value: Value) -> bool {
         match self {
             BufferView::F32(s) => {

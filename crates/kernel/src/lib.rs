@@ -234,8 +234,11 @@ impl Program {
     /// counts — rather than the static [`Program::cost_estimate`] — to charge
     /// virtual time, so data-dependent loops are accounted for exactly.
     ///
-    /// Work-items run through the bytecode VM; argument validation happens
-    /// once per launch instead of once per item.
+    /// Work-items run through the bytecode VM in lane batches of
+    /// [`vm::BATCH_LANES`] (see the [`vm`] module docs — batching is
+    /// semantically invisible: results, stats and errors are identical to
+    /// the one-item-at-a-time loop); argument validation happens once per
+    /// launch instead of once per item.
     pub fn run_ndrange_measured(
         &self,
         kernel: &KernelHandle,
@@ -244,15 +247,34 @@ impl Program {
     ) -> Result<interp::ExecStats, KernelError> {
         let mut vm = Vm::new(&self.compiled);
         vm.bind_kernel(kernel.index, args)?;
+        let mut items = [WorkItem::linear(0, global_size); vm::BATCH_LANES];
+        let mut gid = 0;
+        while gid < global_size {
+            let n = (global_size - gid).min(vm::BATCH_LANES);
+            for (k, slot) in items.iter_mut().enumerate().take(n) {
+                *slot = WorkItem::linear(gid + k, global_size);
+            }
+            vm.run_batch(&items[..n], args)?;
+            gid += n;
+        }
+        Ok(vm.stats())
+    }
+
+    /// Scalar (one-work-item-at-a-time) twin of
+    /// [`Program::run_ndrange_measured`]. Semantically identical — the lane
+    /// batching of the default path is invisible — and kept as a public
+    /// entry point so benchmarks can quantify the batching win and the
+    /// differential suites can pin both paths against the oracle.
+    pub fn run_ndrange_measured_scalar(
+        &self,
+        kernel: &KernelHandle,
+        global_size: usize,
+        args: &mut [ArgBinding<'_>],
+    ) -> Result<interp::ExecStats, KernelError> {
+        let mut vm = Vm::new(&self.compiled);
+        vm.bind_kernel(kernel.index, args)?;
         for gid in 0..global_size {
-            let item = WorkItem {
-                global_id: gid,
-                global_size,
-                local_id: gid,
-                local_size: global_size,
-                group_id: 0,
-            };
-            vm.run_item(item, args)?;
+            vm.run_item(WorkItem::linear(gid, global_size), args)?;
         }
         Ok(vm.stats())
     }
@@ -270,6 +292,22 @@ impl Program {
     ) -> Result<(), KernelError> {
         self.run_ndrange_measured_interp(kernel, global_size, args)
             .map(|_| ())
+    }
+
+    /// Run a *single* work-item of a larger NDRange through the interpreter
+    /// oracle and return just that item's measured stats. The differential
+    /// suites use this to rebuild a launch's totals strictly per item and
+    /// assert the batched VM's per-batch accumulation equals the sum.
+    pub fn run_ndrange_measured_interp_item(
+        &self,
+        kernel: &KernelHandle,
+        global_id: usize,
+        global_size: usize,
+        args: &mut [ArgBinding<'_>],
+    ) -> Result<interp::ExecStats, KernelError> {
+        let mut interp = Interpreter::new(&self.unit);
+        interp.run_kernel(kernel.index, WorkItem::linear(global_id, global_size), args)?;
+        Ok(interp.stats())
     }
 
     /// Oracle twin of [`Program::run_ndrange_measured`]: runs every

@@ -606,3 +606,195 @@ fn buffer_parameter_read_as_value_is_the_same_error() {
     let _ = src;
     assert_engines_agree_f32(src2, "k", &[vec![0.0f32; 2]], &[Value::Int(2)], 1);
 }
+
+// ---------------------------------------------------------------------------
+// Lane-batched accumulation vs the oracle's per-item totals
+// ---------------------------------------------------------------------------
+//
+// `Program::run_ndrange_measured` executes work-items in lockstep batches and
+// accumulates `ExecStats` once per batch (`cost × active_lanes`). These tests
+// pin the accumulation identity the batched path must uphold: the per-batch
+// totals equal the interpreter oracle's per-item totals *exactly* (all cost
+// constants are dyadic rationals, so no summation order may differ), at every
+// batch-boundary shape — full batches, ragged tails, single-item launches —
+// and through the early-exit lane mask.
+
+/// Oracle totals accumulated strictly one item at a time.
+fn oracle_per_item_totals(
+    p: &Program,
+    k: &skelcl_kernel::KernelHandle,
+    buffers: &mut [Vec<f32>],
+    scalars: &[Value],
+    global_size: usize,
+) -> ExecStats {
+    let mut args: Vec<ArgBinding<'_>> = Vec::new();
+    for b in buffers.iter_mut() {
+        args.push(ArgBinding::Buffer(skelcl_kernel::interp::BufferView::F32(
+            b,
+        )));
+    }
+    for s in scalars {
+        args.push(ArgBinding::Scalar(*s));
+    }
+    let mut total = ExecStats::default();
+    for gid in 0..global_size {
+        // One-item NDRanges keep the oracle's accumulation strictly
+        // per item while preserving the launch geometry.
+        let stats = p
+            .run_ndrange_measured_interp_item(k, gid, global_size, &mut args)
+            .expect("oracle item");
+        total.flops += stats.flops;
+        total.global_bytes += stats.global_bytes;
+        total.ops += stats.ops;
+    }
+    total
+}
+
+/// The guarded map shape at sizes straddling every batch boundary: the
+/// batched engine's per-batch totals must equal the oracle's per-item sums
+/// bit for bit, and so must the output buffers.
+#[test]
+fn per_batch_totals_equal_oracle_per_item_totals_across_batch_shapes() {
+    let src = r#"
+        float func(float x, float a) { return x * a + 0.5f; }
+        __kernel void SKELCL_MAP(__global float* skelcl_in, __global float* skelcl_out, int skelcl_n, float skelcl_arg_a) {
+            int skelcl_gid = get_global_id(0);
+            if (skelcl_gid < skelcl_n) {
+                skelcl_out[skelcl_gid] = func(skelcl_in[skelcl_gid], skelcl_arg_a);
+            }
+        }
+    "#;
+    let p = Program::build(src).unwrap();
+    let k = p.kernel("SKELCL_MAP").unwrap();
+    let batch = skelcl_kernel::vm::BATCH_LANES;
+    for n in [1, 2, batch - 1, batch, batch + 1, 3 * batch, 3 * batch + 7] {
+        let input: Vec<f32> = (0..n).map(|i| i as f32 * 0.25 - 3.0).collect();
+        let scalars = [Value::Int(n as i32), Value::Float(1.5)];
+
+        let mut oracle_bufs = vec![input.clone(), vec![0.0f32; n]];
+        let oracle = oracle_per_item_totals(&p, &k, &mut oracle_bufs, &scalars, n);
+
+        let mut bufs = vec![input.clone(), vec![0.0f32; n]];
+        let mut args: Vec<ArgBinding<'_>> = Vec::new();
+        for b in &mut bufs {
+            args.push(ArgBinding::Buffer(skelcl_kernel::interp::BufferView::F32(
+                b,
+            )));
+        }
+        for s in &scalars {
+            args.push(ArgBinding::Scalar(*s));
+        }
+        let batched = p.run_ndrange_measured(&k, n, &mut args).unwrap();
+        drop(args);
+
+        assert_eq!(batched, oracle, "per-batch totals diverged at n = {n}");
+        assert_eq!(bufs, oracle_bufs, "results diverged at n = {n}");
+    }
+}
+
+/// A launch whose guard masks out a *strict subset* of the final batch's
+/// lanes (gid ≥ n works on padding): the exit-chain charging of the lane
+/// mask must reproduce the oracle's costs for the masked lanes exactly.
+#[test]
+fn lane_mask_exit_charging_matches_the_oracle() {
+    let src = r#"
+        __kernel void k(__global float* v, int n) {
+            int gid = get_global_id(0);
+            if (gid < n) { v[gid] = v[gid] * 2.0f + 1.0f; }
+        }
+    "#;
+    let p = Program::build(src).unwrap();
+    let k = p.kernel("k").unwrap();
+    let batch = skelcl_kernel::vm::BATCH_LANES;
+    // Launch over more items than the buffer holds valid elements: the tail
+    // lanes take the guard's exit path inside a live batch.
+    for (len, launch) in [(10, 16), (batch + 5, batch + batch / 2), (3, 3 * batch)] {
+        let input: Vec<f32> = (0..launch).map(|i| i as f32).collect();
+        let scalars = [Value::Int(len as i32)];
+
+        let mut oracle_bufs = vec![input.clone()];
+        let oracle = oracle_per_item_totals(&p, &k, &mut oracle_bufs, &scalars, launch);
+
+        let mut bufs = vec![input.clone()];
+        let mut args = vec![
+            ArgBinding::Buffer(skelcl_kernel::interp::BufferView::F32(&mut bufs[0])),
+            ArgBinding::Scalar(scalars[0]),
+        ];
+        let batched = p.run_ndrange_measured(&k, launch, &mut args).unwrap();
+        drop(args);
+
+        assert_eq!(
+            batched, oracle,
+            "masked-lane charging diverged for len={len} launch={launch}"
+        );
+        assert_eq!(bufs, oracle_bufs, "results diverged for len={len}");
+    }
+}
+
+/// Kernels the lockstep model must *refuse* to batch — cross-lane hazards and
+/// data-dependent divergence — still match the oracle exactly through the
+/// rollback-and-replay path (the hazard test reads a neighbour it also
+/// writes; the divergence test runs gid-dependent loop counts).
+#[test]
+fn rollback_and_replay_paths_match_the_oracle() {
+    let hazard = r#"
+        __kernel void k(__global float* v, int n) {
+            int gid = get_global_id(0);
+            v[gid] = v[gid] * 2.0f;
+            v[gid] += v[(gid + 1) % n];
+        }
+    "#;
+    let divergent = r#"
+        __kernel void k(__global float* v, int n) {
+            int gid = get_global_id(0);
+            float acc = 0.0f;
+            for (int i = 0; i <= gid % 7; i++) { acc += v[gid] * 0.5f; }
+            v[gid] = acc;
+        }
+    "#;
+    let batch = skelcl_kernel::vm::BATCH_LANES;
+    for src in [hazard, divergent] {
+        let n = 2 * batch + 3;
+        let data: Vec<f32> = (0..n).map(|i| (i % 13) as f32 - 6.0).collect();
+        assert_engines_agree_f32(src, "k", &[data], &[Value::Int(n as i32)], n);
+    }
+}
+
+/// The scalar VM entry point and the batched default must agree with each
+/// other (and the oracle) on a data-dependent workload.
+#[test]
+fn scalar_and_batched_vm_paths_are_identical() {
+    let src = r#"
+        __kernel void k(__global float* v, int n) {
+            int gid = get_global_id(0);
+            float acc = v[gid];
+            for (int i = 0; i < gid % 5 + 1; i++) { acc = acc * 1.5f - 0.25f; }
+            v[gid] = acc;
+        }
+    "#;
+    let p = Program::build(src).unwrap();
+    let k = p.kernel("k").unwrap();
+    let n = 150;
+    let input: Vec<f32> = (0..n).map(|i| i as f32 * 0.125).collect();
+
+    let mut a = input.clone();
+    let mut args = vec![
+        ArgBinding::buffer_f32(&mut a),
+        ArgBinding::Scalar(Value::Int(n as i32)),
+    ];
+    let sa = p.run_ndrange_measured(&k, n, &mut args).unwrap();
+    drop(args);
+
+    let mut b = input.clone();
+    let mut args = vec![
+        ArgBinding::buffer_f32(&mut b),
+        ArgBinding::Scalar(Value::Int(n as i32)),
+    ];
+    let sb = p.run_ndrange_measured_scalar(&k, n, &mut args).unwrap();
+    drop(args);
+
+    assert_eq!(sa, sb, "batched and scalar stats must be identical");
+    let ab: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+    let bb: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(ab, bb, "batched and scalar results must be identical");
+}

@@ -111,6 +111,12 @@ impl Context {
         self.devices.iter().map(|d| d.pool_hit_count()).sum()
     }
 
+    /// Total pool revivals (across all devices) whose re-zeroing memset was
+    /// elided because the first command fully overwrote the buffer.
+    pub fn lazy_zero_elisions(&self) -> usize {
+        self.devices.iter().map(|d| d.lazy_zero_elisions()).sum()
+    }
+
     /// Total released allocations currently parked across all device pools.
     pub fn pooled_buffers(&self) -> usize {
         self.devices.iter().map(|d| d.pooled_buffers()).sum()
@@ -177,6 +183,15 @@ impl Context {
     pub fn charge_host(&self, duration: SimDuration) {
         let mut clock = self.host_clock.lock();
         *clock += duration;
+    }
+
+    /// Advance the host's virtual clock to at least `time` — the
+    /// virtually-blocking half of waiting on an [`crate::EventHandle`]
+    /// (e.g. a non-blocking read whose payload the host is about to
+    /// consume). A no-op when the host clock is already past `time`.
+    pub fn sync_host_to(&self, time: SimTime) {
+        let mut clock = self.host_clock.lock();
+        *clock = (*clock).max(time);
     }
 
     /// Reset the host clock to zero. Queues created afterwards start from a

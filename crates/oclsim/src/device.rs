@@ -19,6 +19,13 @@ pub type DeviceId = usize;
 pub struct BufferData {
     words: Vec<u64>,
     len_bytes: usize,
+    /// Storage revived from the buffer pool still holding its previous
+    /// contents. Fresh-allocation (all-zero) semantics are established
+    /// *lazily* on first access: a write zeroes only the bytes it does not
+    /// cover (nothing at all for a full overwrite — the common
+    /// upload-after-alloc path), a read or kernel launch settles the whole
+    /// buffer.
+    pending_zero: bool,
 }
 
 impl BufferData {
@@ -27,6 +34,7 @@ impl BufferData {
         BufferData {
             words: vec![0u64; len_bytes.div_ceil(8)],
             len_bytes,
+            pending_zero: false,
         }
     }
 
@@ -65,10 +73,33 @@ impl BufferData {
         pod::cast_slice_mut(self.as_bytes_mut())
     }
 
-    /// Reset the contents to all zeroes (fresh-allocation semantics for
-    /// pooled reuse).
-    fn zero(&mut self) {
-        self.words.fill(0);
+    /// Establish fresh-allocation semantics now if the storage was revived
+    /// from the pool and has not been settled yet.
+    fn settle_zero(&mut self) {
+        if self.pending_zero {
+            self.words.fill(0);
+            self.pending_zero = false;
+        }
+    }
+
+    /// Settle a revived buffer around a write of `[offset, end)` bytes:
+    /// zero only the uncovered ranges. Returns `true` when the write covers
+    /// the whole buffer and no zeroing was needed at all.
+    fn settle_zero_around(&mut self, offset: usize, end: usize) -> bool {
+        debug_assert!(self.pending_zero);
+        self.pending_zero = false;
+        if offset == 0 && end == self.len_bytes {
+            return true;
+        }
+        let total = self.words.len() * 8;
+        // SAFETY: u64 -> u8 reinterpretation of an exclusively borrowed,
+        // fully initialised allocation (same as `as_bytes_mut`, but over the
+        // whole word storage so the tail padding is settled too).
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), total) };
+        bytes[..offset].fill(0);
+        bytes[end..].fill(0);
+        false
     }
 }
 
@@ -105,6 +136,10 @@ pub struct Device {
     /// [`OclError::BufferNotFound`] it reports today.
     pool: Mutex<BufferPool>,
     pool_hits: AtomicUsize,
+    /// Pool revivals whose first access was a full overwrite, so the
+    /// fresh-allocation zeroing was elided entirely (see
+    /// [`BufferData::settle_zero_around`]).
+    zero_elisions: AtomicUsize,
     allocated: AtomicUsize,
     next_buffer_id: AtomicU64,
 }
@@ -118,6 +153,7 @@ impl Device {
             storage: Mutex::new(HashMap::new()),
             pool: Mutex::new(BufferPool::default()),
             pool_hits: AtomicUsize::new(0),
+            zero_elisions: AtomicUsize::new(0),
             allocated: AtomicUsize::new(0),
             next_buffer_id: AtomicU64::new(1),
         }
@@ -174,7 +210,9 @@ impl Device {
         };
         let data = match recycled {
             Some(mut data) => {
-                data.zero();
+                // Fresh-allocation semantics are established lazily: the
+                // first command decides how much (if any) zeroing is needed.
+                data.pending_zero = true;
                 self.pool_hits.fetch_add(1, Ordering::Relaxed);
                 data
             }
@@ -225,6 +263,12 @@ impl Device {
         self.pool_hits.load(Ordering::Relaxed)
     }
 
+    /// How many pool revivals skipped the re-zeroing memset entirely because
+    /// their first command fully overwrote the buffer.
+    pub fn lazy_zero_elisions(&self) -> usize {
+        self.zero_elisions.load(Ordering::Relaxed)
+    }
+
     /// Drop every parked allocation (frees the host memory backing them).
     pub fn trim_pool(&self) {
         let mut pool = self.pool.lock();
@@ -250,6 +294,9 @@ impl Device {
                 device_bytes: dst.len_bytes().saturating_sub(offset_bytes),
             });
         }
+        if dst.pending_zero && dst.settle_zero_around(offset_bytes, end) {
+            self.zero_elisions.fetch_add(1, Ordering::Relaxed);
+        }
         dst.as_bytes_mut()[offset_bytes..end].copy_from_slice(data);
         Ok(())
     }
@@ -261,10 +308,11 @@ impl Device {
         offset_bytes: usize,
         out: &mut [u8],
     ) -> Result<()> {
-        let storage = self.storage.lock();
+        let mut storage = self.storage.lock();
         let src = storage
-            .get(&buffer.id())
+            .get_mut(&buffer.id())
             .ok_or(OclError::BufferNotFound { id: buffer.id() })?;
+        src.settle_zero();
         let end = offset_bytes + out.len();
         if end > src.len_bytes() {
             return Err(OclError::SizeMismatch {
@@ -284,7 +332,11 @@ impl Device {
         let mut taken = Vec::with_capacity(ids.len());
         for &id in ids {
             match storage.remove(&id) {
-                Some(data) => taken.push((id, data)),
+                Some(mut data) => {
+                    // A kernel may read any part of the buffer.
+                    data.settle_zero();
+                    taken.push((id, data));
+                }
                 None => {
                     // Either the buffer never existed, was released, or is
                     // bound twice in this launch. Distinguish aliasing for a
@@ -448,6 +500,41 @@ mod tests {
         dev.release_buffer(&b).unwrap();
         let _c = dev.create_buffer::<f32>(8).unwrap();
         assert_eq!(dev.pool_hit_count(), 1);
+    }
+
+    #[test]
+    fn full_overwrite_of_a_revived_buffer_elides_the_rezeroing() {
+        let dev = device();
+        let a = dev.create_buffer::<f32>(16).unwrap();
+        dev.write_buffer_bytes(&a, 0, &[0xAB; 64]).unwrap();
+        dev.release_buffer(&a).unwrap();
+        let b = dev.create_buffer::<f32>(16).unwrap();
+        assert_eq!(dev.pool_hit_count(), 1);
+        assert_eq!(dev.lazy_zero_elisions(), 0);
+        // First command covers the whole buffer: no memset happens at all.
+        dev.write_buffer_bytes(&b, 0, &[0xCD; 64]).unwrap();
+        assert_eq!(dev.lazy_zero_elisions(), 1);
+        let mut out = vec![0u8; 64];
+        dev.read_buffer_bytes(&b, 0, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0xCD));
+    }
+
+    #[test]
+    fn partial_write_to_a_revived_buffer_zeroes_only_the_uncovered_range() {
+        let dev = device();
+        let a = dev.create_buffer::<f32>(16).unwrap();
+        dev.write_buffer_bytes(&a, 0, &[0xAB; 64]).unwrap();
+        dev.release_buffer(&a).unwrap();
+        let b = dev.create_buffer::<f32>(16).unwrap();
+        // First command covers bytes 8..24 only: everything else must read
+        // as zero (fresh-allocation semantics), nothing may leak from `a`.
+        dev.write_buffer_bytes(&b, 8, &[0xEE; 16]).unwrap();
+        assert_eq!(dev.lazy_zero_elisions(), 0, "partial writes settle");
+        let mut out = vec![0xFFu8; 64];
+        dev.read_buffer_bytes(&b, 0, &mut out).unwrap();
+        assert!(out[..8].iter().all(|&x| x == 0));
+        assert!(out[8..24].iter().all(|&x| x == 0xEE));
+        assert!(out[24..].iter().all(|&x| x == 0));
     }
 
     #[test]

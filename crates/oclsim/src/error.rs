@@ -47,6 +47,10 @@ pub enum OclError {
     },
     /// Kernel argument binding problem (count or type).
     InvalidKernelArg(String),
+    /// An API object was used in a way its state does not allow (e.g.
+    /// claiming the read payload of an event twice, or of a non-read
+    /// event) — the `CL_INVALID_OPERATION` analogue.
+    InvalidOperation(String),
     /// Error from the kernel-language compiler or interpreter.
     Kernel(KernelError),
     /// A named kernel does not exist in the program.
@@ -83,6 +87,7 @@ impl fmt::Display for OclError {
                 "transfer size mismatch: host range is {host_bytes} bytes, device range is {device_bytes} bytes"
             ),
             OclError::InvalidKernelArg(msg) => write!(f, "invalid kernel argument: {msg}"),
+            OclError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             OclError::Kernel(e) => write!(f, "kernel error: {e}"),
             OclError::NoSuchKernel(name) => write!(f, "no kernel named `{name}` in program"),
         }

@@ -1,6 +1,20 @@
-//! Profiling events, mirroring OpenCL's `cl_event` timestamps but in virtual
-//! time.
+//! Profiling events, mirroring OpenCL's `cl_event` model: an [`EventHandle`]
+//! tracks an asynchronously executing command through its status transitions
+//! (pending → complete/failed) and can be waited on; a completed command
+//! yields an [`Event`] record with its virtual timestamps.
+//!
+//! The two-type split mirrors the execution engine's split between *real*
+//! and *virtual* time: commands really run on per-device worker threads (so
+//! [`EventHandle::wait`] is a genuine thread join), while their timestamps
+//! are computed on each queue's virtual clock. Waiting on a handle does
+//! **not** advance the host's virtual clock — only virtually-blocking
+//! operations (blocking reads, [`crate::CommandQueue::finish`]) do, exactly
+//! as in the previous eager engine, so all virtual-time numbers are
+//! preserved bit for bit regardless of thread interleaving.
 
+use std::sync::{Condvar, Mutex};
+
+use crate::error::OclError;
 use crate::time::{SimDuration, SimTime};
 
 /// The kind of command an event describes.
@@ -70,6 +84,153 @@ impl Event {
     /// Whether the event is a device → host transfer (a download).
     pub fn is_read(&self) -> bool {
         matches!(self.kind, CommandKind::ReadBuffer)
+    }
+}
+
+/// Execution status of an asynchronously enqueued command, the analogue of
+/// OpenCL's `CL_QUEUED … CL_COMPLETE` execution-status values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventStatus {
+    /// Enqueued; the device worker has not finished it yet.
+    Pending,
+    /// The command completed; its [`Event`] record is available.
+    Complete,
+    /// The command failed; waiting returns the error.
+    Failed,
+}
+
+/// Completion state shared between the enqueuing host thread and the
+/// device's worker thread.
+enum Completion {
+    Pending,
+    Done {
+        result: Result<Event, OclError>,
+        /// Device → host payload of non-blocking reads, claimed once by
+        /// [`EventHandle::wait_into`].
+        payload: Option<Vec<u8>>,
+    },
+}
+
+struct EventCore {
+    kind: CommandKind,
+    device: usize,
+    queued: SimTime,
+    state: Mutex<Completion>,
+    done: Condvar,
+}
+
+/// Handle to an asynchronously executing command, returned by the
+/// non-blocking `enqueue_*` operations of [`crate::CommandQueue`].
+///
+/// Cloning the handle shares the underlying event. [`EventHandle::wait`]
+/// joins the command in *real* time and returns its [`Event`] record (or the
+/// command's error); it never advances the host's virtual clock.
+#[derive(Clone)]
+pub struct EventHandle {
+    core: std::sync::Arc<EventCore>,
+}
+
+impl std::fmt::Debug for EventHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventHandle")
+            .field("kind", &self.core.kind)
+            .field("device", &self.core.device)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl EventHandle {
+    /// Create a pending handle (called by the queue at enqueue time).
+    pub(crate) fn pending(kind: CommandKind, device: usize, queued: SimTime) -> EventHandle {
+        EventHandle {
+            core: std::sync::Arc::new(EventCore {
+                kind,
+                device,
+                queued,
+                state: Mutex::new(Completion::Pending),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The kind of command the handle tracks.
+    pub fn kind(&self) -> &CommandKind {
+        &self.core.kind
+    }
+
+    /// Device the command was enqueued on.
+    pub fn device(&self) -> usize {
+        self.core.device
+    }
+
+    /// Virtual time at which the host enqueued the command.
+    pub fn queued_at(&self) -> SimTime {
+        self.core.queued
+    }
+
+    /// Current execution status (non-blocking).
+    pub fn status(&self) -> EventStatus {
+        match &*self.core.state.lock().expect("event mutex poisoned") {
+            Completion::Pending => EventStatus::Pending,
+            Completion::Done { result: Ok(_), .. } => EventStatus::Complete,
+            Completion::Done { result: Err(_), .. } => EventStatus::Failed,
+        }
+    }
+
+    /// Whether the command has finished (successfully or not).
+    pub fn is_done(&self) -> bool {
+        self.status() != EventStatus::Pending
+    }
+
+    /// Block the calling thread (in real time — the virtual host clock is
+    /// untouched) until the command completes; return its [`Event`] record
+    /// or the error the command failed with.
+    pub fn wait(&self) -> Result<Event, OclError> {
+        let mut state = self.core.state.lock().expect("event mutex poisoned");
+        while matches!(*state, Completion::Pending) {
+            state = self.core.done.wait(state).expect("event mutex poisoned");
+        }
+        match &*state {
+            Completion::Done { result, .. } => result.clone(),
+            Completion::Pending => unreachable!("loop exits only when done"),
+        }
+    }
+
+    /// Wait for a non-blocking read and copy its payload into `out`. The
+    /// payload is claimed by the first successful call.
+    pub fn wait_into<T: crate::pod::Pod>(&self, out: &mut [T]) -> Result<Event, OclError> {
+        let mut state = self.core.state.lock().expect("event mutex poisoned");
+        while matches!(*state, Completion::Pending) {
+            state = self.core.done.wait(state).expect("event mutex poisoned");
+        }
+        match &mut *state {
+            Completion::Done { result, payload } => {
+                let record = result.clone()?;
+                let data = payload.take().ok_or_else(|| {
+                    OclError::InvalidOperation(
+                        "event carries no read payload (not a read, or already claimed)".into(),
+                    )
+                })?;
+                let out_bytes = std::mem::size_of_val(out);
+                if data.len() != out_bytes {
+                    return Err(OclError::SizeMismatch {
+                        host_bytes: out_bytes,
+                        device_bytes: data.len(),
+                    });
+                }
+                out.copy_from_slice(&crate::pod::from_bytes_vec::<T>(&data));
+                Ok(record)
+            }
+            Completion::Pending => unreachable!("loop exits only when done"),
+        }
+    }
+
+    /// Complete the command (called by the device worker).
+    pub(crate) fn complete(&self, result: Result<Event, OclError>, payload: Option<Vec<u8>>) {
+        let mut state = self.core.state.lock().expect("event mutex poisoned");
+        *state = Completion::Done { result, payload };
+        self.core.done.notify_all();
     }
 }
 

@@ -58,7 +58,7 @@ pub use buffer::{Buffer, DataKind};
 pub use context::Context;
 pub use device::{BufferData, Device, DeviceId};
 pub use error::{OclError, Result};
-pub use event::{CommandKind, Event, EventSummary};
+pub use event::{CommandKind, Event, EventHandle, EventStatus, EventSummary};
 pub use platform::{default_platforms, select_gpus, Platform};
 pub use pod::Pod;
 pub use profile::{ApiModel, DeviceProfile, DeviceType};

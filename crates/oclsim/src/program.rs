@@ -354,6 +354,70 @@ impl Kernel {
         self
     }
 
+    /// Validate an argument list against the kernel's signature without
+    /// executing anything — the synchronous half of an asynchronous enqueue.
+    /// Replicates the bytecode VM's binding checks (same errors), so an
+    /// ill-typed launch still fails at `enqueue_kernel` even though the
+    /// launch itself now runs on the device's worker thread. Native kernels
+    /// carry no signature and validate nothing here (their closure reports
+    /// argument problems at execution).
+    pub fn validate_args(&self, args: &[KernelArg]) -> Result<()> {
+        use skelcl_kernel::diag::KernelError;
+        let KernelInner::Dsl { handle, .. } = &self.inner else {
+            return Ok(());
+        };
+        if args.len() != handle.params.len() {
+            return Err(KernelError::run(format!(
+                "kernel `{}` expects {} arguments, {} bound",
+                self.name,
+                handle.params.len(),
+                args.len()
+            ))
+            .into());
+        }
+        for (i, (param, arg)) in handle.params.iter().zip(args.iter()).enumerate() {
+            match (param.is_buffer, arg) {
+                (true, KernelArg::Buffer(buf)) => {
+                    let got = match buf.kind() {
+                        DataKind::F32 => skelcl_kernel::types::ScalarType::Float,
+                        DataKind::F64 => skelcl_kernel::types::ScalarType::Double,
+                        DataKind::I32 => skelcl_kernel::types::ScalarType::Int,
+                        DataKind::U32 => skelcl_kernel::types::ScalarType::Uint,
+                        DataKind::Opaque { .. } => {
+                            return Err(OclError::InvalidKernelArg(format!(
+                                "buffer argument {i} has an opaque element type; \
+                                 kernel-language kernels only accept float/double/int/uint buffers"
+                            )))
+                        }
+                    };
+                    if param.ty != got {
+                        return Err(KernelError::run(format!(
+                            "argument `{}` of kernel `{}`: expected __global {}*, bound {got} buffer",
+                            param.name, self.name, param.ty
+                        ))
+                        .into());
+                    }
+                }
+                (true, KernelArg::Scalar(_)) => {
+                    return Err(KernelError::run(format!(
+                        "argument `{}` of kernel `{}` is a buffer but a scalar was bound",
+                        param.name, self.name
+                    ))
+                    .into());
+                }
+                (false, KernelArg::Buffer(_)) => {
+                    return Err(KernelError::run(format!(
+                        "argument `{}` of kernel `{}` is a scalar but a buffer was bound",
+                        param.name, self.name
+                    ))
+                    .into());
+                }
+                (false, KernelArg::Scalar(_)) => {}
+            }
+        }
+        Ok(())
+    }
+
     /// Execute the kernel against the taken buffer storage. `taken` must
     /// contain exactly the buffers referenced by `args` (enforced by the
     /// queue, which took them from the device).

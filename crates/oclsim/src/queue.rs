@@ -1,42 +1,173 @@
-//! In-order command queues with virtual-time accounting.
+//! Asynchronous in-order command queues with virtual-time accounting.
 //!
-//! Commands execute *eagerly* on the host thread (results are always real),
-//! while their timing is charged to per-queue virtual clocks. Because every
-//! queue has its own clock and non-blocking commands only advance the host
-//! clock by a small enqueue overhead, launches issued to the queues of
-//! different devices overlap in virtual time exactly as concurrent GPU
-//! commands would.
+//! Every queue owns a **dedicated worker thread**: `enqueue_*` validates the
+//! command on the host thread (cheap metadata checks with the same errors as
+//! before), charges the host's virtual clock the enqueue overhead, and hands
+//! the command to the worker, which executes it — real data movement, real
+//! kernel execution through the bytecode VM — and settles its virtual
+//! timestamps. Commands enqueued on the queues of *different* devices
+//! therefore genuinely overlap in real (wall-clock) time, not just in
+//! virtual time.
+//!
+//! # Virtual-time determinism
+//!
+//! The timestamp arithmetic is split so that no value ever depends on thread
+//! interleaving:
+//!
+//! * `queued` and the enqueue overhead are taken from the **host clock on
+//!   the host thread**, in program order — workers never touch the host
+//!   clock.
+//! * `start = max(queue available-at, queued)` and `end = start + duration`
+//!   are computed by the **worker in FIFO order**; each queue's
+//!   `available_at` is only ever advanced by its own worker.
+//! * Virtually-blocking operations (blocking reads, [`CommandQueue::finish`])
+//!   join the command in real time first, then advance the host clock to the
+//!   command's end — the same `max` the eager engine computed atomically.
+//!
+//! The result: for programs whose commands all succeed, every virtual
+//! timestamp, transfer statistic and event log is bit-identical to the
+//! previous eager, single-threaded engine, for any interleaving of the
+//! workers. The one (deterministic) divergence is on failing commands: the
+//! enqueue overhead is charged at enqueue time — the host did perform the
+//! enqueue — whereas the eager engine returned the error before charging
+//! anything.
+//!
+//! # Errors
+//!
+//! Host-side validation errors (wrong device, size mismatches, aliased or
+//! ill-typed kernel arguments) are still returned synchronously from
+//! `enqueue_*`. Errors that can only occur *during* execution — kernel
+//! runtime errors such as out-of-bounds accesses — complete the command's
+//! [`EventHandle`] with the error and are additionally latched as the
+//! queue's *deferred error*, which the next blocking read on the queue
+//! surfaces (so legacy enqueue-then-read code cannot lose them). Runtimes
+//! that want the error at the launch site wait on the kernel's handle.
 
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
 use crate::buffer::Buffer;
 use crate::device::Device;
 use crate::error::{OclError, Result};
-use crate::event::{CommandKind, Event};
+use crate::event::{CommandKind, Event, EventHandle};
 use crate::pod::{self, Pod};
 use crate::profile::ApiModel;
 use crate::program::{Kernel, KernelArg};
-use crate::time::{SimDuration, SimTime};
+use crate::time::SimTime;
 
-/// An in-order command queue bound to one device.
+/// State shared between the host-facing queue object and its worker thread.
+struct QueueShared {
+    /// Virtual time at which the device will have finished all commands
+    /// processed so far (advanced by the worker in FIFO order).
+    available_at: Mutex<SimTime>,
+    /// Completed-command log, in execution (= enqueue) order.
+    log: Mutex<Vec<Event>>,
+    /// First execution-time error that has not been surfaced yet.
+    deferred_error: Mutex<Option<OclError>>,
+    /// Commands enqueued but not yet settled by the worker.
+    pending: std::sync::Mutex<usize>,
+    idle: std::sync::Condvar,
+}
+
+impl QueueShared {
+    fn command_enqueued(&self) {
+        *self.pending.lock().expect("queue mutex poisoned") += 1;
+    }
+
+    fn command_settled(&self) {
+        let mut pending = self.pending.lock().expect("queue mutex poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Block (in real time) until the worker has settled every command
+    /// enqueued so far. Purely a thread join: no virtual clock moves.
+    fn quiesce(&self) {
+        let mut pending = self.pending.lock().expect("queue mutex poisoned");
+        while *pending > 0 {
+            pending = self.idle.wait(pending).expect("queue mutex poisoned");
+        }
+    }
+}
+
+/// A command in flight to the worker.
+enum Command {
+    Write {
+        buffer: Buffer,
+        offset_bytes: usize,
+        data: Vec<u8>,
+        event: EventHandle,
+    },
+    Read {
+        buffer: Buffer,
+        offset_bytes: usize,
+        len_bytes: usize,
+        event: EventHandle,
+    },
+    Kernel {
+        kernel: Box<Kernel>,
+        global_size: usize,
+        args: Vec<KernelArg>,
+        /// Wait list: the command may not start (in virtual time) before
+        /// these events end, and the worker joins them in real time first.
+        deps: Vec<EventHandle>,
+        event: EventHandle,
+    },
+}
+
+impl Command {
+    /// The event tracking this command (used by the worker's panic guard).
+    fn event(&self) -> &EventHandle {
+        match self {
+            Command::Write { event, .. }
+            | Command::Read { event, .. }
+            | Command::Kernel { event, .. } => event,
+        }
+    }
+}
+
+/// An in-order command queue bound to one device, executing asynchronously
+/// on a dedicated worker thread.
 pub struct CommandQueue {
     device: Arc<Device>,
     api: ApiModel,
     host_clock: Arc<Mutex<SimTime>>,
-    available_at: Mutex<SimTime>,
-    log: Mutex<Vec<Event>>,
+    shared: Arc<QueueShared>,
+    sender: Option<Sender<Command>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl CommandQueue {
     pub(crate) fn new(device: Arc<Device>, api: ApiModel, host_clock: Arc<Mutex<SimTime>>) -> Self {
+        let shared = Arc::new(QueueShared {
+            available_at: Mutex::new(SimTime::ZERO),
+            log: Mutex::new(Vec::new()),
+            deferred_error: Mutex::new(None),
+            pending: std::sync::Mutex::new(0),
+            idle: std::sync::Condvar::new(),
+        });
+        let (sender, receiver) = channel();
+        let worker = {
+            let device = device.clone();
+            let api = api.clone();
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("oclsim-dev{}", device.id))
+                .spawn(move || worker_loop(&device, &api, &shared, &receiver))
+                .expect("spawning a device worker thread")
+        };
         CommandQueue {
             device,
             api,
             host_clock,
-            available_at: Mutex::new(SimTime::ZERO),
-            log: Mutex::new(Vec::new()),
+            shared,
+            sender: Some(sender),
+            worker: Mutex::new(Some(worker)),
         }
     }
 
@@ -46,19 +177,39 @@ impl CommandQueue {
     }
 
     /// Virtual time at which the device will have finished all commands
-    /// enqueued so far.
+    /// enqueued so far. Joins the worker (in real time) so the answer covers
+    /// every command already enqueued.
     pub fn available_at(&self) -> SimTime {
-        *self.available_at.lock()
+        self.shared.quiesce();
+        *self.shared.available_at.lock()
     }
 
-    /// All events recorded on this queue so far.
+    /// All events recorded on this queue so far (completed commands, in
+    /// enqueue order; the worker is joined first).
     pub fn events(&self) -> Vec<Event> {
-        self.log.lock().clone()
+        self.shared.quiesce();
+        self.shared.log.lock().clone()
     }
 
     /// Clear the event log (the virtual clocks are left untouched).
     pub fn clear_events(&self) {
-        self.log.lock().clear();
+        self.shared.quiesce();
+        self.shared.log.lock().clear();
+    }
+
+    /// Join the worker in *real* time: returns once every command enqueued
+    /// so far has executed. Unlike [`CommandQueue::finish`], the virtual
+    /// host clock is untouched — use this before releasing buffers that
+    /// in-flight commands may still reference.
+    pub fn quiesce(&self) {
+        self.shared.quiesce();
+    }
+
+    /// Take the queue's first unsurfaced execution-time error, if any.
+    /// Blocking reads call this internally; runtimes that wait on kernel
+    /// [`EventHandle`]s directly use it to discard the duplicate latch.
+    pub fn take_error(&self) -> Option<OclError> {
+        self.shared.deferred_error.lock().take()
     }
 
     fn check_buffer_device(&self, buffer: &Buffer) -> Result<()> {
@@ -71,51 +222,69 @@ impl CommandQueue {
         Ok(())
     }
 
-    /// Charge a command: computes start/end on this queue's clock, advances
-    /// the host clock by the enqueue overhead, records and returns the event.
-    fn charge(
-        &self,
-        kind: CommandKind,
-        duration: SimDuration,
-        bytes: usize,
-        work_items: usize,
-        blocking: bool,
-    ) -> Event {
+    /// Host-side transfer-range validation shared by writes, fills and
+    /// reads; mirrors the device-side check so enqueue-time and
+    /// execution-time errors for the same bad range agree.
+    fn check_range(&self, buffer: &Buffer, offset_bytes: usize, len_bytes: usize) -> Result<()> {
+        self.check_buffer_device(buffer)?;
+        if offset_bytes + len_bytes > buffer.len_bytes() {
+            return Err(OclError::SizeMismatch {
+                host_bytes: len_bytes,
+                device_bytes: buffer.len_bytes().saturating_sub(offset_bytes),
+            });
+        }
+        Ok(())
+    }
+
+    /// Host-side half of the former `charge`: reads the `queued` timestamp
+    /// and advances the host clock by the enqueue overhead, in program
+    /// order. The worker computes start/end.
+    fn charge_enqueue(&self) -> SimTime {
         let mut host = self.host_clock.lock();
         let queued = *host;
-        let mut avail = self.available_at.lock();
-        let start = avail.max(queued);
-        let end = start + duration;
-        *avail = end;
         *host += self.api.enqueue_overhead;
-        if blocking {
-            *host = host.max(end);
-        }
-        let event = Event {
-            kind,
-            device: self.device.id,
-            queued,
-            start,
-            end,
-            bytes,
-            work_items,
-        };
-        self.log.lock().push(event.clone());
-        event
+        queued
+    }
+
+    fn submit(&self, command: Command) {
+        self.shared.command_enqueued();
+        self.sender
+            .as_ref()
+            .expect("sender lives as long as the queue")
+            .send(command)
+            .expect("worker thread lives as long as the queue");
     }
 
     /// Block the host until every command enqueued on this queue has
-    /// completed (in virtual time).
+    /// completed: a real-time join of the worker plus the virtual-time
+    /// host-clock synchronisation.
+    ///
+    /// `finish` does not inspect the deferred-error latch; callers that end
+    /// a program with a sync rather than a blocking read should use
+    /// [`CommandQueue::finish_checked`] (or wait on their kernel
+    /// [`EventHandle`]s) so execution-time errors cannot go unnoticed.
     pub fn finish(&self) -> SimTime {
+        self.shared.quiesce();
         let mut host = self.host_clock.lock();
-        let avail = *self.available_at.lock();
+        let avail = *self.shared.available_at.lock();
         *host = host.max(avail);
         *host
     }
 
+    /// [`CommandQueue::finish`] that additionally surfaces the queue's first
+    /// unreported execution-time error — the `clFinish` analogue for code
+    /// that drops its [`EventHandle`]s and never issues a blocking read.
+    pub fn finish_checked(&self) -> Result<SimTime> {
+        let t = self.finish();
+        match self.take_error() {
+            Some(error) => Err(error),
+            None => Ok(t),
+        }
+    }
+
     /// Non-blocking host → device transfer of a whole slice into the start of
     /// a buffer.
-    pub fn enqueue_write_buffer<T: Pod>(&self, buffer: &Buffer, data: &[T]) -> Result<Event> {
+    pub fn enqueue_write_buffer<T: Pod>(&self, buffer: &Buffer, data: &[T]) -> Result<EventHandle> {
         self.enqueue_write_buffer_region(buffer, 0, data)
     }
 
@@ -126,28 +295,52 @@ impl CommandQueue {
         buffer: &Buffer,
         elem_offset: usize,
         data: &[T],
-    ) -> Result<Event> {
-        self.check_buffer_device(buffer)?;
-        let bytes = std::mem::size_of_val(data);
-        let offset_bytes = elem_offset * std::mem::size_of::<T>();
-        self.device
-            .write_buffer_bytes(buffer, offset_bytes, pod::as_bytes(data))?;
-        let dur = self.api.transfer_time(&self.device.profile, bytes);
-        Ok(self.charge(CommandKind::WriteBuffer, dur, bytes, 0, false))
+    ) -> Result<EventHandle> {
+        self.enqueue_write_bytes(
+            buffer,
+            elem_offset * std::mem::size_of::<T>(),
+            pod::as_bytes(data).to_vec(),
+        )
     }
 
     /// Non-blocking fill of `count` elements starting at element
     /// `elem_offset` with a repeated value (the `clEnqueueFillBuffer`
     /// analogue, used for policy-filled halo padding). Charged exactly like
-    /// the equivalent host → device transfer of `count` elements.
+    /// the equivalent host → device transfer of `count` elements; the fill
+    /// payload is materialised once, directly as the worker's owned bytes.
     pub fn enqueue_fill_buffer_region<T: Pod>(
         &self,
         buffer: &Buffer,
         elem_offset: usize,
         value: T,
         count: usize,
-    ) -> Result<Event> {
-        self.enqueue_write_buffer_region(buffer, elem_offset, &vec![value; count])
+    ) -> Result<EventHandle> {
+        let elem = std::mem::size_of::<T>();
+        let mut data = vec![0u8; count * elem];
+        for chunk in data.chunks_exact_mut(elem) {
+            chunk.copy_from_slice(pod::as_bytes(std::slice::from_ref(&value)));
+        }
+        self.enqueue_write_bytes(buffer, elem_offset * elem, data)
+    }
+
+    /// Shared validated submit path of writes and fills: `data` is handed to
+    /// the worker as-is (single allocation, single host-side copy).
+    fn enqueue_write_bytes(
+        &self,
+        buffer: &Buffer,
+        offset_bytes: usize,
+        data: Vec<u8>,
+    ) -> Result<EventHandle> {
+        self.check_range(buffer, offset_bytes, data.len())?;
+        let queued = self.charge_enqueue();
+        let event = EventHandle::pending(CommandKind::WriteBuffer, self.device.id, queued);
+        self.submit(Command::Write {
+            buffer: buffer.clone(),
+            offset_bytes,
+            data,
+            event: event.clone(),
+        });
+        Ok(event)
     }
 
     /// Blocking device → host transfer of a whole buffer into `out`.
@@ -155,65 +348,104 @@ impl CommandQueue {
         self.enqueue_read_buffer_region(buffer, 0, out)
     }
 
-    /// Blocking device → host transfer starting at element `elem_offset`.
+    /// Blocking device → host transfer starting at element `elem_offset`:
+    /// joins the command in real time, synchronises the host's virtual clock
+    /// with the transfer's end, and surfaces any earlier execution-time
+    /// error of this queue.
     pub fn enqueue_read_buffer_region<T: Pod>(
         &self,
         buffer: &Buffer,
         elem_offset: usize,
         out: &mut [T],
     ) -> Result<Event> {
-        self.check_buffer_device(buffer)?;
-        let bytes = std::mem::size_of_val(out);
-        let offset_bytes = elem_offset * std::mem::size_of::<T>();
-        // The read must observe all previously enqueued commands on this
-        // in-order queue; since commands execute eagerly, the data is already
-        // up to date and only the clocks need the ordering.
-        let mut byte_out = vec![0u8; bytes];
-        self.device
-            .read_buffer_bytes(buffer, offset_bytes, &mut byte_out)?;
-        out.copy_from_slice(&pod::from_bytes_vec::<T>(&byte_out));
-        let dur = self.api.transfer_time(&self.device.profile, bytes);
-        Ok(self.charge(CommandKind::ReadBuffer, dur, bytes, 0, true))
+        let handle = self.enqueue_read_buffer_region_nb::<T>(buffer, elem_offset, out.len())?;
+        let result = handle.wait_into(out);
+        // An earlier command's failure is the root cause — surface it first
+        // (the in-order queue guarantees it is older than this read).
+        if let Some(earlier) = self.take_error() {
+            return Err(earlier);
+        }
+        let record = result?;
+        let mut host = self.host_clock.lock();
+        *host = host.max(record.end);
+        Ok(record)
     }
 
-    /// Enqueue a 1-D NDRange kernel launch.
+    /// Non-blocking device → host read of `len` elements starting at element
+    /// `elem_offset`. The data travels in the returned [`EventHandle`];
+    /// claim it with [`EventHandle::wait_into`]. Reads enqueued on the
+    /// queues of different devices overlap in real time.
+    pub fn enqueue_read_buffer_region_nb<T: Pod>(
+        &self,
+        buffer: &Buffer,
+        elem_offset: usize,
+        len: usize,
+    ) -> Result<EventHandle> {
+        let bytes = len * std::mem::size_of::<T>();
+        let offset_bytes = elem_offset * std::mem::size_of::<T>();
+        self.check_range(buffer, offset_bytes, bytes)?;
+        let queued = self.charge_enqueue();
+        let event = EventHandle::pending(CommandKind::ReadBuffer, self.device.id, queued);
+        self.submit(Command::Read {
+            buffer: buffer.clone(),
+            offset_bytes,
+            len_bytes: bytes,
+            event: event.clone(),
+        });
+        Ok(event)
+    }
+
+    /// Enqueue a 1-D NDRange kernel launch (non-blocking).
     ///
-    /// Buffer arguments must live on this queue's device, and the same buffer
-    /// may not be bound to two arguments of one launch.
+    /// Buffer arguments must live on this queue's device, the same buffer
+    /// may not be bound to two arguments of one launch, and the arguments
+    /// must match a runtime-compiled kernel's signature — all validated
+    /// synchronously. Execution-time errors complete the returned handle.
     pub fn enqueue_kernel(
         &self,
         kernel: &Kernel,
         global_size: usize,
         args: &[KernelArg],
-    ) -> Result<Event> {
+    ) -> Result<EventHandle> {
+        self.enqueue_kernel_after(kernel, global_size, args, &[])
+    }
+
+    /// Like [`CommandQueue::enqueue_kernel`], with an explicit wait list:
+    /// the launch may not start (in virtual time) before every event in
+    /// `wait_list` has ended, mirroring OpenCL's event wait lists. The
+    /// worker joins the dependencies in real time before executing.
+    pub fn enqueue_kernel_after(
+        &self,
+        kernel: &Kernel,
+        global_size: usize,
+        args: &[KernelArg],
+        wait_list: &[EventHandle],
+    ) -> Result<EventHandle> {
         let mut buffer_ids = Vec::new();
         for arg in args {
             if let KernelArg::Buffer(b) = arg {
                 self.check_buffer_device(b)?;
+                if buffer_ids.contains(&b.id()) {
+                    return Err(OclError::BufferAliased { id: b.id() });
+                }
                 buffer_ids.push(b.id());
             }
         }
-        let mut taken = self.device.take_buffers(&buffer_ids)?;
-        let result = kernel.execute(global_size, args, &mut taken);
-        self.device.return_buffers(taken);
-        let measured = result?;
-
-        // Runtime-compiled (DSL) kernels report the cost they actually
-        // executed; native kernels fall back to their author-provided hint.
-        let cost = measured.unwrap_or_else(|| kernel.cost());
-        let dur = self.api.kernel_time(
-            &self.device.profile,
-            global_size,
-            cost.flops_per_item,
-            cost.bytes_per_item,
-        );
-        Ok(self.charge(
+        kernel.validate_args(args)?;
+        let queued = self.charge_enqueue();
+        let event = EventHandle::pending(
             CommandKind::Kernel(kernel.name.clone()),
-            dur,
-            0,
+            self.device.id,
+            queued,
+        );
+        self.submit(Command::Kernel {
+            kernel: Box::new(kernel.clone()),
             global_size,
-            false,
-        ))
+            args: args.to_vec(),
+            deps: wait_list.to_vec(),
+            event: event.clone(),
+        });
+        Ok(event)
     }
 
     /// Enqueue a kernel whose cost hint is overridden for this launch (used
@@ -225,9 +457,238 @@ impl CommandQueue {
         global_size: usize,
         args: &[KernelArg],
         cost: crate::program::CostHint,
-    ) -> Result<Event> {
+    ) -> Result<EventHandle> {
         let adjusted = kernel.clone().with_cost(cost);
         self.enqueue_kernel(&adjusted, global_size, args)
+    }
+}
+
+impl Drop for CommandQueue {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker loop; join it so no command
+        // outlives the queue.
+        drop(self.sender.take());
+        if let Some(worker) = self.worker.lock().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker: executes commands in FIFO order against the device, settles
+/// their virtual timestamps on the queue's clock and completes their events.
+fn worker_loop(
+    device: &Arc<Device>,
+    api: &ApiModel,
+    shared: &Arc<QueueShared>,
+    receiver: &Receiver<Command>,
+) {
+    while let Ok(command) = receiver.recv() {
+        // A panic while processing a command (a latent bug in the VM or a
+        // panicking native kernel) must not strand the host: the eager
+        // engine panicked loudly on the host thread, so the async engine
+        // converts the unwind into a failed event + latched queue error and
+        // keeps the pending count balanced — waiters see the error instead
+        // of deadlocking on a worker that died.
+        let event = command.event().clone();
+        let processed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_command(device, api, shared, command)
+        }));
+        if let Err(payload) = processed {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            let error = OclError::Kernel(skelcl_kernel::diag::KernelError::run(format!(
+                "device worker panicked while executing a command: {msg}"
+            )));
+            if !event.is_done() {
+                let mut latch = shared.deferred_error.lock();
+                if latch.is_none() {
+                    *latch = Some(error.clone());
+                }
+                drop(latch);
+                event.complete(Err(error), None);
+            }
+        }
+        shared.command_settled();
+    }
+}
+
+/// Execute one command against the device and settle its event.
+fn process_command(
+    device: &Arc<Device>,
+    api: &ApiModel,
+    shared: &Arc<QueueShared>,
+    command: Command,
+) {
+    {
+        match command {
+            Command::Write {
+                buffer,
+                offset_bytes,
+                data,
+                event,
+            } => {
+                let bytes = data.len();
+                let outcome = device.write_buffer_bytes(&buffer, offset_bytes, &data);
+                settle(
+                    device,
+                    api,
+                    shared,
+                    &event,
+                    outcome.map(|()| {
+                        let dur = api.transfer_time(&device.profile, bytes);
+                        (dur, bytes, 0, None)
+                    }),
+                    SimTime::ZERO,
+                );
+            }
+            Command::Read {
+                buffer,
+                offset_bytes,
+                len_bytes,
+                event,
+            } => {
+                let mut payload = vec![0u8; len_bytes];
+                let outcome = device.read_buffer_bytes(&buffer, offset_bytes, &mut payload);
+                settle(
+                    device,
+                    api,
+                    shared,
+                    &event,
+                    outcome.map(|()| {
+                        let dur = api.transfer_time(&device.profile, len_bytes);
+                        (dur, len_bytes, 0, Some(payload))
+                    }),
+                    SimTime::ZERO,
+                );
+            }
+            Command::Kernel {
+                kernel,
+                global_size,
+                args,
+                deps,
+                event,
+            } => {
+                // Join the wait list (real time) and collect the virtual
+                // lower bound on the start time. A failed dependency fails
+                // this command without executing it.
+                let mut deps_end = SimTime::ZERO;
+                let mut dep_error = None;
+                for dep in &deps {
+                    match dep.wait() {
+                        Ok(record) => deps_end = deps_end.max(record.end),
+                        Err(e) => {
+                            dep_error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let outcome = match dep_error {
+                    Some(e) => Err(e),
+                    None => execute_kernel(device, api, &kernel, global_size, &args),
+                };
+                settle(
+                    device,
+                    api,
+                    shared,
+                    &event,
+                    outcome.map(|(dur, work_items)| (dur, 0, work_items, None)),
+                    deps_end,
+                );
+            }
+        }
+    }
+}
+
+/// Run a kernel against the device's buffer storage and return its virtual
+/// duration (from the measured cost of runtime-compiled kernels, or the
+/// author-provided hint of native ones).
+fn execute_kernel(
+    device: &Arc<Device>,
+    api: &ApiModel,
+    kernel: &Kernel,
+    global_size: usize,
+    args: &[KernelArg],
+) -> Result<(crate::time::SimDuration, usize)> {
+    let mut buffer_ids = Vec::new();
+    for arg in args {
+        if let KernelArg::Buffer(b) = arg {
+            buffer_ids.push(b.id());
+        }
+    }
+    // Return the taken storage to the device even if the kernel panics
+    // (the worker's panic guard keeps the queue alive; the buffers must
+    // survive too).
+    struct ReturnOnDrop<'a> {
+        device: &'a Device,
+        taken: Vec<(u64, crate::device::BufferData)>,
+    }
+    impl Drop for ReturnOnDrop<'_> {
+        fn drop(&mut self) {
+            self.device.return_buffers(std::mem::take(&mut self.taken));
+        }
+    }
+    let mut guard = ReturnOnDrop {
+        device,
+        taken: device.take_buffers(&buffer_ids)?,
+    };
+    let result = kernel.execute(global_size, args, &mut guard.taken);
+    drop(guard);
+    let measured = result?;
+    let cost = measured.unwrap_or_else(|| kernel.cost());
+    let dur = api.kernel_time(
+        &device.profile,
+        global_size,
+        cost.flops_per_item,
+        cost.bytes_per_item,
+    );
+    Ok((dur, global_size))
+}
+
+/// Settle one executed command: on success compute start/end on the queue's
+/// virtual clock (FIFO order makes this deterministic), advance
+/// `available_at`, log the event and complete the handle; on failure latch
+/// the queue's deferred error and fail the handle. Failed commands charge no
+/// *execution* time and never advance `available_at` — only the enqueue
+/// overhead the host already paid when submitting (see the module docs).
+fn settle(
+    device: &Arc<Device>,
+    _api: &ApiModel,
+    shared: &Arc<QueueShared>,
+    event: &EventHandle,
+    outcome: Result<(crate::time::SimDuration, usize, usize, Option<Vec<u8>>)>,
+    deps_end: SimTime,
+) {
+    match outcome {
+        Ok((duration, bytes, work_items, payload)) => {
+            let record = {
+                let mut avail = shared.available_at.lock();
+                let start = avail.max(event.queued_at()).max(deps_end);
+                let end = start + duration;
+                *avail = end;
+                Event {
+                    kind: event.kind().clone(),
+                    device: device.id,
+                    queued: event.queued_at(),
+                    start,
+                    end,
+                    bytes,
+                    work_items,
+                }
+            };
+            shared.log.lock().push(record.clone());
+            event.complete(Ok(record), payload);
+        }
+        Err(error) => {
+            let mut latch = shared.deferred_error.lock();
+            if latch.is_none() {
+                *latch = Some(error.clone());
+            }
+            drop(latch);
+            event.complete(Err(error), None);
+        }
     }
 }
 
@@ -235,6 +696,7 @@ impl CommandQueue {
 mod tests {
     use super::*;
     use crate::context::Context;
+    use crate::event::EventStatus;
     use crate::profile::{ApiModel, DeviceProfile};
     use crate::program::{CostHint, NativeKernelDef};
 
@@ -276,7 +738,11 @@ mod tests {
         let ctx = two_gpu_context();
         let q = ctx.queue(0).unwrap();
         let buf = ctx.create_buffer::<f32>(0, 1024).unwrap();
-        let w = q.enqueue_write_buffer(&buf, &vec![0.0f32; 1024]).unwrap();
+        let w = q
+            .enqueue_write_buffer(&buf, &vec![0.0f32; 1024])
+            .unwrap()
+            .wait()
+            .unwrap();
         let mut out = vec![0.0f32; 1024];
         let r = q.enqueue_read_buffer(&buf, &mut out).unwrap();
         assert!(w.end <= r.start, "in-order queue must serialise commands");
@@ -303,6 +769,7 @@ mod tests {
         let e1 = q1
             .enqueue_kernel(&k, 1_000_000, &[KernelArg::Buffer(b1)])
             .unwrap();
+        let (e0, e1) = (e0.wait().unwrap(), e1.wait().unwrap());
         // The second launch starts (virtually) before the first ends: overlap.
         assert!(e1.start < e0.end, "multi-device launches must overlap");
     }
@@ -344,6 +811,117 @@ mod tests {
     }
 
     #[test]
+    fn ill_typed_kernel_arguments_are_rejected_at_enqueue() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let program = ctx
+            .build_program("__kernel void k(__global float* v, int n) { v[0] = n; }")
+            .unwrap();
+        let kernel = program.kernel("k").unwrap();
+        // Too few arguments.
+        assert!(q.enqueue_kernel(&kernel, 1, &[]).is_err());
+        // Scalar where a buffer is expected.
+        assert!(q
+            .enqueue_kernel(&kernel, 1, &[KernelArg::i32(1), KernelArg::i32(1)])
+            .is_err());
+        // Wrong buffer element type.
+        let ibuf = ctx.create_buffer::<i32>(0, 4).unwrap();
+        assert!(q
+            .enqueue_kernel(&kernel, 1, &[KernelArg::Buffer(ibuf), KernelArg::i32(4)])
+            .is_err());
+    }
+
+    #[test]
+    fn enqueue_time_validation_matches_the_vm_bind_errors_verbatim() {
+        // `Kernel::validate_args` replicates the bytecode VM's binding
+        // checks so ill-typed launches still fail synchronously at enqueue.
+        // This pins the promised message equality: for each ill-typed
+        // launch, the enqueue error text must equal what `Vm::bind_kernel`
+        // reports for the equivalent bindings — any drift between the two
+        // validators fails here.
+        use skelcl_kernel::interp::{ArgBinding, BufferView};
+        use skelcl_kernel::value::Value as KValue;
+        use skelcl_kernel::vm::Vm;
+
+        let src = "__kernel void k(__global float* v, int n) { v[0] = n; }";
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let program = ctx.build_program(src).unwrap();
+        let kernel = program.kernel("k").unwrap();
+        let fbuf = ctx.create_buffer::<f32>(0, 4).unwrap();
+        let ibuf = ctx.create_buffer::<i32>(0, 4).unwrap();
+
+        let kprog = skelcl_kernel::Program::build(src).unwrap();
+        let khandle = kprog.kernel("k").unwrap();
+        let bind_error = |args: &[ArgBinding<'_>]| -> String {
+            let mut vm = Vm::new(kprog.compiled());
+            vm.bind_kernel(khandle.index(), args).unwrap_err().message
+        };
+
+        // Wrong argument count.
+        let enqueue = q.enqueue_kernel(&kernel, 1, &[]).unwrap_err();
+        assert_eq!(format!("kernel error: run error: {}", bind_error(&[])), {
+            let OclError::Kernel(e) = &enqueue else {
+                panic!("{enqueue:?}")
+            };
+            format!("kernel error: run error: {}", e.message)
+        });
+
+        // Scalar bound where a buffer is expected.
+        let enqueue = q
+            .enqueue_kernel(&kernel, 1, &[KernelArg::i32(1), KernelArg::i32(1)])
+            .unwrap_err();
+        let oracle = bind_error(&[
+            ArgBinding::Scalar(KValue::Int(1)),
+            ArgBinding::Scalar(KValue::Int(1)),
+        ]);
+        let OclError::Kernel(e) = &enqueue else {
+            panic!("{enqueue:?}")
+        };
+        assert_eq!(e.message, oracle);
+
+        // Wrong buffer element type.
+        let enqueue = q
+            .enqueue_kernel(
+                &kernel,
+                1,
+                &[KernelArg::Buffer(ibuf.clone()), KernelArg::i32(4)],
+            )
+            .unwrap_err();
+        let mut data = vec![0i32; 4];
+        let oracle = bind_error(&[
+            ArgBinding::Buffer(BufferView::I32(&mut data)),
+            ArgBinding::Scalar(KValue::Int(4)),
+        ]);
+        let OclError::Kernel(e) = &enqueue else {
+            panic!("{enqueue:?}")
+        };
+        assert_eq!(e.message, oracle);
+
+        // Buffer bound where a scalar is expected.
+        let enqueue = q
+            .enqueue_kernel(
+                &kernel,
+                1,
+                &[
+                    KernelArg::Buffer(fbuf.clone()),
+                    KernelArg::Buffer(ibuf.clone()),
+                ],
+            )
+            .unwrap_err();
+        let mut fdata = vec![0f32; 4];
+        let mut idata = vec![0i32; 4];
+        let oracle = bind_error(&[
+            ArgBinding::Buffer(BufferView::F32(&mut fdata)),
+            ArgBinding::Buffer(BufferView::I32(&mut idata)),
+        ]);
+        let OclError::Kernel(e) = &enqueue else {
+            panic!("{enqueue:?}")
+        };
+        assert_eq!(e.message, oracle);
+    }
+
+    #[test]
     fn finish_synchronises_host_clock() {
         let ctx = two_gpu_context();
         let q = ctx.queue(0).unwrap();
@@ -367,5 +945,171 @@ mod tests {
         assert_eq!(q.events().len(), 2);
         q.clear_events();
         assert!(q.events().is_empty());
+    }
+
+    #[test]
+    fn event_handles_transition_to_complete() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, 64).unwrap();
+        let handle = q.enqueue_write_buffer(&buf, &[0.5f32; 64]).unwrap();
+        let record = handle.wait().unwrap();
+        assert_eq!(handle.status(), EventStatus::Complete);
+        assert!(handle.is_done());
+        assert_eq!(record.bytes, 256);
+        assert_eq!(record.device, 0);
+        assert!(record.queued <= record.start && record.start <= record.end);
+        // Waiting again returns the same record.
+        assert_eq!(handle.wait().unwrap(), record);
+    }
+
+    #[test]
+    fn kernel_runtime_errors_fail_the_event_and_latch_on_the_queue() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, 4).unwrap();
+        let program = ctx
+            .build_program("__kernel void oob(__global float* v, int n) { v[n + 10] = 1.0f; }")
+            .unwrap();
+        let kernel = program.kernel("oob").unwrap();
+        let handle = q
+            .enqueue_kernel(
+                &kernel,
+                1,
+                &[KernelArg::Buffer(buf.clone()), KernelArg::i32(4)],
+            )
+            .unwrap();
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, OclError::Kernel(_)), "{err:?}");
+        assert_eq!(handle.status(), EventStatus::Failed);
+        // The next blocking read surfaces the same (root-cause) error.
+        let mut out = [0.0f32; 4];
+        let err2 = q.enqueue_read_buffer(&buf, &mut out).unwrap_err();
+        assert_eq!(format!("{err}"), format!("{err2}"));
+        // Once surfaced, the queue is clean again.
+        assert!(q.take_error().is_none());
+        assert!(q.enqueue_read_buffer(&buf, &mut out).is_ok());
+    }
+
+    #[test]
+    fn panicking_kernels_fail_the_event_instead_of_hanging_the_queue() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let def = NativeKernelDef::new("boom", CostHint::DEFAULT, |_ctx| {
+            panic!("native kernel exploded")
+        });
+        let program = ctx.native_program([def]);
+        let k = program.kernel("boom").unwrap();
+        let buf = ctx.create_buffer::<f32>(0, 4).unwrap();
+        let handle = q
+            .enqueue_kernel(&k, 4, &[KernelArg::Buffer(buf.clone())])
+            .unwrap();
+        // Waiters must observe the failure, and the queue must stay usable —
+        // not deadlock on a dead worker.
+        let err = handle.wait().unwrap_err();
+        assert!(format!("{err}").contains("panicked"), "{err}");
+        assert!(q.finish_checked().is_err());
+        assert!(q.enqueue_write_buffer(&buf, &[0.0f32; 4]).is_ok());
+        assert!(q.finish_checked().is_ok());
+    }
+
+    #[test]
+    fn finish_checked_surfaces_errors_that_blocking_reads_would_miss() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, 4).unwrap();
+        let program = ctx
+            .build_program("__kernel void oob(__global float* v, int n) { v[n + 10] = 1.0f; }")
+            .unwrap();
+        let kernel = program.kernel("oob").unwrap();
+        // Enqueue-and-drop: the handle is discarded and no blocking read
+        // follows — the clFinish analogue must still report the failure.
+        let _ = q
+            .enqueue_kernel(&kernel, 1, &[KernelArg::Buffer(buf), KernelArg::i32(4)])
+            .unwrap();
+        let err = q.finish_checked().unwrap_err();
+        assert!(matches!(err, OclError::Kernel(_)), "{err:?}");
+        // Surfaced once: the queue is clean afterwards.
+        assert!(q.finish_checked().is_ok());
+    }
+
+    #[test]
+    fn non_blocking_reads_deliver_their_payload_once() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, 8).unwrap();
+        q.enqueue_write_buffer(&buf, &[3.0f32; 8]).unwrap();
+        let handle = q.enqueue_read_buffer_region_nb::<f32>(&buf, 2, 4).unwrap();
+        let mut out = [0.0f32; 4];
+        handle.wait_into(&mut out).unwrap();
+        assert_eq!(out, [3.0f32; 4]);
+        // The payload is claimed; a second wait_into errors, a plain wait
+        // still returns the record.
+        assert!(handle.wait_into(&mut out).is_err());
+        assert!(handle.wait().is_ok());
+    }
+
+    #[test]
+    fn wait_lists_order_cross_queue_commands_in_virtual_time() {
+        let ctx = two_gpu_context();
+        let q0 = ctx.queue(0).unwrap();
+        let q1 = ctx.queue(1).unwrap();
+        let def = NativeKernelDef::new("spin", CostHint::new(500.0, 4.0), |_ctx| Ok(()));
+        let program = ctx.native_program([def]);
+        let k = program.kernel("spin").unwrap();
+        let b0 = ctx.create_buffer::<f32>(0, 1).unwrap();
+        let b1 = ctx.create_buffer::<f32>(1, 1).unwrap();
+        let first = q0
+            .enqueue_kernel(&k, 500_000, &[KernelArg::Buffer(b0)])
+            .unwrap();
+        let second = q1
+            .enqueue_kernel_after(
+                &k,
+                10,
+                &[KernelArg::Buffer(b1)],
+                std::slice::from_ref(&first),
+            )
+            .unwrap();
+        let (first, second) = (first.wait().unwrap(), second.wait().unwrap());
+        assert!(
+            second.start >= first.end,
+            "a wait list must defer the dependent start past the dependency's end"
+        );
+    }
+
+    #[test]
+    fn threaded_queue_virtual_times_are_deterministic() {
+        // The exact start/end values of a multi-command, multi-device
+        // workload must not depend on worker interleaving: repeat the same
+        // program and compare the full event logs.
+        let run = || {
+            let ctx = two_gpu_context();
+            let q0 = ctx.queue(0).unwrap();
+            let q1 = ctx.queue(1).unwrap();
+            let program = ctx
+                .build_program(
+                    "__kernel void inc(__global float* v, int n) { int i = get_global_id(0); if (i < n) { v[i] = v[i] + 1.0f; } }",
+                )
+                .unwrap();
+            let kernel = program.kernel("inc").unwrap();
+            let b0 = ctx.create_buffer::<f32>(0, 512).unwrap();
+            let b1 = ctx.create_buffer::<f32>(1, 512).unwrap();
+            for (q, b) in [(&q0, &b0), (&q1, &b1)] {
+                q.enqueue_write_buffer(b, &vec![0.0f32; 512]).unwrap();
+                q.enqueue_kernel(
+                    &kernel,
+                    512,
+                    &[KernelArg::Buffer(b.clone()), KernelArg::i32(512)],
+                )
+                .unwrap();
+            }
+            let mut out = vec![0.0f32; 512];
+            q0.enqueue_read_buffer(&b0, &mut out).unwrap();
+            q1.enqueue_read_buffer(&b1, &mut out).unwrap();
+            (q0.events(), q1.events(), ctx.host_now())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "virtual telemetry must be interleaving-independent");
     }
 }

@@ -115,6 +115,8 @@ proptest! {
         queue.enqueue_write_buffer(&buf, &vec![1.0f32; len]).unwrap();
         let event = queue
             .enqueue_fill_buffer_region(&buf, split, -2.5f32, len - split)
+            .unwrap()
+            .wait()
             .unwrap();
         prop_assert_eq!(event.bytes, (len - split) * 4);
         let mut back = vec![0.0f32; len];
@@ -193,7 +195,7 @@ proptest! {
                     ],
                 )
                 .unwrap();
-            ev.duration()
+            ev.wait().unwrap().duration()
         };
         let short = time_with(2);
         let long = time_with(200);
@@ -214,7 +216,12 @@ fn arg_view_type_mismatches_are_errors_not_silent_reinterpretation() {
     });
     let program = Program::from_native([def]);
     let kernel = program.kernel("typed").unwrap();
-    // Passing a scalar where the kernel expects a buffer is reported.
-    let err = queue.enqueue_kernel(&kernel, 1, &[KernelArg::i32(3)]);
-    assert!(err.is_err());
+    // Passing a scalar where the kernel expects a buffer is reported when
+    // the (asynchronously executing) launch is waited on — native kernels
+    // have no signature to validate at enqueue time.
+    let handle = queue
+        .enqueue_kernel(&kernel, 1, &[KernelArg::i32(3)])
+        .unwrap();
+    assert!(handle.wait().is_err());
+    assert!(queue.take_error().is_some(), "the queue latches the error");
 }
