@@ -1,0 +1,241 @@
+//! Fused vs unfused pipeline benchmark for the lazy plan subsystem.
+//!
+//! Each workload is built once as a lazy plan and executed under the default
+//! `FusionPolicy::Auto` (the cost model fuses every boundary of these
+//! chains) and under `FusionPolicy::Never` (one launch group per stage —
+//! the eager-equivalent baseline). Both lowerings are bit-identical in
+//! results; the difference is launches and intermediate containers, so the
+//! harness reports wall-clock and virtual-time elements/sec side by side
+//! plus the intermediate bytes fusion elided, and emits
+//! `BENCH_pipeline.json`.
+//!
+//! Workloads: a 2-stage and a 3-stage map chain, zip∘map, and map∘reduce,
+//! at 100k and 1M elements on 1–4 simulated devices.
+//!
+//! Usage:
+//!   cargo run --release -p skelcl_bench --bin pipeline_bench
+//!   cargo run --release -p skelcl_bench --bin pipeline_bench -- --smoke
+//!   cargo run --release -p skelcl_bench --bin pipeline_bench -- --out path.json
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use skelcl::prelude::*;
+use skelcl::FusionPolicy;
+
+struct Row {
+    workload: &'static str,
+    n: usize,
+    devices: usize,
+    fused_wall_eps: f64,
+    fused_virt_eps: f64,
+    unfused_wall_eps: f64,
+    unfused_virt_eps: f64,
+    bytes_elided: usize,
+}
+
+fn seeded(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32) / 1e6
+        })
+        .collect()
+}
+
+/// Best-of-`reps` measurement of one pre-warmed scenario: returns (wall
+/// seconds, virtual seconds) for the fastest wall-clock repetition.
+fn measure(rt: &Arc<skelcl::SkelCl>, reps: usize, scenario: impl Fn()) -> (f64, f64) {
+    let mut best = (f64::INFINITY, 0.0);
+    for _ in 0..reps {
+        let virt_start = rt.now();
+        let wall_start = Instant::now();
+        scenario();
+        rt.finish_all();
+        let wall = wall_start.elapsed().as_secs_f64();
+        let virt = (rt.now() - virt_start).as_secs_f64();
+        if wall < best.0 {
+            best = (wall, virt);
+        }
+    }
+    best
+}
+
+/// Run one workload at (n, devices): build the plan, warm both lowerings
+/// (kernel compilation + uploads), then measure fused and unfused and read
+/// the intermediate bytes one fused execution elides.
+fn bench_workload(
+    workload: &'static str,
+    n: usize,
+    devices: usize,
+    reps: usize,
+    run: impl Fn(&Arc<skelcl::SkelCl>, FusionPolicy),
+) -> Row {
+    let rt = skelcl::init_gpus(devices);
+    // Warm-up: compiles the fused and per-stage kernels and uploads inputs.
+    run(&rt, FusionPolicy::Auto);
+    run(&rt, FusionPolicy::Never);
+    rt.finish_all();
+    rt.drain_events();
+
+    let before = rt.exec_trace();
+    let (fused_wall, fused_virt) = measure(&rt, reps, || run(&rt, FusionPolicy::Auto));
+    let after = rt.exec_trace();
+    let bytes_elided =
+        (after.intermediate_bytes_elided - before.intermediate_bytes_elided) / reps.max(1);
+
+    let (unfused_wall, unfused_virt) = measure(&rt, reps, || run(&rt, FusionPolicy::Never));
+
+    Row {
+        workload,
+        n,
+        devices,
+        fused_wall_eps: n as f64 / fused_wall,
+        fused_virt_eps: n as f64 / fused_virt,
+        unfused_wall_eps: n as f64 / unfused_wall,
+        unfused_virt_eps: n as f64 / unfused_virt,
+        bytes_elided,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let reps = if smoke { 1 } else { 3 };
+    let sizes: Vec<usize> = if smoke {
+        vec![10_000]
+    } else {
+        vec![100_000, 1_000_000]
+    };
+
+    let square = Map::<f32, f32>::from_source("float func(float x) { return x * x; }");
+    let cube =
+        Map::<f32, f32>::from_source("float func(float x) { return x * x * x - 2.0f * x + 1.0f; }");
+    let mul = Zip::<f32, f32, f32>::from_source("float func(float x, float y) { return x * y; }");
+    let sum = Reduce::<f32>::from_source("float func(float a, float b) { return a + b; }");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in &sizes {
+        for devices in 1..=4 {
+            rows.push(bench_workload("map_map", n, devices, reps, |rt, policy| {
+                let v = Vector::from_vec(rt, seeded(n, 23));
+                let out = v
+                    .lazy()
+                    .policy(policy)
+                    .map(&square)
+                    .map(&cube)
+                    .into_vector()
+                    .expect("map_map");
+                std::hint::black_box(out.len());
+            }));
+            rows.push(bench_workload(
+                "map_map_map",
+                n,
+                devices,
+                reps,
+                |rt, policy| {
+                    let v = Vector::from_vec(rt, seeded(n, 29));
+                    let out = v
+                        .lazy()
+                        .policy(policy)
+                        .map(&square)
+                        .map(&cube)
+                        .map(&square)
+                        .into_vector()
+                        .expect("map_map_map");
+                    std::hint::black_box(out.len());
+                },
+            ));
+            rows.push(bench_workload("zip_map", n, devices, reps, |rt, policy| {
+                let v = Vector::from_vec(rt, seeded(n, 31));
+                let w = Vector::from_vec(rt, seeded(n, 37));
+                let out = v
+                    .lazy()
+                    .policy(policy)
+                    .zip(&w, &mul)
+                    .map(&cube)
+                    .into_vector()
+                    .expect("zip_map");
+                std::hint::black_box(out.len());
+            }));
+            rows.push(bench_workload(
+                "map_reduce",
+                n,
+                devices,
+                reps,
+                |rt, policy| {
+                    let v = Vector::from_vec(rt, seeded(n, 41));
+                    let total = v
+                        .lazy()
+                        .policy(policy)
+                        .map(&square)
+                        .reduce(&sum)
+                        .scalar()
+                        .expect("map_reduce");
+                    std::hint::black_box(total);
+                },
+            ));
+        }
+    }
+
+    println!("host_cpus = {host_cpus}");
+    for r in &rows {
+        println!(
+            "{:<12} n={:<8} {} device(s)  fused wall {:>12.0} elem/s  virtual {:>13.0} elem/s  ({:.2}x / {:.2}x vs unfused, {} B elided)",
+            r.workload,
+            r.n,
+            r.devices,
+            r.fused_wall_eps,
+            r.fused_virt_eps,
+            r.fused_wall_eps / r.unfused_wall_eps,
+            r.fused_virt_eps / r.unfused_virt_eps,
+            r.bytes_elided,
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"pipeline\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p skelcl_bench --bin pipeline_bench\",\n",
+    );
+    json.push_str("  \"units\": \"elements_per_second\",\n");
+    json.push_str(
+        "  \"note\": \"fused = FusionPolicy::Auto (cost model fuses every boundary of these chains), unfused = FusionPolicy::Never (one launch group per stage); results are bit-identical, intermediate_bytes_elided is per fused execution\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"n\": {}, \"devices\": {}, \"fused_wall_eps\": {:.0}, \"fused_virtual_eps\": {:.0}, \"unfused_wall_eps\": {:.0}, \"unfused_virtual_eps\": {:.0}, \"wall_speedup\": {:.2}, \"virtual_speedup\": {:.2}, \"intermediate_bytes_elided\": {} }}{comma}\n",
+            r.workload,
+            r.n,
+            r.devices,
+            r.fused_wall_eps,
+            r.fused_virt_eps,
+            r.unfused_wall_eps,
+            r.unfused_virt_eps,
+            r.fused_wall_eps / r.unfused_wall_eps,
+            r.fused_virt_eps / r.unfused_virt_eps,
+            r.bytes_elided,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

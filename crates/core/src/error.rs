@@ -34,6 +34,9 @@ pub enum SkelError {
     Distribution(String),
     /// A scheduling request could not be satisfied.
     Scheduler(String),
+    /// A lazy pipeline plan could not be built or lowered (e.g. a stage uses
+    /// a native Rust closure, which cannot be fused into generated source).
+    Plan(String),
 }
 
 impl fmt::Display for SkelError {
@@ -52,6 +55,7 @@ impl fmt::Display for SkelError {
             SkelError::UnsupportedArg(msg) => write!(f, "unsupported additional argument: {msg}"),
             SkelError::Distribution(msg) => write!(f, "distribution error: {msg}"),
             SkelError::Scheduler(msg) => write!(f, "scheduler error: {msg}"),
+            SkelError::Plan(msg) => write!(f, "pipeline plan error: {msg}"),
         }
     }
 }

@@ -321,7 +321,7 @@ pub fn zip_kernel(udf: &UdfInfo) -> Result<String> {
     ))
 }
 
-fn check_binary_op(udf: &UdfInfo, skeleton: &str) -> Result<ScalarType> {
+pub(crate) fn check_binary_op(udf: &UdfInfo, skeleton: &str) -> Result<ScalarType> {
     if udf.main_params.len() != 2 || !udf.extra_params.is_empty() {
         return Err(SkelError::UdfSignature(format!(
             "{skeleton} expects a binary operator function (two parameters, no additional arguments); \

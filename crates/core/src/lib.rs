@@ -86,8 +86,10 @@ pub mod args;
 pub mod container;
 pub mod distribution;
 pub mod error;
+pub mod fusion;
 pub mod kernelgen;
 pub mod matrix;
+pub mod plan;
 pub mod runtime;
 pub mod scheduler;
 pub mod skeletons;
@@ -101,7 +103,9 @@ pub use distribution::{
     Boundary, Combine, Distribution, MatrixDistribution, Partition, RowPartition,
 };
 pub use error::{Result, SkelError};
+pub use fusion::FusionPolicy;
 pub use matrix::Matrix;
+pub use plan::{MatPlan, PlanScalar, PlanVec};
 pub use runtime::{init_gpus, init_profiles, DeviceSelection, DeviceTrace, ExecTrace, SkelCl};
 pub use scheduler::{DevicePerf, PerfModel, StaticScheduler};
 pub use skeletons::{
@@ -122,7 +126,9 @@ pub mod prelude {
     pub use crate::container::Container;
     pub use crate::distribution::{Boundary, Combine, Distribution, MatrixDistribution};
     pub use crate::error::{Result, SkelError};
+    pub use crate::fusion::FusionPolicy;
     pub use crate::matrix::Matrix;
+    pub use crate::plan::{MatPlan, PlanScalar, PlanVec};
     pub use crate::runtime::{DeviceSelection, SkelCl};
     pub use crate::skeletons::{Launch, Map, MapOverlap, Reduce, Scan, Skeleton, Zip};
     pub use crate::vector::Vector;

@@ -558,6 +558,15 @@ impl<T: Pod> Matrix<T> {
     }
 }
 
+impl Matrix<f32> {
+    /// Open a lazy pipeline plan over this matrix: adjacent map stages fuse
+    /// into one composed kernel, stencil stages stay barriers — see
+    /// [`crate::plan::MatPlan`].
+    pub fn lazy<'a>(&self) -> crate::plan::MatPlan<'a> {
+        crate::plan::MatPlan::new(self)
+    }
+}
+
 impl<T: DeviceScalar> Matrix<T> {
     /// Reduce every element of this matrix to a single value:
     /// `m.reduce(&sum)?`.

@@ -40,6 +40,15 @@ pub struct SkelCl {
     halo_transfers: Vec<AtomicUsize>,
     /// Per-device halo-exchange bytes moved.
     halo_bytes: Vec<AtomicUsize>,
+    /// Pipeline stages merged into another stage's kernel by plan fusion.
+    kernels_fused: AtomicUsize,
+    /// Per-device kernel launches avoided by plan fusion.
+    launches_elided: AtomicUsize,
+    /// Intermediate device buffers never allocated thanks to plan fusion.
+    intermediate_buffers_elided: AtomicUsize,
+    /// Bytes of intermediate device storage never allocated thanks to plan
+    /// fusion.
+    intermediate_bytes_elided: AtomicUsize,
 }
 
 /// One runtime telemetry snapshot: the library-level view of the execution
@@ -58,6 +67,16 @@ pub struct ExecTrace {
     pub pooled_bytes: usize,
     /// Distinct kernel programs built (and cached) so far.
     pub programs_built: usize,
+    /// Pipeline stages merged into another stage's kernel by plan fusion
+    /// (a fused group of `k` stages contributes `k - 1`).
+    pub kernels_fused: usize,
+    /// Per-device kernel launches avoided by plan fusion.
+    pub launches_elided: usize,
+    /// Intermediate device buffers never allocated thanks to plan fusion.
+    pub intermediate_buffers_elided: usize,
+    /// Bytes of intermediate device storage never allocated thanks to plan
+    /// fusion.
+    pub intermediate_bytes_elided: usize,
     /// Per-device counters, indexed by device.
     pub devices: Vec<DeviceTrace>,
 }
@@ -124,6 +143,10 @@ impl SkelCl {
             vector_ids: AtomicU64::new(1),
             halo_transfers: (0..devices).map(|_| AtomicUsize::new(0)).collect(),
             halo_bytes: (0..devices).map(|_| AtomicUsize::new(0)).collect(),
+            kernels_fused: AtomicUsize::new(0),
+            launches_elided: AtomicUsize::new(0),
+            intermediate_buffers_elided: AtomicUsize::new(0),
+            intermediate_bytes_elided: AtomicUsize::new(0),
         })
     }
 
@@ -180,6 +203,27 @@ impl SkelCl {
         self.halo_bytes[device].fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record the effect of one fused plan group: `stages_merged` pipeline
+    /// stages disappeared into another stage's kernel, eliding
+    /// `launches_elided` per-device launches, `buffers_elided` intermediate
+    /// device buffers and `bytes_elided` bytes of intermediate storage.
+    pub(crate) fn charge_fusion(
+        &self,
+        stages_merged: usize,
+        launches_elided: usize,
+        buffers_elided: usize,
+        bytes_elided: usize,
+    ) {
+        self.kernels_fused
+            .fetch_add(stages_merged, Ordering::Relaxed);
+        self.launches_elided
+            .fetch_add(launches_elided, Ordering::Relaxed);
+        self.intermediate_buffers_elided
+            .fetch_add(buffers_elided, Ordering::Relaxed);
+        self.intermediate_bytes_elided
+            .fetch_add(bytes_elided, Ordering::Relaxed);
+    }
+
     /// Snapshot the runtime's execution telemetry: skeleton calls, buffer
     /// pool statistics and the per-device halo-exchange counters. This is
     /// the supported read path for benches and schedulers — no need to walk
@@ -206,6 +250,10 @@ impl SkelCl {
             pooled_buffers: self.context.pooled_buffers(),
             pooled_bytes: self.context.pooled_bytes(),
             programs_built: self.context.built_program_count(),
+            kernels_fused: self.kernels_fused.load(Ordering::Relaxed),
+            launches_elided: self.launches_elided.load(Ordering::Relaxed),
+            intermediate_buffers_elided: self.intermediate_buffers_elided.load(Ordering::Relaxed),
+            intermediate_bytes_elided: self.intermediate_bytes_elided.load(Ordering::Relaxed),
             devices,
         }
     }

@@ -115,6 +115,17 @@ impl<I: Pod, O: Pod> Map<I, O> {
         }
     }
 
+    /// The analysed source UDF for use in a lazy plan. Native closures have
+    /// no source to fuse, so they cannot participate in plans.
+    pub(crate) fn plan_udf(&self) -> Result<Arc<kernelgen::UdfInfo>> {
+        match &self.udf {
+            MapUdf::Source(src) => self.cache.info(src, 1),
+            MapUdf::Native(_) => Err(SkelError::Plan(
+                "map stage uses a native Rust closure; lazy plans require source UDFs".into(),
+            )),
+        }
+    }
+
     fn ensure_built(&self, runtime: &Arc<SkelCl>) -> Result<Arc<BuiltSource>> {
         let mut built = self.built.lock();
         if let Some(b) = built.as_ref() {

@@ -31,7 +31,8 @@ pub use reduce::{Reduce, ReducePlan};
 pub use scan::{Scan, ScanTrace};
 pub use zip::Zip;
 
-pub(crate) use exec::{check_source_call, sequential_cost, PreparedCall};
+pub(crate) use exec::{check_source_call, sequential_cost, wait_kernel_events, PreparedCall};
+pub(crate) use scan::host_eval_operator;
 
 use std::sync::Arc;
 

@@ -116,6 +116,21 @@ impl<T: DeviceScalar> Reduce<T> {
         Launch::new(self, input.clone())
     }
 
+    /// The analysed binary-operator UDF for use in a lazy plan. Native
+    /// closures have no source to fuse, so they cannot participate in plans.
+    pub(crate) fn plan_udf(&self) -> Result<Arc<kernelgen::UdfInfo>> {
+        match &self.udf {
+            ReduceUdf::Source(src) => {
+                let info = self.cache.info(src, 2)?;
+                kernelgen::check_binary_op(&info, "reduce")?;
+                Ok(info)
+            }
+            ReduceUdf::Native(_) => Err(SkelError::Plan(
+                "reduce stage uses a native Rust closure; lazy plans require source UDFs".into(),
+            )),
+        }
+    }
+
     fn ensure_built(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<Arc<BuiltSource>> {
         let mut built = self.built.lock();
         if let Some(b) = built.as_ref() {

@@ -112,6 +112,21 @@ impl<T: DeviceScalar> Scan<T> {
         }
     }
 
+    /// The analysed binary-operator UDF for use in a lazy plan. Native
+    /// closures have no source to fuse, so they cannot participate in plans.
+    pub(crate) fn plan_udf(&self) -> Result<Arc<UdfInfo>> {
+        match &self.udf {
+            ScanUdf::Source(src) => {
+                let info = self.cache.info(src, 2)?;
+                kernelgen::check_binary_op(&info, "scan")?;
+                Ok(info)
+            }
+            ScanUdf::Native(_) => Err(SkelError::Plan(
+                "scan stage uses a native Rust closure; lazy plans require source UDFs".into(),
+            )),
+        }
+    }
+
     fn ensure_built(&self, runtime: &Arc<crate::runtime::SkelCl>) -> Result<Arc<BuiltSource>> {
         let mut built = self.built.lock();
         if let Some(b) = built.as_ref() {
@@ -403,7 +418,7 @@ impl<T: DeviceScalar> Launch<'_, Scan<T>, Vector<T>> {
 
 /// Evaluate a binary source operator on the host over two values by running
 /// the generated scan kernel on a two-element array.
-fn host_eval_operator<T: DeviceScalar>(source: &str, a: T, b: T) -> T {
+pub(crate) fn host_eval_operator<T: DeviceScalar>(source: &str, a: T, b: T) -> T {
     let info = UdfInfo::analyze(source, 2).expect("operator was validated at build time");
     let kernel_src = kernelgen::scan_kernels(&info).expect("operator was validated at build time");
     let program = skelcl_kernel::Program::build(&kernel_src).expect("generated source is valid");

@@ -18,7 +18,7 @@ use oclsim::{CostHint, NativeKernelDef, Pod, Program};
 
 use crate::args::ArgAccess;
 use crate::container::Container;
-use crate::error::Result;
+use crate::error::{Result, SkelError};
 use crate::kernelgen;
 use crate::matrix::Matrix;
 use crate::runtime::SkelCl;
@@ -108,6 +108,17 @@ impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
         match &self.udf {
             ZipUdf::Source(src) => self.cache.cost(src).unwrap_or(self.cost),
             ZipUdf::Native(_) => self.cost,
+        }
+    }
+
+    /// The analysed source UDF for use in a lazy plan. Native closures have
+    /// no source to fuse, so they cannot participate in plans.
+    pub(crate) fn plan_udf(&self) -> Result<Arc<kernelgen::UdfInfo>> {
+        match &self.udf {
+            ZipUdf::Source(src) => self.cache.info(src, 2),
+            ZipUdf::Native(_) => Err(SkelError::Plan(
+                "zip stage uses a native Rust closure; lazy plans require source UDFs".into(),
+            )),
         }
     }
 

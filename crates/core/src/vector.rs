@@ -409,6 +409,16 @@ impl<T: Pod> Vector<T> {
     }
 }
 
+impl<T: Pod> Vector<T> {
+    /// Open a lazy pipeline plan over this vector: fluent stage calls build
+    /// an expression DAG, a fusion pass merges adjacent stages into single
+    /// kernels, and nothing executes until a terminal form runs —
+    /// see [`crate::plan::PlanVec`].
+    pub fn lazy(&self) -> crate::plan::PlanVec<T> {
+        crate::plan::PlanVec::from_vector(self)
+    }
+}
+
 impl<T: DeviceScalar> Vector<T> {
     /// Reduce this vector to a single value: `v.reduce(&sum)?`.
     pub fn reduce(&self, skeleton: &Reduce<T>) -> Result<T> {

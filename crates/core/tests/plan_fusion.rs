@@ -1,0 +1,551 @@
+//! Differential and property tests of the lazy plan subsystem: every fused
+//! pipeline must be **bit-identical** to the unfused (`FusionPolicy::Never`)
+//! lowering, to the eager skeleton sequence, and to a host interpreter
+//! oracle — over 1–4 devices and every vector distribution — and the fusion
+//! telemetry (`ExecTrace`) must account exactly for what fusion elided.
+
+use proptest::prelude::*;
+
+use skelcl::prelude::*;
+use skelcl::{args, FusionPolicy, SkelError};
+
+fn square() -> Map<f32, f32> {
+    Map::from_source("float func(float x) { return x * x; }")
+}
+
+fn affine() -> Map<f32, f32> {
+    Map::from_source("float func(float x, float a, float b) { return a * x + b; }")
+}
+
+fn mul() -> Zip<f32, f32, f32> {
+    Zip::from_source("float func(float x, float y) { return x * y; }")
+}
+
+fn sum() -> Reduce<f32> {
+    Reduce::from_source("float func(float a, float b) { return a + b; }")
+}
+
+fn psum() -> Scan<f32> {
+    Scan::from_source("float func(float a, float b) { return a + b; }")
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn apply_distribution(v: &Vector<f32>, which: usize, devices: usize) {
+    let dist = match which % 4 {
+        0 => Distribution::Block,
+        1 => Distribution::Copy,
+        2 => Distribution::Single(which % devices),
+        _ => {
+            Distribution::block_weighted(&(0..devices).map(|d| 1.0 + d as f64).collect::<Vec<_>>())
+        }
+    };
+    v.set_distribution(dist).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// map∘map∘map fused is bit-identical to the unfused lowering, the eager
+    /// chain and the host oracle, on 1–4 devices and every distribution.
+    #[test]
+    fn fused_map_chain_matches_unfused_eager_and_oracle(
+        devices in 1usize..=4,
+        dist in 0usize..4,
+        data in prop::collection::vec(-1.0e2f32..1.0e2, 1..96),
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let v = Vector::from_vec(&rt, data.clone());
+        apply_distribution(&v, dist, devices);
+        let sq = square();
+        let af = affine();
+        let plan = v.lazy()
+            .map(&sq)
+            .map_with(&af, args![0.5f32, 1.0f32])
+            .map(&sq);
+        let fused = plan.collect().unwrap();
+        let unfused = plan.clone().policy(FusionPolicy::Never).collect().unwrap();
+        let eager = v
+            .map(&sq).unwrap()
+            .map_with(&af, args![0.5f32, 1.0f32]).unwrap()
+            .map(&sq).unwrap()
+            .to_vec().unwrap();
+        let oracle: Vec<f32> = data
+            .iter()
+            .map(|&x| { let a = x * x; let b = 0.5f32 * a + 1.0f32; b * b })
+            .collect();
+        prop_assert_eq!(bits(&fused), bits(&oracle), "fused vs oracle, devices={}", devices);
+        prop_assert_eq!(bits(&unfused), bits(&oracle), "unfused vs oracle");
+        prop_assert_eq!(bits(&eager), bits(&oracle), "eager vs oracle");
+    }
+
+    /// zip∘map fused is bit-identical to unfused, eager and oracle, with the
+    /// second input under an independent distribution (forces unification).
+    #[test]
+    fn fused_zip_map_matches_unfused_eager_and_oracle(
+        devices in 1usize..=4,
+        dist_a in 0usize..4,
+        dist_b in 0usize..4,
+        data in prop::collection::vec(-50.0f32..50.0, 1..96),
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let ys: Vec<f32> = data.iter().map(|x| x + 3.0).collect();
+        let v = Vector::from_vec(&rt, data.clone());
+        let w = Vector::from_vec(&rt, ys.clone());
+        apply_distribution(&v, dist_a, devices);
+        apply_distribution(&w, dist_b, devices);
+        let sq = square();
+        let m = mul();
+        let plan = v.lazy().zip(&w, &m).map(&sq);
+        let fused = plan.collect().unwrap();
+        let unfused = plan.clone().policy(FusionPolicy::Never).collect().unwrap();
+        let eager = v.zip(&w, &m).unwrap().map(&sq).unwrap().to_vec().unwrap();
+        let oracle: Vec<f32> = data.iter().zip(&ys)
+            .map(|(&x, &y)| { let p = x * y; p * p })
+            .collect();
+        prop_assert_eq!(bits(&fused), bits(&oracle));
+        prop_assert_eq!(bits(&unfused), bits(&oracle));
+        prop_assert_eq!(bits(&eager), bits(&oracle));
+    }
+
+    /// map∘reduce fused (the chain inlined into the fold's first phase) is
+    /// bit-identical to unfused and eager; on one device the sequential host
+    /// left fold is the oracle.
+    #[test]
+    fn fused_map_reduce_matches_unfused_eager_and_oracle(
+        devices in 1usize..=4,
+        dist in 0usize..4,
+        data in prop::collection::vec(-10.0f32..10.0, 1..96),
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let v = Vector::from_vec(&rt, data.clone());
+        apply_distribution(&v, dist, devices);
+        let sq = square();
+        let s = sum();
+        let plan = v.lazy().map(&sq).reduce(&s);
+        let fused = plan.scalar().unwrap();
+        let unfused = plan.clone().policy(FusionPolicy::Never).scalar().unwrap();
+        let eager = v.map(&sq).unwrap().reduce(&s).unwrap();
+        prop_assert_eq!(fused.to_bits(), eager.to_bits(), "fused vs eager, devices={}", devices);
+        prop_assert_eq!(unfused.to_bits(), eager.to_bits(), "unfused vs eager");
+        if devices == 1 {
+            let mut acc: Option<f32> = None;
+            for &x in &data {
+                let y = x * x;
+                acc = Some(match acc { None => y, Some(a) => a + y });
+            }
+            prop_assert_eq!(fused.to_bits(), acc.unwrap().to_bits(), "fused vs oracle");
+        }
+    }
+
+    /// map∘scan fused is bit-identical to unfused and eager; on one device
+    /// the sequential inclusive scan is the oracle.
+    #[test]
+    fn fused_map_scan_matches_unfused_eager_and_oracle(
+        devices in 1usize..=4,
+        dist in 0usize..4,
+        data in prop::collection::vec(-10.0f32..10.0, 1..96),
+    ) {
+        let rt = skelcl::init_gpus(devices);
+        let v = Vector::from_vec(&rt, data.clone());
+        apply_distribution(&v, dist, devices);
+        let sq = square();
+        let p = psum();
+        let plan = v.lazy().map(&sq).scan(&p);
+        let fused = plan.collect().unwrap();
+        let unfused = plan.clone().policy(FusionPolicy::Never).collect().unwrap();
+        let eager = v.map(&sq).unwrap().scan(&p).unwrap().to_vec().unwrap();
+        prop_assert_eq!(bits(&fused), bits(&eager), "fused vs eager, devices={}", devices);
+        prop_assert_eq!(bits(&unfused), bits(&eager), "unfused vs eager");
+        if devices == 1 {
+            let mut acc: Option<f32> = None;
+            let oracle: Vec<f32> = data.iter().map(|&x| {
+                let y = x * x;
+                let s = match acc { None => y, Some(a) => a + y };
+                acc = Some(s);
+                s
+            }).collect();
+            prop_assert_eq!(bits(&fused), bits(&oracle), "fused vs oracle");
+        }
+    }
+}
+
+/// The headline acceptance criterion: a 3-stage map∘map∘map pipeline at 1M
+/// elements lowers to **exactly one kernel launch per device** with zero
+/// intermediate containers, and the telemetry accounts for both.
+#[test]
+fn million_element_map_chain_is_one_launch_per_device() {
+    for devices in [1usize, 2, 4] {
+        let rt = skelcl::init_gpus(devices);
+        let n = 1_000_000usize;
+        let v = Vector::from_vec(&rt, (0..n).map(|i| (i % 97) as f32).collect());
+        let sq = square();
+        v.copy_data_to_devices().unwrap();
+        rt.drain_events();
+        let before = rt.exec_trace();
+        let out = v.lazy().map(&sq).map(&sq).map(&sq).into_vector().unwrap();
+        let events = rt.drain_events();
+        let kernel_launches: Vec<usize> = events
+            .iter()
+            .map(|evs| evs.iter().filter(|e| e.is_kernel()).count())
+            .collect();
+        let active = v.sizes().iter().filter(|&&s| s > 0).count();
+        assert_eq!(
+            kernel_launches.iter().sum::<usize>(),
+            active,
+            "one fused launch per active device on {devices} device(s): {kernel_launches:?}"
+        );
+        let after = rt.exec_trace();
+        assert_eq!(after.kernels_fused - before.kernels_fused, 2);
+        assert_eq!(after.launches_elided - before.launches_elided, 2 * active);
+        assert_eq!(
+            after.intermediate_buffers_elided - before.intermediate_buffers_elided,
+            2 * active
+        );
+        assert_eq!(
+            after.intermediate_bytes_elided - before.intermediate_bytes_elided,
+            2 * n * 4,
+            "two elided f32 intermediates of {n} elements"
+        );
+        assert_eq!(out.len(), n);
+    }
+}
+
+/// With `FusionPolicy::Never` the plan's accounting matches the eager path:
+/// same skeleton-call count, one launch per stage per device, and no fusion
+/// counters move.
+#[test]
+fn unfused_plan_accounting_matches_the_eager_path() {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, (0..64).map(|i| i as f32).collect());
+    let sq = square();
+    v.copy_data_to_devices().unwrap();
+    rt.drain_events();
+    let before = rt.exec_trace();
+    let plan = v.lazy().policy(FusionPolicy::Never).map(&sq).map(&sq);
+    let out = plan.collect().unwrap();
+    let after = rt.exec_trace();
+    assert_eq!(after.skeleton_calls - before.skeleton_calls, 2);
+    assert_eq!(after.kernels_fused, before.kernels_fused);
+    assert_eq!(after.launches_elided, before.launches_elided);
+    let events = rt.drain_events();
+    let launches: usize = events
+        .iter()
+        .map(|evs| evs.iter().filter(|e| e.is_kernel()).count())
+        .sum();
+    assert_eq!(launches, 4, "two stages x two devices");
+    assert_eq!(out.len(), 64);
+}
+
+/// Fused pipelines report one skeleton call per launch group.
+#[test]
+fn fused_plan_counts_one_skeleton_call_per_group() {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, (0..64).map(|i| i as f32).collect());
+    let sq = square();
+    let s = sum();
+    let before = rt.exec_trace();
+    let _ = v
+        .lazy()
+        .policy(FusionPolicy::Always)
+        .map(&sq)
+        .map(&sq)
+        .reduce(&s)
+        .scalar()
+        .unwrap();
+    let after = rt.exec_trace();
+    assert_eq!(
+        after.skeleton_calls - before.skeleton_calls,
+        1,
+        "map, map and reduce fused into one group"
+    );
+    assert_eq!(after.kernels_fused - before.kernels_fused, 2);
+}
+
+/// Empty containers fail with `EmptyInput` from every terminal, exactly like
+/// the eager skeletons.
+#[test]
+fn empty_containers_error_on_every_terminal() {
+    for devices in 1usize..=4 {
+        let rt = skelcl::init_gpus(devices);
+        let v: Vector<f32> = Vector::from_vec(&rt, vec![]);
+        let sq = square();
+        let s = sum();
+        let p = psum();
+        assert!(matches!(
+            v.lazy().map(&sq).into_vector(),
+            Err(SkelError::EmptyInput)
+        ));
+        assert!(matches!(
+            v.lazy().map(&sq).collect(),
+            Err(SkelError::EmptyInput)
+        ));
+        assert!(matches!(
+            v.lazy().map(&sq).reduce(&s).scalar(),
+            Err(SkelError::EmptyInput)
+        ));
+        assert!(matches!(
+            v.lazy().scan(&p).exec(),
+            Err(SkelError::EmptyInput)
+        ));
+    }
+}
+
+/// Build-time validation: length mismatches, native closures, argument
+/// arity and a terminal on a stage-less plan all surface clear errors.
+#[test]
+fn plan_builders_validate_stages() {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, vec![1.0f32; 8]);
+    let w = Vector::from_vec(&rt, vec![1.0f32; 7]);
+    let m = mul();
+    assert!(matches!(
+        v.lazy().zip(&w, &m).into_vector(),
+        Err(SkelError::LengthMismatch { left: 8, right: 7 })
+    ));
+    let native = Map::<f32, f32>::new(|x, _| *x + 1.0);
+    assert!(matches!(
+        v.lazy().map(&native).into_vector(),
+        Err(SkelError::Plan(_))
+    ));
+    let af = affine();
+    assert!(matches!(
+        v.lazy().map(&af).into_vector(),
+        Err(SkelError::UdfSignature(_))
+    ));
+    assert!(matches!(v.lazy().into_vector(), Err(SkelError::Plan(_))));
+    // The first error poisons the plan: later stages do not mask it.
+    let sq = square();
+    assert!(matches!(
+        v.lazy().map(&native).map(&sq).into_vector(),
+        Err(SkelError::Plan(_))
+    ));
+}
+
+/// Regression test for hygienic renaming: two stages defining the same
+/// helper (with different bodies) fuse correctly, the results match the
+/// unfused path bit-for-bit, and `explain` reports the renames.
+#[test]
+fn colliding_helper_names_are_hygienically_renamed() {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, (0..32).map(|i| i as f32).collect());
+    let a = Map::<f32, f32>::from_source(
+        "float offset(float x) { return x + 1.0f; }\n\
+         float func(float x) { return offset(x) * 2.0f; }",
+    );
+    let b = Map::<f32, f32>::from_source(
+        "float offset(float x) { return x + 10.0f; }\n\
+         float func(float x) { return offset(x) * 3.0f; }",
+    );
+    let plan = v.lazy().map(&a).map(&b);
+    let fused = plan.collect().unwrap();
+    let unfused = plan.clone().policy(FusionPolicy::Never).collect().unwrap();
+    let oracle: Vec<f32> = (0..32)
+        .map(|i| {
+            let x = i as f32;
+            let s0 = (x + 1.0) * 2.0;
+            (s0 + 10.0) * 3.0
+        })
+        .collect();
+    assert_eq!(
+        bits(&fused),
+        bits(&oracle),
+        "each stage must use its own helper"
+    );
+    assert_eq!(bits(&unfused), bits(&oracle));
+    let explain = plan.explain().unwrap();
+    assert!(
+        explain.contains("rename:") && explain.contains("`offset`"),
+        "explain must surface the collision diagnostic:\n{explain}"
+    );
+    assert!(
+        explain.contains("`func`"),
+        "both colliding names get diagnostics:\n{explain}"
+    );
+}
+
+/// `explain` renders the DAG and the per-boundary fusion verdicts without
+/// executing anything.
+#[test]
+fn explain_renders_dag_and_fusion_decisions() {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, vec![1.0f32; 1024]);
+    let w = Vector::from_vec(&rt, vec![2.0f32; 1024]);
+    let m = mul();
+    let s = sum();
+    let before = rt.exec_trace();
+    let plan = v.lazy().zip(&w, &m).reduce(&s);
+    let text = plan.explain().unwrap();
+    assert!(text.contains("Plan:"), "{text}");
+    assert!(text.contains("zip("), "{text}");
+    assert!(text.contains("reduce("), "{text}");
+    assert!(text.contains("After fusion: 1 launch group(s)"), "{text}");
+    assert!(text.contains("SKELCL_FUSED_REDUCE"), "{text}");
+    assert!(text.contains("fuse (cost model"), "{text}");
+    let after = rt.exec_trace();
+    assert_eq!(
+        before.skeleton_calls, after.skeleton_calls,
+        "explain must not execute"
+    );
+    // Never-policy rendering shows forced splits.
+    let split = plan.clone().policy(FusionPolicy::Never).explain().unwrap();
+    assert!(split.contains("split (policy"), "{split}");
+    assert!(split.contains("After fusion: 2 launch group(s)"), "{split}");
+}
+
+/// A plan is re-executable: running the same terminal twice gives the same
+/// result.
+#[test]
+fn plans_are_re_executable() {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, (0..64).map(|i| i as f32).collect());
+    let sq = square();
+    let plan = v.lazy().map(&sq).map(&sq);
+    let first = plan.collect().unwrap();
+    let second = plan.collect().unwrap();
+    assert_eq!(bits(&first), bits(&second));
+}
+
+/// Fused pipelines work for f64 and i32 element types too.
+#[test]
+fn fused_pipelines_support_other_scalar_types() {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, (1..=32).map(f64::from).collect::<Vec<f64>>());
+    let half = Map::<f64, f64>::from_source("double func(double x) { return x * 0.5; }");
+    let sumd = Reduce::<f64>::from_source("double func(double a, double b) { return a + b; }");
+    let total = v.lazy().map(&half).reduce(&sumd).scalar().unwrap();
+    let eager = v.map(&half).unwrap().reduce(&sumd).unwrap();
+    assert_eq!(total.to_bits(), eager.to_bits());
+
+    let w = Vector::from_vec(&rt, (0..32).collect::<Vec<i32>>());
+    let twice = Map::<i32, i32>::from_source("int func(int x) { return x * 2; }");
+    let inc = Map::<i32, i32>::from_source("int func(int x) { return x + 1; }");
+    let got = w.lazy().map(&twice).map(&inc).collect().unwrap();
+    let oracle: Vec<i32> = (0..32).map(|x| x * 2 + 1).collect();
+    assert_eq!(got, oracle);
+}
+
+/// A map stage may change the element type mid-pipeline; the fused kernel
+/// carries the intermediate type through the chain.
+#[test]
+fn fused_chains_may_change_element_type() {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, (0..16).map(|i| i as f32 + 0.75).collect::<Vec<f32>>());
+    let floor = Map::<f32, i32>::from_source("int func(float x) { return (int)x; }");
+    let twice = Map::<i32, i32>::from_source("int func(int x) { return x * 2; }");
+    let plan = v.lazy().map(&floor).map(&twice);
+    let fused = plan.collect().unwrap();
+    let unfused = plan.clone().policy(FusionPolicy::Never).collect().unwrap();
+    let oracle: Vec<i32> = (0..16).map(|i| (i as f32 + 0.75) as i32 * 2).collect();
+    assert_eq!(fused, oracle);
+    assert_eq!(unfused, oracle);
+}
+
+/// Scan works mid-pipeline: stages before it fuse into its first phase,
+/// stages after it form a new group.
+#[test]
+fn scan_in_the_middle_of_a_pipeline() {
+    let rt = skelcl::init_gpus(3);
+    let v = Vector::from_vec(&rt, (1..=48).map(|i| i as f32).collect::<Vec<f32>>());
+    let sq = square();
+    let p = psum();
+    let plan = v.lazy().map(&sq).scan(&p).map(&sq);
+    let fused = plan.collect().unwrap();
+    let unfused = plan.clone().policy(FusionPolicy::Never).collect().unwrap();
+    let eager = v
+        .map(&sq)
+        .unwrap()
+        .scan(&p)
+        .unwrap()
+        .map(&sq)
+        .unwrap()
+        .to_vec()
+        .unwrap();
+    assert_eq!(bits(&fused), bits(&eager));
+    assert_eq!(bits(&unfused), bits(&eager));
+}
+
+/// Additional scalar arguments flow into the fused kernel, one extras block
+/// per stage, in stage order.
+#[test]
+fn additional_arguments_reach_their_stages_after_fusion() {
+    let rt = skelcl::init_gpus(2);
+    let v = Vector::from_vec(&rt, (0..32).map(|i| i as f32).collect::<Vec<f32>>());
+    let af = affine();
+    let plan = v
+        .lazy()
+        .map_with(&af, args![2.0f32, 1.0f32])
+        .map_with(&af, args![0.5f32, -3.0f32]);
+    let fused = plan.collect().unwrap();
+    let unfused = plan.clone().policy(FusionPolicy::Never).collect().unwrap();
+    let oracle: Vec<f32> = (0..32)
+        .map(|i| {
+            let x = i as f32;
+            let a = 2.0f32 * x + 1.0f32;
+            0.5f32 * a + -3.0f32
+        })
+        .collect();
+    assert_eq!(bits(&fused), bits(&oracle));
+    assert_eq!(bits(&unfused), bits(&oracle));
+}
+
+/// The matrix plan fuses adjacent map stages into one composed kernel and
+/// treats stencil stages as barriers; results are bit-identical to the
+/// eager sequence.
+#[test]
+fn matrix_plan_fuses_maps_and_respects_stencil_barriers() {
+    let rt = skelcl::init_gpus(2);
+    let m = Matrix::from_fn(&rt, 8, 6, |r, c| (r * 6 + c) as f32);
+    let sq = square();
+    let inc = Map::<f32, f32>::from_source("float func(float x) { return x + 1.0f; }");
+    let blur = MapOverlap::<f32, f32>::from_source(
+        "float func(float c) { return (get(0, -1) + c + get(0, 1)) / 3.0f; }",
+    )
+    .with_halo(1);
+    let plan = m.lazy().map(&sq).map(&inc).map_overlap(&blur).map(&inc);
+    let fused = plan.exec().unwrap().to_vec().unwrap();
+    let eager = {
+        let a = m.map(&sq).unwrap();
+        let b = a.map(&inc).unwrap();
+        let c = blur.run(&b).exec().unwrap();
+        c.map(&inc).unwrap().to_vec().unwrap()
+    };
+    assert_eq!(bits(&fused), bits(&eager));
+    let text = plan.explain().unwrap();
+    assert!(text.contains("map_overlap"), "{text}");
+    assert!(text.contains("After fusion: 3 launch group(s)"), "{text}");
+}
+
+/// The matrix plan's fusion telemetry moves only when stages actually fuse.
+#[test]
+fn matrix_plan_accounts_fusion_telemetry() {
+    let rt = skelcl::init_gpus(2);
+    let m = Matrix::from_fn(&rt, 8, 8, |r, c| (r + c) as f32);
+    let sq = square();
+    let before = rt.exec_trace();
+    let _ = m.lazy().map(&sq).map(&sq).exec().unwrap();
+    let after = rt.exec_trace();
+    assert_eq!(after.kernels_fused - before.kernels_fused, 1);
+    assert!(after.intermediate_bytes_elided > before.intermediate_bytes_elided);
+}
+
+/// Non-commutative operators stay correct across device counts: the fused
+/// reduce gathers partials in device order like the eager path.
+#[test]
+fn non_commutative_reduce_matches_eager_on_all_device_counts() {
+    let weighted =
+        Reduce::<f32>::from_source("float func(float a, float b) { return a * 0.5f + b; }");
+    let sq = square();
+    for devices in 1usize..=4 {
+        let rt = skelcl::init_gpus(devices);
+        let v = Vector::from_vec(&rt, (1..=37).map(|i| i as f32).collect::<Vec<f32>>());
+        let plan = v.lazy().map(&sq).reduce(&weighted);
+        let fused = plan.scalar().unwrap();
+        let unfused = plan.clone().policy(FusionPolicy::Never).scalar().unwrap();
+        let eager = v.map(&sq).unwrap().reduce(&weighted).unwrap();
+        assert_eq!(fused.to_bits(), eager.to_bits(), "devices={devices}");
+        assert_eq!(unfused.to_bits(), eager.to_bits(), "devices={devices}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Source-level UDF composition support.
+//!
+//! Kernel fusion (the `plan` subsystem in `skelcl`) concatenates several
+//! user-defined functions into one generated kernel. Two independently
+//! written UDFs may both define a helper called `clamp`, or both name their
+//! function `func` — valid in isolation, a redefinition error once fused.
+//! This module provides the two primitives the fusion pass needs:
+//!
+//! * [`defined_functions`] — the function names a source fragment defines,
+//!   so the fuser can detect collisions across stages, and
+//! * [`rename_identifiers`] — a token-level, deterministic rename of chosen
+//!   identifiers that preserves the source otherwise verbatim (comments and
+//!   formatting included), so renamed stages stay readable in diagnostics.
+//!
+//! Renaming uniformly rewrites *every* occurrence of an identifier within
+//! one stage's source. The language has a single flat scope per function and
+//! no shadowing across the renamed set (function names, parameters and
+//! locals share the identifier namespace), so a uniform rewrite is
+//! semantics-preserving for the stage in isolation — which is exactly the
+//! property fusion needs before concatenating stages.
+
+use std::collections::BTreeMap;
+
+use crate::diag::KernelError;
+use crate::lexer;
+use crate::parser;
+use crate::token::TokenKind;
+
+/// Names of all functions defined by `source`, in definition order.
+///
+/// Errors if the source does not lex or parse; the caller (kernel
+/// generation) reports that through its usual diagnostics path.
+pub fn defined_functions(source: &str) -> Result<Vec<String>, KernelError> {
+    let tokens = lexer::lex(source)?;
+    let unit = parser::parse(&tokens, source)?;
+    Ok(unit.functions.iter().map(|f| f.name.clone()).collect())
+}
+
+/// Rewrite every occurrence of the identifiers in `renames` (old name →
+/// new name) and return the new source.
+///
+/// The rewrite works on the token stream: text between identifier tokens is
+/// copied verbatim, so whitespace and comments survive. Identifiers not in
+/// the map — including ones inside comments or string-free literals — are
+/// untouched.
+pub fn rename_identifiers(
+    source: &str,
+    renames: &BTreeMap<String, String>,
+) -> Result<String, KernelError> {
+    if renames.is_empty() {
+        return Ok(source.to_string());
+    }
+    let tokens = lexer::lex(source)?;
+    let mut out = String::with_capacity(source.len() + 64);
+    let mut cursor = 0usize;
+    for token in &tokens {
+        if let TokenKind::Ident(name) = &token.kind {
+            if let Some(new_name) = renames.get(name) {
+                out.push_str(&source[cursor..token.span.start]);
+                out.push_str(new_name);
+                cursor = token.span.end;
+            }
+        }
+    }
+    out.push_str(&source[cursor..]);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_defined_functions_in_order() {
+        let src = "float helper(float x) { return x + 1.0f; }\n\
+                   float func(float x) { return helper(x) * 2.0f; }";
+        assert_eq!(defined_functions(src).unwrap(), vec!["helper", "func"]);
+    }
+
+    #[test]
+    fn rename_rewrites_all_occurrences_and_preserves_text() {
+        let src = "/* doubles x */\nfloat func(float x) { float y = x + x; return y; }";
+        let mut renames = BTreeMap::new();
+        renames.insert("func".to_string(), "stage0_func".to_string());
+        renames.insert("x".to_string(), "stage0_x".to_string());
+        let out = rename_identifiers(src, &renames).unwrap();
+        assert_eq!(
+            out,
+            "/* doubles x */\nfloat stage0_func(float stage0_x) \
+             { float y = stage0_x + stage0_x; return y; }"
+        );
+    }
+
+    #[test]
+    fn rename_with_empty_map_is_identity() {
+        let src = "float func(float x) { return x; }";
+        assert_eq!(rename_identifiers(src, &BTreeMap::new()).unwrap(), src);
+    }
+
+    #[test]
+    fn renamed_source_still_compiles() {
+        let src = "float scale(float v) { return v * 3.0f; }\n\
+                   float func(float x) { return scale(x); }";
+        let mut renames = BTreeMap::new();
+        renames.insert("scale".to_string(), "skelcl_s1_scale".to_string());
+        renames.insert("func".to_string(), "skelcl_s1_func".to_string());
+        let out = rename_identifiers(src, &renames).unwrap();
+        assert_eq!(
+            defined_functions(&out).unwrap(),
+            vec!["skelcl_s1_scale", "skelcl_s1_func"]
+        );
+    }
+
+    #[test]
+    fn rename_errors_on_unlexable_source() {
+        let mut renames = BTreeMap::new();
+        renames.insert("a".to_string(), "b".to_string());
+        assert!(rename_identifiers("float func(@) {}", &renames).is_err());
+    }
+}

@@ -20,6 +20,7 @@
 
 use crate::ast::*;
 use crate::builtins::Builtin;
+use crate::diag::KernelError;
 
 /// Default assumed trip count for loops whose bounds are not literal.
 pub const DEFAULT_TRIP_COUNT: f64 = 16.0;
@@ -253,6 +254,30 @@ fn literal_trip_count(cond: &Expr) -> Option<f64> {
 /// whole program code".
 pub fn estimate_named(unit: &TranslationUnit, name: &str) -> Option<CostEstimate> {
     unit.function(name).map(|f| estimate_function(unit, f))
+}
+
+/// Estimate the per-invocation cost of function `name` directly from source,
+/// without the caller holding a parsed unit. Returns `Ok(None)` when the
+/// source parses but defines no function called `name`.
+///
+/// This is the convenience surface the skeleton library's fusion cost model
+/// uses: it needs per-stage figures for UDF fragments that are never built
+/// into a standalone program.
+pub fn estimate_source(source: &str, name: &str) -> Result<Option<CostEstimate>, KernelError> {
+    let tokens = crate::lexer::lex(source)?;
+    let unit = crate::parser::parse(&tokens, source)?;
+    Ok(estimate_named(&unit, name))
+}
+
+impl CostEstimate {
+    /// Collapse the estimate to a single FLOP-equivalent figure, weighting
+    /// non-floating-point statement work (`ops`) at a quarter FLOP each —
+    /// the same weighting the simulated OpenCL runtime uses when it turns
+    /// estimates and measured statement counts into a per-item cost hint.
+    /// Used to compare fused vs split pipeline stages on one axis.
+    pub fn flops_equivalent(&self) -> f64 {
+        self.flops + 0.25 * self.ops
+    }
 }
 
 #[cfg(test)]

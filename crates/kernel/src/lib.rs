@@ -22,7 +22,10 @@
 //! * an [`interp`] (tree-walking interpreter) retained as the
 //!   differential-testing oracle for the VM,
 //! * a static [`cost`] estimator that counts floating-point and memory
-//!   operations per work-item, used by the simulator's analytical cost model.
+//!   operations per work-item, used by the simulator's analytical cost model,
+//! * a [`compose`] module with token-level identifier renaming and
+//!   definition listing, the substrate for cross-stage UDF fusion in the
+//!   skeleton library's lazy `plan` subsystem.
 //!
 //! The entry point is [`Program::build`], mirroring `clBuildProgram`: it
 //! parses, checks and **compiles to bytecode once**, returning the compiled
@@ -60,6 +63,7 @@
 pub mod ast;
 pub mod builtins;
 pub mod compile;
+pub mod compose;
 pub mod cost;
 pub mod diag;
 pub mod interp;

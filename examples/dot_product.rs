@@ -1,7 +1,10 @@
-//! Dot product on multiple GPUs: a zip skeleton (element-wise multiply)
-//! chained into a reduce skeleton (summation), the classic composition the
-//! paper's Section II-B uses to motivate lazy data transfers — the zip's
-//! output never leaves the devices.
+//! Dot product on multiple GPUs as a **lazy fused pipeline**: a zip stage
+//! (element-wise multiply) chained into a reduce stage (summation), the
+//! classic composition the paper's Section II-B uses to motivate lazy data
+//! transfers. The lazy plan goes one step further than keeping the zip's
+//! output on the devices — fusion composes the multiply into the reduction's
+//! first phase, so the product vector is **never materialised at all** and
+//! each device runs a single kernel.
 //!
 //! Run with `cargo run --example dot_product`.
 
@@ -23,15 +26,21 @@ fn main() -> Result<()> {
     let x = Vector::from_vec(&rt, xs);
     let y = Vector::from_vec(&rt, ys);
 
-    // Warm-up pass: compiles both generated kernels (runtime compilation is a
-    // one-time cost the paper excludes from its measurements) and uploads the
-    // two input vectors.
-    let _ = x.zip(&y, &multiply)?.reduce(&sum)?;
+    // Nothing runs yet: `lazy()` starts an expression DAG and each stage
+    // only appends a node. The plan can be inspected and re-executed.
+    let dot_plan = x.lazy().zip(&y, &multiply).reduce(&sum);
+    println!("\n{}", dot_plan.explain()?);
+
+    // Warm-up pass: compiles the fused kernel (runtime compilation is a
+    // one-time cost the paper excludes from its measurements) and uploads
+    // the two input vectors.
+    let _ = dot_plan.scalar()?;
     rt.finish_all();
     rt.drain_events();
+    let warm = rt.exec_trace();
 
     let t0 = rt.now();
-    let dot = x.zip(&y, &multiply)?.reduce(&sum)?;
+    let dot = dot_plan.scalar()?;
     rt.finish_all();
     let elapsed = (rt.now() - t0).as_secs_f64();
 
@@ -39,12 +48,22 @@ fn main() -> Result<()> {
     println!("reference        = {reference:.1}");
     println!("simulated time   = {:.3} ms", elapsed * 1e3);
 
-    // Show that the intermediate vector of products stayed on the devices:
-    // no host → device transfer happened after the initial upload of x and y.
+    // Fusion telemetry: the zip never ran as its own kernel, so one launch
+    // per device was elided and the 4 MiB product vector never existed.
+    let trace = rt.exec_trace();
     let events = rt.drain_events();
     let uploads = events.iter().flatten().filter(|e| e.is_write()).count();
     let kernels = events.iter().flatten().filter(|e| e.is_kernel()).count();
-    println!("uploads after warm-up: {uploads} (inputs were already resident)");
-    println!("kernel launches:       {kernels} (zip + per-device reduce)");
+    println!("uploads after warm-up:  {uploads} (inputs were already resident)");
+    println!("kernel launches:        {kernels} (one fused zip+reduce per device)");
+    println!(
+        "launches elided:        {}",
+        trace.launches_elided - warm.launches_elided
+    );
+    println!(
+        "intermediate bytes elided: {} ({} MiB product vector never allocated)",
+        trace.intermediate_bytes_elided - warm.intermediate_bytes_elided,
+        (trace.intermediate_bytes_elided - warm.intermediate_bytes_elided) >> 20
+    );
     Ok(())
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Fusion performance trajectory: runs the pipeline_bench harness, which
+# measures fused (FusionPolicy::Auto) vs unfused (FusionPolicy::Never)
+# wall-clock AND virtual-time elements/sec for {map_map, map_map_map,
+# zip_map, map_reduce} at 100k/1M elements on 1-4 simulated devices, plus
+# the intermediate bytes each fused execution elides, and regenerates
+# BENCH_pipeline.json at the repository root.
+#
+# Both lowerings produce bit-identical results (asserted by
+# crates/core/tests/plan_fusion.rs); this harness only quantifies the
+# launch and memory-traffic savings.
+#
+# Usage:
+#   scripts/bench_pipeline.sh            # full run, rewrites BENCH_pipeline.json
+#   scripts/bench_pipeline.sh --smoke    # small-N smoke run only (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Preflight: the layout the bench depends on. A rename in the plan
+# subsystem or the harness should fail here with a clear message, not deep
+# inside cargo.
+required_paths=(
+    crates/bench/src/bin/pipeline_bench.rs
+    crates/core/src/plan.rs
+    crates/core/src/fusion.rs
+    crates/core/tests/plan_fusion.rs
+)
+for path in "${required_paths[@]}"; do
+    if [[ ! -e "$path" ]]; then
+        echo "bench_pipeline.sh: missing expected path: $path" >&2
+        exit 1
+    fi
+done
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    cargo run --release -p skelcl_bench --bin pipeline_bench -- --smoke --out /tmp/BENCH_pipeline.json
+else
+    cargo run --release -p skelcl_bench --bin pipeline_bench -- --out BENCH_pipeline.json
+fi
