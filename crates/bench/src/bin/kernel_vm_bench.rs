@@ -1,9 +1,10 @@
-//! Kernel-engine throughput benchmark: bytecode VM vs AST interpreter.
+//! Kernel-engine throughput benchmark: AST interpreter vs batched bytecode
+//! VM vs the closure-compiled native tier.
 //!
 //! Runs the four generated skeleton kernel shapes (map, zip, reduce, scan)
-//! over 1M elements through both execution engines and emits
-//! `BENCH_kernel_vm.json` with elements/sec and the VM speedup, so future
-//! PRs have a perf trajectory to compare against.
+//! over 1M elements through all three engines and emits
+//! `BENCH_kernel_vm.json` with elements/sec per engine and the speedups, so
+//! future PRs have a perf trajectory to compare against.
 //!
 //! Usage:
 //!   cargo run --release -p skelcl_bench --bin kernel_vm_bench
@@ -17,7 +18,15 @@ use std::time::Instant;
 
 use skelcl_kernel::interp::{ArgBinding, BufferView};
 use skelcl_kernel::value::Value;
-use skelcl_kernel::Program;
+use skelcl_kernel::{Program, Tier};
+
+/// Which engine a timing run drives.
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Interp,
+    Batched,
+    Native,
+}
 
 const MAP_SRC: &str = r#"
     float func(float x) { return x * x * x - 2.0f * x + 1.0f; }
@@ -111,8 +120,19 @@ const WORKLOADS: &[Workload] = &[
 ];
 
 /// Best-of-`reps` wall-clock seconds for one engine over one workload.
-fn time_engine(w: &Workload, n: usize, reps: usize, use_vm: bool) -> f64 {
+fn time_engine(w: &Workload, n: usize, reps: usize, engine: Engine) -> f64 {
     let program = Program::build(w.src).expect("benchmark kernels build");
+    if engine == Engine::Native {
+        program.set_tier(Tier::Native);
+        // Compile outside the timed region: launches amortize it in
+        // production, and the JSON reports steady-state throughput.
+        let k = program.kernel(w.kernel).expect("kernel exists");
+        program
+            .native_outcome(&k)
+            .result
+            .as_ref()
+            .expect("benchmark kernels are native-eligible");
+    }
     let kernel = program.kernel(w.kernel).expect("kernel exists");
     let items = (w.items)(n);
     let mut best = f64::INFINITY;
@@ -129,10 +149,10 @@ fn time_engine(w: &Workload, n: usize, reps: usize, use_vm: bool) -> f64 {
         args.extend(w.extra.iter().map(|v| ArgBinding::Scalar(*v)));
 
         let start = Instant::now();
-        let stats = if use_vm {
-            program.run_ndrange_measured(&kernel, items, &mut args)
-        } else {
-            program.run_ndrange_measured_interp(&kernel, items, &mut args)
+        let stats = match engine {
+            Engine::Interp => program.run_ndrange_measured_interp(&kernel, items, &mut args),
+            Engine::Batched => program.run_ndrange_measured_batched(&kernel, items, &mut args),
+            Engine::Native => program.run_ndrange_measured(&kernel, items, &mut args),
         }
         .expect("benchmark kernels run");
         let elapsed = start.elapsed().as_secs_f64();
@@ -157,16 +177,26 @@ fn main() {
 
     let mut rows = Vec::new();
     for w in WORKLOADS {
-        let t_interp = time_engine(w, n, reps.min(2), false);
-        let t_vm = time_engine(w, n, reps, true);
+        let t_interp = time_engine(w, n, reps.min(2), Engine::Interp);
+        let t_vm = time_engine(w, n, reps, Engine::Batched);
+        let t_native = time_engine(w, n, reps, Engine::Native);
         let interp_eps = n as f64 / t_interp;
         let vm_eps = n as f64 / t_vm;
+        let native_eps = n as f64 / t_native;
         let speedup = vm_eps / interp_eps;
+        let native_vs_vm = native_eps / vm_eps;
         println!(
-            "{:<8} n={n:>8}  interp {:>12.0} elem/s  vm {:>12.0} elem/s  speedup {:>5.1}x",
-            w.name, interp_eps, vm_eps, speedup
+            "{:<8} n={n:>8}  interp {:>11.0} elem/s  vm {:>11.0} elem/s  native {:>11.0} elem/s  native/vm {:>5.1}x",
+            w.name, interp_eps, vm_eps, native_eps, native_vs_vm
         );
-        rows.push((w.name, interp_eps, vm_eps, speedup));
+        rows.push((
+            w.name,
+            interp_eps,
+            vm_eps,
+            native_eps,
+            speedup,
+            native_vs_vm,
+        ));
     }
 
     let mut json = String::new();
@@ -179,10 +209,12 @@ fn main() {
     );
     json.push_str("  \"units\": \"elements_per_second\",\n");
     json.push_str("  \"workloads\": {\n");
-    for (i, (name, interp_eps, vm_eps, speedup)) in rows.iter().enumerate() {
+    for (i, (name, interp_eps, vm_eps, native_eps, speedup, native_vs_vm)) in
+        rows.iter().enumerate()
+    {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         json.push_str(&format!(
-            "    \"{name}\": {{ \"interp_eps\": {interp_eps:.0}, \"vm_eps\": {vm_eps:.0}, \"speedup\": {speedup:.2} }}{comma}\n",
+            "    \"{name}\": {{ \"interp_eps\": {interp_eps:.0}, \"vm_eps\": {vm_eps:.0}, \"native_eps\": {native_eps:.0}, \"speedup\": {speedup:.2}, \"native_vs_vm\": {native_vs_vm:.2} }}{comma}\n",
         ));
     }
     json.push_str("  }\n}\n");

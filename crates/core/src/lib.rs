@@ -105,6 +105,7 @@ pub use distribution::{
 pub use error::{Result, SkelError};
 pub use fusion::FusionPolicy;
 pub use matrix::Matrix;
+pub use oclsim::Tier;
 pub use plan::{MatPlan, PlanScalar, PlanVec};
 pub use runtime::{init_gpus, init_profiles, DeviceSelection, DeviceTrace, ExecTrace, SkelCl};
 pub use scheduler::{DevicePerf, PerfModel, StaticScheduler};
@@ -133,6 +134,7 @@ pub mod prelude {
     pub use crate::skeletons::{Launch, Map, MapOverlap, Reduce, Scan, Skeleton, Zip};
     pub use crate::vector::Vector;
     pub use oclsim::CostHint;
+    pub use oclsim::Tier;
 }
 
 #[cfg(test)]

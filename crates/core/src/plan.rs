@@ -863,6 +863,7 @@ impl PlanGraph {
             devices,
             self.policy
         );
+        let _ = writeln!(out, "Kernel tier: {}", self.runtime.kernel_tier_summary());
         for (i, node) in self.nodes.iter().enumerate() {
             let line = match node {
                 PlanNode::Source { source, ty } => format!(
@@ -1474,6 +1475,7 @@ impl<'a> MatPlan<'a> {
             self.runtime.device_count(),
             self.policy
         );
+        let _ = writeln!(out, "Kernel tier: {}", self.runtime.kernel_tier_summary());
         for (i, node) in self.nodes.iter().enumerate() {
             let line = match node {
                 PlanNode::Source { .. } => format!(

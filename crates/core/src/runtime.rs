@@ -7,7 +7,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use oclsim::{ApiModel, CommandQueue, Context, DeviceProfile, SimDuration, SimTime};
+use oclsim::{ApiModel, CommandQueue, Context, DeviceProfile, SimDuration, SimTime, Tier};
 
 use crate::error::Result;
 
@@ -91,6 +91,36 @@ impl ExecTrace {
     pub fn halo_bytes(&self) -> usize {
         self.devices.iter().map(|d| d.halo_bytes).sum()
     }
+
+    /// Total kernel-language launches handled by the AST interpreter.
+    pub fn interp_launches(&self) -> usize {
+        self.devices.iter().map(|d| d.interp_launches).sum()
+    }
+
+    /// Total kernel-language launches handled by the scalar VM.
+    pub fn scalar_launches(&self) -> usize {
+        self.devices.iter().map(|d| d.scalar_launches).sum()
+    }
+
+    /// Total kernel-language launches handled by the lane-batched VM.
+    pub fn batched_launches(&self) -> usize {
+        self.devices.iter().map(|d| d.batched_launches).sum()
+    }
+
+    /// Total kernel-language launches handled by the native tier.
+    pub fn native_launches(&self) -> usize {
+        self.devices.iter().map(|d| d.native_launches).sum()
+    }
+
+    /// Total kernels compiled to the native tier across all devices.
+    pub fn native_compiles(&self) -> usize {
+        self.devices.iter().map(|d| d.native_compiles).sum()
+    }
+
+    /// Total nanoseconds spent compiling kernels to the native tier.
+    pub fn native_compile_ns(&self) -> u64 {
+        self.devices.iter().map(|d| d.native_compile_ns).sum()
+    }
 }
 
 /// Per-device slice of an [`ExecTrace`].
@@ -107,6 +137,18 @@ pub struct DeviceTrace {
     pub pool_hits: usize,
     /// Bytes of storage parked in this device's buffer pool.
     pub pooled_bytes: usize,
+    /// Kernel-language launches executed by the AST interpreter.
+    pub interp_launches: usize,
+    /// Kernel-language launches executed by the scalar VM.
+    pub scalar_launches: usize,
+    /// Kernel-language launches executed by the lane-batched VM.
+    pub batched_launches: usize,
+    /// Kernel-language launches executed by the closure-compiled native tier.
+    pub native_launches: usize,
+    /// Kernels compiled to the native tier on this device.
+    pub native_compiles: usize,
+    /// Nanoseconds spent compiling kernels to the native tier on this device.
+    pub native_compile_ns: u64,
 }
 
 impl SkelCl {
@@ -153,6 +195,40 @@ impl SkelCl {
     /// The underlying simulated OpenCL context.
     pub fn context(&self) -> &Context {
         &self.context
+    }
+
+    /// Pin the kernel-language execution tier for every kernel the runtime
+    /// launches from now on — [`Tier::Interp`] through [`Tier::Native`] force
+    /// one engine, [`Tier::Auto`] (the default) graduates hot kernels to the
+    /// native tier heuristically. Applies to already-built (cached) programs
+    /// as well as future builds, and overrides the `SKELCL_KERNEL_TIER`
+    /// environment variable. All tiers are bit-identical in results and
+    /// execution statistics; only throughput differs.
+    pub fn set_kernel_tier(&self, tier: Tier) {
+        self.context.set_kernel_tier(tier);
+    }
+
+    /// One-line description of the kernel-tier selection in effect (rendered
+    /// by `Plan::explain`): the pinned tier if one was set via
+    /// [`SkelCl::set_kernel_tier`] or `SKELCL_KERNEL_TIER`, otherwise the
+    /// auto-graduation heuristic with its thresholds.
+    pub fn kernel_tier_summary(&self) -> String {
+        use skelcl_kernel::native::{AUTO_MIN_LAUNCHES, AUTO_MIN_SIZE, AUTO_SIZE_IMMEDIATE};
+        if let Some(tier) = self.context.kernel_tier() {
+            if tier != Tier::Auto {
+                return format!("{tier} (pinned via set_kernel_tier)");
+            }
+        } else if let Ok(v) = std::env::var("SKELCL_KERNEL_TIER") {
+            if let Ok(tier) = Tier::parse(&v) {
+                if tier != Tier::Auto {
+                    return format!("{tier} (pinned via SKELCL_KERNEL_TIER)");
+                }
+            }
+        }
+        format!(
+            "auto (native from {AUTO_SIZE_IMMEDIATE} items, \
+             or after {AUTO_MIN_LAUNCHES} launches at {AUTO_MIN_SIZE}+ items)"
+        )
     }
 
     /// Number of devices the runtime uses.
@@ -235,12 +311,19 @@ impl SkelCl {
                     .context
                     .device(d)
                     .expect("device index within runtime range");
+                let tiers = dev.kernel_tiers();
                 DeviceTrace {
                     device: d,
                     halo_transfers: self.halo_transfers[d].load(Ordering::Relaxed),
                     halo_bytes: self.halo_bytes[d].load(Ordering::Relaxed),
                     pool_hits: dev.pool_hit_count(),
                     pooled_bytes: dev.pooled_bytes(),
+                    interp_launches: tiers.interp_launches,
+                    scalar_launches: tiers.scalar_launches,
+                    batched_launches: tiers.batched_launches,
+                    native_launches: tiers.native_launches,
+                    native_compiles: tiers.native_compiles,
+                    native_compile_ns: tiers.native_compile_ns,
                 }
             })
             .collect();

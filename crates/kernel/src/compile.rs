@@ -207,6 +207,37 @@ pub struct CompiledFunction {
     pub costs: Vec<InstrCost>,
 }
 
+impl CompiledFunction {
+    /// Basic-block leader pcs in ascending order: instruction 0, every jump
+    /// target, and every instruction following a jump or block-ending
+    /// terminator. `FailUnbound` aborts unconditionally at runtime and is
+    /// not treated as a block ender.
+    pub fn block_leaders(&self) -> Vec<usize> {
+        let mut leaders = std::collections::BTreeSet::new();
+        leaders.insert(0usize);
+        for (pc, op) in self.code.iter().enumerate() {
+            match op {
+                Op::Jump { target }
+                | Op::JumpIfFalse { target, .. }
+                | Op::JumpIfTrue { target, .. }
+                | Op::BinJumpIfFalse { target, .. } => {
+                    leaders.insert(*target as usize);
+                    if pc + 1 < self.code.len() {
+                        leaders.insert(pc + 1);
+                    }
+                }
+                Op::Return { .. } | Op::ReturnVoid | Op::MissingReturn { .. } | Op::OrphanFlow
+                    if pc + 1 < self.code.len() =>
+                {
+                    leaders.insert(pc + 1);
+                }
+                _ => {}
+            }
+        }
+        leaders.into_iter().collect()
+    }
+}
+
 /// A whole translation unit lowered to bytecode. Function indices match
 /// [`TranslationUnit::functions`], so [`crate::KernelHandle`] indices work
 /// unchanged.

@@ -68,6 +68,7 @@ pub mod cost;
 pub mod diag;
 pub mod interp;
 pub mod lexer;
+pub mod native;
 pub mod parser;
 pub mod sema;
 pub mod token;
@@ -83,6 +84,8 @@ use crate::diag::KernelError;
 use crate::interp::{ArgBinding, Interpreter, WorkItem};
 use crate::vm::Vm;
 
+pub use crate::native::Tier;
+
 /// A compiled kernel program: the checked AST of a translation unit plus its
 /// bytecode lowering and the list of `__kernel` entry points.
 ///
@@ -95,6 +98,31 @@ pub struct Program {
     unit: Arc<TranslationUnit>,
     compiled: Arc<CompiledUnit>,
     source: Arc<str>,
+    native: Arc<native::NativeState>,
+}
+
+/// Per-launch execution telemetry returned by
+/// [`Program::run_ndrange_traced`]: which tier actually ran and what the
+/// native tier did, feeding the simulator's per-device counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaunchTrace {
+    /// The tier that executed the launch (never [`Tier::Auto`]: the
+    /// heuristic's decision is resolved before running).
+    pub tier: Tier,
+    /// Whether this launch performed the kernel's native compilation (at
+    /// most one launch per kernel reports `true`).
+    pub native_compiled: bool,
+    /// Wall-clock nanoseconds of the native compilation, reported on every
+    /// native launch of the kernel (the artifact is cached).
+    pub native_compile_ns: u64,
+    /// Lane batches completed by the native tier.
+    pub native_batches: u64,
+    /// Lane batches the native tier aborted and replayed through the scalar
+    /// VM (divergence, hazards, or runtime errors).
+    pub replayed_batches: u64,
+    /// Why the kernel fell back to the batched VM despite a native request
+    /// (the bytecode shape is ineligible), if it did.
+    pub fallback: Option<String>,
 }
 
 /// A handle to a `__kernel` entry point inside a [`Program`]
@@ -139,11 +167,42 @@ impl Program {
         let unit = parser::parse(&tokens, source)?;
         let unit = sema::check(unit)?;
         let compiled = compile::compile(&unit)?;
+        let initial = match std::env::var("SKELCL_KERNEL_TIER") {
+            Ok(s) => Some(
+                Tier::parse(&s)
+                    .map_err(|e| KernelError::run(format!("SKELCL_KERNEL_TIER: {}", e.message)))?,
+            ),
+            Err(_) => None,
+        };
+        let num_functions = unit.functions.len();
         Ok(Program {
             unit: Arc::new(unit),
             compiled: Arc::new(compiled),
             source: Arc::from(source),
+            native: Arc::new(native::NativeState::new(num_functions, initial)),
         })
+    }
+
+    /// Select the execution [`Tier`] for every subsequent launch of this
+    /// program (shared across clones). [`Tier::Auto`] — the default — lets
+    /// the per-kernel heuristic decide.
+    pub fn set_tier(&self, tier: Tier) {
+        self.native.set_tier(tier);
+    }
+
+    /// The currently selected execution [`Tier`].
+    pub fn tier(&self) -> Tier {
+        self.native.tier()
+    }
+
+    /// Compile (or fetch the cached) native-tier artifact for `kernel`,
+    /// exposing the closure listing or the ineligibility reason. Used by
+    /// tooling (`examples/dump_bytecode.rs`); launches call this lazily.
+    pub fn native_outcome(&self, kernel: &KernelHandle) -> &native::CompileOutcome {
+        self.native
+            .kernel(kernel.index)
+            .get_or_compile(&self.compiled, kernel.index)
+            .0
     }
 
     /// The original source code the program was built from.
@@ -249,6 +308,52 @@ impl Program {
         global_size: usize,
         args: &mut [ArgBinding<'_>],
     ) -> Result<interp::ExecStats, KernelError> {
+        self.run_ndrange_traced(kernel, global_size, args)
+            .map(|(stats, _)| stats)
+    }
+
+    /// Tier-dispatching twin of [`Program::run_ndrange_measured`] that also
+    /// returns a [`LaunchTrace`] describing which engine ran and what the
+    /// native tier did. The simulator uses the trace to feed per-device tier
+    /// counters; results, stats and errors are identical across tiers.
+    pub fn run_ndrange_traced(
+        &self,
+        kernel: &KernelHandle,
+        global_size: usize,
+        args: &mut [ArgBinding<'_>],
+    ) -> Result<(interp::ExecStats, LaunchTrace), KernelError> {
+        let prior = self.native.kernel(kernel.index).note_launch();
+        let tier = self.native.tier();
+        let mut trace = LaunchTrace {
+            tier,
+            ..LaunchTrace::default()
+        };
+        let stats = match tier {
+            Tier::Interp => self.run_ndrange_measured_interp(kernel, global_size, args)?,
+            Tier::Scalar => self.run_ndrange_measured_scalar(kernel, global_size, args)?,
+            Tier::Batched => self.run_ndrange_measured_batched(kernel, global_size, args)?,
+            Tier::Native => self.run_ndrange_native(kernel, global_size, args, &mut trace)?,
+            Tier::Auto => {
+                if native::auto_graduates(prior, global_size) {
+                    self.run_ndrange_native(kernel, global_size, args, &mut trace)?
+                } else {
+                    trace.tier = Tier::Batched;
+                    self.run_ndrange_measured_batched(kernel, global_size, args)?
+                }
+            }
+        };
+        Ok((stats, trace))
+    }
+
+    /// Execute a launch on the batched VM unconditionally (the pre-native
+    /// default path), bypassing tier selection. Benchmarks and differential
+    /// suites use this to pin the batched engine specifically.
+    pub fn run_ndrange_measured_batched(
+        &self,
+        kernel: &KernelHandle,
+        global_size: usize,
+        args: &mut [ArgBinding<'_>],
+    ) -> Result<interp::ExecStats, KernelError> {
         let mut vm = Vm::new(&self.compiled);
         vm.bind_kernel(kernel.index, args)?;
         let mut items = [WorkItem::linear(0, global_size); vm::BATCH_LANES];
@@ -262,6 +367,84 @@ impl Program {
             gid += n;
         }
         Ok(vm.stats())
+    }
+
+    /// Run a launch on the native tier, falling back to the batched VM when
+    /// the kernel's bytecode is ineligible (recorded in `trace.fallback`).
+    /// Aborted batches (divergence, hazards, runtime errors) are rolled back
+    /// and replayed through the scalar VM, which is authoritative for
+    /// results, stats and error messages.
+    fn run_ndrange_native(
+        &self,
+        kernel: &KernelHandle,
+        global_size: usize,
+        args: &mut [ArgBinding<'_>],
+        trace: &mut LaunchTrace,
+    ) -> Result<interp::ExecStats, KernelError> {
+        let (outcome, first) = self
+            .native
+            .kernel(kernel.index)
+            .get_or_compile(&self.compiled, kernel.index);
+        trace.native_compiled = first;
+        trace.native_compile_ns = outcome.compile_ns;
+        let nk = match &outcome.result {
+            Ok(nk) => Arc::clone(nk),
+            Err(reason) => {
+                trace.fallback = Some(reason.clone());
+                trace.tier = Tier::Batched;
+                return self.run_ndrange_measured_batched(kernel, global_size, args);
+            }
+        };
+        trace.tier = Tier::Native;
+        let mut vm = Vm::new(&self.compiled);
+        vm.bind_kernel(kernel.index, args)?;
+        let stencil = vm.stencil();
+        let mut exec = native::NativeExec::new(nk);
+        let mut native_stats = interp::ExecStats::default();
+        let mut items = [WorkItem::linear(0, global_size); vm::BATCH_LANES];
+        let mut gid = 0;
+        let mut bailed = false;
+        while gid < global_size {
+            let n = (global_size - gid).min(vm::BATCH_LANES);
+            for (k, slot) in items.iter_mut().enumerate().take(n) {
+                *slot = WorkItem::linear(gid + k, global_size);
+            }
+            if bailed {
+                vm.run_batch(&items[..n], args)?;
+            } else {
+                match exec.execute_batch(
+                    &items[..n],
+                    args,
+                    stencil,
+                    vm.max_loop_iterations,
+                    &mut native_stats,
+                ) {
+                    Ok(()) => trace.native_batches += 1,
+                    Err(abort) => {
+                        exec.rollback(args);
+                        trace.replayed_batches += 1;
+                        for item in &items[..n] {
+                            vm.run_item(*item, args)?;
+                        }
+                        if abort == native::NativeAbort::Bail {
+                            // Cross-lane hazard or unsupported divergence:
+                            // this kernel shape won't batch; finish the
+                            // launch on the VM (which has its own finer
+                            // rollback machinery).
+                            bailed = true;
+                        }
+                    }
+                }
+            }
+            gid += n;
+        }
+        // Both accumulators hold sums of dyadic per-instruction costs well
+        // below 2^53, so adding them is exact regardless of order.
+        let mut stats = vm.stats();
+        stats.flops += native_stats.flops;
+        stats.global_bytes += native_stats.global_bytes;
+        stats.ops += native_stats.ops;
+        Ok(stats)
     }
 
     /// Scalar (one-work-item-at-a-time) twin of

@@ -65,7 +65,7 @@ pub const BATCH_LANES: usize = 64;
 /// `f64` and rounded back exactly like the interpreter, integers fold
 /// through `i64` with the same wrapping and zero-division behaviour.
 #[inline(always)]
-fn vm_eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value, KernelError> {
+pub(crate) fn vm_eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value, KernelError> {
     use crate::ast::BinOp::*;
     match (l, r) {
         (Value::Float(a), Value::Float(b)) => {
@@ -220,6 +220,11 @@ impl<'u> Vm<'u> {
     /// Reset the accumulated execution statistics to zero.
     pub fn reset_stats(&mut self) {
         self.stats = ExecStats::default();
+    }
+
+    /// The stencil context detected by the last [`Vm::bind_kernel`], if any.
+    pub(crate) fn stencil(&self) -> Option<StencilCtx> {
+        self.stencil
     }
 
     /// Validate the argument bindings against the kernel signature and build
@@ -1197,7 +1202,7 @@ enum BranchOutcome {
 /// a `Return`/`ReturnVoid` — return the summed `(flops, bytes, ops)` cost of
 /// executing it, which is what the scalar engine charges a lane that takes
 /// this path. `None` for anything with side effects or backward edges.
-fn exit_chain_cost(
+pub(crate) fn exit_chain_cost(
     func: &crate::compile::CompiledFunction,
     mut pc: usize,
 ) -> Option<(f64, f64, f64)> {

@@ -22,6 +22,7 @@ pub struct Context {
     api: ApiModel,
     host_clock: Arc<Mutex<SimTime>>,
     program_cache: Mutex<HashMap<String, Program>>,
+    kernel_tier: Mutex<Option<skelcl_kernel::Tier>>,
 }
 
 impl Context {
@@ -37,7 +38,28 @@ impl Context {
             api,
             host_clock: Arc::new(Mutex::new(SimTime::ZERO)),
             program_cache: Mutex::new(HashMap::new()),
+            kernel_tier: Mutex::new(None),
         }
+    }
+
+    /// Pin the kernel-language execution tier for every DSL program built
+    /// through this context — already-cached programs (and kernels handed out
+    /// from them, which share tier state) as well as future builds. This is
+    /// the programmatic counterpart of the `SKELCL_KERNEL_TIER` environment
+    /// variable and overrides it, since it is applied after `Program::build`
+    /// reads the environment.
+    pub fn set_kernel_tier(&self, tier: skelcl_kernel::Tier) {
+        *self.kernel_tier.lock() = Some(tier);
+        for program in self.program_cache.lock().values() {
+            program.set_kernel_tier(tier);
+        }
+    }
+
+    /// The tier pinned with [`Context::set_kernel_tier`], if any. `None`
+    /// means programs keep whatever `Program::build` chose (the
+    /// `SKELCL_KERNEL_TIER` environment variable, or automatic selection).
+    pub fn kernel_tier(&self) -> Option<skelcl_kernel::Tier> {
+        *self.kernel_tier.lock()
     }
 
     /// Convenience: a context of `n` Tesla-C1060-class GPUs (the paper's
@@ -149,6 +171,9 @@ impl Context {
             return Ok(cached.clone());
         }
         let program = Program::from_source(source)?;
+        if let Some(tier) = *self.kernel_tier.lock() {
+            program.set_kernel_tier(tier);
+        }
         let build_time = self
             .devices
             .iter()

@@ -118,6 +118,38 @@ struct BufferPool {
     total_bytes: usize,
 }
 
+/// Live per-device counters of which kernel-language execution tier handled
+/// each DSL launch, plus the native tier's compilation work. Bumped by the
+/// queue worker after every launch; snapshot with [`Device::kernel_tiers`].
+#[derive(Debug, Default)]
+struct TierCounters {
+    interp: AtomicUsize,
+    scalar: AtomicUsize,
+    batched: AtomicUsize,
+    native: AtomicUsize,
+    compiles: AtomicUsize,
+    compile_ns: AtomicU64,
+}
+
+/// Snapshot of one device's kernel-tier telemetry (see
+/// [`Device::kernel_tiers`]). Native launches that fall back to the batched
+/// VM because the kernel is ineligible count as batched launches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierSnapshot {
+    /// DSL launches executed by the AST interpreter.
+    pub interp_launches: usize,
+    /// DSL launches executed by the scalar (one-item-at-a-time) VM.
+    pub scalar_launches: usize,
+    /// DSL launches executed by the lane-batched VM.
+    pub batched_launches: usize,
+    /// DSL launches executed by the closure-compiled native tier.
+    pub native_launches: usize,
+    /// Kernels compiled to the native tier on this device.
+    pub native_compiles: usize,
+    /// Total wall-clock nanoseconds spent in native-tier compilation.
+    pub native_compile_ns: u64,
+}
+
 /// A simulated OpenCL device: a performance profile plus its dedicated
 /// global memory, which holds the live buffer allocations.
 #[derive(Debug)]
@@ -142,6 +174,7 @@ pub struct Device {
     zero_elisions: AtomicUsize,
     allocated: AtomicUsize,
     next_buffer_id: AtomicU64,
+    tiers: TierCounters,
 }
 
 impl Device {
@@ -156,6 +189,39 @@ impl Device {
             zero_elisions: AtomicUsize::new(0),
             allocated: AtomicUsize::new(0),
             next_buffer_id: AtomicU64::new(1),
+            tiers: TierCounters::default(),
+        }
+    }
+
+    /// Record which execution tier handled one DSL kernel launch (called by
+    /// the queue worker with the launch's [`skelcl_kernel::LaunchTrace`]).
+    pub(crate) fn note_kernel_tier(&self, trace: &skelcl_kernel::LaunchTrace) {
+        use skelcl_kernel::Tier;
+        let counter = match trace.tier {
+            Tier::Interp => &self.tiers.interp,
+            Tier::Scalar => &self.tiers.scalar,
+            Tier::Batched => &self.tiers.batched,
+            // The trace's tier is always resolved before execution.
+            Tier::Native | Tier::Auto => &self.tiers.native,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if trace.native_compiled {
+            self.tiers.compiles.fetch_add(1, Ordering::Relaxed);
+            self.tiers
+                .compile_ns
+                .fetch_add(trace.native_compile_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot this device's kernel-tier launch counters.
+    pub fn kernel_tiers(&self) -> TierSnapshot {
+        TierSnapshot {
+            interp_launches: self.tiers.interp.load(Ordering::Relaxed),
+            scalar_launches: self.tiers.scalar.load(Ordering::Relaxed),
+            batched_launches: self.tiers.batched.load(Ordering::Relaxed),
+            native_launches: self.tiers.native.load(Ordering::Relaxed),
+            native_compiles: self.tiers.compiles.load(Ordering::Relaxed),
+            native_compile_ns: self.tiers.compile_ns.load(Ordering::Relaxed),
         }
     }
 

@@ -56,7 +56,7 @@ pub mod time;
 
 pub use buffer::{Buffer, DataKind};
 pub use context::Context;
-pub use device::{BufferData, Device, DeviceId};
+pub use device::{BufferData, Device, DeviceId, TierSnapshot};
 pub use error::{OclError, Result};
 pub use event::{CommandKind, Event, EventHandle, EventStatus, EventSummary};
 pub use platform::{default_platforms, select_gpus, Platform};
@@ -68,3 +68,7 @@ pub use time::{SimDuration, SimTime};
 
 /// Scalar values passed to kernels (re-exported from the kernel language).
 pub use skelcl_kernel::value::Value;
+
+/// Kernel-language execution-tier selection and per-launch tier traces
+/// (re-exported from the kernel language; see [`Context::set_kernel_tier`]).
+pub use skelcl_kernel::{LaunchTrace, Tier};

@@ -295,6 +295,17 @@ impl Program {
         }
     }
 
+    /// Pin the kernel-language execution tier for every kernel in this
+    /// program (see [`skelcl_kernel::Tier`]). A no-op for native-Rust
+    /// programs, which never go through the kernel-language engines. Clones
+    /// of a DSL program share tier state, so setting the tier on a cached
+    /// program also affects kernels already handed out from it.
+    pub fn set_kernel_tier(&self, tier: skelcl_kernel::Tier) {
+        if let ProgramInner::Dsl(p) = &self.inner {
+            p.set_tier(tier);
+        }
+    }
+
     /// Look up a kernel by name.
     pub fn kernel(&self, name: &str) -> Result<Kernel> {
         match &self.inner {
@@ -424,14 +435,15 @@ impl Kernel {
     ///
     /// Returns the *measured* per-work-item cost for runtime-compiled (DSL)
     /// kernels — the interpreter counts the floating-point operations and
-    /// global-memory bytes it actually executed — or `None` for native
-    /// kernels, whose author-provided [`CostHint`] is used instead.
+    /// global-memory bytes it actually executed — plus the launch's
+    /// execution-tier trace, or `(None, None)` for native kernels, whose
+    /// author-provided [`CostHint`] is used instead.
     pub(crate) fn execute(
         &self,
         global_size: usize,
         args: &[KernelArg],
         taken: &mut [(u64, BufferData)],
-    ) -> Result<Option<CostHint>> {
+    ) -> Result<(Option<CostHint>, Option<skelcl_kernel::LaunchTrace>)> {
         // Map buffer id -> &mut BufferData, consumed as bindings are built so
         // each buffer is borrowed exactly once.
         let mut by_id: HashMap<u64, &mut BufferData> =
@@ -465,12 +477,16 @@ impl Kernel {
                         }
                     }
                 }
-                let stats = program.run_ndrange_measured(handle, global_size, &mut bindings)?;
+                let (stats, trace) =
+                    program.run_ndrange_traced(handle, global_size, &mut bindings)?;
                 let per_item = stats.per_item(global_size);
-                Ok(Some(CostHint::new(
-                    per_item.flops + per_item.ops * 0.25,
-                    per_item.global_bytes,
-                )))
+                Ok((
+                    Some(CostHint::new(
+                        per_item.flops + per_item.ops * 0.25,
+                        per_item.global_bytes,
+                    )),
+                    Some(trace),
+                ))
             }
             KernelInner::Native(def) => {
                 let mut slots: Vec<NativeSlot<'_>> = Vec::with_capacity(args.len());
@@ -489,7 +505,7 @@ impl Kernel {
                 }
                 let mut ctx = NativeCtx { global_size, slots };
                 (def.func)(&mut ctx).map_err(OclError::InvalidKernelArg)?;
-                Ok(None)
+                Ok((None, None))
             }
         }
     }

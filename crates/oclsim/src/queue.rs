@@ -636,7 +636,10 @@ fn execute_kernel(
     };
     let result = kernel.execute(global_size, args, &mut guard.taken);
     drop(guard);
-    let measured = result?;
+    let (measured, trace) = result?;
+    if let Some(trace) = &trace {
+        device.note_kernel_tier(trace);
+    }
     let cost = measured.unwrap_or_else(|| kernel.cost());
     let dur = api.kernel_time(
         &device.profile,
