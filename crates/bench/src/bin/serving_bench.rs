@@ -1,0 +1,227 @@
+//! Multi-tenant serving benchmark: throughput and latency of the admission
+//! scheduler at 1/100/1k/10k concurrent sessions, coalesced vs uncoalesced.
+//!
+//! Each session is one client submitting a small elementwise pipeline job
+//! to a shared server (4 tenants, weights 1–4, 2 simulated devices). The
+//! harness reports jobs/sec in wall-clock AND virtual time plus p50/p99
+//! virtual job latency (admission → completion), asserts that coalescing
+//! reduces the simulator's kernel-launch count whenever more than one job
+//! is in play, checks that a fixed submission order is bit-identical
+//! (results and virtual clock) across repetitions, and emits
+//! `BENCH_serving.json`.
+//!
+//! Usage:
+//!   cargo run --release -p skelcl_bench --bin serving_bench
+//!   cargo run --release -p skelcl_bench --bin serving_bench -- --smoke
+//!   cargo run --release -p skelcl_bench --bin serving_bench -- --out path.json
+
+use std::time::Instant;
+
+use skelcl::prelude::*;
+use skelcl_serving::{Server, ServerConfig, TenantConfig};
+
+const TENANTS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+struct ScaleResult {
+    sessions: usize,
+    coalesced: bool,
+    wall_jps: f64,
+    virt_jps: f64,
+    p50_virt_us: f64,
+    p99_virt_us: f64,
+    launches: usize,
+    packed_batches: usize,
+    checksum: u64,
+    virt_secs: f64,
+}
+
+fn seeded(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32) / 1e6
+        })
+        .collect()
+}
+
+fn total_launches(trace: &skelcl::ExecTrace) -> usize {
+    trace.interp_launches()
+        + trace.scalar_launches()
+        + trace.batched_launches()
+        + trace.native_launches()
+}
+
+fn percentile(sorted: &[f64], pct: usize) -> f64 {
+    let idx = (sorted.len() * pct / 100).min(sorted.len().saturating_sub(1));
+    sorted[idx]
+}
+
+/// One serving scenario: `sessions` clients, one job each, round-robin
+/// across the four tenants, submitted in a fixed order.
+fn run_scale(sessions: usize, coalescing: bool, len: usize) -> ScaleResult {
+    let rt = skelcl::init_gpus(2);
+    let server = Server::with_config(
+        rt.clone(),
+        ServerConfig {
+            coalescing,
+            coalesce_cap: 64,
+            max_queue_depth: 1024,
+        },
+    );
+    for (i, tenant) in TENANTS.iter().enumerate() {
+        server
+            .add_tenant(tenant, TenantConfig::weighted(i as u32 + 1))
+            .expect("register tenant");
+    }
+    let saxpyish = Map::<f32, f32>::from_source("float func(float x) { return 2.0f * x + 0.5f; }");
+
+    // Warm-up: compiles the (length-independent) packed kernel source.
+    {
+        let session = server.session("alpha").expect("session");
+        let v = Vector::from_vec(&rt, seeded(len, 999_999));
+        session
+            .submit_vec(&v.lazy().map(&saxpyish))
+            .expect("warmup submit")
+            .wait()
+            .expect("warmup job");
+    }
+
+    let launches_before = total_launches(&rt.exec_trace());
+    let virt_start = rt.now();
+    let wall_start = Instant::now();
+    let mut handles = Vec::with_capacity(sessions);
+    for i in 0..sessions {
+        let session = server.session(TENANTS[i % TENANTS.len()]).expect("session");
+        let v = Vector::from_vec(&rt, seeded(len, i as u64));
+        handles.push(
+            session
+                .submit_vec(&v.lazy().map(&saxpyish))
+                .expect("submit"),
+        );
+    }
+    server.flush();
+    let mut checksum = 0u64;
+    let mut latencies = Vec::with_capacity(sessions);
+    for handle in handles {
+        let (out, report) = handle.wait().expect("job result");
+        for x in &out {
+            checksum = checksum.rotate_left(7).wrapping_add(u64::from(x.to_bits()));
+        }
+        latencies.push(report.latency().as_secs_f64());
+    }
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    let virt_secs = (rt.now() - virt_start).as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+
+    let trace = server.trace();
+    assert_eq!(trace.jobs_completed, sessions + 1, "all jobs must complete");
+    ScaleResult {
+        sessions,
+        coalesced: coalescing,
+        wall_jps: sessions as f64 / wall_secs,
+        virt_jps: sessions as f64 / virt_secs,
+        p50_virt_us: percentile(&latencies, 50) * 1e6,
+        p99_virt_us: percentile(&latencies, 99) * 1e6,
+        launches: total_launches(&rt.exec_trace()) - launches_before,
+        packed_batches: trace.packed_batches,
+        checksum,
+        virt_secs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let len = if smoke { 16 } else { 64 };
+    let scales = [1usize, 100, 1_000, 10_000];
+
+    let mut rows: Vec<ScaleResult> = Vec::new();
+    for &sessions in &scales {
+        let on = run_scale(sessions, true, len);
+        let off = run_scale(sessions, false, len);
+        assert_eq!(
+            on.checksum, off.checksum,
+            "coalesced and uncoalesced results must be bit-identical"
+        );
+        if sessions > 1 {
+            assert!(
+                on.launches < off.launches,
+                "coalescing must reduce launches at {sessions} sessions: {} vs {}",
+                on.launches,
+                off.launches
+            );
+        }
+        rows.push(on);
+        rows.push(off);
+    }
+
+    // Determinism: a fixed submission order is bit-identical — results and
+    // the virtual clock — across repetitions.
+    let rep_a = run_scale(100, true, len);
+    let rep_b = run_scale(100, true, len);
+    assert_eq!(rep_a.checksum, rep_b.checksum, "result determinism");
+    assert_eq!(
+        rep_a.virt_secs.to_bits(),
+        rep_b.virt_secs.to_bits(),
+        "virtual-time determinism"
+    );
+
+    println!("host_cpus = {host_cpus}");
+    for r in &rows {
+        println!(
+            "{:>6} sessions  {}  {:>10.0} jobs/s wall  {:>12.0} jobs/s virtual  p50 {:>8.2} us  p99 {:>8.2} us  {:>6} launches ({} packed batches)",
+            r.sessions,
+            if r.coalesced { "coalesced  " } else { "uncoalesced" },
+            r.wall_jps,
+            r.virt_jps,
+            r.p50_virt_us,
+            r.p99_virt_us,
+            r.launches,
+            r.packed_batches,
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serving\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p skelcl_bench --bin serving_bench\",\n",
+    );
+    json.push_str(&format!("  \"elements_per_job\": {len},\n"));
+    json.push_str(
+        "  \"note\": \"4 tenants (weights 1-4) on 2 simulated devices, one elementwise job per session; latencies are virtual (admission to completion); coalesced and uncoalesced results are bit-identical and a fixed submission order is deterministic across reps (asserted)\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"sessions\": {}, \"coalesced\": {}, \"wall_jobs_per_sec\": {:.0}, \"virtual_jobs_per_sec\": {:.0}, \"p50_virtual_us\": {:.2}, \"p99_virtual_us\": {:.2}, \"launches\": {}, \"packed_batches\": {} }}{comma}\n",
+            r.sessions,
+            r.coalesced,
+            r.wall_jps,
+            r.virt_jps,
+            r.p50_virt_us,
+            r.p99_virt_us,
+            r.launches,
+            r.packed_batches,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

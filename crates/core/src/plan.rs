@@ -39,6 +39,7 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use oclsim::{Buffer, KernelArg, Pod, Value};
+use skelcl_kernel::pack::JobSpans;
 use skelcl_kernel::types::ScalarType;
 
 use crate::args::Args;
@@ -115,6 +116,9 @@ trait ErasedSource: Send + Sync {
     fn src_set_distribution(&self, distribution: Distribution) -> Result<()>;
     fn src_ensure_disjoint(&self) -> Result<()>;
     fn src_prepare(&self) -> Result<(Partition, Vec<Option<Buffer>>)>;
+    /// The source's elements as raw host bytes (used by job packing, which
+    /// lays many jobs' inputs back to back in one device buffer).
+    fn src_host_bytes(&self) -> Result<Vec<u8>>;
 }
 
 impl<T: Pod> ErasedSource for Vector<T> {
@@ -136,6 +140,10 @@ impl<T: Pod> ErasedSource for Vector<T> {
 
     fn src_prepare(&self) -> Result<(Partition, Vec<Option<Buffer>>)> {
         self.prepare_on_devices()
+    }
+
+    fn src_host_bytes(&self) -> Result<Vec<u8>> {
+        Ok(oclsim::pod::as_bytes(&self.to_vec()?).to_vec())
     }
 }
 
@@ -1207,6 +1215,276 @@ impl<T: Pod> PlanVec<T> {
     pub fn explain(&self) -> Result<String> {
         self.graph.explain(self.tip)
     }
+
+    /// The runtime the plan executes against.
+    pub fn runtime(&self) -> Arc<SkelCl> {
+        self.graph.runtime.clone()
+    }
+
+    /// Element count of the plan's primary input (and therefore its output).
+    pub fn input_len(&self) -> usize {
+        self.graph.sources[0].src_len()
+    }
+
+    /// Estimated device bytes the plan needs at once: every input source
+    /// plus the output. Used by admission control to charge tenant quotas
+    /// before execution.
+    pub fn footprint_bytes(&self) -> usize {
+        let mut bytes = self.input_len() * std::mem::size_of::<T>();
+        for node in &self.graph.nodes {
+            if let PlanNode::Source { source, ty } = node {
+                bytes += self.graph.sources[*source].src_len() * ty.size_bytes();
+            }
+        }
+        bytes
+    }
+
+    /// The plan's *coalescing signature*, if it has one: `Ok(Some(_))` when
+    /// the whole pipeline is elementwise (a map/zip chain) and therefore
+    /// packable into one launch with other plans of the same signature via
+    /// [`PlanVec::pack_jobs`]. The signature captures the fused kernel
+    /// source **and** the rendered scalar extra arguments, so two plans
+    /// with equal signatures compute the exact same per-element function.
+    /// `Ok(None)` means the plan contains a fold or stencil stage and must
+    /// run on its own.
+    pub fn coalesce_signature(&self) -> Result<Option<String>> {
+        if let Some(err) = &self.graph.err {
+            return Err(err.clone());
+        }
+        let spine = self.graph.spine(self.tip);
+        if spine.len() < 2 {
+            return Ok(None);
+        }
+        if !spine[1..].iter().all(|&i| {
+            matches!(
+                self.graph.nodes[i],
+                PlanNode::Map { .. } | PlanNode::Zip { .. }
+            )
+        }) {
+            return Ok(None);
+        }
+        let lowered = self.lower_whole_chain(&spine)?;
+        Ok(Some(format!(
+            "{}|{:?}",
+            lowered.spec.map_kernel(),
+            lowered.extra_args
+        )))
+    }
+
+    /// Lower the full spine as one forced elementwise group (callers have
+    /// already checked every stage is map/zip).
+    fn lower_whole_chain(&self, spine: &[usize]) -> Result<LoweredGroup> {
+        let group = Group {
+            nodes: spine[1..].to_vec(),
+            kind: GroupKind::Elementwise,
+            decisions: Vec::new(),
+        };
+        lower_group(&self.graph.nodes, &group)
+    }
+
+    /// Pack many same-signature jobs into **one** kernel launch on `device`:
+    /// each job's input elements are laid back to back in one buffer per
+    /// kernel argument, the fused kernel runs once over the combined element
+    /// count, and the returned [`PackedLaunch`] slices each job's span back
+    /// out of the packed output. Both enqueues are non-blocking, so many
+    /// packed launches can be in flight at once.
+    ///
+    /// Every job must share this plan's runtime and
+    /// [`coalesce_signature`](Self::coalesce_signature); a single-job pack
+    /// is valid (that is exactly how the serving layer runs uncoalesced
+    /// jobs, which makes coalesced and uncoalesced results bit-identical by
+    /// construction).
+    pub fn pack_jobs(jobs: &[&PlanVec<T>], device: usize) -> Result<PackedLaunch<T>>
+    where
+        T: DeviceScalar,
+    {
+        let first = jobs
+            .first()
+            .ok_or_else(|| SkelError::Plan("pack_jobs needs at least one job".into()))?;
+        let runtime = first.graph.runtime.clone();
+        let signature = first.coalesce_signature()?.ok_or_else(|| {
+            SkelError::Plan("job is not coalescible (only all-elementwise plans pack)".into())
+        })?;
+        for job in &jobs[1..] {
+            if !Arc::ptr_eq(&job.graph.runtime, &runtime) {
+                return Err(SkelError::RuntimeMismatch);
+            }
+            match job.coalesce_signature()? {
+                Some(sig) if sig == signature => {}
+                _ => {
+                    return Err(SkelError::Plan(
+                        "jobs with different kernels cannot pack into one launch".into(),
+                    ))
+                }
+            }
+        }
+        let spine = first.graph.spine(first.tip);
+        let lowered = first.lower_whole_chain(&spine)?;
+        let mut spans = JobSpans::new();
+        for job in jobs {
+            let len = job.input_len();
+            if len == 0 {
+                return Err(SkelError::EmptyInput);
+            }
+            spans.push(len);
+        }
+        // Same telemetry as `execute()` would account per job: the packed
+        // launch fuses the chain's interior stages away on one device.
+        let merged = spine.len() - 2;
+        if merged > 0 {
+            let bytes: usize = spine[1..spine.len() - 1]
+                .iter()
+                .map(|&idx| spans.total() * node_out_ty(&first.graph.nodes, idx).size_bytes())
+                .sum();
+            runtime.charge_fusion(merged, merged, merged, bytes);
+        }
+        let mut buffers: Vec<Buffer> = Vec::new();
+        match Self::pack_launch(&runtime, device, &lowered, jobs, &spans, &mut buffers) {
+            Ok((kernel_event, read_event)) => Ok(PackedLaunch {
+                runtime,
+                device,
+                spans,
+                buffers,
+                kernel_event,
+                read_event,
+                _elem: PhantomData,
+            }),
+            Err(e) => {
+                for buffer in &buffers {
+                    let _ = runtime.context().release_buffer(buffer);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Allocate + fill the packed input buffers and enqueue the fused
+    /// kernel and the non-blocking packed-output read. Buffers are recorded
+    /// in `buffers` as they are created so the caller can release them on
+    /// any error.
+    fn pack_launch(
+        runtime: &Arc<SkelCl>,
+        device: usize,
+        lowered: &LoweredGroup,
+        jobs: &[&PlanVec<T>],
+        spans: &JobSpans,
+        buffers: &mut Vec<Buffer>,
+    ) -> Result<(oclsim::EventHandle, oclsim::EventHandle)>
+    where
+        T: DeviceScalar,
+    {
+        let context = runtime.context();
+        let queue = runtime.queue(device);
+        let total = spans.total();
+        let mut kargs = Vec::with_capacity(lowered.inputs.len() + 2 + lowered.extra_args.len());
+        for (slot, input) in lowered.inputs.iter().enumerate() {
+            let source_index = match input {
+                ChainInput::Chain => 0,
+                ChainInput::Source(s) => *s,
+            };
+            let mut bytes: Vec<u8> = Vec::new();
+            for job in jobs {
+                bytes.extend_from_slice(&job.graph.sources[source_index].src_host_bytes()?);
+            }
+            let ty = lowered.spec.inputs[slot];
+            with_scalar!(ty, S, {
+                let data = oclsim::pod::from_bytes_vec::<S>(&bytes);
+                if data.len() != total {
+                    return Err(SkelError::Plan(format!(
+                        "packed input slot {slot} holds {} elements, expected {total}",
+                        data.len()
+                    )));
+                }
+                let buffer = context.create_buffer::<S>(device, total)?;
+                buffers.push(buffer.clone());
+                queue.enqueue_write_buffer(&buffer, &data)?;
+                kargs.push(KernelArg::Buffer(buffer));
+            });
+        }
+        let out = context.create_buffer::<T>(device, total)?;
+        buffers.push(out.clone());
+        let program = context.build_program(&lowered.spec.map_kernel())?;
+        let kernel = program.kernel(FUSED_MAP_KERNEL)?;
+        kargs.push(KernelArg::Buffer(out.clone()));
+        kargs.push(KernelArg::Scalar(Value::Int(total as i32)));
+        kargs.extend(lowered.extra_args.iter().cloned());
+        runtime.charge_skeleton_call();
+        let kernel_event = queue.enqueue_kernel(&kernel, total, &kargs)?;
+        let read_event = queue.enqueue_read_buffer_region_nb::<T>(&out, 0, total)?;
+        Ok((kernel_event, read_event))
+    }
+}
+
+/// An in-flight packed launch produced by [`PlanVec::pack_jobs`]: one fused
+/// kernel running every packed job plus the non-blocking read of the packed
+/// output. [`PackedLaunch::wait`] joins both events, advances the host's
+/// virtual clock to the read's completion, releases the packed buffers back
+/// to the device pool and splits the output into one `Vec` per job.
+#[must_use = "a packed launch delivers results only through `wait()`"]
+pub struct PackedLaunch<T: Pod> {
+    runtime: Arc<SkelCl>,
+    device: usize,
+    spans: JobSpans,
+    buffers: Vec<Buffer>,
+    kernel_event: oclsim::EventHandle,
+    read_event: oclsim::EventHandle,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> PackedLaunch<T> {
+    /// The device the packed launch runs on.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    /// Number of jobs packed into the launch.
+    pub fn jobs(&self) -> usize {
+        self.spans.jobs()
+    }
+
+    /// Element layout of the packed jobs.
+    pub fn spans(&self) -> &JobSpans {
+        &self.spans
+    }
+
+    /// Join the launch: wait (real time) for the kernel and the packed read
+    /// to settle, advance the host's virtual clock to the read's completion
+    /// time, release the packed buffers and return each job's output slice
+    /// plus the read's profiling event (whose `end` is the virtual
+    /// completion time of every packed job).
+    ///
+    /// On failure the duplicate error latched on the queue is drained (the
+    /// same discipline as the internal kernel-event join) so later packed
+    /// launches on the queue start clean, and the buffers are still
+    /// released.
+    pub fn wait(self) -> Result<(Vec<Vec<T>>, oclsim::Event)>
+    where
+        T: DeviceScalar,
+    {
+        let queue = self.runtime.queue(self.device);
+        let release = |buffers: &[Buffer]| {
+            for buffer in buffers {
+                let _ = self.runtime.context().release_buffer(buffer);
+            }
+        };
+        if let Err(e) = self.kernel_event.wait() {
+            let _ = queue.take_deferred_error();
+            release(&self.buffers);
+            return Err(e.into());
+        }
+        let mut data = vec![T::from_value(Value::Int(0)); self.spans.total()];
+        let record = match self.read_event.wait_into(&mut data) {
+            Ok(record) => record,
+            Err(e) => {
+                let _ = queue.take_deferred_error();
+                release(&self.buffers);
+                return Err(e.into());
+            }
+        };
+        self.runtime.context().sync_host_to(record.end);
+        release(&self.buffers);
+        Ok((self.spans.unpack(data), record))
+    }
 }
 
 /// A lazily built pipeline terminated by a reduction; [`scalar`](Self::scalar)
@@ -1252,6 +1530,29 @@ impl<T: DeviceScalar> PlanScalar<T> {
     /// executing anything.
     pub fn explain(&self) -> Result<String> {
         self.graph.explain(self.tip)
+    }
+
+    /// The runtime the plan executes against.
+    pub fn runtime(&self) -> Arc<SkelCl> {
+        self.graph.runtime.clone()
+    }
+
+    /// Element count of the plan's primary input.
+    pub fn input_len(&self) -> usize {
+        self.graph.sources[0].src_len()
+    }
+
+    /// Estimated device bytes the plan needs at once (every input source
+    /// plus the per-device partials). Used by admission control to charge
+    /// tenant quotas before execution.
+    pub fn footprint_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<T>();
+        for node in &self.graph.nodes {
+            if let PlanNode::Source { source, ty } = node {
+                bytes += self.graph.sources[*source].src_len() * ty.size_bytes();
+            }
+        }
+        bytes
     }
 }
 

@@ -77,6 +77,11 @@ pub struct ExecTrace {
     /// Bytes of intermediate device storage never allocated thanks to plan
     /// fusion.
     pub intermediate_bytes_elided: usize,
+    /// Parked allocations evicted by buffer-pool cap trims (see
+    /// [`oclsim::Context::set_pool_cap_bytes`]).
+    pub pool_evictions: usize,
+    /// Bytes evicted by buffer-pool cap trims.
+    pub pool_evicted_bytes: usize,
     /// Per-device counters, indexed by device.
     pub devices: Vec<DeviceTrace>,
 }
@@ -121,6 +126,12 @@ impl ExecTrace {
     pub fn native_compile_ns(&self) -> u64 {
         self.devices.iter().map(|d| d.native_compile_ns).sum()
     }
+
+    /// Total commands that failed asynchronously and latched a deferred
+    /// error on their queue, across all devices.
+    pub fn deferred_errors(&self) -> usize {
+        self.devices.iter().map(|d| d.deferred_errors).sum()
+    }
 }
 
 /// Per-device slice of an [`ExecTrace`].
@@ -149,6 +160,10 @@ pub struct DeviceTrace {
     pub native_compiles: usize,
     /// Nanoseconds spent compiling kernels to the native tier on this device.
     pub native_compile_ns: u64,
+    /// Commands on this device's queue that failed asynchronously and
+    /// latched a deferred error (see
+    /// [`oclsim::CommandQueue::take_deferred_error`]).
+    pub deferred_errors: usize,
 }
 
 impl SkelCl {
@@ -324,6 +339,7 @@ impl SkelCl {
                     native_launches: tiers.native_launches,
                     native_compiles: tiers.native_compiles,
                     native_compile_ns: tiers.native_compile_ns,
+                    deferred_errors: self.queues[d].deferred_error_count(),
                 }
             })
             .collect();
@@ -337,8 +353,24 @@ impl SkelCl {
             launches_elided: self.launches_elided.load(Ordering::Relaxed),
             intermediate_buffers_elided: self.intermediate_buffers_elided.load(Ordering::Relaxed),
             intermediate_bytes_elided: self.intermediate_bytes_elided.load(Ordering::Relaxed),
+            pool_evictions: self.context.pool_evictions(),
+            pool_evicted_bytes: self.context.pool_evicted_bytes(),
             devices,
         }
+    }
+
+    /// Drain the deferred (asynchronously latched) error of every queue,
+    /// returning the first error found per device. Fire-and-forget callers
+    /// — the serving layer above all — use this to make sure failed
+    /// launches surface instead of being swallowed until the next blocking
+    /// read on the same queue. The latched-error *count* stays visible in
+    /// [`ExecTrace::deferred_errors`] even after draining.
+    pub fn take_deferred_errors(&self) -> Vec<(usize, oclsim::OclError)> {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter_map(|(d, q)| q.take_deferred_error().map(|e| (d, e)))
+            .collect()
     }
 
     /// Allocate a fresh vector id (used to detect runtime mismatches).

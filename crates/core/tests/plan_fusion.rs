@@ -549,3 +549,99 @@ fn non_commutative_reduce_matches_eager_on_all_device_counts() {
         assert_eq!(unfused.to_bits(), eager.to_bits(), "devices={devices}");
     }
 }
+
+/// Coalescing signatures: identical elementwise chains share a signature,
+/// different kernels or scalar arguments do not, and folds have none.
+#[test]
+fn coalesce_signatures_identify_packable_plans() {
+    let rt = skelcl::init_gpus(1);
+    let sq = square();
+    let af = affine();
+    let v = Vector::from_vec(&rt, vec![1.0f32, 2.0]);
+    let w = Vector::from_vec(&rt, vec![3.0f32, 4.0, 5.0]);
+
+    let a = v.lazy().map(&sq).coalesce_signature().unwrap().unwrap();
+    let b = w.lazy().map(&sq).coalesce_signature().unwrap().unwrap();
+    assert_eq!(a, b, "same kernel, different lengths: same signature");
+
+    let c = v
+        .lazy()
+        .map_with(&af, args![2.0f32, 1.0f32])
+        .coalesce_signature()
+        .unwrap()
+        .unwrap();
+    let d = v
+        .lazy()
+        .map_with(&af, args![3.0f32, 1.0f32])
+        .coalesce_signature()
+        .unwrap()
+        .unwrap();
+    assert_ne!(a, c, "different kernels differ");
+    assert_ne!(c, d, "different scalar arguments differ");
+
+    assert!(
+        v.lazy().map(&sq).reduce(&sum()).scalar().is_ok(),
+        "folds still run"
+    );
+    assert_eq!(
+        v.lazy().scan(&psum()).coalesce_signature().unwrap(),
+        None,
+        "folds never coalesce"
+    );
+}
+
+/// A packed launch of N jobs is bit-identical, job by job, to running each
+/// plan on its own — and a single-job pack equals `collect()` exactly.
+#[test]
+fn packed_jobs_match_individual_execution_bitwise() {
+    let rt = skelcl::init_gpus(2);
+    let sq = square();
+    let m = mul();
+    let plans: Vec<_> = (1..=5u32)
+        .map(|k| {
+            let n = 3 * k as usize + 1;
+            let v = Vector::from_vec(&rt, (0..n).map(|i| (i as f32) + k as f32 * 0.5).collect());
+            let w = Vector::from_vec(&rt, vec![1.5f32; n]);
+            v.lazy().map(&sq).zip(&w, &m)
+        })
+        .collect();
+
+    let expected: Vec<Vec<f32>> = plans.iter().map(|p| p.collect().unwrap()).collect();
+
+    let refs: Vec<&_> = plans.iter().collect();
+    let packed = PlanVec::pack_jobs(&refs, 0).unwrap();
+    assert_eq!(packed.jobs(), 5);
+    let (outputs, event) = packed.wait().unwrap();
+    assert!(event.end >= event.start);
+    for (out, exp) in outputs.iter().zip(&expected) {
+        assert_eq!(bits(out), bits(exp));
+    }
+
+    let single = PlanVec::pack_jobs(&refs[..1], 1).unwrap();
+    let (one, _) = single.wait().unwrap();
+    assert_eq!(bits(&one[0]), bits(&expected[0]));
+}
+
+/// Packing rejects mixed signatures and mixed runtimes.
+#[test]
+fn pack_jobs_rejects_incompatible_jobs() {
+    let rt = skelcl::init_gpus(1);
+    let v = Vector::from_vec(&rt, vec![1.0f32, 2.0]);
+    let a = v.lazy().map(&square());
+    let cube = Map::<f32, f32>::from_source("float func(float x) { return x * x * x; }");
+    let b = v.lazy().map(&cube);
+    assert!(matches!(
+        PlanVec::pack_jobs(&[&a, &b], 0),
+        Err(SkelError::Plan(_))
+    ));
+
+    let other = skelcl::init_gpus(1);
+    let w = Vector::from_vec(&other, vec![1.0f32, 2.0]);
+    let c = w.lazy().map(&square());
+    assert!(matches!(
+        PlanVec::pack_jobs(&[&a, &c], 0),
+        Err(SkelError::RuntimeMismatch)
+    ));
+
+    assert!(PlanVec::<f32>::pack_jobs(&[], 0).is_err());
+}

@@ -69,6 +69,7 @@ pub mod diag;
 pub mod interp;
 pub mod lexer;
 pub mod native;
+pub mod pack;
 pub mod parser;
 pub mod sema;
 pub mod token;

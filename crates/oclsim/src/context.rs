@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 use crate::buffer::Buffer;
 use crate::device::Device;
 use crate::error::{OclError, Result};
+use crate::ledger::ResourceLedger;
 use crate::pod::Pod;
 use crate::profile::{ApiModel, DeviceProfile, DeviceType};
 use crate::program::{NativeKernelDef, Program};
@@ -23,6 +24,7 @@ pub struct Context {
     host_clock: Arc<Mutex<SimTime>>,
     program_cache: Mutex<HashMap<String, Program>>,
     kernel_tier: Mutex<Option<skelcl_kernel::Tier>>,
+    ledger: ResourceLedger,
 }
 
 impl Context {
@@ -39,6 +41,7 @@ impl Context {
             host_clock: Arc::new(Mutex::new(SimTime::ZERO)),
             program_cache: Mutex::new(HashMap::new()),
             kernel_tier: Mutex::new(None),
+            ledger: ResourceLedger::new(),
         }
     }
 
@@ -154,6 +157,33 @@ impl Context {
         for d in &self.devices {
             d.trim_pool();
         }
+    }
+
+    /// Set the high-water byte cap of every device's buffer pool. Pools over
+    /// the new cap are trimmed immediately, least-recently-parked first (see
+    /// [`Device::set_pool_cap_bytes`]).
+    pub fn set_pool_cap_bytes(&self, cap_bytes: usize) {
+        for d in &self.devices {
+            d.set_pool_cap_bytes(cap_bytes);
+        }
+    }
+
+    /// Total parked allocations evicted by pool-cap trims across all devices.
+    pub fn pool_evictions(&self) -> usize {
+        self.devices.iter().map(|d| d.pool_evictions()).sum()
+    }
+
+    /// Total bytes evicted by pool-cap trims across all devices.
+    pub fn pool_evicted_bytes(&self) -> usize {
+        self.devices.iter().map(|d| d.pool_evicted_bytes()).sum()
+    }
+
+    /// The context's per-tag resource ledger (tenant byte quotas and
+    /// launch/transfer counters). Purely an accounting facility: nothing in
+    /// the simulator charges it automatically — callers such as the serving
+    /// layer charge/credit it around their own allocations.
+    pub fn ledger(&self) -> &ResourceLedger {
+        &self.ledger
     }
 
     /// Build a program from kernel-language source. Charges the runtime

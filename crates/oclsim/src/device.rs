@@ -107,15 +107,66 @@ impl BufferData {
 /// buffer pool; releases beyond this drop their storage for real.
 const POOL_BUCKET_CAP: usize = 8;
 
-/// Maximum total bytes a device's buffer pool may retain across all size
-/// buckets; releases beyond this drop their storage for real.
+/// Default high-water byte cap of a device's buffer pool (configurable per
+/// device via [`Device::set_pool_cap_bytes`]); parking a release above the
+/// cap evicts the least-recently-parked entries until the pool fits again.
 const POOL_MAX_BYTES: usize = 256 * 1024 * 1024;
 
+/// One parked allocation: the storage plus the monotonic sequence number of
+/// the park operation, which orders evictions (oldest park evicted first).
+#[derive(Debug)]
+struct PooledEntry {
+    seq: u64,
+    data: BufferData,
+}
+
 /// The free list of one device: released storage parked by byte length.
-#[derive(Debug, Default)]
+/// Bounded by a per-bucket entry cap and a total high-water byte cap with
+/// LRU (oldest-park-first) eviction.
+#[derive(Debug)]
 struct BufferPool {
-    buckets: HashMap<usize, Vec<BufferData>>,
+    buckets: HashMap<usize, Vec<PooledEntry>>,
     total_bytes: usize,
+    cap_bytes: usize,
+    next_seq: u64,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool {
+            buckets: HashMap::new(),
+            total_bytes: 0,
+            cap_bytes: POOL_MAX_BYTES,
+            next_seq: 0,
+        }
+    }
+}
+
+impl BufferPool {
+    /// Evict least-recently-parked entries until `total_bytes <= cap_bytes`.
+    /// Returns `(entries_evicted, bytes_evicted)`. Entries within a bucket
+    /// are parked in sequence order, so each bucket's front is its oldest.
+    fn trim_to_cap(&mut self) -> (usize, usize) {
+        let mut evicted = 0usize;
+        let mut evicted_bytes = 0usize;
+        while self.total_bytes > self.cap_bytes {
+            let oldest = self
+                .buckets
+                .iter()
+                .filter_map(|(&len, bucket)| bucket.first().map(|e| (e.seq, len)))
+                .min();
+            let Some((_, len)) = oldest else { break };
+            let bucket = self.buckets.get_mut(&len).expect("bucket exists");
+            bucket.remove(0);
+            if bucket.is_empty() {
+                self.buckets.remove(&len);
+            }
+            self.total_bytes -= len;
+            evicted += 1;
+            evicted_bytes += len;
+        }
+        (evicted, evicted_bytes)
+    }
 }
 
 /// Live per-device counters of which kernel-language execution tier handled
@@ -168,6 +219,10 @@ pub struct Device {
     /// [`OclError::BufferNotFound`] it reports today.
     pool: Mutex<BufferPool>,
     pool_hits: AtomicUsize,
+    /// Parked entries dropped by the pool's high-water LRU trim.
+    pool_evictions: AtomicUsize,
+    /// Bytes of parked storage dropped by the pool's high-water LRU trim.
+    pool_evicted_bytes: AtomicUsize,
     /// Pool revivals whose first access was a full overwrite, so the
     /// fresh-allocation zeroing was elided entirely (see
     /// [`BufferData::settle_zero_around`]).
@@ -186,6 +241,8 @@ impl Device {
             storage: Mutex::new(HashMap::new()),
             pool: Mutex::new(BufferPool::default()),
             pool_hits: AtomicUsize::new(0),
+            pool_evictions: AtomicUsize::new(0),
+            pool_evicted_bytes: AtomicUsize::new(0),
             zero_elisions: AtomicUsize::new(0),
             allocated: AtomicUsize::new(0),
             next_buffer_id: AtomicU64::new(1),
@@ -268,7 +325,13 @@ impl Device {
         }
         let recycled = {
             let mut pool = self.pool.lock();
-            let data = pool.buckets.get_mut(&len_bytes).and_then(Vec::pop);
+            // Pop the most recently parked entry (LIFO keeps the storage
+            // warm); eviction takes from the front, i.e. the oldest park.
+            let data = pool
+                .buckets
+                .get_mut(&len_bytes)
+                .and_then(Vec::pop)
+                .map(|e| e.data);
             if data.is_some() {
                 pool.total_bytes -= len_bytes;
             }
@@ -301,17 +364,59 @@ impl Device {
                 let len_bytes = data.len_bytes();
                 self.allocated.fetch_sub(len_bytes, Ordering::Relaxed);
                 let mut pool = self.pool.lock();
-                if pool.total_bytes + len_bytes <= POOL_MAX_BYTES {
+                // An allocation larger than the whole pool budget can never
+                // be parked; drop it without churning the resident entries.
+                if len_bytes <= pool.cap_bytes {
+                    let seq = pool.next_seq;
+                    pool.next_seq += 1;
                     let bucket = pool.buckets.entry(len_bytes).or_default();
                     if bucket.len() < POOL_BUCKET_CAP {
-                        bucket.push(data);
+                        bucket.push(PooledEntry { seq, data });
                         pool.total_bytes += len_bytes;
+                        // Newly parked storage may push the pool over its
+                        // high-water cap: evict the oldest parks to fit.
+                        let (evicted, bytes) = pool.trim_to_cap();
+                        self.note_pool_evictions(evicted, bytes);
                     }
                 }
                 Ok(())
             }
             None => Err(OclError::BufferNotFound { id: buffer.id() }),
         }
+    }
+
+    fn note_pool_evictions(&self, evicted: usize, bytes: usize) {
+        if evicted > 0 {
+            self.pool_evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.pool_evicted_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Set the pool's high-water byte cap and trim immediately: while the
+    /// parked total exceeds the cap, the least-recently-parked entries are
+    /// dropped (and counted as evictions). Long-running servers use this to
+    /// bound pooled memory; the default is 256 MiB.
+    pub fn set_pool_cap_bytes(&self, cap_bytes: usize) {
+        let mut pool = self.pool.lock();
+        pool.cap_bytes = cap_bytes;
+        let (evicted, bytes) = pool.trim_to_cap();
+        drop(pool);
+        self.note_pool_evictions(evicted, bytes);
+    }
+
+    /// The pool's current high-water byte cap.
+    pub fn pool_cap_bytes(&self) -> usize {
+        self.pool.lock().cap_bytes
+    }
+
+    /// Parked entries dropped so far by the pool's high-water LRU trim.
+    pub fn pool_evictions(&self) -> usize {
+        self.pool_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of parked storage dropped so far by the pool's LRU trim.
+    pub fn pool_evicted_bytes(&self) -> usize {
+        self.pool_evicted_bytes.load(Ordering::Relaxed)
     }
 
     /// Number of released allocations currently parked in the buffer pool.
@@ -628,6 +733,51 @@ mod tests {
         let big = dev.create_buffer::<f32>(POOL_MAX_BYTES / 4 + 1024).unwrap();
         dev.release_buffer(&big).unwrap();
         assert_eq!(dev.pooled_buffers(), 0, "oversized releases are dropped");
+        assert_eq!(dev.pool_evictions(), 0, "oversized drops are not trims");
+    }
+
+    #[test]
+    fn pool_cap_evicts_least_recently_parked_first() {
+        let dev = device();
+        // Cap the pool below four parks' worth, then park four releases of
+        // two different sizes in a known order.
+        dev.set_pool_cap_bytes(160);
+        let sizes = [16usize, 16, 8, 8]; // f32 elements: 64, 64, 32, 32 bytes
+        let buffers: Vec<_> = sizes
+            .iter()
+            .map(|&n| dev.create_buffer::<f32>(n).unwrap())
+            .collect();
+        for b in &buffers {
+            dev.release_buffer(b).unwrap();
+        }
+        // Parks: 64, 64, 32, 32 -> the last park overflows the 160-byte cap
+        // (total 192): the OLDEST park (the first 64-byte entry) is evicted,
+        // not the newest.
+        assert_eq!(dev.pool_evictions(), 1);
+        assert_eq!(dev.pool_evicted_bytes(), 64);
+        assert_eq!(dev.pooled_bytes(), 128);
+        assert_eq!(dev.pooled_buffers(), 3);
+        // Reviving a 64-byte buffer still hits the pool: the younger
+        // 64-byte park survived the trim.
+        let _r = dev.create_buffer::<f32>(16).unwrap();
+        assert_eq!(dev.pool_hit_count(), 1);
+    }
+
+    #[test]
+    fn shrinking_the_pool_cap_trims_immediately() {
+        let dev = device();
+        let buffers: Vec<_> = (0..3)
+            .map(|_| dev.create_buffer::<f32>(256).unwrap())
+            .collect();
+        for b in &buffers {
+            dev.release_buffer(b).unwrap();
+        }
+        assert_eq!(dev.pooled_bytes(), 3072);
+        dev.set_pool_cap_bytes(1024);
+        assert_eq!(dev.pool_evictions(), 2);
+        assert_eq!(dev.pool_evicted_bytes(), 2048);
+        assert_eq!(dev.pooled_bytes(), 1024);
+        assert_eq!(dev.pool_cap_bytes(), 1024);
     }
 
     #[test]

@@ -55,6 +55,18 @@ pub enum OclError {
     Kernel(KernelError),
     /// A named kernel does not exist in the program.
     NoSuchKernel(String),
+    /// A charge against a [`crate::ResourceLedger`] tag would exceed its
+    /// byte quota.
+    QuotaExceeded {
+        /// The tag whose quota was hit.
+        tag: String,
+        /// Bytes the charge asked for.
+        requested: usize,
+        /// Bytes already charged to the tag.
+        used: usize,
+        /// The tag's quota in bytes.
+        cap: usize,
+    },
 }
 
 impl fmt::Display for OclError {
@@ -90,6 +102,15 @@ impl fmt::Display for OclError {
             OclError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             OclError::Kernel(e) => write!(f, "kernel error: {e}"),
             OclError::NoSuchKernel(name) => write!(f, "no kernel named `{name}` in program"),
+            OclError::QuotaExceeded {
+                tag,
+                requested,
+                used,
+                cap,
+            } => write!(
+                f,
+                "quota exceeded for `{tag}`: requested {requested} bytes with {used} of {cap} bytes already in use"
+            ),
         }
     }
 }

@@ -1,0 +1,210 @@
+//! Per-tag resource accounting for multi-tenant use of a context.
+//!
+//! A [`ResourceLedger`] tracks, per *tag* (typically a tenant name), how many
+//! bytes of device storage the tag currently holds against an optional byte
+//! quota, plus launch/transfer counters. The ledger itself does not allocate
+//! anything: callers (e.g. the serving layer's admission control) charge the
+//! estimated footprint of a job *before* creating its buffers from the
+//! device pools and credit it back when the buffers are released, so a quota
+//! breach is rejected at admission time instead of surfacing as a confusing
+//! mid-pipeline allocation failure.
+//!
+//! All operations are constant-time under one mutex and deterministic:
+//! charging, crediting and counting do not touch any virtual clock.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::error::{OclError, Result};
+
+/// Accounting state of one tag.
+#[derive(Debug, Default, Clone)]
+struct TagState {
+    cap_bytes: Option<usize>,
+    used_bytes: usize,
+    peak_bytes: usize,
+    launches: usize,
+    transfers: usize,
+    transfer_bytes: usize,
+}
+
+/// Snapshot of one tag's accounting, returned by
+/// [`ResourceLedger::usage`] / [`ResourceLedger::usages`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TagUsage {
+    /// The tag the snapshot describes.
+    pub tag: String,
+    /// The tag's byte quota, if one is set.
+    pub cap_bytes: Option<usize>,
+    /// Bytes currently charged to the tag.
+    pub used_bytes: usize,
+    /// High-water mark of `used_bytes`.
+    pub peak_bytes: usize,
+    /// Kernel launches noted for the tag.
+    pub launches: usize,
+    /// Transfers noted for the tag.
+    pub transfers: usize,
+    /// Bytes moved by the tag's transfers.
+    pub transfer_bytes: usize,
+}
+
+/// Per-tag byte quotas and usage counters (see the module docs).
+#[derive(Debug, Default)]
+pub struct ResourceLedger {
+    tags: Mutex<HashMap<String, TagState>>,
+}
+
+impl ResourceLedger {
+    /// Create an empty ledger.
+    pub fn new() -> Self {
+        ResourceLedger::default()
+    }
+
+    /// Set (or clear) a tag's byte quota. Creates the tag if it is new; an
+    /// existing tag keeps its usage counters. Lowering the cap below the
+    /// current usage does not fail — it only makes further charges fail.
+    pub fn set_cap(&self, tag: &str, cap_bytes: Option<usize>) {
+        self.tags
+            .lock()
+            .entry(tag.to_string())
+            .or_default()
+            .cap_bytes = cap_bytes;
+    }
+
+    /// Charge `bytes` to the tag, failing with
+    /// [`OclError::QuotaExceeded`] (and charging nothing) if the tag has a
+    /// quota and the charge would exceed it.
+    pub fn try_charge(&self, tag: &str, bytes: usize) -> Result<()> {
+        let mut tags = self.tags.lock();
+        let state = tags.entry(tag.to_string()).or_default();
+        if let Some(cap) = state.cap_bytes {
+            if state.used_bytes + bytes > cap {
+                return Err(OclError::QuotaExceeded {
+                    tag: tag.to_string(),
+                    requested: bytes,
+                    used: state.used_bytes,
+                    cap,
+                });
+            }
+        }
+        state.used_bytes += bytes;
+        state.peak_bytes = state.peak_bytes.max(state.used_bytes);
+        Ok(())
+    }
+
+    /// Credit `bytes` back to the tag (saturating at zero).
+    pub fn credit(&self, tag: &str, bytes: usize) {
+        let mut tags = self.tags.lock();
+        let state = tags.entry(tag.to_string()).or_default();
+        state.used_bytes = state.used_bytes.saturating_sub(bytes);
+    }
+
+    /// Note one kernel launch on behalf of the tag.
+    pub fn note_launch(&self, tag: &str) {
+        self.tags
+            .lock()
+            .entry(tag.to_string())
+            .or_default()
+            .launches += 1;
+    }
+
+    /// Note one transfer of `bytes` on behalf of the tag.
+    pub fn note_transfer(&self, tag: &str, bytes: usize) {
+        let mut tags = self.tags.lock();
+        let state = tags.entry(tag.to_string()).or_default();
+        state.transfers += 1;
+        state.transfer_bytes += bytes;
+    }
+
+    /// Snapshot one tag's accounting (zeroes for an unknown tag).
+    pub fn usage(&self, tag: &str) -> TagUsage {
+        let tags = self.tags.lock();
+        let state = tags.get(tag).cloned().unwrap_or_default();
+        TagUsage {
+            tag: tag.to_string(),
+            cap_bytes: state.cap_bytes,
+            used_bytes: state.used_bytes,
+            peak_bytes: state.peak_bytes,
+            launches: state.launches,
+            transfers: state.transfers,
+            transfer_bytes: state.transfer_bytes,
+        }
+    }
+
+    /// Snapshot every tag, sorted by tag name for deterministic output.
+    pub fn usages(&self) -> Vec<TagUsage> {
+        let tags = self.tags.lock();
+        let mut names: Vec<&String> = tags.keys().collect();
+        names.sort();
+        names
+            .into_iter()
+            .map(|name| {
+                let state = tags[name].clone();
+                TagUsage {
+                    tag: name.clone(),
+                    cap_bytes: state.cap_bytes,
+                    used_bytes: state.used_bytes,
+                    peak_bytes: state.peak_bytes,
+                    launches: state.launches,
+                    transfers: state.transfers,
+                    transfer_bytes: state.transfer_bytes,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_respect_caps_and_credit_releases() {
+        let ledger = ResourceLedger::new();
+        ledger.set_cap("a", Some(100));
+        ledger.try_charge("a", 60).unwrap();
+        ledger.try_charge("a", 40).unwrap();
+        let err = ledger.try_charge("a", 1).unwrap_err();
+        assert!(
+            matches!(err, OclError::QuotaExceeded { used: 100, .. }),
+            "{err:?}"
+        );
+        ledger.credit("a", 40);
+        ledger.try_charge("a", 30).unwrap();
+        let usage = ledger.usage("a");
+        assert_eq!(usage.used_bytes, 90);
+        assert_eq!(usage.peak_bytes, 100);
+        assert_eq!(usage.cap_bytes, Some(100));
+    }
+
+    #[test]
+    fn uncapped_tags_accept_any_charge() {
+        let ledger = ResourceLedger::new();
+        ledger.try_charge("free", usize::MAX / 2).unwrap();
+        assert_eq!(ledger.usage("free").used_bytes, usize::MAX / 2);
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshots_sort() {
+        let ledger = ResourceLedger::new();
+        ledger.note_launch("b");
+        ledger.note_launch("a");
+        ledger.note_transfer("a", 128);
+        let all = ledger.usages();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].tag, "a");
+        assert_eq!(all[0].transfers, 1);
+        assert_eq!(all[0].transfer_bytes, 128);
+        assert_eq!(all[1].tag, "b");
+        assert_eq!(all[1].launches, 1);
+    }
+
+    #[test]
+    fn credit_saturates_at_zero() {
+        let ledger = ResourceLedger::new();
+        ledger.try_charge("a", 10).unwrap();
+        ledger.credit("a", 100);
+        assert_eq!(ledger.usage("a").used_bytes, 0);
+    }
+}

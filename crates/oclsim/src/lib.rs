@@ -47,6 +47,7 @@ pub mod context;
 pub mod device;
 pub mod error;
 pub mod event;
+pub mod ledger;
 pub mod platform;
 pub mod pod;
 pub mod profile;
@@ -59,6 +60,7 @@ pub use context::Context;
 pub use device::{BufferData, Device, DeviceId, TierSnapshot};
 pub use error::{OclError, Result};
 pub use event::{CommandKind, Event, EventHandle, EventStatus, EventSummary};
+pub use ledger::{ResourceLedger, TagUsage};
 pub use platform::{default_platforms, select_gpus, Platform};
 pub use pod::Pod;
 pub use profile::{ApiModel, DeviceProfile, DeviceType};

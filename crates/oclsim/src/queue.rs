@@ -67,12 +67,29 @@ struct QueueShared {
     log: Mutex<Vec<Event>>,
     /// First execution-time error that has not been surfaced yet.
     deferred_error: Mutex<Option<OclError>>,
+    /// Total execution-time errors that ever reached the deferred-error
+    /// latch (monotonic; counts every failing command, not just the first
+    /// unsurfaced one). Surfaced in `ExecTrace` so fire-and-forget callers
+    /// that drop their [`EventHandle`]s still see that launches failed.
+    errors_latched: std::sync::atomic::AtomicUsize,
     /// Commands enqueued but not yet settled by the worker.
     pending: std::sync::Mutex<usize>,
     idle: std::sync::Condvar,
 }
 
 impl QueueShared {
+    /// Record one execution-time command failure: bump the monotonic error
+    /// counter and latch the error if no earlier one is still unsurfaced
+    /// (first error wins, matching OpenCL's sticky queue-error semantics).
+    fn latch_error(&self, error: &OclError) {
+        self.errors_latched
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut latch = self.deferred_error.lock();
+        if latch.is_none() {
+            *latch = Some(error.clone());
+        }
+    }
+
     fn command_enqueued(&self) {
         *self.pending.lock().expect("queue mutex poisoned") += 1;
     }
@@ -148,6 +165,7 @@ impl CommandQueue {
             available_at: Mutex::new(SimTime::ZERO),
             log: Mutex::new(Vec::new()),
             deferred_error: Mutex::new(None),
+            errors_latched: std::sync::atomic::AtomicUsize::new(0),
             pending: std::sync::Mutex::new(0),
             idle: std::sync::Condvar::new(),
         });
@@ -210,6 +228,27 @@ impl CommandQueue {
     /// [`EventHandle`]s directly use it to discard the duplicate latch.
     pub fn take_error(&self) -> Option<OclError> {
         self.shared.deferred_error.lock().take()
+    }
+
+    /// Explicit drain of the deferred-error latch: wait (in real time) for
+    /// every command enqueued so far to settle, then take the queue's first
+    /// unsurfaced execution-time error. Unlike [`CommandQueue::take_error`]
+    /// this cannot miss an error whose command is still in flight, and
+    /// unlike [`CommandQueue::finish_checked`] it never advances the
+    /// virtual host clock — the drain path for fire-and-forget callers
+    /// (e.g. a serving layer) that must not perturb virtual timing.
+    pub fn take_deferred_error(&self) -> Option<OclError> {
+        self.shared.quiesce();
+        self.take_error()
+    }
+
+    /// Total execution-time errors ever latched on this queue (monotonic),
+    /// whether or not they have been surfaced or taken. Commands still in
+    /// flight are not waited for.
+    pub fn deferred_error_count(&self) -> usize {
+        self.shared
+            .errors_latched
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn check_buffer_device(&self, buffer: &Buffer) -> Result<()> {
@@ -503,11 +542,7 @@ fn worker_loop(
                 "device worker panicked while executing a command: {msg}"
             )));
             if !event.is_done() {
-                let mut latch = shared.deferred_error.lock();
-                if latch.is_none() {
-                    *latch = Some(error.clone());
-                }
-                drop(latch);
+                shared.latch_error(&error);
                 event.complete(Err(error), None);
             }
         }
@@ -685,11 +720,7 @@ fn settle(
             event.complete(Ok(record), payload);
         }
         Err(error) => {
-            let mut latch = shared.deferred_error.lock();
-            if latch.is_none() {
-                *latch = Some(error.clone());
-            }
-            drop(latch);
+            shared.latch_error(&error);
             event.complete(Err(error), None);
         }
     }
@@ -1034,6 +1065,39 @@ mod tests {
         assert!(matches!(err, OclError::Kernel(_)), "{err:?}");
         // Surfaced once: the queue is clean afterwards.
         assert!(q.finish_checked().is_ok());
+    }
+
+    #[test]
+    fn take_deferred_error_drains_without_touching_the_virtual_clock() {
+        let ctx = two_gpu_context();
+        let q = ctx.queue(0).unwrap();
+        let buf = ctx.create_buffer::<f32>(0, 4).unwrap();
+        let program = ctx
+            .build_program("__kernel void oob(__global float* v, int n) { v[n + 10] = 1.0f; }")
+            .unwrap();
+        let kernel = program.kernel("oob").unwrap();
+        assert_eq!(q.deferred_error_count(), 0);
+        // Fire-and-forget: both handles are dropped immediately.
+        for _ in 0..2 {
+            let _ = q
+                .enqueue_kernel(
+                    &kernel,
+                    1,
+                    &[KernelArg::Buffer(buf.clone()), KernelArg::i32(4)],
+                )
+                .unwrap();
+        }
+        let host_before = ctx.host_now();
+        let err = q.take_deferred_error().expect("first error is latched");
+        assert!(matches!(err, OclError::Kernel(_)), "{err:?}");
+        assert_eq!(
+            ctx.host_now(),
+            host_before,
+            "the drain must not advance the virtual host clock"
+        );
+        // Both failures are counted even though only the first was latched.
+        assert_eq!(q.deferred_error_count(), 2);
+        assert!(q.take_deferred_error().is_none(), "latch surfaced once");
     }
 
     #[test]

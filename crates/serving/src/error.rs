@@ -1,0 +1,98 @@
+//! Error type of the serving layer.
+
+use std::fmt;
+
+use oclsim::OclError;
+use skelcl::SkelError;
+
+/// Errors returned by [`crate::Server`] and [`crate::Session`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission would exceed a backpressure watermark (the tenant's
+    /// `max_pending` or the server's `max_queue_depth`); retry after some
+    /// in-flight work completes, or use the blocking submit which makes
+    /// room by driving the scheduler itself.
+    WouldBlock,
+    /// The server is shutting down and accepts no new jobs.
+    ShuttingDown,
+    /// The named tenant was never registered.
+    UnknownTenant(String),
+    /// The tenant name is already registered.
+    DuplicateTenant(String),
+    /// Admitting the job would exceed the tenant's memory quota.
+    QuotaExceeded {
+        /// The tenant whose quota was hit.
+        tenant: String,
+        /// Bytes the job asked for.
+        requested: usize,
+        /// Bytes of the tenant's jobs currently admitted or in flight.
+        used: usize,
+        /// The tenant's quota in bytes.
+        cap: usize,
+    },
+    /// The job's result was already claimed from its handle.
+    ResultTaken,
+    /// The job failed inside the SkelCL runtime.
+    Skel(SkelError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::WouldBlock => write!(f, "submission would exceed a backpressure watermark"),
+            ServeError::ShuttingDown => write!(f, "the server is shutting down"),
+            ServeError::UnknownTenant(name) => write!(f, "unknown tenant `{name}`"),
+            ServeError::DuplicateTenant(name) => {
+                write!(f, "tenant `{name}` is already registered")
+            }
+            ServeError::QuotaExceeded {
+                tenant,
+                requested,
+                used,
+                cap,
+            } => write!(
+                f,
+                "tenant `{tenant}` quota exceeded: job needs {requested} bytes with {used} of {cap} bytes in use"
+            ),
+            ServeError::ResultTaken => write!(f, "the job result was already taken"),
+            ServeError::Skel(e) => write!(f, "job failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Skel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SkelError> for ServeError {
+    fn from(e: SkelError) -> Self {
+        match e {
+            SkelError::Ocl(OclError::QuotaExceeded {
+                tag,
+                requested,
+                used,
+                cap,
+            }) => ServeError::QuotaExceeded {
+                tenant: tag,
+                requested,
+                used,
+                cap,
+            },
+            other => ServeError::Skel(other),
+        }
+    }
+}
+
+impl From<OclError> for ServeError {
+    fn from(e: OclError) -> Self {
+        ServeError::from(SkelError::from(e))
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,581 @@
+//! The admission/scheduling core.
+//!
+//! The scheduler is **cooperative and synchronous**: there is no scheduler
+//! thread. Jobs are admitted into a queue; dispatch happens under the core
+//! lock when a trigger fires (the coalesce cap fills, a blocking submit
+//! needs room, a handle waits, or the server flushes or shuts down). All
+//! host-virtual-clock charges therefore happen in deterministic program
+//! order — given a fixed submission order, results and virtual time are
+//! bit-identical across repetitions.
+//!
+//! Dispatch picks jobs by **weighted fair queuing within strict priority
+//! bands**: each tenant carries a virtual time that advances by
+//! `footprint / weight` per admitted job, and the queued job with the
+//! smallest `(band, tag, admission#)` key dispatches first. If the picked
+//! job is *coalescible* (an all-elementwise plan), every queued job with
+//! the same kernel signature joins it — up to the coalesce cap — in **one**
+//! packed launch ([`skelcl::PlanVec::pack_jobs`]) on the least-loaded
+//! device (in virtual time). Non-coalescible jobs (reduce/scan pipelines)
+//! run through the ordinary plan executor at dispatch.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use oclsim::SimTime;
+use parking_lot::Mutex;
+use skelcl::{DeviceScalar, PlanScalar, PlanVec, SkelCl, SkelError};
+
+use crate::error::{Result, ServeError};
+use crate::job::{JobHandle, JobReport, JobSlot};
+use crate::server::ServerConfig;
+use crate::tenant::{Priority, TenantConfig};
+
+/// Fixed-point scale of the fair-queuing virtual clock.
+const WFQ_SCALE: u128 = 1 << 20;
+
+/// Completion counters shared with in-flight resolution closures (which run
+/// while the core lock is held and therefore cannot re-enter the state).
+#[derive(Clone)]
+pub(crate) struct Counters {
+    pub(crate) completed: Arc<AtomicUsize>,
+    pub(crate) failed: Arc<AtomicUsize>,
+}
+
+/// Everything a resolution closure needs to finish one packed job.
+pub(crate) struct BatchMember {
+    slot: Arc<JobSlot>,
+    tenant: String,
+    footprint: usize,
+    pending: Arc<AtomicUsize>,
+    report: JobReport,
+}
+
+impl BatchMember {
+    fn finish_ok(
+        self,
+        runtime: &Arc<SkelCl>,
+        payload: Box<dyn Any + Send>,
+        complete_virt: SimTime,
+        counters: &Counters,
+    ) {
+        runtime
+            .context()
+            .ledger()
+            .credit(&self.tenant, self.footprint);
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+        let mut report = self.report;
+        report.complete_virt = complete_virt;
+        self.slot.complete(payload, report);
+        counters.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn finish_err(self, runtime: &Arc<SkelCl>, error: ServeError, counters: &Counters) {
+        runtime
+            .context()
+            .ledger()
+            .credit(&self.tenant, self.footprint);
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+        self.slot.fail(error);
+        counters.failed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Type-erased view of a coalescible (all-elementwise) vector job.
+trait ErasedPackable: Send {
+    /// The job's `PlanVec<T>` as `Any` (downcast by the batch leader).
+    fn plan_any(&self) -> &(dyn Any + Send);
+
+    /// Pack `peers` (self first) into one launch on `device` and return the
+    /// deferred resolution closure. Called on the leader; all peers carry
+    /// the leader's signature and therefore its element type.
+    fn launch(
+        &self,
+        peers: &[&dyn ErasedPackable],
+        device: usize,
+        members: Vec<BatchMember>,
+        runtime: Arc<SkelCl>,
+        counters: Counters,
+    ) -> std::result::Result<Box<dyn FnOnce() + Send>, SkelError>;
+}
+
+struct TypedPackable<T: DeviceScalar> {
+    plan: PlanVec<T>,
+}
+
+impl<T: DeviceScalar> ErasedPackable for TypedPackable<T> {
+    fn plan_any(&self) -> &(dyn Any + Send) {
+        &self.plan
+    }
+
+    fn launch(
+        &self,
+        peers: &[&dyn ErasedPackable],
+        device: usize,
+        members: Vec<BatchMember>,
+        runtime: Arc<SkelCl>,
+        counters: Counters,
+    ) -> std::result::Result<Box<dyn FnOnce() + Send>, SkelError> {
+        let plans: Vec<&PlanVec<T>> = peers
+            .iter()
+            .map(|p| {
+                p.plan_any()
+                    .downcast_ref::<PlanVec<T>>()
+                    .expect("equal signatures imply equal element types")
+            })
+            .collect();
+        let packed = PlanVec::pack_jobs(&plans, device)?;
+        Ok(Box::new(move || match packed.wait() {
+            Ok((outputs, event)) => {
+                for (member, out) in members.into_iter().zip(outputs) {
+                    member.finish_ok(&runtime, Box::new(out), event.end, &counters);
+                }
+            }
+            Err(e) => {
+                let error = ServeError::from(e);
+                for member in members {
+                    member.finish_err(&runtime, error.clone(), &counters);
+                }
+            }
+        }))
+    }
+}
+
+/// How a queued job executes at dispatch.
+enum JobWork {
+    /// Coalescible elementwise job: joins a packed launch.
+    Packable(Box<dyn ErasedPackable>),
+    /// Everything else: runs through the plan executor synchronously.
+    Opaque(Box<dyn FnOnce() -> std::result::Result<Box<dyn Any + Send>, SkelError> + Send>),
+}
+
+/// One admitted, not-yet-dispatched job.
+struct QueuedJob {
+    id: u64,
+    tenant: String,
+    band: Priority,
+    tag: u128,
+    seq: u64,
+    signature: Option<String>,
+    footprint: usize,
+    submit_virt: SimTime,
+    slot: Arc<JobSlot>,
+    pending: Arc<AtomicUsize>,
+    work: JobWork,
+}
+
+impl QueuedJob {
+    fn sort_key(&self) -> (Priority, u128, u64) {
+        (self.band, self.tag, self.seq)
+    }
+}
+
+/// A dispatched packed launch awaiting resolution.
+struct InFlight {
+    resolve: Box<dyn FnOnce() + Send>,
+}
+
+struct TenantState {
+    config: TenantConfig,
+    vtime: u128,
+    pending: Arc<AtomicUsize>,
+}
+
+/// Dispatch statistics (under the core lock; completion counts live in
+/// [`Counters`]).
+#[derive(Default, Clone)]
+pub(crate) struct Stats {
+    pub(crate) jobs_submitted: usize,
+    pub(crate) batches: usize,
+    pub(crate) packed_batches: usize,
+    pub(crate) coalesced_jobs: usize,
+    pub(crate) opaque_jobs: usize,
+    pub(crate) would_blocks: usize,
+    pub(crate) max_queue_depth_seen: usize,
+    pub(crate) dispatch_tenants: Vec<String>,
+    pub(crate) batch_sizes: Vec<usize>,
+}
+
+struct CoreState {
+    queue: Vec<QueuedJob>,
+    inflight: Vec<InFlight>,
+    tenants: HashMap<String, TenantState>,
+    vclock: u128,
+    next_job: u64,
+    shutting_down: bool,
+    stats: Stats,
+}
+
+/// The shared scheduler core behind [`crate::Server`] and every
+/// [`crate::Session`] / [`JobHandle`].
+pub(crate) struct Core {
+    runtime: Arc<SkelCl>,
+    config: ServerConfig,
+    state: Mutex<CoreState>,
+    counters: Counters,
+}
+
+impl Core {
+    pub(crate) fn new(runtime: Arc<SkelCl>, config: ServerConfig) -> Arc<Core> {
+        Arc::new(Core {
+            runtime,
+            config,
+            state: Mutex::new(CoreState {
+                queue: Vec::new(),
+                inflight: Vec::new(),
+                tenants: HashMap::new(),
+                vclock: 0,
+                next_job: 0,
+                shutting_down: false,
+                stats: Stats::default(),
+            }),
+            counters: Counters {
+                completed: Arc::new(AtomicUsize::new(0)),
+                failed: Arc::new(AtomicUsize::new(0)),
+            },
+        })
+    }
+
+    pub(crate) fn runtime(&self) -> Arc<SkelCl> {
+        self.runtime.clone()
+    }
+
+    pub(crate) fn add_tenant(&self, name: &str, config: TenantConfig) -> Result<()> {
+        let mut state = self.state.lock();
+        if state.tenants.contains_key(name) {
+            return Err(ServeError::DuplicateTenant(name.to_string()));
+        }
+        self.runtime
+            .context()
+            .ledger()
+            .set_cap(name, config.quota_bytes);
+        state.tenants.insert(
+            name.to_string(),
+            TenantState {
+                config,
+                vtime: 0,
+                pending: Arc::new(AtomicUsize::new(0)),
+            },
+        );
+        Ok(())
+    }
+
+    pub(crate) fn has_tenant(&self, name: &str) -> bool {
+        self.state.lock().tenants.contains_key(name)
+    }
+
+    /// Admit an elementwise-or-opaque vector job (try semantics: returns
+    /// [`ServeError::WouldBlock`] past a watermark instead of blocking).
+    pub(crate) fn admit_vec<T: DeviceScalar>(
+        self: &Arc<Self>,
+        tenant: &str,
+        plan: &PlanVec<T>,
+    ) -> Result<JobHandle<Vec<T>>> {
+        let signature = plan.coalesce_signature().map_err(ServeError::from)?;
+        let footprint = plan.footprint_bytes();
+        let work = if signature.is_some() {
+            JobWork::Packable(Box::new(TypedPackable { plan: plan.clone() }))
+        } else {
+            let plan = plan.clone();
+            JobWork::Opaque(Box::new(move || {
+                plan.collect().map(|v| Box::new(v) as Box<dyn Any + Send>)
+            }))
+        };
+        let slot = self.admit(tenant, signature, footprint, work)?;
+        Ok(JobHandle {
+            slot,
+            core: self.clone(),
+            _payload: std::marker::PhantomData,
+        })
+    }
+
+    /// Admit a reduction job (always runs through the plan executor).
+    pub(crate) fn admit_scalar<T: DeviceScalar>(
+        self: &Arc<Self>,
+        tenant: &str,
+        plan: &PlanScalar<T>,
+    ) -> Result<JobHandle<T>> {
+        let footprint = plan.footprint_bytes();
+        let plan = plan.clone();
+        let work = JobWork::Opaque(Box::new(move || {
+            plan.scalar().map(|v| Box::new(v) as Box<dyn Any + Send>)
+        }));
+        let slot = self.admit(tenant, None, footprint, work)?;
+        Ok(JobHandle {
+            slot,
+            core: self.clone(),
+            _payload: std::marker::PhantomData,
+        })
+    }
+
+    fn admit(
+        &self,
+        tenant: &str,
+        signature: Option<String>,
+        footprint: usize,
+        work: JobWork,
+    ) -> Result<Arc<JobSlot>> {
+        let mut state = self.state.lock();
+        if state.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        let Some((max_pending, pending)) = state
+            .tenants
+            .get(tenant)
+            .map(|t| (t.config.max_pending.max(1), t.pending.clone()))
+        else {
+            return Err(ServeError::UnknownTenant(tenant.to_string()));
+        };
+        if pending.load(Ordering::Relaxed) >= max_pending
+            || state.queue.len() >= self.config.max_queue_depth.max(1)
+        {
+            state.stats.would_blocks += 1;
+            return Err(ServeError::WouldBlock);
+        }
+        self.runtime
+            .context()
+            .ledger()
+            .try_charge(tenant, footprint)
+            .map_err(|e| ServeError::from(SkelError::from(e)))?;
+        let vclock = state.vclock;
+        let t = state.tenants.get_mut(tenant).expect("checked above");
+        let weight = u128::from(t.config.weight.max(1));
+        let start = t.vtime.max(vclock);
+        t.vtime = start + (footprint.max(1) as u128 * WFQ_SCALE) / weight;
+        let tag = t.vtime;
+        let band = t.config.priority;
+        pending.fetch_add(1, Ordering::Relaxed);
+        let id = state.next_job;
+        state.next_job += 1;
+        let slot = JobSlot::new();
+        state.queue.push(QueuedJob {
+            id,
+            tenant: tenant.to_string(),
+            band,
+            tag,
+            seq: id,
+            signature: signature.clone(),
+            footprint,
+            submit_virt: self.runtime.now(),
+            slot: slot.clone(),
+            pending,
+            work,
+        });
+        state.stats.jobs_submitted += 1;
+        let depth = state.queue.len();
+        state.stats.max_queue_depth_seen = state.stats.max_queue_depth_seen.max(depth);
+        // Coalesce-cap trigger: once a full batch of one signature is
+        // queued, dispatch it eagerly — waiting longer cannot grow it.
+        if let (Some(sig), true) = (&signature, self.config.coalescing) {
+            let same = state
+                .queue
+                .iter()
+                .filter(|j| j.signature.as_deref() == Some(sig.as_str()))
+                .count();
+            if same >= self.config.coalesce_cap.max(1) {
+                self.dispatch_one_locked(&mut state);
+            }
+        }
+        Ok(slot)
+    }
+
+    /// The device whose command queue is least loaded in virtual time
+    /// (ties broken toward the lowest index, for determinism).
+    fn pick_device(&self) -> usize {
+        (0..self.runtime.device_count())
+            .min_by_key(|&d| (self.runtime.queue(d).available_at(), d))
+            .unwrap_or(0)
+    }
+
+    /// Dispatch the best queued batch, if any. Packed launches go in
+    /// flight (resolved later, in dispatch order); opaque jobs complete
+    /// before this returns.
+    fn dispatch_one_locked(&self, state: &mut CoreState) -> bool {
+        if state.queue.is_empty() {
+            return false;
+        }
+        let leader_idx = (0..state.queue.len())
+            .min_by_key(|&i| state.queue[i].sort_key())
+            .expect("queue is non-empty");
+        let leader_sig = state.queue[leader_idx].signature.clone();
+        let batch_indices: Vec<usize> = match (&leader_sig, self.config.coalescing) {
+            (Some(sig), true) => {
+                let mut idxs: Vec<usize> = (0..state.queue.len())
+                    .filter(|&i| state.queue[i].signature.as_deref() == Some(sig.as_str()))
+                    .collect();
+                idxs.sort_by_key(|&i| state.queue[i].sort_key());
+                idxs.truncate(self.config.coalesce_cap.max(1));
+                idxs
+            }
+            _ => vec![leader_idx],
+        };
+        let batch_set: HashSet<usize> = batch_indices.iter().copied().collect();
+        let old_queue = std::mem::take(&mut state.queue);
+        let mut extracted: HashMap<usize, QueuedJob> = HashMap::new();
+        for (i, job) in old_queue.into_iter().enumerate() {
+            if batch_set.contains(&i) {
+                extracted.insert(i, job);
+            } else {
+                state.queue.push(job);
+            }
+        }
+        let batch: Vec<QueuedJob> = batch_indices
+            .iter()
+            .map(|i| extracted.remove(i).expect("extracted above"))
+            .collect();
+        state.vclock = state.vclock.max(batch[0].tag);
+        state.stats.batches += 1;
+        state.stats.batch_sizes.push(batch.len());
+        state.stats.dispatch_tenants.push(batch[0].tenant.clone());
+        if batch.len() > 1 {
+            state.stats.coalesced_jobs += batch.len();
+        }
+        let ledger_ctx = self.runtime.context().ledger();
+        let mut seen_tenants: HashSet<&str> = HashSet::new();
+        for job in &batch {
+            ledger_ctx.note_transfer(&job.tenant, job.footprint);
+            if seen_tenants.insert(job.tenant.as_str()) {
+                ledger_ctx.note_launch(&job.tenant);
+            }
+        }
+        match &batch[0].work {
+            JobWork::Packable(_) => {
+                state.stats.packed_batches += 1;
+                let device = self.pick_device();
+                let members: Vec<BatchMember> = batch
+                    .iter()
+                    .map(|j| BatchMember {
+                        slot: j.slot.clone(),
+                        tenant: j.tenant.clone(),
+                        footprint: j.footprint,
+                        pending: j.pending.clone(),
+                        report: JobReport {
+                            job_id: j.id,
+                            tenant: j.tenant.clone(),
+                            device: Some(device),
+                            batch_jobs: batch.len(),
+                            submit_virt: j.submit_virt,
+                            complete_virt: SimTime::ZERO,
+                        },
+                    })
+                    .collect();
+                let packables: Vec<&dyn ErasedPackable> = batch
+                    .iter()
+                    .map(|j| match &j.work {
+                        JobWork::Packable(p) => p.as_ref(),
+                        JobWork::Opaque(_) => {
+                            unreachable!("a signature match implies a packable job")
+                        }
+                    })
+                    .collect();
+                match packables[0].launch(
+                    &packables,
+                    device,
+                    members,
+                    self.runtime.clone(),
+                    self.counters.clone(),
+                ) {
+                    Ok(resolve) => state.inflight.push(InFlight { resolve }),
+                    Err(e) => {
+                        let error = ServeError::from(e);
+                        for job in &batch {
+                            ledger_ctx.credit(&job.tenant, job.footprint);
+                            job.pending.fetch_sub(1, Ordering::Relaxed);
+                            job.slot.fail(error.clone());
+                            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            JobWork::Opaque(_) => {
+                state.stats.opaque_jobs += 1;
+                let job = batch
+                    .into_iter()
+                    .next()
+                    .expect("opaque batches hold one job");
+                let run = match job.work {
+                    JobWork::Opaque(run) => run,
+                    JobWork::Packable(_) => unreachable!("matched opaque above"),
+                };
+                match run() {
+                    Ok(payload) => {
+                        ledger_ctx.credit(&job.tenant, job.footprint);
+                        job.pending.fetch_sub(1, Ordering::Relaxed);
+                        let report = JobReport {
+                            job_id: job.id,
+                            tenant: job.tenant.clone(),
+                            device: None,
+                            batch_jobs: 1,
+                            submit_virt: job.submit_virt,
+                            complete_virt: self.runtime.now(),
+                        };
+                        job.slot.complete(payload, report);
+                        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        ledger_ctx.credit(&job.tenant, job.footprint);
+                        job.pending.fetch_sub(1, Ordering::Relaxed);
+                        job.slot.fail(ServeError::from(e));
+                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Make one unit of progress (used by blocking submits to free a
+    /// watermark): dispatch one batch, else resolve the oldest in-flight
+    /// launch. Returns false when there is nothing left to drive.
+    pub(crate) fn make_room(&self) -> bool {
+        let mut state = self.state.lock();
+        if self.dispatch_one_locked(&mut state) {
+            return true;
+        }
+        if state.inflight.is_empty() {
+            return false;
+        }
+        let batch = state.inflight.remove(0);
+        (batch.resolve)();
+        true
+    }
+
+    /// Dispatch everything queued and resolve every in-flight launch, in
+    /// deterministic (dispatch) order.
+    pub(crate) fn drain_all(&self) {
+        let mut state = self.state.lock();
+        self.drain_locked(&mut state);
+    }
+
+    fn drain_locked(&self, state: &mut CoreState) {
+        loop {
+            while self.dispatch_one_locked(state) {}
+            if state.inflight.is_empty() {
+                break;
+            }
+            let resolvers: Vec<InFlight> = state.inflight.drain(..).collect();
+            for batch in resolvers {
+                (batch.resolve)();
+            }
+        }
+    }
+
+    /// Refuse new work, then drain.
+    pub(crate) fn shutdown(&self) {
+        let mut state = self.state.lock();
+        state.shutting_down = true;
+        self.drain_locked(&mut state);
+    }
+
+    pub(crate) fn snapshot(&self) -> (Stats, usize, usize, usize, usize) {
+        let state = self.state.lock();
+        (
+            state.stats.clone(),
+            self.counters.completed.load(Ordering::Relaxed),
+            self.counters.failed.load(Ordering::Relaxed),
+            state.queue.len(),
+            state.inflight.len(),
+        )
+    }
+}

@@ -1,0 +1,199 @@
+//! [`Server`], [`Session`] and the serving-level trace.
+
+use std::sync::Arc;
+
+use skelcl::{DeviceScalar, PlanScalar, PlanVec, SkelCl};
+
+use crate::error::{Result, ServeError};
+use crate::job::JobHandle;
+use crate::scheduler::Core;
+use crate::tenant::TenantConfig;
+
+/// Server-wide scheduling knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Whether same-kernel jobs coalesce into packed launches. With
+    /// coalescing off every job dispatches as a batch of one through the
+    /// same packed path, so results are bit-identical either way.
+    pub coalescing: bool,
+    /// Maximum jobs per packed launch; reaching it triggers an eager
+    /// dispatch at admission. Clamped to at least 1.
+    pub coalesce_cap: usize,
+    /// Server-wide backpressure watermark on admitted-but-undispatched
+    /// jobs; submissions past it return [`ServeError::WouldBlock`] (or
+    /// make room, for blocking submits). Clamped to at least 1.
+    pub max_queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            coalescing: true,
+            coalesce_cap: 64,
+            max_queue_depth: 256,
+        }
+    }
+}
+
+/// Aggregate serving statistics, a snapshot from [`Server::trace`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServingTrace {
+    /// Jobs admitted into the queue (excludes rejected submissions).
+    pub jobs_submitted: usize,
+    /// Jobs completed successfully.
+    pub jobs_completed: usize,
+    /// Jobs that failed after admission.
+    pub jobs_failed: usize,
+    /// Jobs currently admitted but not yet dispatched.
+    pub jobs_queued: usize,
+    /// Packed launches dispatched but not yet resolved.
+    pub batches_inflight: usize,
+    /// Dispatched batches of any kind.
+    pub batches: usize,
+    /// Dispatched packed (elementwise) launches, coalesced or not.
+    pub packed_batches: usize,
+    /// Jobs that shared a packed launch with at least one other job.
+    pub coalesced_jobs: usize,
+    /// Jobs that ran through the ordinary plan executor.
+    pub opaque_jobs: usize,
+    /// Submissions rejected with [`ServeError::WouldBlock`].
+    pub would_blocks: usize,
+    /// High-water mark of the admission queue depth.
+    pub max_queue_depth_seen: usize,
+    /// Tenant of each dispatched batch's leader, in dispatch order.
+    pub dispatch_tenants: Vec<String>,
+    /// Size of each dispatched batch, in dispatch order.
+    pub batch_sizes: Vec<usize>,
+}
+
+/// A multi-tenant serving front end over a shared [`SkelCl`] runtime.
+///
+/// Register tenants with [`Server::add_tenant`], open [`Session`]s, submit
+/// [`PlanVec`]/[`PlanScalar`] jobs and wait on the returned [`JobHandle`]s.
+/// Cloning the server is cheap; all clones share one scheduler core.
+#[derive(Clone)]
+pub struct Server {
+    core: Arc<Core>,
+}
+
+impl Server {
+    /// A server with the default [`ServerConfig`].
+    pub fn new(runtime: Arc<SkelCl>) -> Server {
+        Server::with_config(runtime, ServerConfig::default())
+    }
+
+    /// A server with explicit scheduling knobs.
+    pub fn with_config(runtime: Arc<SkelCl>, config: ServerConfig) -> Server {
+        Server {
+            core: Core::new(runtime, config),
+        }
+    }
+
+    /// The shared runtime this server schedules onto.
+    pub fn runtime(&self) -> Arc<SkelCl> {
+        self.core.runtime()
+    }
+
+    /// Register a tenant. Installs the tenant's byte quota (if any) on the
+    /// runtime's [`oclsim::ResourceLedger`]. Errors if the name is taken.
+    pub fn add_tenant(&self, name: &str, config: TenantConfig) -> Result<()> {
+        self.core.add_tenant(name, config)
+    }
+
+    /// Open a submission session for a registered tenant. Sessions are
+    /// cheap; a tenant may hold any number concurrently.
+    pub fn session(&self, tenant: &str) -> Result<Session> {
+        if !self.core.has_tenant(tenant) {
+            return Err(ServeError::UnknownTenant(tenant.to_string()));
+        }
+        Ok(Session {
+            core: self.core.clone(),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Dispatch everything queued and resolve all in-flight launches.
+    pub fn flush(&self) {
+        self.core.drain_all();
+    }
+
+    /// Graceful shutdown: refuse new submissions, then drain so every
+    /// already-admitted job's handle resolves.
+    pub fn shutdown(&self) {
+        self.core.shutdown();
+    }
+
+    /// Snapshot the serving statistics.
+    pub fn trace(&self) -> ServingTrace {
+        let (stats, completed, failed, queued, inflight) = self.core.snapshot();
+        ServingTrace {
+            jobs_submitted: stats.jobs_submitted,
+            jobs_completed: completed,
+            jobs_failed: failed,
+            jobs_queued: queued,
+            batches_inflight: inflight,
+            batches: stats.batches,
+            packed_batches: stats.packed_batches,
+            coalesced_jobs: stats.coalesced_jobs,
+            opaque_jobs: stats.opaque_jobs,
+            would_blocks: stats.would_blocks,
+            max_queue_depth_seen: stats.max_queue_depth_seen,
+            dispatch_tenants: stats.dispatch_tenants,
+            batch_sizes: stats.batch_sizes,
+        }
+    }
+}
+
+/// One tenant's submission handle onto a [`Server`].
+#[derive(Clone)]
+pub struct Session {
+    core: Arc<Core>,
+    tenant: String,
+}
+
+impl Session {
+    /// The tenant this session submits as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Submit a vector pipeline job, returning [`ServeError::WouldBlock`]
+    /// instead of waiting when a backpressure watermark is hit.
+    pub fn try_submit_vec<T: DeviceScalar>(&self, plan: &PlanVec<T>) -> Result<JobHandle<Vec<T>>> {
+        self.core.admit_vec(&self.tenant, plan)
+    }
+
+    /// Submit a vector pipeline job, making room (dispatching queued
+    /// batches and resolving in-flight launches) until admission succeeds.
+    pub fn submit_vec<T: DeviceScalar>(&self, plan: &PlanVec<T>) -> Result<JobHandle<Vec<T>>> {
+        loop {
+            match self.core.admit_vec(&self.tenant, plan) {
+                Err(ServeError::WouldBlock) => {
+                    if !self.core.make_room() {
+                        return Err(ServeError::WouldBlock);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Submit a scalar (reduction) pipeline job with try semantics.
+    pub fn try_submit_scalar<T: DeviceScalar>(&self, plan: &PlanScalar<T>) -> Result<JobHandle<T>> {
+        self.core.admit_scalar(&self.tenant, plan)
+    }
+
+    /// Submit a scalar (reduction) pipeline job, making room as needed.
+    pub fn submit_scalar<T: DeviceScalar>(&self, plan: &PlanScalar<T>) -> Result<JobHandle<T>> {
+        loop {
+            match self.core.admit_scalar(&self.tenant, plan) {
+                Err(ServeError::WouldBlock) => {
+                    if !self.core.make_room() {
+                        return Err(ServeError::WouldBlock);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Tenants: the unit of fair-share, priority, quota and backpressure.
+
+/// Scheduling priority of a tenant's jobs. Bands are strict: a queued
+/// high-priority job always dispatches before any normal- or low-priority
+/// job; fair-share weighting applies *within* a band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Dispatched before everything else.
+    High,
+    /// The default band.
+    #[default]
+    Normal,
+    /// Dispatched only when no higher band has queued jobs.
+    Low,
+}
+
+/// Per-tenant serving policy, fixed at registration time
+/// ([`crate::Server::add_tenant`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Fair-share weight within the tenant's priority band: a tenant with
+    /// weight 3 receives ~3× the dispatch slots of a weight-1 tenant while
+    /// both are backlogged. Clamped to at least 1.
+    pub weight: u32,
+    /// The tenant's priority band.
+    pub priority: Priority,
+    /// Byte quota on the tenant's admitted-plus-in-flight job footprints
+    /// (`None` = unlimited), enforced through the runtime's
+    /// [`oclsim::ResourceLedger`] at admission time.
+    pub quota_bytes: Option<usize>,
+    /// Backpressure watermark: the maximum number of this tenant's jobs
+    /// that may be admitted but not yet completed. Clamped to at least 1.
+    pub max_pending: usize,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            weight: 1,
+            priority: Priority::Normal,
+            quota_bytes: None,
+            max_pending: 1024,
+        }
+    }
+}
+
+impl TenantConfig {
+    /// A default-policy tenant with the given fair-share weight.
+    pub fn weighted(weight: u32) -> Self {
+        TenantConfig {
+            weight,
+            ..TenantConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_bands_order_high_first() {
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Low);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+}

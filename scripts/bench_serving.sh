@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Multi-tenant serving trajectory: runs the serving_bench harness, which
+# drives the admission scheduler at 1/100/1k/10k concurrent sessions
+# (4 tenants, weights 1-4, 2 simulated devices), coalesced vs uncoalesced,
+# and reports jobs/sec in wall AND virtual time plus p50/p99 virtual job
+# latency, then regenerates BENCH_serving.json at the repository root.
+#
+# The harness itself asserts the serving layer's core guarantees: coalesced
+# and uncoalesced results are bit-identical, coalescing reduces the
+# simulator's kernel-launch count whenever more than one job is in play,
+# and a fixed submission order is deterministic (results and virtual
+# clock) across repetitions.
+#
+# Usage:
+#   scripts/bench_serving.sh            # full run, rewrites BENCH_serving.json
+#   scripts/bench_serving.sh --smoke    # small-N smoke run only (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Preflight: the layout the bench depends on. A rename in the serving
+# subsystem or the harness should fail here with a clear message, not deep
+# inside cargo.
+required_paths=(
+    crates/bench/src/bin/serving_bench.rs
+    crates/serving/src/scheduler.rs
+    crates/serving/src/server.rs
+    crates/serving/tests/serving.rs
+)
+for path in "${required_paths[@]}"; do
+    if [[ ! -e "$path" ]]; then
+        echo "bench_serving.sh: missing expected path: $path" >&2
+        exit 1
+    fi
+done
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    cargo run --release -p skelcl_bench --bin serving_bench -- --smoke --out /tmp/BENCH_serving.json
+else
+    cargo run --release -p skelcl_bench --bin serving_bench -- --out BENCH_serving.json
+fi
