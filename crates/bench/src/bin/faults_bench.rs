@@ -1,0 +1,228 @@
+//! Fault-tolerance benchmark: heat diffusion on the paper's 8-GPU lab
+//! cluster under deterministic node failure.
+//!
+//! Runs an iterative 5-point heat stencil on the `dopencl` lab cluster
+//! (Section IV-C / V: 4 + 2 + 2 GPUs across three servers) in four
+//! configurations — {fault-free, one dual-GPU node lost mid-run} ×
+//! {checkpointing off, checkpoint every 2 sweeps} — and emits
+//! `BENCH_faults.json` with virtual runtime (the simulator's cost model),
+//! wall time, recovery counters and checkpoint traffic, so future PRs have
+//! a trajectory for the *cost of resilience*: what checkpointing charges on
+//! the fault-free path and how much replay it saves under failure.
+//!
+//! The harness also asserts the recovery contract: every faulted run's
+//! result is bit-identical to the fault-free run (the stencil is
+//! elementwise, so re-partitioning cannot change bits), and the lost node's
+//! devices are the exact set reported dead.
+//!
+//! Usage:
+//!   cargo run --release -p skelcl_bench --bin faults_bench
+//!   cargo run --release -p skelcl_bench --bin faults_bench -- --smoke
+//!   cargo run --release -p skelcl_bench --bin faults_bench -- --out path.json
+//!
+//! `--smoke` shrinks the image and sweep count so CI can use the binary as
+//! a compile-and-run check (no thresholds).
+
+use std::time::Instant;
+
+use dopencl::{Cluster, ClusterTier};
+use oclsim::FaultTrigger;
+use skelcl::{Boundary, MapOverlap, Matrix};
+
+const HEAT_STEP: &str = r#"
+    float func(float u) {
+        return u + 0.2f * (get(0, -1) + get(0, 1) + get(-1, 0) + get(1, 0) - 4.0f * u);
+    }
+"#;
+
+/// The node whose loss the benchmark injects (2 of the cluster's 8 GPUs).
+const FAILED_NODE: &str = "small-server-1";
+
+fn image(rows: usize, cols: usize) -> Vec<f32> {
+    (0..rows * cols)
+        .map(|i| ((i * 37 + 11) % 251) as f32 * 0.25)
+        .collect()
+}
+
+struct Row {
+    fault: &'static str,
+    checkpoint_every: usize,
+    virtual_ms: f64,
+    wall_s: f64,
+    recoveries: usize,
+    repartitions: usize,
+    replayed_sweeps: usize,
+    checkpoint_kib: f64,
+    result_bits: Vec<u32>,
+}
+
+/// One configuration: `sweeps` heat sweeps on the 8-GPU lab tier, with an
+/// optional node death armed at each of its devices' `fail_at_op`-th op.
+fn run_config(
+    size: usize,
+    sweeps: usize,
+    checkpoint_every: usize,
+    fail_at_op: Option<usize>,
+) -> Row {
+    let tier = ClusterTier::launch_gpus(&Cluster::lab_cluster());
+    let rt = tier.runtime().clone();
+    if let Some(op) = fail_at_op {
+        let armed = tier.fail_node(FAILED_NODE, FaultTrigger::AtOpCount(op));
+        assert_eq!(armed, 2, "the failed node holds two GPUs");
+    }
+    let heat = MapOverlap::<f32, f32>::from_source(HEAT_STEP)
+        .with_halo(1)
+        .with_boundary(Boundary::Constant(0.0));
+    let m = Matrix::from_vec(&rt, size, size, image(size, size)).expect("square image");
+
+    let t0 = rt.now();
+    let wall = Instant::now();
+    let out = heat
+        .run(&m)
+        .checkpoint_every(checkpoint_every)
+        .run_iter(sweeps)
+        .expect("the run recovers (or is fault-free)");
+    let virtual_ms = (rt.finish_all() - t0).as_nanos() as f64 / 1.0e6;
+    let wall_s = wall.elapsed().as_secs_f64();
+    let result = out.to_vec().expect("download survives recovery");
+
+    if fail_at_op.is_some() {
+        let mut lost = rt.lost_devices();
+        lost.sort_unstable();
+        assert_eq!(
+            lost,
+            tier.devices_of(FAILED_NODE),
+            "exactly the failed node's devices are dead"
+        );
+    } else {
+        assert!(rt.lost_devices().is_empty());
+    }
+
+    let trace = rt.exec_trace();
+    Row {
+        fault: if fail_at_op.is_some() {
+            "node_loss"
+        } else {
+            "none"
+        },
+        checkpoint_every,
+        virtual_ms,
+        wall_s,
+        recoveries: trace.recoveries,
+        repartitions: trace.repartitions,
+        replayed_sweeps: trace.replayed_launches,
+        checkpoint_kib: trace.checkpoint_bytes as f64 / 1024.0,
+        result_bits: result.iter().map(|x| x.to_bits()).collect(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_faults.json".to_string());
+
+    let size = if smoke { 48 } else { 256 };
+    let sweeps = if smoke { 6 } else { 16 };
+    // Mid-run: each sweep costs each device a handful of ops (halo
+    // exchanges + kernel), so this lands well inside the sweep loop.
+    let fail_at_op = if smoke { 8 } else { 40 };
+
+    let configs: [(Option<usize>, usize); 4] = [
+        (None, 0),
+        (None, 2),
+        (Some(fail_at_op), 0),
+        (Some(fail_at_op), 2),
+    ];
+    let mut rows = Vec::new();
+    for (fault, every) in configs {
+        rows.push(run_config(size, sweeps, every, fault));
+    }
+
+    // Recovery contract: all four configurations produce the same bits.
+    let baseline = rows[0].result_bits.clone();
+    for row in &rows[1..] {
+        assert_eq!(
+            row.result_bits, baseline,
+            "fault={} checkpoint_every={} diverged from the fault-free result",
+            row.fault, row.checkpoint_every
+        );
+    }
+    for row in &rows {
+        if row.fault == "node_loss" {
+            assert!(row.recoveries >= 1, "the node loss forced a recovery");
+        }
+    }
+    // Checkpoints bound the replay: the checkpointed faulted run replays no
+    // more sweeps than the restart-from-scratch run.
+    let replay_without = rows[2].replayed_sweeps;
+    let replay_with = rows[3].replayed_sweeps;
+    assert!(
+        replay_with <= replay_without,
+        "checkpointing must not increase replay ({replay_with} > {replay_without})"
+    );
+
+    println!(
+        "heat diffusion, {size}x{size}, {sweeps} sweeps, 8-GPU lab cluster \
+         (node loss = {FAILED_NODE} at op {fail_at_op}):"
+    );
+    println!(
+        "{:<10} {:>16} {:>12} {:>9} {:>11} {:>13} {:>15} {:>15}",
+        "fault",
+        "checkpoint_every",
+        "virtual_ms",
+        "wall_s",
+        "recoveries",
+        "repartitions",
+        "replayed_sweeps",
+        "checkpoint_kib"
+    );
+    for row in &rows {
+        println!(
+            "{:<10} {:>16} {:>12.3} {:>9.4} {:>11} {:>13} {:>15} {:>15.1}",
+            row.fault,
+            row.checkpoint_every,
+            row.virtual_ms,
+            row.wall_s,
+            row.recoveries,
+            row.repartitions,
+            row.replayed_sweeps,
+            row.checkpoint_kib
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"faults\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"workload\": \"heat_diffusion\",\n");
+    json.push_str("  \"cluster\": \"lab_cluster_gpus\",\n");
+    json.push_str(&format!("  \"image\": [{size}, {size}],\n"));
+    json.push_str(&format!("  \"sweeps\": {sweeps},\n"));
+    json.push_str(&format!("  \"failed_node\": \"{FAILED_NODE}\",\n"));
+    json.push_str(&format!("  \"fail_at_op\": {fail_at_op},\n"));
+    json.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"fault\": \"{}\", \"checkpoint_every\": {}, \"virtual_ms\": {:.6}, \
+             \"wall_s\": {:.6}, \"recoveries\": {}, \"repartitions\": {}, \
+             \"replayed_sweeps\": {}, \"checkpoint_kib\": {:.3}}}{}\n",
+            row.fault,
+            row.checkpoint_every,
+            row.virtual_ms,
+            row.wall_s,
+            row.recoveries,
+            row.repartitions,
+            row.replayed_sweeps,
+            row.checkpoint_kib,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

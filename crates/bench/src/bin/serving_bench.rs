@@ -69,6 +69,7 @@ fn run_scale(sessions: usize, coalescing: bool, len: usize) -> ScaleResult {
             coalescing,
             coalesce_cap: 64,
             max_queue_depth: 1024,
+            ..ServerConfig::default()
         },
     );
     for (i, tenant) in TENANTS.iter().enumerate() {

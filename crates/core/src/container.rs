@@ -283,7 +283,13 @@ impl<T: Pod, D: Partitioning> Storage<T, D> {
             (true, true) => Residence::Shared,
             (true, false) => Residence::HostOnly,
             (false, true) => Residence::DevicesOnly,
-            (false, false) => unreachable!("container lost both copies"),
+            // By construction one side is always valid; if a corrupted state
+            // ever violates that, report the host side rather than panicking
+            // on a runtime path.
+            (false, false) => {
+                debug_assert!(false, "container lost both copies");
+                Residence::HostOnly
+            }
         }
     }
 
@@ -303,9 +309,11 @@ impl<T: Pod, D: Partitioning> Storage<T, D> {
     }
 
     /// The fill constant, for layouts whose padding is policy-filled.
+    /// Fill-edged storages always carry their constant; degrade to the
+    /// all-zero bit pattern rather than panicking on a runtime path.
     fn fill_value(&self) -> T {
-        self.fill
-            .expect("EdgePolicy::Fill storage always carries a fill constant")
+        debug_assert!(self.fill.is_some() || !matches!(self.edge, EdgePolicy::Fill));
+        self.fill.unwrap_or_else(|| vec_uninit_len::<T>(1)[0])
     }
 
     /// Lazy upload: make the data present on the devices under the current
@@ -499,10 +507,11 @@ impl<T: Pod, D: Partitioning> Storage<T, D> {
             if segments.is_empty() {
                 continue;
             }
-            let dst = self.buffers[device]
-                .as_ref()
-                .expect("parts with halo regions hold a buffer")
-                .clone();
+            let dst = self.buffers[device].as_ref().cloned().ok_or_else(|| {
+                SkelError::Internal(format!(
+                    "halo refresh: device {device} part carries halo regions but has no buffer"
+                ))
+            })?;
             for segment in segments {
                 match segment {
                     HaloSegment::Fill { dst_offset, len } => {
@@ -526,7 +535,11 @@ impl<T: Pod, D: Partitioning> Storage<T, D> {
                         if len == 0 {
                             continue;
                         }
-                        let src = self.buffers[owner].as_ref().expect("owners hold a buffer");
+                        let src = self.buffers[owner].as_ref().ok_or_else(|| {
+                            SkelError::Internal(format!(
+                                "halo refresh: owner device {owner} holds no buffer"
+                            ))
+                        })?;
                         let mut staging = vec_uninit_len::<T>(len);
                         self.runtime.queue(owner).enqueue_read_buffer_region(
                             src,
@@ -576,6 +589,20 @@ impl<T: Pod, D: Partitioning> Storage<T, D> {
         self.distribution = distribution;
         self.edge = edge;
         self.fill = fill;
+        Ok(())
+    }
+
+    /// Re-establish a trustworthy device image before a fault-recovery
+    /// replay. A transiently failed transfer never executes, but the
+    /// coherence flags were set when it was *enqueued* — so the storage may
+    /// believe an upload happened that never did. Gather the authoritative
+    /// copy to the host (a no-op when the host is already valid; failed
+    /// commands have no side effects, so device data is intact otherwise)
+    /// and drop device validity, forcing the replay to re-upload.
+    pub(crate) fn refresh_for_replay(&mut self) -> Result<()> {
+        self.download_to_host()?;
+        self.devices_valid = false;
+        self.halos_valid = false;
         Ok(())
     }
 
@@ -771,6 +798,20 @@ pub trait Container<T: Pod>: Clone {
     /// through the container's combine function, and each element ends up
     /// owned by exactly one device.
     fn ensure_disjoint(&self) -> Result<()>;
+
+    /// Re-partition the container's data across the devices by weight (a
+    /// zero weight excludes that device entirely) — the fault-recovery
+    /// layer's path for moving work off lost devices onto the survivors.
+    /// The implied exchange goes through the host like any redistribution,
+    /// so it requires a host-valid (or gatherable) authoritative copy.
+    fn repartition_for_recovery(&self, weights: &[f64]) -> Result<()>;
+
+    /// Make the device image trustworthy again before a fault-recovery
+    /// replay: a transiently failed transfer was recorded by the coherence
+    /// flags when enqueued but never executed. Gathers the authoritative
+    /// copy to the host if needed and invalidates the device copies so the
+    /// replay re-uploads.
+    fn refresh_for_replay(&self) -> Result<()>;
 
     /// Upload lazily (coercing away layouts an element-wise kernel cannot
     /// iterate, such as halo-padded stencil layouts) and return the flat

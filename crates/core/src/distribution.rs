@@ -46,11 +46,7 @@ impl Distribution {
 
     /// Build a weighted block distribution from floating-point weights.
     pub fn block_weighted(weights: &[f64]) -> Distribution {
-        let scaled = weights
-            .iter()
-            .map(|w| (w.max(0.0) * 1000.0).round() as u32)
-            .collect();
-        Distribution::BlockWeighted(scaled)
+        Distribution::BlockWeighted(scale_weights(weights))
     }
 
     /// Whether every device participates in a skeleton over a vector with
@@ -81,6 +77,29 @@ impl Partitioning for Distribution {
 
     fn is_replicated(&self) -> bool {
         matches!(self, Distribution::Copy)
+    }
+}
+
+/// Scale floating-point weights to the fixed-point thousandths stored in
+/// weighted distributions (kept integral so distributions stay `Eq`).
+fn scale_weights(weights: &[f64]) -> Vec<u32> {
+    weights
+        .iter()
+        .map(|w| (w.max(0.0) * 1000.0).round() as u32)
+        .collect()
+}
+
+/// Resolve fixed-point per-device weights to block ranges, falling back to an
+/// even split when the weights sum to zero.
+fn weighted_ranges(len: usize, devices: usize, weights: &[u32]) -> Vec<Range<usize>> {
+    let w: Vec<f64> = (0..devices)
+        .map(|d| weights.get(d).copied().unwrap_or(0) as f64)
+        .collect();
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        Partition::block_ranges(len, &vec![1.0; devices])
+    } else {
+        Partition::block_ranges(len, &w)
     }
 }
 
@@ -135,17 +154,7 @@ impl Partition {
                 .collect(),
             Distribution::Copy => (0..devices).map(|_| 0..len).collect(),
             Distribution::Block => Self::block_ranges(len, &vec![1.0; devices]),
-            Distribution::BlockWeighted(weights) => {
-                let w: Vec<f64> = (0..devices)
-                    .map(|d| weights.get(d).copied().unwrap_or(0) as f64)
-                    .collect();
-                let total: f64 = w.iter().sum();
-                if total <= 0.0 {
-                    Self::block_ranges(len, &vec![1.0; devices])
-                } else {
-                    Self::block_ranges(len, &w)
-                }
-            }
+            Distribution::BlockWeighted(weights) => weighted_ranges(len, devices, weights),
         };
         Partition { ranges, len }
     }
@@ -288,6 +297,20 @@ pub enum MatrixDistribution {
         /// Number of neighbour rows replicated on each side of a part.
         halo_rows: usize,
     },
+    /// Row blocks sized proportionally to the given weights (one weight per
+    /// device, fixed-point thousandths like
+    /// [`Distribution::BlockWeighted`]). The fault-recovery layer uses this
+    /// to re-partition a matrix onto the surviving devices after a device
+    /// loss: lost devices get weight zero and hold no rows.
+    RowBlockWeighted(Vec<u32>),
+    /// [`MatrixDistribution::OverlapBlock`] with weighted row blocks — the
+    /// stencil counterpart of [`MatrixDistribution::RowBlockWeighted`].
+    OverlapBlockWeighted {
+        /// Number of neighbour rows replicated on each side of a part.
+        halo_rows: usize,
+        /// Per-device weights in fixed-point thousandths.
+        weights: Vec<u32>,
+    },
 }
 
 impl MatrixDistribution {
@@ -296,12 +319,37 @@ impl MatrixDistribution {
         MatrixDistribution::RowBlock
     }
 
+    /// Build a weighted row-block distribution from floating-point weights.
+    pub fn row_block_weighted(weights: &[f64]) -> MatrixDistribution {
+        MatrixDistribution::RowBlockWeighted(scale_weights(weights))
+    }
+
+    /// Build a weighted overlap-block distribution from floating-point
+    /// weights.
+    pub fn overlap_block_weighted(halo_rows: usize, weights: &[f64]) -> MatrixDistribution {
+        MatrixDistribution::OverlapBlockWeighted {
+            halo_rows,
+            weights: scale_weights(weights),
+        }
+    }
+
     /// The halo width of the distribution (zero for non-overlapping ones).
     pub fn halo_rows(&self) -> usize {
         match self {
-            MatrixDistribution::OverlapBlock { halo_rows } => *halo_rows,
+            MatrixDistribution::OverlapBlock { halo_rows }
+            | MatrixDistribution::OverlapBlockWeighted { halo_rows, .. } => *halo_rows,
             _ => 0,
         }
+    }
+
+    /// Whether the distribution replicates halo rows around each part
+    /// (either overlap variant).
+    pub fn is_overlap(&self) -> bool {
+        matches!(
+            self,
+            MatrixDistribution::OverlapBlock { .. }
+                | MatrixDistribution::OverlapBlockWeighted { .. }
+        )
     }
 }
 
@@ -391,6 +439,12 @@ impl RowPartition {
                 Partition::block_ranges(rows, &vec![1.0; devices]),
                 *halo_rows,
             ),
+            MatrixDistribution::RowBlockWeighted(weights) => {
+                (weighted_ranges(rows, devices, weights), 0)
+            }
+            MatrixDistribution::OverlapBlockWeighted { halo_rows, weights } => {
+                (weighted_ranges(rows, devices, weights), *halo_rows)
+            }
         };
         RowPartition {
             ranges,
@@ -592,9 +646,18 @@ impl PartLayout for RowPartition {
                     });
                 }
                 Some(g) => {
-                    let owner = self
-                        .row_owner(g)
-                        .expect("every matrix row has an owning device");
+                    // Block layouts cover every row exactly once, so each
+                    // halo row has an owner; if a corrupted layout ever
+                    // violates that, degrade the slot to a policy fill
+                    // instead of panicking on a runtime path.
+                    let Some(owner) = self.row_owner(g) else {
+                        flush(&mut run, &mut segments);
+                        segments.push(HaloSegment::Fill {
+                            dst_offset: slot * cols,
+                            len: cols,
+                        });
+                        continue;
+                    };
                     match &mut run {
                         Some((slot0, src_row0, own, rows))
                             if *own == owner

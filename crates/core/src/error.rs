@@ -37,6 +37,25 @@ pub enum SkelError {
     /// A lazy pipeline plan could not be built or lowered (e.g. a stage uses
     /// a native Rust closure, which cannot be fused into generated source).
     Plan(String),
+    /// An internal invariant was violated on a runtime path. Kept as a typed
+    /// error instead of a panic so waiters and serving layers degrade
+    /// gracefully instead of poisoning locks or deadlocking.
+    Internal(String),
+}
+
+impl SkelError {
+    /// Whether the error is (or wraps) the loss of a device — the permanent
+    /// fault class the recovery layer re-partitions around.
+    pub fn is_device_lost(&self) -> bool {
+        matches!(self, SkelError::Ocl(e) if e.is_device_lost())
+    }
+
+    /// Whether the error originates from deterministic fault injection
+    /// (device loss or a transient transfer/launch fault) and is therefore
+    /// eligible for replay by the recovery layer.
+    pub fn is_injected_fault(&self) -> bool {
+        matches!(self, SkelError::Ocl(e) if e.is_injected_fault())
+    }
 }
 
 impl fmt::Display for SkelError {
@@ -56,6 +75,7 @@ impl fmt::Display for SkelError {
             SkelError::Distribution(msg) => write!(f, "distribution error: {msg}"),
             SkelError::Scheduler(msg) => write!(f, "scheduler error: {msg}"),
             SkelError::Plan(msg) => write!(f, "pipeline plan error: {msg}"),
+            SkelError::Internal(msg) => write!(f, "internal runtime error: {msg}"),
         }
     }
 }

@@ -90,6 +90,7 @@ pub mod fusion;
 pub mod kernelgen;
 pub mod matrix;
 pub mod plan;
+pub(crate) mod recovery;
 pub mod runtime;
 pub mod scheduler;
 pub mod skeletons;

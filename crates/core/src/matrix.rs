@@ -236,13 +236,18 @@ impl<T: Pod> Matrix<T> {
     /// redistribution through the host.
     pub fn set_overlap(&self, halo_rows: usize, boundary: Boundary<T>) -> Result<()> {
         let mut inner = self.inner.lock();
-        let target = MatrixDistribution::OverlapBlock { halo_rows };
         let (edge, fill) = boundary_parts(&boundary);
-        if inner.distribution == target && boundary_eq(&self.boundary_of(&inner), &boundary) {
+        // Either overlap variant with the matching halo width already has
+        // the padded layout; in particular a weighted overlap left behind by
+        // fault recovery must keep its survivor weights rather than being
+        // clobbered back to an even split.
+        let already_overlapped =
+            inner.distribution.is_overlap() && inner.distribution.halo_rows() == halo_rows;
+        if already_overlapped && boundary_eq(&self.boundary_of(&inner), &boundary) {
             return Ok(());
         }
-        if inner.distribution != target {
-            inner.redistribute(target, edge, fill)?;
+        if !already_overlapped {
+            inner.redistribute(MatrixDistribution::OverlapBlock { halo_rows }, edge, fill)?;
         } else {
             // Same layout, different boundary: only the policy-filled edge
             // halos change; a halo refresh re-fills them.
@@ -464,11 +469,32 @@ impl<T: Pod> Container<T> for Matrix<T> {
         Ok(())
     }
 
+    fn repartition_for_recovery(&self, weights: &[f64]) -> Result<()> {
+        let current = self.distribution();
+        let target = if current.is_overlap() {
+            MatrixDistribution::overlap_block_weighted(current.halo_rows(), weights)
+        } else {
+            MatrixDistribution::row_block_weighted(weights)
+        };
+        self.set_distribution(target)
+    }
+
+    fn refresh_for_replay(&self) -> Result<()> {
+        self.inner.lock().refresh_for_replay()
+    }
+
     fn prepare_elementwise(&self) -> Result<(Partition, Vec<Option<Buffer>>)> {
         // Halo-padded parts interleave padding with core data; element-wise
-        // kernels iterate owned elements only, so coerce to plain row blocks.
-        if matches!(self.distribution(), MatrixDistribution::OverlapBlock { .. }) {
-            self.set_distribution(MatrixDistribution::RowBlock)?;
+        // kernels iterate owned elements only, so coerce to plain row blocks
+        // (keeping any recovery weights).
+        match self.distribution() {
+            MatrixDistribution::OverlapBlock { .. } => {
+                self.set_distribution(MatrixDistribution::RowBlock)?;
+            }
+            MatrixDistribution::OverlapBlockWeighted { weights, .. } => {
+                self.set_distribution(MatrixDistribution::RowBlockWeighted(weights))?;
+            }
+            _ => {}
         }
         let mut inner = self.inner.lock();
         inner.ensure_on_devices()?;

@@ -119,6 +119,9 @@ trait ErasedSource: Send + Sync {
     /// The source's elements as raw host bytes (used by job packing, which
     /// lays many jobs' inputs back to back in one device buffer).
     fn src_host_bytes(&self) -> Result<Vec<u8>>;
+    /// Re-establish a trustworthy device image before a fault replay (see
+    /// [`crate::Container::refresh_for_replay`]).
+    fn src_refresh_for_replay(&self) -> Result<()>;
 }
 
 impl<T: Pod> ErasedSource for Vector<T> {
@@ -144,6 +147,10 @@ impl<T: Pod> ErasedSource for Vector<T> {
 
     fn src_host_bytes(&self) -> Result<Vec<u8>> {
         Ok(oclsim::pod::as_bytes(&self.to_vec()?).to_vec())
+    }
+
+    fn src_refresh_for_replay(&self) -> Result<()> {
+        Container::refresh_for_replay(self)
     }
 }
 
@@ -485,6 +492,18 @@ impl PlanGraph {
                 fallback
             }
         }
+    }
+
+    /// Refresh every input source for a fault replay (see
+    /// [`crate::Container::refresh_for_replay`]): gather each source's
+    /// authoritative copy to the host and invalidate its device copies so
+    /// the replay re-uploads instead of trusting a buffer a transiently
+    /// failed transfer never reached.
+    fn refresh_sources(&self) -> Result<()> {
+        for source in &self.sources {
+            source.src_refresh_for_replay()?;
+        }
+        Ok(())
     }
 
     /// The source-to-tip path of stage nodes (source first). Zip side
@@ -1239,6 +1258,16 @@ impl<T: Pod> PlanVec<T> {
         bytes
     }
 
+    /// Re-establish a trustworthy device image of every input source before
+    /// replaying the plan after an injected fault. A transiently failed
+    /// upload is recorded by the coherence flags when *enqueued* but never
+    /// executes, so a replay that skipped this step could compute on a
+    /// buffer the data never reached. Serving-layer retries call this
+    /// before re-queueing a job.
+    pub fn refresh_for_replay(&self) -> Result<()> {
+        self.graph.refresh_sources()
+    }
+
     /// The plan's *coalescing signature*, if it has one: `Ok(Some(_))` when
     /// the whole pipeline is elementwise (a map/zip chain) and therefore
     /// packable into one launch with other plans of the same signature via
@@ -1481,6 +1510,17 @@ impl<T: Pod> PackedLaunch<T> {
                 return Err(e.into());
             }
         };
+        // The packed-output read is non-blocking (`wait_into` joins the
+        // event directly), so it bypasses the blocking-read discipline that
+        // surfaces the queue's deferred error. Inspect the latch explicitly:
+        // a transiently failed packed-input *write* completes its own
+        // (unwaited) handle with the error and latches it here — returning
+        // the data without this check would hand back the zero-filled
+        // buffer the upload never reached.
+        if let Some(e) = queue.take_deferred_error() {
+            release(&self.buffers);
+            return Err(e.into());
+        }
         self.runtime.context().sync_host_to(record.end);
         release(&self.buffers);
         Ok((self.spans.unpack(data), record))
@@ -1553,6 +1593,13 @@ impl<T: DeviceScalar> PlanScalar<T> {
             }
         }
         bytes
+    }
+
+    /// Re-establish a trustworthy device image of every input source before
+    /// replaying the plan after an injected fault (see
+    /// [`PlanVec::refresh_for_replay`]).
+    pub fn refresh_for_replay(&self) -> Result<()> {
+        self.graph.refresh_sources()
     }
 }
 

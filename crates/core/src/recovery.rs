@@ -1,0 +1,93 @@
+//! Replay-based fault recovery for skeleton launches.
+//!
+//! Every data-parallel skeleton (`Map`, `Zip`, `Reduce`, `MapOverlap`) runs
+//! its launch through [`run_recoverable`]. When the attempt fails with an
+//! injected fault ([`crate::SkelError::is_injected_fault`]) and recovery is
+//! enabled on the runtime ([`crate::SkelCl::set_recovery_enabled`]), the
+//! launch is replayed:
+//!
+//! * a **transient** transfer/launch fault is replayed as-is — the failed
+//!   command never executed, so no state was corrupted;
+//! * a **device loss** first re-partitions the launch's input containers
+//!   onto the surviving devices ([`crate::SkelCl::recovery_weights`]) from
+//!   their host-valid (or gatherable) state, then replays.
+//!
+//! If the lost device held the *only* copy of some input part (a
+//! device-resident container with a stale host copy), the re-partition's
+//! gather fails with a typed `DeviceLost` error and recovery degrades
+//! gracefully — the error propagates to the caller instead of producing
+//! wrong data. Iterative stencils add a second line of defence on top of
+//! this: `MapOverlap::run_iter` checkpoints and replays whole sweeps (see
+//! `LaunchConfig::checkpoint_every`).
+//!
+//! **Determinism.** Recovery adds zero virtual-time cost on the fault-free
+//! path: the wrapper only consults fault state *after* an attempt has
+//! failed, so a run with no armed faults is bitwise and virtual-time
+//! identical to a run without the recovery layer.
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::runtime::SkelCl;
+
+/// Retry headroom on top of one attempt per device: transients are one-shot
+/// and each device can die at most once, but coercions during replay (e.g.
+/// distribution unification resurrecting an even split) may need one extra
+/// round to settle.
+const EXTRA_ATTEMPTS: usize = 4;
+
+/// Run `attempt` with replay-based fault recovery.
+///
+/// `refresh` re-establishes a trustworthy device image for the launch's
+/// input containers (a transiently failed transfer is recorded by the
+/// coherence flags when enqueued but never executes — replaying without a
+/// refresh would trust a buffer the upload never reached). `repartition`
+/// moves the inputs onto the surviving devices given per-device weights; it
+/// is only called after a device loss. Bounded by `device_count + 4`
+/// attempts; non-injected errors, exhausted retries and unrecoverable state
+/// all surface the original typed error.
+pub(crate) fn run_recoverable<T>(
+    runtime: &Arc<SkelCl>,
+    refresh: &dyn Fn() -> Result<()>,
+    repartition: &dyn Fn(&[f64]) -> Result<()>,
+    attempt: &mut dyn FnMut() -> Result<T>,
+) -> Result<T> {
+    let max_attempts = runtime.device_count() + EXTRA_ATTEMPTS;
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match attempt() {
+            Ok(value) => {
+                if attempts > 1 {
+                    runtime.note_recovery();
+                }
+                return Ok(value);
+            }
+            Err(e) => {
+                if !runtime.recovery_enabled() || !e.is_injected_fault() || attempts >= max_attempts
+                {
+                    return Err(e);
+                }
+                // Clear deferred errors the failed attempt latched on other
+                // queues so the replay's blocking reads don't surface them
+                // as stale root causes.
+                let _ = runtime.take_deferred_errors();
+                // Graceful degradation: a refresh error means the
+                // authoritative copy is no longer gatherable (e.g. it lived
+                // on the lost device).
+                refresh()?;
+                if e.is_device_lost() || !runtime.lost_devices().is_empty() {
+                    let Some(weights) = runtime.recovery_weights() else {
+                        // No device survives: nothing to replay onto.
+                        return Err(e);
+                    };
+                    // Graceful degradation: a repartition error means the
+                    // lost device held the only copy of some input part.
+                    repartition(&weights)?;
+                    runtime.note_repartition();
+                }
+                runtime.note_replayed_launches(1);
+            }
+        }
+    }
+}

@@ -4,8 +4,10 @@
 //! initialises the runtime once, stating which devices to use, and then
 //! creates [`crate::vector::Vector`]s and skeletons against it.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use oclsim::{ApiModel, CommandQueue, Context, DeviceProfile, SimDuration, SimTime, Tier};
 
@@ -49,6 +51,21 @@ pub struct SkelCl {
     /// Bytes of intermediate device storage never allocated thanks to plan
     /// fusion.
     intermediate_bytes_elided: AtomicUsize,
+    /// Node id of each device — devices sharing a node fail together under
+    /// node-level fault injection and are preferred when re-homing a lost
+    /// device's share of the data. Defaults to one node per device.
+    node_topology: Mutex<Vec<usize>>,
+    /// Whether the fault-recovery layer wraps skeleton launches (on by
+    /// default; see [`SkelCl::set_recovery_enabled`]).
+    recovery_enabled: AtomicBool,
+    /// Skeleton launches successfully recovered after an injected fault.
+    recoveries: AtomicUsize,
+    /// Kernel launches replayed by the recovery layer.
+    replayed_launches: AtomicUsize,
+    /// Container re-partitions performed to move work off lost devices.
+    repartitions: AtomicUsize,
+    /// Bytes gathered to the host by iterative-stencil checkpoints.
+    checkpoint_bytes: AtomicUsize,
 }
 
 /// One runtime telemetry snapshot: the library-level view of the execution
@@ -82,6 +99,18 @@ pub struct ExecTrace {
     pub pool_evictions: usize,
     /// Bytes evicted by buffer-pool cap trims.
     pub pool_evicted_bytes: usize,
+    /// Injected faults that actually fired (primary trigger firings only —
+    /// the cascade of failures a lost device produces afterwards is not
+    /// counted again).
+    pub faults_injected: usize,
+    /// Skeleton launches successfully recovered after an injected fault.
+    pub recoveries: usize,
+    /// Kernel launches replayed by the recovery layer.
+    pub replayed_launches: usize,
+    /// Container re-partitions performed to move work off lost devices.
+    pub repartitions: usize,
+    /// Bytes gathered to the host by iterative-stencil checkpoints.
+    pub checkpoint_bytes: usize,
     /// Per-device counters, indexed by device.
     pub devices: Vec<DeviceTrace>,
 }
@@ -204,6 +233,12 @@ impl SkelCl {
             launches_elided: AtomicUsize::new(0),
             intermediate_buffers_elided: AtomicUsize::new(0),
             intermediate_bytes_elided: AtomicUsize::new(0),
+            node_topology: Mutex::new((0..devices).collect()),
+            recovery_enabled: AtomicBool::new(true),
+            recoveries: AtomicUsize::new(0),
+            replayed_launches: AtomicUsize::new(0),
+            repartitions: AtomicUsize::new(0),
+            checkpoint_bytes: AtomicUsize::new(0),
         })
     }
 
@@ -355,8 +390,117 @@ impl SkelCl {
             intermediate_bytes_elided: self.intermediate_bytes_elided.load(Ordering::Relaxed),
             pool_evictions: self.context.pool_evictions(),
             pool_evicted_bytes: self.context.pool_evicted_bytes(),
+            faults_injected: self.context.faults_injected(),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            replayed_launches: self.replayed_launches.load(Ordering::Relaxed),
+            repartitions: self.repartitions.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             devices,
         }
+    }
+
+    // -----------------------------------------------------------------------
+    // Fault tolerance
+    // -----------------------------------------------------------------------
+
+    /// Declare which node each device lives on (one entry per device).
+    /// Devices on the same node fail together under node-level fault
+    /// injection, and the recovery layer prefers surviving same-node devices
+    /// when re-homing a lost device's share of the data. The default
+    /// topology places every device on its own node. Entries beyond the
+    /// device count are ignored; missing entries keep their default.
+    pub fn set_node_topology(&self, nodes: Vec<usize>) {
+        let mut topo = self.node_topology.lock();
+        for (d, node) in nodes.into_iter().enumerate().take(topo.len()) {
+            topo[d] = node;
+        }
+    }
+
+    /// The node id of each device (see [`SkelCl::set_node_topology`]).
+    pub fn node_topology(&self) -> Vec<usize> {
+        self.node_topology.lock().clone()
+    }
+
+    /// Enable or disable replay-based fault recovery (enabled by default).
+    /// With recovery disabled, injected faults surface directly as typed
+    /// [`crate::SkelError::Ocl`] errors.
+    pub fn set_recovery_enabled(&self, enabled: bool) {
+        self.recovery_enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether replay-based fault recovery is enabled.
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery_enabled.load(Ordering::SeqCst)
+    }
+
+    /// Arm a deterministic fault plan on the runtime's devices (convenience
+    /// passthrough to [`oclsim::Context::inject_faults`]).
+    pub fn inject_faults(&self, plan: &oclsim::FaultPlan) {
+        self.context.inject_faults(plan);
+    }
+
+    /// Devices that have been lost (permanently failed).
+    pub fn lost_devices(&self) -> Vec<usize> {
+        self.context.lost_devices()
+    }
+
+    /// Per-device weights for re-partitioning work onto the surviving
+    /// devices: survivors start at weight 1, lost devices get 0, and each
+    /// lost device's share goes preferentially to surviving devices on the
+    /// same node (split evenly among them). Returns `None` when no device
+    /// survives.
+    pub fn recovery_weights(&self) -> Option<Vec<f64>> {
+        let n = self.device_count();
+        let lost: Vec<bool> = (0..n)
+            .map(|d| {
+                self.context
+                    .device(d)
+                    .map(|dev| dev.is_lost())
+                    .unwrap_or(true)
+            })
+            .collect();
+        if lost.iter().all(|&l| l) {
+            return None;
+        }
+        let topo = self.node_topology.lock().clone();
+        let mut weights: Vec<f64> = lost.iter().map(|&l| if l { 0.0 } else { 1.0 }).collect();
+        for d in 0..n {
+            if !lost[d] {
+                continue;
+            }
+            let peers: Vec<usize> = (0..n).filter(|&p| !lost[p] && topo[p] == topo[d]).collect();
+            if peers.is_empty() {
+                // No same-node survivor: the share spreads evenly across all
+                // survivors through weight normalisation.
+                continue;
+            }
+            let share = 1.0 / peers.len() as f64;
+            for p in peers {
+                weights[p] += share;
+            }
+        }
+        Some(weights)
+    }
+
+    /// Record one successful launch recovery.
+    pub(crate) fn note_recovery(&self) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` kernel launches replayed by the recovery layer.
+    pub(crate) fn note_replayed_launches(&self, n: usize) {
+        self.replayed_launches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one recovery re-partition.
+    pub(crate) fn note_repartition(&self) {
+        self.repartitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` gathered to the host by an iterative-stencil
+    /// checkpoint.
+    pub(crate) fn note_checkpoint_bytes(&self, bytes: usize) {
+        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Drain the deferred (asynchronously latched) error of every queue,

@@ -61,6 +61,12 @@ pub struct LaunchConfig<'a> {
     pub scheduler: Option<&'a StaticScheduler>,
     /// Intermediate results per device for scheduler-aware reductions.
     pub chunks_per_device: usize,
+    /// Checkpoint period of the iterative stencil driver
+    /// (`Launch::run_iter`): every `checkpoint_every` completed sweeps the
+    /// current state is gathered to the host so a device loss that cannot be
+    /// recovered in place replays from the last checkpoint instead of from
+    /// sweep zero. `0` (the default) disables checkpointing.
+    pub checkpoint_every: usize,
 }
 
 impl Default for LaunchConfig<'_> {
@@ -70,6 +76,7 @@ impl Default for LaunchConfig<'_> {
             devices: None,
             scheduler: None,
             chunks_per_device: 1,
+            checkpoint_every: 0,
         }
     }
 }
@@ -149,6 +156,15 @@ impl<'a, S, In: Clone> Launch<'a, S, In> {
     /// scheduler-aware reduction (default 1).
     pub fn chunks(mut self, chunks_per_device: usize) -> Self {
         self.cfg.chunks_per_device = chunks_per_device.max(1);
+        self
+    }
+
+    /// Checkpoint the iterative stencil driver every `sweeps` completed
+    /// sweeps (see [`LaunchConfig::checkpoint_every`]); `0` disables
+    /// checkpointing. Only `run_iter` consults this — single-sweep launches
+    /// recover in place and never need a checkpoint.
+    pub fn checkpoint_every(mut self, sweeps: usize) -> Self {
+        self.cfg.checkpoint_every = sweeps;
         self
     }
 
@@ -332,9 +348,10 @@ impl PreparedCall {
                 })?;
                 kargs.push(KernelArg::Buffer(buffer));
             }
-            kargs.push(KernelArg::Buffer(
-                out_buffers[device].clone().expect("output allocated above"),
-            ));
+            let out_buffer = out_buffers.get(device).cloned().flatten().ok_or_else(|| {
+                SkelError::Internal(format!("no output buffer allocated for device {device}"))
+            })?;
+            kargs.push(KernelArg::Buffer(out_buffer));
             kargs.push(KernelArg::Scalar(Value::Int(n as i32)));
             kargs.extend(self.prepared_args.kernel_args_for(device)?);
             launches.push((device, n, kargs));

@@ -219,19 +219,28 @@ impl<I: Pod, O: Pod> Map<I, O> {
     }
 
     /// The shared execution path behind [`Skeleton::execute`] and the
-    /// `run_into` terminal form, generic over the input container.
+    /// `run_into` terminal form, generic over the input container. Runs
+    /// under replay-based fault recovery (see the `recovery` module).
     fn execute_map<C: Container<I>>(
         &self,
         input: &C,
         cfg: &LaunchConfig<'_>,
         reuse: Option<&C::Rebound<O>>,
     ) -> Result<C::Rebound<O>> {
-        let scheduler_cost = cfg.scheduler.map(|_| self.scheduler_cost());
-        let call = PreparedCall::single(input, cfg, scheduler_cost)?;
-        let kernel = self.resolve_kernel(&call.runtime, &call.prepared_args)?;
-        let out_buffers = call.output_buffers::<O, C::Rebound<O>>(reuse)?;
-        call.launch_elementwise(&kernel, &out_buffers)?;
-        call.finish_output(input, out_buffers, reuse)
+        let runtime = input.runtime();
+        crate::recovery::run_recoverable(
+            &runtime,
+            &|| input.refresh_for_replay(),
+            &|weights| input.repartition_for_recovery(weights),
+            &mut || {
+                let scheduler_cost = cfg.scheduler.map(|_| self.scheduler_cost());
+                let call = PreparedCall::single(input, cfg, scheduler_cost)?;
+                let kernel = self.resolve_kernel(&call.runtime, &call.prepared_args)?;
+                let out_buffers = call.output_buffers::<O, C::Rebound<O>>(reuse)?;
+                call.launch_elementwise(&kernel, &out_buffers)?;
+                call.finish_output(input, out_buffers, reuse)
+            },
+        )
     }
 }
 
@@ -392,7 +401,9 @@ impl<'a, O: Pod> IndexLaunch<'a, O> {
         for device in partition.active_devices() {
             let range = partition.range(device);
             let n = range.len();
-            let output_buffer = out_buffers[device].clone().expect("allocated above");
+            let output_buffer = out_buffers.get(device).cloned().flatten().ok_or_else(|| {
+                SkelError::Internal(format!("no output buffer allocated for device {device}"))
+            })?;
             let mut kargs = vec![
                 oclsim::KernelArg::Buffer(output_buffer),
                 oclsim::KernelArg::Scalar(Value::Int(n as i32)),

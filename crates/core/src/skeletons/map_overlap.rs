@@ -3,7 +3,8 @@
 //! `get(dx, dy)` builtin — the workload class of image filters, PDE solvers
 //! and convolutions.
 //!
-//! Multi-device execution builds on [`MatrixDistribution::OverlapBlock`]:
+//! Multi-device execution builds on
+//! [`crate::distribution::MatrixDistribution::OverlapBlock`]:
 //! each device owns a block of rows and additionally stores `halo` read-only
 //! rows from its neighbours, filled by the configured [`Boundary`] policy at
 //! the matrix edges. A single launch uploads the halo-padded parts and runs
@@ -19,7 +20,8 @@ use parking_lot::Mutex;
 
 use oclsim::{Pod, Value};
 
-use crate::distribution::{Boundary, MatrixDistribution, RowPartition};
+use crate::container::Container;
+use crate::distribution::{Boundary, RowPartition};
 use crate::error::{Result, SkelError};
 use crate::kernelgen;
 use crate::matrix::Matrix;
@@ -141,8 +143,26 @@ impl<O: Pod> MapOverlap<f32, O> {
 
     /// The shared execution path of one stencil sweep. `reuse` is the
     /// ping-pong target of the iterative driver: its halo-padded device
-    /// buffers are written in place instead of allocating fresh ones.
+    /// buffers are written in place instead of allocating fresh ones. Runs
+    /// under replay-based fault recovery (see the `recovery` module); losses
+    /// that cannot be recovered from host-valid state escape to the caller
+    /// (`run_iter` then replays from its last checkpoint).
     fn execute_overlap(
+        &self,
+        input: &Matrix<f32>,
+        cfg: &LaunchConfig<'_>,
+        reuse: Option<&Matrix<O>>,
+    ) -> Result<Matrix<O>> {
+        let runtime = input.runtime();
+        crate::recovery::run_recoverable(
+            &runtime,
+            &|| input.refresh_for_replay(),
+            &|weights| input.repartition_for_recovery(weights),
+            &mut || self.execute_overlap_attempt(input, cfg, reuse),
+        )
+    }
+
+    fn execute_overlap_attempt(
         &self,
         input: &Matrix<f32>,
         cfg: &LaunchConfig<'_>,
@@ -189,7 +209,9 @@ impl<O: Pod> MapOverlap<f32, O> {
             let in_buffer = in_buffers[device].clone().ok_or_else(|| {
                 SkelError::Distribution(format!("input matrix has no buffer on device {device}"))
             })?;
-            let out_buffer = out_buffers[device].clone().expect("allocated above");
+            let out_buffer = out_buffers.get(device).cloned().flatten().ok_or_else(|| {
+                SkelError::Internal(format!("no output buffer allocated for device {device}"))
+            })?;
             let oob = match self.boundary {
                 Boundary::Constant(c) => c,
                 _ => 0.0,
@@ -226,13 +248,15 @@ impl<O: Pod> MapOverlap<f32, O> {
                 out.mark_stencil_output();
                 Ok(out.clone())
             }
+            // The output mirrors the input's actual overlap layout — the
+            // even `OverlapBlock` normally, the weighted variant after a
+            // recovery re-partition — so its declared distribution always
+            // matches the partition the buffers were sized for.
             None => Ok(Matrix::device_resident(
                 &runtime,
                 input.rows(),
                 input.cols(),
-                MatrixDistribution::OverlapBlock {
-                    halo_rows: self.halo,
-                },
+                input.distribution(),
                 self.output_boundary(),
                 out_buffers,
             )),
@@ -296,20 +320,89 @@ impl Launch<'_, MapOverlap<f32, f32>, Matrix<f32>> {
     ///
     /// `run_iter(0)` is an error (an empty launch); `run_iter(1)` is
     /// equivalent to [`Launch::exec`].
+    ///
+    /// # Fault tolerance
+    ///
+    /// Each sweep recovers transient faults and device losses in place when
+    /// the state needed for a replay is host-valid. A loss that strikes while
+    /// the only up-to-date state is device-resident (the common case between
+    /// sweeps) cannot be replayed from the current sweep; with
+    /// [`Launch::checkpoint_every`] set, the driver then rolls back to the
+    /// most recent host-side checkpoint and re-runs the sweeps from there —
+    /// without checkpoints it restarts from the original input. Either way
+    /// the result is bitwise identical to a fault-free run.
     pub fn run_iter(self, sweeps: usize) -> Result<Matrix<f32>> {
         if sweeps == 0 {
             return Err(SkelError::EmptyInput);
         }
+        let runtime = self.input.runtime();
+        let every = self.cfg.checkpoint_every;
+        // Last host-side checkpoint: sweeps completed and the gathered state.
+        let mut checkpoint: Option<(usize, Vec<f32>)> = None;
+        let mut restores = 0usize;
+        let max_restores = runtime.device_count() + 4;
         let mut cur = self.input.clone();
         let mut spare: Option<Matrix<f32>> = None;
-        for sweep in 0..sweeps {
-            let out = self
-                .skeleton
-                .execute_overlap(&cur, &self.cfg, spare.as_ref())?;
-            // The user's input matrix is never recycled as a target; every
-            // internal intermediate is.
-            spare = (sweep > 0).then(|| cur.clone());
-            cur = out;
+        let mut sweep = 0;
+        while sweep < sweeps {
+            // One recoverable step: the sweep itself *and* the checkpoint
+            // gather. A device death striking during the gather's blocking
+            // reads must roll back like a failed sweep, not escape.
+            let step = (|| -> Result<()> {
+                let out = self
+                    .skeleton
+                    .execute_overlap(&cur, &self.cfg, spare.as_ref())?;
+                // The user's input matrix is never recycled as a target;
+                // every internal intermediate is.
+                spare = (sweep > 0).then(|| cur.clone());
+                cur = out;
+                sweep += 1;
+                if every > 0 && sweep % every == 0 && sweep < sweeps {
+                    let data = cur.to_vec()?;
+                    runtime.note_checkpoint_bytes(data.len() * std::mem::size_of::<f32>());
+                    checkpoint = Some((sweep, data));
+                }
+                Ok(())
+            })();
+            match step {
+                Ok(()) => {}
+                Err(e) => {
+                    if !runtime.recovery_enabled()
+                        || !e.is_injected_fault()
+                        || restores >= max_restores
+                    {
+                        return Err(e);
+                    }
+                    restores += 1;
+                    // Drop errors the failed sweep latched on other queues so
+                    // the replay's blocking reads start clean.
+                    let _ = runtime.take_deferred_errors();
+                    // Roll back to the last host-side state: the most recent
+                    // checkpoint, or the original input. The spare ping-pong
+                    // target may hold buffers of a lost device — discard it.
+                    let done = match &checkpoint {
+                        Some((done, data)) => {
+                            cur = Matrix::from_vec(
+                                &runtime,
+                                self.input.rows(),
+                                self.input.cols(),
+                                data.clone(),
+                            )?;
+                            *done
+                        }
+                        None => {
+                            cur = self.input.clone();
+                            0
+                        }
+                    };
+                    runtime.note_replayed_launches(sweep - done);
+                    spare = None;
+                    sweep = done;
+                }
+            }
+        }
+        if restores > 0 {
+            runtime.note_recovery();
         }
         Ok(cur)
     }
@@ -336,6 +429,7 @@ impl Matrix<f32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::distribution::MatrixDistribution;
     use crate::runtime::init_gpus;
 
     const FIVE_POINT_AVG: &str =

@@ -321,8 +321,23 @@ impl<T: DeviceScalar> Reduce<T> {
         }
     }
 
-    /// The plain three-step reduction (Section III-C).
+    /// The plain three-step reduction (Section III-C). Runs under
+    /// replay-based fault recovery (see the `recovery` module).
     fn execute_plain<C: Container<T>>(&self, input: &C, cfg: &LaunchConfig<'_>) -> Result<T> {
+        let runtime = input.runtime();
+        crate::recovery::run_recoverable(
+            &runtime,
+            &|| input.refresh_for_replay(),
+            &|weights| input.repartition_for_recovery(weights),
+            &mut || self.execute_plain_attempt(input, cfg),
+        )
+    }
+
+    fn execute_plain_attempt<C: Container<T>>(
+        &self,
+        input: &C,
+        cfg: &LaunchConfig<'_>,
+    ) -> Result<T> {
         // A replicated input would be folded once per device; reduce visits
         // every element exactly once, so coerce to a disjoint layout first
         // (merging replicas through the container's combine function).
@@ -402,9 +417,23 @@ impl<T: DeviceScalar> Reduce<T> {
         input: &C,
         cfg: &LaunchConfig<'_>,
     ) -> Result<(T, ReducePlan)> {
-        let scheduler = cfg
-            .scheduler
-            .expect("execute_scheduled requires a scheduler");
+        let runtime = input.runtime();
+        crate::recovery::run_recoverable(
+            &runtime,
+            &|| input.refresh_for_replay(),
+            &|weights| input.repartition_for_recovery(weights),
+            &mut || self.execute_scheduled_attempt(input, cfg),
+        )
+    }
+
+    fn execute_scheduled_attempt<C: Container<T>>(
+        &self,
+        input: &C,
+        cfg: &LaunchConfig<'_>,
+    ) -> Result<(T, ReducePlan)> {
+        let scheduler = cfg.scheduler.ok_or_else(|| {
+            SkelError::Internal("scheduled reduce launched without a scheduler".into())
+        })?;
         let chunks_per_device = cfg.chunks_per_device.max(1);
         input.ensure_disjoint()?;
         let call = PreparedCall::single(input, cfg, None)?;

@@ -199,7 +199,10 @@ impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
     }
 
     /// The shared execution path behind [`Skeleton::execute`] and the
-    /// `run_into` terminal form, generic over the input containers.
+    /// `run_into` terminal form, generic over the input containers. Runs
+    /// under replay-based fault recovery (see the `recovery` module); a
+    /// device loss re-partitions both inputs with the same weights so the
+    /// pair stays distribution-unified for the replay.
     fn execute_zip<CA: Container<A>>(
         &self,
         left: &CA,
@@ -207,12 +210,26 @@ impl<A: Pod, B: Pod, O: Pod> Zip<A, B, O> {
         cfg: &LaunchConfig<'_>,
         reuse: Option<&CA::Rebound<O>>,
     ) -> Result<CA::Rebound<O>> {
-        let scheduler_cost = cfg.scheduler.map(|_| self.scheduler_cost());
-        let call = PreparedCall::pair(left, right, cfg, scheduler_cost)?;
-        let kernel = self.resolve_kernel(&call.runtime, &call.prepared_args)?;
-        let out_buffers = call.output_buffers::<O, CA::Rebound<O>>(reuse)?;
-        call.launch_elementwise(&kernel, &out_buffers)?;
-        call.finish_output(left, out_buffers, reuse)
+        let runtime = left.runtime();
+        crate::recovery::run_recoverable(
+            &runtime,
+            &|| {
+                left.refresh_for_replay()?;
+                right.refresh_for_replay()
+            },
+            &|weights| {
+                left.repartition_for_recovery(weights)?;
+                right.repartition_for_recovery(weights)
+            },
+            &mut || {
+                let scheduler_cost = cfg.scheduler.map(|_| self.scheduler_cost());
+                let call = PreparedCall::pair(left, right, cfg, scheduler_cost)?;
+                let kernel = self.resolve_kernel(&call.runtime, &call.prepared_args)?;
+                let out_buffers = call.output_buffers::<O, CA::Rebound<O>>(reuse)?;
+                call.launch_elementwise(&kernel, &out_buffers)?;
+                call.finish_output(left, out_buffers, reuse)
+            },
+        )
     }
 }
 

@@ -320,6 +320,14 @@ impl<T: Pod> Container<T> for Vector<T> {
         Ok(())
     }
 
+    fn repartition_for_recovery(&self, weights: &[f64]) -> Result<()> {
+        self.set_distribution(Distribution::block_weighted(weights))
+    }
+
+    fn refresh_for_replay(&self) -> Result<()> {
+        self.inner.lock().refresh_for_replay()
+    }
+
     fn prepare_elementwise(&self) -> Result<(Partition, Vec<Option<Buffer>>)> {
         self.prepare_on_devices()
     }

@@ -20,10 +20,12 @@
 pub mod cluster;
 pub mod network;
 pub mod node;
+pub mod tier;
 
 pub use cluster::Cluster;
 pub use network::NetworkModel;
 pub use node::Node;
+pub use tier::ClusterTier;
 
 #[cfg(test)]
 mod tests {

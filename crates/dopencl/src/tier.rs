@@ -1,0 +1,165 @@
+//! The live cluster tier: a [`Cluster`] instantiated as a running SkelCL
+//! runtime with node-aware fault tolerance.
+//!
+//! [`Cluster::device_profiles`] only *describes* a distributed system; a
+//! [`ClusterTier`] actually boots one. It initialises a `skelcl` runtime
+//! over the cluster's network-adjusted device profiles and registers the
+//! node topology (which unified device lives on which server) with the
+//! runtime, so the recovery layer prefers re-partitioning work onto the
+//! *surviving devices of the same node* — data moved inside a node never
+//! crosses the interconnect.
+//!
+//! Node failure is the cluster-level fault: [`ClusterTier::fail_node`] arms
+//! a deterministic [`FaultPlan`] that kills **all** devices of one server at
+//! the same virtual trigger, modelling a machine dropping off the network.
+//! The SkelCL recovery layer then replays affected launches on the
+//! remaining nodes.
+
+use std::sync::Arc;
+
+use oclsim::{FaultKind, FaultPlan, FaultSpec, FaultTrigger};
+use skelcl::SkelCl;
+
+use crate::cluster::Cluster;
+
+/// A [`Cluster`] booted into a live SkelCL runtime, with the two-level
+/// (node / device) view the recovery layer uses.
+///
+/// ```
+/// use dopencl::{Cluster, ClusterTier};
+/// use oclsim::FaultTrigger;
+///
+/// let tier = ClusterTier::launch_gpus(&Cluster::lab_cluster());
+/// assert_eq!(tier.runtime().device_count(), 8);
+/// assert_eq!(tier.devices_of("gpu-server").len(), 4);
+/// // Kill one dual-GPU server at the 5th op of each of its devices:
+/// tier.fail_node("small-server-1", FaultTrigger::AtOpCount(5));
+/// ```
+pub struct ClusterTier {
+    runtime: Arc<SkelCl>,
+    /// Unified device index → node index.
+    node_of: Vec<usize>,
+    node_names: Vec<String>,
+}
+
+impl ClusterTier {
+    /// Boot a runtime over **all** devices of the cluster (GPUs and CPUs).
+    pub fn launch(cluster: &Cluster) -> ClusterTier {
+        Self::launch_filtered(cluster, |_| true)
+    }
+
+    /// Boot a runtime over the cluster's GPUs only (the usual SkelCL
+    /// selection; the lab cluster yields 8 devices).
+    pub fn launch_gpus(cluster: &Cluster) -> ClusterTier {
+        Self::launch_filtered(cluster, |p| p.device_type == oclsim::DeviceType::Gpu)
+    }
+
+    fn launch_filtered(
+        cluster: &Cluster,
+        keep: impl Fn(&oclsim::DeviceProfile) -> bool,
+    ) -> ClusterTier {
+        let node_names: Vec<String> = cluster.nodes().iter().map(|n| n.name.clone()).collect();
+        let mut profiles = Vec::new();
+        let mut node_of = Vec::new();
+        for device in cluster.remote_devices() {
+            if !keep(&device.profile) {
+                continue;
+            }
+            let node_index = node_names
+                .iter()
+                .position(|n| *n == device.node)
+                .unwrap_or(0);
+            profiles.push(device.profile);
+            node_of.push(node_index);
+        }
+        let runtime = skelcl::init_profiles(profiles);
+        runtime.set_node_topology(node_of.clone());
+        ClusterTier {
+            runtime,
+            node_of,
+            node_names,
+        }
+    }
+
+    /// The live runtime; pass it to containers and skeletons as usual.
+    pub fn runtime(&self) -> &Arc<SkelCl> {
+        &self.runtime
+    }
+
+    /// Name of the node hosting a unified device.
+    pub fn node_of(&self, device: usize) -> Option<&str> {
+        self.node_of
+            .get(device)
+            .map(|&n| self.node_names[n].as_str())
+    }
+
+    /// The unified device indices living on a node.
+    pub fn devices_of(&self, node: &str) -> Vec<usize> {
+        let Some(node_index) = self.node_names.iter().position(|n| n == node) else {
+            return Vec::new();
+        };
+        (0..self.node_of.len())
+            .filter(|&d| self.node_of[d] == node_index)
+            .collect()
+    }
+
+    /// Arm a **node failure**: every device of `node` is scheduled to die
+    /// ([`FaultKind::DeviceLost`]) at the same deterministic `trigger` —
+    /// `AtVirtualTime` fires on each device's first command at or after that
+    /// virtual instant; `AtOpCount` on each device's n-th op. Returns the
+    /// number of devices armed (0 if the node name is unknown or holds no
+    /// launched devices).
+    pub fn fail_node(&self, node: &str, trigger: FaultTrigger) -> usize {
+        let devices = self.devices_of(node);
+        let mut plan = FaultPlan::new();
+        for &device in &devices {
+            plan = plan.with(FaultSpec {
+                device,
+                trigger,
+                kind: FaultKind::DeviceLost,
+            });
+        }
+        if !plan.is_empty() {
+            self.runtime.inject_faults(&plan);
+        }
+        devices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_cluster_tier_registers_the_node_topology() {
+        let tier = ClusterTier::launch(&Cluster::lab_cluster());
+        assert_eq!(tier.runtime().device_count(), 11);
+        assert_eq!(tier.runtime().node_topology(), tier.node_of);
+        // Tesla S1070 server: 4 GPUs + 1 CPU.
+        assert_eq!(tier.devices_of("gpu-server").len(), 5);
+        assert_eq!(tier.node_of(0), Some("gpu-server"));
+        assert_eq!(tier.node_of(10), Some("small-server-2"));
+        assert_eq!(tier.node_of(11), None);
+    }
+
+    #[test]
+    fn gpu_tier_keeps_node_provenance_after_filtering() {
+        let tier = ClusterTier::launch_gpus(&Cluster::lab_cluster());
+        assert_eq!(tier.runtime().device_count(), 8);
+        assert_eq!(tier.devices_of("gpu-server"), vec![0, 1, 2, 3]);
+        assert_eq!(tier.devices_of("small-server-1"), vec![4, 5]);
+        assert_eq!(tier.devices_of("small-server-2"), vec![6, 7]);
+        assert_eq!(tier.devices_of("no-such-node"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn node_failure_kills_all_its_devices_at_once() {
+        let tier = ClusterTier::launch_gpus(&Cluster::lab_cluster());
+        let armed = tier.fail_node("small-server-1", FaultTrigger::AtOpCount(1));
+        assert_eq!(armed, 2);
+        assert_eq!(
+            tier.fail_node("no-such-node", FaultTrigger::AtOpCount(1)),
+            0
+        );
+    }
+}

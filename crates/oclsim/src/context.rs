@@ -178,6 +178,34 @@ impl Context {
         self.devices.iter().map(|d| d.pool_evicted_bytes()).sum()
     }
 
+    /// Attach a deterministic fault schedule: every [`crate::FaultSpec`] in
+    /// the plan is armed on its target device (specs naming devices outside
+    /// the context are ignored). Plans compose — injecting twice arms both
+    /// sets of triggers. A plan whose triggers never fire costs zero
+    /// virtual time; see [`crate::FaultPlan`] for the fault model.
+    pub fn inject_faults(&self, plan: &crate::fault::FaultPlan) {
+        for spec in plan.specs() {
+            if let Some(device) = self.devices.get(spec.device) {
+                device.arm_fault(*spec);
+            }
+        }
+    }
+
+    /// Total fault triggers that have fired across all devices (primary
+    /// injections only, not the cascade of failures a lost device produces).
+    pub fn faults_injected(&self) -> usize {
+        self.devices.iter().map(|d| d.faults_injected()).sum()
+    }
+
+    /// Indices of devices that have been lost so far.
+    pub fn lost_devices(&self) -> Vec<usize> {
+        self.devices
+            .iter()
+            .filter(|d| d.is_lost())
+            .map(|d| d.id)
+            .collect()
+    }
+
     /// The context's per-tag resource ledger (tenant byte quotas and
     /// launch/transfer counters). Purely an accounting facility: nothing in
     /// the simulator charges it automatically — callers such as the serving

@@ -1,14 +1,16 @@
 //! The simulated device: profile + global-memory allocator.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::buffer::{Buffer, DataKind};
 use crate::error::{OclError, Result};
+use crate::fault::{CommandClass, FaultKind, FaultSpec, FaultTrigger};
 use crate::pod::{self, Pod};
 use crate::profile::{DeviceProfile, DeviceType};
+use crate::time::SimTime;
 
 /// Identifier of a device within a context (its index).
 pub type DeviceId = usize;
@@ -230,6 +232,19 @@ pub struct Device {
     allocated: AtomicUsize,
     next_buffer_id: AtomicU64,
     tiers: TierCounters,
+    /// Armed fault triggers from the context's [`crate::FaultPlan`]
+    /// (shared by every queue of the device).
+    fault_triggers: Mutex<Vec<FaultSpec>>,
+    /// Set once a [`FaultKind::DeviceLost`] trigger fires (or
+    /// [`Device::mark_lost`] is called): the device refuses all further
+    /// commands and allocations.
+    lost: AtomicBool,
+    /// Commands that reached execution on this device, in queue order —
+    /// the op counter [`crate::FaultTrigger::AtOpCount`] fires against.
+    fault_ops: AtomicUsize,
+    /// Fault triggers that have fired on this device (primary injections
+    /// only; follow-on failures of a lost device are not counted).
+    faults_fired: AtomicUsize,
 }
 
 impl Device {
@@ -247,7 +262,88 @@ impl Device {
             allocated: AtomicUsize::new(0),
             next_buffer_id: AtomicU64::new(1),
             tiers: TierCounters::default(),
+            fault_triggers: Mutex::new(Vec::new()),
+            lost: AtomicBool::new(false),
+            fault_ops: AtomicUsize::new(0),
+            faults_fired: AtomicUsize::new(0),
         }
+    }
+
+    /// Arm a fault trigger on this device (normally via
+    /// [`crate::Context::inject_faults`]).
+    pub fn arm_fault(&self, spec: FaultSpec) {
+        self.fault_triggers.lock().push(spec);
+    }
+
+    /// Administratively kill the device right now: every later command and
+    /// allocation fails with [`OclError::DeviceLost`]. Counted as one
+    /// injected fault.
+    pub fn mark_lost(&self) {
+        if !self.lost.swap(true, Ordering::SeqCst) {
+            self.faults_fired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Has the device been lost (by a fired [`FaultKind::DeviceLost`]
+    /// trigger or [`Device::mark_lost`])?
+    pub fn is_lost(&self) -> bool {
+        self.lost.load(Ordering::SeqCst)
+    }
+
+    /// Fault triggers that have fired on this device so far (primary
+    /// injections only — the cascade of failures a lost device produces
+    /// afterwards is not counted).
+    pub fn faults_injected(&self) -> usize {
+        self.faults_fired.load(Ordering::Relaxed)
+    }
+
+    /// Check a command that is about to execute against the device's armed
+    /// fault triggers. Called by the queue worker with the command's
+    /// prospective virtual `start` (deterministic: only the worker advances
+    /// the queue clock) *before* any side effect is applied, so a replayed
+    /// command never executes twice. Bumps the per-device op counter,
+    /// fires every due trigger whose kind matches `class`, and returns the
+    /// injected error if one fired (or the device is already lost).
+    /// Charges no virtual time when nothing fires.
+    pub(crate) fn fault_check(&self, start: SimTime, class: CommandClass) -> Result<()> {
+        let op = self.fault_ops.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut fired_lost = false;
+        let mut fired_transient = false;
+        {
+            let mut armed = self.fault_triggers.lock();
+            if !armed.is_empty() {
+                armed.retain(|spec| {
+                    let due = match spec.trigger {
+                        FaultTrigger::AtOpCount(n) => op >= n,
+                        FaultTrigger::AtVirtualTime(t) => start >= t,
+                    };
+                    if due && spec.kind.matches(class) {
+                        match spec.kind {
+                            FaultKind::DeviceLost => fired_lost = true,
+                            _ => fired_transient = true,
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        if fired_lost {
+            self.faults_fired.fetch_add(1, Ordering::Relaxed);
+            self.lost.store(true, Ordering::SeqCst);
+        }
+        if self.is_lost() {
+            return Err(OclError::DeviceLost { device: self.id });
+        }
+        if fired_transient {
+            self.faults_fired.fetch_add(1, Ordering::Relaxed);
+            return Err(OclError::TransientFault {
+                device: self.id,
+                class,
+            });
+        }
+        Ok(())
     }
 
     /// Record which execution tier handled one DSL kernel launch (called by
@@ -315,6 +411,9 @@ impl Device {
     /// buffer pool: the parked storage is zeroed and revived (under a fresh
     /// id), so steady-state launch loops never touch the allocator.
     pub fn create_buffer<T: Pod>(&self, len: usize) -> Result<Buffer> {
+        if self.is_lost() {
+            return Err(OclError::DeviceLost { device: self.id });
+        }
         let len_bytes = len * std::mem::size_of::<T>();
         let available = self.available_bytes();
         if len_bytes > available {

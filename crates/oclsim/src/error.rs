@@ -55,6 +55,23 @@ pub enum OclError {
     Kernel(KernelError),
     /// A named kernel does not exist in the program.
     NoSuchKernel(String),
+    /// The device has been lost (permanent death injected by a
+    /// [`crate::FaultPlan`] or an administrative kill): the command that
+    /// triggered the loss and every later command or allocation on the
+    /// device fail with this error.
+    DeviceLost {
+        /// Index of the lost device.
+        device: usize,
+    },
+    /// A one-shot injected failure of a single transfer or kernel launch
+    /// (see [`crate::FaultPlan`]); the device stays healthy and a replay
+    /// of the command succeeds.
+    TransientFault {
+        /// Index of the device the fault fired on.
+        device: usize,
+        /// The command class that failed.
+        class: crate::fault::CommandClass,
+    },
     /// A charge against a [`crate::ResourceLedger`] tag would exceed its
     /// byte quota.
     QuotaExceeded {
@@ -101,6 +118,16 @@ impl fmt::Display for OclError {
             OclError::InvalidKernelArg(msg) => write!(f, "invalid kernel argument: {msg}"),
             OclError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             OclError::Kernel(e) => write!(f, "kernel error: {e}"),
+            OclError::DeviceLost { device } => {
+                write!(f, "device {device} has been lost")
+            }
+            OclError::TransientFault { device, class } => {
+                let what = match class {
+                    crate::fault::CommandClass::Transfer => "transfer",
+                    crate::fault::CommandClass::Launch => "kernel launch",
+                };
+                write!(f, "injected transient {what} fault on device {device}")
+            }
             OclError::NoSuchKernel(name) => write!(f, "no kernel named `{name}` in program"),
             OclError::QuotaExceeded {
                 tag,
@@ -112,6 +139,23 @@ impl fmt::Display for OclError {
                 "quota exceeded for `{tag}`: requested {requested} bytes with {used} of {cap} bytes already in use"
             ),
         }
+    }
+}
+
+impl OclError {
+    /// `true` for the permanent device-death error ([`OclError::DeviceLost`]).
+    pub fn is_device_lost(&self) -> bool {
+        matches!(self, OclError::DeviceLost { .. })
+    }
+
+    /// `true` for any injected fault — permanent device loss or a one-shot
+    /// transient failure. Recovery layers use this to distinguish replayable
+    /// faults from genuine program errors.
+    pub fn is_injected_fault(&self) -> bool {
+        matches!(
+            self,
+            OclError::DeviceLost { .. } | OclError::TransientFault { .. }
+        )
     }
 }
 

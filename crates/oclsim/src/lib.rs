@@ -47,6 +47,7 @@ pub mod context;
 pub mod device;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod ledger;
 pub mod platform;
 pub mod pod;
@@ -60,6 +61,7 @@ pub use context::Context;
 pub use device::{BufferData, Device, DeviceId, TierSnapshot};
 pub use error::{OclError, Result};
 pub use event::{CommandKind, Event, EventHandle, EventStatus, EventSummary};
+pub use fault::{CommandClass, FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use ledger::{ResourceLedger, TagUsage};
 pub use platform::{default_platforms, select_gpus, Platform};
 pub use pod::Pod;

@@ -550,6 +550,19 @@ fn worker_loop(
     }
 }
 
+/// The command's prospective virtual start time, computed *before*
+/// execution: `max(queue available-at, queued, deps)`. Deterministic —
+/// only this worker ever advances the queue's `available_at`, so reading
+/// it ahead of `settle` yields exactly the start the settle path will
+/// compute. Armed fault triggers are evaluated against this instant.
+fn prospective_start(shared: &QueueShared, event: &EventHandle, deps_end: SimTime) -> SimTime {
+    shared
+        .available_at
+        .lock()
+        .max(event.queued_at())
+        .max(deps_end)
+}
+
 /// Execute one command against the device and settle its event.
 fn process_command(
     device: &Arc<Device>,
@@ -566,7 +579,10 @@ fn process_command(
                 event,
             } => {
                 let bytes = data.len();
-                let outcome = device.write_buffer_bytes(&buffer, offset_bytes, &data);
+                let start = prospective_start(shared, &event, SimTime::ZERO);
+                let outcome = device
+                    .fault_check(start, crate::fault::CommandClass::Transfer)
+                    .and_then(|()| device.write_buffer_bytes(&buffer, offset_bytes, &data));
                 settle(
                     device,
                     api,
@@ -586,7 +602,10 @@ fn process_command(
                 event,
             } => {
                 let mut payload = vec![0u8; len_bytes];
-                let outcome = device.read_buffer_bytes(&buffer, offset_bytes, &mut payload);
+                let start = prospective_start(shared, &event, SimTime::ZERO);
+                let outcome = device
+                    .fault_check(start, crate::fault::CommandClass::Transfer)
+                    .and_then(|()| device.read_buffer_bytes(&buffer, offset_bytes, &mut payload));
                 settle(
                     device,
                     api,
@@ -608,7 +627,9 @@ fn process_command(
             } => {
                 // Join the wait list (real time) and collect the virtual
                 // lower bound on the start time. A failed dependency fails
-                // this command without executing it.
+                // this command without executing it (and without bumping
+                // the device's fault-op counter — it never reached the
+                // device).
                 let mut deps_end = SimTime::ZERO;
                 let mut dep_error = None;
                 for dep in &deps {
@@ -622,7 +643,12 @@ fn process_command(
                 }
                 let outcome = match dep_error {
                     Some(e) => Err(e),
-                    None => execute_kernel(device, api, &kernel, global_size, &args),
+                    None => {
+                        let start = prospective_start(shared, &event, deps_end);
+                        device
+                            .fault_check(start, crate::fault::CommandClass::Launch)
+                            .and_then(|()| execute_kernel(device, api, &kernel, global_size, &args))
+                    }
                 };
                 settle(
                     device,

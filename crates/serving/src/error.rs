@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use oclsim::OclError;
+use oclsim::{OclError, SimTime};
 use skelcl::SkelError;
 
 /// Errors returned by [`crate::Server`] and [`crate::Session`] operations.
@@ -32,8 +32,31 @@ pub enum ServeError {
     },
     /// The job's result was already claimed from its handle.
     ResultTaken,
+    /// The job was cancelled through [`crate::JobHandle::cancel`] before it
+    /// dispatched; its quota and pending count were released immediately.
+    Cancelled,
+    /// The job's virtual-time deadline passed before it dispatched.
+    DeadlineExceeded {
+        /// The submitting tenant.
+        tenant: String,
+        /// The deadline that passed (virtual time).
+        deadline: SimTime,
+    },
+    /// The job kept failing with injected faults past its retry budget.
+    /// Carries the full fault chain — one entry per failed attempt, oldest
+    /// first — for post-mortem analysis.
+    JobFailed {
+        /// The submitting tenant.
+        tenant: String,
+        /// Total attempts made (1 initial + retries).
+        attempts: usize,
+        /// The error of every failed attempt, oldest first.
+        fault_chain: Vec<String>,
+    },
     /// The job failed inside the SkelCL runtime.
     Skel(SkelError),
+    /// A serving-layer invariant was violated (a bug, not an input error).
+    Internal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -55,7 +78,22 @@ impl fmt::Display for ServeError {
                 "tenant `{tenant}` quota exceeded: job needs {requested} bytes with {used} of {cap} bytes in use"
             ),
             ServeError::ResultTaken => write!(f, "the job result was already taken"),
+            ServeError::Cancelled => write!(f, "the job was cancelled before dispatch"),
+            ServeError::DeadlineExceeded { tenant, deadline } => write!(
+                f,
+                "tenant `{tenant}` job missed its virtual-time deadline ({deadline:?})"
+            ),
+            ServeError::JobFailed {
+                tenant,
+                attempts,
+                fault_chain,
+            } => write!(
+                f,
+                "tenant `{tenant}` job failed after {attempts} attempts: [{}]",
+                fault_chain.join("; ")
+            ),
             ServeError::Skel(e) => write!(f, "job failed: {e}"),
+            ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
         }
     }
 }

@@ -6,7 +6,6 @@ use std::sync::Arc;
 
 use oclsim::SimTime;
 use parking_lot::Mutex;
-use skelcl::SkelError;
 
 use crate::error::{Result, ServeError};
 use crate::scheduler::Core;
@@ -107,6 +106,14 @@ impl<P: Send + 'static> JobHandle<P> {
         self.slot.is_done()
     }
 
+    /// Cancel the job if it is still queued: its quota and pending count
+    /// are released immediately and [`JobHandle::wait`] returns
+    /// [`ServeError::Cancelled`]. Returns false once the job has dispatched
+    /// (it then runs to completion) or already finished.
+    pub fn cancel(&self) -> bool {
+        self.core.cancel(&self.slot)
+    }
+
     /// Wait for the job: drives the scheduler (dispatching queued batches
     /// and resolving in-flight launches in deterministic order) until this
     /// job's slot is resolved, then returns the payload and its report.
@@ -117,16 +124,14 @@ impl<P: Send + 'static> JobHandle<P> {
         match self.slot.take() {
             Some(Ok((payload, report))) => {
                 let payload = payload.downcast::<P>().map_err(|_| {
-                    ServeError::Skel(SkelError::Scheduler(
-                        "job payload type does not match its handle".into(),
-                    ))
+                    ServeError::Internal("job payload type does not match its handle".into())
                 })?;
                 Ok((*payload, report))
             }
             Some(Err(e)) => Err(e),
-            None => Err(ServeError::Skel(SkelError::Scheduler(
+            None => Err(ServeError::Internal(
                 "scheduler drained but the job is still pending".into(),
-            ))),
+            )),
         }
     }
 }

@@ -47,5 +47,6 @@ mod tenant;
 
 pub use error::{Result, ServeError};
 pub use job::{JobHandle, JobReport};
+pub use scheduler::JobOptions;
 pub use server::{Server, ServerConfig, ServingTrace, Session};
 pub use tenant::{Priority, TenantConfig};

@@ -23,7 +23,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use oclsim::SimTime;
+use oclsim::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use skelcl::{DeviceScalar, PlanScalar, PlanVec, SkelCl, SkelError};
 
@@ -34,6 +34,37 @@ use crate::tenant::{Priority, TenantConfig};
 
 /// Fixed-point scale of the fair-queuing virtual clock.
 const WFQ_SCALE: u128 = 1 << 20;
+
+/// Per-job submission options (the `*_with` submit forms).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobOptions {
+    /// Absolute virtual-time deadline: a job still *queued* when the host's
+    /// virtual clock passes this instant fails with
+    /// [`ServeError::DeadlineExceeded`], releasing its quota and pending
+    /// count immediately. Jobs already dispatched run to completion.
+    pub deadline: Option<SimTime>,
+    /// Override of the server-wide retry budget
+    /// (`ServerConfig::max_retries`) for this job.
+    pub max_retries: Option<usize>,
+}
+
+impl JobOptions {
+    /// Options with a virtual-time deadline.
+    pub fn with_deadline(deadline: SimTime) -> JobOptions {
+        JobOptions {
+            deadline: Some(deadline),
+            ..JobOptions::default()
+        }
+    }
+
+    /// Options with a per-job retry budget.
+    pub fn with_max_retries(max_retries: usize) -> JobOptions {
+        JobOptions {
+            max_retries: Some(max_retries),
+            ..JobOptions::default()
+        }
+    }
+}
 
 /// Completion counters shared with in-flight resolution closures (which run
 /// while the core lock is held and therefore cannot re-enter the state).
@@ -70,17 +101,13 @@ impl BatchMember {
         self.slot.complete(payload, report);
         counters.completed.fetch_add(1, Ordering::Relaxed);
     }
-
-    fn finish_err(self, runtime: &Arc<SkelCl>, error: ServeError, counters: &Counters) {
-        runtime
-            .context()
-            .ledger()
-            .credit(&self.tenant, self.footprint);
-        self.pending.fetch_sub(1, Ordering::Relaxed);
-        self.slot.fail(error);
-        counters.failed.fetch_add(1, Ordering::Relaxed);
-    }
 }
+
+/// Outcome of resolving one in-flight packed launch: `Ok` means every
+/// member was finished; `Err` hands the error and the *unfinished* members
+/// back to the core, which decides between retry (re-queueing the retained
+/// jobs, quota kept charged) and terminal failure (quota credited).
+type ResolveOutcome = std::result::Result<(), (ServeError, Vec<BatchMember>)>;
 
 /// Type-erased view of a coalescible (all-elementwise) vector job.
 trait ErasedPackable: Send {
@@ -97,7 +124,7 @@ trait ErasedPackable: Send {
         members: Vec<BatchMember>,
         runtime: Arc<SkelCl>,
         counters: Counters,
-    ) -> std::result::Result<Box<dyn FnOnce() + Send>, SkelError>;
+    ) -> std::result::Result<Box<dyn FnOnce() -> ResolveOutcome + Send>, SkelError>;
 }
 
 struct TypedPackable<T: DeviceScalar> {
@@ -116,38 +143,39 @@ impl<T: DeviceScalar> ErasedPackable for TypedPackable<T> {
         members: Vec<BatchMember>,
         runtime: Arc<SkelCl>,
         counters: Counters,
-    ) -> std::result::Result<Box<dyn FnOnce() + Send>, SkelError> {
-        let plans: Vec<&PlanVec<T>> = peers
-            .iter()
-            .map(|p| {
-                p.plan_any()
-                    .downcast_ref::<PlanVec<T>>()
-                    .expect("equal signatures imply equal element types")
-            })
-            .collect();
+    ) -> std::result::Result<Box<dyn FnOnce() -> ResolveOutcome + Send>, SkelError> {
+        let mut plans: Vec<&PlanVec<T>> = Vec::with_capacity(peers.len());
+        for peer in peers {
+            let plan = peer
+                .plan_any()
+                .downcast_ref::<PlanVec<T>>()
+                .ok_or_else(|| {
+                    SkelError::Scheduler(
+                        "coalesced peer's element type does not match the batch leader".into(),
+                    )
+                })?;
+            plans.push(plan);
+        }
         let packed = PlanVec::pack_jobs(&plans, device)?;
         Ok(Box::new(move || match packed.wait() {
             Ok((outputs, event)) => {
                 for (member, out) in members.into_iter().zip(outputs) {
                     member.finish_ok(&runtime, Box::new(out), event.end, &counters);
                 }
+                Ok(())
             }
-            Err(e) => {
-                let error = ServeError::from(e);
-                for member in members {
-                    member.finish_err(&runtime, error.clone(), &counters);
-                }
-            }
+            Err(e) => Err((ServeError::from(e), members)),
         }))
     }
 }
 
-/// How a queued job executes at dispatch.
+/// How a queued job executes at dispatch. Both forms are re-runnable, so a
+/// job that fails with an injected fault can be replayed after backoff.
 enum JobWork {
     /// Coalescible elementwise job: joins a packed launch.
     Packable(Box<dyn ErasedPackable>),
     /// Everything else: runs through the plan executor synchronously.
-    Opaque(Box<dyn FnOnce() -> std::result::Result<Box<dyn Any + Send>, SkelError> + Send>),
+    Opaque(Box<dyn Fn() -> std::result::Result<Box<dyn Any + Send>, SkelError> + Send>),
 }
 
 /// One admitted, not-yet-dispatched job.
@@ -160,20 +188,46 @@ struct QueuedJob {
     signature: Option<String>,
     footprint: usize,
     submit_virt: SimTime,
+    /// Virtual-time release of the next attempt (backoff after a fault);
+    /// the job is not dispatchable before this instant.
+    not_before: SimTime,
+    /// Absolute virtual-time deadline while queued, if any.
+    deadline: Option<SimTime>,
+    /// Replays left before the job fails terminally.
+    retries_left: usize,
+    /// Errors of the failed attempts so far, oldest first.
+    fault_chain: Vec<String>,
     slot: Arc<JobSlot>,
     pending: Arc<AtomicUsize>,
     work: JobWork,
+    /// Re-establishes a trustworthy device image of the job's input
+    /// containers before a replay (see [`PlanVec::refresh_for_replay`]).
+    refresh: Box<dyn Fn() -> std::result::Result<(), SkelError> + Send>,
 }
 
 impl QueuedJob {
     fn sort_key(&self) -> (Priority, u128, u64) {
         (self.band, self.tag, self.seq)
     }
+
+    /// Terminally fail the job: credit its quota, release its pending
+    /// count and resolve its slot.
+    fn fail_now(self, runtime: &Arc<SkelCl>, error: ServeError, counters: &Counters) {
+        runtime
+            .context()
+            .ledger()
+            .credit(&self.tenant, self.footprint);
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+        self.slot.fail(error);
+        counters.failed.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
-/// A dispatched packed launch awaiting resolution.
+/// A dispatched packed launch awaiting resolution. The queued jobs are
+/// retained so a fault-failed batch can be re-queued for replay.
 struct InFlight {
-    resolve: Box<dyn FnOnce() + Send>,
+    resolve: Box<dyn FnOnce() -> ResolveOutcome + Send>,
+    jobs: Vec<QueuedJob>,
 }
 
 struct TenantState {
@@ -195,6 +249,9 @@ pub(crate) struct Stats {
     pub(crate) max_queue_depth_seen: usize,
     pub(crate) dispatch_tenants: Vec<String>,
     pub(crate) batch_sizes: Vec<usize>,
+    pub(crate) retries: usize,
+    pub(crate) cancelled: usize,
+    pub(crate) deadline_failures: usize,
 }
 
 struct CoreState {
@@ -271,6 +328,7 @@ impl Core {
         self: &Arc<Self>,
         tenant: &str,
         plan: &PlanVec<T>,
+        options: JobOptions,
     ) -> Result<JobHandle<Vec<T>>> {
         let signature = plan.coalesce_signature().map_err(ServeError::from)?;
         let footprint = plan.footprint_bytes();
@@ -282,7 +340,11 @@ impl Core {
                 plan.collect().map(|v| Box::new(v) as Box<dyn Any + Send>)
             }))
         };
-        let slot = self.admit(tenant, signature, footprint, work)?;
+        let refresh = {
+            let plan = plan.clone();
+            Box::new(move || plan.refresh_for_replay())
+        };
+        let slot = self.admit(tenant, signature, footprint, work, refresh, options)?;
         Ok(JobHandle {
             slot,
             core: self.clone(),
@@ -295,13 +357,20 @@ impl Core {
         self: &Arc<Self>,
         tenant: &str,
         plan: &PlanScalar<T>,
+        options: JobOptions,
     ) -> Result<JobHandle<T>> {
         let footprint = plan.footprint_bytes();
-        let plan = plan.clone();
-        let work = JobWork::Opaque(Box::new(move || {
-            plan.scalar().map(|v| Box::new(v) as Box<dyn Any + Send>)
-        }));
-        let slot = self.admit(tenant, None, footprint, work)?;
+        let work = {
+            let plan = plan.clone();
+            JobWork::Opaque(Box::new(move || {
+                plan.scalar().map(|v| Box::new(v) as Box<dyn Any + Send>)
+            }))
+        };
+        let refresh = {
+            let plan = plan.clone();
+            Box::new(move || plan.refresh_for_replay())
+        };
+        let slot = self.admit(tenant, None, footprint, work, refresh, options)?;
         Ok(JobHandle {
             slot,
             core: self.clone(),
@@ -315,6 +384,8 @@ impl Core {
         signature: Option<String>,
         footprint: usize,
         work: JobWork,
+        refresh: Box<dyn Fn() -> std::result::Result<(), SkelError> + Send>,
+        options: JobOptions,
     ) -> Result<Arc<JobSlot>> {
         let mut state = self.state.lock();
         if state.shutting_down {
@@ -349,6 +420,7 @@ impl Core {
         let id = state.next_job;
         state.next_job += 1;
         let slot = JobSlot::new();
+        let submit_virt = self.runtime.now();
         state.queue.push(QueuedJob {
             id,
             tenant: tenant.to_string(),
@@ -357,10 +429,15 @@ impl Core {
             seq: id,
             signature: signature.clone(),
             footprint,
-            submit_virt: self.runtime.now(),
+            submit_virt,
+            not_before: submit_virt,
+            deadline: options.deadline,
+            retries_left: options.max_retries.unwrap_or(self.config.max_retries),
+            fault_chain: Vec::new(),
             slot: slot.clone(),
             pending,
             work,
+            refresh,
         });
         state.stats.jobs_submitted += 1;
         let depth = state.queue.len();
@@ -381,28 +458,63 @@ impl Core {
     }
 
     /// The device whose command queue is least loaded in virtual time
-    /// (ties broken toward the lowest index, for determinism).
+    /// (ties broken toward the lowest index, for determinism). Lost devices
+    /// are skipped so replayed batches land on survivors.
     fn pick_device(&self) -> usize {
+        let lost = self.runtime.lost_devices();
         (0..self.runtime.device_count())
+            .filter(|d| !lost.contains(d))
             .min_by_key(|&d| (self.runtime.queue(d).available_at(), d))
             .unwrap_or(0)
     }
 
+    /// Terminally fail every queued job whose virtual-time deadline has
+    /// passed, releasing quota and pending counts immediately.
+    fn sweep_deadlines_locked(&self, state: &mut CoreState) {
+        let now = self.runtime.now();
+        let mut kept = Vec::with_capacity(state.queue.len());
+        for job in std::mem::take(&mut state.queue) {
+            match job.deadline {
+                Some(deadline) if now > deadline => {
+                    state.stats.deadline_failures += 1;
+                    let error = ServeError::DeadlineExceeded {
+                        tenant: job.tenant.clone(),
+                        deadline,
+                    };
+                    job.fail_now(&self.runtime, error, &self.counters);
+                }
+                _ => kept.push(job),
+            }
+        }
+        state.queue = kept;
+    }
+
     /// Dispatch the best queued batch, if any. Packed launches go in
     /// flight (resolved later, in dispatch order); opaque jobs complete
-    /// before this returns.
+    /// before this returns. Jobs backing off after a fault (`not_before`
+    /// in the virtual future) are not eligible; the drain loop advances
+    /// the clock when only those remain.
     fn dispatch_one_locked(&self, state: &mut CoreState) -> bool {
+        self.sweep_deadlines_locked(state);
         if state.queue.is_empty() {
             return false;
         }
-        let leader_idx = (0..state.queue.len())
+        let now = self.runtime.now();
+        let eligible = |job: &QueuedJob| job.not_before <= now;
+        let Some(leader_idx) = (0..state.queue.len())
+            .filter(|&i| eligible(&state.queue[i]))
             .min_by_key(|&i| state.queue[i].sort_key())
-            .expect("queue is non-empty");
+        else {
+            return false;
+        };
         let leader_sig = state.queue[leader_idx].signature.clone();
         let batch_indices: Vec<usize> = match (&leader_sig, self.config.coalescing) {
             (Some(sig), true) => {
                 let mut idxs: Vec<usize> = (0..state.queue.len())
-                    .filter(|&i| state.queue[i].signature.as_deref() == Some(sig.as_str()))
+                    .filter(|&i| {
+                        eligible(&state.queue[i])
+                            && state.queue[i].signature.as_deref() == Some(sig.as_str())
+                    })
                     .collect();
                 idxs.sort_by_key(|&i| state.queue[i].sort_key());
                 idxs.truncate(self.config.coalesce_cap.max(1));
@@ -460,30 +572,33 @@ impl Core {
                         },
                     })
                     .collect();
-                let packables: Vec<&dyn ErasedPackable> = batch
-                    .iter()
-                    .map(|j| match &j.work {
-                        JobWork::Packable(p) => p.as_ref(),
-                        JobWork::Opaque(_) => {
-                            unreachable!("a signature match implies a packable job")
-                        }
-                    })
-                    .collect();
-                match packables[0].launch(
-                    &packables,
-                    device,
-                    members,
-                    self.runtime.clone(),
-                    self.counters.clone(),
-                ) {
-                    Ok(resolve) => state.inflight.push(InFlight { resolve }),
+                let launched = {
+                    let packables: Vec<&dyn ErasedPackable> = batch
+                        .iter()
+                        .map(|j| match &j.work {
+                            JobWork::Packable(p) => p.as_ref(),
+                            JobWork::Opaque(_) => {
+                                unreachable!("a signature match implies a packable job")
+                            }
+                        })
+                        .collect();
+                    packables[0].launch(
+                        &packables,
+                        device,
+                        members,
+                        self.runtime.clone(),
+                        self.counters.clone(),
+                    )
+                };
+                match launched {
+                    Ok(resolve) => state.inflight.push(InFlight {
+                        resolve,
+                        jobs: batch,
+                    }),
                     Err(e) => {
                         let error = ServeError::from(e);
-                        for job in &batch {
-                            ledger_ctx.credit(&job.tenant, job.footprint);
-                            job.pending.fetch_sub(1, Ordering::Relaxed);
-                            job.slot.fail(error.clone());
-                            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        for job in batch {
+                            self.settle_failed_job(state, job, error.clone());
                         }
                     }
                 }
@@ -494,11 +609,11 @@ impl Core {
                     .into_iter()
                     .next()
                     .expect("opaque batches hold one job");
-                let run = match job.work {
-                    JobWork::Opaque(run) => run,
+                let outcome = match &job.work {
+                    JobWork::Opaque(run) => run(),
                     JobWork::Packable(_) => unreachable!("matched opaque above"),
                 };
-                match run() {
+                match outcome {
                     Ok(payload) => {
                         ledger_ctx.credit(&job.tenant, job.footprint);
                         job.pending.fetch_sub(1, Ordering::Relaxed);
@@ -513,15 +628,104 @@ impl Core {
                         job.slot.complete(payload, report);
                         self.counters.completed.fetch_add(1, Ordering::Relaxed);
                     }
-                    Err(e) => {
-                        ledger_ctx.credit(&job.tenant, job.footprint);
-                        job.pending.fetch_sub(1, Ordering::Relaxed);
-                        job.slot.fail(ServeError::from(e));
-                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
-                    }
+                    Err(e) => self.settle_failed_job(state, job, ServeError::from(e)),
                 }
             }
         }
+        true
+    }
+
+    /// Decide between replay and terminal failure for a job whose attempt
+    /// failed with `error`. Injected faults with retry budget left re-queue
+    /// the job — quota stays charged across replays, so the ledger never
+    /// double-charges — with an exponential virtual-time backoff; injected
+    /// faults past the budget fail with [`ServeError::JobFailed`] carrying
+    /// the whole fault chain; everything else passes through unchanged.
+    fn settle_failed_job(&self, state: &mut CoreState, mut job: QueuedJob, error: ServeError) {
+        // Drop fault records the failed attempt parked on the runtime so
+        // they cannot leak into the replay (or an unrelated job).
+        let _ = self.runtime.take_deferred_errors();
+        let injected = matches!(&error, ServeError::Skel(e) if e.is_injected_fault());
+        if injected && job.retries_left > 0 {
+            // A transiently failed upload was recorded by the coherence
+            // flags when enqueued but never executed; refresh the inputs so
+            // the replay re-uploads instead of trusting a stale buffer. If
+            // the authoritative copy itself is gone (it lived on a lost
+            // device), degrade gracefully to a typed terminal failure.
+            if let Err(refresh_err) = (job.refresh)() {
+                job.fail_now(&self.runtime, ServeError::Skel(refresh_err), &self.counters);
+                return;
+            }
+            job.retries_left -= 1;
+            job.fault_chain.push(error.to_string());
+            let attempts = job.fault_chain.len() as u64;
+            job.not_before =
+                self.runtime.now() + SimDuration(self.config.retry_backoff.0.max(1) * attempts);
+            state.stats.retries += 1;
+            state.queue.push(job);
+        } else if injected {
+            job.fault_chain.push(error.to_string());
+            let terminal = ServeError::JobFailed {
+                tenant: job.tenant.clone(),
+                attempts: job.fault_chain.len(),
+                fault_chain: std::mem::take(&mut job.fault_chain),
+            };
+            job.fail_now(&self.runtime, terminal, &self.counters);
+        } else {
+            job.fail_now(&self.runtime, error, &self.counters);
+        }
+    }
+
+    /// Resolve one in-flight packed launch: on success the members finished
+    /// themselves inside the closure; on failure every retained job goes
+    /// through the retry-or-fail decision.
+    fn settle_resolved(&self, state: &mut CoreState, inflight: InFlight) {
+        let InFlight { resolve, jobs } = inflight;
+        match resolve() {
+            Ok(()) => {}
+            Err((error, members)) => {
+                // The members hold no accounting of their own — quota and
+                // pending counts are settled through the retained jobs.
+                drop(members);
+                for job in jobs {
+                    self.settle_failed_job(state, job, error.clone());
+                }
+            }
+        }
+    }
+
+    /// When the queue holds only backing-off jobs (and nothing is in
+    /// flight), advance the host's virtual clock to the earliest release so
+    /// a blocked drain cannot deadlock. Returns whether the clock moved.
+    fn advance_to_backoff_locked(&self, state: &mut CoreState) -> bool {
+        let now = self.runtime.now();
+        let earliest = state
+            .queue
+            .iter()
+            .map(|j| j.not_before)
+            .filter(|&t| t > now)
+            .min();
+        match earliest {
+            Some(release) => {
+                self.runtime.context().sync_host_to(release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Cancel a still-queued job (identified by its slot): credits its
+    /// quota, releases its pending count and fails the slot with
+    /// [`ServeError::Cancelled`]. Returns false once the job has dispatched
+    /// — in-flight and completed jobs cannot be cancelled.
+    pub(crate) fn cancel(&self, slot: &Arc<JobSlot>) -> bool {
+        let mut state = self.state.lock();
+        let Some(pos) = state.queue.iter().position(|j| Arc::ptr_eq(&j.slot, slot)) else {
+            return false;
+        };
+        let job = state.queue.remove(pos);
+        state.stats.cancelled += 1;
+        job.fail_now(&self.runtime, ServeError::Cancelled, &self.counters);
         true
     }
 
@@ -533,12 +737,12 @@ impl Core {
         if self.dispatch_one_locked(&mut state) {
             return true;
         }
-        if state.inflight.is_empty() {
-            return false;
+        if !state.inflight.is_empty() {
+            let batch = state.inflight.remove(0);
+            self.settle_resolved(&mut state, batch);
+            return true;
         }
-        let batch = state.inflight.remove(0);
-        (batch.resolve)();
-        true
+        self.advance_to_backoff_locked(&mut state)
     }
 
     /// Dispatch everything queued and resolve every in-flight launch, in
@@ -551,12 +755,18 @@ impl Core {
     fn drain_locked(&self, state: &mut CoreState) {
         loop {
             while self.dispatch_one_locked(state) {}
-            if state.inflight.is_empty() {
-                break;
+            if !state.inflight.is_empty() {
+                let resolvers: Vec<InFlight> = state.inflight.drain(..).collect();
+                for batch in resolvers {
+                    self.settle_resolved(state, batch);
+                }
+                continue;
             }
-            let resolvers: Vec<InFlight> = state.inflight.drain(..).collect();
-            for batch in resolvers {
-                (batch.resolve)();
+            // Only backing-off replays remain: jump the virtual clock to
+            // their release instant. Bounded — every replay consumes retry
+            // budget, so this loop terminates.
+            if !self.advance_to_backoff_locked(state) {
+                break;
             }
         }
     }

@@ -2,11 +2,12 @@
 
 use std::sync::Arc;
 
+use oclsim::SimDuration;
 use skelcl::{DeviceScalar, PlanScalar, PlanVec, SkelCl};
 
 use crate::error::{Result, ServeError};
 use crate::job::JobHandle;
-use crate::scheduler::Core;
+use crate::scheduler::{Core, JobOptions};
 use crate::tenant::TenantConfig;
 
 /// Server-wide scheduling knobs.
@@ -23,6 +24,14 @@ pub struct ServerConfig {
     /// jobs; submissions past it return [`ServeError::WouldBlock`] (or
     /// make room, for blocking submits). Clamped to at least 1.
     pub max_queue_depth: usize,
+    /// Replays granted to a job whose attempt dies with an *injected*
+    /// fault, unless overridden per job through
+    /// [`JobOptions::with_max_retries`]. Past the budget the job fails
+    /// with [`ServeError::JobFailed`] carrying its fault chain.
+    pub max_retries: usize,
+    /// Base virtual-time backoff between replays; attempt `n` waits
+    /// `n × retry_backoff` before becoming dispatchable again.
+    pub retry_backoff: SimDuration,
 }
 
 impl Default for ServerConfig {
@@ -31,6 +40,8 @@ impl Default for ServerConfig {
             coalescing: true,
             coalesce_cap: 64,
             max_queue_depth: 256,
+            max_retries: 2,
+            retry_backoff: SimDuration::from_secs_f64(50e-6),
         }
     }
 }
@@ -64,6 +75,12 @@ pub struct ServingTrace {
     pub dispatch_tenants: Vec<String>,
     /// Size of each dispatched batch, in dispatch order.
     pub batch_sizes: Vec<usize>,
+    /// Fault-failed attempts that were re-queued for replay.
+    pub jobs_retried: usize,
+    /// Jobs cancelled through [`crate::JobHandle::cancel`] before dispatch.
+    pub jobs_cancelled: usize,
+    /// Jobs that missed their virtual-time deadline while queued.
+    pub jobs_deadline_failed: usize,
 }
 
 /// A multi-tenant serving front end over a shared [`SkelCl`] runtime.
@@ -140,6 +157,9 @@ impl Server {
             max_queue_depth_seen: stats.max_queue_depth_seen,
             dispatch_tenants: stats.dispatch_tenants,
             batch_sizes: stats.batch_sizes,
+            jobs_retried: stats.retries,
+            jobs_cancelled: stats.cancelled,
+            jobs_deadline_failed: stats.deadline_failures,
         }
     }
 }
@@ -160,14 +180,33 @@ impl Session {
     /// Submit a vector pipeline job, returning [`ServeError::WouldBlock`]
     /// instead of waiting when a backpressure watermark is hit.
     pub fn try_submit_vec<T: DeviceScalar>(&self, plan: &PlanVec<T>) -> Result<JobHandle<Vec<T>>> {
-        self.core.admit_vec(&self.tenant, plan)
+        self.try_submit_vec_with(plan, JobOptions::default())
+    }
+
+    /// [`Session::try_submit_vec`] with per-job [`JobOptions`] (deadline,
+    /// retry budget).
+    pub fn try_submit_vec_with<T: DeviceScalar>(
+        &self,
+        plan: &PlanVec<T>,
+        options: JobOptions,
+    ) -> Result<JobHandle<Vec<T>>> {
+        self.core.admit_vec(&self.tenant, plan, options)
     }
 
     /// Submit a vector pipeline job, making room (dispatching queued
     /// batches and resolving in-flight launches) until admission succeeds.
     pub fn submit_vec<T: DeviceScalar>(&self, plan: &PlanVec<T>) -> Result<JobHandle<Vec<T>>> {
+        self.submit_vec_with(plan, JobOptions::default())
+    }
+
+    /// [`Session::submit_vec`] with per-job [`JobOptions`].
+    pub fn submit_vec_with<T: DeviceScalar>(
+        &self,
+        plan: &PlanVec<T>,
+        options: JobOptions,
+    ) -> Result<JobHandle<Vec<T>>> {
         loop {
-            match self.core.admit_vec(&self.tenant, plan) {
+            match self.core.admit_vec(&self.tenant, plan, options) {
                 Err(ServeError::WouldBlock) => {
                     if !self.core.make_room() {
                         return Err(ServeError::WouldBlock);
@@ -180,13 +219,31 @@ impl Session {
 
     /// Submit a scalar (reduction) pipeline job with try semantics.
     pub fn try_submit_scalar<T: DeviceScalar>(&self, plan: &PlanScalar<T>) -> Result<JobHandle<T>> {
-        self.core.admit_scalar(&self.tenant, plan)
+        self.try_submit_scalar_with(plan, JobOptions::default())
+    }
+
+    /// [`Session::try_submit_scalar`] with per-job [`JobOptions`].
+    pub fn try_submit_scalar_with<T: DeviceScalar>(
+        &self,
+        plan: &PlanScalar<T>,
+        options: JobOptions,
+    ) -> Result<JobHandle<T>> {
+        self.core.admit_scalar(&self.tenant, plan, options)
     }
 
     /// Submit a scalar (reduction) pipeline job, making room as needed.
     pub fn submit_scalar<T: DeviceScalar>(&self, plan: &PlanScalar<T>) -> Result<JobHandle<T>> {
+        self.submit_scalar_with(plan, JobOptions::default())
+    }
+
+    /// [`Session::submit_scalar`] with per-job [`JobOptions`].
+    pub fn submit_scalar_with<T: DeviceScalar>(
+        &self,
+        plan: &PlanScalar<T>,
+        options: JobOptions,
+    ) -> Result<JobHandle<T>> {
         loop {
-            match self.core.admit_scalar(&self.tenant, plan) {
+            match self.core.admit_scalar(&self.tenant, plan, options) {
                 Err(ServeError::WouldBlock) => {
                     if !self.core.make_room() {
                         return Err(ServeError::WouldBlock);

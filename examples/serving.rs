@@ -18,6 +18,7 @@ fn main() -> skelcl_serving::Result<()> {
             coalescing: true,
             coalesce_cap: 32,
             max_queue_depth: 256,
+            ..ServerConfig::default()
         },
     );
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Fault-tolerance trajectory: runs the faults_bench harness, which drives
+# 16 sweeps of heat diffusion on the 8-GPU lab cluster in four
+# configurations — {fault-free, one dual-GPU node lost mid-run} ×
+# {checkpointing off, checkpoint every 2 sweeps} — and reports virtual and
+# wall runtime, recovery counters and checkpoint traffic, then regenerates
+# BENCH_faults.json at the repository root.
+#
+# The harness itself asserts the recovery contract: every faulted run's
+# result is bit-identical to the fault-free run, exactly the failed node's
+# devices are reported dead, and checkpointing never increases the number
+# of replayed sweeps.
+#
+# Usage:
+#   scripts/bench_faults.sh            # full run, rewrites BENCH_faults.json
+#   scripts/bench_faults.sh --smoke    # small-N smoke run only (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Preflight: the layout the bench depends on. A rename in the fault
+# machinery or the harness should fail here with a clear message, not deep
+# inside cargo.
+required_paths=(
+    crates/bench/src/bin/faults_bench.rs
+    crates/oclsim/src/fault.rs
+    crates/core/src/recovery.rs
+    crates/dopencl/src/tier.rs
+    crates/core/tests/chaos.rs
+)
+for path in "${required_paths[@]}"; do
+    if [[ ! -e "$path" ]]; then
+        echo "bench_faults.sh: missing expected path: $path" >&2
+        exit 1
+    fi
+done
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    cargo run --release -p skelcl_bench --bin faults_bench -- --smoke --out /tmp/BENCH_faults.json
+else
+    cargo run --release -p skelcl_bench --bin faults_bench -- --out BENCH_faults.json
+fi
